@@ -1,0 +1,101 @@
+// Experiment E6 — compiler pipeline performance (Fig. 3).
+//
+// google-benchmark timings for each frontend phase (parse, elaborate,
+// sugar, DRC, IR emission, VHDL emission) on the real TPC-H inputs, plus a
+// template-instantiation scaling benchmark (parallelize with growing
+// channel counts exercises the monomorphiser and the generative for).
+#include <benchmark/benchmark.h>
+
+#include "src/driver/compiler.hpp"
+#include "src/parser/parser.hpp"
+#include "src/stdlib/stdlib.hpp"
+#include "src/tpch/tpch.hpp"
+
+namespace {
+
+const tydi::tpch::QueryCase& query(std::size_t index) {
+  return tydi::tpch::queries()[index];
+}
+
+std::vector<tydi::driver::NamedSource> sources_for(
+    const tydi::tpch::QueryCase& q) {
+  return {{"fletcher.td", tydi::tpch::fletcher_source()},
+          {"query.td", std::string(q.source)}};
+}
+
+void BM_ParseOnly(benchmark::State& state) {
+  const auto& q = query(static_cast<std::size_t>(state.range(0)));
+  std::string text = std::string(tydi::stdlib::stdlib_source()) +
+                     tydi::tpch::fletcher_source() + std::string(q.source);
+  for (auto _ : state) {
+    tydi::support::SourceManager sm;
+    tydi::support::DiagnosticEngine diags(&sm);
+    auto id = sm.add("bench.td", text);
+    auto file = tydi::lang::parse(sm.text(id), id, diags);
+    benchmark::DoNotOptimize(file);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto& q = query(static_cast<std::size_t>(state.range(0)));
+  auto sources = sources_for(q);
+  tydi::driver::CompileOptions options;
+  options.top = q.top_impl;
+  options.sugaring = q.sugaring;
+  for (auto _ : state) {
+    auto result = tydi::driver::compile(sources, options);
+    benchmark::DoNotOptimize(result.vhdl_text);
+  }
+}
+
+void BM_FrontendOnly(benchmark::State& state) {
+  const auto& q = query(static_cast<std::size_t>(state.range(0)));
+  auto sources = sources_for(q);
+  tydi::driver::CompileOptions options;
+  options.top = q.top_impl;
+  options.sugaring = q.sugaring;
+  options.emit_ir = false;
+  options.emit_vhdl = false;
+  for (auto _ : state) {
+    auto result = tydi::driver::compile(sources, options);
+    benchmark::DoNotOptimize(result.design);
+  }
+}
+
+void BM_TemplateInstantiationScaling(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  std::string source = R"tydi(
+type t_data = Stream(Bit(64), d=1, c=2);
+impl pu of process_unit_s<type t_data, type t_data> @ external { }
+streamlet top_s { feed: t_data in, result: t_data out, }
+impl scale_top of top_s {
+  instance par(parallelize_i<type t_data, type t_data, impl pu, @CH@>),
+  feed => par.in_,
+  par.out => result,
+}
+)tydi";
+  std::string needle = "@CH@";
+  source.replace(source.find(needle), needle.size(),
+                 std::to_string(channels));
+  tydi::driver::CompileOptions options;
+  options.top = "scale_top";
+  options.emit_vhdl = false;
+  for (auto _ : state) {
+    auto result = tydi::driver::compile_source(source, options);
+    benchmark::DoNotOptimize(result.design);
+  }
+  state.SetComplexityN(channels);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParseOnly)->DenseRange(0, 5)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FrontendOnly)->DenseRange(0, 5)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FullPipeline)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TemplateInstantiationScaling)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();

@@ -1,0 +1,102 @@
+// A generic pipeline template: chain `n` instances of any stage impl
+// (demonstrates `impl of <streamlet>` template parameters combined with
+// instance arrays and the generative for — the Sec. IV-B machinery beyond
+// the paper's parallelize example). The pipeline is compiled to VHDL and
+// simulated to measure its fill latency.
+#include <iostream>
+
+#include "src/driver/compiler.hpp"
+#include "src/sim/engine.hpp"
+#include "src/support/text.hpp"
+
+namespace {
+
+std::string source_for(int depth) {
+  std::string source = R"tydi(
+package pipedemo;
+
+type t_word = Stream(Bit(32), d=1, c=2);
+
+// Any single-in single-out component can be a stage.
+streamlet stage_s<T: type> { in_: T in, out: T out, }
+
+// The generic pipeline: n copies of `stage` chained head to tail.
+impl pipeline_i<T: type, stage: impl of stage_s, n: int> of stage_s<type T> {
+  instance st(stage) [n],
+  in_ => st[0].in_,
+  for i in 0->n-1 {
+    st[i].out => st[i+1].in_,
+  }
+  st[n-1].out => out,
+}
+
+// A concrete 2-cycle stage, described by simulation code.
+impl reg_stage of stage_s<type t_word> @ external {
+  sim {
+    on in_.receive {
+      delay(2);
+      send(out);
+      ack(in_);
+    }
+  }
+}
+
+streamlet demo_s { feed: t_word in, drained: t_word out, }
+impl demo_top of demo_s {
+  instance pipe(pipeline_i<type t_word, impl reg_stage, @N@>),
+  feed => pipe.in_,
+  pipe.out => drained,
+}
+)tydi";
+  std::string needle = "@N@";
+  source.replace(source.find(needle), needle.size(), std::to_string(depth));
+  return source;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "pipeline_i<reg_stage, n>: fill latency vs depth "
+               "(2-cycle stages, 10 ns cycle)\n\n";
+  tydi::support::TextTable table;
+  table.header({"depth", "first packet out (ns)", "VHDL entities"});
+  for (int depth : {1, 2, 4, 8}) {
+    tydi::driver::CompileOptions options;
+    options.top = "demo_top";
+    tydi::driver::CompileResult compiled =
+        tydi::driver::compile_source(source_for(depth), options);
+    if (!compiled.success()) {
+      std::cerr << compiled.report();
+      return 1;
+    }
+    std::size_t entities = 0;
+    for (std::size_t pos = compiled.vhdl_text.find("\nentity ");
+         pos != std::string::npos;
+         pos = compiled.vhdl_text.find("\nentity ", pos + 1)) {
+      ++entities;
+    }
+
+    tydi::support::DiagnosticEngine diags;
+    tydi::sim::Engine engine(compiled.design, diags);
+    tydi::sim::SimOptions sim_options;
+    tydi::sim::Stimulus stim;
+    stim.port = "feed";
+    for (int i = 0; i < 8; ++i) {
+      stim.packets.emplace_back(10.0 * i, tydi::sim::Packet{i, i == 7});
+    }
+    sim_options.stimuli.push_back(std::move(stim));
+    tydi::sim::SimResult result = engine.run(sim_options);
+    const auto& out = result.top_outputs.at("drained");
+    if (out.empty()) {
+      std::cerr << "no output packets at depth " << depth << "\n";
+      return 1;
+    }
+    table.row({std::to_string(depth),
+               tydi::support::format_fixed(out.front().first, 1),
+               std::to_string(entities)});
+  }
+  std::cout << table.render();
+  std::cout << "\nfill latency grows linearly with depth; every depth is one "
+               "template instantiation of the same pipeline_i source.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Compiles TPC-H query 19 (the paper's Sec. VI walkthrough) to VHDL and
+// prints its Table IV row: LoC of the query logic, the Fletcher part, the
+// standard library, the generated VHDL, and the two ratios.
+#include <fstream>
+#include <iostream>
+
+#include "src/stdlib/stdlib.hpp"
+#include "src/support/text.hpp"
+#include "src/tpch/tpch.hpp"
+
+int main(int argc, char** argv) {
+  const tydi::tpch::QueryCase* q19 = tydi::tpch::find_query("TPC-H 19");
+  if (q19 == nullptr) {
+    std::cerr << "TPC-H 19 not registered\n";
+    return 1;
+  }
+
+  std::cout << "Raw SQL:\n" << q19->raw_sql << "\n";
+
+  tydi::driver::CompileResult result = tydi::tpch::compile_query(*q19);
+  if (!result.success()) {
+    std::cerr << "compilation failed:\n" << result.report();
+    return 1;
+  }
+
+  std::size_t loc_q = tydi::support::count_tydi_loc(q19->source);
+  std::size_t loc_f = tydi::tpch::fletcher_loc();
+  std::size_t loc_s = tydi::stdlib::stdlib_loc();
+  std::size_t loc_vhdl = tydi::support::count_vhdl_loc(result.vhdl_text);
+  std::size_t loc_total = loc_q + loc_f + loc_s;
+
+  tydi::support::TextTable table;
+  table.header({"metric", "LoC"});
+  table.row({"query logic (LoCq)", std::to_string(loc_q)});
+  table.row({"Fletcher part (LoCf)", std::to_string(loc_f)});
+  table.row({"standard library (LoCs)", std::to_string(loc_s)});
+  table.row({"total Tydi-lang (LoCa)", std::to_string(loc_total)});
+  table.row({"generated VHDL", std::to_string(loc_vhdl)});
+  std::cout << table.render() << "\n";
+  std::cout << "Rq = VHDL / query logic = "
+            << tydi::support::format_fixed(
+                   static_cast<double>(loc_vhdl) / static_cast<double>(loc_q),
+                   2)
+            << "\n";
+  std::cout << "Ra = VHDL / total = "
+            << tydi::support::format_fixed(static_cast<double>(loc_vhdl) /
+                                               static_cast<double>(loc_total),
+                                           2)
+            << "\n";
+  std::cout << "\n" << result.sugar_stats.summary() << "\n";
+
+  if (argc > 1) {
+    std::ofstream out(argv[1], std::ios::binary);
+    out << result.vhdl_text;
+    std::cout << "VHDL written to " << argv[1] << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,271 @@
+#include "src/drc/drc.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "src/types/compat.hpp"
+
+namespace tydi::drc {
+
+using elab::Connection;
+using elab::Design;
+using elab::Endpoint;
+using elab::Impl;
+using elab::Instance;
+using elab::Port;
+using elab::Streamlet;
+
+std::string_view to_string(Rule r) {
+  switch (r) {
+    case Rule::kTypeEquality: return "type-equality";
+    case Rule::kPortUseCount: return "port-use-count";
+    case Rule::kDirection: return "direction";
+    case Rule::kClockDomain: return "clock-domain";
+    case Rule::kResolution: return "resolution";
+  }
+  return "?";
+}
+
+std::size_t DrcReport::count(Rule r) const {
+  std::size_t n = 0;
+  for (const Violation& v : violations) {
+    if (v.rule == r) ++n;
+  }
+  return n;
+}
+
+std::string DrcReport::render() const {
+  std::ostringstream out;
+  out << "DRC report: " << violations.size() << " violation(s)\n";
+  for (const Violation& v : violations) {
+    out << "  [" << to_string(v.rule) << "] in " << v.impl << ": "
+        << v.message << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+struct ResolvedEndpoint {
+  const Port* port = nullptr;
+  bool is_self = false;
+};
+
+class ImplChecker {
+ public:
+  ImplChecker(const Design& design, const Impl& impl,
+              const DrcOptions& options, DrcReport& report,
+              support::DiagnosticEngine& diags)
+      : design_(design),
+        impl_(impl),
+        options_(options),
+        report_(report),
+        diags_(diags) {}
+
+  void run() {
+    check_connections();
+    check_port_usage();
+  }
+
+ private:
+  const Design& design_;
+  const Impl& impl_;
+  const DrcOptions& options_;
+  DrcReport& report_;
+  support::DiagnosticEngine& diags_;
+  // usage counters keyed by endpoint display name
+  std::map<std::string, std::size_t> source_drive_count_;
+  std::map<std::string, std::size_t> sink_driven_count_;
+
+  void violate(Rule rule, std::string message, support::Loc loc,
+               bool as_error = true) {
+    report_.violations.push_back(
+        Violation{rule, impl_.name, message, loc});
+    if (as_error) {
+      diags_.error("drc", std::move(message), loc);
+    } else {
+      diags_.warning("drc", std::move(message), loc);
+    }
+  }
+
+  ResolvedEndpoint resolve(const Endpoint& ep) {
+    ResolvedEndpoint r;
+    r.is_self = ep.instance.empty();
+    if (r.is_self) {
+      const Streamlet* self = design_.streamlet_of(impl_);
+      if (self == nullptr) {
+        violate(Rule::kResolution,
+                "impl '" + impl_.name + "' has unknown streamlet '" +
+                    impl_.streamlet_name + "'",
+                impl_.loc);
+        return r;
+      }
+      r.port = self->find_port(ep.port);
+      if (r.port == nullptr) {
+        violate(Rule::kResolution,
+                "unknown port '" + ep.port + "' on impl '" +
+                    impl_.display_name + "'",
+                ep.loc);
+      }
+      return r;
+    }
+    const Instance* inst = impl_.find_instance(ep.instance);
+    if (inst == nullptr) {
+      violate(Rule::kResolution,
+              "unknown instance '" + ep.instance + "' in '" +
+                  impl_.display_name + "'",
+              ep.loc);
+      return r;
+    }
+    const Impl* child = design_.find_impl(inst->impl_name);
+    const Streamlet* child_streamlet =
+        child != nullptr ? design_.streamlet_of(*child) : nullptr;
+    if (child_streamlet == nullptr) {
+      violate(Rule::kResolution,
+              "instance '" + ep.instance + "' has unresolved impl '" +
+                  inst->impl_name + "'",
+              ep.loc);
+      return r;
+    }
+    r.port = child_streamlet->find_port(ep.port);
+    if (r.port == nullptr) {
+      violate(Rule::kResolution,
+              "unknown port '" + ep.port + "' on instance '" + ep.instance +
+                  "' (" + child_streamlet->display_name + ")",
+              ep.loc);
+    }
+    return r;
+  }
+
+  void check_connections() {
+    for (const Connection& c : impl_.connections) {
+      ResolvedEndpoint src = resolve(c.src);
+      ResolvedEndpoint dst = resolve(c.dst);
+      if (src.port == nullptr || dst.port == nullptr) continue;
+
+      // R3: direction.
+      bool src_is_source = elab::endpoint_is_source(src.port->dir,
+                                                    src.is_self);
+      bool dst_is_sink = !elab::endpoint_is_source(dst.port->dir,
+                                                   dst.is_self);
+      if (!src_is_source) {
+        violate(Rule::kDirection,
+                "left side of connection " + c.src.display() + " => " +
+                    c.dst.display() + " is not a data source",
+                c.loc);
+      }
+      if (!dst_is_sink) {
+        violate(Rule::kDirection,
+                "right side of connection " + c.src.display() + " => " +
+                    c.dst.display() + " is not a data sink",
+                c.loc);
+      }
+
+      // R1: type equality + complexity compatibility.
+      types::CompatResult compat = types::check_connection(
+          *src.port->type, *dst.port->type, /*strict=*/!c.structural);
+      if (!compat.ok) {
+        violate(Rule::kTypeEquality,
+                "connection " + c.src.display() + " => " + c.dst.display() +
+                    ": " + compat.reason,
+                c.loc);
+      }
+
+      // R4: clock domains.
+      if (src.port->clock_domain != dst.port->clock_domain) {
+        violate(Rule::kClockDomain,
+                "connection " + c.src.display() + " => " + c.dst.display() +
+                    " crosses clock domains ('" + src.port->clock_domain +
+                    "' vs '" + dst.port->clock_domain + "')",
+                c.loc);
+      }
+
+      // Track usage for R2 regardless of the above.
+      if (src_is_source) ++source_drive_count_[c.src.display()];
+      if (dst_is_sink) ++sink_driven_count_[c.dst.display()];
+    }
+  }
+
+  void enumerate_endpoints(
+      std::vector<std::pair<Endpoint, bool>>& sources,
+      std::vector<std::pair<Endpoint, bool>>& sinks) const {
+    const Streamlet* self = design_.streamlet_of(impl_);
+    if (self != nullptr) {
+      for (const Port& p : self->ports) {
+        Endpoint ep{"", p.name, p.loc};
+        if (p.dir == lang::PortDir::kIn) {
+          sources.emplace_back(ep, true);
+        } else {
+          sinks.emplace_back(ep, true);
+        }
+      }
+    }
+    for (const Instance& inst : impl_.instances) {
+      const Impl* child = design_.find_impl(inst.impl_name);
+      const Streamlet* cs =
+          child != nullptr ? design_.streamlet_of(*child) : nullptr;
+      if (cs == nullptr) continue;
+      for (const Port& p : cs->ports) {
+        Endpoint ep{inst.name, p.name, inst.loc};
+        if (p.dir == lang::PortDir::kOut) {
+          sources.emplace_back(ep, false);
+        } else {
+          sinks.emplace_back(ep, false);
+        }
+      }
+    }
+  }
+
+  void check_port_usage() {
+    std::vector<std::pair<Endpoint, bool>> sources;
+    std::vector<std::pair<Endpoint, bool>> sinks;
+    enumerate_endpoints(sources, sinks);
+    const bool as_error = options_.port_use_count_is_error;
+
+    for (const auto& [ep, is_self] : sources) {
+      auto it = source_drive_count_.find(ep.display());
+      std::size_t n = it == source_drive_count_.end() ? 0 : it->second;
+      if (n == 0) {
+        violate(Rule::kPortUseCount,
+                "source " + ep.display() + " is never used (each port must "
+                "be used exactly once; sugaring would insert a voider)",
+                ep.loc, as_error);
+      } else if (n > 1) {
+        violate(Rule::kPortUseCount,
+                "source " + ep.display() + " drives " + std::to_string(n) +
+                    " connections (each port must be used exactly once; "
+                    "sugaring would insert a duplicator)",
+                ep.loc, as_error);
+      }
+    }
+    for (const auto& [ep, is_self] : sinks) {
+      auto it = sink_driven_count_.find(ep.display());
+      std::size_t n = it == sink_driven_count_.end() ? 0 : it->second;
+      if (n == 0) {
+        violate(Rule::kPortUseCount,
+                "sink " + ep.display() + " is never driven",
+                ep.loc, as_error);
+      } else if (n > 1) {
+        violate(Rule::kPortUseCount,
+                "sink " + ep.display() + " is driven by " +
+                    std::to_string(n) + " connections",
+                ep.loc, as_error);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+DrcReport check(const Design& design, const DrcOptions& options,
+                support::DiagnosticEngine& diags) {
+  DrcReport report;
+  for (const Impl& impl : design.impls()) {
+    if (impl.external) continue;
+    ImplChecker checker(design, impl, options, report, diags);
+    checker.run();
+  }
+  return report;
+}
+
+}  // namespace tydi::drc

@@ -1,0 +1,66 @@
+// Design-rule check (Sec. III): the high-level checks Tydi-lang performs
+// before the type information is erased by VHDL generation.
+//
+// Rules (paper Sec. III + Table I "Connection" row):
+//  R1 type equality     — connected ports carry the identical logical type
+//                         (strict named equality unless `@structural`), with
+//                         complexity compatibility source <= sink.
+//  R2 port usage count  — every port is used exactly once under the
+//                         handshaking mechanism: each source drives exactly
+//                         one connection and each sink is driven exactly
+//                         once (sugaring inserts duplicators/voiders to make
+//                         fan-out/unused ports conform).
+//  R3 direction         — connections flow source -> sink (self `in` or
+//                         instance `out` on the left, self `out` or instance
+//                         `in` on the right).
+//  R4 clock domain      — both ports live in the same clock domain.
+//  R5 resolution        — every endpoint names an existing instance/port.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/elab/design.hpp"
+#include "src/support/diagnostic.hpp"
+
+namespace tydi::drc {
+
+enum class Rule {
+  kTypeEquality,
+  kPortUseCount,
+  kDirection,
+  kClockDomain,
+  kResolution,
+};
+
+[[nodiscard]] std::string_view to_string(Rule r);
+
+struct Violation {
+  Rule rule{};
+  std::string impl;     ///< implementation (mangled name) containing it
+  std::string message;
+  support::Loc loc;
+};
+
+/// The "DRC report" of Fig. 3.
+struct DrcReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  [[nodiscard]] std::size_t count(Rule r) const;
+  [[nodiscard]] std::string render() const;
+};
+
+struct DrcOptions {
+  /// When false, R2 is reported as warnings instead of errors (useful for
+  /// inspecting unsugared designs, cf. the non-sugared Table IV row).
+  bool port_use_count_is_error = true;
+};
+
+/// Checks every non-external implementation of `design`. Violations are
+/// both returned and mirrored into `diags` (phase "drc").
+[[nodiscard]] DrcReport check(const elab::Design& design,
+                              const DrcOptions& options,
+                              support::DiagnosticEngine& diags);
+
+}  // namespace tydi::drc

@@ -1,0 +1,98 @@
+#include "src/driver/compiler.hpp"
+
+#include <chrono>
+
+#include "src/elab/elaborator.hpp"
+#include "src/ir/ir.hpp"
+#include "src/parser/parser.hpp"
+#include "src/stdlib/stdlib.hpp"
+
+namespace tydi::driver {
+
+CompileResult::CompileResult()
+    : sources(std::make_unique<support::SourceManager>()),
+      diags(std::make_unique<support::DiagnosticEngine>(sources.get())) {}
+
+namespace {
+
+class PhaseTimer {
+ public:
+  PhaseTimer(std::map<std::string, double>& out, std::string phase)
+      : out_(out),
+        phase_(std::move(phase)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    auto end = std::chrono::steady_clock::now();
+    out_[phase_] +=
+        std::chrono::duration<double, std::milli>(end - start_).count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::map<std::string, double>& out_;
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+CompileResult compile(const std::vector<NamedSource>& sources,
+                      const CompileOptions& options) {
+  CompileResult result;
+
+  auto program = std::make_shared<elab::Program>();
+  {
+    PhaseTimer t(result.phase_ms, "parse");
+    if (options.include_stdlib) {
+      support::FileId id = result.sources->add(
+          std::string(stdlib::stdlib_file_name()),
+          std::string(stdlib::stdlib_source()));
+      program->files.push_back(
+          lang::parse(result.sources->text(id), id, *result.diags));
+    }
+    for (const NamedSource& src : sources) {
+      support::FileId id = result.sources->add(src.name, src.text);
+      program->files.push_back(
+          lang::parse(result.sources->text(id), id, *result.diags));
+    }
+  }
+  result.program = program;
+  if (result.diags->has_errors()) return result;
+
+  {
+    PhaseTimer t(result.phase_ms, "elaborate");
+    elab::Elaborator elaborator(program, *result.diags);
+    result.design = options.top.empty() ? elaborator.run_all()
+                                        : elaborator.run(options.top);
+  }
+  if (result.diags->has_errors()) return result;
+
+  if (options.sugaring) {
+    PhaseTimer t(result.phase_ms, "sugar");
+    result.sugar_stats =
+        sugar::apply_sugaring(result.design, options.sugar, *result.diags);
+  }
+
+  if (options.run_drc) {
+    PhaseTimer t(result.phase_ms, "drc");
+    result.drc_report = drc::check(result.design, options.drc, *result.diags);
+  }
+
+  if (options.emit_ir) {
+    PhaseTimer t(result.phase_ms, "ir");
+    result.ir_text = ir::emit(result.design);
+  }
+  if (options.emit_vhdl) {
+    PhaseTimer t(result.phase_ms, "vhdl");
+    result.vhdl_text =
+        vhdl::emit(result.design, options.vhdl, *result.diags);
+  }
+  return result;
+}
+
+CompileResult compile_source(std::string text, const CompileOptions& options) {
+  return compile({NamedSource{"input.td", std::move(text)}}, options);
+}
+
+}  // namespace tydi::driver

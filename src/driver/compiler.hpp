@@ -1,0 +1,78 @@
+// Compiler driver — the full Fig. 3 pipeline behind one call:
+//
+//   sources -> parse -> elaborate (evaluation + code expansion) ->
+//   sugaring -> DRC -> Tydi-IR -> VHDL
+//
+// This facade is the primary public API: examples, tests and benches all
+// compile through it. Phase timings are recorded for the compile-performance
+// bench.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/drc/drc.hpp"
+#include "src/elab/design.hpp"
+#include "src/sugar/sugar.hpp"
+#include "src/support/diagnostic.hpp"
+#include "src/support/source.hpp"
+#include "src/vhdl/vhdl.hpp"
+
+namespace tydi::driver {
+
+struct NamedSource {
+  std::string name;
+  std::string text;
+};
+
+struct CompileOptions {
+  /// Name of the top-level (non-template) impl to elaborate.
+  std::string top;
+  /// Prepend the Tydi-lang standard library.
+  bool include_stdlib = true;
+  /// Auto duplicator/voider insertion (Fig. 4). Disable to reproduce the
+  /// "without sugaring" Table IV row.
+  bool sugaring = true;
+  sugar::SugarOptions sugar;
+  bool run_drc = true;
+  drc::DrcOptions drc;
+  /// Emit Tydi-IR / VHDL text (can be disabled for pure-frontend timing).
+  bool emit_ir = true;
+  bool emit_vhdl = true;
+  vhdl::VhdlOptions vhdl;
+};
+
+class CompileResult {
+ public:
+  CompileResult();
+  CompileResult(CompileResult&&) = default;
+  CompileResult& operator=(CompileResult&&) = default;
+
+  std::unique_ptr<support::SourceManager> sources;
+  std::unique_ptr<support::DiagnosticEngine> diags;
+  elab::ProgramRef program;
+  elab::Design design;
+  sugar::SugarStats sugar_stats;
+  drc::DrcReport drc_report;
+  std::string ir_text;
+  std::string vhdl_text;
+  /// Wall-clock per phase, milliseconds: parse, elaborate, sugar, drc, ir,
+  /// vhdl.
+  std::map<std::string, double> phase_ms;
+
+  [[nodiscard]] bool success() const { return !diags->has_errors(); }
+  /// Rendered diagnostics (errors, warnings, notes).
+  [[nodiscard]] std::string report() const { return diags->render(); }
+};
+
+/// Runs the whole pipeline. Never throws; check `result.success()`.
+[[nodiscard]] CompileResult compile(const std::vector<NamedSource>& sources,
+                                    const CompileOptions& options);
+
+/// Convenience for single-source programs.
+[[nodiscard]] CompileResult compile_source(std::string text,
+                                           const CompileOptions& options);
+
+}  // namespace tydi::driver

@@ -1,0 +1,109 @@
+#include "src/elab/design.hpp"
+
+#include <sstream>
+
+namespace tydi::elab {
+
+const Port* Streamlet::find_port(std::string_view port_name) const {
+  for (const Port& p : ports) {
+    if (p.name == port_name) return &p;
+  }
+  return nullptr;
+}
+
+const Instance* Impl::find_instance(std::string_view instance_name) const {
+  for (const Instance& i : instances) {
+    if (i.name == instance_name) return &i;
+  }
+  return nullptr;
+}
+
+std::string TemplateArgValue::display() const {
+  switch (kind) {
+    case Kind::kValue:
+      return value.to_display();
+    case Kind::kType:
+      return type != nullptr
+                 ? (type->origin().empty() ? type->to_display()
+                                           : type->origin())
+                 : "<null type>";
+    case Kind::kImpl:
+      return "impl " + impl_name;
+  }
+  return "?";
+}
+
+Streamlet& Design::add_streamlet(Streamlet s) {
+  streamlet_index_[s.name] = streamlets_.size();
+  streamlets_.push_back(std::move(s));
+  return streamlets_.back();
+}
+
+Impl& Design::add_impl(Impl i) {
+  impl_index_[i.name] = impls_.size();
+  impls_.push_back(std::move(i));
+  return impls_.back();
+}
+
+const Streamlet* Design::find_streamlet(std::string_view name) const {
+  auto it = streamlet_index_.find(name);
+  if (it == streamlet_index_.end()) return nullptr;
+  return &streamlets_[it->second];
+}
+
+const Impl* Design::find_impl(std::string_view name) const {
+  auto it = impl_index_.find(name);
+  if (it == impl_index_.end()) return nullptr;
+  return &impls_[it->second];
+}
+
+Impl* Design::find_impl_mutable(std::string_view name) {
+  auto it = impl_index_.find(name);
+  if (it == impl_index_.end()) return nullptr;
+  return &impls_[it->second];
+}
+
+const Streamlet* Design::streamlet_of(const Impl& impl) const {
+  return find_streamlet(impl.streamlet_name);
+}
+
+const Port* Design::resolve_endpoint(const Impl& impl,
+                                     const Endpoint& ep) const {
+  if (ep.instance.empty()) {
+    const Streamlet* s = streamlet_of(impl);
+    return s != nullptr ? s->find_port(ep.port) : nullptr;
+  }
+  const Instance* inst = impl.find_instance(ep.instance);
+  if (inst == nullptr) return nullptr;
+  const Impl* child = find_impl(inst->impl_name);
+  if (child == nullptr) return nullptr;
+  const Streamlet* s = streamlet_of(*child);
+  return s != nullptr ? s->find_port(ep.port) : nullptr;
+}
+
+std::string Design::summary() const {
+  std::ostringstream out;
+  out << "design: " << streamlets_.size() << " streamlet(s), "
+      << impls_.size() << " implementation(s)";
+  if (!top_.empty()) out << ", top = " << top_;
+  out << "\n";
+  for (const Impl& i : impls_) {
+    out << "  impl " << i.name;
+    if (i.display_name != i.name) out << " (" << i.display_name << ")";
+    out << " of " << i.streamlet_name;
+    if (i.external) out << " @external";
+    out << ": " << i.instances.size() << " instance(s), "
+        << i.connections.size() << " connection(s)\n";
+  }
+  return out.str();
+}
+
+bool endpoint_is_source(const lang::PortDir dir, bool is_self_port) {
+  // Inside an implementation, the data available to connect FROM is:
+  //  - the impl's own input ports (data arriving from outside), and
+  //  - the output ports of nested instances.
+  return is_self_port ? (dir == lang::PortDir::kIn)
+                      : (dir == lang::PortDir::kOut);
+}
+
+}  // namespace tydi::elab

@@ -1,0 +1,175 @@
+// Elaborated design — "code structure #3/#4" of Fig. 3.
+//
+// The elaborator monomorphises templates, expands `for`/`if` generative
+// statements and instance/port arrays, and evaluates every expression, so a
+// Design contains only concrete streamlets, implementations, instances and
+// connections. This is the form the sugaring pass, the DRC, the Tydi-IR
+// emitter and the simulator all operate on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ast/ast.hpp"
+#include "src/eval/value.hpp"
+#include "src/support/source.hpp"
+#include "src/types/logical_type.hpp"
+
+namespace tydi::elab {
+
+/// The parsed program (all source files of a compilation: standard library,
+/// Fletcher interfaces, user code). The Design keeps it alive because
+/// simulation programs point into the AST.
+struct Program {
+  std::vector<lang::SourceFile> files;
+};
+using ProgramRef = std::shared_ptr<const Program>;
+
+/// A concrete scalar port. Port arrays `p: T in [n]` are expanded to
+/// `p_0 .. p_{n-1}` during elaboration.
+struct Port {
+  std::string name;
+  types::TypeRef type;
+  lang::PortDir dir = lang::PortDir::kIn;
+  std::string clock_domain = "default";
+  support::Loc loc;
+};
+
+/// A concrete streamlet (port map). Template instances carry a mangled
+/// `name`; `display_name` keeps the human-readable template spelling.
+struct Streamlet {
+  std::string name;
+  std::string display_name;
+  std::vector<Port> ports;
+  support::Loc loc;
+
+  [[nodiscard]] const Port* find_port(std::string_view port_name) const;
+};
+
+/// One endpoint of an elaborated connection. `instance` is empty for the
+/// implementation's own ports.
+struct Endpoint {
+  std::string instance;
+  std::string port;
+  support::Loc loc;
+
+  [[nodiscard]] std::string display() const {
+    return instance.empty() ? port : instance + "." + port;
+  }
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.instance == b.instance && a.port == b.port;
+  }
+};
+
+struct Connection {
+  Endpoint src;
+  Endpoint dst;
+  bool structural = false;  ///< relax strict type equality (`@structural`)
+  support::Loc loc;
+};
+
+/// A nested implementation instance. Instance arrays are expanded like port
+/// arrays.
+struct Instance {
+  std::string name;
+  std::string impl_name;  ///< mangled name of the elaborated implementation
+  support::Loc loc;
+};
+
+/// An evaluated template argument, recorded for diagnostics, mangling and
+/// the standard-library RTL generator.
+struct TemplateArgValue {
+  enum class Kind { kValue, kType, kImpl };
+  Kind kind = Kind::kValue;
+  eval::Value value;       // kValue
+  types::TypeRef type;     // kType
+  std::string impl_name;   // kImpl (mangled)
+
+  [[nodiscard]] std::string display() const;
+};
+
+/// Simulation program attached to an external implementation: a pointer into
+/// the AST (kept alive via Program) plus the constants captured from the
+/// elaboration scope, so the simulator can evaluate expressions.
+struct SimProgram {
+  const lang::SimBlock* block = nullptr;
+  std::map<std::string, eval::Value> captured;
+};
+
+struct Impl {
+  std::string name;          ///< mangled
+  std::string display_name;  ///< original spelling with arguments
+  std::string streamlet_name;
+  /// The *family* name of the streamlet this impl derives from (the
+  /// unmangled declaration name), used to check `impl of <streamlet>`
+  /// template-argument constraints.
+  std::string streamlet_family;
+  bool external = false;
+  /// The declaration this was instantiated from (for the stdlib RTL
+  /// generator, which is keyed by template family per Sec. IV-C).
+  std::string template_name;
+  std::vector<TemplateArgValue> template_args;
+  std::vector<Instance> instances;
+  std::vector<Connection> connections;
+  std::optional<SimProgram> sim;
+  support::Loc loc;
+
+  [[nodiscard]] const Instance* find_instance(
+      std::string_view instance_name) const;
+};
+
+/// The fully elaborated design. Insertion order is preserved so emitted IR /
+/// VHDL is deterministic (children appear before their parents).
+class Design {
+ public:
+  explicit Design(ProgramRef program = nullptr)
+      : program_(std::move(program)) {}
+
+  Streamlet& add_streamlet(Streamlet s);
+  Impl& add_impl(Impl i);
+
+  [[nodiscard]] const Streamlet* find_streamlet(std::string_view name) const;
+  [[nodiscard]] const Impl* find_impl(std::string_view name) const;
+  [[nodiscard]] Impl* find_impl_mutable(std::string_view name);
+
+  [[nodiscard]] const std::vector<Streamlet>& streamlets() const {
+    return streamlets_;
+  }
+  [[nodiscard]] const std::vector<Impl>& impls() const { return impls_; }
+  [[nodiscard]] std::vector<Impl>& impls_mutable() { return impls_; }
+
+  /// Name of the top-level implementation (set by the elaborator).
+  [[nodiscard]] const std::string& top() const { return top_; }
+  void set_top(std::string name) { top_ = std::move(name); }
+
+  /// Resolves the streamlet of `impl`, or nullptr.
+  [[nodiscard]] const Streamlet* streamlet_of(const Impl& impl) const;
+
+  /// Resolves the port type/direction of an endpoint inside `impl`:
+  /// self ports come from the impl's own streamlet; instance ports from the
+  /// instance's implementation's streamlet. Returns nullptr if unresolvable.
+  [[nodiscard]] const Port* resolve_endpoint(const Impl& impl,
+                                             const Endpoint& ep) const;
+
+  /// Human-readable inventory (streamlets, impls, instance/connection
+  /// counts) for debugging and the quickstart example.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  ProgramRef program_;
+  std::vector<Streamlet> streamlets_;
+  std::vector<Impl> impls_;
+  std::map<std::string, std::size_t, std::less<>> streamlet_index_;
+  std::map<std::string, std::size_t, std::less<>> impl_index_;
+  std::string top_;
+};
+
+/// True if, inside an implementation, `ep` acts as a data *source*:
+/// a self `in` port or an instance `out` port.
+[[nodiscard]] bool endpoint_is_source(const lang::PortDir dir,
+                                      bool is_self_port);
+
+}  // namespace tydi::elab

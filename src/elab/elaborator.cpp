@@ -1,0 +1,813 @@
+#include "src/elab/elaborator.hpp"
+
+#include <cassert>
+
+#include "src/eval/interp.hpp"
+#include "src/support/text.hpp"
+
+namespace tydi::elab {
+
+using eval::EvalError;
+using eval::Value;
+using support::Loc;
+
+namespace {
+
+/// FNV-1a 64-bit, rendered as 8 hex chars — disambiguates mangled names whose
+/// sanitized argument spellings collide (e.g. "MED BAG" vs "MED_BAG").
+std::string short_hash(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    out[i] = digits[(h >> (i * 4)) & 0xF];
+  }
+  return out;
+}
+
+std::string display_args(const std::vector<TemplateArgValue>& args) {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const TemplateArgValue& a : args) parts.push_back(a.display());
+  return support::join(parts, ", ");
+}
+
+}  // namespace
+
+Elaborator::Elaborator(ProgramRef program, support::DiagnosticEngine& diags)
+    : program_(std::move(program)), diags_(diags), design_(program_) {
+  build_registries();
+  evaluate_global_consts();
+}
+
+void Elaborator::build_registries() {
+  assert(program_ != nullptr);
+  for (const lang::SourceFile& file : program_->files) {
+    for (const lang::Decl& d : file.decls) {
+      std::visit(
+          [this](const auto& n) {
+            using T = std::decay_t<decltype(n)>;
+            auto check_dup = [this, &n](const auto& map) {
+              if (map.contains(n.name)) {
+                diags_.error("elab",
+                             "duplicate declaration of '" + n.name + "'",
+                             n.loc);
+                return true;
+              }
+              return false;
+            };
+            if constexpr (std::is_same_v<T, lang::ConstDecl>) {
+              if (!check_dup(const_decls_)) const_decls_[n.name] = &n;
+            } else if constexpr (std::is_same_v<T, lang::TypeAliasDecl>) {
+              if (!check_dup(alias_decls_)) alias_decls_[n.name] = &n;
+            } else if constexpr (std::is_same_v<T, lang::GroupDecl>) {
+              if (!check_dup(group_decls_)) group_decls_[n.name] = &n;
+            } else if constexpr (std::is_same_v<T, lang::StreamletDecl>) {
+              if (!check_dup(streamlet_decls_)) streamlet_decls_[n.name] = &n;
+            } else if constexpr (std::is_same_v<T, lang::ImplDecl>) {
+              if (!check_dup(impl_decls_)) impl_decls_[n.name] = &n;
+            }
+          },
+          d.node);
+    }
+  }
+}
+
+void Elaborator::evaluate_global_consts() {
+  // Declaration order across files: stdlib sources come first by convention
+  // (driver concatenates them first), so user constants may reference them.
+  for (const lang::SourceFile& file : program_->files) {
+    for (const lang::Decl& d : file.decls) {
+      const auto* c = std::get_if<lang::ConstDecl>(&d.node);
+      if (c == nullptr) continue;
+      try {
+        Value v = eval::evaluate(*c->init, global_scope_);
+        if (c->declared_kind) {
+          bool matches = false;
+          switch (*c->declared_kind) {
+            case lang::ParamKind::kInt: matches = v.is_int(); break;
+            case lang::ParamKind::kFloat: matches = v.is_numeric(); break;
+            case lang::ParamKind::kString: matches = v.is_string(); break;
+            case lang::ParamKind::kBool: matches = v.is_bool(); break;
+            case lang::ParamKind::kClockdomain: matches = v.is_clock(); break;
+            default: matches = false; break;
+          }
+          if (!matches) {
+            diags_.error("elab",
+                         "constant '" + c->name + "' declared as " +
+                             std::string(lang::to_string(*c->declared_kind)) +
+                             " but initialized with " +
+                             std::string(v.type_name()),
+                         c->loc);
+            continue;
+          }
+        }
+        if (!global_scope_.define(c->name, std::move(v))) {
+          diags_.error("elab",
+                       "constant '" + c->name +
+                           "' is already defined (variables are immutable)",
+                       c->loc);
+        }
+      } catch (const EvalError& e) {
+        diags_.error("elab", e.what(), e.loc());
+      }
+    }
+  }
+}
+
+std::string Elaborator::mangle(const std::string& base,
+                               const std::vector<TemplateArgValue>& args) {
+  if (args.empty()) return base;
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const TemplateArgValue& a : args) {
+    parts.push_back(support::sanitize_identifier(a.display()));
+  }
+  std::string raw = display_args(args);
+  return base + "__" + support::join(parts, "_") + "_" + short_hash(raw);
+}
+
+types::TypeRef Elaborator::resolve_named_type(const std::string& name,
+                                              Loc loc, const Context& ctx) {
+  // 1. Template `type` parameter binding.
+  if (ctx.type_bindings != nullptr) {
+    auto it = ctx.type_bindings->find(name);
+    if (it != ctx.type_bindings->end()) return it->second;
+  }
+  // 2. Cached global named type.
+  auto cached = named_type_cache_.find(name);
+  if (cached != named_type_cache_.end()) return cached->second;
+
+  if (resolving_types_.contains(name)) {
+    diags_.error("elab", "recursive type definition involving '" + name + "'",
+                 loc);
+    return nullptr;
+  }
+  resolving_types_.insert(name);
+  types::TypeRef result;
+
+  // Global types resolve in the *global* context only (logical types cannot
+  // be templates, Sec. IV-B, so their definitions may not capture params).
+  Context global_ctx;
+  global_ctx.scope = &global_scope_;
+
+  if (auto it = alias_decls_.find(name); it != alias_decls_.end()) {
+    types::TypeRef base = resolve_type(*it->second->type, global_ctx);
+    if (base != nullptr) result = types::with_origin(base, name);
+  } else if (auto git = group_decls_.find(name); git != group_decls_.end()) {
+    const lang::GroupDecl& g = *git->second;
+    std::vector<types::Field> fields;
+    bool ok = true;
+    for (const lang::FieldDecl& f : g.fields) {
+      types::TypeRef ft = resolve_type(*f.type, global_ctx);
+      if (ft == nullptr) {
+        ok = false;
+        break;
+      }
+      fields.push_back(types::Field{f.name, std::move(ft)});
+    }
+    if (ok) {
+      result = g.is_union ? types::make_union(std::move(fields), name)
+                          : types::make_group(std::move(fields), name);
+    }
+  } else {
+    diags_.error("elab", "unknown type '" + name + "'", loc);
+  }
+  resolving_types_.erase(name);
+  if (result != nullptr) named_type_cache_[name] = result;
+  return result;
+}
+
+types::TypeRef Elaborator::resolve_type(const lang::TypeExpr& type,
+                                        const Context& ctx) {
+  try {
+    return std::visit(
+        [&](const auto& n) -> types::TypeRef {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, lang::NullTypeExpr>) {
+            return types::make_null();
+          } else if constexpr (std::is_same_v<T, lang::BitTypeExpr>) {
+            std::int64_t width = eval::evaluate_int(*n.width, *ctx.scope);
+            if (width < 0) {
+              diags_.error("elab",
+                           "Bit width must be non-negative, got " +
+                               std::to_string(width),
+                           type.loc);
+              return nullptr;
+            }
+            return types::make_bit(width);
+          } else if constexpr (std::is_same_v<T, lang::NamedTypeExpr>) {
+            return resolve_named_type(n.name, type.loc, ctx);
+          } else {  // StreamTypeExpr
+            types::TypeRef element = resolve_type(*n.element, ctx);
+            if (element == nullptr) return nullptr;
+            types::StreamParams params;
+            if (n.throughput) {
+              params.throughput = eval::evaluate_number(*n.throughput,
+                                                        *ctx.scope);
+              if (params.throughput <= 0) {
+                diags_.error("elab", "stream throughput must be positive",
+                             type.loc);
+                return nullptr;
+              }
+            }
+            if (n.dimension) {
+              std::int64_t d = eval::evaluate_int(*n.dimension, *ctx.scope);
+              if (d < 0) {
+                diags_.error("elab", "stream dimension must be >= 0",
+                             type.loc);
+                return nullptr;
+              }
+              params.dimension = static_cast<int>(d);
+            }
+            if (n.complexity) {
+              std::int64_t c = eval::evaluate_int(*n.complexity, *ctx.scope);
+              if (c < 1 || c > 8) {
+                diags_.error("elab",
+                             "stream complexity must be in 1..8, got " +
+                                 std::to_string(c),
+                             type.loc);
+                return nullptr;
+              }
+              params.complexity = static_cast<int>(c);
+            }
+            if (n.synchronicity) params.synchronicity = *n.synchronicity;
+            if (n.direction) params.direction = *n.direction;
+            if (n.user) {
+              params.user = resolve_type(*n.user, ctx);
+              if (params.user == nullptr) return nullptr;
+            }
+            return types::make_stream(std::move(element), std::move(params));
+          }
+        },
+        type.node);
+  } catch (const EvalError& e) {
+    diags_.error("elab", e.what(), e.loc());
+    return nullptr;
+  }
+}
+
+std::vector<TemplateArgValue> Elaborator::evaluate_args(
+    const std::vector<lang::TemplateArg>& args, const Context& ctx) {
+  std::vector<TemplateArgValue> out;
+  out.reserve(args.size());
+  for (const lang::TemplateArg& a : args) {
+    TemplateArgValue v;
+    switch (a.kind) {
+      case lang::TemplateArg::Kind::kExpr:
+        v.kind = TemplateArgValue::Kind::kValue;
+        try {
+          v.value = eval::evaluate(*a.expr, *ctx.scope);
+        } catch (const EvalError& e) {
+          diags_.error("elab", e.what(), e.loc());
+        }
+        break;
+      case lang::TemplateArg::Kind::kType:
+        v.kind = TemplateArgValue::Kind::kType;
+        v.type = resolve_type(*a.type, ctx);
+        break;
+      case lang::TemplateArg::Kind::kImpl:
+        v.kind = TemplateArgValue::Kind::kImpl;
+        v.impl_name = resolve_impl_ref(a.impl_name, {}, ctx, a.loc);
+        break;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+bool Elaborator::check_param_binding(const lang::TemplateParam& param,
+                                     const TemplateArgValue& arg,
+                                     const Context& ctx, Loc loc) {
+  using PK = lang::ParamKind;
+  auto mismatch = [&](std::string_view got) {
+    diags_.error("elab",
+                 "template parameter '" + param.name + "' expects " +
+                     std::string(lang::to_string(param.kind)) + ", got " +
+                     std::string(got),
+                 loc);
+    return false;
+  };
+  switch (param.kind) {
+    case PK::kInt:
+      if (arg.kind != TemplateArgValue::Kind::kValue || !arg.value.is_int()) {
+        return mismatch(arg.display());
+      }
+      return true;
+    case PK::kFloat:
+      if (arg.kind != TemplateArgValue::Kind::kValue ||
+          !arg.value.is_numeric()) {
+        return mismatch(arg.display());
+      }
+      return true;
+    case PK::kString:
+      if (arg.kind != TemplateArgValue::Kind::kValue ||
+          !arg.value.is_string()) {
+        return mismatch(arg.display());
+      }
+      return true;
+    case PK::kBool:
+      if (arg.kind != TemplateArgValue::Kind::kValue || !arg.value.is_bool()) {
+        return mismatch(arg.display());
+      }
+      return true;
+    case PK::kClockdomain:
+      if (arg.kind != TemplateArgValue::Kind::kValue ||
+          !arg.value.is_clock()) {
+        return mismatch(arg.display());
+      }
+      return true;
+    case PK::kType:
+      if (arg.kind != TemplateArgValue::Kind::kType || arg.type == nullptr) {
+        return mismatch(arg.display());
+      }
+      return true;
+    case PK::kImpl: {
+      if (arg.kind != TemplateArgValue::Kind::kImpl || arg.impl_name.empty()) {
+        return mismatch(arg.display());
+      }
+      const Impl* supplied = design_.find_impl(arg.impl_name);
+      if (supplied == nullptr) {
+        return mismatch("unresolved impl '" + arg.impl_name + "'");
+      }
+      // `impl of <streamlet>` constraint: family must match; if the
+      // constraint supplies arguments, the exact streamlet instance must
+      // match (Sec. IV-B: "the streamlet template only accepts
+      // implementations derived from that streamlet").
+      if (supplied->streamlet_family != param.impl_of_streamlet) {
+        diags_.error("elab",
+                     "impl '" + supplied->display_name + "' derives from '" +
+                         supplied->streamlet_family +
+                         "' but template parameter '" + param.name +
+                         "' requires an impl of '" + param.impl_of_streamlet +
+                         "'",
+                     loc);
+        return false;
+      }
+      if (!param.impl_of_args.empty()) {
+        auto sit = streamlet_decls_.find(param.impl_of_streamlet);
+        if (sit == streamlet_decls_.end()) {
+          diags_.error("elab",
+                       "unknown streamlet '" + param.impl_of_streamlet +
+                           "' in impl constraint",
+                       param.loc);
+          return false;
+        }
+        std::vector<TemplateArgValue> cargs =
+            evaluate_args(param.impl_of_args, ctx);
+        std::string expected =
+            elaborate_streamlet(*sit->second, cargs, param.loc);
+        if (!expected.empty() && supplied->streamlet_name != expected) {
+          diags_.error(
+              "elab",
+              "impl '" + supplied->display_name + "' implements streamlet '" +
+                  supplied->streamlet_name + "' but parameter '" + param.name +
+                  "' requires '" + expected + "'",
+              loc);
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Elaborator::elaborate_streamlet(
+    const lang::StreamletDecl& decl, const std::vector<TemplateArgValue>& args,
+    Loc use_loc) {
+  std::string mangled = mangle(decl.name, args);
+  if (design_.find_streamlet(mangled) != nullptr) return mangled;
+
+  if (args.size() != decl.params.size()) {
+    diags_.error("elab",
+                 "streamlet '" + decl.name + "' expects " +
+                     std::to_string(decl.params.size()) + " argument(s), got " +
+                     std::to_string(args.size()),
+                 use_loc);
+    return {};
+  }
+
+  eval::Scope scope(&global_scope_);
+  std::map<std::string, types::TypeRef> type_bindings;
+  Context ctx;
+  ctx.scope = &scope;
+  ctx.type_bindings = &type_bindings;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const lang::TemplateParam& p = decl.params[i];
+    if (p.kind == lang::ParamKind::kImpl) {
+      diags_.error("elab",
+                   "streamlet templates cannot take impl parameters ('" +
+                       p.name + "' in '" + decl.name + "')",
+                   p.loc);
+      return {};
+    }
+    if (!check_param_binding(p, args[i], ctx, use_loc)) return {};
+    if (p.kind == lang::ParamKind::kType) {
+      type_bindings[p.name] = args[i].type;
+    } else {
+      scope.define(p.name, args[i].value);
+    }
+  }
+
+  Streamlet s;
+  s.name = mangled;
+  s.display_name = args.empty()
+                       ? decl.name
+                       : decl.name + "<" + display_args(args) + ">";
+  s.loc = decl.loc;
+
+  for (const lang::PortDecl& pd : decl.ports) {
+    types::TypeRef t = resolve_type(*pd.type, ctx);
+    if (t == nullptr) continue;
+    if (!t->is_stream()) {
+      diags_.error("elab",
+                   "port '" + pd.name + "' of streamlet '" + decl.name +
+                       "' must bind to a Stream type, got " + t->to_display(),
+                   pd.loc);
+      continue;
+    }
+    std::string clock = "default";
+    if (pd.clock_domain) {
+      if (auto v = scope.lookup(*pd.clock_domain)) {
+        if (v->is_clock()) {
+          clock = v->as_clock().name;
+        } else {
+          diags_.error("elab",
+                       "'" + *pd.clock_domain +
+                           "' used as clock domain but has type " +
+                           std::string(v->type_name()),
+                       pd.loc);
+        }
+      } else {
+        // Bare clock-domain labels are permitted: `@ sys_clk` names the
+        // domain directly without declaring a clockdomain constant.
+        clock = *pd.clock_domain;
+      }
+    }
+    std::int64_t count = -1;  // scalar
+    if (pd.array_size) {
+      try {
+        count = eval::evaluate_int(*pd.array_size, scope);
+      } catch (const EvalError& e) {
+        diags_.error("elab", e.what(), e.loc());
+        continue;
+      }
+      if (count < 0) {
+        diags_.error("elab", "port array size must be >= 0", pd.loc);
+        continue;
+      }
+    }
+    auto add_port = [&](const std::string& port_name) {
+      if (s.find_port(port_name) != nullptr) {
+        diags_.error("elab",
+                     "duplicate port '" + port_name + "' in streamlet '" +
+                         decl.name + "'",
+                     pd.loc);
+        return;
+      }
+      Port p;
+      p.name = port_name;
+      p.type = t;
+      p.dir = pd.dir;
+      p.clock_domain = clock;
+      p.loc = pd.loc;
+      s.ports.push_back(std::move(p));
+    };
+    if (count < 0) {
+      add_port(pd.name);
+    } else {
+      for (std::int64_t i = 0; i < count; ++i) {
+        add_port(pd.name + "_" + std::to_string(i));
+      }
+    }
+  }
+
+  design_.add_streamlet(std::move(s));
+  return mangled;
+}
+
+std::string Elaborator::resolve_impl_ref(
+    const std::string& name, const std::vector<lang::TemplateArg>& args,
+    const Context& ctx, Loc loc) {
+  // Impl-parameter binding (already elaborated and concrete).
+  if (ctx.impl_bindings != nullptr) {
+    auto it = ctx.impl_bindings->find(name);
+    if (it != ctx.impl_bindings->end()) {
+      if (!args.empty()) {
+        diags_.error("elab",
+                     "impl parameter '" + name +
+                         "' is already concrete and takes no arguments",
+                     loc);
+        return {};
+      }
+      return it->second;
+    }
+  }
+  auto it = impl_decls_.find(name);
+  if (it == impl_decls_.end()) {
+    diags_.error("elab", "unknown impl '" + name + "'", loc);
+    return {};
+  }
+  std::vector<TemplateArgValue> evaluated = evaluate_args(args, ctx);
+  return elaborate_impl(*it->second, evaluated, loc);
+}
+
+std::string Elaborator::elaborate_impl(
+    const lang::ImplDecl& decl, const std::vector<TemplateArgValue>& args,
+    Loc use_loc) {
+  std::string mangled = mangle(decl.name, args);
+  if (design_.find_impl(mangled) != nullptr) return mangled;
+  if (impls_in_progress_.contains(mangled)) {
+    diags_.error("elab",
+                 "recursive instantiation of impl '" + decl.name + "'",
+                 use_loc);
+    return {};
+  }
+  if (args.size() != decl.params.size()) {
+    diags_.error("elab",
+                 "impl '" + decl.name + "' expects " +
+                     std::to_string(decl.params.size()) + " argument(s), got " +
+                     std::to_string(args.size()),
+                 use_loc);
+    return {};
+  }
+  impls_in_progress_.insert(mangled);
+
+  eval::Scope scope(&global_scope_);
+  std::map<std::string, types::TypeRef> type_bindings;
+  std::map<std::string, std::string> impl_bindings;
+  Context ctx;
+  ctx.scope = &scope;
+  ctx.type_bindings = &type_bindings;
+  ctx.impl_bindings = &impl_bindings;
+
+  std::map<std::string, eval::Value> captured;
+
+  bool params_ok = true;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const lang::TemplateParam& p = decl.params[i];
+    if (!check_param_binding(p, args[i], ctx, use_loc)) {
+      params_ok = false;
+      continue;
+    }
+    switch (p.kind) {
+      case lang::ParamKind::kType:
+        type_bindings[p.name] = args[i].type;
+        break;
+      case lang::ParamKind::kImpl:
+        impl_bindings[p.name] = args[i].impl_name;
+        break;
+      default:
+        scope.define(p.name, args[i].value);
+        captured.emplace(p.name, args[i].value);
+        break;
+    }
+  }
+  if (!params_ok) {
+    impls_in_progress_.erase(mangled);
+    return {};
+  }
+
+  Impl impl;
+  impl.name = mangled;
+  impl.display_name =
+      args.empty() ? decl.name : decl.name + "<" + display_args(args) + ">";
+  impl.template_name = decl.name;
+  impl.template_args = args;
+  impl.external = decl.external;
+  impl.streamlet_family = decl.of_streamlet;
+  impl.loc = decl.loc;
+
+  // Elaborate the streamlet this impl derives from.
+  auto sit = streamlet_decls_.find(decl.of_streamlet);
+  if (sit == streamlet_decls_.end()) {
+    diags_.error("elab", "unknown streamlet '" + decl.of_streamlet + "'",
+                 decl.loc);
+    impls_in_progress_.erase(mangled);
+    return {};
+  }
+  std::vector<TemplateArgValue> of_args = evaluate_args(decl.of_args, ctx);
+  impl.streamlet_name = elaborate_streamlet(*sit->second, of_args, decl.loc);
+  if (impl.streamlet_name.empty()) {
+    impls_in_progress_.erase(mangled);
+    return {};
+  }
+
+  if (decl.external) {
+    // External implementations carry no netlist; their behaviour comes from
+    // a sim block (Sec. V-A) and their RTL from the stdlib generator.
+    for (const lang::ImplStmt& s : decl.body) {
+      if (const auto* c = std::get_if<lang::LocalConst>(&s.node)) {
+        try {
+          Value v = eval::evaluate(*c->init, scope);
+          captured.emplace(c->name, v);
+          if (!scope.define(c->name, std::move(v))) {
+            diags_.error("elab",
+                         "'" + c->name + "' is already defined "
+                         "(variables are immutable)",
+                         c->loc);
+          }
+        } catch (const EvalError& e) {
+          diags_.error("elab", e.what(), e.loc());
+        }
+      } else if (const auto* a = std::get_if<lang::AssertStmt>(&s.node)) {
+        try {
+          if (!eval::evaluate_bool(*a->cond, scope)) {
+            diags_.error("elab",
+                         a->message.empty()
+                             ? std::string("assertion failed")
+                             : "assertion failed: " + a->message,
+                         a->loc);
+          }
+        } catch (const EvalError& e) {
+          diags_.error("elab", e.what(), e.loc());
+        }
+      } else {
+        diags_.error("elab",
+                     "external impl '" + decl.name +
+                         "' may only contain consts, asserts and a sim block",
+                     decl.loc);
+      }
+    }
+  } else {
+    walk_stmts(decl.body, impl, scope, ctx, captured);
+  }
+
+  if (decl.sim) {
+    SimProgram sim;
+    sim.block = &*decl.sim;
+    sim.captured = captured;
+    impl.sim = std::move(sim);
+  }
+
+  impls_in_progress_.erase(mangled);
+  design_.add_impl(std::move(impl));
+  return mangled;
+}
+
+Endpoint Elaborator::resolve_port_ref(const lang::PortRef& ref,
+                                      const Context& ctx) {
+  Endpoint ep;
+  ep.loc = ref.loc;
+  try {
+    if (ref.instance) {
+      ep.instance = *ref.instance;
+      if (ref.instance_index) {
+        std::int64_t i = eval::evaluate_int(*ref.instance_index, *ctx.scope);
+        ep.instance += "_" + std::to_string(i);
+      }
+    }
+    ep.port = ref.port;
+    if (ref.port_index) {
+      std::int64_t i = eval::evaluate_int(*ref.port_index, *ctx.scope);
+      ep.port += "_" + std::to_string(i);
+    }
+  } catch (const EvalError& e) {
+    diags_.error("elab", e.what(), e.loc());
+  }
+  return ep;
+}
+
+void Elaborator::walk_stmts(const std::vector<lang::ImplStmt>& stmts,
+                            Impl& impl, eval::Scope& scope,
+                            const Context& parent_ctx,
+                            std::map<std::string, eval::Value>& captured) {
+  Context ctx = parent_ctx;
+  ctx.scope = &scope;
+
+  for (const lang::ImplStmt& stmt : stmts) {
+    std::visit(
+        [&](const auto& n) {
+          using T = std::decay_t<decltype(n)>;
+          try {
+            if constexpr (std::is_same_v<T, lang::InstanceStmt>) {
+              std::int64_t count = -1;
+              if (n.array_size) {
+                count = eval::evaluate_int(*n.array_size, scope);
+                if (count < 0) {
+                  diags_.error("elab", "instance array size must be >= 0",
+                               n.loc);
+                  return;
+                }
+              }
+              std::string base_name = n.name;
+              if (n.name_index) {
+                if (n.array_size) {
+                  diags_.error("elab",
+                               "instance '" + n.name + "' cannot have both "
+                               "an explicit index and an array size",
+                               n.loc);
+                  return;
+                }
+                std::int64_t i = eval::evaluate_int(*n.name_index, scope);
+                base_name += "_" + std::to_string(i);
+              }
+              std::string child = resolve_impl_ref(n.impl_name, n.args, ctx,
+                                                   n.loc);
+              if (child.empty()) return;
+              auto add_instance = [&](const std::string& inst_name) {
+                if (impl.find_instance(inst_name) != nullptr) {
+                  diags_.error("elab",
+                               "duplicate instance '" + inst_name + "' in '" +
+                                   impl.display_name + "'",
+                               n.loc);
+                  return;
+                }
+                impl.instances.push_back(Instance{inst_name, child, n.loc});
+              };
+              if (count < 0) {
+                add_instance(base_name);
+              } else {
+                for (std::int64_t i = 0; i < count; ++i) {
+                  add_instance(base_name + "_" + std::to_string(i));
+                }
+              }
+            } else if constexpr (std::is_same_v<T, lang::ConnectStmt>) {
+              Connection c;
+              c.src = resolve_port_ref(n.src, ctx);
+              c.dst = resolve_port_ref(n.dst, ctx);
+              c.structural = n.structural;
+              c.loc = n.loc;
+              impl.connections.push_back(std::move(c));
+            } else if constexpr (std::is_same_v<T, lang::ForStmt>) {
+              Value iterable = eval::evaluate(*n.iterable, scope);
+              if (!iterable.is_array()) {
+                diags_.error("elab",
+                             "for-loop iterable must be an array or range, "
+                             "got " +
+                                 std::string(iterable.type_name()),
+                             n.loc);
+                return;
+              }
+              for (const Value& element : iterable.as_array()) {
+                eval::Scope body_scope(&scope);
+                body_scope.define(n.var, element);
+                walk_stmts(n.body, impl, body_scope, ctx, captured);
+              }
+            } else if constexpr (std::is_same_v<T, lang::IfStmt>) {
+              bool cond = eval::evaluate_bool(*n.cond, scope);
+              const auto& branch = cond ? n.then_body : n.else_body;
+              eval::Scope body_scope(&scope);
+              walk_stmts(branch, impl, body_scope, ctx, captured);
+            } else if constexpr (std::is_same_v<T, lang::AssertStmt>) {
+              if (!eval::evaluate_bool(*n.cond, scope)) {
+                diags_.error("elab",
+                             n.message.empty()
+                                 ? std::string("assertion failed")
+                                 : "assertion failed: " + n.message,
+                             n.loc);
+              }
+            } else if constexpr (std::is_same_v<T, lang::LocalConst>) {
+              Value v = eval::evaluate(*n.init, scope);
+              captured.emplace(n.name, v);
+              if (!scope.define(n.name, std::move(v))) {
+                diags_.error("elab",
+                             "'" + n.name + "' is already defined in this "
+                             "scope (variables are immutable; shadow in an "
+                             "inner scope instead)",
+                             n.loc);
+              }
+            }
+          } catch (const EvalError& e) {
+            diags_.error("elab", e.what(), e.loc());
+          }
+        },
+        stmt.node);
+  }
+}
+
+Design Elaborator::run(const std::string& top_impl) {
+  auto it = impl_decls_.find(top_impl);
+  if (it == impl_decls_.end()) {
+    diags_.error("elab", "unknown top impl '" + top_impl + "'", {});
+    return std::move(design_);
+  }
+  if (!it->second->params.empty()) {
+    diags_.error("elab",
+                 "top impl '" + top_impl +
+                     "' is a template; instantiate it from a concrete "
+                     "wrapper impl",
+                 it->second->loc);
+    return std::move(design_);
+  }
+  std::string mangled = elaborate_impl(*it->second, {}, it->second->loc);
+  design_.set_top(mangled);
+  return std::move(design_);
+}
+
+Design Elaborator::run_all() {
+  for (const auto& [name, decl] : impl_decls_) {
+    if (decl->params.empty()) {
+      (void)elaborate_impl(*decl, {}, decl->loc);
+    }
+  }
+  return std::move(design_);
+}
+
+}  // namespace tydi::elab

@@ -1,0 +1,101 @@
+// The elaborator: AST -> Design (Fig. 3 "evaluation" + "code expansion &
+// evaluation" stages).
+//
+// Responsibilities:
+//  - evaluate global constants (immutable, in declaration order)
+//  - resolve logical types (Group/Union/alias/Bit/Stream) to types::TypeRef
+//  - monomorphise streamlet/impl templates (name mangling per argument list)
+//  - check template argument kinds, including `impl of <streamlet>`
+//    constraints (Sec. IV-B)
+//  - expand generative `for`/`if`, evaluate `assert`
+//  - expand port/instance arrays to scalars
+//  - capture simulation programs of external impls
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/elab/design.hpp"
+#include "src/eval/scope.hpp"
+#include "src/support/diagnostic.hpp"
+
+namespace tydi::elab {
+
+class Elaborator {
+ public:
+  Elaborator(ProgramRef program, support::DiagnosticEngine& diags);
+
+  /// Elaborates the design rooted at `top_impl` (must name a non-template
+  /// impl). On errors a partial Design is returned; check diags.
+  [[nodiscard]] Design run(const std::string& top_impl);
+
+  /// Elaborates every non-template impl in the program (used by tests and
+  /// by library-wide checks); top is left empty unless `top_impl` is given.
+  [[nodiscard]] Design run_all();
+
+ private:
+  struct Context {
+    eval::Scope* scope = nullptr;
+    const std::map<std::string, types::TypeRef>* type_bindings = nullptr;
+    const std::map<std::string, std::string>* impl_bindings = nullptr;
+  };
+
+  ProgramRef program_;
+  support::DiagnosticEngine& diags_;
+  Design design_;
+  eval::Scope global_scope_;
+
+  std::map<std::string, const lang::ConstDecl*> const_decls_;
+  std::map<std::string, const lang::TypeAliasDecl*> alias_decls_;
+  std::map<std::string, const lang::GroupDecl*> group_decls_;
+  std::map<std::string, const lang::StreamletDecl*> streamlet_decls_;
+  std::map<std::string, const lang::ImplDecl*> impl_decls_;
+
+  std::map<std::string, types::TypeRef> named_type_cache_;
+  std::set<std::string> resolving_types_;
+  std::set<std::string> impls_in_progress_;
+
+  void build_registries();
+  void evaluate_global_consts();
+
+  [[nodiscard]] types::TypeRef resolve_type(const lang::TypeExpr& type,
+                                            const Context& ctx);
+  [[nodiscard]] types::TypeRef resolve_named_type(const std::string& name,
+                                                  support::Loc loc,
+                                                  const Context& ctx);
+
+  [[nodiscard]] std::vector<TemplateArgValue> evaluate_args(
+      const std::vector<lang::TemplateArg>& args, const Context& ctx);
+
+  /// Returns the mangled name ("" on failure).
+  std::string elaborate_streamlet(const lang::StreamletDecl& decl,
+                                  const std::vector<TemplateArgValue>& args,
+                                  support::Loc use_loc);
+  std::string elaborate_impl(const lang::ImplDecl& decl,
+                             const std::vector<TemplateArgValue>& args,
+                             support::Loc use_loc);
+
+  /// Resolves an impl name appearing as an instance target or an `impl`
+  /// template argument: either an impl-parameter binding or a global impl
+  /// declaration (elaborated with `args`). Returns mangled name or "".
+  std::string resolve_impl_ref(const std::string& name,
+                               const std::vector<lang::TemplateArg>& args,
+                               const Context& ctx, support::Loc loc);
+
+  bool check_param_binding(const lang::TemplateParam& param,
+                           const TemplateArgValue& arg, const Context& ctx,
+                           support::Loc loc);
+
+  void walk_stmts(const std::vector<lang::ImplStmt>& stmts, Impl& impl,
+                  eval::Scope& scope, const Context& parent_ctx,
+                  std::map<std::string, eval::Value>& captured);
+
+  [[nodiscard]] Endpoint resolve_port_ref(const lang::PortRef& ref,
+                                          const Context& ctx);
+
+  [[nodiscard]] static std::string mangle(
+      const std::string& base, const std::vector<TemplateArgValue>& args);
+};
+
+}  // namespace tydi::elab

@@ -1,0 +1,23 @@
+#include "src/eval/scope.hpp"
+
+namespace tydi::eval {
+
+bool Scope::define(const std::string& name, Value value) {
+  auto [it, inserted] = bindings_.emplace(name, std::move(value));
+  (void)it;
+  return inserted;
+}
+
+std::optional<Value> Scope::lookup(const std::string& name) const {
+  for (const Scope* s = this; s != nullptr; s = s->parent_) {
+    auto it = s->bindings_.find(name);
+    if (it != s->bindings_.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+bool Scope::defined_here(const std::string& name) const {
+  return bindings_.contains(name);
+}
+
+}  // namespace tydi::eval

@@ -1,0 +1,38 @@
+// Lexical scopes with immutable bindings and shadowing (Sec. IV-A: "all
+// variables must be immutable. Variable shadowing is possible").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/eval/value.hpp"
+
+namespace tydi::eval {
+
+class Scope {
+ public:
+  /// Root scope.
+  Scope() = default;
+  /// Child scope; `parent` must outlive the child.
+  explicit Scope(const Scope* parent) : parent_(parent) {}
+
+  /// Binds `name` to `value`. Returns false if `name` is already bound in
+  /// *this* scope (immutability); shadowing an outer binding is allowed.
+  bool define(const std::string& name, Value value);
+
+  /// Looks `name` up through the scope chain.
+  [[nodiscard]] std::optional<Value> lookup(const std::string& name) const;
+
+  /// True if `name` is bound in this scope (not parents).
+  [[nodiscard]] bool defined_here(const std::string& name) const;
+
+  [[nodiscard]] const Scope* parent() const { return parent_; }
+
+ private:
+  const Scope* parent_ = nullptr;
+  std::map<std::string, Value> bindings_;
+};
+
+}  // namespace tydi::eval

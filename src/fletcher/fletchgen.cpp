@@ -1,0 +1,45 @@
+#include "src/fletcher/fletchgen.hpp"
+
+#include "src/support/text.hpp"
+
+namespace tydi::fletcher {
+
+std::string column_type_name(const Schema& schema, const Column& column) {
+  return "t_" + schema.name + "_" + column.name;
+}
+
+std::string generate_interface(const Schema& schema,
+                               const FletchgenOptions& options) {
+  support::CodeWriter w;
+  w.line("// interface for Arrow schema '" + schema.name +
+         "' (generated, Fletcher-style)");
+  for (const Column& c : schema.columns) {
+    w.line("type " + column_type_name(schema, c) + " = Stream(Bit(" +
+           std::to_string(c.bit_width()) + "), d=" +
+           std::to_string(options.dimension) + ", c=" +
+           std::to_string(options.complexity) + ");");
+  }
+  w.open("streamlet " + schema.name + "_reader_s {");
+  for (const Column& c : schema.columns) {
+    bool is_pk = schema.is_primary_key(c.name);
+    w.line(c.name + ": " + column_type_name(schema, c) +
+           (is_pk ? " in," : " out,"));
+  }
+  w.close("}");
+  w.line("impl " + schema.name + "_reader_i of " + schema.name +
+         "_reader_s @ external {");
+  w.line("}");
+  return w.take();
+}
+
+std::string generate_interfaces(const std::vector<Schema>& schemas,
+                                const FletchgenOptions& options) {
+  std::string out = "package fletcher;\n";
+  for (const Schema& s : schemas) {
+    out += "\n";
+    out += generate_interface(s, options);
+  }
+  return out;
+}
+
+}  // namespace tydi::fletcher

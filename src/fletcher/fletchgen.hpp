@@ -1,0 +1,42 @@
+// Fletcher interface generator: Arrow schema -> Tydi-lang declarations.
+//
+// For each table the generator emits
+//  - one named stream type alias per column (`t_<table>_<column>`), so
+//    query code and reader ports share the same *named* logical type and
+//    the strict type-equality DRC passes across component boundaries;
+//  - a `<table>_reader_s` streamlet whose primary-key columns are input
+//    ports and whose data columns are output ports;
+//  - an external `<table>_reader_i` impl (the memory-access component that
+//    Fletcher would realize in hardware).
+//
+// The LoC of this generated text is the Table IV "Fletcher part" (LoCf).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/fletcher/schema.hpp"
+
+namespace tydi::fletcher {
+
+struct FletchgenOptions {
+  /// Stream dimension of column streams (1: a sequence of row values).
+  int dimension = 1;
+  /// Protocol complexity of the generated readers.
+  int complexity = 2;
+};
+
+/// Tydi-lang interface for a single table.
+[[nodiscard]] std::string generate_interface(const Schema& schema,
+                                             const FletchgenOptions& options);
+
+/// Interfaces for several tables in one source file (package fletcher).
+[[nodiscard]] std::string generate_interfaces(
+    const std::vector<Schema>& schemas, const FletchgenOptions& options);
+
+/// Name of the column stream type alias used by generated interfaces and
+/// by query code: `t_<table>_<column>`.
+[[nodiscard]] std::string column_type_name(const Schema& schema,
+                                           const Column& column);
+
+}  // namespace tydi::fletcher

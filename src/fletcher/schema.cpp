@@ -1,0 +1,53 @@
+#include "src/fletcher/schema.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tydi::fletcher {
+
+std::string_view to_string(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt32: return "int32";
+    case ColumnType::kInt64: return "int64";
+    case ColumnType::kDecimal: return "decimal";
+    case ColumnType::kDate: return "date";
+    case ColumnType::kFixedUtf8: return "utf8";
+  }
+  return "?";
+}
+
+std::int64_t Column::bit_width() const {
+  switch (type) {
+    case ColumnType::kInt32:
+      return 32;
+    case ColumnType::kInt64:
+      return 64;
+    case ColumnType::kDecimal: {
+      // Bit(ceil(log2(10 ** precision - 1))): digits after the point are a
+      // software-level annotation only (decimal(10,2) == decimal(10) on
+      // hardware, Sec. IV-A).
+      int p = precision > 0 ? precision : 15;
+      return static_cast<std::int64_t>(
+          std::ceil(std::log2(std::pow(10.0, p) - 1.0)));
+    }
+    case ColumnType::kDate:
+      return 32;
+    case ColumnType::kFixedUtf8:
+      return static_cast<std::int64_t>(fixed_length) * 8;
+  }
+  return 0;
+}
+
+const Column* Schema::find_column(std::string_view column_name) const {
+  for (const Column& c : columns) {
+    if (c.name == column_name) return &c;
+  }
+  return nullptr;
+}
+
+bool Schema::is_primary_key(std::string_view column_name) const {
+  return std::find(primary_keys.begin(), primary_keys.end(), column_name) !=
+         primary_keys.end();
+}
+
+}  // namespace tydi::fletcher

@@ -1,0 +1,51 @@
+// Arrow-like schema model — the substrate for the Fletcher integration.
+//
+// Fletcher ([10] in the paper) generates hardware components that stream
+// Apache Arrow columnar data from host memory into the FPGA. The paper's
+// evaluation did not run Fletcher either ("we manually write the interface
+// for Fletcher components"); this module reproduces exactly that step:
+// given a schema, emit the Tydi-lang interface declarations for the memory
+// access components (see fletchgen.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tydi::fletcher {
+
+/// Arrow-ish column types used by TPC-H.
+enum class ColumnType {
+  kInt32,
+  kInt64,
+  kDecimal,     ///< decimal(precision, scale), bit width = ceil(log2(10^p))
+  kDate,        ///< days since epoch, 32 bits
+  kFixedUtf8,   ///< fixed-width CHAR(n), n * 8 bits
+};
+
+[[nodiscard]] std::string_view to_string(ColumnType t);
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  int precision = 0;     ///< kDecimal
+  int scale = 0;         ///< kDecimal (hardware-equivalent per Sec. IV-A)
+  int fixed_length = 0;  ///< kFixedUtf8: characters
+
+  /// Hardware bits required for one value (the paper's
+  /// `Bit(ceil(log2(10 ** precision - 1)))` rule for decimals).
+  [[nodiscard]] std::int64_t bit_width() const;
+};
+
+struct Schema {
+  std::string name;  ///< table name, e.g. "lineitem"
+  std::vector<Column> columns;
+  /// Primary-key columns become *input* ports of the reader ("The primary
+  /// keys in the TPC-H dataframe will be treated as input ports", Sec. VI).
+  std::vector<std::string> primary_keys;
+
+  [[nodiscard]] const Column* find_column(std::string_view name) const;
+  [[nodiscard]] bool is_primary_key(std::string_view name) const;
+};
+
+}  // namespace tydi::fletcher

@@ -1,0 +1,70 @@
+// Tydi-IR — the compiler's output artifact ([2] in the paper).
+//
+// Tydi-IR describes the *fully monomorphised* design: concrete streamlets
+// (port maps bound to stream types), implementations (instances +
+// connections), and external implementations. This module provides a small
+// IR data model lowered from the elaborated Design, and a deterministic
+// textual emitter. The VHDL backend consumes the Design directly; the IR
+// text is what `tydic` writes as its primary output, mirroring the two-step
+// toolchain of Fig. 1 (frontend -> Tydi-IR -> backend -> VHDL).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/elab/design.hpp"
+
+namespace tydi::ir {
+
+struct IrPort {
+  std::string name;
+  std::string direction;  // "in" / "out"
+  std::string type;       // logical type display form
+  std::string clock_domain;
+};
+
+struct IrStreamlet {
+  std::string name;
+  std::string doc;  // original template spelling
+  std::vector<IrPort> ports;
+};
+
+struct IrInstance {
+  std::string name;
+  std::string impl;
+};
+
+struct IrConnection {
+  std::string src;
+  std::string dst;
+  bool structural = false;
+};
+
+struct IrImpl {
+  std::string name;
+  std::string doc;
+  std::string streamlet;
+  bool external = false;
+  std::string template_family;           // for external stdlib generation
+  std::vector<std::string> template_args;
+  std::vector<IrInstance> instances;
+  std::vector<IrConnection> connections;
+  bool has_simulation = false;
+};
+
+struct Module {
+  std::string top;
+  std::vector<IrStreamlet> streamlets;
+  std::vector<IrImpl> impls;
+};
+
+/// Lowers an elaborated design to the IR model.
+[[nodiscard]] Module lower(const elab::Design& design);
+
+/// Emits the IR model as deterministic Tydi-IR text.
+[[nodiscard]] std::string emit(const Module& module);
+
+/// Convenience: lower + emit.
+[[nodiscard]] std::string emit(const elab::Design& design);
+
+}  // namespace tydi::ir

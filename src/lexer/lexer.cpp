@@ -1,0 +1,359 @@
+#include "src/lexer/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+namespace tydi::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"package", TokenKind::kKwPackage},
+      {"import", TokenKind::kKwImport},
+      {"const", TokenKind::kKwConst},
+      {"type", TokenKind::kKwType},
+      {"Group", TokenKind::kKwGroup},
+      {"Union", TokenKind::kKwUnion},
+      {"streamlet", TokenKind::kKwStreamlet},
+      {"impl", TokenKind::kKwImpl},
+      {"of", TokenKind::kKwOf},
+      {"external", TokenKind::kKwExternal},
+      {"instance", TokenKind::kKwInstance},
+      {"for", TokenKind::kKwFor},
+      {"in", TokenKind::kKwIn},
+      {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},
+      {"assert", TokenKind::kKwAssert},
+      {"sim", TokenKind::kKwSim},
+      {"state", TokenKind::kKwState},
+      {"on", TokenKind::kKwOn},
+      {"set", TokenKind::kKwSet},
+      {"int", TokenKind::kKwInt},
+      {"float", TokenKind::kKwFloat},
+      {"string", TokenKind::kKwString},
+      {"bool", TokenKind::kKwBool},
+      {"clockdomain", TokenKind::kKwClockdomain},
+      {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},
+      {"Null", TokenKind::kKwNull},
+      {"Bit", TokenKind::kKwBit},
+      {"Stream", TokenKind::kKwStream},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kKwPackage: return "'package'";
+    case TokenKind::kKwImport: return "'import'";
+    case TokenKind::kKwConst: return "'const'";
+    case TokenKind::kKwType: return "'type'";
+    case TokenKind::kKwGroup: return "'Group'";
+    case TokenKind::kKwUnion: return "'Union'";
+    case TokenKind::kKwStreamlet: return "'streamlet'";
+    case TokenKind::kKwImpl: return "'impl'";
+    case TokenKind::kKwOf: return "'of'";
+    case TokenKind::kKwExternal: return "'external'";
+    case TokenKind::kKwInstance: return "'instance'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwIn: return "'in'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwAssert: return "'assert'";
+    case TokenKind::kKwSim: return "'sim'";
+    case TokenKind::kKwState: return "'state'";
+    case TokenKind::kKwOn: return "'on'";
+    case TokenKind::kKwSet: return "'set'";
+    case TokenKind::kKwInt: return "'int'";
+    case TokenKind::kKwFloat: return "'float'";
+    case TokenKind::kKwString: return "'string'";
+    case TokenKind::kKwBool: return "'bool'";
+    case TokenKind::kKwClockdomain: return "'clockdomain'";
+    case TokenKind::kKwTrue: return "'true'";
+    case TokenKind::kKwFalse: return "'false'";
+    case TokenKind::kKwNull: return "'Null'";
+    case TokenKind::kKwBit: return "'Bit'";
+    case TokenKind::kKwStream: return "'Stream'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kNotEq: return "'!='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kStarStar: return "'**'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAmpAmp: return "'&&'";
+    case TokenKind::kPipePipe: return "'||'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kFatArrow: return "'=>'";
+    case TokenKind::kThinArrow: return "'->'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kError: return "invalid token";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string_view text, support::FileId file)
+    : text_(text), file_(file) {}
+
+char Lexer::peek(std::uint32_t ahead) const {
+  return (pos_ + ahead < text_.size()) ? text_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  return at_end() ? '\0' : text_[pos_++];
+}
+
+void Lexer::skip_trivia() {
+  while (!at_end()) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++pos_;
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') ++pos_;
+    } else if (c == '/' && peek(1) == '*') {
+      pos_ += 2;
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) ++pos_;
+      if (!at_end()) pos_ += 2;  // consume "*/"; unterminated hits EOF safely
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::make(TokenKind kind, support::Loc loc, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.loc = loc;
+  t.text = std::move(text);
+  return t;
+}
+
+Token Lexer::lex_identifier_or_keyword(support::Loc start) {
+  std::uint32_t begin = pos_;
+  while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+                       peek() == '_')) {
+    ++pos_;
+  }
+  std::string_view spelling = text_.substr(begin, pos_ - begin);
+  auto it = keyword_table().find(spelling);
+  if (it != keyword_table().end()) {
+    return make(it->second, start, std::string(spelling));
+  }
+  return make(TokenKind::kIdentifier, start, std::string(spelling));
+}
+
+Token Lexer::lex_number(support::Loc start) {
+  std::uint32_t begin = pos_;
+  int base = 10;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    base = 16;
+    pos_ += 2;
+    begin = pos_;
+    while (std::isxdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+  } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
+    base = 2;
+    pos_ += 2;
+    begin = pos_;
+    while (peek() == '0' || peek() == '1') ++pos_;
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    // A '.' only continues the number if followed by a digit — otherwise it
+    // is the start of '..' (range) or member access.
+    bool is_float = false;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0) {
+      is_float = true;
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      std::uint32_t save = pos_;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        is_float = true;
+        while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+      } else {
+        pos_ = save;  // 'e' belongs to a following identifier
+      }
+    }
+    std::string spelling(text_.substr(begin, pos_ - begin));
+    if (is_float) {
+      Token t = make(TokenKind::kFloatLiteral, start, spelling);
+      t.float_value = std::strtod(spelling.c_str(), nullptr);
+      return t;
+    }
+    Token t = make(TokenKind::kIntLiteral, start, spelling);
+    std::from_chars(spelling.data(), spelling.data() + spelling.size(),
+                    t.int_value, 10);
+    return t;
+  }
+  std::string spelling(text_.substr(begin, pos_ - begin));
+  if (spelling.empty()) {
+    return make(TokenKind::kError, start, "missing digits after base prefix");
+  }
+  Token t = make(TokenKind::kIntLiteral, start, spelling);
+  std::from_chars(spelling.data(), spelling.data() + spelling.size(),
+                  t.int_value, base);
+  return t;
+}
+
+Token Lexer::lex_string(support::Loc start) {
+  ++pos_;  // opening quote
+  std::string value;
+  while (!at_end() && peek() != '"') {
+    char c = advance();
+    if (c == '\\' && !at_end()) {
+      char esc = advance();
+      switch (esc) {
+        case 'n': value += '\n'; break;
+        case 't': value += '\t'; break;
+        case '\\': value += '\\'; break;
+        case '"': value += '"'; break;
+        default: value += esc; break;
+      }
+    } else if (c == '\n') {
+      return make(TokenKind::kError, start, "unterminated string literal");
+    } else {
+      value += c;
+    }
+  }
+  if (at_end()) {
+    return make(TokenKind::kError, start, "unterminated string literal");
+  }
+  ++pos_;  // closing quote
+  return make(TokenKind::kStringLiteral, start, std::move(value));
+}
+
+Token Lexer::next() {
+  skip_trivia();
+  support::Loc start = here();
+  if (at_end()) return make(TokenKind::kEnd, start);
+
+  char c = peek();
+  if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+    return lex_identifier_or_keyword(start);
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+    return lex_number(start);
+  }
+  if (c == '"') return lex_string(start);
+
+  ++pos_;
+  switch (c) {
+    case '{': return make(TokenKind::kLBrace, start);
+    case '}': return make(TokenKind::kRBrace, start);
+    case '(': return make(TokenKind::kLParen, start);
+    case ')': return make(TokenKind::kRParen, start);
+    case '[': return make(TokenKind::kLBracket, start);
+    case ']': return make(TokenKind::kRBracket, start);
+    case ',': return make(TokenKind::kComma, start);
+    case ';': return make(TokenKind::kSemicolon, start);
+    case ':': return make(TokenKind::kColon, start);
+    case '@': return make(TokenKind::kAt, start);
+    case '+': return make(TokenKind::kPlus, start);
+    case '%': return make(TokenKind::kPercent, start);
+    case '/': return make(TokenKind::kSlash, start);
+    case '.':
+      if (peek() == '.') {
+        ++pos_;
+        return make(TokenKind::kDotDot, start);
+      }
+      return make(TokenKind::kDot, start);
+    case '*':
+      if (peek() == '*') {
+        ++pos_;
+        return make(TokenKind::kStarStar, start);
+      }
+      return make(TokenKind::kStar, start);
+    case '-':
+      if (peek() == '>') {
+        ++pos_;
+        return make(TokenKind::kThinArrow, start);
+      }
+      return make(TokenKind::kMinus, start);
+    case '=':
+      if (peek() == '>') {
+        ++pos_;
+        return make(TokenKind::kFatArrow, start);
+      }
+      if (peek() == '=') {
+        ++pos_;
+        return make(TokenKind::kEqEq, start);
+      }
+      return make(TokenKind::kEq, start);
+    case '<':
+      if (peek() == '=') {
+        ++pos_;
+        return make(TokenKind::kLessEq, start);
+      }
+      return make(TokenKind::kLess, start);
+    case '>':
+      if (peek() == '=') {
+        ++pos_;
+        return make(TokenKind::kGreaterEq, start);
+      }
+      return make(TokenKind::kGreater, start);
+    case '!':
+      if (peek() == '=') {
+        ++pos_;
+        return make(TokenKind::kNotEq, start);
+      }
+      return make(TokenKind::kBang, start);
+    case '&':
+      if (peek() == '&') {
+        ++pos_;
+        return make(TokenKind::kAmpAmp, start);
+      }
+      return make(TokenKind::kError, start, "stray '&' (did you mean '&&'?)");
+    case '|':
+      if (peek() == '|') {
+        ++pos_;
+        return make(TokenKind::kPipePipe, start);
+      }
+      return make(TokenKind::kError, start, "stray '|' (did you mean '||'?)");
+    default:
+      return make(TokenKind::kError, start,
+                  std::string("unexpected character '") + c + "'");
+  }
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view text,
+                                   support::FileId file) {
+  Lexer lexer(text, file);
+  std::vector<Token> out;
+  for (;;) {
+    Token t = lexer.next();
+    bool end = t.is(TokenKind::kEnd);
+    out.push_back(std::move(t));
+    if (end) break;
+  }
+  return out;
+}
+
+}  // namespace tydi::lang

@@ -1,0 +1,48 @@
+// Hand-written lexer for Tydi-lang.
+//
+// The reference implementation uses a Rust-Pest PEG grammar; here the same
+// token language is produced by a conventional single-pass scanner with
+// source locations for diagnostics. Comments (// and /* */) and whitespace
+// are skipped; malformed input yields kError tokens rather than aborting so
+// the parser can keep reporting later errors.
+#pragma once
+
+#include <vector>
+
+#include "src/lexer/token.hpp"
+#include "src/support/diagnostic.hpp"
+#include "src/support/source.hpp"
+
+namespace tydi::lang {
+
+class Lexer {
+ public:
+  Lexer(std::string_view text, support::FileId file);
+
+  /// Scans and returns the next token, advancing the cursor.
+  Token next();
+
+  /// Scans the whole input; the last element is always kEnd.
+  [[nodiscard]] static std::vector<Token> tokenize(std::string_view text,
+                                                   support::FileId file);
+
+ private:
+  std::string_view text_;
+  support::FileId file_;
+  std::uint32_t pos_ = 0;
+
+  [[nodiscard]] char peek(std::uint32_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  void skip_trivia();
+  [[nodiscard]] support::Loc here() const {
+    return support::Loc{file_, pos_};
+  }
+
+  Token make(TokenKind kind, support::Loc loc, std::string text = {});
+  Token lex_identifier_or_keyword(support::Loc start);
+  Token lex_number(support::Loc start);
+  Token lex_string(support::Loc start);
+};
+
+}  // namespace tydi::lang

@@ -1,0 +1,892 @@
+#include "src/sim/behavior.hpp"
+
+#include <functional>
+
+#include "src/eval/interp.hpp"
+#include "src/eval/scope.hpp"
+
+namespace tydi::sim {
+
+using elab::Impl;
+using elab::Port;
+using elab::Streamlet;
+
+namespace {
+
+std::vector<std::string> port_names(const Streamlet& s, lang::PortDir dir) {
+  std::vector<std::string> out;
+  for (const Port& p : s.ports) {
+    if (p.dir == dir) out.push_back(p.name);
+  }
+  return out;
+}
+
+double param(const std::map<std::string, double>& params,
+             const std::string& key, double fallback) {
+  auto it = params.find(key);
+  return it != params.end() ? it->second : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in models
+// ---------------------------------------------------------------------------
+
+/// Always-ready sink: acknowledges after `latency_cycles` (default 0).
+class SinkModel : public Behavior {
+ public:
+  explicit SinkModel(double latency_cycles) : latency_(latency_cycles) {}
+
+  void on_receive(Engine& engine, int self, const std::string& port) override {
+    if (port.empty()) return;
+    if (latency_ <= 0.0) {
+      engine.ack(self, port);
+      return;
+    }
+    double delay = latency_ * engine.clock_period(self);
+    engine.schedule(delay, [&engine, self, port] { engine.ack(self, port); });
+  }
+
+ private:
+  double latency_;
+};
+
+/// Emits `count` packets at a fixed interval regardless of backpressure
+/// (excess queues in the outbox, producing the blocked-time signal the
+/// bottleneck analysis ranks).
+class SourceModel : public Behavior {
+ public:
+  SourceModel(std::string out_port, std::int64_t count, double interval_cycles)
+      : out_(std::move(out_port)), count_(count), interval_(interval_cycles) {}
+
+  void on_start(Engine& engine, int self) override {
+    emit(engine, self);
+  }
+
+  void on_receive(Engine&, int, const std::string&) override {}
+
+ private:
+  std::string out_;
+  std::int64_t count_;
+  double interval_;
+  std::int64_t sent_ = 0;
+
+  void emit(Engine& engine, int self) {
+    if (sent_ >= count_) return;
+    Packet p;
+    p.value = sent_;
+    p.last = (sent_ == count_ - 1);
+    engine.send(self, out_, p);
+    ++sent_;
+    if (sent_ < count_) {
+      engine.schedule(interval_ * engine.clock_period(self),
+                      [this, &engine, self] { emit(engine, self); });
+    }
+  }
+};
+
+/// Copies each input packet to every output; acknowledges the input once all
+/// outputs were acknowledged (Sec. IV-C).
+class DuplicatorModel : public Behavior {
+ public:
+  DuplicatorModel(std::string in_port, std::vector<std::string> out_ports)
+      : in_(std::move(in_port)), outs_(std::move(out_ports)) {}
+
+  void on_receive(Engine& engine, int self, const std::string&) override {
+    try_fire(engine, self);
+  }
+
+  void on_output_acked(Engine& engine, int self,
+                       const std::string&) override {
+    if (!forwarding_) return;
+    if (--pending_ == 0) {
+      forwarding_ = false;
+      engine.ack(self, in_);
+      try_fire(engine, self);
+    }
+  }
+
+  [[nodiscard]] std::vector<std::string> waiting_ports(
+      const Component& self) const override {
+    auto it = self.inbox.find(in_);
+    if (it == self.inbox.end() || it->second.empty()) return {in_};
+    return {};
+  }
+
+ private:
+  std::string in_;
+  std::vector<std::string> outs_;
+  bool forwarding_ = false;
+  std::size_t pending_ = 0;
+
+  void try_fire(Engine& engine, int self) {
+    if (forwarding_) return;
+    auto& box = engine.component(self).inbox[in_];
+    if (box.empty()) return;
+    forwarding_ = true;
+    pending_ = outs_.size();
+    Packet p = box.front();
+    for (const std::string& out : outs_) {
+      engine.send(self, out, p);
+    }
+  }
+};
+
+/// Round-robin distributor: forwards to out[rr] only when that channel is
+/// free, so backpressure propagates to the producer.
+class DemuxModel : public Behavior {
+ public:
+  DemuxModel(std::string in_port, std::vector<std::string> out_ports)
+      : in_(std::move(in_port)), outs_(std::move(out_ports)) {}
+
+  void on_receive(Engine& engine, int self, const std::string&) override {
+    try_forward(engine, self);
+  }
+  void on_output_acked(Engine& engine, int self,
+                       const std::string&) override {
+    try_forward(engine, self);
+  }
+
+  [[nodiscard]] std::vector<std::string> waiting_ports(
+      const Component& self) const override {
+    auto it = self.inbox.find(in_);
+    if (it == self.inbox.end() || it->second.empty()) return {in_};
+    return {};
+  }
+
+ private:
+  std::string in_;
+  std::vector<std::string> outs_;
+  std::size_t rr_ = 0;
+
+  void try_forward(Engine& engine, int self) {
+    auto& box = engine.component(self).inbox[in_];
+    while (!box.empty() && engine.can_send(self, outs_[rr_])) {
+      engine.send(self, outs_[rr_], box.front());
+      engine.ack(self, in_);
+      rr_ = (rr_ + 1) % outs_.size();
+    }
+  }
+};
+
+/// Round-robin collector (order-preserving counterpart of DemuxModel).
+class MuxModel : public Behavior {
+ public:
+  MuxModel(std::vector<std::string> in_ports, std::string out_port)
+      : ins_(std::move(in_ports)), out_(std::move(out_port)) {}
+
+  void on_receive(Engine& engine, int self, const std::string&) override {
+    try_forward(engine, self);
+  }
+  void on_output_acked(Engine& engine, int self,
+                       const std::string&) override {
+    try_forward(engine, self);
+  }
+
+  [[nodiscard]] std::vector<std::string> waiting_ports(
+      const Component& self) const override {
+    const std::string& want = ins_[rr_];
+    auto it = self.inbox.find(want);
+    if (it == self.inbox.end() || it->second.empty()) return {want};
+    return {};
+  }
+
+ private:
+  std::vector<std::string> ins_;
+  std::string out_;
+  std::size_t rr_ = 0;
+
+  void try_forward(Engine& engine, int self) {
+    for (;;) {
+      auto& box = engine.component(self).inbox[ins_[rr_]];
+      if (box.empty() || !engine.can_send(self, out_)) return;
+      engine.send(self, out_, box.front());
+      engine.ack(self, ins_[rr_]);
+      rr_ = (rr_ + 1) % ins_.size();
+    }
+  }
+};
+
+/// Non-pipelined processing unit: consumes one packet, works for
+/// `latency_cycles`, then emits the transformed packet — e.g. the paper's
+/// "32-bit adder with a delay of 8 clock cycles" (Sec. IV-B).
+class PipeModel : public Behavior {
+ public:
+  using Transform = std::function<Packet(const Packet&)>;
+  PipeModel(std::string in_port, std::string out_port, double latency_cycles,
+            Transform transform)
+      : in_(std::move(in_port)),
+        out_(std::move(out_port)),
+        latency_(latency_cycles),
+        transform_(std::move(transform)) {}
+
+  void on_receive(Engine& engine, int self, const std::string&) override {
+    try_start(engine, self);
+  }
+  void on_output_acked(Engine& engine, int self,
+                       const std::string&) override {
+    if (done_waiting_out_) complete(engine, self);
+  }
+
+  [[nodiscard]] std::vector<std::string> waiting_ports(
+      const Component& self) const override {
+    if (busy_) return {};
+    auto it = self.inbox.find(in_);
+    if (it == self.inbox.end() || it->second.empty()) return {in_};
+    return {};
+  }
+
+ private:
+  std::string in_;
+  std::string out_;
+  double latency_;
+  Transform transform_;
+  bool busy_ = false;
+  bool done_waiting_out_ = false;
+  Packet current_;
+
+  void try_start(Engine& engine, int self) {
+    if (busy_) return;
+    auto& box = engine.component(self).inbox[in_];
+    if (box.empty()) return;
+    busy_ = true;
+    current_ = box.front();
+    double delay = latency_ * engine.clock_period(self);
+    engine.schedule(delay, [this, &engine, self] {
+      if (engine.can_send(self, out_)) {
+        complete(engine, self);
+      } else {
+        done_waiting_out_ = true;
+      }
+    });
+  }
+
+  void complete(Engine& engine, int self) {
+    done_waiting_out_ = false;
+    engine.send(self, out_, transform_(current_));
+    engine.ack(self, in_);
+    busy_ = false;
+    try_start(engine, self);
+  }
+};
+
+/// `filter<in, keep, out>`: forwards when keep != 0, drops otherwise; both
+/// inputs are acknowledged together (Sec. VI).
+class FilterModel : public Behavior {
+ public:
+  FilterModel(std::string data_port, std::string keep_port,
+              std::string out_port)
+      : data_(std::move(data_port)),
+        keep_(std::move(keep_port)),
+        out_(std::move(out_port)) {}
+
+  void on_receive(Engine& engine, int self, const std::string&) override {
+    try_fire(engine, self);
+  }
+  void on_output_acked(Engine& engine, int self,
+                       const std::string&) override {
+    try_fire(engine, self);
+  }
+
+  [[nodiscard]] std::vector<std::string> waiting_ports(
+      const Component& self) const override {
+    std::vector<std::string> missing;
+    for (const std::string& p : {data_, keep_}) {
+      auto it = self.inbox.find(p);
+      if (it == self.inbox.end() || it->second.empty()) missing.push_back(p);
+    }
+    return missing;
+  }
+
+ private:
+  std::string data_;
+  std::string keep_;
+  std::string out_;
+
+  void try_fire(Engine& engine, int self) {
+    for (;;) {
+      auto& data_box = engine.component(self).inbox[data_];
+      auto& keep_box = engine.component(self).inbox[keep_];
+      if (data_box.empty() || keep_box.empty()) return;
+      bool keep_bit = keep_box.front().value != 0;
+      if (keep_bit) {
+        if (!engine.can_send(self, out_)) return;
+        engine.send(self, out_, data_box.front());
+      }
+      engine.ack(self, data_);
+      engine.ack(self, keep_);
+    }
+  }
+};
+
+/// n-input logical reduce (and/or) with full input synchronization.
+class LogicReduceModel : public Behavior {
+ public:
+  LogicReduceModel(std::vector<std::string> in_ports, std::string out_port,
+                   bool is_and)
+      : ins_(std::move(in_ports)), out_(std::move(out_port)), and_(is_and) {}
+
+  void on_receive(Engine& engine, int self, const std::string&) override {
+    try_fire(engine, self);
+  }
+  void on_output_acked(Engine& engine, int self,
+                       const std::string&) override {
+    try_fire(engine, self);
+  }
+
+  [[nodiscard]] std::vector<std::string> waiting_ports(
+      const Component& self) const override {
+    std::vector<std::string> missing;
+    for (const std::string& p : ins_) {
+      auto it = self.inbox.find(p);
+      if (it == self.inbox.end() || it->second.empty()) missing.push_back(p);
+    }
+    return missing;
+  }
+
+ private:
+  std::vector<std::string> ins_;
+  std::string out_;
+  bool and_;
+
+  void try_fire(Engine& engine, int self) {
+    for (;;) {
+      bool all_ready = true;
+      for (const std::string& p : ins_) {
+        auto& box = engine.component(self).inbox[p];
+        if (box.empty()) {
+          all_ready = false;
+          break;
+        }
+      }
+      if (!all_ready || !engine.can_send(self, out_)) return;
+      bool result = and_;
+      bool last = false;
+      for (const std::string& p : ins_) {
+        const Packet& pk = engine.component(self).inbox[p].front();
+        bool bit = pk.value != 0;
+        result = and_ ? (result && bit) : (result || bit);
+        last = last || pk.last;
+      }
+      Packet out;
+      out.value = result ? 1 : 0;
+      out.last = last;
+      engine.send(self, out_, out);
+      for (const std::string& p : ins_) engine.ack(self, p);
+    }
+  }
+};
+
+/// Two-operand synchronized unit (add2/sub2/mul2/cmp2): fires when both
+/// operands are present, applies `op`, acknowledges both.
+class Join2Model : public Behavior {
+ public:
+  using Op = std::function<std::int64_t(std::int64_t, std::int64_t)>;
+  Join2Model(std::string lhs, std::string rhs, std::string out, Op op)
+      : lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)),
+        out_(std::move(out)),
+        op_(std::move(op)) {}
+
+  void on_receive(Engine& engine, int self, const std::string&) override {
+    try_fire(engine, self);
+  }
+  void on_output_acked(Engine& engine, int self,
+                       const std::string&) override {
+    try_fire(engine, self);
+  }
+
+  [[nodiscard]] std::vector<std::string> waiting_ports(
+      const Component& self) const override {
+    std::vector<std::string> missing;
+    for (const std::string& p : {lhs_, rhs_}) {
+      auto it = self.inbox.find(p);
+      if (it == self.inbox.end() || it->second.empty()) missing.push_back(p);
+    }
+    return missing;
+  }
+
+ private:
+  std::string lhs_;
+  std::string rhs_;
+  std::string out_;
+  Op op_;
+
+  void try_fire(Engine& engine, int self) {
+    for (;;) {
+      auto& lbox = engine.component(self).inbox[lhs_];
+      auto& rbox = engine.component(self).inbox[rhs_];
+      if (lbox.empty() || rbox.empty() || !engine.can_send(self, out_)) {
+        return;
+      }
+      Packet out;
+      out.value = op_(lbox.front().value, rbox.front().value);
+      out.last = lbox.front().last || rbox.front().last;
+      engine.send(self, out_, out);
+      engine.ack(self, lhs_);
+      engine.ack(self, rhs_);
+    }
+  }
+};
+
+/// Sums a dimension-1 sequence, emitting the total when `last` arrives.
+class AccumulatorModel : public Behavior {
+ public:
+  AccumulatorModel(std::string in_port, std::string out_port)
+      : in_(std::move(in_port)), out_(std::move(out_port)) {}
+
+  void on_receive(Engine& engine, int self, const std::string& port) override {
+    if (port.empty()) return;
+    auto& box = engine.component(self).inbox[in_];
+    while (!box.empty()) {
+      Packet p = box.front();
+      acc_ += p.value;
+      engine.ack(self, in_);
+      if (p.last) {
+        Packet total;
+        total.value = acc_;
+        total.last = true;
+        engine.send(self, out_, total);
+        acc_ = 0;
+      }
+    }
+  }
+
+ private:
+  std::string in_;
+  std::string out_;
+  std::int64_t acc_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// sim { } block interpreter (Sec. V-A)
+// ---------------------------------------------------------------------------
+
+struct Instr {
+  enum class Op { kAck, kSend, kDelay, kSet, kCondJumpFalse, kJump,
+                  kBindLocal };
+  Op op{};
+  std::string name;              // port (ack/send), state var, or local var
+  const lang::Expr* expr = nullptr;  // payload / delay / condition / value
+  std::size_t target = 0;        // jump target
+  eval::Value bind_value;        // kBindLocal: pre-evaluated loop value
+};
+
+// Compiles handler actions to a flat instruction list. `consts` carries the
+// captured elaboration constants plus enclosing sim-for loop bindings;
+// sim-for loops unroll at compile time (their iterables must be constant)
+// with the loop variable bound per iteration via kBindLocal.
+void compile_actions(const std::vector<lang::SimAction>& actions,
+                     std::vector<Instr>& out,
+                     const std::map<std::string, eval::Value>& consts,
+                     support::DiagnosticEngine& diags) {
+  for (const lang::SimAction& a : actions) {
+    std::visit(
+        [&](const auto& n) {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, lang::ActAck>) {
+            out.push_back(Instr{Instr::Op::kAck, n.port, nullptr, 0, {}});
+          } else if constexpr (std::is_same_v<T, lang::ActSend>) {
+            out.push_back(
+                Instr{Instr::Op::kSend, n.port, n.payload.get(), 0, {}});
+          } else if constexpr (std::is_same_v<T, lang::ActDelay>) {
+            out.push_back(
+                Instr{Instr::Op::kDelay, "", n.cycles.get(), 0, {}});
+          } else if constexpr (std::is_same_v<T, lang::ActSet>) {
+            out.push_back(
+                Instr{Instr::Op::kSet, n.state_var, n.value.get(), 0, {}});
+          } else if constexpr (std::is_same_v<T, lang::ActFor>) {
+            eval::Scope scope;
+            for (const auto& [name, value] : consts) {
+              scope.define(name, value);
+            }
+            try {
+              eval::Value iterable = eval::evaluate(*n.iterable, scope);
+              if (!iterable.is_array()) {
+                diags.error("sim",
+                            "sim for iterable must be a constant array or "
+                            "range",
+                            a.loc);
+                return;
+              }
+              for (const eval::Value& element : iterable.as_array()) {
+                out.push_back(Instr{Instr::Op::kBindLocal, n.var, nullptr, 0,
+                                    element});
+                std::map<std::string, eval::Value> inner = consts;
+                inner.insert_or_assign(n.var, element);
+                compile_actions(n.body, out, inner, diags);
+              }
+            } catch (const eval::EvalError& e) {
+              diags.error("sim",
+                          std::string("sim for iterable must be evaluable "
+                                      "at elaboration time: ") +
+                              e.what(),
+                          e.loc());
+            }
+          } else {  // ActIf
+            std::size_t cond_index = out.size();
+            out.push_back(
+                Instr{Instr::Op::kCondJumpFalse, "", n.cond.get(), 0, {}});
+            compile_actions(n.then_body, out, consts, diags);
+            if (n.else_body.empty()) {
+              out[cond_index].target = out.size();
+            } else {
+              std::size_t jump_index = out.size();
+              out.push_back(Instr{Instr::Op::kJump, "", nullptr, 0, {}});
+              out[cond_index].target = out.size();
+              compile_actions(n.else_body, out, consts, diags);
+              out[jump_index].target = out.size();
+            }
+          }
+        },
+        a.node);
+  }
+}
+
+/// Interprets the `sim { state ...; on event { ... } }` block of an external
+/// implementation. Handler semantics: fires when every waited port has a
+/// pending packet and the component is idle; `send(p)` forwards the trigger
+/// payload, `send(p, expr)` sends an evaluated value; `delay(n)` suspends
+/// for n clock cycles; handlers must `ack` their waited ports.
+class SimBlockBehavior : public Behavior {
+ public:
+  SimBlockBehavior(const elab::SimProgram& program,
+                   support::DiagnosticEngine& diags)
+      : diags_(diags) {
+    for (const lang::SimStateDecl& s : program.block->states) {
+      state_[s.name] = s.initial;
+    }
+    captured_ = program.captured;
+    for (const lang::SimHandler& h : program.block->handlers) {
+      Handler compiled;
+      compiled.wait_ports = h.wait_ports;
+      compile_actions(h.actions, compiled.code, captured_, diags_);
+      handlers_.push_back(std::move(compiled));
+    }
+  }
+
+  void on_start(Engine& engine, int self) override {
+    for (std::size_t h = 0; h < handlers_.size(); ++h) {
+      if (handlers_[h].wait_ports.empty()) {
+        fire(engine, self, h, Packet{});
+      }
+    }
+  }
+
+  void on_receive(Engine& engine, int self, const std::string&) override {
+    try_fire(engine, self);
+  }
+
+  [[nodiscard]] std::vector<std::string> waiting_ports(
+      const Component& self) const override {
+    std::vector<std::string> missing;
+    for (const Handler& h : handlers_) {
+      for (const std::string& p : h.wait_ports) {
+        auto it = self.inbox.find(p);
+        if (it == self.inbox.end() || it->second.empty()) {
+          missing.push_back(p);
+        }
+      }
+    }
+    return missing;
+  }
+
+ private:
+  struct Handler {
+    std::vector<std::string> wait_ports;
+    std::vector<Instr> code;
+  };
+
+  support::DiagnosticEngine& diags_;
+  std::map<std::string, std::string> state_;
+  std::map<std::string, eval::Value> captured_;
+  std::vector<Handler> handlers_;
+  bool busy_ = false;
+  std::size_t fires_without_progress_ = 0;
+
+  void try_fire(Engine& engine, int self) {
+    if (busy_) return;
+    for (std::size_t h = 0; h < handlers_.size(); ++h) {
+      const Handler& handler = handlers_[h];
+      if (handler.wait_ports.empty()) continue;
+      bool ready = true;
+      for (const std::string& p : handler.wait_ports) {
+        auto& box = engine.component(self).inbox[p];
+        if (box.empty()) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      if (++fires_without_progress_ > 100000) {
+        diags_.warning("sim",
+                       "sim block of '" +
+                           engine.component(self).path +
+                           "' fired 100000 times without acknowledging; "
+                           "stopping (missing ack in handler?)",
+                       {});
+        return;
+      }
+      Packet trigger =
+          engine.component(self).inbox[handler.wait_ports.front()].front();
+      fire(engine, self, h, trigger);
+      return;
+    }
+  }
+
+  using Locals = std::shared_ptr<std::map<std::string, eval::Value>>;
+
+  void fire(Engine& engine, int self, std::size_t handler_index,
+            Packet trigger) {
+    busy_ = true;
+    exec(engine, self, handler_index, 0, trigger,
+         std::make_shared<std::map<std::string, eval::Value>>());
+  }
+
+  [[nodiscard]] eval::Scope build_scope(Engine& engine, int self,
+                                        const Packet& trigger,
+                                        const Locals& locals) const {
+    eval::Scope scope;
+    for (const auto& [name, value] : captured_) scope.define(name, value);
+    for (const auto& [name, value] : state_) {
+      scope.define(name, eval::Value(value));
+    }
+    if (locals != nullptr) {
+      for (const auto& [name, value] : *locals) scope.define(name, value);
+    }
+    scope.define("payload", eval::Value(trigger.value));
+    scope.define("payload_last", eval::Value(trigger.last));
+    for (const auto& [port, box] : engine.component(self).inbox) {
+      if (!box.empty()) {
+        scope.define(port + "_payload", eval::Value(box.front().value));
+      }
+    }
+    return scope;
+  }
+
+  void exec(Engine& engine, int self, std::size_t handler_index,
+            std::size_t pc, Packet trigger, Locals locals) {
+    const Handler& handler = handlers_[handler_index];
+    while (pc < handler.code.size()) {
+      const Instr& instr = handler.code[pc];
+      try {
+        switch (instr.op) {
+          case Instr::Op::kAck:
+            engine.ack(self, instr.name);
+            fires_without_progress_ = 0;
+            ++pc;
+            break;
+          case Instr::Op::kSend: {
+            Packet p = trigger;
+            if (instr.expr != nullptr) {
+              eval::Scope scope = build_scope(engine, self, trigger, locals);
+              p.value = eval::evaluate_int(*instr.expr, scope);
+            }
+            engine.send(self, instr.name, p);
+            ++pc;
+            break;
+          }
+          case Instr::Op::kDelay: {
+            eval::Scope scope = build_scope(engine, self, trigger, locals);
+            double cycles = eval::evaluate_number(*instr.expr, scope);
+            double delay = cycles * engine.clock_period(self);
+            std::size_t next = pc + 1;
+            engine.schedule(delay,
+                            [this, &engine, self, handler_index, next,
+                             trigger, locals] {
+                              exec(engine, self, handler_index, next, trigger,
+                                   locals);
+                            });
+            return;  // resumes later
+          }
+          case Instr::Op::kSet: {
+            eval::Scope scope = build_scope(engine, self, trigger, locals);
+            eval::Value v = eval::evaluate(*instr.expr, scope);
+            std::string to = v.is_string() ? v.as_string() : v.to_display();
+            auto it = state_.find(instr.name);
+            if (it == state_.end()) {
+              diags_.warning("sim",
+                             "set of undeclared state variable '" +
+                                 instr.name + "'",
+                             {});
+            } else if (it->second != to) {
+              engine.record_state_transition(self, instr.name, it->second,
+                                             to);
+              it->second = to;
+            }
+            ++pc;
+            break;
+          }
+          case Instr::Op::kCondJumpFalse: {
+            eval::Scope scope = build_scope(engine, self, trigger, locals);
+            bool cond = eval::evaluate_bool(*instr.expr, scope);
+            pc = cond ? pc + 1 : instr.target;
+            break;
+          }
+          case Instr::Op::kJump:
+            pc = instr.target;
+            break;
+          case Instr::Op::kBindLocal:
+            (*locals)[instr.name] = instr.bind_value;
+            ++pc;
+            break;
+        }
+      } catch (const eval::EvalError& e) {
+        diags_.error("sim", e.what(), e.loc());
+        break;
+      }
+    }
+    busy_ = false;
+    // Re-examine conditions: more packets may be pending.
+    engine.schedule(0.0, [&engine, self] { engine.poke(self); });
+  }
+};
+
+/// Fallback: forwards first input to first output combinationally.
+class PassThroughModel : public Behavior {
+ public:
+  PassThroughModel(std::string in_port, std::string out_port)
+      : in_(std::move(in_port)), out_(std::move(out_port)) {}
+
+  void on_receive(Engine& engine, int self, const std::string&) override {
+    try_forward(engine, self);
+  }
+  void on_output_acked(Engine& engine, int self,
+                       const std::string&) override {
+    try_forward(engine, self);
+  }
+
+ private:
+  std::string in_;
+  std::string out_;
+
+  void try_forward(Engine& engine, int self) {
+    auto& box = engine.component(self).inbox[in_];
+    while (!box.empty() && engine.can_send(self, out_)) {
+      engine.send(self, out_, box.front());
+      engine.ack(self, in_);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Behavior> make_behavior(
+    const Impl& impl, const Streamlet& streamlet,
+    const std::map<std::string, double>& params,
+    support::DiagnosticEngine& diags) {
+  // 1. User-written simulation code wins.
+  if (impl.sim.has_value()) {
+    return std::make_unique<SimBlockBehavior>(*impl.sim, diags);
+  }
+
+  auto ins = port_names(streamlet, lang::PortDir::kIn);
+  auto outs = port_names(streamlet, lang::PortDir::kOut);
+  const std::string& family = impl.template_name;
+
+  // 2. Built-in models by stdlib family.
+  if (family == "voider_i" || family == "sink_i") {
+    return std::make_unique<SinkModel>(param(params, "latency_cycles", 0.0));
+  }
+  if (family == "source_i" || family == "const_generator_i") {
+    if (!outs.empty()) {
+      return std::make_unique<SourceModel>(
+          outs.front(),
+          static_cast<std::int64_t>(param(params, "count", 256.0)),
+          param(params, "interval_cycles", 1.0));
+    }
+  }
+  if (family == "duplicator_i" && !ins.empty()) {
+    return std::make_unique<DuplicatorModel>(ins.front(), outs);
+  }
+  if (family == "group_split2_i" && !ins.empty() && outs.size() >= 2) {
+    // The abstract payload cannot be bit-sliced; both field streams carry
+    // the packet value (timing-accurate, value-approximate).
+    return std::make_unique<DuplicatorModel>(ins.front(), outs);
+  }
+  if (family == "group_combine2_i" && ins.size() >= 2 && !outs.empty()) {
+    // Joint handshake of both fields; the combined packet carries the
+    // high-order field's value (see group_split2_i note).
+    return std::make_unique<Join2Model>(
+        ins[0], ins[1], outs.front(),
+        [](std::int64_t a, std::int64_t) { return a; });
+  }
+  if (family == "demux_i" && !ins.empty() && !outs.empty()) {
+    return std::make_unique<DemuxModel>(ins.front(), outs);
+  }
+  if (family == "mux_i" && !ins.empty() && !outs.empty()) {
+    return std::make_unique<MuxModel>(ins, outs.front());
+  }
+  if ((family == "adder_i" || family == "subtractor_i" ||
+       family == "multiplier_i" || family == "comparator_i" ||
+       family == "const_compare_i" || family == "const_compare_int_i") &&
+      !ins.empty() && !outs.empty()) {
+    double latency = param(params, "latency_cycles", 1.0);
+    return std::make_unique<PipeModel>(ins.front(), outs.front(), latency,
+                                       [](const Packet& p) { return p; });
+  }
+  if ((family == "add2_i" || family == "sub2_i" || family == "mul2_i" ||
+       family == "cmp2_i") &&
+      ins.size() >= 2 && !outs.empty()) {
+    Join2Model::Op op;
+    if (family == "add2_i") {
+      op = [](std::int64_t a, std::int64_t b) { return a + b; };
+    } else if (family == "sub2_i") {
+      op = [](std::int64_t a, std::int64_t b) { return a - b; };
+    } else if (family == "mul2_i") {
+      op = [](std::int64_t a, std::int64_t b) { return a * b; };
+    } else {
+      // cmp2_i defaults to equality; the op string only affects RTL.
+      op = [](std::int64_t a, std::int64_t b) {
+        return static_cast<std::int64_t>(a == b);
+      };
+    }
+    return std::make_unique<Join2Model>(ins[0], ins[1], outs.front(),
+                                        std::move(op));
+  }
+  if (family == "filter_i" && ins.size() >= 2 && !outs.empty()) {
+    std::string keep = ins[1];
+    for (const std::string& p : ins) {
+      if (p.find("keep") != std::string::npos) keep = p;
+    }
+    std::string data = ins[0] == keep && ins.size() > 1 ? ins[1] : ins[0];
+    return std::make_unique<FilterModel>(data, keep, outs.front());
+  }
+  if ((family == "logic_and_i" || family == "logic_or_i") && !ins.empty() &&
+      !outs.empty()) {
+    return std::make_unique<LogicReduceModel>(ins, outs.front(),
+                                              family == "logic_and_i");
+  }
+  if (family == "accumulator_i" && !ins.empty() && !outs.empty()) {
+    return std::make_unique<AccumulatorModel>(ins.front(), outs.front());
+  }
+
+  // 3. Fallback.
+  if (!ins.empty() && !outs.empty()) {
+    diags.note("sim",
+               "no behaviour model for '" + impl.display_name +
+                   "' (family '" + family +
+                   "'); using pass-through model",
+               impl.loc);
+    return std::make_unique<PassThroughModel>(ins.front(), outs.front());
+  }
+  if (!ins.empty()) {
+    return std::make_unique<SinkModel>(0.0);
+  }
+  return std::make_unique<SourceModel>(outs.empty() ? "" : outs.front(), 0,
+                                       1.0);
+}
+
+const std::vector<std::string>& builtin_behavior_families() {
+  static const std::vector<std::string> families = {
+      "voider_i",       "sink_i",           "source_i",
+      "const_generator_i", "duplicator_i",  "demux_i",
+      "mux_i",          "adder_i",          "subtractor_i",
+      "multiplier_i",   "comparator_i",     "const_compare_i",
+      "const_compare_int_i", "filter_i",    "logic_and_i",
+      "logic_or_i",     "accumulator_i",    "add2_i",
+      "sub2_i",         "mul2_i",           "cmp2_i",
+      "group_split2_i", "group_combine2_i"};
+  return families;
+}
+
+}  // namespace tydi::sim

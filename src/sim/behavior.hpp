@@ -1,0 +1,77 @@
+// Component behaviours for the simulator.
+//
+// Two kinds (Sec. V-A):
+//  1. Built-in C++ models for the standard-library template families
+//     (duplicator, voider, mux/demux, arithmetic pipes, source/sink, ...),
+//     mirroring the hard-coded RTL generator of Sec. IV-C.
+//  2. The interpreter for user-written `sim { state ...; on event { ... } }`
+//     blocks attached to external implementations.
+//
+// A behaviour reacts to packet arrivals on its component's input ports and
+// to acknowledgements of its own sends; it drives the engine via
+// send()/ack()/schedule().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/elab/design.hpp"
+#include "src/sim/engine.hpp"
+
+namespace tydi::sim {
+
+class Behavior {
+ public:
+  virtual ~Behavior() = default;
+
+  /// Called once at time zero.
+  virtual void on_start(Engine& engine, int self) {
+    (void)engine;
+    (void)self;
+  }
+  /// Called when a packet lands in the component inbox. The packet stays in
+  /// the inbox until the behaviour calls engine.ack(self, port).
+  virtual void on_receive(Engine& engine, int self,
+                          const std::string& port) = 0;
+  /// Called when a packet previously sent on `port` is acknowledged by the
+  /// far side.
+  virtual void on_output_acked(Engine& engine, int self,
+                               const std::string& port) {
+    (void)engine;
+    (void)self;
+    (void)port;
+  }
+  /// Called when a queued packet leaves the outbox and enters the channel
+  /// register (backpressure released).
+  virtual void on_send_accepted(Engine& engine, int self,
+                                const std::string& port) {
+    (void)engine;
+    (void)self;
+    (void)port;
+  }
+  /// Ports this behaviour is currently waiting on (used by the deadlock
+  /// analyzer to build the wait-for graph). Default: none.
+  [[nodiscard]] virtual std::vector<std::string> waiting_ports(
+      const Component& self) const {
+    (void)self;
+    return {};
+  }
+};
+
+/// Creates a behaviour for a leaf component. Priority:
+///  1. a `sim { ... }` block on the impl (interpreted),
+///  2. a built-in model for the impl's template family,
+///  3. a default pass-through model (warns once).
+/// `params` are per-instance model parameters (e.g. latency_cycles).
+[[nodiscard]] std::unique_ptr<Behavior> make_behavior(
+    const elab::Impl& impl, const elab::Streamlet& streamlet,
+    const std::map<std::string, double>& params,
+    support::DiagnosticEngine& diags);
+
+/// Families with built-in models (for tests/docs).
+[[nodiscard]] const std::vector<std::string>& builtin_behavior_families();
+
+}  // namespace tydi::sim

@@ -1,0 +1,538 @@
+#include "src/sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/sim/behavior.hpp"
+#include "src/support/text.hpp"
+
+namespace tydi::sim {
+
+using elab::Connection;
+using elab::Design;
+using elab::Endpoint;
+using elab::Impl;
+using elab::Instance;
+using elab::Port;
+using elab::Streamlet;
+
+Component::Component() = default;
+Component::Component(Component&&) noexcept = default;
+Component& Component::operator=(Component&&) noexcept = default;
+Component::~Component() = default;
+
+const ChannelStats* SimResult::bottleneck() const {
+  const ChannelStats* best = nullptr;
+  for (const ChannelStats& c : channels) {
+    if (c.blocked_ns <= 0.0) continue;
+    if (best == nullptr || c.blocked_ns > best->blocked_ns) best = &c;
+  }
+  return best;
+}
+
+double SimResult::throughput(const std::string& top_port) const {
+  auto it = top_outputs.find(top_port);
+  if (it == top_outputs.end() || it->second.size() < 2) return 0.0;
+  double span = it->second.back().first - it->second.front().first;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(it->second.size() - 1) / span;
+}
+
+std::string SimResult::summary() const {
+  std::ostringstream out;
+  out << "simulation finished at " << end_time_ns << " ns";
+  if (deadlock) {
+    out << " [DEADLOCK]";
+    if (!deadlock_cycle.empty()) {
+      out << " cycle: " << support::join(deadlock_cycle, " -> ");
+    }
+  }
+  out << "\n";
+  for (const auto& [port, packets] : top_outputs) {
+    out << "  top output '" << port << "': " << packets.size()
+        << " packet(s)";
+    double tp = throughput(port);
+    if (tp > 0.0) {
+      out << ", " << support::format_fixed(tp * 1000.0, 3)
+          << " packets/us steady-state";
+    }
+    out << "\n";
+  }
+  if (const ChannelStats* b = bottleneck()) {
+    out << "  bottleneck: " << b->name << " (blocked "
+        << support::format_fixed(b->blocked_ns, 1) << " ns)\n";
+  }
+  return out.str();
+}
+
+Engine::Engine(const Design& design, support::DiagnosticEngine& diags)
+    : design_(design), diags_(diags) {}
+
+void Engine::schedule(double delay_ns, std::function<void()> fn) {
+  queue_.push(Event{now_ + delay_ns, sequence_++, std::move(fn)});
+}
+
+std::string Engine::endpoint_name(const ChannelEndpoint& ep) const {
+  if (ep.component < 0) return "top." + ep.port;
+  return components_[ep.component].path + "." + ep.port;
+}
+
+std::string Engine::channel_name(const Channel& c) const {
+  return endpoint_name(c.src) + " -> " + endpoint_name(c.dst);
+}
+
+namespace {
+
+/// Union-find over string keys.
+class UnionFind {
+ public:
+  std::string find(const std::string& key) {
+    auto it = parent_.find(key);
+    if (it == parent_.end()) {
+      parent_[key] = key;
+      return key;
+    }
+    if (it->second == key) return key;
+    std::string root = find(it->second);
+    parent_[key] = root;
+    return root;
+  }
+  void unite(const std::string& a, const std::string& b) {
+    parent_[find(a)] = find(b);
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& nodes() const {
+    return parent_;
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+std::string join_path(const std::string& path, const std::string& name) {
+  return path.empty() ? name : path + "." + name;
+}
+
+std::string node_key(const std::string& path, const std::string& port) {
+  return path + ":" + port;
+}
+
+}  // namespace
+
+void Engine::flatten_impl(
+    const Impl& impl, const std::string& path,
+    std::vector<std::pair<std::string, std::string>>& links) {
+  for (const Instance& inst : impl.instances) {
+    const Impl* child = design_.find_impl(inst.impl_name);
+    if (child == nullptr) continue;
+    std::string child_path = join_path(path, inst.name);
+    if (child->external) {
+      Component comp;
+      comp.path = child_path;
+      comp.impl = child;
+      components_.push_back(std::move(comp));
+    } else {
+      flatten_impl(*child, child_path, links);
+    }
+  }
+  for (const Connection& c : impl.connections) {
+    auto key_of = [&](const Endpoint& ep) {
+      if (ep.instance.empty()) return node_key(path, ep.port);
+      return node_key(join_path(path, ep.instance), ep.port);
+    };
+    links.emplace_back(key_of(c.src), key_of(c.dst));
+  }
+}
+
+void Engine::flatten(const SimOptions& options) {
+  const Impl* top = design_.find_impl(design_.top());
+  if (top == nullptr) {
+    diags_.error("sim", "design has no top implementation", {});
+    return;
+  }
+
+  std::vector<std::pair<std::string, std::string>> links;
+  if (top->external) {
+    diags_.error("sim", "top implementation must be structural", top->loc);
+    return;
+  }
+  flatten_impl(*top, "", links);
+
+  // Union connected endpoints.
+  UnionFind uf;
+  for (const auto& [a, b] : links) uf.unite(a, b);
+
+  // Component path -> index, and leaf port lookup.
+  std::map<std::string, int> comp_index;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    comp_index[components_[i].path] = static_cast<int>(i);
+  }
+
+  struct Leaf {
+    ChannelEndpoint ep;
+    bool is_source = false;
+    std::string clock_domain = "default";
+  };
+  std::map<std::string, std::vector<Leaf>> sets;
+
+  auto classify = [&](const std::string& key) -> std::optional<Leaf> {
+    std::size_t colon = key.rfind(':');
+    std::string path = key.substr(0, colon);
+    std::string port = key.substr(colon + 1);
+    if (path.empty()) {
+      // Top-level boundary port.
+      const Streamlet* s = design_.streamlet_of(*top);
+      const Port* p = s != nullptr ? s->find_port(port) : nullptr;
+      if (p == nullptr) return std::nullopt;
+      Leaf leaf;
+      leaf.ep = ChannelEndpoint{-1, port};
+      leaf.is_source = (p->dir == lang::PortDir::kIn);
+      leaf.clock_domain = p->clock_domain;
+      return leaf;
+    }
+    auto it = comp_index.find(path);
+    if (it == comp_index.end()) return std::nullopt;  // pass-through node
+    const Component& comp = components_[it->second];
+    const Streamlet* s = design_.streamlet_of(*comp.impl);
+    const Port* p = s != nullptr ? s->find_port(port) : nullptr;
+    if (p == nullptr) return std::nullopt;
+    Leaf leaf;
+    leaf.ep = ChannelEndpoint{it->second, port};
+    leaf.is_source = (p->dir == lang::PortDir::kOut);
+    leaf.clock_domain = p->clock_domain;
+    return leaf;
+  };
+
+  for (const auto& [key, parent] : uf.nodes()) {
+    (void)parent;
+    if (auto leaf = classify(key)) {
+      sets[uf.find(key)].push_back(*leaf);
+    }
+  }
+
+  for (auto& [root, leaves] : sets) {
+    const Leaf* source = nullptr;
+    const Leaf* sink = nullptr;
+    for (const Leaf& leaf : leaves) {
+      if (leaf.is_source) {
+        source = &leaf;
+      } else {
+        sink = &leaf;
+      }
+    }
+    if (leaves.size() != 2 || source == nullptr || sink == nullptr) {
+      diags_.warning("sim",
+                     "connection net '" + root + "' does not resolve to one "
+                     "source and one sink (" +
+                         std::to_string(leaves.size()) +
+                         " leaf endpoint(s)); skipped",
+                     {});
+      continue;
+    }
+    Channel c;
+    c.src = source->ep;
+    c.dst = sink->ep;
+    auto period_it = options.clock_period_ns.find(source->clock_domain);
+    c.latency_ns = period_it != options.clock_period_ns.end()
+                       ? period_it->second
+                       : options.default_period_ns;
+    c.stats.name = channel_name(c);
+    std::size_t index = channels_.size();
+    channels_.push_back(std::move(c));
+    channel_by_src_[{channels_[index].src.component,
+                     channels_[index].src.port}] = index;
+    channel_by_dst_[{channels_[index].dst.component,
+                     channels_[index].dst.port}] = index;
+  }
+}
+
+double Engine::clock_period(int component) const {
+  if (options_ == nullptr) return 10.0;
+  if (component < 0 ||
+      static_cast<std::size_t>(component) >= components_.size()) {
+    return options_->default_period_ns;
+  }
+  const Component& comp = components_[component];
+  const Streamlet* s = design_.streamlet_of(*comp.impl);
+  if (s != nullptr && !s->ports.empty()) {
+    auto it = options_->clock_period_ns.find(s->ports.front().clock_domain);
+    if (it != options_->clock_period_ns.end()) return it->second;
+  }
+  return options_->default_period_ns;
+}
+
+void Engine::record_state_transition(int component,
+                                     const std::string& variable,
+                                     const std::string& from,
+                                     const std::string& to) {
+  result_.state_transitions.push_back(StateTransition{
+      now_, components_[component].path, variable, from, to});
+}
+
+void Engine::send(int component, const std::string& port, Packet packet) {
+  auto it = channel_by_src_.find({component, port});
+  if (it == channel_by_src_.end()) {
+    diags_.warning("sim",
+                   "send on unconnected port '" +
+                       endpoint_name(ChannelEndpoint{component, port}) +
+                       "'; packet dropped",
+                   {});
+    return;
+  }
+  Channel& c = channels_[it->second];
+  if (!c.occupied && c.outbox.empty()) {
+    start_channel_transfer(it->second, packet);
+  } else {
+    c.outbox.emplace_back(now_, packet);
+  }
+}
+
+bool Engine::can_send(int component, const std::string& port) const {
+  auto it = channel_by_src_.find({component, port});
+  if (it == channel_by_src_.end()) return false;
+  const Channel& c = channels_[it->second];
+  return !c.occupied && c.outbox.empty();
+}
+
+void Engine::start_channel_transfer(std::size_t channel_index, Packet packet) {
+  Channel& c = channels_[channel_index];
+  c.occupied = true;
+  c.in_flight = packet;
+  schedule(c.latency_ns, [this, channel_index] { deliver(channel_index); });
+}
+
+void Engine::deliver(std::size_t channel_index) {
+  Channel& c = channels_[channel_index];
+  c.stats.packets += 1;
+  if (c.stats.packets == 1) c.stats.first_delivery_ns = now_;
+  c.stats.last_delivery_ns = now_;
+
+  if (trace_enabled_) {
+    TraceEvent ev;
+    ev.time_ns = now_;
+    ev.channel = c.stats.name;
+    ev.packet = c.in_flight;
+    ev.is_top_input = (c.src.component < 0);
+    ev.is_top_output = (c.dst.component < 0);
+    ev.top_port = ev.is_top_input ? c.src.port
+                                  : (ev.is_top_output ? c.dst.port : "");
+    result_.trace.push_back(std::move(ev));
+  }
+
+  if (c.dst.component < 0) {
+    // Environment observer: always ready, records and acknowledges.
+    result_.top_outputs[c.dst.port].emplace_back(now_, c.in_flight);
+    c.occupied = false;
+    if (c.src.component >= 0) {
+      Component& src = components_[c.src.component];
+      if (src.behavior) src.behavior->on_output_acked(*this, c.src.component,
+                                                      c.src.port);
+    }
+    if (!c.outbox.empty()) {
+      auto [t_enq, packet] = c.outbox.front();
+      c.outbox.pop_front();
+      c.stats.blocked_ns += now_ - t_enq;
+      start_channel_transfer(channel_index, packet);
+      if (c.src.component >= 0) {
+        Component& src = components_[c.src.component];
+        if (src.behavior) {
+          src.behavior->on_send_accepted(*this, c.src.component, c.src.port);
+        }
+      }
+    }
+    return;
+  }
+
+  Component& dst = components_[c.dst.component];
+  dst.inbox[c.dst.port].push_back(c.in_flight);
+  if (dst.behavior) dst.behavior->on_receive(*this, c.dst.component,
+                                             c.dst.port);
+}
+
+void Engine::ack(int component, const std::string& port) {
+  auto it = channel_by_dst_.find({component, port});
+  if (it == channel_by_dst_.end()) {
+    diags_.warning("sim",
+                   "ack on unconnected port '" +
+                       endpoint_name(ChannelEndpoint{component, port}) + "'",
+                   {});
+    return;
+  }
+  Channel& c = channels_[it->second];
+  if (!c.occupied) {
+    diags_.warning("sim", "ack on empty channel '" + c.stats.name + "'", {});
+    return;
+  }
+  // Consume the packet from the sink inbox.
+  Component& dst = components_[component];
+  auto& box = dst.inbox[port];
+  if (!box.empty()) box.pop_front();
+
+  c.occupied = false;
+  std::size_t channel_index = it->second;
+  if (c.src.component >= 0) {
+    Component& src = components_[c.src.component];
+    if (src.behavior) src.behavior->on_output_acked(*this, c.src.component,
+                                                    c.src.port);
+  }
+  Channel& c2 = channels_[channel_index];
+  if (!c2.occupied && !c2.outbox.empty()) {
+    auto [t_enq, packet] = c2.outbox.front();
+    c2.outbox.pop_front();
+    c2.stats.blocked_ns += now_ - t_enq;
+    start_channel_transfer(channel_index, packet);
+    if (c2.src.component >= 0) {
+      Component& src = components_[c2.src.component];
+      if (src.behavior) {
+        src.behavior->on_send_accepted(*this, c2.src.component, c2.src.port);
+      }
+    }
+  }
+}
+
+void Engine::poke(int component) {
+  Component& comp = components_[component];
+  if (comp.behavior) comp.behavior->on_receive(*this, component, "");
+}
+
+void Engine::inject_stimuli(const SimOptions& options) {
+  for (const Stimulus& stim : options.stimuli) {
+    auto it = channel_by_src_.find({-1, stim.port});
+    if (it == channel_by_src_.end()) {
+      diags_.warning("sim",
+                     "stimulus targets unknown top input '" + stim.port + "'",
+                     {});
+      continue;
+    }
+    for (const auto& [time, packet] : stim.packets) {
+      Packet p = packet;
+      std::string port = stim.port;
+      schedule(time, [this, port, p] { send(-1, port, p); });
+    }
+  }
+}
+
+void Engine::detect_deadlock() {
+  // Anything still in flight when the queue runs dry is blocked for good.
+  bool anything_blocked = false;
+  for (const Channel& c : channels_) {
+    if (c.occupied || !c.outbox.empty()) {
+      anything_blocked = true;
+      std::ostringstream why;
+      why << "channel " << c.stats.name << ": ";
+      if (c.occupied) why << "packet not acknowledged by sink";
+      if (!c.outbox.empty()) {
+        if (c.occupied) why << ", ";
+        why << c.outbox.size() << " packet(s) blocked in outbox";
+      }
+      result_.blocked_report.push_back(why.str());
+    }
+  }
+  for (const Component& comp : components_) {
+    for (const auto& [port, box] : comp.inbox) {
+      if (!box.empty()) {
+        anything_blocked = true;
+        result_.blocked_report.push_back(
+            "component " + comp.path + ": " + std::to_string(box.size()) +
+            " unconsumed packet(s) on port '" + port + "'");
+      }
+    }
+  }
+  if (!anything_blocked) return;
+  result_.deadlock = true;
+
+  // Wait-for graph: X -> Y means "X cannot make progress until Y acts".
+  //  - a source whose outbox is blocked waits on the sink of that channel;
+  //  - a component waiting for a packet on port p waits on the source
+  //    feeding p.
+  std::map<int, std::vector<int>> edges;
+  for (const Channel& c : channels_) {
+    if (!c.outbox.empty() && c.src.component >= 0 && c.dst.component >= 0) {
+      edges[c.src.component].push_back(c.dst.component);
+    }
+  }
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const Component& comp = components_[i];
+    if (!comp.behavior) continue;
+    for (const std::string& port : comp.behavior->waiting_ports(comp)) {
+      auto it = channel_by_dst_.find({static_cast<int>(i), port});
+      if (it == channel_by_dst_.end()) continue;
+      const Channel& c = channels_[it->second];
+      if (c.src.component >= 0) {
+        edges[static_cast<int>(i)].push_back(c.src.component);
+      }
+    }
+  }
+
+  // DFS cycle search.
+  std::map<int, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<int> stack;
+  std::function<bool(int)> dfs = [&](int node) -> bool {
+    color[node] = 1;
+    stack.push_back(node);
+    for (int next : edges[node]) {
+      if (color[next] == 1) {
+        auto it = std::find(stack.begin(), stack.end(), next);
+        for (; it != stack.end(); ++it) {
+          result_.deadlock_cycle.push_back(components_[*it].path);
+        }
+        return true;
+      }
+      if (color[next] == 0 && dfs(next)) return true;
+    }
+    stack.pop_back();
+    color[node] = 2;
+    return false;
+  };
+  for (const auto& [node, next] : edges) {
+    (void)next;
+    if (color[node] == 0 && dfs(node)) break;
+  }
+}
+
+SimResult Engine::run(const SimOptions& options) {
+  options_ = &options;
+  trace_enabled_ = options.record_trace;
+  result_ = SimResult{};
+  components_.clear();
+  channels_.clear();
+  channel_by_src_.clear();
+  channel_by_dst_.clear();
+  now_ = 0.0;
+
+  flatten(options);
+
+  // Attach behaviours.
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    Component& comp = components_[i];
+    const Streamlet* s = design_.streamlet_of(*comp.impl);
+    if (s == nullptr) continue;
+    std::map<std::string, double> params;
+    auto pit = options.model_params.find(comp.path);
+    if (pit != options.model_params.end()) params = pit->second;
+    comp.behavior = make_behavior(*comp.impl, *s, params, diags_);
+  }
+
+  inject_stimuli(options);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].behavior) {
+      components_[i].behavior->on_start(*this, static_cast<int>(i));
+    }
+  }
+
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.time > options.max_time_ns) {
+      now_ = options.max_time_ns;
+      break;
+    }
+    now_ = ev.time;
+    ev.fn();
+  }
+  result_.end_time_ns = now_;
+  detect_deadlock();
+  for (const Channel& c : channels_) result_.channels.push_back(c.stats);
+  return std::move(result_);
+}
+
+}  // namespace tydi::sim

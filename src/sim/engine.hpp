@@ -1,0 +1,214 @@
+// Event-driven simulator for elaborated Tydi designs (Sec. V).
+//
+// The hierarchy is flattened: external implementations become leaf
+// *components* and connection chains collapse into *channels* (one-deep
+// handshake registers). Components carry behaviour — either a built-in C++
+// model keyed by the stdlib template family (mirroring the hard-coded RTL
+// generator) or an interpreted `sim { ... }` block from the source.
+//
+// Semantics:
+//  - send(port, packet): if the channel register is free the packet is
+//    delivered to the sink after the channel latency (one clock period of
+//    the port's clock domain); otherwise it queues in the port outbox and
+//    the waiting time is accounted as *blocked* time (the paper's
+//    "waiting time of all output ports (blocked by handshaking)").
+//  - the sink's behaviour decides when to ack; ack frees the register and
+//    pulls the next packet from the source outbox.
+//  - bottleneck analysis = channels ranked by blocked time (Sec. V-B);
+//  - deadlock detection = wait-for cycle search when the event queue runs
+//    dry while packets are still in flight.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/elab/design.hpp"
+#include "src/support/diagnostic.hpp"
+
+namespace tydi::sim {
+
+/// One data packet travelling a channel. `value` is the abstract payload
+/// (the simulator models timing, not bit-level data); `last` marks the end
+/// of a dimension-1 sequence for aggregating components.
+struct Packet {
+  std::int64_t value = 0;
+  bool last = false;
+};
+
+/// Stimulus for one top-level input port.
+struct Stimulus {
+  std::string port;
+  /// (injection time ns, packet). Packets enter the port's channel in order;
+  /// later packets queue behind un-acked earlier ones.
+  std::vector<std::pair<double, Packet>> packets;
+};
+
+struct SimOptions {
+  double max_time_ns = 1.0e6;
+  /// Clock-domain name -> period ns ("the mapping from the clock-domain to
+  /// physical frequency", Sec. V-B). Unlisted domains use default_period_ns.
+  std::map<std::string, double> clock_period_ns;
+  double default_period_ns = 10.0;
+  std::vector<Stimulus> stimuli;
+  /// Per-component model parameters keyed by flattened instance path, e.g.
+  /// {"pu_inst_3", {{"latency_cycles", 8}}}.
+  std::map<std::string, std::map<std::string, double>> model_params;
+  /// Record the full packet trace (needed for testbench generation).
+  bool record_trace = true;
+};
+
+struct ChannelStats {
+  std::string name;          ///< "srcpath.port -> dstpath.port"
+  std::size_t packets = 0;   ///< delivered packets
+  double blocked_ns = 0.0;   ///< total outbox waiting time
+  double first_delivery_ns = 0.0;
+  double last_delivery_ns = 0.0;
+};
+
+/// One traced transfer (for testbenches and debugging).
+struct TraceEvent {
+  double time_ns = 0.0;
+  std::string channel;  ///< same format as ChannelStats::name
+  Packet packet;
+  bool is_top_input = false;
+  bool is_top_output = false;
+  std::string top_port;  ///< set for top-level boundary transfers
+};
+
+/// One state-variable transition of a sim-block component (Sec. V-B "record
+/// the state-transition table of each implementation").
+struct StateTransition {
+  double time_ns = 0.0;
+  std::string component;
+  std::string variable;
+  std::string from;
+  std::string to;
+};
+
+struct SimResult {
+  double end_time_ns = 0.0;
+  bool deadlock = false;
+  /// Non-empty on deadlock when a wait-for cycle was found: the component
+  /// paths forming the cycle.
+  std::vector<std::string> deadlock_cycle;
+  /// Components/channels still blocked at stall time (deadlock diagnosis).
+  std::vector<std::string> blocked_report;
+  std::vector<ChannelStats> channels;
+  /// Output packets observed at each top-level output port.
+  std::map<std::string, std::vector<std::pair<double, Packet>>> top_outputs;
+  std::vector<TraceEvent> trace;
+  std::vector<StateTransition> state_transitions;
+
+  /// Channel with the largest blocked time (the streaming bottleneck), or
+  /// nullptr if nothing blocked.
+  [[nodiscard]] const ChannelStats* bottleneck() const;
+  /// Packets per nanosecond observed on a top output port.
+  [[nodiscard]] double throughput(const std::string& top_port) const;
+  [[nodiscard]] std::string summary() const;
+};
+
+class Behavior;  // behavior.hpp
+
+/// Flattened leaf component.
+struct Component {
+  std::string path;            ///< dotted instance path from the top
+  const elab::Impl* impl = nullptr;
+  std::unique_ptr<Behavior> behavior;
+  bool busy = false;
+  /// Packets delivered but not yet consumed by the behaviour, per port.
+  std::map<std::string, std::deque<Packet>> inbox;
+
+  // Out-of-line special members: Behavior is incomplete here.
+  Component();
+  Component(Component&&) noexcept;
+  Component& operator=(Component&&) noexcept;
+  ~Component();
+};
+
+struct ChannelEndpoint {
+  int component = -1;  ///< -1 = environment (top-level boundary)
+  std::string port;
+};
+
+struct Channel {
+  ChannelEndpoint src;
+  ChannelEndpoint dst;
+  double latency_ns = 10.0;
+  bool occupied = false;
+  Packet in_flight;
+  std::deque<std::pair<double, Packet>> outbox;  ///< (enqueue time, packet)
+  ChannelStats stats;
+};
+
+class Engine {
+ public:
+  Engine(const elab::Design& design, support::DiagnosticEngine& diags);
+
+  /// Flattens and simulates the design's top implementation.
+  [[nodiscard]] SimResult run(const SimOptions& options);
+
+  // --- API for Behavior models -------------------------------------------
+
+  [[nodiscard]] double now() const { return now_; }
+  void schedule(double delay_ns, std::function<void()> fn);
+  /// Sends on an output port of `component`. Queues when the channel is
+  /// occupied.
+  void send(int component, const std::string& port, Packet packet);
+  /// Acknowledges the packet pending on an input port of `component`.
+  void ack(int component, const std::string& port);
+  /// True if the channel out of (component, port) can accept immediately.
+  [[nodiscard]] bool can_send(int component, const std::string& port) const;
+  [[nodiscard]] Component& component(int index) { return components_[index]; }
+  [[nodiscard]] const elab::Design& design() const { return design_; }
+  [[nodiscard]] double clock_period(int component) const;
+  void record_state_transition(int component, const std::string& variable,
+                               const std::string& from, const std::string& to);
+  /// Re-evaluates a component's firing conditions (called by behaviours
+  /// after finishing a handler).
+  void poke(int component);
+
+ private:
+  const elab::Design& design_;
+  support::DiagnosticEngine& diags_;
+  const SimOptions* options_ = nullptr;
+  double now_ = 0.0;
+  std::uint64_t sequence_ = 0;
+  bool trace_enabled_ = true;
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+
+  std::vector<Component> components_;
+  std::vector<Channel> channels_;
+  /// (component, port) -> channel index, for both src and dst sides.
+  std::map<std::pair<int, std::string>, std::size_t> channel_by_src_;
+  std::map<std::pair<int, std::string>, std::size_t> channel_by_dst_;
+
+  SimResult result_;
+
+  void flatten(const SimOptions& options);
+  void flatten_impl(const elab::Impl& impl, const std::string& path,
+                    std::vector<std::pair<std::string, std::string>>& links);
+  void deliver(std::size_t channel_index);
+  void start_channel_transfer(std::size_t channel_index, Packet packet);
+  void inject_stimuli(const SimOptions& options);
+  void detect_deadlock();
+  [[nodiscard]] std::string channel_name(const Channel& c) const;
+  [[nodiscard]] std::string endpoint_name(const ChannelEndpoint& ep) const;
+};
+
+}  // namespace tydi::sim

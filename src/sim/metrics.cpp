@@ -1,0 +1,85 @@
+#include "src/sim/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/support/text.hpp"
+
+namespace tydi::sim {
+
+std::vector<ChannelStats> rank_bottlenecks(const SimResult& result) {
+  std::vector<ChannelStats> ranked = result.channels;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const ChannelStats& a, const ChannelStats& b) {
+                     return a.blocked_ns > b.blocked_ns;
+                   });
+  return ranked;
+}
+
+std::vector<ChannelUtilization> channel_utilization(
+    const SimResult& result, double clock_period_ns) {
+  std::vector<ChannelUtilization> out;
+  for (const ChannelStats& c : result.channels) {
+    ChannelUtilization u;
+    u.name = c.name;
+    u.packets = c.packets;
+    u.blocked_ns = c.blocked_ns;
+    double window = c.last_delivery_ns - c.first_delivery_ns;
+    if (c.packets > 1 && window > 0.0) {
+      double busy = static_cast<double>(c.packets - 1) * clock_period_ns;
+      u.utilization = std::min(1.0, busy / window);
+    } else if (c.packets == 1) {
+      u.utilization = 0.0;
+    }
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+std::string render_bottleneck_report(const SimResult& result,
+                                     std::size_t limit) {
+  support::TextTable table;
+  table.header({"channel", "packets", "blocked_ns"});
+  std::size_t shown = 0;
+  for (const ChannelStats& c : rank_bottlenecks(result)) {
+    if (shown++ >= limit) break;
+    table.row({c.name, std::to_string(c.packets),
+               support::format_fixed(c.blocked_ns, 1)});
+  }
+  std::ostringstream out;
+  out << "Bottleneck report (worst blocked channels first)\n"
+      << table.render();
+  if (result.deadlock) {
+    out << "DEADLOCK detected";
+    if (!result.deadlock_cycle.empty()) {
+      out << "; wait-for cycle: "
+          << support::join(result.deadlock_cycle, " -> ");
+    }
+    out << "\n";
+    for (const std::string& line : result.blocked_report) {
+      out << "  " << line << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string render_state_table(const SimResult& result) {
+  std::map<std::string, std::vector<const StateTransition*>> by_component;
+  for (const StateTransition& t : result.state_transitions) {
+    by_component[t.component].push_back(&t);
+  }
+  std::ostringstream out;
+  out << "State-transition table\n";
+  for (const auto& [component, transitions] : by_component) {
+    out << "  " << component << ":\n";
+    for (const StateTransition* t : transitions) {
+      out << "    " << support::format_fixed(t->time_ns, 1) << " ns: "
+          << t->variable << ": \"" << t->from << "\" -> \"" << t->to
+          << "\"\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tydi::sim

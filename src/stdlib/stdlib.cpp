@@ -1,0 +1,212 @@
+#include "src/stdlib/stdlib.hpp"
+
+#include "src/support/text.hpp"
+
+namespace tydi::stdlib {
+
+namespace {
+
+// NOTE: keep each template in sync with its RTL generator (vhdl/rtl_lib.cpp)
+// and simulator model (sim/behavior.cpp); both are keyed by the impl name.
+constexpr std::string_view kStdlibSource = R"tydi(
+package std;
+
+// Predicate stream shared by comparators, filters and logic reductions.
+// Named here so strict type equality holds across component boundaries.
+type std_bool = Stream(Bit(1), d=1, c=2);
+
+// =====================================================================
+// 1. Packet duplication / removal (handshake-layer templates).
+//    Duplicators copy the bit-level packet to all outputs and acknowledge
+//    the input once every output acknowledged; voiders always acknowledge.
+// =====================================================================
+
+streamlet duplicator_s<T: type, n: int> {
+  in_: T in,
+  out_: T out [n],
+}
+impl duplicator_i<T: type, n: int> of duplicator_s<type T, n> @ external {
+}
+
+streamlet voider_s<T: type> {
+  in_: T in,
+}
+impl voider_i<T: type> of voider_s<type T> @ external {
+}
+
+// =====================================================================
+// 2. Common behaviours for different logical types.
+// =====================================================================
+
+// Stimulus source and always-ready sink (testbench endpoints).
+streamlet source_s<T: type> {
+  out: T out,
+}
+impl source_i<T: type> of source_s<type T> @ external {
+}
+
+streamlet sink_s<T: type> {
+  in_: T in,
+}
+impl sink_i<T: type> of sink_s<type T> @ external {
+}
+
+// Single-stream processing unit: one input, one output. Arithmetic units
+// consume a Group of operands packed in the input element.
+streamlet unary_op_s<Tin: type, Tout: type> {
+  in_: Tin in,
+  out: Tout out,
+}
+
+impl adder_i<Tin: type, Tout: type> of unary_op_s<type Tin, type Tout> @ external {
+}
+impl subtractor_i<Tin: type, Tout: type> of unary_op_s<type Tin, type Tout> @ external {
+}
+impl multiplier_i<Tin: type, Tout: type> of unary_op_s<type Tin, type Tout> @ external {
+}
+
+// Comparator over a packed operand pair; op is one of == != < <= > >=.
+impl comparator_i<Tin: type, Tout: type, op: string> of unary_op_s<type Tin, type Tout> @ external {
+}
+
+// Comparison against a compile-time constant (string or integer), e.g. the
+// literals of `p_container in ('MED BAG', 'MED BOX', ...)`; op is one of
+// == != < <= > >=.
+impl const_compare_i<Tin: type, Tout: type, value: string, op: string> of unary_op_s<type Tin, type Tout> @ external {
+}
+impl const_compare_int_i<Tin: type, Tout: type, value: int, op: string> of unary_op_s<type Tin, type Tout> @ external {
+}
+
+// Two-operand units over separate synchronized streams (the `addition<in0,
+// in1, out, overflow>` shape sketched in the paper's TPC-H 19 walkthrough).
+streamlet binary_op_s<Tl: type, Tr: type, Tout: type> {
+  lhs: Tl in,
+  rhs: Tr in,
+  out: Tout out,
+}
+impl add2_i<Tl: type, Tr: type, Tout: type> of binary_op_s<type Tl, type Tr, type Tout> @ external {
+}
+impl sub2_i<Tl: type, Tr: type, Tout: type> of binary_op_s<type Tl, type Tr, type Tout> @ external {
+}
+impl mul2_i<Tl: type, Tr: type, Tout: type> of binary_op_s<type Tl, type Tr, type Tout> @ external {
+}
+// Two-stream comparator producing a std_bool predicate; op in == != < <= > >=.
+impl cmp2_i<Tl: type, Tr: type, Tout: type, op: string> of binary_op_s<type Tl, type Tr, type Tout> @ external {
+}
+
+// SQL `where` support: forwards the data packet when keep = 1, drops it
+// when keep = 0.
+streamlet filter_s<T: type, B: type> {
+  in_: T in,
+  keep: B in,
+  out: T out,
+}
+impl filter_i<T: type, B: type> of filter_s<type T, type B> @ external {
+}
+
+// n-way logical reduction over predicate streams (synchronized).
+streamlet logic_reduce_s<B: type, n: int> {
+  in_: B in [n],
+  out: B out,
+}
+impl logic_and_i<B: type, n: int> of logic_reduce_s<type B, n> @ external {
+}
+impl logic_or_i<B: type, n: int> of logic_reduce_s<type B, n> @ external {
+}
+
+// Round-robin packet distribution / collection.
+streamlet demux_s<T: type, n: int> {
+  in_: T in,
+  out_: T out [n],
+}
+impl demux_i<T: type, n: int> of demux_s<type T, n> @ external {
+}
+
+streamlet mux_s<T: type, n: int> {
+  in_: T in [n],
+  out: T out,
+}
+impl mux_i<T: type, n: int> of mux_s<type T, n> @ external {
+}
+
+// SQL aggregate support: sums a dimension-1 sequence, emits on `last`.
+streamlet accumulator_s<Tin: type, Tout: type> {
+  in_: Tin in,
+  out: Tout out,
+}
+impl accumulator_i<Tin: type, Tout: type> of accumulator_s<type Tin, type Tout> @ external {
+}
+
+// Configurable constant generator (Sec. IV-B's "configurable constant
+// integer generator" example).
+streamlet const_generator_s<T: type> {
+  out: T out,
+}
+impl const_generator_i<T: type, value: int> of const_generator_s<type T> @ external {
+}
+
+// =====================================================================
+// 3. Logical-type transformation templates.
+//    The paper lists this third stdlib category — "splitting a group type
+//    into its inner types or combining several logical types in a group" —
+//    as future work (Sec. IV-C); this implementation provides the
+//    two-field split/combine pair.
+// =====================================================================
+
+// Splits a Group-typed stream into its two field streams. Ta must be the
+// first (high-order) field type and Tb the second.
+streamlet group_split2_s<G: type, Ta: type, Tb: type> {
+  in_: G in,
+  out_a: Ta out,
+  out_b: Tb out,
+}
+impl group_split2_i<G: type, Ta: type, Tb: type> of group_split2_s<type G, type Ta, type Tb> @ external {
+}
+
+// Combines two field streams into a Group-typed stream (Ta high, Tb low).
+streamlet group_combine2_s<Ta: type, Tb: type, G: type> {
+  in_a: Ta in,
+  in_b: Tb in,
+  out: G out,
+}
+impl group_combine2_i<Ta: type, Tb: type, G: type> of group_combine2_s<type Ta, type Tb, type G> @ external {
+}
+
+// =====================================================================
+// 4. Composition templates (Sec. IV-B).
+// =====================================================================
+
+// Abstract processing unit: known interface, unknown implementation.
+streamlet process_unit_s<Tin: type, Tout: type> {
+  in_: Tin in,
+  out: Tout out,
+}
+
+// Bandwidth parallelizer: demux -> `channel` processing units -> mux.
+streamlet parallelize_s<Tin: type, Tout: type> {
+  in_: Tin in,
+  out: Tout out,
+}
+impl parallelize_i<Tin: type, Tout: type, pu: impl of process_unit_s, channel: int>
+of parallelize_s<type Tin, type Tout> {
+  instance demux_inst(demux_i<type Tin, channel>),
+  instance mux_inst(mux_i<type Tout, channel>),
+  instance pu_inst(pu) [channel],
+  in_ => demux_inst.in_,
+  mux_inst.out => out,
+  for i in 0->channel {
+    demux_inst.out_[i] => pu_inst[i].in_,
+    pu_inst[i].out => mux_inst.in_[i],
+  }
+}
+)tydi";
+
+}  // namespace
+
+std::string_view stdlib_source() { return kStdlibSource; }
+
+std::string_view stdlib_file_name() { return "std.td"; }
+
+std::size_t stdlib_loc() { return support::count_tydi_loc(kStdlibSource); }
+
+}  // namespace tydi::stdlib

@@ -1,0 +1,28 @@
+// The Tydi-lang standard library (Sec. IV-C) — a pure-template library of
+// elementary streaming components, embedded as Tydi-lang source.
+//
+// Families mirror the three categories of the paper:
+//  1. packet duplication/removal: duplicator, voider (handshake layer);
+//  2. common behaviours over logical types: adder/subtractor/multiplier,
+//     comparator, const_compare, filter, logical and/or, mux/demux,
+//     accumulator, const_generator, source/sink;
+//  3. composition templates: process_unit / parallelize (Sec. IV-B).
+//
+// Every external template here has a matching hard-coded RTL generator
+// (vhdl::rtl_lib) and a built-in simulator model (sim::behavior).
+#pragma once
+
+#include <string_view>
+
+namespace tydi::stdlib {
+
+/// The full standard-library source. Prepend this to user programs.
+[[nodiscard]] std::string_view stdlib_source();
+
+/// Name used when registering the source with a SourceManager.
+[[nodiscard]] std::string_view stdlib_file_name();
+
+/// Lines of code of the standard library (paper Table IV: LoCs).
+[[nodiscard]] std::size_t stdlib_loc();
+
+}  // namespace tydi::stdlib

@@ -1,0 +1,240 @@
+#include "src/sugar/sugar.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/support/text.hpp"
+
+namespace tydi::sugar {
+
+using elab::Connection;
+using elab::Design;
+using elab::Endpoint;
+using elab::Impl;
+using elab::Instance;
+using elab::Port;
+using elab::Streamlet;
+
+std::string SugarStats::summary() const {
+  std::ostringstream out;
+  out << "sugaring: " << duplicators_inserted << " duplicator(s), "
+      << voiders_inserted << " voider(s), " << duplicated_channels
+      << " duplicated channel(s)";
+  return out.str();
+}
+
+namespace {
+
+std::uint64_t fnv(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex8(std::uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) out[i] = digits[(h >> (i * 4)) & 0xF];
+  return out;
+}
+
+/// Ensures the voider streamlet+impl for `type` exist; returns the impl name.
+std::string materialize_voider(Design& design, const types::TypeRef& type) {
+  std::string token = type_token(type);
+  std::string streamlet_name = "std_voider_s__" + token;
+  std::string impl_name = "std_voider_i__" + token;
+  if (design.find_impl(impl_name) != nullptr) return impl_name;
+
+  Streamlet s;
+  s.name = streamlet_name;
+  s.display_name = "voider_s<" + type->to_display() + ">";
+  s.ports.push_back(Port{"in_", type, lang::PortDir::kIn, "default", {}});
+  design.add_streamlet(std::move(s));
+
+  Impl i;
+  i.name = impl_name;
+  i.display_name = "voider_i<" + type->to_display() + ">";
+  i.template_name = "voider_i";
+  {
+    elab::TemplateArgValue t;
+    t.kind = elab::TemplateArgValue::Kind::kType;
+    t.type = type;
+    i.template_args.push_back(std::move(t));
+  }
+  i.streamlet_name = streamlet_name;
+  i.streamlet_family = "voider_s";
+  i.external = true;
+  design.add_impl(std::move(i));
+  return impl_name;
+}
+
+/// Ensures the duplicator streamlet+impl for `type` with `channels` outputs
+/// exist; returns the impl name.
+std::string materialize_duplicator(Design& design, const types::TypeRef& type,
+                                   std::size_t channels) {
+  std::string token =
+      type_token(type) + "_x" + std::to_string(channels);
+  std::string streamlet_name = "std_duplicator_s__" + token;
+  std::string impl_name = "std_duplicator_i__" + token;
+  if (design.find_impl(impl_name) != nullptr) return impl_name;
+
+  Streamlet s;
+  s.name = streamlet_name;
+  s.display_name = "duplicator_s<" + type->to_display() + ", " +
+                   std::to_string(channels) + ">";
+  s.ports.push_back(Port{"in_", type, lang::PortDir::kIn, "default", {}});
+  for (std::size_t k = 0; k < channels; ++k) {
+    s.ports.push_back(Port{"out_" + std::to_string(k), type,
+                           lang::PortDir::kOut, "default", {}});
+  }
+  design.add_streamlet(std::move(s));
+
+  Impl i;
+  i.name = impl_name;
+  i.display_name = "duplicator_i<" + type->to_display() + ", " +
+                   std::to_string(channels) + ">";
+  i.template_name = "duplicator_i";
+  {
+    elab::TemplateArgValue t;
+    t.kind = elab::TemplateArgValue::Kind::kType;
+    t.type = type;
+    i.template_args.push_back(std::move(t));
+    elab::TemplateArgValue n;
+    n.kind = elab::TemplateArgValue::Kind::kValue;
+    n.value = eval::Value(static_cast<std::int64_t>(channels));
+    i.template_args.push_back(std::move(n));
+  }
+  i.streamlet_name = streamlet_name;
+  i.streamlet_family = "duplicator_s";
+  i.external = true;
+  design.add_impl(std::move(i));
+  return impl_name;
+}
+
+struct SourceInfo {
+  Endpoint endpoint;
+  types::TypeRef type;
+  std::vector<std::size_t> connection_indices;  // where endpoint is src
+};
+
+// NOTE: materialize_* may append to design.impls(), which can reallocate the
+// vector; this function therefore addresses the impl under work by *index*
+// and re-fetches the reference after every materialization.
+void sugar_impl(Design& design, std::size_t impl_index,
+                const SugarOptions& options, SugarStats& stats,
+                support::DiagnosticEngine& diags) {
+  // Enumerate every source endpoint of this implementation with its type.
+  std::vector<SourceInfo> sources;
+  auto add_source = [&sources](Endpoint ep, types::TypeRef type) {
+    sources.push_back(SourceInfo{std::move(ep), std::move(type), {}});
+  };
+
+  {
+    const Impl& impl = design.impls()[impl_index];
+    const Streamlet* self = design.streamlet_of(impl);
+    if (self == nullptr) return;
+    for (const Port& p : self->ports) {
+      if (p.dir == lang::PortDir::kIn) {
+        add_source(Endpoint{"", p.name, p.loc}, p.type);
+      }
+    }
+    for (const Instance& inst : impl.instances) {
+      const Impl* child = design.find_impl(inst.impl_name);
+      if (child == nullptr) continue;
+      const Streamlet* child_streamlet = design.streamlet_of(*child);
+      if (child_streamlet == nullptr) continue;
+      for (const Port& p : child_streamlet->ports) {
+        if (p.dir == lang::PortDir::kOut) {
+          add_source(Endpoint{inst.name, p.name, inst.loc}, p.type);
+        }
+      }
+    }
+
+    // Attribute each connection to its source endpoint.
+    std::map<std::string, std::size_t> source_index;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      source_index[sources[i].endpoint.display()] = i;
+    }
+    for (std::size_t c = 0; c < impl.connections.size(); ++c) {
+      auto it = source_index.find(impl.connections[c].src.display());
+      if (it != source_index.end()) {
+        sources[it->second].connection_indices.push_back(c);
+      }
+    }
+  }
+
+  std::size_t auto_counter = 0;
+  for (const SourceInfo& src : sources) {
+    const std::size_t fanout = src.connection_indices.size();
+    if (fanout == 0 && options.insert_voiders) {
+      // Fig. 4 left: unused output -> voider.
+      std::string voider = materialize_voider(design, src.type);
+      Impl& impl = design.impls_mutable()[impl_index];
+      std::string inst_name = "auto_void_" + std::to_string(auto_counter++);
+      impl.instances.push_back(
+          Instance{inst_name, voider, support::Loc::synthesized()});
+      Connection conn;
+      conn.src = src.endpoint;
+      conn.dst = Endpoint{inst_name, "in_", support::Loc::synthesized()};
+      impl.connections.push_back(std::move(conn));
+      ++stats.voiders_inserted;
+      diags.note("sugar",
+                 "inserted voider for unused source " +
+                     src.endpoint.display() + " in '" + impl.display_name +
+                     "'",
+                 src.endpoint.loc);
+    } else if (fanout > 1 && options.insert_duplicators) {
+      // Fig. 4 right: fan-out -> duplicator with `fanout` channels.
+      std::string dup = materialize_duplicator(design, src.type, fanout);
+      Impl& impl = design.impls_mutable()[impl_index];
+      std::string inst_name = "auto_dup_" + std::to_string(auto_counter++);
+      impl.instances.push_back(
+          Instance{inst_name, dup, support::Loc::synthesized()});
+      for (std::size_t k = 0; k < fanout; ++k) {
+        Connection& rewired = impl.connections[src.connection_indices[k]];
+        rewired.src =
+            Endpoint{inst_name, "out_" + std::to_string(k), rewired.loc};
+      }
+      Connection feed;
+      feed.src = src.endpoint;
+      feed.dst = Endpoint{inst_name, "in_", support::Loc::synthesized()};
+      impl.connections.push_back(std::move(feed));
+      ++stats.duplicators_inserted;
+      stats.duplicated_channels += fanout;
+      diags.note("sugar",
+                 "inserted " + std::to_string(fanout) +
+                     "-way duplicator for " + src.endpoint.display() +
+                     " in '" + impl.display_name + "'",
+                 src.endpoint.loc);
+    }
+  }
+}
+
+}  // namespace
+
+std::string type_token(const types::TypeRef& type) {
+  if (type == nullptr) return "null";
+  std::string display = type->to_display();
+  std::string base = type->origin().empty()
+                         ? "anon"
+                         : support::sanitize_identifier(type->origin());
+  return base + "_" + hex8(fnv(display));
+}
+
+SugarStats apply_sugaring(Design& design, const SugarOptions& options,
+                          support::DiagnosticEngine& diags) {
+  SugarStats stats;
+  // Index-based loop: materializing stdlib impls appends to design.impls.
+  const std::size_t original_count = design.impls().size();
+  for (std::size_t i = 0; i < original_count; ++i) {
+    if (design.impls()[i].external) continue;
+    sugar_impl(design, i, options, stats, diags);
+  }
+  return stats;
+}
+
+}  // namespace tydi::sugar

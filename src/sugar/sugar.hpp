@@ -1,0 +1,49 @@
+// Sugaring pass (Sec. IV-D, Fig. 4): automatic duplicator and voider
+// template insertion.
+//
+// Inside an implementation, every data *source* (a self input port or an
+// instance output port) must feed exactly one sink under the Tydi handshake.
+// Software-style designs naturally fan out (use a value twice) or drop
+// values (ignore a generated column); sugaring restores the one-to-one
+// discipline by inserting standard-library components:
+//
+//  - fan-out  > 1: a `duplicator` with the inferred stream type and channel
+//    count is inserted between the source and its sinks;
+//  - fan-out == 0: a `voider` (always-ready sink) consumes the stream.
+//
+// The inserted impls are *external* standard-library template instances,
+// materialized directly into the Design (this pass acts as the hard-coded
+// generator of Sec. IV-C for these two templates).
+#pragma once
+
+#include <string>
+
+#include "src/elab/design.hpp"
+#include "src/support/diagnostic.hpp"
+
+namespace tydi::sugar {
+
+struct SugarOptions {
+  bool insert_duplicators = true;
+  bool insert_voiders = true;
+};
+
+struct SugarStats {
+  std::size_t duplicators_inserted = 0;
+  std::size_t voiders_inserted = 0;
+  /// Total extra output channels created by duplicators (sum of fan-outs).
+  std::size_t duplicated_channels = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Applies sugaring to every non-external implementation in `design`.
+/// Unknown endpoints are skipped (the DRC reports them).
+SugarStats apply_sugaring(elab::Design& design, const SugarOptions& options,
+                          support::DiagnosticEngine& diags);
+
+/// Mangled-name token for a logical type, used when materializing stdlib
+/// instances for that type (duplicators, voiders).
+[[nodiscard]] std::string type_token(const types::TypeRef& type);
+
+}  // namespace tydi::sugar

@@ -1,0 +1,66 @@
+#include "src/support/diagnostic.hpp"
+
+#include <sstream>
+
+namespace tydi::support {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(Severity sev, std::string phase,
+                              std::string message, Loc loc) {
+  if (sev == Severity::kError) ++error_count_;
+  if (sev == Severity::kWarning) ++warning_count_;
+  diags_.push_back(Diagnostic{sev, std::move(phase), std::move(message), loc});
+}
+
+void DiagnosticEngine::error(std::string phase, std::string message, Loc loc) {
+  report(Severity::kError, std::move(phase), std::move(message), loc);
+}
+
+void DiagnosticEngine::warning(std::string phase, std::string message,
+                               Loc loc) {
+  report(Severity::kWarning, std::move(phase), std::move(message), loc);
+}
+
+void DiagnosticEngine::note(std::string phase, std::string message, Loc loc) {
+  report(Severity::kNote, std::move(phase), std::move(message), loc);
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags_) {
+    out << to_string(d.severity) << ": ";
+    if (sm_ != nullptr) {
+      out << sm_->describe(d.loc) << ": ";
+    }
+    out << "[" << d.phase << "] " << d.message << "\n";
+  }
+  return out.str();
+}
+
+std::vector<Diagnostic> DiagnosticEngine::by_phase(
+    std::string_view phase) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags_) {
+    if (d.phase == phase) out.push_back(d);
+  }
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+  warning_count_ = 0;
+}
+
+}  // namespace tydi::support

@@ -1,0 +1,66 @@
+// Diagnostic engine shared by every compiler phase.
+//
+// Phases report problems through a DiagnosticEngine rather than throwing, so
+// a single run can collect all lexing/parsing/type/DRC errors at once, the
+// way the paper's DRC produces a report (Fig. 3, "DRC report").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/source.hpp"
+
+namespace tydi::support {
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+/// A single finding, tagged with the phase that produced it (e.g. "parser",
+/// "drc") so reports can be filtered per stage.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string phase;
+  std::string message;
+  Loc loc;
+};
+
+/// Collects diagnostics for a compilation. Cheap to pass by reference through
+/// all phases; rendering is deferred until a report is requested.
+class DiagnosticEngine {
+ public:
+  explicit DiagnosticEngine(const SourceManager* sm = nullptr) : sm_(sm) {}
+
+  void report(Severity sev, std::string phase, std::string message, Loc loc);
+  void error(std::string phase, std::string message, Loc loc = {});
+  void warning(std::string phase, std::string message, Loc loc = {});
+  void note(std::string phase, std::string message, Loc loc = {});
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] std::size_t warning_count() const { return warning_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
+  /// Renders every diagnostic as "severity: file:line:col: [phase] message".
+  [[nodiscard]] std::string render() const;
+
+  /// Diagnostics whose phase matches `phase`, in report order.
+  [[nodiscard]] std::vector<Diagnostic> by_phase(std::string_view phase) const;
+
+  void clear();
+
+ private:
+  const SourceManager* sm_;
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+};
+
+}  // namespace tydi::support

@@ -1,0 +1,62 @@
+#include "src/support/source.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace tydi::support {
+
+FileId SourceManager::add(std::string name, std::string text) {
+  File f;
+  f.name = std::move(name);
+  f.text = std::move(text);
+  f.line_starts.push_back(0);
+  for (std::uint32_t i = 0; i < f.text.size(); ++i) {
+    if (f.text[i] == '\n') f.line_starts.push_back(i + 1);
+  }
+  files_.push_back(std::move(f));
+  return FileId{static_cast<std::uint32_t>(files_.size())};
+}
+
+FileId SourceManager::add_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return FileId{};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return add(path, ss.str());
+}
+
+const SourceManager::File* SourceManager::get(FileId id) const {
+  if (!id.valid() || id.value > files_.size()) return nullptr;
+  return &files_[id.value - 1];
+}
+
+std::string_view SourceManager::text(FileId id) const {
+  const File* f = get(id);
+  return f ? std::string_view(f->text) : std::string_view{};
+}
+
+std::string_view SourceManager::name(FileId id) const {
+  const File* f = get(id);
+  return f ? std::string_view(f->name) : std::string_view{};
+}
+
+LineCol SourceManager::line_col(Loc loc) const {
+  const File* f = get(loc.file);
+  if (f == nullptr) return LineCol{"<synthesized>", 0, 0};
+  // Find the last line start <= offset.
+  auto it = std::upper_bound(f->line_starts.begin(), f->line_starts.end(),
+                             loc.offset);
+  auto line_index = static_cast<std::uint32_t>(it - f->line_starts.begin());
+  std::uint32_t line_start = f->line_starts[line_index - 1];
+  return LineCol{f->name, line_index, loc.offset - line_start + 1};
+}
+
+std::string SourceManager::describe(Loc loc) const {
+  LineCol lc = line_col(loc);
+  if (lc.line == 0) return "<synthesized>";
+  return std::string(lc.file_name) + ":" + std::to_string(lc.line) + ":" +
+         std::to_string(lc.column);
+}
+
+}  // namespace tydi::support

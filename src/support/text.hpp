@@ -1,0 +1,91 @@
+// Text utilities used across the toolchain: an indenting code writer for the
+// IR/VHDL emitters, a LoC counter matching the paper's counting rules, and a
+// plain-text table renderer for the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tydi::support {
+
+/// Streaming code writer with indentation management. Both the Tydi-IR and
+/// the VHDL emitters build their output through this class so generated code
+/// is consistently formatted (and therefore LoC counts are deterministic).
+class CodeWriter {
+ public:
+  explicit CodeWriter(std::string indent_unit = "  ")
+      : indent_unit_(std::move(indent_unit)) {}
+
+  /// Writes one full line at the current indentation. Empty argument writes a
+  /// blank line (with no trailing spaces).
+  void line(std::string_view text = {});
+
+  /// Writes a line and increases the indent (e.g. "begin").
+  void open(std::string_view text);
+
+  /// Decreases the indent and writes a line (e.g. "end;").
+  void close(std::string_view text);
+
+  void indent() { ++depth_; }
+  void dedent();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+  [[nodiscard]] int depth() const { return depth_; }
+
+ private:
+  std::string out_;
+  std::string indent_unit_;
+  int depth_ = 0;
+};
+
+/// Counts non-empty, non-comment-only lines — the LoC rule used for Table IV.
+/// `comment_prefixes` lists line-comment introducers ("//" for Tydi-lang,
+/// "--" for VHDL). Block comments /* */ are stripped first.
+[[nodiscard]] std::size_t count_loc(
+    std::string_view text,
+    const std::vector<std::string_view>& comment_prefixes);
+
+/// LoC for Tydi-lang sources (strips // and /* */ comments).
+[[nodiscard]] std::size_t count_tydi_loc(std::string_view text);
+
+/// LoC for VHDL sources (strips -- comments).
+[[nodiscard]] std::size_t count_vhdl_loc(std::string_view text);
+
+/// Renders rows as an aligned plain-text table with a header rule, e.g.
+///
+///   Query     LoC   Ratio
+///   -----     ---   -----
+///   TPC-H 1   284   26.57
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` places (used by the bench tables).
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+/// True if `text` starts with `prefix` after skipping spaces/tabs.
+[[nodiscard]] bool starts_with_trimmed(std::string_view text,
+                                       std::string_view prefix);
+
+/// Splits on '\n' (keeps empty segments, drops the trailing empty one).
+[[nodiscard]] std::vector<std::string_view> split_lines(std::string_view text);
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Sanitizes an arbitrary mangled name into a VHDL-safe identifier:
+/// lowercases, maps non-alphanumerics to '_', collapses runs of '_'.
+[[nodiscard]] std::string sanitize_identifier(std::string_view name);
+
+}  // namespace tydi::support

@@ -1,0 +1,98 @@
+// tydic — the Tydi-lang compiler CLI.
+//
+// Usage:
+//   tydic --top <impl> [options] file1.td [file2.td ...]
+//
+// Options:
+//   --top <name>       top-level impl to elaborate (required)
+//   --no-stdlib        do not prepend the standard library
+//   --no-sugar         disable duplicator/voider insertion
+//   --emit-ir <path>   write Tydi-IR (default: stdout)
+//   --emit-vhdl <path> write generated VHDL
+//   --summary          print the design inventory
+#include <fstream>
+#include <iostream>
+
+#include "src/driver/compiler.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: tydic --top <impl> [--no-stdlib] [--no-sugar] "
+               "[--emit-ir <path>] [--emit-vhdl <path>] [--summary] "
+               "<file.td>...\n";
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tydi::driver::CompileOptions options;
+  std::vector<tydi::driver::NamedSource> sources;
+  std::string ir_path;
+  std::string vhdl_path;
+  bool summary = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: missing argument for " << what << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--top") {
+      options.top = next("--top");
+    } else if (arg == "--no-stdlib") {
+      options.include_stdlib = false;
+    } else if (arg == "--no-sugar") {
+      options.sugaring = false;
+    } else if (arg == "--emit-ir") {
+      ir_path = next("--emit-ir");
+    } else if (arg == "--emit-vhdl") {
+      vhdl_path = next("--emit-vhdl");
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      std::ifstream in(arg, std::ios::binary);
+      if (!in) {
+        std::cerr << "error: cannot read " << arg << "\n";
+        return 2;
+      }
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      sources.push_back(tydi::driver::NamedSource{arg, std::move(text)});
+    }
+  }
+  if (sources.empty() || options.top.empty()) return usage();
+
+  tydi::driver::CompileResult result = tydi::driver::compile(sources, options);
+  std::cerr << result.report();
+  if (!result.success()) {
+    std::cerr << "compilation failed\n";
+    return 1;
+  }
+  if (summary) std::cout << result.design.summary();
+  if (!ir_path.empty()) {
+    if (!write_file(ir_path, result.ir_text)) return 1;
+  } else if (vhdl_path.empty() && !summary) {
+    std::cout << result.ir_text;
+  }
+  if (!vhdl_path.empty()) {
+    if (!write_file(vhdl_path, result.vhdl_text)) return 1;
+  }
+  return 0;
+}

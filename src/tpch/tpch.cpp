@@ -1,0 +1,931 @@
+#include "src/tpch/tpch.hpp"
+
+#include "src/fletcher/fletchgen.hpp"
+#include "src/stdlib/stdlib.hpp"
+#include "src/support/text.hpp"
+
+namespace tydi::tpch {
+
+using fletcher::Column;
+using fletcher::ColumnType;
+using fletcher::Schema;
+
+namespace {
+
+Column col(std::string name, ColumnType type, int a = 0, int b = 0) {
+  Column c;
+  c.name = std::move(name);
+  c.type = type;
+  if (type == ColumnType::kDecimal) {
+    c.precision = a;
+    c.scale = b;
+  } else if (type == ColumnType::kFixedUtf8) {
+    c.fixed_length = a;
+  }
+  return c;
+}
+
+std::vector<Schema> build_schemas() {
+  std::vector<Schema> schemas;
+
+  Schema lineitem;
+  lineitem.name = "lineitem";
+  lineitem.primary_keys = {"l_orderkey"};
+  lineitem.columns = {
+      col("l_orderkey", ColumnType::kInt64),
+      col("l_partkey", ColumnType::kInt64),
+      col("l_suppkey", ColumnType::kInt64),
+      col("l_linenumber", ColumnType::kInt32),
+      col("l_quantity", ColumnType::kDecimal, 15, 2),
+      col("l_extendedprice", ColumnType::kDecimal, 15, 2),
+      col("l_discount", ColumnType::kDecimal, 15, 2),
+      col("l_tax", ColumnType::kDecimal, 15, 2),
+      col("l_returnflag", ColumnType::kFixedUtf8, 1),
+      col("l_linestatus", ColumnType::kFixedUtf8, 1),
+      col("l_shipdate", ColumnType::kDate),
+      col("l_commitdate", ColumnType::kDate),
+      col("l_receiptdate", ColumnType::kDate),
+      col("l_shipinstruct", ColumnType::kFixedUtf8, 25),
+      col("l_shipmode", ColumnType::kFixedUtf8, 10),
+      col("l_comment", ColumnType::kFixedUtf8, 44),
+  };
+  schemas.push_back(std::move(lineitem));
+
+  Schema part;
+  part.name = "part";
+  part.primary_keys = {"p_partkey"};
+  part.columns = {
+      col("p_partkey", ColumnType::kInt64),
+      col("p_name", ColumnType::kFixedUtf8, 55),
+      col("p_mfgr", ColumnType::kFixedUtf8, 25),
+      col("p_brand", ColumnType::kFixedUtf8, 10),
+      col("p_type", ColumnType::kFixedUtf8, 25),
+      col("p_size", ColumnType::kInt32),
+      col("p_container", ColumnType::kFixedUtf8, 10),
+      col("p_retailprice", ColumnType::kDecimal, 15, 2),
+      col("p_comment", ColumnType::kFixedUtf8, 23),
+  };
+  schemas.push_back(std::move(part));
+
+  Schema orders;
+  orders.name = "orders";
+  orders.primary_keys = {"o_orderkey"};
+  orders.columns = {
+      col("o_orderkey", ColumnType::kInt64),
+      col("o_custkey", ColumnType::kInt64),
+      col("o_orderstatus", ColumnType::kFixedUtf8, 1),
+      col("o_totalprice", ColumnType::kDecimal, 15, 2),
+      col("o_orderdate", ColumnType::kDate),
+      col("o_orderpriority", ColumnType::kFixedUtf8, 15),
+      col("o_clerk", ColumnType::kFixedUtf8, 15),
+      col("o_shippriority", ColumnType::kInt32),
+      col("o_comment", ColumnType::kFixedUtf8, 79),
+  };
+  schemas.push_back(std::move(orders));
+
+  Schema customer;
+  customer.name = "customer";
+  customer.primary_keys = {"c_custkey"};
+  customer.columns = {
+      col("c_custkey", ColumnType::kInt64),
+      col("c_name", ColumnType::kFixedUtf8, 25),
+      col("c_address", ColumnType::kFixedUtf8, 40),
+      col("c_nationkey", ColumnType::kInt64),
+      col("c_phone", ColumnType::kFixedUtf8, 15),
+      col("c_acctbal", ColumnType::kDecimal, 15, 2),
+      col("c_mktsegment", ColumnType::kFixedUtf8, 10),
+      col("c_comment", ColumnType::kFixedUtf8, 117),
+  };
+  schemas.push_back(std::move(customer));
+
+  Schema supplier;
+  supplier.name = "supplier";
+  supplier.primary_keys = {"s_suppkey"};
+  supplier.columns = {
+      col("s_suppkey", ColumnType::kInt64),
+      col("s_name", ColumnType::kFixedUtf8, 25),
+      col("s_address", ColumnType::kFixedUtf8, 40),
+      col("s_nationkey", ColumnType::kInt64),
+      col("s_phone", ColumnType::kFixedUtf8, 15),
+      col("s_acctbal", ColumnType::kDecimal, 15, 2),
+      col("s_comment", ColumnType::kFixedUtf8, 101),
+  };
+  schemas.push_back(std::move(supplier));
+
+  Schema nation;
+  nation.name = "nation";
+  nation.primary_keys = {"n_nationkey"};
+  nation.columns = {
+      col("n_nationkey", ColumnType::kInt64),
+      col("n_name", ColumnType::kFixedUtf8, 25),
+      col("n_regionkey", ColumnType::kInt64),
+      col("n_comment", ColumnType::kFixedUtf8, 152),
+  };
+  schemas.push_back(std::move(nation));
+
+  Schema region;
+  region.name = "region";
+  region.primary_keys = {"r_regionkey"};
+  region.columns = {
+      col("r_regionkey", ColumnType::kInt64),
+      col("r_name", ColumnType::kFixedUtf8, 25),
+      col("r_comment", ColumnType::kFixedUtf8, 152),
+  };
+  schemas.push_back(std::move(region));
+
+  return schemas;
+}
+
+// ===========================================================================
+// TPC-H 6 — forecasting revenue change.
+// ===========================================================================
+
+constexpr std::string_view kQ6Sql = R"sql(
+select
+  sum(l_extendedprice * l_discount) as revenue
+from
+  lineitem
+where
+  l_shipdate >= date ':1'
+  and l_shipdate < date ':1' + interval '1' year
+  and l_discount between :2 - 0.01 and :2 + 0.01
+  and l_quantity < 24;
+)sql";
+
+constexpr std::string_view kQ6Source = R"tydi(
+package q6;
+
+// revenue item and aggregate: product of two 50-bit decimals
+type t_q6_mul = Stream(Bit(100), d=1, c=2);
+type t_q6_total = Stream(Bit(100), d=1, c=2);
+
+streamlet q6_s {
+  orderkey_req: t_lineitem_l_orderkey in,
+  revenue: t_q6_total out,
+}
+
+impl q6_i of q6_s {
+  // date ':1' = 1994-01-01 (days since epoch) and one year later
+  const date_lo = 8766;
+  const date_hi = 9131;
+  // discount between :2 - 0.01 and :2 + 0.01, scaled to integer cents
+  const disc_lo = 5;
+  const disc_hi = 7;
+  const qty_hi = 24;
+
+  // memory access component (Fletcher)
+  instance reader(lineitem_reader_i),
+  orderkey_req => reader.l_orderkey,
+
+  // where clause predicates
+  instance p_date_lo(const_compare_int_i<type t_lineitem_l_shipdate, type std_bool, date_lo, ">=">),
+  instance p_date_hi(const_compare_int_i<type t_lineitem_l_shipdate, type std_bool, date_hi, "<">),
+  instance p_disc_lo(const_compare_int_i<type t_lineitem_l_discount, type std_bool, disc_lo, ">=">),
+  instance p_disc_hi(const_compare_int_i<type t_lineitem_l_discount, type std_bool, disc_hi, "<=">),
+  instance p_qty(const_compare_int_i<type t_lineitem_l_quantity, type std_bool, qty_hi, "<">),
+  reader.l_shipdate => p_date_lo.in_,
+  reader.l_shipdate => p_date_hi.in_,
+  reader.l_discount => p_disc_lo.in_,
+  reader.l_discount => p_disc_hi.in_,
+  reader.l_quantity => p_qty.in_,
+
+  // conjunction of the five predicates
+  instance keep_and(logic_and_i<type std_bool, 5>),
+  p_date_lo.out => keep_and.in_[0],
+  p_date_hi.out => keep_and.in_[1],
+  p_disc_lo.out => keep_and.in_[2],
+  p_disc_hi.out => keep_and.in_[3],
+  p_qty.out => keep_and.in_[4],
+
+  // filter both operand columns with the same keep stream
+  instance f_price(filter_i<type t_lineitem_l_extendedprice, type std_bool>),
+  instance f_disc(filter_i<type t_lineitem_l_discount, type std_bool>),
+  reader.l_extendedprice => f_price.in_,
+  reader.l_discount => f_disc.in_,
+  keep_and.out => f_price.keep,
+  keep_and.out => f_disc.keep,
+
+  // revenue = sum(l_extendedprice * l_discount)
+  instance mul(mul2_i<type t_lineitem_l_extendedprice, type t_lineitem_l_discount, type t_q6_mul>),
+  f_price.out => mul.lhs,
+  f_disc.out => mul.rhs,
+  instance acc(accumulator_i<type t_q6_mul, type t_q6_total>),
+  mul.out => acc.in_,
+  acc.out => revenue,
+}
+)tydi";
+
+// ===========================================================================
+// TPC-H 1 — pricing summary report.
+// ===========================================================================
+
+constexpr std::string_view kQ1Sql = R"sql(
+select
+  l_returnflag, l_linestatus,
+  sum(l_quantity) as sum_qty,
+  sum(l_extendedprice) as sum_base_price,
+  sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+  sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+  avg(l_quantity) as avg_qty,
+  avg(l_extendedprice) as avg_price,
+  avg(l_discount) as avg_disc,
+  count(*) as count_order
+from lineitem
+where l_shipdate <= date '1998-12-01' - interval ':1' day
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus;
+)sql";
+
+// Shared body of both Q1 variants (group keys, aggregates, arithmetic).
+// The sugared variant relies on automatic duplicator/voider insertion; the
+// non-sugared variant spells every duplicator and voider out by hand.
+constexpr std::string_view kQ1Source = R"tydi(
+package q1;
+
+// widened aggregate types (products of 50-bit scaled decimals)
+type t_q1_money = Stream(Bit(100), d=1, c=2);
+type t_q1_charge = Stream(Bit(150), d=1, c=2);
+type t_q1_sum = Stream(Bit(100), d=1, c=2);
+type t_q1_charge_sum = Stream(Bit(150), d=1, c=2);
+type t_q1_one = Stream(Bit(64), d=1, c=2);
+type t_q1_count = Stream(Bit(64), d=1, c=2);
+
+streamlet q1_s {
+  orderkey_req: t_lineitem_l_orderkey in,
+  group_flag: t_lineitem_l_returnflag out,
+  group_status: t_lineitem_l_linestatus out,
+  sum_qty: t_q1_sum out,
+  sum_base_price: t_q1_sum out,
+  sum_disc_price: t_q1_sum out,
+  sum_charge: t_q1_charge_sum out,
+  sum_disc: t_q1_sum out,
+  count_rows: t_q1_count out,
+}
+
+impl q1_i of q1_s {
+  // date '1998-12-01' - interval ':1' day, as days since epoch
+  const ship_cutoff = 10490;
+  // scaled decimal constant 1.00 (two digits after the point)
+  const one_scaled = 100;
+
+  // memory access component (Fletcher)
+  instance reader(lineitem_reader_i),
+  orderkey_req => reader.l_orderkey,
+
+  // where l_shipdate <= ship_cutoff
+  instance p_date(const_compare_int_i<type t_lineitem_l_shipdate, type std_bool, ship_cutoff, "<=">),
+  reader.l_shipdate => p_date.in_,
+
+  // filter every column the aggregates consume with the same predicate
+  instance f_qty(filter_i<type t_lineitem_l_quantity, type std_bool>),
+  instance f_price(filter_i<type t_lineitem_l_extendedprice, type std_bool>),
+  instance f_disc(filter_i<type t_lineitem_l_discount, type std_bool>),
+  instance f_tax(filter_i<type t_lineitem_l_tax, type std_bool>),
+  instance f_flag(filter_i<type t_lineitem_l_returnflag, type std_bool>),
+  instance f_status(filter_i<type t_lineitem_l_linestatus, type std_bool>),
+  instance f_ones(filter_i<type t_q1_one, type std_bool>),
+  reader.l_quantity => f_qty.in_,
+  reader.l_extendedprice => f_price.in_,
+  reader.l_discount => f_disc.in_,
+  reader.l_tax => f_tax.in_,
+  reader.l_returnflag => f_flag.in_,
+  reader.l_linestatus => f_status.in_,
+  p_date.out => f_qty.keep,
+  p_date.out => f_price.keep,
+  p_date.out => f_disc.keep,
+  p_date.out => f_tax.keep,
+  p_date.out => f_flag.keep,
+  p_date.out => f_status.keep,
+  p_date.out => f_ones.keep,
+
+  // count(*): a constant 1 per row, filtered and summed
+  instance c_ones(const_generator_i<type t_q1_one, 1>),
+  c_ones.out => f_ones.in_,
+
+  // 1 - l_discount and 1 + l_tax on scaled decimals
+  instance c_one_d(const_generator_i<type t_lineitem_l_discount, one_scaled>),
+  instance c_one_t(const_generator_i<type t_lineitem_l_tax, one_scaled>),
+  instance one_minus_disc(sub2_i<type t_lineitem_l_discount, type t_lineitem_l_discount, type t_lineitem_l_discount>),
+  instance one_plus_tax(add2_i<type t_lineitem_l_tax, type t_lineitem_l_tax, type t_lineitem_l_tax>),
+  c_one_d.out => one_minus_disc.lhs,
+  f_disc.out => one_minus_disc.rhs,
+  c_one_t.out => one_plus_tax.lhs,
+  f_tax.out => one_plus_tax.rhs,
+
+  // disc_price = l_extendedprice * (1 - l_discount)
+  instance disc_price(mul2_i<type t_lineitem_l_extendedprice, type t_lineitem_l_discount, type t_q1_money>),
+  f_price.out => disc_price.lhs,
+  one_minus_disc.out => disc_price.rhs,
+
+  // charge = disc_price * (1 + l_tax)
+  instance charge(mul2_i<type t_q1_money, type t_lineitem_l_tax, type t_q1_charge>),
+  disc_price.out => charge.lhs,
+  one_plus_tax.out => charge.rhs,
+
+  // aggregates (avg(x) = sum(x) / count on the host side)
+  instance acc_qty(accumulator_i<type t_lineitem_l_quantity, type t_q1_sum>),
+  instance acc_price(accumulator_i<type t_lineitem_l_extendedprice, type t_q1_sum>),
+  instance acc_disc_price(accumulator_i<type t_q1_money, type t_q1_sum>),
+  instance acc_charge(accumulator_i<type t_q1_charge, type t_q1_charge_sum>),
+  instance acc_disc(accumulator_i<type t_lineitem_l_discount, type t_q1_sum>),
+  instance acc_count(accumulator_i<type t_q1_one, type t_q1_count>),
+  f_qty.out => acc_qty.in_,
+  f_price.out => acc_price.in_,
+  disc_price.out => acc_disc_price.in_,
+  charge.out => acc_charge.in_,
+  f_disc.out => acc_disc.in_,
+  f_ones.out => acc_count.in_,
+
+  // group keys stream out for host-side group-by/order-by
+  f_flag.out => group_flag,
+  f_status.out => group_status,
+  acc_qty.out => sum_qty,
+  acc_price.out => sum_base_price,
+  acc_disc_price.out => sum_disc_price,
+  acc_charge.out => sum_charge,
+  acc_disc.out => sum_disc,
+  acc_count.out => count_rows,
+}
+)tydi";
+
+// Non-sugared Q1: the identical query with every duplicator and voider
+// written out manually (Table IV row "TPC-H 1 (without sugaring)").
+constexpr std::string_view kQ1NoSugarSource = R"tydi(
+package q1;
+
+type t_q1_money = Stream(Bit(100), d=1, c=2);
+type t_q1_charge = Stream(Bit(150), d=1, c=2);
+type t_q1_sum = Stream(Bit(100), d=1, c=2);
+type t_q1_charge_sum = Stream(Bit(150), d=1, c=2);
+type t_q1_one = Stream(Bit(64), d=1, c=2);
+type t_q1_count = Stream(Bit(64), d=1, c=2);
+
+streamlet q1_s {
+  orderkey_req: t_lineitem_l_orderkey in,
+  group_flag: t_lineitem_l_returnflag out,
+  group_status: t_lineitem_l_linestatus out,
+  sum_qty: t_q1_sum out,
+  sum_base_price: t_q1_sum out,
+  sum_disc_price: t_q1_sum out,
+  sum_charge: t_q1_charge_sum out,
+  sum_disc: t_q1_sum out,
+  count_rows: t_q1_count out,
+}
+
+impl q1_i of q1_s {
+  const ship_cutoff = 10490;
+  const one_scaled = 100;
+
+  instance reader(lineitem_reader_i),
+  orderkey_req => reader.l_orderkey,
+
+  // manual voiders for every unused Fletcher output
+  instance v_partkey(voider_i<type t_lineitem_l_partkey>),
+  instance v_suppkey(voider_i<type t_lineitem_l_suppkey>),
+  instance v_linenumber(voider_i<type t_lineitem_l_linenumber>),
+  instance v_commitdate(voider_i<type t_lineitem_l_commitdate>),
+  instance v_receiptdate(voider_i<type t_lineitem_l_receiptdate>),
+  instance v_shipinstruct(voider_i<type t_lineitem_l_shipinstruct>),
+  instance v_shipmode(voider_i<type t_lineitem_l_shipmode>),
+  instance v_comment(voider_i<type t_lineitem_l_comment>),
+  reader.l_partkey => v_partkey.in_,
+  reader.l_suppkey => v_suppkey.in_,
+  reader.l_linenumber => v_linenumber.in_,
+  reader.l_commitdate => v_commitdate.in_,
+  reader.l_receiptdate => v_receiptdate.in_,
+  reader.l_shipinstruct => v_shipinstruct.in_,
+  reader.l_shipmode => v_shipmode.in_,
+  reader.l_comment => v_comment.in_,
+
+  instance p_date(const_compare_int_i<type t_lineitem_l_shipdate, type std_bool, ship_cutoff, "<=">),
+  reader.l_shipdate => p_date.in_,
+
+  // manual duplicator for the shared keep stream (7 consumers)
+  instance d_keep(duplicator_i<type std_bool, 7>),
+  p_date.out => d_keep.in_,
+
+  instance f_qty(filter_i<type t_lineitem_l_quantity, type std_bool>),
+  instance f_price(filter_i<type t_lineitem_l_extendedprice, type std_bool>),
+  instance f_disc(filter_i<type t_lineitem_l_discount, type std_bool>),
+  instance f_tax(filter_i<type t_lineitem_l_tax, type std_bool>),
+  instance f_flag(filter_i<type t_lineitem_l_returnflag, type std_bool>),
+  instance f_status(filter_i<type t_lineitem_l_linestatus, type std_bool>),
+  instance f_ones(filter_i<type t_q1_one, type std_bool>),
+  reader.l_quantity => f_qty.in_,
+  reader.l_extendedprice => f_price.in_,
+  reader.l_discount => f_disc.in_,
+  reader.l_tax => f_tax.in_,
+  reader.l_returnflag => f_flag.in_,
+  reader.l_linestatus => f_status.in_,
+  d_keep.out_[0] => f_qty.keep,
+  d_keep.out_[1] => f_price.keep,
+  d_keep.out_[2] => f_disc.keep,
+  d_keep.out_[3] => f_tax.keep,
+  d_keep.out_[4] => f_flag.keep,
+  d_keep.out_[5] => f_status.keep,
+  d_keep.out_[6] => f_ones.keep,
+
+  instance c_ones(const_generator_i<type t_q1_one, 1>),
+  c_ones.out => f_ones.in_,
+
+  // manual duplicators for the reused value streams
+  instance d_price(duplicator_i<type t_lineitem_l_extendedprice, 2>),
+  instance d_disc(duplicator_i<type t_lineitem_l_discount, 2>),
+  f_price.out => d_price.in_,
+  f_disc.out => d_disc.in_,
+
+  instance c_one_d(const_generator_i<type t_lineitem_l_discount, one_scaled>),
+  instance c_one_t(const_generator_i<type t_lineitem_l_tax, one_scaled>),
+  instance one_minus_disc(sub2_i<type t_lineitem_l_discount, type t_lineitem_l_discount, type t_lineitem_l_discount>),
+  instance one_plus_tax(add2_i<type t_lineitem_l_tax, type t_lineitem_l_tax, type t_lineitem_l_tax>),
+  c_one_d.out => one_minus_disc.lhs,
+  d_disc.out_[0] => one_minus_disc.rhs,
+  c_one_t.out => one_plus_tax.lhs,
+  f_tax.out => one_plus_tax.rhs,
+
+  instance disc_price(mul2_i<type t_lineitem_l_extendedprice, type t_lineitem_l_discount, type t_q1_money>),
+  d_price.out_[0] => disc_price.lhs,
+  one_minus_disc.out => disc_price.rhs,
+
+  instance d_disc_price(duplicator_i<type t_q1_money, 2>),
+  disc_price.out => d_disc_price.in_,
+
+  instance charge(mul2_i<type t_q1_money, type t_lineitem_l_tax, type t_q1_charge>),
+  d_disc_price.out_[0] => charge.lhs,
+  one_plus_tax.out => charge.rhs,
+
+  instance acc_qty(accumulator_i<type t_lineitem_l_quantity, type t_q1_sum>),
+  instance acc_price(accumulator_i<type t_lineitem_l_extendedprice, type t_q1_sum>),
+  instance acc_disc_price(accumulator_i<type t_q1_money, type t_q1_sum>),
+  instance acc_charge(accumulator_i<type t_q1_charge, type t_q1_charge_sum>),
+  instance acc_disc(accumulator_i<type t_lineitem_l_discount, type t_q1_sum>),
+  instance acc_count(accumulator_i<type t_q1_one, type t_q1_count>),
+  f_qty.out => acc_qty.in_,
+  d_price.out_[1] => acc_price.in_,
+  d_disc_price.out_[1] => acc_disc_price.in_,
+  charge.out => acc_charge.in_,
+  d_disc.out_[1] => acc_disc.in_,
+  f_ones.out => acc_count.in_,
+
+  f_flag.out => group_flag,
+  f_status.out => group_status,
+  acc_qty.out => sum_qty,
+  acc_price.out => sum_base_price,
+  acc_disc_price.out => sum_disc_price,
+  acc_charge.out => sum_charge,
+  acc_disc.out => sum_disc,
+  acc_count.out => count_rows,
+}
+)tydi";
+
+// ===========================================================================
+// TPC-H 3 — shipping priority.
+// ===========================================================================
+
+constexpr std::string_view kQ3Sql = R"sql(
+select
+  l_orderkey,
+  sum(l_extendedprice * (1 - l_discount)) as revenue,
+  o_orderdate, o_shippriority
+from customer, orders, lineitem
+where c_mktsegment = ':1'
+  and c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate < date ':2'
+  and l_shipdate > date ':2'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc, o_orderdate;
+)sql";
+
+constexpr std::string_view kQ3Source = R"tydi(
+package q3;
+
+type t_q3_money = Stream(Bit(100), d=1, c=2);
+type t_q3_total = Stream(Bit(100), d=1, c=2);
+
+streamlet q3_s {
+  orderkey_req: t_lineitem_l_orderkey in,
+  revenue: t_q3_total out,
+  group_orderdate: t_orders_o_orderdate out,
+  group_shippriority: t_orders_o_shippriority out,
+}
+
+impl q3_i of q3_s {
+  // ':2' = 1995-03-15 as days since epoch
+  const cutoff_date = 9204;
+  const one_scaled = 100;
+
+  instance reader_l(lineitem_reader_i),
+  instance reader_o(orders_reader_i),
+  instance reader_c(customer_reader_i),
+
+  // the same order keys request lineitem and orders rows (aligned scan);
+  // customer rows are requested by the returned o_custkey (index lookup),
+  // which realizes c_custkey = o_custkey and l_orderkey = o_orderkey
+  orderkey_req => reader_l.l_orderkey,
+  orderkey_req => reader_o.o_orderkey @structural,
+  reader_o.o_custkey => reader_c.c_custkey @structural,
+
+  // where predicates
+  instance p_seg(const_compare_i<type t_customer_c_mktsegment, type std_bool, "BUILDING", "==">),
+  instance p_odate(const_compare_int_i<type t_orders_o_orderdate, type std_bool, cutoff_date, "<">),
+  instance p_sdate(const_compare_int_i<type t_lineitem_l_shipdate, type std_bool, cutoff_date, ">">),
+  reader_c.c_mktsegment => p_seg.in_,
+  reader_o.o_orderdate => p_odate.in_,
+  reader_l.l_shipdate => p_sdate.in_,
+
+  instance keep_and(logic_and_i<type std_bool, 3>),
+  p_seg.out => keep_and.in_[0],
+  p_odate.out => keep_and.in_[1],
+  p_sdate.out => keep_and.in_[2],
+
+  // revenue = sum(l_extendedprice * (1 - l_discount)) over kept rows
+  instance f_price(filter_i<type t_lineitem_l_extendedprice, type std_bool>),
+  instance f_disc(filter_i<type t_lineitem_l_discount, type std_bool>),
+  instance f_odate(filter_i<type t_orders_o_orderdate, type std_bool>),
+  instance f_prio(filter_i<type t_orders_o_shippriority, type std_bool>),
+  reader_l.l_extendedprice => f_price.in_,
+  reader_l.l_discount => f_disc.in_,
+  reader_o.o_orderdate => f_odate.in_,
+  reader_o.o_shippriority => f_prio.in_,
+  keep_and.out => f_price.keep,
+  keep_and.out => f_disc.keep,
+  keep_and.out => f_odate.keep,
+  keep_and.out => f_prio.keep,
+
+  instance c_one(const_generator_i<type t_lineitem_l_discount, one_scaled>),
+  instance one_minus_disc(sub2_i<type t_lineitem_l_discount, type t_lineitem_l_discount, type t_lineitem_l_discount>),
+  c_one.out => one_minus_disc.lhs,
+  f_disc.out => one_minus_disc.rhs,
+  instance mul(mul2_i<type t_lineitem_l_extendedprice, type t_lineitem_l_discount, type t_q3_money>),
+  f_price.out => mul.lhs,
+  one_minus_disc.out => mul.rhs,
+  instance acc(accumulator_i<type t_q3_money, type t_q3_total>),
+  mul.out => acc.in_,
+  acc.out => revenue,
+  f_odate.out => group_orderdate,
+  f_prio.out => group_shippriority,
+}
+)tydi";
+
+// ===========================================================================
+// TPC-H 5 — local supplier volume.
+// ===========================================================================
+
+constexpr std::string_view kQ5Sql = R"sql(
+select
+  n_name,
+  sum(l_extendedprice * (1 - l_discount)) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and l_suppkey = s_suppkey
+  and c_nationkey = s_nationkey
+  and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = ':1'
+  and o_orderdate >= date ':2'
+  and o_orderdate < date ':2' + interval '1' year
+group by n_name
+order by revenue desc;
+)sql";
+
+constexpr std::string_view kQ5Source = R"tydi(
+package q5;
+
+type t_q5_money = Stream(Bit(100), d=1, c=2);
+type t_q5_total = Stream(Bit(100), d=1, c=2);
+
+streamlet q5_s {
+  orderkey_req: t_lineitem_l_orderkey in,
+  group_nation: t_nation_n_name out,
+  revenue: t_q5_total out,
+}
+
+impl q5_i of q5_s {
+  const date_lo = 8766;
+  const date_hi = 9131;
+  const one_scaled = 100;
+
+  instance reader_l(lineitem_reader_i),
+  instance reader_o(orders_reader_i),
+  instance reader_c(customer_reader_i),
+  instance reader_s(supplier_reader_i),
+  instance reader_n(nation_reader_i),
+  instance reader_r(region_reader_i),
+
+  // aligned scan of lineitem/orders; index lookups along the join chain
+  orderkey_req => reader_l.l_orderkey,
+  orderkey_req => reader_o.o_orderkey @structural,
+  reader_o.o_custkey => reader_c.c_custkey @structural,
+  reader_l.l_suppkey => reader_s.s_suppkey @structural,
+  reader_s.s_nationkey => reader_n.n_nationkey @structural,
+  reader_n.n_regionkey => reader_r.r_regionkey @structural,
+
+  // c_nationkey = s_nationkey (the join predicate not satisfied by lookup)
+  instance p_nation(cmp2_i<type t_customer_c_nationkey, type t_supplier_s_nationkey, type std_bool, "==">),
+  reader_c.c_nationkey => p_nation.lhs,
+  reader_s.s_nationkey => p_nation.rhs,
+
+  // r_name = ':1' and the order date window
+  instance p_region(const_compare_i<type t_region_r_name, type std_bool, "ASIA", "==">),
+  instance p_date_lo(const_compare_int_i<type t_orders_o_orderdate, type std_bool, date_lo, ">=">),
+  instance p_date_hi(const_compare_int_i<type t_orders_o_orderdate, type std_bool, date_hi, "<">),
+  reader_r.r_name => p_region.in_,
+  reader_o.o_orderdate => p_date_lo.in_,
+  reader_o.o_orderdate => p_date_hi.in_,
+
+  instance keep_and(logic_and_i<type std_bool, 4>),
+  p_nation.out => keep_and.in_[0],
+  p_region.out => keep_and.in_[1],
+  p_date_lo.out => keep_and.in_[2],
+  p_date_hi.out => keep_and.in_[3],
+
+  // revenue and the n_name group key
+  instance f_price(filter_i<type t_lineitem_l_extendedprice, type std_bool>),
+  instance f_disc(filter_i<type t_lineitem_l_discount, type std_bool>),
+  instance f_name(filter_i<type t_nation_n_name, type std_bool>),
+  reader_l.l_extendedprice => f_price.in_,
+  reader_l.l_discount => f_disc.in_,
+  reader_n.n_name => f_name.in_,
+  keep_and.out => f_price.keep,
+  keep_and.out => f_disc.keep,
+  keep_and.out => f_name.keep,
+
+  instance c_one(const_generator_i<type t_lineitem_l_discount, one_scaled>),
+  instance one_minus_disc(sub2_i<type t_lineitem_l_discount, type t_lineitem_l_discount, type t_lineitem_l_discount>),
+  c_one.out => one_minus_disc.lhs,
+  f_disc.out => one_minus_disc.rhs,
+  instance mul(mul2_i<type t_lineitem_l_extendedprice, type t_lineitem_l_discount, type t_q5_money>),
+  f_price.out => mul.lhs,
+  one_minus_disc.out => mul.rhs,
+  instance acc(accumulator_i<type t_q5_money, type t_q5_total>),
+  mul.out => acc.in_,
+  acc.out => revenue,
+  f_name.out => group_nation,
+}
+)tydi";
+
+// ===========================================================================
+// TPC-H 19 — discounted revenue (three or-clauses with in-lists).
+// ===========================================================================
+
+constexpr std::string_view kQ19Sql = R"sql(
+select
+  sum(l_extendedprice * (1 - l_discount)) as revenue
+from lineitem, part
+where
+  ( p_partkey = l_partkey and p_brand = ':1'
+    and p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+    and l_quantity >= :4 and l_quantity <= :4 + 10
+    and p_size between 1 and 5
+    and l_shipmode in ('AIR', 'AIR REG')
+    and l_shipinstruct = 'DELIVER IN PERSON' )
+  or
+  ( p_partkey = l_partkey and p_brand = ':2'
+    and p_container in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+    and l_quantity >= :5 and l_quantity <= :5 + 10
+    and p_size between 1 and 10
+    and l_shipmode in ('AIR', 'AIR REG')
+    and l_shipinstruct = 'DELIVER IN PERSON' )
+  or
+  ( p_partkey = l_partkey and p_brand = ':3'
+    and p_container in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+    and l_quantity >= :6 and l_quantity <= :6 + 10
+    and p_size between 1 and 15
+    and l_shipmode in ('AIR', 'AIR REG')
+    and l_shipinstruct = 'DELIVER IN PERSON' );
+)sql";
+
+constexpr std::string_view kQ19Source = R"tydi(
+package q19;
+
+type t_q19_money = Stream(Bit(100), d=1, c=2);
+type t_q19_total = Stream(Bit(100), d=1, c=2);
+
+streamlet q19_s {
+  orderkey_req: t_lineitem_l_orderkey in,
+  revenue: t_q19_total out,
+}
+
+impl q19_i of q19_s {
+  const one_scaled = 100;
+  const qty_1 = 1;
+  const qty_2 = 10;
+  const qty_3 = 20;
+
+  instance reader_l(lineitem_reader_i),
+  instance reader_p(part_reader_i),
+  orderkey_req => reader_l.l_orderkey,
+  // p_partkey = l_partkey: part rows are fetched by the lineitem part key
+  reader_l.l_partkey => reader_p.p_partkey @structural,
+
+  // predicates shared by the three or-clauses
+  instance p_instruct(const_compare_i<type t_lineitem_l_shipinstruct, type std_bool, "DELIVER IN PERSON", "==">),
+  reader_l.l_shipinstruct => p_instruct.in_,
+  const shipmodes = ["AIR", "AIR REG"];
+  instance or_ship(logic_or_i<type std_bool, 2>),
+  for i in 0->2 {
+    instance p_ship[i](const_compare_i<type t_lineitem_l_shipmode, type std_bool, shipmodes[i], "==">),
+    reader_l.l_shipmode => p_ship[i].in_,
+    p_ship[i].out => or_ship.in_[i],
+  }
+
+  // clause 1: ':1' brand, SM containers, quantity window, size 1..5
+  const containers_1 = ["SM CASE", "SM BOX", "SM PACK", "SM PKG"];
+  instance p_brand_1(const_compare_i<type t_part_p_brand, type std_bool, "Brand#12", "==">),
+  reader_p.p_brand => p_brand_1.in_,
+  instance or_cont_1(logic_or_i<type std_bool, 4>),
+  for i in 0->4 {
+    instance p_cont_1[i](const_compare_i<type t_part_p_container, type std_bool, containers_1[i], "==">),
+    reader_p.p_container => p_cont_1[i].in_,
+    p_cont_1[i].out => or_cont_1.in_[i],
+  }
+  instance p_qty_lo_1(const_compare_int_i<type t_lineitem_l_quantity, type std_bool, qty_1, ">=">),
+  instance p_qty_hi_1(const_compare_int_i<type t_lineitem_l_quantity, type std_bool, qty_1 + 10, "<=">),
+  instance p_size_lo_1(const_compare_int_i<type t_part_p_size, type std_bool, 1, ">=">),
+  instance p_size_hi_1(const_compare_int_i<type t_part_p_size, type std_bool, 5, "<=">),
+  reader_l.l_quantity => p_qty_lo_1.in_,
+  reader_l.l_quantity => p_qty_hi_1.in_,
+  reader_p.p_size => p_size_lo_1.in_,
+  reader_p.p_size => p_size_hi_1.in_,
+  instance and_1(logic_and_i<type std_bool, 8>),
+  p_brand_1.out => and_1.in_[0],
+  or_cont_1.out => and_1.in_[1],
+  p_qty_lo_1.out => and_1.in_[2],
+  p_qty_hi_1.out => and_1.in_[3],
+  p_size_lo_1.out => and_1.in_[4],
+  p_size_hi_1.out => and_1.in_[5],
+  or_ship.out => and_1.in_[6],
+  p_instruct.out => and_1.in_[7],
+
+  // clause 2: ':2' brand, MED containers, quantity window, size 1..10
+  const containers_2 = ["MED BAG", "MED BOX", "MED PKG", "MED PACK"];
+  instance p_brand_2(const_compare_i<type t_part_p_brand, type std_bool, "Brand#23", "==">),
+  reader_p.p_brand => p_brand_2.in_,
+  instance or_cont_2(logic_or_i<type std_bool, 4>),
+  for i in 0->4 {
+    instance p_cont_2[i](const_compare_i<type t_part_p_container, type std_bool, containers_2[i], "==">),
+    reader_p.p_container => p_cont_2[i].in_,
+    p_cont_2[i].out => or_cont_2.in_[i],
+  }
+  instance p_qty_lo_2(const_compare_int_i<type t_lineitem_l_quantity, type std_bool, qty_2, ">=">),
+  instance p_qty_hi_2(const_compare_int_i<type t_lineitem_l_quantity, type std_bool, qty_2 + 10, "<=">),
+  instance p_size_lo_2(const_compare_int_i<type t_part_p_size, type std_bool, 1, ">=">),
+  instance p_size_hi_2(const_compare_int_i<type t_part_p_size, type std_bool, 10, "<=">),
+  reader_l.l_quantity => p_qty_lo_2.in_,
+  reader_l.l_quantity => p_qty_hi_2.in_,
+  reader_p.p_size => p_size_lo_2.in_,
+  reader_p.p_size => p_size_hi_2.in_,
+  instance and_2(logic_and_i<type std_bool, 8>),
+  p_brand_2.out => and_2.in_[0],
+  or_cont_2.out => and_2.in_[1],
+  p_qty_lo_2.out => and_2.in_[2],
+  p_qty_hi_2.out => and_2.in_[3],
+  p_size_lo_2.out => and_2.in_[4],
+  p_size_hi_2.out => and_2.in_[5],
+  or_ship.out => and_2.in_[6],
+  p_instruct.out => and_2.in_[7],
+
+  // clause 3: ':3' brand, LG containers, quantity window, size 1..15
+  const containers_3 = ["LG CASE", "LG BOX", "LG PACK", "LG PKG"];
+  instance p_brand_3(const_compare_i<type t_part_p_brand, type std_bool, "Brand#34", "==">),
+  reader_p.p_brand => p_brand_3.in_,
+  instance or_cont_3(logic_or_i<type std_bool, 4>),
+  for i in 0->4 {
+    instance p_cont_3[i](const_compare_i<type t_part_p_container, type std_bool, containers_3[i], "==">),
+    reader_p.p_container => p_cont_3[i].in_,
+    p_cont_3[i].out => or_cont_3.in_[i],
+  }
+  instance p_qty_lo_3(const_compare_int_i<type t_lineitem_l_quantity, type std_bool, qty_3, ">=">),
+  instance p_qty_hi_3(const_compare_int_i<type t_lineitem_l_quantity, type std_bool, qty_3 + 10, "<=">),
+  instance p_size_lo_3(const_compare_int_i<type t_part_p_size, type std_bool, 1, ">=">),
+  instance p_size_hi_3(const_compare_int_i<type t_part_p_size, type std_bool, 15, "<=">),
+  reader_l.l_quantity => p_qty_lo_3.in_,
+  reader_l.l_quantity => p_qty_hi_3.in_,
+  reader_p.p_size => p_size_lo_3.in_,
+  reader_p.p_size => p_size_hi_3.in_,
+  instance and_3(logic_and_i<type std_bool, 8>),
+  p_brand_3.out => and_3.in_[0],
+  or_cont_3.out => and_3.in_[1],
+  p_qty_lo_3.out => and_3.in_[2],
+  p_qty_hi_3.out => and_3.in_[3],
+  p_size_lo_3.out => and_3.in_[4],
+  p_size_hi_3.out => and_3.in_[5],
+  or_ship.out => and_3.in_[6],
+  p_instruct.out => and_3.in_[7],
+
+  // disjunction of the three clauses
+  instance keep_or(logic_or_i<type std_bool, 3>),
+  and_1.out => keep_or.in_[0],
+  and_2.out => keep_or.in_[1],
+  and_3.out => keep_or.in_[2],
+
+  // revenue = sum(l_extendedprice * (1 - l_discount))
+  instance f_price(filter_i<type t_lineitem_l_extendedprice, type std_bool>),
+  instance f_disc(filter_i<type t_lineitem_l_discount, type std_bool>),
+  reader_l.l_extendedprice => f_price.in_,
+  reader_l.l_discount => f_disc.in_,
+  keep_or.out => f_price.keep,
+  keep_or.out => f_disc.keep,
+
+  instance c_one(const_generator_i<type t_lineitem_l_discount, one_scaled>),
+  instance one_minus_disc(sub2_i<type t_lineitem_l_discount, type t_lineitem_l_discount, type t_lineitem_l_discount>),
+  c_one.out => one_minus_disc.lhs,
+  f_disc.out => one_minus_disc.rhs,
+  instance mul(mul2_i<type t_lineitem_l_extendedprice, type t_lineitem_l_discount, type t_q19_money>),
+  f_price.out => mul.lhs,
+  one_minus_disc.out => mul.rhs,
+  instance acc(accumulator_i<type t_q19_money, type t_q19_total>),
+  mul.out => acc.in_,
+  acc.out => revenue,
+}
+)tydi";
+
+std::vector<QueryCase> build_queries();
+
+}  // namespace
+
+const std::vector<Schema>& schemas() {
+  static const std::vector<Schema> instance = build_schemas();
+  return instance;
+}
+
+const std::string& fletcher_source() {
+  static const std::string instance =
+      fletcher::generate_interfaces(schemas(), fletcher::FletchgenOptions{});
+  return instance;
+}
+
+std::size_t fletcher_loc() {
+  return support::count_tydi_loc(fletcher_source());
+}
+
+const std::vector<QueryCase>& queries() {
+  static const std::vector<QueryCase> instance = build_queries();
+  return instance;
+}
+
+const QueryCase* find_query(std::string_view id, std::string_view note) {
+  for (const QueryCase& q : queries()) {
+    if (q.id == id && q.note == note) return &q;
+  }
+  return nullptr;
+}
+
+driver::CompileResult compile_query(const QueryCase& query) {
+  driver::CompileOptions options;
+  options.top = query.top_impl;
+  options.sugaring = query.sugaring;
+  std::vector<driver::NamedSource> sources;
+  sources.push_back(
+      driver::NamedSource{"fletcher.td", fletcher_source()});
+  sources.push_back(driver::NamedSource{
+      std::string(query.id) + ".td", std::string(query.source)});
+  return driver::compile(sources, options);
+}
+
+std::vector<Table4Row> measure_table4() {
+  std::vector<Table4Row> rows;
+  const std::size_t loc_f = fletcher_loc();
+  const std::size_t loc_s = stdlib::stdlib_loc();
+  for (const QueryCase& q : queries()) {
+    Table4Row row;
+    row.query = q.id + (q.note.empty() ? "" : " " + q.note);
+    row.raw_sql_loc = support::count_tydi_loc(q.raw_sql);
+    row.query_loc = support::count_tydi_loc(q.source);
+    row.total_loc = row.query_loc + loc_f + loc_s;
+    driver::CompileResult result = compile_query(q);
+    row.compiled_ok = result.success();
+    row.vhdl_loc = support::count_vhdl_loc(result.vhdl_text);
+    if (row.query_loc > 0) {
+      row.ratio_query =
+          static_cast<double>(row.vhdl_loc) / static_cast<double>(row.query_loc);
+    }
+    if (row.total_loc > 0) {
+      row.ratio_total =
+          static_cast<double>(row.vhdl_loc) / static_cast<double>(row.total_loc);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+
+std::vector<QueryCase> build_queries() {
+  std::vector<QueryCase> out;
+  out.push_back(QueryCase{"TPC-H 1", "q1_i", kQ1NoSugarSource, kQ1Sql, false,
+                          "(without sugaring)"});
+  out.push_back(QueryCase{"TPC-H 1", "q1_i", kQ1Source, kQ1Sql, true, ""});
+  out.push_back(QueryCase{"TPC-H 3", "q3_i", kQ3Source, kQ3Sql, true, ""});
+  out.push_back(QueryCase{"TPC-H 5", "q5_i", kQ5Source, kQ5Sql, true, ""});
+  out.push_back(QueryCase{"TPC-H 6", "q6_i", kQ6Source, kQ6Sql, true, ""});
+  out.push_back(QueryCase{"TPC-H 19", "q19_i", kQ19Source, kQ19Sql, true,
+                          ""});
+  return out;
+}
+
+}  // namespace
+
+}  // namespace tydi::tpch

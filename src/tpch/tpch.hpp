@@ -1,0 +1,66 @@
+// TPC-H workload for the Table IV experiment (Sec. VI).
+//
+// Each query case carries:
+//  - the raw SQL (for documentation and the LoC of the "Raw SQL query"
+//    column),
+//  - the Tydi-lang query logic (LoCq),
+// and compiles against the shared standard library (LoCs) and the
+// Fletcher-generated table interfaces (LoCf), exactly mirroring the paper's
+// three-part accounting: LoCa = LoCq + LoCf + LoCs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/driver/compiler.hpp"
+#include "src/fletcher/schema.hpp"
+
+namespace tydi::tpch {
+
+struct QueryCase {
+  std::string id;          ///< e.g. "TPC-H 6"
+  std::string top_impl;    ///< top impl name, e.g. "q6_i"
+  std::string_view source; ///< query logic in Tydi-lang
+  std::string_view raw_sql;
+  bool sugaring = true;    ///< false for the manual (non-sugared) variant
+  std::string note;        ///< e.g. "(without sugaring)"
+};
+
+/// The TPC-H table schemas (full canonical column sets).
+[[nodiscard]] const std::vector<fletcher::Schema>& schemas();
+
+/// The Fletcher part: generated interfaces for all tables (cached).
+[[nodiscard]] const std::string& fletcher_source();
+
+/// LoC of the Fletcher part (Table IV: LoCf).
+[[nodiscard]] std::size_t fletcher_loc();
+
+/// All query cases in Table IV order: Q1 (without sugaring), Q1, Q3, Q5,
+/// Q6, Q19.
+[[nodiscard]] const std::vector<QueryCase>& queries();
+
+/// Looks a query up by id + note; nullptr if absent.
+[[nodiscard]] const QueryCase* find_query(std::string_view id,
+                                          std::string_view note = "");
+
+/// Compiles one query through the full pipeline (stdlib + Fletcher part +
+/// query logic; sugaring per the case).
+[[nodiscard]] driver::CompileResult compile_query(const QueryCase& query);
+
+/// One row of Table IV as measured on this implementation.
+struct Table4Row {
+  std::string query;
+  std::size_t raw_sql_loc = 0;
+  std::size_t query_loc = 0;    // LoCq
+  std::size_t total_loc = 0;    // LoCa = LoCq + LoCf + LoCs
+  std::size_t vhdl_loc = 0;     // LoCvhdl
+  double ratio_query = 0.0;     // Rq = LoCvhdl / LoCq
+  double ratio_total = 0.0;     // Ra = LoCvhdl / LoCa
+  bool compiled_ok = false;
+};
+
+/// Compiles every query and measures the Table IV columns.
+[[nodiscard]] std::vector<Table4Row> measure_table4();
+
+}  // namespace tydi::tpch

@@ -1,0 +1,56 @@
+// tydi-cpp — umbrella header for the public API.
+//
+// A C++20 implementation of the Tydi-lang toolchain ("Tydi-lang: A Language
+// for Typed Streaming Hardware", SC 2023): compiler frontend, Tydi-IR, VHDL
+// backend, standard library, event-driven simulator, testbench generation,
+// Fletcher-style interface generation, and the TPC-H evaluation workload.
+//
+// Typical use:
+//
+//   #include "src/tydi.hpp"
+//
+//   tydi::driver::CompileOptions options;
+//   options.top = "my_top";
+//   auto result = tydi::driver::compile_source(source_text, options);
+//   if (result.success()) {
+//     write(result.ir_text);    // Tydi-IR
+//     write(result.vhdl_text);  // generated VHDL
+//   }
+//
+// Simulation:
+//
+//   tydi::support::DiagnosticEngine diags;
+//   tydi::sim::Engine engine(result.design, diags);
+//   tydi::sim::SimOptions sim_options;  // stimuli, clock periods, ...
+//   tydi::sim::SimResult sim = engine.run(sim_options);
+//   report(sim.summary());
+#pragma once
+
+#include "src/ast/ast.hpp"
+#include "src/drc/drc.hpp"
+#include "src/driver/compiler.hpp"
+#include "src/elab/design.hpp"
+#include "src/elab/elaborator.hpp"
+#include "src/eval/interp.hpp"
+#include "src/eval/scope.hpp"
+#include "src/eval/value.hpp"
+#include "src/fletcher/fletchgen.hpp"
+#include "src/fletcher/schema.hpp"
+#include "src/ir/ir.hpp"
+#include "src/lexer/lexer.hpp"
+#include "src/parser/parser.hpp"
+#include "src/sim/behavior.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/metrics.hpp"
+#include "src/stdlib/stdlib.hpp"
+#include "src/sugar/sugar.hpp"
+#include "src/support/diagnostic.hpp"
+#include "src/support/source.hpp"
+#include "src/support/text.hpp"
+#include "src/tb/testbench.hpp"
+#include "src/tpch/tpch.hpp"
+#include "src/types/compat.hpp"
+#include "src/types/logical_type.hpp"
+#include "src/types/physical.hpp"
+#include "src/vhdl/rtl_lib.hpp"
+#include "src/vhdl/vhdl.hpp"

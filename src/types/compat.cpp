@@ -1,0 +1,80 @@
+#include "src/types/compat.hpp"
+
+#include "src/types/physical.hpp"
+
+namespace tydi::types {
+
+CompatResult check_connection(const LogicalType& src, const LogicalType& dst,
+                              bool strict) {
+  if (!src.is_stream()) {
+    return CompatResult::no("source port type is not a Stream: " +
+                            src.to_display());
+  }
+  if (!dst.is_stream()) {
+    return CompatResult::no("sink port type is not a Stream: " +
+                            dst.to_display());
+  }
+  const StreamT& s = src.as_stream();
+  const StreamT& d = dst.as_stream();
+
+  // Strict mode compares the *stream type identity* first: two ports must
+  // be declared with the same logical type variable (Sec. IV-B). Complexity
+  // may still differ (checked directionally below), so this is an origin
+  // check, not full strict_equal.
+  if (strict) {
+    if (!src.origin().empty() && !dst.origin().empty() &&
+        src.origin() != dst.origin()) {
+      return CompatResult::no(
+          "stream types differ ('" + src.origin() + "' vs '" + dst.origin() +
+          "') under strict named equality; use @structural to relax");
+    }
+    if (src.origin().empty() != dst.origin().empty()) {
+      return CompatResult::no(
+          "a named stream type cannot connect to an anonymous one under "
+          "strict equality; use @structural to relax");
+    }
+  }
+
+  bool elements_equal = strict ? strict_equal(*s.element, *d.element)
+                               : structural_equal(*s.element, *d.element);
+  if (!elements_equal) {
+    return CompatResult::no(
+        "element types differ (" + s.element->to_display() + " vs " +
+        d.element->to_display() + ")" +
+        (strict && structural_equal(*s.element, *d.element)
+             ? " under strict named equality; use @structural to relax"
+             : ""));
+  }
+  if (s.params.dimension != d.params.dimension) {
+    return CompatResult::no(
+        "stream dimensions differ (" + std::to_string(s.params.dimension) +
+        " vs " + std::to_string(d.params.dimension) + ")");
+  }
+  if (lanes_for_throughput(s.params.throughput) !=
+      lanes_for_throughput(d.params.throughput)) {
+    return CompatResult::no("stream lane counts differ (throughput " +
+                            std::to_string(s.params.throughput) + " vs " +
+                            std::to_string(d.params.throughput) + ")");
+  }
+  if (s.params.synchronicity != d.params.synchronicity) {
+    return CompatResult::no("stream synchronicities differ");
+  }
+  if (s.params.direction != d.params.direction) {
+    return CompatResult::no("stream directions differ");
+  }
+  if (s.params.complexity > d.params.complexity) {
+    return CompatResult::no(
+        "source complexity C" + std::to_string(s.params.complexity) +
+        " exceeds sink complexity C" + std::to_string(d.params.complexity) +
+        " (a source may only drive an equally or more tolerant sink)");
+  }
+  bool user_equal = (s.params.user == nullptr && d.params.user == nullptr) ||
+                    (s.params.user != nullptr && d.params.user != nullptr &&
+                     structural_equal(*s.params.user, *d.params.user));
+  if (!user_equal) {
+    return CompatResult::no("user signal types differ");
+  }
+  return CompatResult::yes();
+}
+
+}  // namespace tydi::types

@@ -1,0 +1,35 @@
+// Connection compatibility — the rules the DRC enforces on every connection
+// (paper Table I, "Connection" row, and Sec. III: "the logical types of two
+// connected ports must be identical").
+#pragma once
+
+#include <string>
+
+#include "src/types/logical_type.hpp"
+
+namespace tydi::types {
+
+struct CompatResult {
+  bool ok = true;
+  std::string reason;  ///< empty when ok
+
+  static CompatResult yes() { return {}; }
+  static CompatResult no(std::string why) {
+    return CompatResult{false, std::move(why)};
+  }
+};
+
+/// Checks whether a source port of type `src` may drive a sink port of type
+/// `dst`. Both must be Streams. `strict` selects named-identity type
+/// equality (the default DRC mode); `@structural` connections pass false.
+///
+/// Rules:
+///  - element types equal (strict or structural per flag)
+///  - identical dimension, lanes, synchronicity, direction, user type
+///  - source complexity <= sink complexity ("compatible protocol
+///    complexities": a simpler producer may feed a more tolerant consumer)
+[[nodiscard]] CompatResult check_connection(const LogicalType& src,
+                                            const LogicalType& dst,
+                                            bool strict);
+
+}  // namespace tydi::types

@@ -1,0 +1,742 @@
+#include "src/vhdl/rtl_lib.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "src/support/text.hpp"
+#include "src/types/physical.hpp"
+
+namespace tydi::vhdl {
+
+using elab::Impl;
+using elab::Port;
+using elab::Streamlet;
+using types::PhysicalStream;
+
+namespace {
+
+/// Primary physical stream of one port, with its VHDL signal prefix.
+struct PortSignals {
+  const Port* port = nullptr;
+  PhysicalStream stream;
+  std::string prefix;
+
+  [[nodiscard]] std::string sig(const std::string& name) const {
+    return prefix + "_" + name;
+  }
+  [[nodiscard]] std::int64_t data_bits() const { return stream.data_bits; }
+};
+
+std::vector<PortSignals> ports_of(const Streamlet& s, lang::PortDir dir) {
+  std::vector<PortSignals> out;
+  for (const Port& p : s.ports) {
+    if (p.dir != dir) continue;
+    PortSignals ps;
+    ps.port = &p;
+    ps.prefix = support::sanitize_identifier(p.name);
+    auto streams = types::physical_streams(p.type, ps.prefix);
+    ps.stream = streams.front();
+    out.push_back(std::move(ps));
+  }
+  return out;
+}
+
+std::string vec(std::int64_t width) {
+  return "std_logic_vector(" + std::to_string(width - 1) + " downto 0)";
+}
+
+/// First int-valued template argument, or `fallback`.
+std::int64_t int_arg(const Impl& impl, std::int64_t fallback) {
+  for (const elab::TemplateArgValue& a : impl.template_args) {
+    if (a.kind == elab::TemplateArgValue::Kind::kValue && a.value.is_int()) {
+      return a.value.as_int();
+    }
+  }
+  return fallback;
+}
+
+/// First string-valued template argument, or `fallback`.
+std::string string_arg(const Impl& impl, const std::string& fallback) {
+  for (const elab::TemplateArgValue& a : impl.template_args) {
+    if (a.kind == elab::TemplateArgValue::Kind::kValue &&
+        a.value.is_string()) {
+      return a.value.as_string();
+    }
+  }
+  return fallback;
+}
+
+/// All string-valued template arguments, in order.
+std::vector<std::string> string_args(const Impl& impl) {
+  std::vector<std::string> out;
+  for (const elab::TemplateArgValue& a : impl.template_args) {
+    if (a.kind == elab::TemplateArgValue::Kind::kValue &&
+        a.value.is_string()) {
+      out.push_back(a.value.as_string());
+    }
+  }
+  return out;
+}
+
+/// Maps a Tydi-lang comparison operator string to its VHDL spelling.
+std::string vhdl_compare_op(const std::string& op) {
+  static const std::map<std::string, std::string> table = {
+      {"==", "="}, {"!=", "/="}, {"<", "<"},
+      {"<=", "<="}, {">", ">"},  {">=", ">="}};
+  auto it = table.find(op);
+  return it != table.end() ? it->second : "=";
+}
+
+/// Copies every forward payload signal (everything except valid/ready) from
+/// `src` to `dst`; both carry the same logical type.
+void copy_payload(RtlBody& body, const PortSignals& src,
+                  const PortSignals& dst) {
+  for (const types::PhysicalSignal& sig : src.stream.signals()) {
+    if (sig.name == "valid" || sig.name == "ready") continue;
+    body.statements.push_back(dst.sig(sig.name) + " <= " + src.sig(sig.name) +
+                              ";");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Family generators. Each emits a self-contained behavioural architecture
+// body using only the impl's streamlet ports; handshaking follows the
+// Tydi-spec valid/ready protocol.
+// ---------------------------------------------------------------------------
+
+RtlBody gen_voider(const Impl&, const Streamlet& s) {
+  // Always-ready sink: acknowledges every packet and discards it (Sec. IV-C:
+  // "voiders will remove all data packets by always acknowledging the source
+  // component and ignoring the data").
+  RtlBody body;
+  for (const PortSignals& in : ports_of(s, lang::PortDir::kIn)) {
+    body.statements.push_back(in.sig("ready") + " <= '1';");
+  }
+  if (body.statements.empty()) {
+    body.statements.push_back("-- voider with no inputs");
+  }
+  return body;
+}
+
+RtlBody gen_duplicator(const Impl&, const Streamlet& s) {
+  // Copies the input packet to every output and acknowledges the input only
+  // once all outputs have accepted (Sec. IV-C).
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.empty() || outs.empty()) return body;
+  const PortSignals& in = ins.front();
+  const std::size_t n = outs.size();
+
+  body.declarations.push_back("signal acked : std_logic_vector(" +
+                              std::to_string(n - 1) + " downto 0);");
+  body.declarations.push_back("signal fire : std_logic_vector(" +
+                              std::to_string(n - 1) + " downto 0);");
+  body.declarations.push_back("signal all_done : std_logic;");
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const PortSignals& out = outs[k];
+    std::string ks = std::to_string(k);
+    body.statements.push_back(out.sig("valid") + " <= " + in.sig("valid") +
+                              " and not acked(" + ks + ");");
+    copy_payload(body, in, out);
+    body.statements.push_back("fire(" + ks + ") <= acked(" + ks + ") or (" +
+                              out.sig("valid") + " and " + out.sig("ready") +
+                              ");");
+  }
+  std::string all = "fire(0)";
+  for (std::size_t k = 1; k < n; ++k) {
+    all += " and fire(" + std::to_string(k) + ")";
+  }
+  body.statements.push_back("all_done <= " + all + ";");
+  body.statements.push_back(in.sig("ready") + " <= all_done;");
+  body.statements.push_back("track : process(clk)");
+  body.statements.push_back("begin");
+  body.statements.push_back("  if rising_edge(clk) then");
+  body.statements.push_back("    if rst = '1' or all_done = '1' then");
+  body.statements.push_back("      acked <= (others => '0');");
+  body.statements.push_back("    else");
+  body.statements.push_back("      acked <= fire;");
+  body.statements.push_back("    end if;");
+  body.statements.push_back("  end if;");
+  body.statements.push_back("end process track;");
+  return body;
+}
+
+/// Registered single-in single-out unit with a combinational datapath
+/// expression produced by `datapath(in, out)`.
+RtlBody gen_unary_pipe(
+    const Streamlet& s,
+    const std::function<std::string(const PortSignals&, const PortSignals&)>&
+        datapath) {
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.empty() || outs.empty()) return body;
+  const PortSignals& in = ins.front();
+  const PortSignals& out = outs.front();
+
+  body.declarations.push_back("signal r_valid : std_logic;");
+  body.declarations.push_back("signal r_data : " + vec(out.data_bits()) +
+                              ";");
+  if (out.stream.last_bits > 0) {
+    body.declarations.push_back("signal r_last : " +
+                                vec(out.stream.last_bits) + ";");
+  }
+
+  body.statements.push_back("datapath : process(clk)");
+  body.statements.push_back("begin");
+  body.statements.push_back("  if rising_edge(clk) then");
+  body.statements.push_back("    if rst = '1' then");
+  body.statements.push_back("      r_valid <= '0';");
+  body.statements.push_back("    elsif " + in.sig("valid") + " = '1' and " +
+                            in.sig("ready") + " = '1' then");
+  body.statements.push_back("      r_data <= " + datapath(in, out) + ";");
+  if (out.stream.last_bits > 0 && in.stream.last_bits > 0) {
+    body.statements.push_back("      r_last <= " + in.sig("last") + ";");
+  }
+  body.statements.push_back("      r_valid <= '1';");
+  body.statements.push_back("    elsif " + out.sig("ready") + " = '1' then");
+  body.statements.push_back("      r_valid <= '0';");
+  body.statements.push_back("    end if;");
+  body.statements.push_back("  end if;");
+  body.statements.push_back("end process datapath;");
+  body.statements.push_back(out.sig("valid") + " <= r_valid;");
+  body.statements.push_back(out.sig("data") + " <= r_data;");
+  if (out.stream.last_bits > 0) {
+    body.statements.push_back(out.sig("last") + " <= r_last;");
+  }
+  body.statements.push_back(in.sig("ready") + " <= (not r_valid) or " +
+                            out.sig("ready") + ";");
+  // Remaining payload signals (strb/stai/endi) pass through registered-less;
+  // acceptable for generated prototypes.
+  return body;
+}
+
+std::string half_op(const PortSignals& in, const PortSignals& out,
+                    const std::string& op) {
+  // The stdlib arithmetic units consume a Group{lhs, rhs} packed into the
+  // input data lanes; lhs occupies the high half, rhs the low half.
+  std::int64_t w = in.data_bits();
+  std::int64_t half = w / 2;
+  std::string hi = in.sig("data") + "(" + std::to_string(w - 1) +
+                   " downto " + std::to_string(half) + ")";
+  std::string lo =
+      in.sig("data") + "(" + std::to_string(half - 1) + " downto 0)";
+  return "std_logic_vector(resize(unsigned(" + hi + ") " + op +
+         " unsigned(" + lo + "), " + std::to_string(out.data_bits()) + "))";
+}
+
+RtlBody gen_adder(const Impl&, const Streamlet& s) {
+  return gen_unary_pipe(s, [](const PortSignals& in, const PortSignals& out) {
+    return half_op(in, out, "+");
+  });
+}
+
+RtlBody gen_subtractor(const Impl&, const Streamlet& s) {
+  return gen_unary_pipe(s, [](const PortSignals& in, const PortSignals& out) {
+    return half_op(in, out, "-");
+  });
+}
+
+RtlBody gen_multiplier(const Impl&, const Streamlet& s) {
+  return gen_unary_pipe(s, [](const PortSignals& in, const PortSignals& out) {
+    return half_op(in, out, "*");
+  });
+}
+
+RtlBody gen_comparator(const Impl& impl, const Streamlet& s) {
+  std::string vop = vhdl_compare_op(string_arg(impl, "=="));
+  return gen_unary_pipe(
+      s, [vop](const PortSignals& in, const PortSignals& out) {
+        std::int64_t w = in.data_bits();
+        std::int64_t half = w / 2;
+        std::string hi = in.sig("data") + "(" + std::to_string(w - 1) +
+                         " downto " + std::to_string(half) + ")";
+        std::string lo =
+            in.sig("data") + "(" + std::to_string(half - 1) + " downto 0)";
+        (void)out;
+        return "(0 => '1', others => '0') when unsigned(" + hi + ") " + vop +
+               " unsigned(" + lo + ") else (others => '0')";
+      });
+}
+
+RtlBody gen_const_compare(const Impl& impl, const Streamlet& s) {
+  // Compares the input against a compile-time constant (e.g. the string
+  // literals in `p_container in ('MED BAG', ...)`, Sec. IV-A).
+  // const_compare_i carries (value: string, op: string); the integer
+  // variant carries (value: int, op: string).
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.empty() || outs.empty()) return body;
+  const PortSignals& in = ins.front();
+  const PortSignals& out = outs.front();
+  std::vector<std::string> strings = string_args(impl);
+  bool has_string_value = strings.size() >= 2;
+  std::string value = has_string_value ? strings[0] : "";
+  std::string vop = vhdl_compare_op(
+      has_string_value ? strings[1] : (strings.empty() ? "==" : strings[0]));
+
+  // Encode the constant operand as a synthesizable literal of the input
+  // width (string bytes packed big-endian; numeric constants via int arg).
+  std::int64_t w = in.data_bits();
+  if (has_string_value) {
+    std::string bits(static_cast<std::size_t>(w), '0');
+    for (std::size_t i = 0;
+         i < value.size() * 8 && i < static_cast<std::size_t>(w); ++i) {
+      std::size_t byte = i / 8;
+      std::size_t bit = 7 - (i % 8);
+      bool set = (static_cast<unsigned char>(value[byte]) >> bit) & 1U;
+      bits[bits.size() - 1 - i] = set ? '1' : '0';
+    }
+    body.declarations.push_back("constant c_operand : " + vec(w) + " := \"" +
+                                bits + "\";");
+  } else {
+    std::int64_t num = int_arg(impl, 0);
+    body.declarations.push_back(
+        "constant c_operand : " + vec(w) +
+        " := std_logic_vector(to_unsigned(" + std::to_string(num) + ", " +
+        std::to_string(w) + "));");
+  }
+
+  body.statements.push_back(out.sig("valid") + " <= " + in.sig("valid") +
+                            ";");
+  body.statements.push_back(
+      out.sig("data") + " <= (0 => '1', others => '0') when unsigned(" +
+      in.sig("data") + ") " + vop +
+      " unsigned(c_operand) else (others => '0');");
+  if (out.stream.last_bits > 0 && in.stream.last_bits > 0) {
+    body.statements.push_back(out.sig("last") + " <= " + in.sig("last") +
+                              ";");
+  }
+  body.statements.push_back(in.sig("ready") + " <= " + out.sig("ready") +
+                            ";");
+  return body;
+}
+
+RtlBody gen_filter(const Impl&, const Streamlet& s) {
+  // `filter<in, out, keep>`: forwards the data packet when the keep stream
+  // carries 1, silently drops it when 0 (Sec. VI, TPC-H 19 walkthrough).
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.size() < 2 || outs.empty()) return body;
+  // Convention: the first input is data, the input named "keep" (or the
+  // last input) is the predicate stream.
+  const PortSignals* data = &ins[0];
+  const PortSignals* keep = &ins[1];
+  for (const PortSignals& p : ins) {
+    if (p.port->name.find("keep") != std::string::npos) keep = &p;
+  }
+  if (keep == data) keep = &ins[1];
+  const PortSignals& out = outs.front();
+
+  body.declarations.push_back("signal both_valid : std_logic;");
+  body.declarations.push_back("signal keep_bit : std_logic;");
+  body.statements.push_back("both_valid <= " + data->sig("valid") + " and " +
+                            keep->sig("valid") + ";");
+  body.statements.push_back("keep_bit <= " + keep->sig("data") + "(0);");
+  body.statements.push_back(out.sig("valid") +
+                            " <= both_valid and keep_bit;");
+  copy_payload(body, *data, out);
+  // Both inputs acknowledge together: either the packet was forwarded and
+  // accepted, or it was dropped (keep = 0).
+  body.statements.push_back(data->sig("ready") + " <= both_valid and (" +
+                            out.sig("ready") + " or not keep_bit);");
+  body.statements.push_back(keep->sig("ready") + " <= both_valid and (" +
+                            out.sig("ready") + " or not keep_bit);");
+  return body;
+}
+
+RtlBody gen_logic_reduce(const Impl&, const Streamlet& s,
+                         const std::string& op) {
+  // n-input logical and/or over single-bit streams with full
+  // synchronization: fires when all inputs are valid.
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.empty() || outs.empty()) return body;
+  const PortSignals& out = outs.front();
+
+  std::string all_valid = ins[0].sig("valid");
+  std::string reduced = ins[0].sig("data") + "(0)";
+  for (std::size_t i = 1; i < ins.size(); ++i) {
+    all_valid += " and " + ins[i].sig("valid");
+    reduced += " " + op + " " + ins[i].sig("data") + "(0)";
+  }
+  body.declarations.push_back("signal all_valid : std_logic;");
+  body.statements.push_back("all_valid <= " + all_valid + ";");
+  body.statements.push_back(out.sig("valid") + " <= all_valid;");
+  body.statements.push_back(out.sig("data") + "(0) <= " + reduced + ";");
+  if (out.stream.last_bits > 0 && ins[0].stream.last_bits > 0) {
+    body.statements.push_back(out.sig("last") + " <= " + ins[0].sig("last") +
+                              ";");
+  }
+  for (const PortSignals& in : ins) {
+    body.statements.push_back(in.sig("ready") + " <= all_valid and " +
+                              out.sig("ready") + ";");
+  }
+  return body;
+}
+
+RtlBody gen_demux(const Impl&, const Streamlet& s) {
+  // Round-robin packet distributor: one input, n outputs.
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.empty() || outs.empty()) return body;
+  const PortSignals& in = ins.front();
+  const std::size_t n = outs.size();
+
+  body.declarations.push_back("signal sel : integer range 0 to " +
+                              std::to_string(n - 1) + " := 0;");
+  for (std::size_t k = 0; k < n; ++k) {
+    const PortSignals& out = outs[k];
+    std::string ks = std::to_string(k);
+    body.statements.push_back(out.sig("valid") + " <= " + in.sig("valid") +
+                              " when sel = " + ks + " else '0';");
+    copy_payload(body, in, out);
+  }
+  std::string ready_mux = "'0'";
+  for (std::size_t k = 0; k < n; ++k) {
+    ready_mux = outs[k].sig("ready") + " when sel = " + std::to_string(k) +
+                " else " + ready_mux;
+  }
+  body.statements.push_back(in.sig("ready") + " <= " + ready_mux + ";");
+  body.statements.push_back("advance : process(clk)");
+  body.statements.push_back("begin");
+  body.statements.push_back("  if rising_edge(clk) then");
+  body.statements.push_back("    if rst = '1' then");
+  body.statements.push_back("      sel <= 0;");
+  body.statements.push_back("    elsif " + in.sig("valid") + " = '1' and " +
+                            in.sig("ready") + " = '1' then");
+  body.statements.push_back("      if sel = " + std::to_string(n - 1) +
+                            " then sel <= 0; else sel <= sel + 1; end if;");
+  body.statements.push_back("    end if;");
+  body.statements.push_back("  end if;");
+  body.statements.push_back("end process advance;");
+  return body;
+}
+
+RtlBody gen_mux(const Impl&, const Streamlet& s) {
+  // Round-robin packet collector: n inputs, one output (order-preserving
+  // counterpart of gen_demux).
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.empty() || outs.empty()) return body;
+  const PortSignals& out = outs.front();
+  const std::size_t n = ins.size();
+
+  body.declarations.push_back("signal sel : integer range 0 to " +
+                              std::to_string(n - 1) + " := 0;");
+  std::string valid_mux = "'0'";
+  for (std::size_t k = 0; k < n; ++k) {
+    valid_mux = ins[k].sig("valid") + " when sel = " + std::to_string(k) +
+                " else " + valid_mux;
+  }
+  body.statements.push_back(out.sig("valid") + " <= " + valid_mux + ";");
+  for (const types::PhysicalSignal& sig : out.stream.signals()) {
+    if (sig.name == "valid" || sig.name == "ready") continue;
+    std::string data_mux = "(others => '0')";
+    for (std::size_t k = 0; k < n; ++k) {
+      data_mux = ins[k].sig(sig.name) + " when sel = " + std::to_string(k) +
+                 " else " + data_mux;
+    }
+    body.statements.push_back(out.sig(sig.name) + " <= " + data_mux + ";");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    body.statements.push_back(ins[k].sig("ready") + " <= " + out.sig("ready") +
+                              " when sel = " + std::to_string(k) +
+                              " else '0';");
+  }
+  body.statements.push_back("advance : process(clk)");
+  body.statements.push_back("begin");
+  body.statements.push_back("  if rising_edge(clk) then");
+  body.statements.push_back("    if rst = '1' then");
+  body.statements.push_back("      sel <= 0;");
+  body.statements.push_back("    elsif " + out.sig("valid") + " = '1' and " +
+                            out.sig("ready") + " = '1' then");
+  body.statements.push_back("      if sel = " + std::to_string(n - 1) +
+                            " then sel <= 0; else sel <= sel + 1; end if;");
+  body.statements.push_back("    end if;");
+  body.statements.push_back("  end if;");
+  body.statements.push_back("end process advance;");
+  return body;
+}
+
+RtlBody gen_accumulator(const Impl&, const Streamlet& s) {
+  // Sums packets of a dimension-1 sequence and emits the total on `last`
+  // (used for SQL aggregates such as `sum(...)`).
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.empty() || outs.empty()) return body;
+  const PortSignals& in = ins.front();
+  const PortSignals& out = outs.front();
+  std::int64_t w = out.data_bits();
+
+  body.declarations.push_back("signal acc : unsigned(" +
+                              std::to_string(w - 1) + " downto 0);");
+  body.declarations.push_back("signal total_valid : std_logic;");
+  body.statements.push_back("accumulate : process(clk)");
+  body.statements.push_back("begin");
+  body.statements.push_back("  if rising_edge(clk) then");
+  body.statements.push_back("    if rst = '1' then");
+  body.statements.push_back("      acc <= (others => '0');");
+  body.statements.push_back("      total_valid <= '0';");
+  body.statements.push_back("    elsif " + in.sig("valid") + " = '1' and " +
+                            in.sig("ready") + " = '1' then");
+  body.statements.push_back("      acc <= acc + resize(unsigned(" +
+                            in.sig("data") + "), " + std::to_string(w) +
+                            ");");
+  if (in.stream.last_bits > 0) {
+    body.statements.push_back("      total_valid <= " + in.sig("last") +
+                              "(0);");
+  } else {
+    body.statements.push_back("      total_valid <= '1';");
+  }
+  body.statements.push_back("    elsif total_valid = '1' and " +
+                            out.sig("ready") + " = '1' then");
+  body.statements.push_back("      total_valid <= '0';");
+  body.statements.push_back("      acc <= (others => '0');");
+  body.statements.push_back("    end if;");
+  body.statements.push_back("  end if;");
+  body.statements.push_back("end process accumulate;");
+  body.statements.push_back(out.sig("valid") + " <= total_valid;");
+  body.statements.push_back(out.sig("data") +
+                            " <= std_logic_vector(acc);");
+  if (out.stream.last_bits > 0) {
+    body.statements.push_back(out.sig("last") + " <= (others => '1');");
+  }
+  body.statements.push_back(in.sig("ready") + " <= not total_valid;");
+  return body;
+}
+
+/// Two-operand synchronized unit: fires when both inputs are valid.
+RtlBody gen_binary_op(const Streamlet& s, const std::string& op,
+                      bool is_compare) {
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.size() < 2 || outs.empty()) return body;
+  const PortSignals& lhs = ins[0];
+  const PortSignals& rhs = ins[1];
+  const PortSignals& out = outs.front();
+
+  body.declarations.push_back("signal both_valid : std_logic;");
+  body.statements.push_back("both_valid <= " + lhs.sig("valid") + " and " +
+                            rhs.sig("valid") + ";");
+  body.statements.push_back(out.sig("valid") + " <= both_valid;");
+  if (is_compare) {
+    body.statements.push_back(
+        out.sig("data") + " <= (0 => '1', others => '0') when unsigned(" +
+        lhs.sig("data") + ") " + op + " unsigned(" + rhs.sig("data") +
+        ") else (others => '0');");
+  } else {
+    body.statements.push_back(
+        out.sig("data") + " <= std_logic_vector(resize(unsigned(" +
+        lhs.sig("data") + ") " + op + " unsigned(" + rhs.sig("data") + "), " +
+        std::to_string(out.data_bits()) + "));");
+  }
+  if (out.stream.last_bits > 0 && lhs.stream.last_bits > 0) {
+    body.statements.push_back(out.sig("last") + " <= " + lhs.sig("last") +
+                              ";");
+  }
+  body.statements.push_back(lhs.sig("ready") + " <= both_valid and " +
+                            out.sig("ready") + ";");
+  body.statements.push_back(rhs.sig("ready") + " <= both_valid and " +
+                            out.sig("ready") + ";");
+  return body;
+}
+
+RtlBody gen_cmp2(const Impl& impl, const Streamlet& s) {
+  std::string op = string_arg(impl, "==");
+  std::map<std::string, std::string> vhdl_ops = {
+      {"==", "="}, {"!=", "/="}, {"<", "<"},
+      {"<=", "<="}, {">", ">"},  {">=", ">="}};
+  return gen_binary_op(s, vhdl_ops.contains(op) ? vhdl_ops[op] : "=", true);
+}
+
+RtlBody gen_const_generator(const Impl& impl, const Streamlet& s) {
+  RtlBody body;
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (outs.empty()) return body;
+  const PortSignals& out = outs.front();
+  std::int64_t w = out.data_bits();
+  std::int64_t value = int_arg(impl, 0);
+  body.statements.push_back(out.sig("valid") + " <= '1';");
+  body.statements.push_back(out.sig("data") +
+                            " <= std_logic_vector(to_unsigned(" +
+                            std::to_string(value) + ", " + std::to_string(w) +
+                            "));");
+  if (out.stream.last_bits > 0) {
+    body.statements.push_back(out.sig("last") + " <= (others => '0');");
+  }
+  return body;
+}
+
+RtlBody gen_group_split2(const Impl&, const Streamlet& s) {
+  // Slices the Group's packed data into its two field streams; the input
+  // is acknowledged when both outputs accept (joint handshake).
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.empty() || outs.size() < 2) return body;
+  const PortSignals& in = ins.front();
+  const PortSignals& a = outs[0];
+  const PortSignals& b = outs[1];
+  std::int64_t wa = a.data_bits();
+  std::int64_t wb = b.data_bits();
+
+  body.statements.push_back(a.sig("valid") + " <= " + in.sig("valid") + ";");
+  body.statements.push_back(b.sig("valid") + " <= " + in.sig("valid") + ";");
+  body.statements.push_back(a.sig("data") + " <= " + in.sig("data") + "(" +
+                            std::to_string(wa + wb - 1) + " downto " +
+                            std::to_string(wb) + ");");
+  body.statements.push_back(b.sig("data") + " <= " + in.sig("data") + "(" +
+                            std::to_string(wb - 1) + " downto 0);");
+  if (in.stream.last_bits > 0) {
+    if (a.stream.last_bits > 0) {
+      body.statements.push_back(a.sig("last") + " <= " + in.sig("last") +
+                                ";");
+    }
+    if (b.stream.last_bits > 0) {
+      body.statements.push_back(b.sig("last") + " <= " + in.sig("last") +
+                                ";");
+    }
+  }
+  body.statements.push_back(in.sig("ready") + " <= " + a.sig("ready") +
+                            " and " + b.sig("ready") + ";");
+  return body;
+}
+
+RtlBody gen_group_combine2(const Impl&, const Streamlet& s) {
+  // Concatenates two field streams into the Group's packed data; fires when
+  // both operands are present.
+  RtlBody body;
+  auto ins = ports_of(s, lang::PortDir::kIn);
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (ins.size() < 2 || outs.empty()) return body;
+  const PortSignals& a = ins[0];
+  const PortSignals& b = ins[1];
+  const PortSignals& out = outs.front();
+
+  body.declarations.push_back("signal both_valid : std_logic;");
+  body.statements.push_back("both_valid <= " + a.sig("valid") + " and " +
+                            b.sig("valid") + ";");
+  body.statements.push_back(out.sig("valid") + " <= both_valid;");
+  body.statements.push_back(out.sig("data") + " <= " + a.sig("data") +
+                            " & " + b.sig("data") + ";");
+  if (out.stream.last_bits > 0 && a.stream.last_bits > 0) {
+    body.statements.push_back(out.sig("last") + " <= " + a.sig("last") +
+                              ";");
+  }
+  body.statements.push_back(a.sig("ready") + " <= both_valid and " +
+                            out.sig("ready") + ";");
+  body.statements.push_back(b.sig("ready") + " <= both_valid and " +
+                            out.sig("ready") + ";");
+  return body;
+}
+
+RtlBody gen_source(const Impl&, const Streamlet& s) {
+  // Test stimulus source: free-running counter packets.
+  RtlBody body;
+  auto outs = ports_of(s, lang::PortDir::kOut);
+  if (outs.empty()) return body;
+  const PortSignals& out = outs.front();
+  std::int64_t w = out.data_bits();
+  body.declarations.push_back("signal counter : unsigned(" +
+                              std::to_string(w - 1) + " downto 0);");
+  body.statements.push_back(out.sig("valid") + " <= '1';");
+  body.statements.push_back(out.sig("data") +
+                            " <= std_logic_vector(counter);");
+  if (out.stream.last_bits > 0) {
+    body.statements.push_back(out.sig("last") + " <= (others => '0');");
+  }
+  body.statements.push_back("count : process(clk)");
+  body.statements.push_back("begin");
+  body.statements.push_back("  if rising_edge(clk) then");
+  body.statements.push_back("    if rst = '1' then");
+  body.statements.push_back("      counter <= (others => '0');");
+  body.statements.push_back("    elsif " + out.sig("ready") + " = '1' then");
+  body.statements.push_back("      counter <= counter + 1;");
+  body.statements.push_back("    end if;");
+  body.statements.push_back("  end if;");
+  body.statements.push_back("end process count;");
+  return body;
+}
+
+RtlBody gen_sink(const Impl& impl, const Streamlet& s) {
+  return gen_voider(impl, s);
+}
+
+using Generator = RtlBody (*)(const Impl&, const Streamlet&);
+
+const std::map<std::string, Generator>& generator_table() {
+  static const std::map<std::string, Generator> table = {
+      {"voider_i", &gen_voider},
+      {"duplicator_i", &gen_duplicator},
+      {"adder_i", &gen_adder},
+      {"subtractor_i", &gen_subtractor},
+      {"multiplier_i", &gen_multiplier},
+      {"comparator_i", &gen_comparator},
+      {"const_compare_i", &gen_const_compare},
+      {"const_compare_int_i", &gen_const_compare},
+      {"add2_i",
+       [](const Impl&, const Streamlet& s) {
+         return gen_binary_op(s, "+", false);
+       }},
+      {"sub2_i",
+       [](const Impl&, const Streamlet& s) {
+         return gen_binary_op(s, "-", false);
+       }},
+      {"mul2_i",
+       [](const Impl&, const Streamlet& s) {
+         return gen_binary_op(s, "*", false);
+       }},
+      {"cmp2_i", &gen_cmp2},
+      {"group_split2_i", &gen_group_split2},
+      {"group_combine2_i", &gen_group_combine2},
+      {"filter_i", &gen_filter},
+      {"logic_and_i",
+       [](const Impl& impl, const Streamlet& s) {
+         return gen_logic_reduce(impl, s, "and");
+       }},
+      {"logic_or_i",
+       [](const Impl& impl, const Streamlet& s) {
+         return gen_logic_reduce(impl, s, "or");
+       }},
+      {"demux_i", &gen_demux},
+      {"mux_i", &gen_mux},
+      {"accumulator_i", &gen_accumulator},
+      {"const_generator_i", &gen_const_generator},
+      {"source_i", &gen_source},
+      {"sink_i", &gen_sink},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::optional<RtlBody> generate_stdlib_rtl(const Impl& impl,
+                                           const Streamlet& streamlet) {
+  auto it = generator_table().find(impl.template_name);
+  if (it == generator_table().end()) return std::nullopt;
+  RtlBody body = it->second(impl, streamlet);
+  if (body.statements.empty()) return std::nullopt;
+  return body;
+}
+
+const std::vector<std::string>& stdlib_rtl_families() {
+  static const std::vector<std::string> families = [] {
+    std::vector<std::string> out;
+    for (const auto& [name, gen] : generator_table()) out.push_back(name);
+    return out;
+  }();
+  return families;
+}
+
+}  // namespace tydi::vhdl

@@ -1,0 +1,37 @@
+// Hard-coded RTL generator for the Tydi-lang standard library (Sec. IV-C).
+//
+// "the components in the Tydi-lang standard library are too elementary to be
+//  described as instances and connections ... there is another RTL
+//  generation process for these standard components. However, this
+//  generation process must be manually defined."
+//
+// Each stdlib template family (duplicator_i, voider_i, adder_i, ...) has a
+// manually written VHDL architecture generator keyed by the family name. The
+// generator receives the elaborated impl (with its evaluated template
+// arguments) and its streamlet, and produces the architecture declarations
+// and body.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/elab/design.hpp"
+
+namespace tydi::vhdl {
+
+/// Architecture pieces for one external implementation.
+struct RtlBody {
+  std::vector<std::string> declarations;  ///< signal/constant declarations
+  std::vector<std::string> statements;    ///< concurrent statements/processes
+};
+
+/// Returns the behavioural body for a known stdlib family, or nullopt if the
+/// family has no hard-coded generator (the impl is then a black box).
+[[nodiscard]] std::optional<RtlBody> generate_stdlib_rtl(
+    const elab::Impl& impl, const elab::Streamlet& streamlet);
+
+/// The list of template families with a hard-coded generator.
+[[nodiscard]] const std::vector<std::string>& stdlib_rtl_families();
+
+}  // namespace tydi::vhdl

@@ -1,0 +1,312 @@
+#include "src/vhdl/vhdl.hpp"
+
+#include <map>
+
+#include "src/support/text.hpp"
+#include "src/types/physical.hpp"
+#include "src/vhdl/rtl_lib.hpp"
+
+namespace tydi::vhdl {
+
+using elab::Connection;
+using elab::Design;
+using elab::Endpoint;
+using elab::Impl;
+using elab::Instance;
+using elab::Port;
+using elab::Streamlet;
+using support::CodeWriter;
+using types::PhysicalSignal;
+using types::PhysicalStream;
+
+std::string vhdl_name(std::string_view name) {
+  return support::sanitize_identifier(name);
+}
+
+namespace {
+
+/// "std_logic" for 1-bit valid/ready, vector type otherwise.
+std::string signal_type(const PhysicalSignal& sig) {
+  if (sig.name == "valid" || sig.name == "ready") return "std_logic";
+  return "std_logic_vector(" + std::to_string(sig.width - 1) + " downto 0)";
+}
+
+/// Physical streams of one logical port (throws only on non-stream types,
+/// which elaboration already rejects).
+std::vector<PhysicalStream> streams_of(const Port& p) {
+  return types::physical_streams(p.type, vhdl_name(p.name));
+}
+
+/// VHDL direction of a physical signal on an entity port: forward signals
+/// follow the port direction, ready runs opposite; Reverse streams flip.
+std::string port_mode(const Port& p, const PhysicalStream& ps,
+                      const PhysicalSignal& sig) {
+  bool forward_is_in = (p.dir == lang::PortDir::kIn);
+  if (ps.direction == lang::StreamDir::kReverse) forward_is_in = !forward_is_in;
+  bool is_in = sig.reverse ? !forward_is_in : forward_is_in;
+  return is_in ? "in" : "out";
+}
+
+/// Emits `entity <name> is port (...); end <name>;`.
+void emit_entity(CodeWriter& w, const std::string& name,
+                 const Streamlet& streamlet) {
+  w.open("entity " + name + " is");
+  w.open("port (");
+  w.line("clk : in std_logic;");
+  w.line("rst : in std_logic;");
+  std::vector<std::string> lines;
+  for (const Port& p : streamlet.ports) {
+    for (const PhysicalStream& ps : streams_of(p)) {
+      for (const PhysicalSignal& sig : ps.signals()) {
+        lines.push_back(ps.name + "_" + sig.name + " : " +
+                        port_mode(p, ps, sig) + " " + signal_type(sig));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    w.line(lines[i] + (i + 1 < lines.size() ? ";" : ""));
+  }
+  w.close(");");
+  w.close("end entity " + name + ";");
+}
+
+/// Emits a component declaration matching emit_entity's port list.
+void emit_component_decl(CodeWriter& w, const std::string& name,
+                         const Streamlet& streamlet) {
+  w.open("component " + name + " is");
+  w.open("port (");
+  w.line("clk : in std_logic;");
+  w.line("rst : in std_logic;");
+  std::vector<std::string> lines;
+  for (const Port& p : streamlet.ports) {
+    for (const PhysicalStream& ps : streams_of(p)) {
+      for (const PhysicalSignal& sig : ps.signals()) {
+        lines.push_back(ps.name + "_" + sig.name + " : " +
+                        port_mode(p, ps, sig) + " " + signal_type(sig));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    w.line(lines[i] + (i + 1 < lines.size() ? ";" : ""));
+  }
+  w.close(");");
+  w.close("end component;");
+}
+
+/// Bundle prefix for an endpoint: entity ports use their own names;
+/// instance ports use a declared internal signal bundle.
+std::string bundle_prefix(const Endpoint& ep) {
+  if (ep.instance.empty()) return vhdl_name(ep.port);
+  return "sig_" + vhdl_name(ep.instance) + "_" + vhdl_name(ep.port);
+}
+
+class ArchitectureEmitter {
+ public:
+  ArchitectureEmitter(CodeWriter& w, const Design& design, const Impl& impl,
+                      const Streamlet& self,
+                      support::DiagnosticEngine& diags)
+      : w_(w), design_(design), impl_(impl), self_(self), diags_(diags) {}
+
+  void emit_structural() {
+    w_.open("architecture structural of " + vhdl_name(impl_.name) + " is");
+    emit_component_decls();
+    emit_signal_decls();
+    w_.dedent();
+    w_.open("begin");
+    emit_instantiations();
+    emit_connection_wiring();
+    w_.close("end architecture structural;");
+  }
+
+ private:
+  CodeWriter& w_;
+  const Design& design_;
+  const Impl& impl_;
+  const Streamlet& self_;
+  support::DiagnosticEngine& diags_;
+
+  [[nodiscard]] const Streamlet* child_streamlet(
+      const Instance& inst) const {
+    const Impl* child = design_.find_impl(inst.impl_name);
+    return child != nullptr ? design_.streamlet_of(*child) : nullptr;
+  }
+
+  void emit_component_decls() {
+    // One declaration per distinct child implementation.
+    std::map<std::string, const Streamlet*> components;
+    for (const Instance& inst : impl_.instances) {
+      const Streamlet* cs = child_streamlet(inst);
+      if (cs != nullptr) components.emplace(inst.impl_name, cs);
+    }
+    for (const auto& [impl_name, streamlet] : components) {
+      emit_component_decl(w_, vhdl_name(impl_name), *streamlet);
+    }
+  }
+
+  void emit_signal_decls() {
+    // One signal bundle per instance port; entity ports are used directly.
+    for (const Instance& inst : impl_.instances) {
+      const Streamlet* cs = child_streamlet(inst);
+      if (cs == nullptr) {
+        diags_.warning("vhdl",
+                       "instance '" + inst.name +
+                           "' has unresolved impl; skipped in VHDL",
+                       inst.loc);
+        continue;
+      }
+      for (const Port& p : cs->ports) {
+        std::string prefix =
+            "sig_" + vhdl_name(inst.name) + "_" + vhdl_name(p.name);
+        for (const PhysicalStream& ps :
+             types::physical_streams(p.type, prefix)) {
+          for (const PhysicalSignal& sig : ps.signals()) {
+            w_.line("signal " + ps.name + "_" + sig.name + " : " +
+                    signal_type(sig) + ";");
+          }
+        }
+      }
+    }
+  }
+
+  void emit_instantiations() {
+    for (const Instance& inst : impl_.instances) {
+      const Streamlet* cs = child_streamlet(inst);
+      if (cs == nullptr) continue;
+      w_.open("u_" + vhdl_name(inst.name) + " : " +
+              vhdl_name(inst.impl_name));
+      w_.open("port map (");
+      std::vector<std::string> maps;
+      maps.push_back("clk => clk");
+      maps.push_back("rst => rst");
+      for (const Port& p : cs->ports) {
+        std::string formal_prefix = vhdl_name(p.name);
+        std::string actual_prefix =
+            "sig_" + vhdl_name(inst.name) + "_" + vhdl_name(p.name);
+        auto formal_streams = types::physical_streams(p.type, formal_prefix);
+        auto actual_streams = types::physical_streams(p.type, actual_prefix);
+        for (std::size_t s = 0; s < formal_streams.size(); ++s) {
+          auto sigs = formal_streams[s].signals();
+          for (const PhysicalSignal& sig : sigs) {
+            maps.push_back(formal_streams[s].name + "_" + sig.name + " => " +
+                           actual_streams[s].name + "_" + sig.name);
+          }
+        }
+      }
+      for (std::size_t i = 0; i < maps.size(); ++i) {
+        w_.line(maps[i] + (i + 1 < maps.size() ? "," : ""));
+      }
+      w_.close(");");
+      w_.dedent();
+    }
+  }
+
+  void emit_connection_wiring() {
+    for (const Connection& c : impl_.connections) {
+      const Port* src_port = design_.resolve_endpoint(impl_, c.src);
+      const Port* dst_port = design_.resolve_endpoint(impl_, c.dst);
+      if (src_port == nullptr || dst_port == nullptr) {
+        diags_.warning("vhdl",
+                       "unresolved connection " + c.src.display() + " => " +
+                           c.dst.display() + "; skipped in VHDL",
+                       c.loc);
+        continue;
+      }
+      std::string src_prefix = bundle_prefix(c.src);
+      std::string dst_prefix = bundle_prefix(c.dst);
+      auto src_streams = types::physical_streams(src_port->type, src_prefix);
+      auto dst_streams = types::physical_streams(dst_port->type, dst_prefix);
+      if (src_streams.size() != dst_streams.size()) continue;  // DRC reported
+      w_.line("-- " + c.src.display() + " => " + c.dst.display());
+      for (std::size_t s = 0; s < src_streams.size(); ++s) {
+        auto src_sigs = src_streams[s].signals();
+        auto dst_sigs = dst_streams[s].signals();
+        for (std::size_t k = 0;
+             k < src_sigs.size() && k < dst_sigs.size(); ++k) {
+          const PhysicalSignal& sig = src_sigs[k];
+          std::string src_sig = src_streams[s].name + "_" + sig.name;
+          std::string dst_sig = dst_streams[s].name + "_" + sig.name;
+          if (sig.reverse) {
+            // ready flows sink -> source.
+            w_.line(src_sig + " <= " + dst_sig + ";");
+          } else {
+            w_.line(dst_sig + " <= " + src_sig + ";");
+          }
+        }
+      }
+    }
+  }
+};
+
+void emit_external_architecture(CodeWriter& w, const Impl& impl,
+                                const Streamlet& streamlet,
+                                const VhdlOptions& options,
+                                support::DiagnosticEngine& diags) {
+  std::optional<RtlBody> body;
+  if (options.generate_stdlib_rtl) {
+    body = generate_stdlib_rtl(impl, streamlet);
+  }
+  if (!body) {
+    w.open("architecture blackbox of " + vhdl_name(impl.name) + " is");
+    w.dedent();
+    w.open("begin");
+    w.line("-- external implementation '" + impl.display_name +
+           "' is provided by an external tool;");
+    w.line("-- its behaviour is characterized by the Tydi simulation code "
+           "and verified via generated testbenches.");
+    w.close("end architecture blackbox;");
+    if (!impl.template_name.empty()) {
+      diags.note("vhdl",
+                 "external impl '" + impl.display_name +
+                     "' emitted as black box (no stdlib RTL generator for "
+                     "family '" +
+                     impl.template_name + "')",
+                 impl.loc);
+    }
+    return;
+  }
+  w.open("architecture behavioural of " + vhdl_name(impl.name) + " is");
+  for (const std::string& d : body->declarations) w.line(d);
+  w.dedent();
+  w.open("begin");
+  for (const std::string& s : body->statements) w.line(s);
+  w.close("end architecture behavioural;");
+}
+
+}  // namespace
+
+std::string emit(const Design& design, const VhdlOptions& options,
+                 support::DiagnosticEngine& diags) {
+  CodeWriter w;
+  if (options.emit_header) {
+    w.line("-- VHDL generated by tydi-cpp (Tydi-IR backend)");
+    if (!design.top().empty()) w.line("-- top: " + design.top());
+    w.line();
+  }
+  for (const Impl& impl : design.impls()) {
+    const Streamlet* s = design.streamlet_of(impl);
+    if (s == nullptr) {
+      diags.warning("vhdl",
+                    "impl '" + impl.name +
+                        "' has unresolved streamlet; skipped",
+                    impl.loc);
+      continue;
+    }
+    w.line("library ieee;");
+    w.line("use ieee.std_logic_1164.all;");
+    w.line("use ieee.numeric_std.all;");
+    w.line();
+    w.line("-- " + impl.display_name + " of " + s->display_name);
+    emit_entity(w, vhdl_name(impl.name), *s);
+    w.line();
+    if (impl.external) {
+      emit_external_architecture(w, impl, *s, options, diags);
+    } else {
+      ArchitectureEmitter arch(w, design, impl, *s, diags);
+      arch.emit_structural();
+    }
+    w.line();
+  }
+  return w.take();
+}
+
+}  // namespace tydi::vhdl

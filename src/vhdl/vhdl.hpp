@@ -1,0 +1,43 @@
+// Tydi-IR -> VHDL backend.
+//
+// In the paper this is a separate project; here it is implemented in full so
+// Table IV can be regenerated. For every implementation we emit one
+// entity/architecture pair:
+//
+//  - The entity expands each logical port into its physical stream signals
+//    (valid/ready/data/last/stai/endi/strb/user per src/types/physical.hpp),
+//    plus the standard clk/rst pair.
+//  - Structural architectures declare one signal bundle per instance port,
+//    instantiate children via component declarations, and wire connections
+//    as continuous assignments (forward signals source->sink, ready
+//    sink->source).
+//  - External standard-library implementations get behavioural bodies from
+//    the hard-coded RTL generator (rtl_lib, Sec. IV-C); other externals are
+//    emitted as black boxes.
+#pragma once
+
+#include <string>
+
+#include "src/elab/design.hpp"
+#include "src/support/diagnostic.hpp"
+
+namespace tydi::vhdl {
+
+struct VhdlOptions {
+  /// Library header emitted at the top of the file.
+  bool emit_header = true;
+  /// Emit behavioural bodies for known stdlib externals (otherwise black
+  /// boxes only).
+  bool generate_stdlib_rtl = true;
+};
+
+/// Emits the whole design as one VHDL file (deterministic order: design
+/// insertion order, children before parents).
+[[nodiscard]] std::string emit(const elab::Design& design,
+                               const VhdlOptions& options,
+                               support::DiagnosticEngine& diags);
+
+/// VHDL-safe identifier for design names (lowercase, no '__' runs).
+[[nodiscard]] std::string vhdl_name(std::string_view name);
+
+}  // namespace tydi::vhdl

@@ -1,0 +1,188 @@
+// AST tests: deep cloning, pretty-printing of every node kind, and parser
+// robustness against malformed input (must diagnose, never crash or hang).
+#include <gtest/gtest.h>
+
+#include "src/ast/ast.hpp"
+#include "src/parser/parser.hpp"
+
+namespace tydi::lang {
+namespace {
+
+ExprPtr parse_expr_text(const std::string& text) {
+  support::DiagnosticEngine diags;
+  SourceFile file =
+      parse("const x = " + text + ";", support::FileId{1}, diags);
+  EXPECT_EQ(diags.error_count(), 0u) << diags.render();
+  auto& decl = std::get<ConstDecl>(file.decls.at(0).node);
+  return std::move(decl.init);
+}
+
+TEST(AstClone, ExpressionsCloneDeeply) {
+  ExprPtr original = parse_expr_text("[1 + 2, foo(bar, 3 ** 4), [5, 6][0]]");
+  ExprPtr copy = clone(*original);
+  // Same rendering, different object graph.
+  EXPECT_EQ(to_source(*original), to_source(*copy));
+  EXPECT_NE(original.get(), copy.get());
+  // Mutating the copy leaves the original untouched.
+  auto& arr = std::get<ArrayLit>(copy->node);
+  arr.elems.clear();
+  EXPECT_NE(to_source(*original), to_source(*copy));
+}
+
+TEST(AstClone, TypeExpressionsCloneDeeply) {
+  support::DiagnosticEngine diags;
+  SourceFile file = parse(
+      "type T = Stream(Bit(8), t=2.0, d=1, c=7, s=Desync, r=Reverse, "
+      "u=Bit(2));",
+      support::FileId{1}, diags);
+  ASSERT_EQ(diags.error_count(), 0u);
+  auto& alias = std::get<TypeAliasDecl>(file.decls.at(0).node);
+  TypeExprPtr copy = clone(*alias.type);
+  EXPECT_EQ(to_source(*alias.type), to_source(*copy));
+  EXPECT_NE(alias.type.get(), copy.get());
+}
+
+TEST(AstClone, TemplateArgCopySemantics) {
+  support::DiagnosticEngine diags;
+  SourceFile file = parse(R"(
+streamlet s { a: Stream(Bit(1), d=1) in, }
+impl i of s {
+  instance x(foo<type Bit(8), impl bar, 1 + 2>),
+}
+)",
+                          support::FileId{1}, diags);
+  ASSERT_EQ(diags.error_count(), 0u) << diags.render();
+  const auto& impl = std::get<ImplDecl>(file.decls.at(1).node);
+  const auto& inst = std::get<InstanceStmt>(impl.body.at(0).node);
+  // Copy-construct and copy-assign; both must deep-copy owned pointers.
+  TemplateArg copy(inst.args[0]);
+  EXPECT_EQ(to_source(copy), to_source(inst.args[0]));
+  TemplateArg assigned;
+  assigned = inst.args[2];
+  EXPECT_EQ(to_source(assigned), to_source(inst.args[2]));
+  EXPECT_EQ(to_source(assigned), "(1 + 2)");
+  // Self-assignment is safe.
+  assigned = assigned;
+  EXPECT_EQ(to_source(assigned), "(1 + 2)");
+}
+
+TEST(AstPrint, OperatorSpellings) {
+  EXPECT_EQ(to_string(BinaryOp::kPow), "**");
+  EXPECT_EQ(to_string(BinaryOp::kRange), "->");
+  EXPECT_EQ(to_string(BinaryOp::kAnd), "&&");
+  EXPECT_EQ(to_string(UnaryOp::kNot), "!");
+  EXPECT_EQ(to_string(Synchronicity::kFlatDesync), "FlatDesync");
+  EXPECT_EQ(to_string(StreamDir::kReverse), "Reverse");
+  EXPECT_EQ(to_string(ParamKind::kClockdomain), "clockdomain");
+  EXPECT_EQ(to_string(PortDir::kOut), "out");
+}
+
+TEST(AstPrint, StringEscaping) {
+  ExprPtr e = parse_expr_text(R"("quote \" and backslash \\")");
+  EXPECT_EQ(to_source(*e), R"("quote \" and backslash \\")");
+}
+
+TEST(AstPrint, FullFileIncludesSimBlocks) {
+  support::DiagnosticEngine diags;
+  const char* text = R"(
+package demo;
+streamlet s { a: Stream(Bit(1), d=1) in, b: Stream(Bit(1), d=1) out, }
+impl e of s @ external {
+  sim {
+    state m = "idle";
+    on a.receive {
+      if (m == "idle") {
+        delay(2);
+        send(b, payload + 1);
+      }
+      ack(a);
+      set m = "busy";
+    }
+  }
+}
+)";
+  SourceFile file = parse(text, support::FileId{1}, diags);
+  ASSERT_EQ(diags.error_count(), 0u) << diags.render();
+  std::string printed = to_source(file);
+  EXPECT_NE(printed.find("package demo;"), std::string::npos);
+  EXPECT_NE(printed.find("sim {"), std::string::npos);
+  EXPECT_NE(printed.find("state m = \"idle\";"), std::string::npos);
+  EXPECT_NE(printed.find("on a.receive {"), std::string::npos);
+  EXPECT_NE(printed.find("delay(2);"), std::string::npos);
+  EXPECT_NE(printed.find("set m ="), std::string::npos);
+  // And it reparses.
+  support::DiagnosticEngine diags2;
+  (void)parse(printed, support::FileId{1}, diags2);
+  EXPECT_EQ(diags2.error_count(), 0u) << printed << diags2.render();
+}
+
+// --- Robustness: the parser must terminate with diagnostics, never crash --
+
+class ParserRobustness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRobustness, MalformedInputDiagnosedNotCrashed) {
+  support::DiagnosticEngine diags;
+  SourceFile file = parse(GetParam(), support::FileId{1}, diags);
+  (void)file;
+  EXPECT_GT(diags.error_count(), 0u) << "expected at least one diagnostic";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Garbage, ParserRobustness,
+    ::testing::Values(
+        "}}}}{{{{",
+        "impl",
+        "impl of of of",
+        "streamlet s < > { }",
+        "streamlet s<T:> { }",
+        "const x = (((((1;",
+        "const x = [1, 2",
+        "type T = Stream(",
+        "type T = Stream(Bit(8), d=);",
+        "impl i of s { instance }",
+        "impl i of s { a => }",
+        "impl i of s { => b, }",
+        "impl i of s { for { } }",
+        "impl i of s { if ( { } }",
+        "impl i of s @ { }",
+        "impl i of s { sim { on { } } }",
+        "impl i of s { sim { state 5; } }",
+        "impl i of s { sim { on a.recv { } } }",
+        "Group G { : Bit(8), }",
+        "Union U { a Bit(8), }",
+        "\"unterminated",
+        "const x = 0x;",
+        "const x = 1 & 2;",
+        "const x = $;",
+        "package ; const x = 1"));
+
+// Structured-but-wrong inputs: valid tokens, invalid structure deeper in.
+TEST(ParserRobustness, DeeplyNestedInputTerminates) {
+  std::string nested = "const x = ";
+  for (int i = 0; i < 200; ++i) nested += "(1 + ";
+  nested += "1";
+  for (int i = 0; i < 200; ++i) nested += ")";
+  nested += ";";
+  support::DiagnosticEngine diags;
+  SourceFile file = parse(nested, support::FileId{1}, diags);
+  EXPECT_EQ(diags.error_count(), 0u);
+  ASSERT_EQ(file.decls.size(), 1u);
+}
+
+TEST(ParserRobustness, LongRunOfStatementsParses) {
+  std::string source = "streamlet s { a: Stream(Bit(1), d=1) in, }\n"
+                       "impl top of s {\n";
+  for (int i = 0; i < 500; ++i) {
+    source += "  x" + std::to_string(i) + ".p => y" + std::to_string(i) +
+              ".q,\n";
+  }
+  source += "}\n";
+  support::DiagnosticEngine diags;
+  SourceFile file = parse(source, support::FileId{1}, diags);
+  EXPECT_EQ(diags.error_count(), 0u);
+  const auto& impl = std::get<ImplDecl>(file.decls.at(1).node);
+  EXPECT_EQ(impl.body.size(), 500u);
+}
+
+}  // namespace
+}  // namespace tydi::lang

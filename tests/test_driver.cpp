@@ -1,0 +1,190 @@
+// Driver-facade and CLI tests: pipeline staging, option handling, phase
+// timing, multi-source compiles, and the `tydic` executable end-to-end.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/driver/compiler.hpp"
+#include "src/sim/engine.hpp"
+
+namespace tydi {
+namespace {
+
+constexpr std::string_view kGood = R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet s { a: t in, b: t out, }
+impl top of s {
+  a => b,
+}
+)";
+
+TEST(Driver, PhaseTimingsRecorded) {
+  driver::CompileOptions options;
+  options.top = "top";
+  auto result = driver::compile_source(std::string(kGood), options);
+  ASSERT_TRUE(result.success()) << result.report();
+  for (const char* phase : {"parse", "elaborate", "sugar", "drc", "ir",
+                            "vhdl"}) {
+    EXPECT_TRUE(result.phase_ms.contains(phase)) << phase;
+    EXPECT_GE(result.phase_ms.at(phase), 0.0);
+  }
+}
+
+TEST(Driver, EmitFlagsControlOutputs) {
+  driver::CompileOptions options;
+  options.top = "top";
+  options.emit_ir = false;
+  options.emit_vhdl = false;
+  auto result = driver::compile_source(std::string(kGood), options);
+  ASSERT_TRUE(result.success());
+  EXPECT_TRUE(result.ir_text.empty());
+  EXPECT_TRUE(result.vhdl_text.empty());
+  EXPECT_FALSE(result.phase_ms.contains("ir"));
+  EXPECT_FALSE(result.phase_ms.contains("vhdl"));
+}
+
+TEST(Driver, ParseErrorsStopThePipeline) {
+  driver::CompileOptions options;
+  options.top = "top";
+  auto result = driver::compile_source("streamlet {", options);
+  EXPECT_FALSE(result.success());
+  // Elaboration never ran.
+  EXPECT_FALSE(result.phase_ms.contains("elaborate"));
+  EXPECT_TRUE(result.vhdl_text.empty());
+}
+
+TEST(Driver, WithoutStdlibStdComponentsAreUnknown) {
+  driver::CompileOptions options;
+  options.top = "top";
+  options.include_stdlib = false;
+  auto result = driver::compile_source(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet s { a: t in, }
+impl top of s {
+  instance v(voider_i<type t>),
+  a => v.in_,
+}
+)",
+                                       options);
+  EXPECT_FALSE(result.success());
+  EXPECT_NE(result.report().find("unknown impl 'voider_i'"),
+            std::string::npos);
+}
+
+TEST(Driver, MultiSourceCompilesShareDeclarations) {
+  std::vector<driver::NamedSource> sources;
+  sources.push_back({"types.td", "type t_shared = Stream(Bit(8), d=1, c=2);"});
+  sources.push_back({"design.td", R"(
+streamlet s { a: t_shared in, b: t_shared out, }
+impl top of s {
+  a => b,
+}
+)"});
+  driver::CompileOptions options;
+  options.top = "top";
+  auto result = driver::compile(sources, options);
+  EXPECT_TRUE(result.success()) << result.report();
+}
+
+TEST(Driver, DiagnosticsNameTheSourceFile) {
+  std::vector<driver::NamedSource> sources;
+  sources.push_back({"broken_one.td", "const bad = ;"});
+  driver::CompileOptions options;
+  auto result = driver::compile(sources, options);
+  EXPECT_FALSE(result.success());
+  EXPECT_NE(result.report().find("broken_one.td"), std::string::npos);
+}
+
+TEST(Driver, RunAllElaboratesEveryConcreteImpl) {
+  driver::CompileOptions options;  // no top
+  auto result = driver::compile_source(std::string(kGood), options);
+  ASSERT_TRUE(result.success()) << result.report();
+  EXPECT_NE(result.design.find_impl("top"), nullptr);
+  EXPECT_TRUE(result.design.top().empty());
+}
+
+TEST(SimOptions, ClockDomainPeriodsScaleChannelLatency) {
+  // Identical design, slower clock domain => later deliveries.
+  constexpr std::string_view source = R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet s { a: t in @ slow_clk, b: t out @ slow_clk, }
+impl top of s {
+  a => b,
+}
+)";
+  driver::CompileOptions options;
+  options.top = "top";
+  options.emit_vhdl = false;
+  auto compiled = driver::compile_source(std::string(source), options);
+  ASSERT_TRUE(compiled.success()) << compiled.report();
+
+  auto run_with_period = [&compiled](double period) {
+    support::DiagnosticEngine diags;
+    sim::Engine engine(compiled.design, diags);
+    sim::SimOptions sim_options;
+    sim_options.clock_period_ns = {{"slow_clk", period}};
+    sim::Stimulus stim;
+    stim.port = "a";
+    stim.packets.emplace_back(0.0, sim::Packet{7, true});
+    sim_options.stimuli.push_back(stim);
+    return engine.run(sim_options);
+  };
+
+  auto fast = run_with_period(10.0);
+  auto slow = run_with_period(40.0);
+  ASSERT_EQ(fast.top_outputs.at("b").size(), 1u);
+  ASSERT_EQ(slow.top_outputs.at("b").size(), 1u);
+  EXPECT_LT(fast.top_outputs.at("b")[0].first,
+            slow.top_outputs.at("b")[0].first);
+}
+
+#ifdef TYDIC_PATH
+TEST(Cli, TydicCompilesFileEndToEnd) {
+  std::string dir = ::testing::TempDir();
+  std::string td_path = dir + "/cli_design.td";
+  std::string vhdl_path = dir + "/cli_design.vhd";
+  std::string ir_path = dir + "/cli_design.tir";
+  {
+    std::ofstream out(td_path);
+    out << kGood;
+  }
+  std::string command = std::string(TYDIC_PATH) + " --top top --emit-ir " +
+                        ir_path + " --emit-vhdl " + vhdl_path + " " +
+                        td_path + " > /dev/null 2>&1";
+  int rc = std::system(command.c_str());
+  EXPECT_EQ(rc, 0) << command;
+
+  std::ifstream vhdl(vhdl_path);
+  std::stringstream vhdl_text;
+  vhdl_text << vhdl.rdbuf();
+  EXPECT_NE(vhdl_text.str().find("entity top is"), std::string::npos);
+
+  std::ifstream ir(ir_path);
+  std::stringstream ir_text;
+  ir_text << ir.rdbuf();
+  EXPECT_NE(ir_text.str().find("impl top of s"), std::string::npos);
+}
+
+TEST(Cli, TydicReportsErrorsWithNonZeroExit) {
+  std::string dir = ::testing::TempDir();
+  std::string td_path = dir + "/cli_broken.td";
+  {
+    std::ofstream out(td_path);
+    out << "const bad = ;";
+  }
+  std::string command = std::string(TYDIC_PATH) + " --top top " + td_path +
+                        " > /dev/null 2>&1";
+  int rc = std::system(command.c_str());
+  EXPECT_NE(rc, 0);
+}
+
+TEST(Cli, TydicUsageOnMissingArguments) {
+  std::string command = std::string(TYDIC_PATH) + " > /dev/null 2>&1";
+  EXPECT_NE(std::system(command.c_str()), 0);
+}
+#endif  // TYDIC_PATH
+
+}  // namespace
+}  // namespace tydi

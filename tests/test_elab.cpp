@@ -1,0 +1,463 @@
+// Elaborator tests: template monomorphisation, generative statements,
+// constraint checking, arrays, and diagnostics (the "evaluation" and "code
+// expansion" stages of Fig. 3).
+#include <gtest/gtest.h>
+
+#include "src/elab/elaborator.hpp"
+#include "src/parser/parser.hpp"
+
+namespace tydi::elab {
+namespace {
+
+struct ElabOutcome {
+  Design design;
+  std::string report;
+  std::size_t errors;
+};
+
+ElabOutcome elaborate(std::string_view text, const std::string& top) {
+  auto program = std::make_shared<Program>();
+  support::DiagnosticEngine diags;
+  program->files.push_back(lang::parse(text, support::FileId{1}, diags));
+  EXPECT_EQ(diags.error_count(), 0u) << "parse failed: " << diags.render();
+  Elaborator elaborator(program, diags);
+  Design design = top.empty() ? elaborator.run_all() : elaborator.run(top);
+  return ElabOutcome{std::move(design), diags.render(), diags.error_count()};
+}
+
+constexpr std::string_view kDupTemplate = R"(
+type t_byte = Stream(Bit(8), d=1, c=2);
+type t_word = Stream(Bit(32), d=1, c=2);
+
+streamlet dup_s<T: type, n: int> {
+  a: T in,
+  b: T out [n],
+}
+impl dup_i<T: type, n: int> of dup_s<type T, n> @ external { }
+)";
+
+TEST(Elab, SimpleNonTemplateImpl) {
+  auto outcome = elaborate(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet s { a: t in, b: t out, }
+impl top of s {
+  a => b,
+}
+)",
+                           "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+  const Impl* top = outcome.design.find_impl("top");
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->connections.size(), 1u);
+  EXPECT_EQ(outcome.design.top(), "top");
+}
+
+TEST(Elab, TemplateMonomorphisationAndCaching) {
+  std::string source = std::string(kDupTemplate) + R"(
+streamlet top_s { a: t_byte in, b: t_byte out [2], c: t_byte in, d: t_byte out [2], }
+impl top of top_s {
+  instance d1(dup_i<type t_byte, 2>),
+  instance d2(dup_i<type t_byte, 2>),
+  a => d1.a,
+  c => d2.a,
+  d1.b[0] => b[0],
+  d1.b[1] => b[1],
+  d2.b[0] => d[0],
+  d2.b[1] => d[1],
+}
+)";
+  auto outcome = elaborate(source, "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+  // Both instances share ONE monomorphised impl (same arguments).
+  std::size_t dup_count = 0;
+  for (const Impl& impl : outcome.design.impls()) {
+    if (impl.template_name == "dup_i") ++dup_count;
+  }
+  EXPECT_EQ(dup_count, 1u);
+  const Impl* top = outcome.design.find_impl("top");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->instances.size(), 2u);
+  EXPECT_EQ(top->instances[0].impl_name, top->instances[1].impl_name);
+}
+
+TEST(Elab, DifferentArgumentsDifferentInstantiations) {
+  std::string source = std::string(kDupTemplate) + R"(
+streamlet top_s { a: t_byte in, b: t_byte out [2], c: t_word in, d: t_word out [2], }
+impl top of top_s {
+  instance d1(dup_i<type t_byte, 2>),
+  instance d2(dup_i<type t_word, 2>),
+  a => d1.a,
+  c => d2.a,
+  d1.b[0] => b[0],
+  d1.b[1] => b[1],
+  d2.b[0] => d[0],
+  d2.b[1] => d[1],
+}
+)";
+  auto outcome = elaborate(source, "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+  const Impl* top = outcome.design.find_impl("top");
+  ASSERT_NE(top, nullptr);
+  EXPECT_NE(top->instances[0].impl_name, top->instances[1].impl_name);
+}
+
+TEST(Elab, PortArrayExpansion) {
+  auto outcome = elaborate(std::string(kDupTemplate) + R"(
+streamlet top_s { a: t_byte in, b: t_byte out [3], }
+impl top of top_s {
+  instance d(dup_i<type t_byte, 3>),
+  a => d.a,
+  d.b[0] => b[0],
+  d.b[1] => b[1],
+  d.b[2] => b[2],
+}
+)",
+                           "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+  const Impl* top = outcome.design.find_impl("top");
+  const Streamlet* s = outcome.design.streamlet_of(*top);
+  ASSERT_NE(s, nullptr);
+  // 1 scalar + 3 expanded array ports.
+  EXPECT_EQ(s->ports.size(), 4u);
+  EXPECT_NE(s->find_port("b_0"), nullptr);
+  EXPECT_NE(s->find_port("b_2"), nullptr);
+  EXPECT_EQ(s->find_port("b"), nullptr);
+}
+
+TEST(Elab, InstanceArrayExpansion) {
+  auto outcome = elaborate(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet u_s { a: t in, b: t out, }
+impl u_i of u_s @ external { }
+streamlet top_s { a: t in [4], b: t out [4], }
+impl top of top_s {
+  instance stage(u_i) [4],
+  for i in 0->4 {
+    a[i] => stage[i].a,
+    stage[i].b => b[i],
+  }
+}
+)",
+                           "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+  const Impl* top = outcome.design.find_impl("top");
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->instances.size(), 4u);
+  EXPECT_NE(top->find_instance("stage_0"), nullptr);
+  EXPECT_NE(top->find_instance("stage_3"), nullptr);
+  EXPECT_EQ(top->connections.size(), 8u);
+}
+
+TEST(Elab, GenerativeIfSelectsBranch) {
+  auto outcome = elaborate(R"(
+const use_first = false;
+type t = Stream(Bit(8), d=1, c=2);
+streamlet u_s { a: t in, b: t out, }
+impl u1 of u_s @ external { }
+impl u2 of u_s @ external { }
+streamlet top_s { a: t in, b: t out, }
+impl top of top_s {
+  if (use_first) {
+    instance x(u1),
+    a => x.a,
+    x.b => b,
+  } else {
+    instance y(u2),
+    a => y.a,
+    y.b => b,
+  }
+}
+)",
+                           "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+  const Impl* top = outcome.design.find_impl("top");
+  ASSERT_EQ(top->instances.size(), 1u);
+  EXPECT_EQ(top->instances[0].name, "y");
+  EXPECT_EQ(outcome.design.find_impl("u1"), nullptr);  // never elaborated
+}
+
+TEST(Elab, ForOverStringArrayWithIndexedInstances) {
+  // The Sec. IV-A pattern: four comparators from a string array.
+  auto outcome = elaborate(R"(
+type t = Stream(Bit(80), d=1, c=2);
+type t_b = Stream(Bit(1), d=1, c=2);
+streamlet cmp_s<T: type, v: string> { a: T in, q: t_b out, }
+impl cmp_i<T: type, v: string> of cmp_s<type T, v> @ external { }
+streamlet top_s { a: t in [4], q: t_b out [4], }
+impl top of top_s {
+  const values = ["MED BAG", "MED BOX", "MED PKG", "MED PACK"];
+  for i in 0->4 {
+    instance cmp[i](cmp_i<type t, values[i]>),
+    a[i] => cmp[i].a,
+    cmp[i].q => q[i],
+  }
+}
+)",
+                           "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+  const Impl* top = outcome.design.find_impl("top");
+  ASSERT_EQ(top->instances.size(), 4u);
+  // Four DIFFERENT template instances (different string arguments).
+  std::set<std::string> impls;
+  for (const Instance& inst : top->instances) impls.insert(inst.impl_name);
+  EXPECT_EQ(impls.size(), 4u);
+}
+
+TEST(Elab, AssertHoldsAndFails) {
+  auto ok = elaborate(R"(
+const w = 32;
+type t = Stream(Bit(w), d=1, c=2);
+streamlet s { a: t in, b: t out, }
+impl top of s {
+  assert(w % 8 == 0, "byte aligned");
+  a => b,
+}
+)",
+                      "top");
+  EXPECT_EQ(ok.errors, 0u) << ok.report;
+
+  auto fail = elaborate(R"(
+const w = 33;
+type t = Stream(Bit(w), d=1, c=2);
+streamlet s { a: t in, b: t out, }
+impl top of s {
+  assert(w % 8 == 0, "byte aligned");
+  a => b,
+}
+)",
+                        "top");
+  EXPECT_GT(fail.errors, 0u);
+  EXPECT_NE(fail.report.find("byte aligned"), std::string::npos);
+}
+
+TEST(Elab, ImplOfConstraintAcceptsMatchingFamily) {
+  auto outcome = elaborate(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet pu_s<T: type> { a: T in, b: T out, }
+impl worker of pu_s<type t> @ external { }
+streamlet wrap_s { a: t in, b: t out, }
+impl wrap<p: impl of pu_s> of wrap_s {
+  instance u(p),
+  a => u.a,
+  u.b => b,
+}
+streamlet top_s { a: t in, b: t out, }
+impl top of top_s {
+  instance w(wrap<impl worker>),
+  a => w.a,
+  w.b => b,
+}
+)",
+                           "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+}
+
+TEST(Elab, ImplOfConstraintRejectsWrongFamily) {
+  auto outcome = elaborate(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet pu_s<T: type> { a: T in, b: T out, }
+streamlet other_s { a: t in, }
+impl wrong of other_s @ external { }
+streamlet wrap_s { a: t in, b: t out, }
+impl wrap<p: impl of pu_s> of wrap_s {
+  instance u(p),
+  a => u.a,
+  u.b => b,
+}
+streamlet top_s { a: t in, b: t out, }
+impl top of top_s {
+  instance w(wrap<impl wrong>),
+  a => w.a,
+  w.b => b,
+}
+)",
+                           "top");
+  EXPECT_GT(outcome.errors, 0u);
+  EXPECT_NE(outcome.report.find("requires an impl of"), std::string::npos);
+}
+
+TEST(Elab, WrongArgumentKindRejected) {
+  auto outcome = elaborate(std::string(kDupTemplate) + R"(
+streamlet top_s { a: t_byte in, b: t_byte out [2], }
+impl top of top_s {
+  instance d(dup_i<3, 2>),
+  a => d.a,
+  d.b[0] => b[0],
+  d.b[1] => b[1],
+}
+)",
+                           "top");
+  EXPECT_GT(outcome.errors, 0u);
+  EXPECT_NE(outcome.report.find("expects type"), std::string::npos);
+}
+
+TEST(Elab, WrongArgumentCountRejected) {
+  auto outcome = elaborate(std::string(kDupTemplate) + R"(
+streamlet top_s { a: t_byte in, b: t_byte out, }
+impl top of top_s {
+  instance d(dup_i<type t_byte>),
+  a => d.a,
+  d.b_0 => b,
+}
+)",
+                           "top");
+  EXPECT_GT(outcome.errors, 0u);
+  EXPECT_NE(outcome.report.find("argument"), std::string::npos);
+}
+
+TEST(Elab, PortMustBeStreamType) {
+  auto outcome = elaborate(R"(
+streamlet s { a: Bit(8) in, }
+impl top of s { }
+)",
+                           "top");
+  EXPECT_GT(outcome.errors, 0u);
+  EXPECT_NE(outcome.report.find("Stream"), std::string::npos);
+}
+
+TEST(Elab, RecursiveTypeRejected) {
+  auto outcome = elaborate(R"(
+Group A { x: B, }
+Group B { y: A, }
+type t = Stream(A, d=1);
+streamlet s { a: t in, }
+impl top of s { }
+)",
+                           "top");
+  EXPECT_GT(outcome.errors, 0u);
+  EXPECT_NE(outcome.report.find("recursive"), std::string::npos);
+}
+
+TEST(Elab, DuplicateDeclarationsRejected) {
+  auto outcome = elaborate(R"(
+const x = 1;
+const x = 2;
+type t = Stream(Bit(1), d=1);
+streamlet s { a: t in, }
+impl top of s { }
+)",
+                           "top");
+  EXPECT_GT(outcome.errors, 0u);
+  EXPECT_NE(outcome.report.find("duplicate"), std::string::npos);
+}
+
+TEST(Elab, LocalConstImmutability) {
+  auto outcome = elaborate(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet s { a: t in, b: t out, }
+impl top of s {
+  const n = 1;
+  const n = 2;
+  a => b,
+}
+)",
+                           "top");
+  EXPECT_GT(outcome.errors, 0u);
+  EXPECT_NE(outcome.report.find("immutable"), std::string::npos);
+}
+
+TEST(Elab, ForLoopVariableShadowingAllowedPerIteration) {
+  // A const inside the for body re-binds each iteration without error.
+  auto outcome = elaborate(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet u_s { a: t in, b: t out, }
+impl u_i of u_s @ external { }
+streamlet s { a: t in [2], b: t out [2], }
+impl top of s {
+  for i in 0->2 {
+    const doubled = i * 2;
+    instance u[doubled](u_i),
+    a[i] => u[doubled].a,
+    u[doubled].b => b[i],
+  }
+}
+)",
+                           "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+  const Impl* top = outcome.design.find_impl("top");
+  EXPECT_NE(top->find_instance("u_0"), nullptr);
+  EXPECT_NE(top->find_instance("u_2"), nullptr);
+}
+
+TEST(Elab, UnknownTopReported) {
+  auto outcome = elaborate("const x = 1;", "missing");
+  EXPECT_GT(outcome.errors, 0u);
+}
+
+TEST(Elab, TemplateTopRejected) {
+  auto outcome = elaborate(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet s<T: type> { a: T in, }
+impl top<T: type> of s<type T> @ external { }
+)",
+                           "top");
+  EXPECT_GT(outcome.errors, 0u);
+  EXPECT_NE(outcome.report.find("template"), std::string::npos);
+}
+
+TEST(Elab, ClockDomainAnnotationsResolve) {
+  auto outcome = elaborate(R"(
+const fast = clockdomain("fast_200", 200);
+type t = Stream(Bit(8), d=1, c=2);
+streamlet s { a: t in @ fast, b: t out @ fast, c: t in @ bare_label, }
+impl top of s {
+  a => b,
+}
+)",
+                           "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+  const Streamlet* s = outcome.design.find_streamlet("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->find_port("a")->clock_domain, "fast_200");
+  EXPECT_EQ(s->find_port("c")->clock_domain, "bare_label");
+}
+
+TEST(Elab, TemplateArgsPassedThroughToStreamlet) {
+  // The paper's "impl void_i<type_in: type> of void_s<type type_in>"
+  // pattern: forwarding a template parameter.
+  auto outcome = elaborate(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet void_s<T: type> { a: T in, }
+impl void_i<T: type> of void_s<type T> @ external { }
+streamlet top_s { a: t in, }
+impl top of top_s {
+  instance v(void_i<type t>),
+  a => v.a,
+}
+)",
+                           "top");
+  EXPECT_EQ(outcome.errors, 0u) << outcome.report;
+  // The monomorphised void_i's streamlet port has the argument type.
+  for (const Impl& impl : outcome.design.impls()) {
+    if (impl.template_name == "void_i") {
+      const Streamlet* s = outcome.design.streamlet_of(impl);
+      ASSERT_NE(s, nullptr);
+      EXPECT_EQ(s->find_port("a")->type->origin(), "t");
+    }
+  }
+}
+
+TEST(Elab, TemplateArgValueDisplayAndMangling) {
+  auto outcome = elaborate(std::string(kDupTemplate) + R"(
+streamlet top_s { a: t_byte in, b: t_byte out [2], }
+impl top of top_s {
+  instance d(dup_i<type t_byte, 2>),
+  a => d.a,
+  d.b[0] => b[0],
+  d.b[1] => b[1],
+}
+)",
+                           "top");
+  ASSERT_EQ(outcome.errors, 0u) << outcome.report;
+  const Impl* top = outcome.design.find_impl("top");
+  const Impl* dup = outcome.design.find_impl(top->instances[0].impl_name);
+  ASSERT_NE(dup, nullptr);
+  ASSERT_EQ(dup->template_args.size(), 2u);
+  EXPECT_EQ(dup->template_args[0].display(), "t_byte");
+  EXPECT_EQ(dup->template_args[1].display(), "2");
+  EXPECT_NE(dup->name.find("dup_i__"), std::string::npos);
+  EXPECT_EQ(dup->display_name, "dup_i<t_byte, 2>");
+}
+
+}  // namespace
+}  // namespace tydi::elab

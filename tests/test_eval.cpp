@@ -1,0 +1,191 @@
+// Expression-interpreter tests: the variable system and math system of
+// Sec. IV-A, including the paper's decimal-width example.
+#include <gtest/gtest.h>
+#include <cmath>
+#include <algorithm>
+
+#include "src/eval/interp.hpp"
+#include "src/parser/parser.hpp"
+
+namespace tydi::eval {
+namespace {
+
+Value eval_str(std::string_view text, const Scope& scope = Scope()) {
+  support::DiagnosticEngine diags;
+  // Wrap as a const declaration so we can reuse the full parser.
+  std::string source = "const x = " + std::string(text) + ";";
+  lang::SourceFile file = lang::parse(source, support::FileId{1}, diags);
+  EXPECT_EQ(diags.error_count(), 0u) << diags.render();
+  const auto& decl = std::get<lang::ConstDecl>(file.decls.at(0).node);
+  return evaluate(*decl.init, scope);
+}
+
+TEST(Eval, IntegerArithmetic) {
+  EXPECT_EQ(eval_str("1 + 2 * 3").as_int(), 7);
+  EXPECT_EQ(eval_str("(1 + 2) * 3").as_int(), 9);
+  EXPECT_EQ(eval_str("10 / 3").as_int(), 3);
+  EXPECT_EQ(eval_str("10 % 3").as_int(), 1);
+  EXPECT_EQ(eval_str("-5 + 2").as_int(), -3);
+}
+
+TEST(Eval, FloatArithmeticAndPromotion) {
+  EXPECT_DOUBLE_EQ(eval_str("1.5 + 2").as_float(), 3.5);
+  EXPECT_DOUBLE_EQ(eval_str("7 / 2.0").as_float(), 3.5);
+  EXPECT_TRUE(eval_str("1 + 2").is_int());
+  EXPECT_TRUE(eval_str("1 + 2.0").is_float());
+}
+
+TEST(Eval, PowerOperator) {
+  EXPECT_EQ(eval_str("2 ** 10").as_int(), 1024);
+  EXPECT_TRUE(eval_str("2 ** 10").is_int());
+  EXPECT_DOUBLE_EQ(eval_str("2.0 ** 0.5").as_float(), std::sqrt(2.0));
+  // Right-associative: 2 ** 3 ** 2 = 2 ** 9.
+  EXPECT_EQ(eval_str("2 ** 3 ** 2").as_int(), 512);
+}
+
+TEST(Eval, PaperDecimalWidthExample) {
+  // Sec. IV-A: Bit(ceil(log2(10 ** 15 - 1))) represents Decimal(15).
+  EXPECT_EQ(eval_str("ceil(log2(10 ** 15 - 1))").as_int(), 50);
+  // And parameterized by a variable:
+  Scope scope;
+  scope.define("decimal_width_memory", Value(std::int64_t{15}));
+  EXPECT_EQ(
+      eval_str("ceil(log2(10 ** decimal_width_memory - 1))", scope).as_int(),
+      50);
+}
+
+TEST(Eval, MathBuiltins) {
+  EXPECT_EQ(eval_str("floor(2.9)").as_int(), 2);
+  EXPECT_EQ(eval_str("round(2.5)").as_int(), 3);
+  EXPECT_EQ(eval_str("abs(-7)").as_int(), 7);
+  EXPECT_EQ(eval_str("min(3, 1, 2)").as_int(), 1);
+  EXPECT_EQ(eval_str("max(3, 1, 2)").as_int(), 3);
+  EXPECT_EQ(eval_str("pow(2, 8)").as_int(), 256);
+  EXPECT_DOUBLE_EQ(eval_str("log10(1000)").as_float(), 3.0);
+  EXPECT_NEAR(eval_str("ln(2.718281828459045)").as_float(), 1.0, 1e-12);
+}
+
+TEST(Eval, Comparisons) {
+  EXPECT_TRUE(eval_str("1 < 2").as_bool());
+  EXPECT_TRUE(eval_str("2 <= 2").as_bool());
+  EXPECT_FALSE(eval_str("1 > 2").as_bool());
+  EXPECT_TRUE(eval_str("1 == 1.0").as_bool());
+  EXPECT_TRUE(eval_str("\"abc\" < \"abd\"").as_bool());
+  EXPECT_TRUE(eval_str("\"a\" == \"a\"").as_bool());
+  EXPECT_TRUE(eval_str("\"a\" != \"b\"").as_bool());
+}
+
+TEST(Eval, ShortCircuitLogicals) {
+  // The right side would divide by zero if evaluated.
+  EXPECT_FALSE(eval_str("false && (1 / 0 == 1)").as_bool());
+  EXPECT_TRUE(eval_str("true || (1 / 0 == 1)").as_bool());
+}
+
+TEST(Eval, StringConcatenation) {
+  EXPECT_EQ(eval_str("\"MED \" + \"BAG\"").as_string(), "MED BAG");
+}
+
+TEST(Eval, Ranges) {
+  Value v = eval_str("0 -> 4");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 4u);
+  EXPECT_EQ(v.as_array()[0].as_int(), 0);
+  EXPECT_EQ(v.as_array()[3].as_int(), 3);
+  // `..` is an alias.
+  EXPECT_EQ(eval_str("2 .. 5").as_array().size(), 3u);
+  // Empty range.
+  EXPECT_TRUE(eval_str("3 -> 3").as_array().empty());
+}
+
+TEST(Eval, ArraysAndIndexing) {
+  EXPECT_EQ(eval_str("[10, 20, 30][1]").as_int(), 20);
+  EXPECT_EQ(eval_str("len([1, 2, 3])").as_int(), 3);
+  EXPECT_EQ(eval_str("len(\"MED BAG\")").as_int(), 7);
+  // Array concatenation with '+'.
+  EXPECT_EQ(eval_str("len([1] + [2, 3])").as_int(), 3);
+}
+
+TEST(Eval, ClockDomainValues) {
+  Value v = eval_str("clockdomain(\"sys\", 200)");
+  ASSERT_TRUE(v.is_clock());
+  EXPECT_EQ(v.as_clock().name, "sys");
+  EXPECT_DOUBLE_EQ(v.as_clock().frequency_mhz, 200.0);
+  // Identity is the name only.
+  EXPECT_TRUE(eval_str("clockdomain(\"a\") == clockdomain(\"a\", 50)")
+                  .as_bool());
+}
+
+TEST(Eval, ErrorsCarryLocations) {
+  EXPECT_THROW((void)eval_str("1 / 0"), EvalError);
+  EXPECT_THROW((void)eval_str("1 % 0"), EvalError);
+  EXPECT_THROW((void)eval_str("unknown_var"), EvalError);
+  EXPECT_THROW((void)eval_str("log2(-1)"), EvalError);
+  EXPECT_THROW((void)eval_str("[1, 2][5]"), EvalError);
+  EXPECT_THROW((void)eval_str("[1, 2][-1]"), EvalError);
+  EXPECT_THROW((void)eval_str("1 + \"a\""), EvalError);
+  EXPECT_THROW((void)eval_str("nosuchfn(1)"), EvalError);
+  EXPECT_THROW((void)eval_str("1 && true"), EvalError);
+  EXPECT_THROW((void)eval_str("0.5 -> 2"), EvalError);
+}
+
+TEST(Eval, TypedHelpers) {
+  support::DiagnosticEngine diags;
+  lang::SourceFile file = lang::parse("const x = ceil(2.5);",
+                                      support::FileId{1}, diags);
+  const auto& decl = std::get<lang::ConstDecl>(file.decls.at(0).node);
+  Scope scope;
+  EXPECT_EQ(evaluate_int(*decl.init, scope), 3);
+  EXPECT_DOUBLE_EQ(evaluate_number(*decl.init, scope), 3.0);
+  EXPECT_THROW((void)evaluate_bool(*decl.init, scope), EvalError);
+}
+
+TEST(Scope, ImmutabilityAndShadowing) {
+  Scope root;
+  EXPECT_TRUE(root.define("x", Value(std::int64_t{1})));
+  // Redefinition in the same scope is rejected (immutability, Sec. IV-A).
+  EXPECT_FALSE(root.define("x", Value(std::int64_t{2})));
+  EXPECT_EQ(root.lookup("x")->as_int(), 1);
+
+  // Shadowing in a child scope is allowed.
+  Scope child(&root);
+  EXPECT_TRUE(child.define("x", Value(std::int64_t{42})));
+  EXPECT_EQ(child.lookup("x")->as_int(), 42);
+  EXPECT_EQ(root.lookup("x")->as_int(), 1);
+  // Lookup falls through to the parent for unshadowed names.
+  EXPECT_TRUE(root.define("y", Value(std::string("deep"))));
+  EXPECT_EQ(child.lookup("y")->as_string(), "deep");
+  EXPECT_FALSE(child.lookup("z").has_value());
+}
+
+TEST(ValueTest, DisplayForms) {
+  EXPECT_EQ(Value(std::int64_t{8}).to_display(), "8");
+  EXPECT_EQ(Value(true).to_display(), "true");
+  EXPECT_EQ(Value(std::string("hi")).to_display(), "\"hi\"");
+  Array arr;
+  arr.push_back(Value(std::int64_t{1}));
+  arr.push_back(Value(std::int64_t{2}));
+  EXPECT_EQ(Value(std::move(arr)).to_display(), "[1, 2]");
+  EXPECT_EQ(Value(ClockDomain{"sys", 100.0}).to_display(),
+            "clockdomain(sys)");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_EQ(Value(std::int64_t{1}).type_name(), "int");
+  EXPECT_EQ(Value(1.5).type_name(), "float");
+  EXPECT_EQ(Value(std::string("s")).type_name(), "string");
+  EXPECT_EQ(Value(false).type_name(), "bool");
+  EXPECT_EQ(Value(ClockDomain{}).type_name(), "clockdomain");
+  EXPECT_EQ(Value(Array{}).type_name(), "array");
+  EXPECT_EQ(Value().type_name(), "none");
+}
+
+TEST(Eval, BuiltinFunctionListIsStable) {
+  const auto& names = builtin_function_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "ceil"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "log2"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "clockdomain"),
+            names.end());
+}
+
+}  // namespace
+}  // namespace tydi::eval

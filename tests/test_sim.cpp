@@ -1,0 +1,298 @@
+// Simulator tests (Sec. V): event-driven semantics, the parallelize
+// throughput example of Sec. IV-B, sim-block interpretation, bottleneck
+// ranking and deadlock detection.
+#include <gtest/gtest.h>
+
+#include "src/driver/compiler.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/metrics.hpp"
+
+namespace tydi {
+namespace {
+
+/// The Sec. IV-B scenario: a processing unit with an 8-cycle service time
+/// behind parallelize<channel>. Service = 7 delay cycles + 1 handshake.
+constexpr std::string_view kParallelizeSource = R"tydi(
+package partest;
+
+type t_data = Stream(Bit(64), d=1, c=2);
+
+impl pu_adder of process_unit_s<type t_data, type t_data> @ external {
+  sim {
+    state s = "idle";
+    on in_.receive {
+      set s = "busy";
+      delay(7);
+      send(out);
+      ack(in_);
+      set s = "idle";
+    }
+  }
+}
+
+streamlet partest_top_s {
+  feed: t_data in,
+  result: t_data out,
+}
+
+impl partest_top of partest_top_s {
+  instance par(parallelize_i<type t_data, type t_data, impl pu_adder, 8>),
+  feed => par.in_,
+  par.out => result,
+}
+)tydi";
+
+driver::CompileResult compile_parallelize(int channels) {
+  std::string source(kParallelizeSource);
+  // Swap the channel count in the single instantiation site.
+  std::string needle = "impl pu_adder, 8>";
+  std::string replacement = "impl pu_adder, " + std::to_string(channels) + ">";
+  source.replace(source.find(needle), needle.size(), replacement);
+  driver::CompileOptions options;
+  options.top = "partest_top";
+  options.emit_vhdl = false;
+  return driver::compile_source(std::move(source), options);
+}
+
+sim::SimResult simulate_parallelize(int channels, int packets) {
+  driver::CompileResult compiled = compile_parallelize(channels);
+  EXPECT_TRUE(compiled.success()) << compiled.report();
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+  sim::SimOptions options;
+  options.max_time_ns = 1.0e7;
+  sim::Stimulus stim;
+  stim.port = "feed";
+  for (int i = 0; i < packets; ++i) {
+    sim::Packet p;
+    p.value = i;
+    p.last = (i == packets - 1);
+    stim.packets.emplace_back(10.0 * i, p);
+  }
+  options.stimuli.push_back(std::move(stim));
+  return engine.run(options);
+}
+
+TEST(SimParallelize, AllPacketsArriveInOrder) {
+  sim::SimResult result = simulate_parallelize(4, 64);
+  ASSERT_TRUE(result.top_outputs.contains("result"));
+  const auto& outputs = result.top_outputs.at("result");
+  ASSERT_EQ(outputs.size(), 64u);
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    EXPECT_EQ(outputs[i].second.value, static_cast<std::int64_t>(i))
+        << "packet order violated at " << i;
+  }
+  EXPECT_FALSE(result.deadlock);
+}
+
+TEST(SimParallelize, EightChannelsReachOnePacketPerCycle) {
+  // Sec. IV-B: an 8-cycle processing unit parallelized 8 ways sustains the
+  // full input rate of 1 packet/cycle (0.1 packets/ns at 10 ns period).
+  sim::SimResult result = simulate_parallelize(8, 256);
+  double throughput = result.throughput("result");
+  EXPECT_GT(throughput, 0.095);
+  EXPECT_LE(throughput, 0.105);
+}
+
+TEST(SimParallelize, TwoChannelsAreServiceLimited) {
+  // 2 channels of an 8-cycle unit cap at 2/8 = 0.25 packets/cycle.
+  sim::SimResult result = simulate_parallelize(2, 256);
+  double throughput = result.throughput("result");
+  EXPECT_GT(throughput, 0.020);
+  EXPECT_LT(throughput, 0.030);
+}
+
+TEST(SimParallelize, ThroughputSaturatesAtEightChannels) {
+  double t4 = simulate_parallelize(4, 128).throughput("result");
+  double t8 = simulate_parallelize(8, 128).throughput("result");
+  double t12 = simulate_parallelize(12, 128).throughput("result");
+  EXPECT_LT(t4, t8 * 0.7);         // below saturation: scaling helps
+  EXPECT_NEAR(t8, t12, t8 * 0.1);  // beyond 8: source-limited, flat
+}
+
+TEST(SimParallelize, UndersizedParallelizeShowsInputBottleneck) {
+  // With 1 channel the feed channel into the demux must accumulate blocked
+  // time (the paper's bottleneck signal).
+  sim::SimResult result = simulate_parallelize(1, 128);
+  const sim::ChannelStats* bottleneck = result.bottleneck();
+  ASSERT_NE(bottleneck, nullptr);
+  EXPECT_NE(bottleneck->name.find("feed"), std::string::npos)
+      << "expected the top feed channel to be the bottleneck, got "
+      << bottleneck->name;
+  EXPECT_GT(bottleneck->blocked_ns, 1000.0);
+}
+
+TEST(SimParallelize, StateTransitionsRecorded) {
+  sim::SimResult result = simulate_parallelize(2, 8);
+  // Each pu instance toggles idle->busy->idle per packet.
+  EXPECT_FALSE(result.state_transitions.empty());
+  bool saw_busy = false;
+  for (const sim::StateTransition& t : result.state_transitions) {
+    if (t.variable == "s" && t.to == "busy") saw_busy = true;
+  }
+  EXPECT_TRUE(saw_busy);
+  EXPECT_FALSE(sim::render_state_table(result).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock detection (Sec. V-B: "analyzing the relationship between data
+// flow and state could also help identify the potential for deadlock").
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kDeadlockSource = R"tydi(
+package deadtest;
+
+type t_data = Stream(Bit(8), d=1, c=2);
+
+streamlet join_s {
+  a: t_data in,
+  b: t_data in,
+  out: t_data out,
+}
+
+// Requires BOTH inputs before acknowledging either.
+impl join_i of join_s @ external {
+  sim {
+    on a.receive && b.receive {
+      send(out);
+      ack(a);
+      ack(b);
+    }
+  }
+}
+
+streamlet loop_s {
+  in_: t_data in,
+  out: t_data out,
+}
+
+// Echoes packets; closes the cycle.
+impl echo_i of loop_s @ external {
+  sim {
+    on in_.receive {
+      send(out);
+      ack(in_);
+    }
+  }
+}
+
+streamlet deadtop_s {
+  feed: t_data in,
+  result: t_data out,
+}
+
+// join needs a packet from echo, but echo is fed by join: a wait-for cycle
+// with no initial token.
+impl deadtop of deadtop_s {
+  instance join(join_i),
+  instance echo(echo_i),
+  instance dup(duplicator_i<type t_data, 2>),
+  feed => join.a,
+  echo.out => join.b,
+  join.out => dup.in_,
+  dup.out_[0] => echo.in_,
+  dup.out_[1] => result,
+}
+)tydi";
+
+TEST(SimDeadlock, WaitForCycleIsDetectedAndReported) {
+  driver::CompileOptions options;
+  options.top = "deadtop";
+  options.emit_vhdl = false;
+  driver::CompileResult compiled =
+      driver::compile_source(std::string(kDeadlockSource), options);
+  ASSERT_TRUE(compiled.success()) << compiled.report();
+
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+  sim::SimOptions sim_options;
+  sim::Stimulus stim;
+  stim.port = "feed";
+  stim.packets.emplace_back(0.0, sim::Packet{1, false});
+  sim_options.stimuli.push_back(stim);
+
+  sim::SimResult result = engine.run(sim_options);
+  EXPECT_TRUE(result.deadlock);
+  EXPECT_FALSE(result.blocked_report.empty());
+  // The wait-for cycle must include the join component.
+  bool join_in_cycle = false;
+  for (const std::string& node : result.deadlock_cycle) {
+    if (node.find("join") != std::string::npos) join_in_cycle = true;
+  }
+  EXPECT_TRUE(join_in_cycle)
+      << sim::render_bottleneck_report(result, 10);
+}
+
+TEST(SimDeadlock, AcyclicDesignDoesNotDeadlock) {
+  sim::SimResult result = simulate_parallelize(3, 32);
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_TRUE(result.deadlock_cycle.empty());
+}
+
+TEST(SimEngine, MaxTimeCutoffStopsLongSimulations) {
+  driver::CompileResult compiled = compile_parallelize(1);
+  ASSERT_TRUE(compiled.success());
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+  sim::SimOptions options;
+  options.max_time_ns = 500.0;  // far too short for 10k packets
+  sim::Stimulus stim;
+  stim.port = "feed";
+  for (int i = 0; i < 10000; ++i) {
+    stim.packets.emplace_back(10.0 * i, sim::Packet{i, false});
+  }
+  options.stimuli.push_back(std::move(stim));
+  sim::SimResult result = engine.run(options);
+  EXPECT_LE(result.end_time_ns, 500.0);
+}
+
+TEST(SimEngine, SummaryMentionsOutputsAndBottleneck) {
+  sim::SimResult result = simulate_parallelize(1, 64);
+  std::string summary = result.summary();
+  EXPECT_NE(summary.find("top output 'result'"), std::string::npos);
+  EXPECT_NE(summary.find("bottleneck:"), std::string::npos);
+}
+
+TEST(SimEngine, ThroughputEdgeCases) {
+  sim::SimResult empty;
+  EXPECT_EQ(empty.throughput("nope"), 0.0);
+  empty.top_outputs["one"].emplace_back(10.0, sim::Packet{});
+  EXPECT_EQ(empty.throughput("one"), 0.0);  // single packet: no rate
+  EXPECT_EQ(empty.bottleneck(), nullptr);
+}
+
+TEST(SimEngine, StimulusOnUnknownPortWarnsInsteadOfCrashing) {
+  driver::CompileResult compiled = compile_parallelize(1);
+  ASSERT_TRUE(compiled.success());
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+  sim::SimOptions options;
+  sim::Stimulus stim;
+  stim.port = "no_such_port";
+  stim.packets.emplace_back(0.0, sim::Packet{});
+  options.stimuli.push_back(std::move(stim));
+  (void)engine.run(options);
+  EXPECT_GT(diags.warning_count(), 0u);
+}
+
+TEST(SimEngine, TraceCanBeDisabled) {
+  driver::CompileResult compiled = compile_parallelize(2);
+  ASSERT_TRUE(compiled.success());
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+  sim::SimOptions options;
+  options.record_trace = false;
+  sim::Stimulus stim;
+  stim.port = "feed";
+  for (int i = 0; i < 8; ++i) {
+    stim.packets.emplace_back(10.0 * i, sim::Packet{i, i == 7});
+  }
+  options.stimuli.push_back(std::move(stim));
+  sim::SimResult result = engine.run(options);
+  EXPECT_TRUE(result.trace.empty());
+  // Outputs are still recorded (trace only affects TraceEvents).
+  EXPECT_EQ(result.top_outputs.at("result").size(), 8u);
+}
+
+}  // namespace
+}  // namespace tydi

@@ -1,0 +1,158 @@
+// Standard library and Fletcher substrate tests: the stdlib parses and
+// elaborates standalone, every RTL family has a simulator model, and the
+// Fletcher generator produces the interface contract the queries rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/driver/compiler.hpp"
+#include "src/fletcher/fletchgen.hpp"
+#include "src/fletcher/schema.hpp"
+#include "src/sim/behavior.hpp"
+#include "src/stdlib/stdlib.hpp"
+#include "src/support/text.hpp"
+#include "src/vhdl/rtl_lib.hpp"
+
+namespace tydi {
+namespace {
+
+TEST(Stdlib, ParsesStandalone) {
+  driver::CompileOptions options;
+  // No top: elaborate all concrete impls (templates stay dormant).
+  options.include_stdlib = true;
+  options.emit_vhdl = false;
+  auto result = driver::compile({}, options);
+  EXPECT_TRUE(result.success()) << result.report();
+}
+
+TEST(Stdlib, DefinesTheDocumentedTemplates) {
+  std::string_view src = stdlib::stdlib_source();
+  for (std::string_view name :
+       {"duplicator_s", "duplicator_i", "voider_s", "voider_i", "source_i",
+        "sink_i", "unary_op_s", "adder_i", "subtractor_i", "multiplier_i",
+        "comparator_i", "const_compare_i", "const_compare_int_i",
+        "binary_op_s", "add2_i", "sub2_i", "mul2_i", "cmp2_i", "filter_s",
+        "filter_i", "logic_reduce_s", "logic_and_i", "logic_or_i", "demux_s",
+        "demux_i", "mux_s", "mux_i", "accumulator_i", "const_generator_i",
+        "process_unit_s", "parallelize_s", "parallelize_i", "std_bool"}) {
+    EXPECT_NE(src.find(name), std::string_view::npos) << name;
+  }
+}
+
+TEST(Stdlib, EveryRtlFamilyHasASimulatorModel) {
+  // The hard-coded RTL generator (Sec. IV-C) and the simulator models
+  // (Sec. V) must cover the same template families, so a design that can be
+  // generated can also be simulated.
+  const auto& rtl = vhdl::stdlib_rtl_families();
+  const auto& sim = sim::builtin_behavior_families();
+  for (const std::string& family : rtl) {
+    EXPECT_NE(std::find(sim.begin(), sim.end(), family), sim.end())
+        << "RTL family '" << family << "' has no simulator model";
+  }
+}
+
+TEST(Stdlib, LocMatchesCounter) {
+  EXPECT_EQ(stdlib::stdlib_loc(),
+            support::count_tydi_loc(stdlib::stdlib_source()));
+  EXPECT_EQ(stdlib::stdlib_file_name(), "std.td");
+}
+
+// --- Fletcher ---------------------------------------------------------------
+
+fletcher::Schema demo_schema() {
+  fletcher::Schema s;
+  s.name = "demo";
+  s.primary_keys = {"id"};
+  fletcher::Column id;
+  id.name = "id";
+  id.type = fletcher::ColumnType::kInt64;
+  fletcher::Column price;
+  price.name = "price";
+  price.type = fletcher::ColumnType::kDecimal;
+  price.precision = 15;
+  price.scale = 2;
+  fletcher::Column tag;
+  tag.name = "tag";
+  tag.type = fletcher::ColumnType::kFixedUtf8;
+  tag.fixed_length = 10;
+  fletcher::Column day;
+  day.name = "day";
+  day.type = fletcher::ColumnType::kDate;
+  s.columns = {id, price, tag, day};
+  return s;
+}
+
+TEST(Fletcher, ColumnBitWidths) {
+  auto s = demo_schema();
+  EXPECT_EQ(s.find_column("id")->bit_width(), 64);
+  EXPECT_EQ(s.find_column("price")->bit_width(), 50);  // ceil(log2(10^15-1))
+  EXPECT_EQ(s.find_column("tag")->bit_width(), 80);
+  EXPECT_EQ(s.find_column("day")->bit_width(), 32);
+  EXPECT_EQ(s.find_column("nope"), nullptr);
+}
+
+TEST(Fletcher, Int32Width) {
+  fletcher::Column c;
+  c.type = fletcher::ColumnType::kInt32;
+  EXPECT_EQ(c.bit_width(), 32);
+}
+
+TEST(Fletcher, InterfaceTextContract) {
+  auto s = demo_schema();
+  std::string text =
+      fletcher::generate_interface(s, fletcher::FletchgenOptions{});
+  // One named type alias per column.
+  EXPECT_NE(text.find("type t_demo_id = Stream(Bit(64), d=1, c=2);"),
+            std::string::npos);
+  EXPECT_NE(text.find("type t_demo_price = Stream(Bit(50), d=1, c=2);"),
+            std::string::npos);
+  // Primary keys are input ports, other columns outputs.
+  EXPECT_NE(text.find("id: t_demo_id in,"), std::string::npos);
+  EXPECT_NE(text.find("price: t_demo_price out,"), std::string::npos);
+  // External reader impl.
+  EXPECT_NE(text.find("impl demo_reader_i of demo_reader_s @ external"),
+            std::string::npos);
+}
+
+TEST(Fletcher, GeneratedInterfaceCompilesAndConnects) {
+  auto s = demo_schema();
+  std::string interface =
+      fletcher::generate_interfaces({s}, fletcher::FletchgenOptions{});
+  std::string query = R"(
+streamlet top_s {
+  req: t_demo_id in,
+  total: t_demo_price out,
+}
+impl top of top_s {
+  instance reader(demo_reader_i),
+  req => reader.id,
+  reader.price => total,
+}
+)";
+  driver::CompileOptions options;
+  options.top = "top";
+  auto result = driver::compile(
+      {{"fletcher.td", interface}, {"q.td", query}}, options);
+  ASSERT_TRUE(result.success()) << result.report();
+  // Unused columns (tag, day) were voided by sugaring.
+  EXPECT_EQ(result.sugar_stats.voiders_inserted, 2u);
+  EXPECT_TRUE(result.drc_report.clean()) << result.drc_report.render();
+}
+
+TEST(Fletcher, OptionsControlStreamParameters) {
+  fletcher::FletchgenOptions options;
+  options.dimension = 2;
+  options.complexity = 4;
+  std::string text = fletcher::generate_interface(demo_schema(), options);
+  EXPECT_NE(text.find("d=2, c=4"), std::string::npos);
+}
+
+TEST(Fletcher, ColumnTypeNames) {
+  auto s = demo_schema();
+  EXPECT_EQ(fletcher::column_type_name(s, s.columns[0]), "t_demo_id");
+  EXPECT_EQ(std::string(fletcher::to_string(fletcher::ColumnType::kDecimal)),
+            "decimal");
+}
+
+}  // namespace
+}  // namespace tydi

@@ -1,0 +1,144 @@
+// Support-layer tests: source management, diagnostics, the LoC counter
+// that Table IV depends on, the code writer, tables, and identifier
+// sanitization.
+#include <gtest/gtest.h>
+
+#include "src/support/diagnostic.hpp"
+#include "src/support/source.hpp"
+#include "src/support/text.hpp"
+
+namespace tydi::support {
+namespace {
+
+TEST(SourceManager, LineColumnMapping) {
+  SourceManager sm;
+  FileId id = sm.add("test.td", "line one\nline two\nthird");
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(sm.name(id), "test.td");
+
+  LineCol lc = sm.line_col(Loc{id, 0});
+  EXPECT_EQ(lc.line, 1u);
+  EXPECT_EQ(lc.column, 1u);
+
+  lc = sm.line_col(Loc{id, 9});  // 'l' of "line two"
+  EXPECT_EQ(lc.line, 2u);
+  EXPECT_EQ(lc.column, 1u);
+
+  lc = sm.line_col(Loc{id, 23});  // last char of "third"
+  EXPECT_EQ(lc.line, 3u);
+  EXPECT_EQ(lc.column, 6u);
+
+  EXPECT_EQ(sm.describe(Loc{id, 9}), "test.td:2:1");
+}
+
+TEST(SourceManager, SynthesizedLocations) {
+  SourceManager sm;
+  EXPECT_EQ(sm.describe(Loc::synthesized()), "<synthesized>");
+  LineCol lc = sm.line_col(Loc::synthesized());
+  EXPECT_EQ(lc.line, 0u);
+}
+
+TEST(SourceManager, MissingFileReturnsInvalidId) {
+  SourceManager sm;
+  EXPECT_FALSE(sm.add_file("/no/such/file.td").valid());
+}
+
+TEST(Diagnostics, CountsAndRendering) {
+  SourceManager sm;
+  FileId id = sm.add("x.td", "abc\ndef\n");
+  DiagnosticEngine diags(&sm);
+  diags.error("parser", "bad token", Loc{id, 4});
+  diags.warning("drc", "suspicious", Loc{id, 0});
+  diags.note("sugar", "inserted voider", {});
+
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.warning_count(), 1u);
+  EXPECT_EQ(diags.diagnostics().size(), 3u);
+
+  std::string rendered = diags.render();
+  EXPECT_NE(rendered.find("error: x.td:2:1: [parser] bad token"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("warning:"), std::string::npos);
+  EXPECT_NE(rendered.find("note:"), std::string::npos);
+
+  EXPECT_EQ(diags.by_phase("drc").size(), 1u);
+  EXPECT_EQ(diags.by_phase("nothing").size(), 0u);
+
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+TEST(LocCounter, TydiRules) {
+  // Blank lines and comment-only lines do not count.
+  EXPECT_EQ(count_tydi_loc(""), 0u);
+  EXPECT_EQ(count_tydi_loc("\n\n\n"), 0u);
+  EXPECT_EQ(count_tydi_loc("// only a comment\n"), 0u);
+  EXPECT_EQ(count_tydi_loc("const x = 1;\n"), 1u);
+  EXPECT_EQ(count_tydi_loc("const x = 1; // trailing comment\n"), 1u);
+  EXPECT_EQ(count_tydi_loc("  // indented comment\nconst x = 1;\n"), 1u);
+  EXPECT_EQ(count_tydi_loc("/* block\nspanning\nlines */\nconst x = 1;\n"),
+            1u);
+  // Code sharing a line with the end of a block comment still counts.
+  EXPECT_EQ(count_tydi_loc("a\n/* c */ b\n"), 2u);
+}
+
+TEST(LocCounter, VhdlRules) {
+  EXPECT_EQ(count_vhdl_loc("-- comment only\n"), 0u);
+  EXPECT_EQ(count_vhdl_loc("signal x : std_logic;\n-- note\n\n"), 1u);
+}
+
+TEST(CodeWriter, IndentationManagement) {
+  CodeWriter w;
+  w.open("begin");
+  w.line("middle");
+  w.open("nested {");
+  w.line("deep");
+  w.close("}");
+  w.close("end");
+  w.line();
+  EXPECT_EQ(w.str(), "begin\n  middle\n  nested {\n    deep\n  }\nend\n\n");
+  // dedent below zero is clamped.
+  CodeWriter w2;
+  w2.dedent();
+  w2.line("x");
+  EXPECT_EQ(w2.str(), "x\n");
+}
+
+TEST(TextTable, AlignedRendering) {
+  TextTable t;
+  t.header({"a", "long header"});
+  t.row({"wide cell", "x"});
+  std::string out = t.render();
+  // Header, rule, one row.
+  auto lines = split_lines(out);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find("---"), std::string::npos);
+  // Columns align: 'long header' starts at same offset as 'x'.
+  EXPECT_EQ(lines[0].find("long header"), lines[2].find("x"));
+}
+
+TEST(TextHelpers, FormatAndSplit) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_TRUE(starts_with_trimmed("   impl foo", "impl"));
+  EXPECT_FALSE(starts_with_trimmed("   impl foo", "streamlet"));
+  auto lines = split_lines("a\n\nb");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(TextHelpers, SanitizeIdentifier) {
+  EXPECT_EQ(sanitize_identifier("Hello World"), "hello_world");
+  EXPECT_EQ(sanitize_identifier("a__b___c"), "a_b_c");
+  EXPECT_EQ(sanitize_identifier("\"MED BAG\""), "med_bag");
+  EXPECT_EQ(sanitize_identifier("123"), "x123");
+  EXPECT_EQ(sanitize_identifier("___"), "x");
+  EXPECT_EQ(sanitize_identifier("trailing_"), "trailing");
+}
+
+}  // namespace
+}  // namespace tydi::support

@@ -1,0 +1,116 @@
+// Union-type end-to-end tests (Table I: union width = max child width) and
+// name-mangling collision resistance for template instances.
+#include <gtest/gtest.h>
+
+#include "src/driver/compiler.hpp"
+
+namespace tydi {
+namespace {
+
+TEST(UnionEndToEnd, UnionStreamsCompileToMaxWidthPorts) {
+  constexpr std::string_view source = R"(
+// A token is either a 24-bit pixel or a 4-bit control code: the hardware
+// channel carries max(24, 4) = 24 bits (Table I).
+Union Token {
+  pixel: Bit(24),
+  control: Bit(4),
+}
+type t_tokens = Stream(Token, d=1, c=2);
+
+streamlet codec_s { raw: t_tokens in, cooked: t_tokens out, }
+impl codec of codec_s @ external { }
+
+streamlet top_s { a: t_tokens in, b: t_tokens out, }
+impl top of top_s {
+  instance c(codec),
+  a => c.raw,
+  c.cooked => b,
+}
+)";
+  driver::CompileOptions options;
+  options.top = "top";
+  auto result = driver::compile_source(std::string(source), options);
+  ASSERT_TRUE(result.success()) << result.report();
+  EXPECT_TRUE(result.drc_report.clean());
+  // Entity data port is 24 bits wide: std_logic_vector(23 downto 0).
+  EXPECT_NE(result.vhdl_text.find("a_data : in std_logic_vector(23 downto 0)"),
+            std::string::npos)
+      << result.vhdl_text.substr(0, 2000);
+}
+
+TEST(UnionEndToEnd, UnionInsideGroupSums) {
+  constexpr std::string_view source = R"(
+Union Payload {
+  word: Bit(32),
+  byte: Bit(8),
+}
+Group Framed {
+  header: Bit(16),
+  payload: Payload,
+}
+type t_frames = Stream(Framed, d=1, c=2);
+streamlet s { a: t_frames in, b: t_frames out, }
+impl top of s {
+  a => b,
+}
+)";
+  driver::CompileOptions options;
+  options.top = "top";
+  auto result = driver::compile_source(std::string(source), options);
+  ASSERT_TRUE(result.success()) << result.report();
+  // 16 (header) + max(32, 8) = 48 bits.
+  EXPECT_NE(
+      result.vhdl_text.find("a_data : in std_logic_vector(47 downto 0)"),
+      std::string::npos);
+}
+
+TEST(Mangling, SanitizationCollisionsDisambiguatedByHash) {
+  // "MED BAG" and "MED_BAG" sanitize to the same identifier fragment; the
+  // mangled impl names must still differ (hash suffix) so both
+  // instantiations coexist.
+  constexpr std::string_view source = R"(
+type t = Stream(Bit(80), d=1, c=2);
+streamlet top_s { a: t in, b: std_bool out, c: t in, d: std_bool out, }
+impl top of top_s {
+  instance p1(const_compare_i<type t, type std_bool, "MED BAG", "==">),
+  instance p2(const_compare_i<type t, type std_bool, "MED_BAG", "==">),
+  a => p1.in_,
+  c => p2.in_,
+  p1.out => b,
+  p2.out => d,
+}
+)";
+  driver::CompileOptions options;
+  options.top = "top";
+  auto result = driver::compile_source(std::string(source), options);
+  ASSERT_TRUE(result.success()) << result.report();
+  const elab::Impl* top = result.design.find_impl("top");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->instances.size(), 2u);
+  EXPECT_NE(top->instances[0].impl_name, top->instances[1].impl_name);
+}
+
+TEST(Mangling, IdenticalArgumentsShareOneInstantiation) {
+  constexpr std::string_view source = R"(
+type t = Stream(Bit(80), d=1, c=2);
+streamlet top_s { a: t in, b: std_bool out, c: t in, d: std_bool out, }
+impl top of top_s {
+  instance p1(const_compare_i<type t, type std_bool, "SAME", "==">),
+  instance p2(const_compare_i<type t, type std_bool, "SAME", "==">),
+  a => p1.in_,
+  c => p2.in_,
+  p1.out => b,
+  p2.out => d,
+}
+)";
+  driver::CompileOptions options;
+  options.top = "top";
+  auto result = driver::compile_source(std::string(source), options);
+  ASSERT_TRUE(result.success()) << result.report();
+  const elab::Impl* top = result.design.find_impl("top");
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->instances[0].impl_name, top->instances[1].impl_name);
+}
+
+}  // namespace
+}  // namespace tydi
