@@ -9,6 +9,14 @@
 //     the bottleneck moving when one pipeline stage is slowed down;
 //  3. (Sec. V-B) wait-for analysis detects deadlocks — demonstrated on a
 //     cyclic join design.
+//
+// With `--json <path>` the harness additionally runs an events-per-second
+// measurement of the parallelize channel sweep (trace disabled, simulation
+// only — compile time excluded) and writes the numbers to a JSON file so the
+// perf trajectory is tracked across PRs.
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "src/driver/compiler.hpp"
@@ -118,9 +126,88 @@ impl deadtop of deadtop_s {
 }
 )tydi";
 
+/// Events/sec measurement: simulates the parallelize sweep with tracing off
+/// and measures only Engine::run wall time. The baseline constant is the
+/// same measurement taken on the pre-refactor (string-keyed, std::function
+/// event queue) engine on this machine, kept for trajectory tracking.
+constexpr double kPreRefactorEventsPerSec = 2.1e6;
+
+struct PerfNumbers {
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                              : 0.0;
+  }
+};
+
+PerfNumbers measure_events_per_sec(int packets) {
+  PerfNumbers perf;
+  for (int channels : {1, 2, 4, 8, 16}) {
+    tydi::driver::CompileOptions options;
+    options.top = "partest_top";
+    options.emit_vhdl = false;
+    tydi::driver::CompileResult compiled = tydi::driver::compile_source(
+        parallelize_source(channels), options);
+    if (!compiled.success()) {
+      std::cerr << compiled.report();
+      std::exit(1);
+    }
+    tydi::support::DiagnosticEngine diags;
+    tydi::sim::Engine engine(compiled.design, diags);
+    tydi::sim::SimOptions sim_options;
+    sim_options.max_time_ns = 1.0e9;
+    sim_options.record_trace = false;
+    tydi::sim::Stimulus stim;
+    stim.port = "feed";
+    for (int i = 0; i < packets; ++i) {
+      stim.packets.emplace_back(10.0 * i,
+                                tydi::sim::Packet{i, i == packets - 1});
+    }
+    sim_options.stimuli.push_back(std::move(stim));
+    auto start = std::chrono::steady_clock::now();
+    tydi::sim::SimResult result = engine.run(sim_options);
+    auto stop = std::chrono::steady_clock::now();
+    perf.events += result.events_processed;
+    perf.wall_seconds +=
+        std::chrono::duration<double>(stop - start).count();
+  }
+  return perf;
+}
+
+int run_perf_json(const char* path) {
+  // Warm-up pass, then the measured pass.
+  (void)measure_events_per_sec(2000);
+  PerfNumbers perf = measure_events_per_sec(20000);
+  double baseline = kPreRefactorEventsPerSec;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"sim_parallelize_channel_sweep\",\n"
+      << "  \"channels\": [1, 2, 4, 8, 16],\n"
+      << "  \"packets_per_run\": 20000,\n"
+      << "  \"events_processed\": " << perf.events << ",\n"
+      << "  \"wall_seconds\": " << perf.wall_seconds << ",\n"
+      << "  \"events_per_sec\": " << perf.events_per_sec() << ",\n"
+      << "  \"baseline_events_per_sec\": " << baseline << ",\n"
+      << "  \"speedup_vs_baseline\": "
+      << (baseline > 0.0 ? perf.events_per_sec() / baseline : 0.0) << "\n"
+      << "}\n";
+  std::cout << "events/sec: " << perf.events_per_sec() << " ("
+            << perf.events << " events in " << perf.wall_seconds
+            << " s); JSON written to " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return run_perf_json(argv[i + 1]);
+  }
   std::cout << "=== E5a: parallelize throughput sweep (Sec. IV-B claim: "
                "8 channels sustain 1 packet/cycle) ===\n\n";
   tydi::support::TextTable sweep;

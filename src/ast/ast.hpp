@@ -11,6 +11,7 @@
 #include <variant>
 #include <vector>
 
+#include "src/support/intern.hpp"
 #include "src/support/source.hpp"
 
 namespace tydi::lang {
@@ -40,7 +41,13 @@ struct IntLit { std::int64_t value = 0; };
 struct FloatLit { double value = 0.0; };
 struct StringLit { std::string value; };
 struct BoolLit { bool value = false; };
-struct Ident { std::string name; };
+struct Ident {
+  std::string name;
+  /// Lazily interned `name`, cached so repeated evaluation of the same AST
+  /// node (the simulator re-runs handler expressions per packet) resolves
+  /// by integer symbol without re-hashing the string.
+  mutable support::Symbol sym = support::kNoSymbol;
+};
 struct Binary {
   BinaryOp op{};
   ExprPtr lhs;

@@ -11,6 +11,20 @@ const Port* Streamlet::find_port(std::string_view port_name) const {
   return nullptr;
 }
 
+const Port* Streamlet::find_port(Symbol port_sym) const {
+  for (const Port& p : ports) {
+    if (p.sym == port_sym) return &p;
+  }
+  return nullptr;
+}
+
+int Streamlet::port_index(Symbol port_sym) const {
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].sym == port_sym) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 const Instance* Impl::find_instance(std::string_view instance_name) const {
   for (const Instance& i : instances) {
     if (i.name == instance_name) return &i;
@@ -34,31 +48,47 @@ std::string TemplateArgValue::display() const {
 }
 
 Streamlet& Design::add_streamlet(Streamlet s) {
-  streamlet_index_[s.name] = streamlets_.size();
+  s.sym = support::intern(s.name);
+  for (Port& p : s.ports) p.sym = support::intern(p.name);
+  streamlet_index_[s.sym] = streamlets_.size();
   streamlets_.push_back(std::move(s));
   return streamlets_.back();
 }
 
 Impl& Design::add_impl(Impl i) {
-  impl_index_[i.name] = impls_.size();
+  i.sym = support::intern(i.name);
+  impl_index_[i.sym] = impls_.size();
   impls_.push_back(std::move(i));
   return impls_.back();
 }
 
 const Streamlet* Design::find_streamlet(std::string_view name) const {
-  auto it = streamlet_index_.find(name);
+  // find(), not intern(): negative lookups must not grow the global table.
+  Symbol sym = support::Interner::global().find(name);
+  return sym != support::kNoSymbol ? find_streamlet(sym) : nullptr;
+}
+
+const Streamlet* Design::find_streamlet(Symbol sym) const {
+  auto it = streamlet_index_.find(sym);
   if (it == streamlet_index_.end()) return nullptr;
   return &streamlets_[it->second];
 }
 
 const Impl* Design::find_impl(std::string_view name) const {
-  auto it = impl_index_.find(name);
+  Symbol sym = support::Interner::global().find(name);
+  return sym != support::kNoSymbol ? find_impl(sym) : nullptr;
+}
+
+const Impl* Design::find_impl(Symbol sym) const {
+  auto it = impl_index_.find(sym);
   if (it == impl_index_.end()) return nullptr;
   return &impls_[it->second];
 }
 
 Impl* Design::find_impl_mutable(std::string_view name) {
-  auto it = impl_index_.find(name);
+  Symbol sym = support::Interner::global().find(name);
+  if (sym == support::kNoSymbol) return nullptr;
+  auto it = impl_index_.find(sym);
   if (it == impl_index_.end()) return nullptr;
   return &impls_[it->second];
 }

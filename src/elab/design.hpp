@@ -11,14 +11,18 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/ast/ast.hpp"
 #include "src/eval/value.hpp"
+#include "src/support/intern.hpp"
 #include "src/support/source.hpp"
 #include "src/types/logical_type.hpp"
 
 namespace tydi::elab {
+
+using support::Symbol;
 
 /// The parsed program (all source files of a compilation: standard library,
 /// Fletcher interfaces, user code). The Design keeps it alive because
@@ -36,6 +40,9 @@ struct Port {
   lang::PortDir dir = lang::PortDir::kIn;
   std::string clock_domain = "default";
   support::Loc loc;
+  /// Interned `name`; assigned by Design::add_streamlet so the simulator can
+  /// match ports by integer symbol.
+  Symbol sym = support::kNoSymbol;
 };
 
 /// A concrete streamlet (port map). Template instances carry a mangled
@@ -45,8 +52,14 @@ struct Streamlet {
   std::string display_name;
   std::vector<Port> ports;
   support::Loc loc;
+  /// Interned `name`; assigned by Design::add_streamlet.
+  Symbol sym = support::kNoSymbol;
 
   [[nodiscard]] const Port* find_port(std::string_view port_name) const;
+  /// Symbol-keyed variant (no string comparison).
+  [[nodiscard]] const Port* find_port(Symbol port_sym) const;
+  /// Index of the port with symbol `port_sym` in `ports`, or -1.
+  [[nodiscard]] int port_index(Symbol port_sym) const;
 };
 
 /// One endpoint of an elaborated connection. `instance` is empty for the
@@ -101,6 +114,8 @@ struct SimProgram {
 
 struct Impl {
   std::string name;          ///< mangled
+  /// Interned `name`; assigned by Design::add_impl.
+  Symbol sym = support::kNoSymbol;
   std::string display_name;  ///< original spelling with arguments
   std::string streamlet_name;
   /// The *family* name of the streamlet this impl derives from (the
@@ -132,7 +147,9 @@ class Design {
   Impl& add_impl(Impl i);
 
   [[nodiscard]] const Streamlet* find_streamlet(std::string_view name) const;
+  [[nodiscard]] const Streamlet* find_streamlet(Symbol sym) const;
   [[nodiscard]] const Impl* find_impl(std::string_view name) const;
+  [[nodiscard]] const Impl* find_impl(Symbol sym) const;
   [[nodiscard]] Impl* find_impl_mutable(std::string_view name);
 
   [[nodiscard]] const std::vector<Streamlet>& streamlets() const {
@@ -162,8 +179,10 @@ class Design {
   ProgramRef program_;
   std::vector<Streamlet> streamlets_;
   std::vector<Impl> impls_;
-  std::map<std::string, std::size_t, std::less<>> streamlet_index_;
-  std::map<std::string, std::size_t, std::less<>> impl_index_;
+  // Flat symbol-keyed indexes: lookups intern once and hash an integer
+  // instead of walking a string-keyed tree.
+  std::unordered_map<Symbol, std::size_t> streamlet_index_;
+  std::unordered_map<Symbol, std::size_t> impl_index_;
   std::string top_;
 };
 

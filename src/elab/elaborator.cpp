@@ -52,7 +52,7 @@ void Elaborator::build_registries() {
           [this](const auto& n) {
             using T = std::decay_t<decltype(n)>;
             auto check_dup = [this, &n](const auto& map) {
-              if (map.contains(n.name)) {
+              if (map.contains(support::intern(n.name))) {
                 diags_.error("elab",
                              "duplicate declaration of '" + n.name + "'",
                              n.loc);
@@ -61,15 +61,26 @@ void Elaborator::build_registries() {
               return false;
             };
             if constexpr (std::is_same_v<T, lang::ConstDecl>) {
-              if (!check_dup(const_decls_)) const_decls_[n.name] = &n;
+              if (!check_dup(const_decls_)) {
+                const_decls_[support::intern(n.name)] = &n;
+              }
             } else if constexpr (std::is_same_v<T, lang::TypeAliasDecl>) {
-              if (!check_dup(alias_decls_)) alias_decls_[n.name] = &n;
+              if (!check_dup(alias_decls_)) {
+                alias_decls_[support::intern(n.name)] = &n;
+              }
             } else if constexpr (std::is_same_v<T, lang::GroupDecl>) {
-              if (!check_dup(group_decls_)) group_decls_[n.name] = &n;
+              if (!check_dup(group_decls_)) {
+                group_decls_[support::intern(n.name)] = &n;
+              }
             } else if constexpr (std::is_same_v<T, lang::StreamletDecl>) {
-              if (!check_dup(streamlet_decls_)) streamlet_decls_[n.name] = &n;
+              if (!check_dup(streamlet_decls_)) {
+                streamlet_decls_[support::intern(n.name)] = &n;
+              }
             } else if constexpr (std::is_same_v<T, lang::ImplDecl>) {
-              if (!check_dup(impl_decls_)) impl_decls_[n.name] = &n;
+              if (!check_dup(impl_decls_)) {
+                impl_decls_[support::intern(n.name)] = &n;
+                impl_decl_order_.push_back(&n);
+              }
             }
           },
           d.node);
@@ -139,15 +150,16 @@ types::TypeRef Elaborator::resolve_named_type(const std::string& name,
     if (it != ctx.type_bindings->end()) return it->second;
   }
   // 2. Cached global named type.
-  auto cached = named_type_cache_.find(name);
+  const Symbol name_sym = support::intern(name);
+  auto cached = named_type_cache_.find(name_sym);
   if (cached != named_type_cache_.end()) return cached->second;
 
-  if (resolving_types_.contains(name)) {
+  if (resolving_types_.contains(name_sym)) {
     diags_.error("elab", "recursive type definition involving '" + name + "'",
                  loc);
     return nullptr;
   }
-  resolving_types_.insert(name);
+  resolving_types_.insert(name_sym);
   types::TypeRef result;
 
   // Global types resolve in the *global* context only (logical types cannot
@@ -155,10 +167,11 @@ types::TypeRef Elaborator::resolve_named_type(const std::string& name,
   Context global_ctx;
   global_ctx.scope = &global_scope_;
 
-  if (auto it = alias_decls_.find(name); it != alias_decls_.end()) {
+  if (auto it = alias_decls_.find(name_sym); it != alias_decls_.end()) {
     types::TypeRef base = resolve_type(*it->second->type, global_ctx);
     if (base != nullptr) result = types::with_origin(base, name);
-  } else if (auto git = group_decls_.find(name); git != group_decls_.end()) {
+  } else if (auto git = group_decls_.find(name_sym);
+             git != group_decls_.end()) {
     const lang::GroupDecl& g = *git->second;
     std::vector<types::Field> fields;
     bool ok = true;
@@ -177,8 +190,8 @@ types::TypeRef Elaborator::resolve_named_type(const std::string& name,
   } else {
     diags_.error("elab", "unknown type '" + name + "'", loc);
   }
-  resolving_types_.erase(name);
-  if (result != nullptr) named_type_cache_[name] = result;
+  resolving_types_.erase(name_sym);
+  if (result != nullptr) named_type_cache_[name_sym] = result;
   return result;
 }
 
@@ -349,7 +362,7 @@ bool Elaborator::check_param_binding(const lang::TemplateParam& param,
         return false;
       }
       if (!param.impl_of_args.empty()) {
-        auto sit = streamlet_decls_.find(param.impl_of_streamlet);
+        auto sit = streamlet_decls_.find(support::intern(param.impl_of_streamlet));
         if (sit == streamlet_decls_.end()) {
           diags_.error("elab",
                        "unknown streamlet '" + param.impl_of_streamlet +
@@ -509,7 +522,7 @@ std::string Elaborator::resolve_impl_ref(
       return it->second;
     }
   }
-  auto it = impl_decls_.find(name);
+  auto it = impl_decls_.find(support::intern(name));
   if (it == impl_decls_.end()) {
     diags_.error("elab", "unknown impl '" + name + "'", loc);
     return {};
@@ -522,8 +535,9 @@ std::string Elaborator::elaborate_impl(
     const lang::ImplDecl& decl, const std::vector<TemplateArgValue>& args,
     Loc use_loc) {
   std::string mangled = mangle(decl.name, args);
-  if (design_.find_impl(mangled) != nullptr) return mangled;
-  if (impls_in_progress_.contains(mangled)) {
+  const Symbol mangled_sym = support::intern(mangled);
+  if (design_.find_impl(mangled_sym) != nullptr) return mangled;
+  if (impls_in_progress_.contains(mangled_sym)) {
     diags_.error("elab",
                  "recursive instantiation of impl '" + decl.name + "'",
                  use_loc);
@@ -537,7 +551,7 @@ std::string Elaborator::elaborate_impl(
                  use_loc);
     return {};
   }
-  impls_in_progress_.insert(mangled);
+  impls_in_progress_.insert(mangled_sym);
 
   eval::Scope scope(&global_scope_);
   std::map<std::string, types::TypeRef> type_bindings;
@@ -570,7 +584,7 @@ std::string Elaborator::elaborate_impl(
     }
   }
   if (!params_ok) {
-    impls_in_progress_.erase(mangled);
+    impls_in_progress_.erase(mangled_sym);
     return {};
   }
 
@@ -585,17 +599,17 @@ std::string Elaborator::elaborate_impl(
   impl.loc = decl.loc;
 
   // Elaborate the streamlet this impl derives from.
-  auto sit = streamlet_decls_.find(decl.of_streamlet);
+  auto sit = streamlet_decls_.find(support::intern(decl.of_streamlet));
   if (sit == streamlet_decls_.end()) {
     diags_.error("elab", "unknown streamlet '" + decl.of_streamlet + "'",
                  decl.loc);
-    impls_in_progress_.erase(mangled);
+    impls_in_progress_.erase(mangled_sym);
     return {};
   }
   std::vector<TemplateArgValue> of_args = evaluate_args(decl.of_args, ctx);
   impl.streamlet_name = elaborate_streamlet(*sit->second, of_args, decl.loc);
   if (impl.streamlet_name.empty()) {
-    impls_in_progress_.erase(mangled);
+    impls_in_progress_.erase(mangled_sym);
     return {};
   }
 
@@ -646,7 +660,7 @@ std::string Elaborator::elaborate_impl(
     impl.sim = std::move(sim);
   }
 
-  impls_in_progress_.erase(mangled);
+  impls_in_progress_.erase(mangled_sym);
   design_.add_impl(std::move(impl));
   return mangled;
 }
@@ -783,7 +797,7 @@ void Elaborator::walk_stmts(const std::vector<lang::ImplStmt>& stmts,
 }
 
 Design Elaborator::run(const std::string& top_impl) {
-  auto it = impl_decls_.find(top_impl);
+  auto it = impl_decls_.find(support::intern(top_impl));
   if (it == impl_decls_.end()) {
     diags_.error("elab", "unknown top impl '" + top_impl + "'", {});
     return std::move(design_);
@@ -802,7 +816,9 @@ Design Elaborator::run(const std::string& top_impl) {
 }
 
 Design Elaborator::run_all() {
-  for (const auto& [name, decl] : impl_decls_) {
+  // Declaration order, not hash order: Design insertion order must stay
+  // deterministic for reproducible IR/VHDL emission.
+  for (const lang::ImplDecl* decl : impl_decl_order_) {
     if (decl->params.empty()) {
       (void)elaborate_impl(*decl, {}, decl->loc);
     }

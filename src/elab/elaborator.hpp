@@ -15,10 +15,13 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "src/elab/design.hpp"
 #include "src/eval/scope.hpp"
 #include "src/support/diagnostic.hpp"
+#include "src/support/intern.hpp"
 
 namespace tydi::elab {
 
@@ -46,15 +49,21 @@ class Elaborator {
   Design design_;
   eval::Scope global_scope_;
 
-  std::map<std::string, const lang::ConstDecl*> const_decls_;
-  std::map<std::string, const lang::TypeAliasDecl*> alias_decls_;
-  std::map<std::string, const lang::GroupDecl*> group_decls_;
-  std::map<std::string, const lang::StreamletDecl*> streamlet_decls_;
-  std::map<std::string, const lang::ImplDecl*> impl_decls_;
+  // Declaration registries and caches keyed by interned symbol: name
+  // resolution interns once and then does integer-hash lookups instead of
+  // string-keyed tree walks (the monomorphiser hits these per instantiation).
+  std::unordered_map<Symbol, const lang::ConstDecl*> const_decls_;
+  std::unordered_map<Symbol, const lang::TypeAliasDecl*> alias_decls_;
+  std::unordered_map<Symbol, const lang::GroupDecl*> group_decls_;
+  std::unordered_map<Symbol, const lang::StreamletDecl*> streamlet_decls_;
+  std::unordered_map<Symbol, const lang::ImplDecl*> impl_decls_;
+  /// Impl declarations in source order (run_all must elaborate
+  /// deterministically; the symbol-keyed map above is hash-ordered).
+  std::vector<const lang::ImplDecl*> impl_decl_order_;
 
-  std::map<std::string, types::TypeRef> named_type_cache_;
-  std::set<std::string> resolving_types_;
-  std::set<std::string> impls_in_progress_;
+  std::unordered_map<Symbol, types::TypeRef> named_type_cache_;
+  std::unordered_set<Symbol> resolving_types_;
+  std::unordered_set<Symbol> impls_in_progress_;
 
   void build_registries();
   void evaluate_global_consts();

@@ -266,7 +266,8 @@ Value evaluate(const Expr& expr, const Scope& scope) {
         } else if constexpr (std::is_same_v<T, lang::BoolLit>) {
           return Value(n.value);
         } else if constexpr (std::is_same_v<T, lang::Ident>) {
-          if (auto v = scope.lookup(n.name)) return *v;
+          if (n.sym == support::kNoSymbol) n.sym = support::intern(n.name);
+          if (const Value* v = scope.lookup_ptr(n.sym)) return *v;
           fail("unknown identifier '" + n.name + "'", expr.loc);
         } else if constexpr (std::is_same_v<T, lang::Binary>) {
           return eval_binary(n, scope, expr.loc);

@@ -2,22 +2,37 @@
 
 namespace tydi::eval {
 
-bool Scope::define(const std::string& name, Value value) {
-  auto [it, inserted] = bindings_.emplace(name, std::move(value));
-  (void)it;
-  return inserted;
+bool Scope::define(Symbol name, Value value) {
+  if (defined_here(name)) return false;
+  bindings_.emplace_back(name, std::move(value));
+  return true;
 }
 
-std::optional<Value> Scope::lookup(const std::string& name) const {
-  for (const Scope* s = this; s != nullptr; s = s->parent_) {
-    auto it = s->bindings_.find(name);
-    if (it != s->bindings_.end()) return it->second;
+void Scope::assign(Symbol name, Value value) {
+  for (auto& [sym, bound] : bindings_) {
+    if (sym == name) {
+      bound = std::move(value);
+      return;
+    }
   }
-  return std::nullopt;
+  bindings_.emplace_back(name, std::move(value));
 }
 
-bool Scope::defined_here(const std::string& name) const {
-  return bindings_.contains(name);
+const Value* Scope::lookup_ptr(Symbol name) const {
+  for (const Scope* s = this; s != nullptr; s = s->parent_) {
+    // Reverse scan: later bindings shadow earlier ones within a scope.
+    for (auto it = s->bindings_.rbegin(); it != s->bindings_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+bool Scope::defined_here(Symbol name) const {
+  for (const auto& [sym, value] : bindings_) {
+    if (sym == name) return true;
+  }
+  return false;
 }
 
 }  // namespace tydi::eval

@@ -1,15 +1,23 @@
 // Lexical scopes with immutable bindings and shadowing (Sec. IV-A: "all
 // variables must be immutable. Variable shadowing is possible").
+//
+// Bindings are keyed by interned symbols and stored in a flat vector —
+// scopes are small (template arguments, loop bindings, sim-block state), so
+// a linear scan over integers beats a node-based string map, and lookups on
+// the simulator hot path never hash a string.
 #pragma once
 
-#include <map>
-#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/eval/value.hpp"
+#include "src/support/intern.hpp"
 
 namespace tydi::eval {
+
+using support::Symbol;
 
 class Scope {
  public:
@@ -20,19 +28,40 @@ class Scope {
 
   /// Binds `name` to `value`. Returns false if `name` is already bound in
   /// *this* scope (immutability); shadowing an outer binding is allowed.
-  bool define(const std::string& name, Value value);
+  bool define(Symbol name, Value value);
+  bool define(const std::string& name, Value value) {
+    return define(support::intern(name), std::move(value));
+  }
+
+  /// Overwrites-or-inserts, bypassing language immutability. Reserved for
+  /// host-side bindings (simulator state variables, payload rebinding).
+  void assign(Symbol name, Value value);
 
   /// Looks `name` up through the scope chain.
-  [[nodiscard]] std::optional<Value> lookup(const std::string& name) const;
+  [[nodiscard]] const Value* lookup_ptr(Symbol name) const;
+  [[nodiscard]] std::optional<Value> lookup(Symbol name) const {
+    const Value* v = lookup_ptr(name);
+    return v != nullptr ? std::optional<Value>(*v) : std::nullopt;
+  }
+  [[nodiscard]] std::optional<Value> lookup(const std::string& name) const {
+    return lookup(support::intern(name));
+  }
 
   /// True if `name` is bound in this scope (not parents).
-  [[nodiscard]] bool defined_here(const std::string& name) const;
+  [[nodiscard]] bool defined_here(Symbol name) const;
+  [[nodiscard]] bool defined_here(const std::string& name) const {
+    return defined_here(support::intern(name));
+  }
+
+  /// Drops all bindings of this scope (parent untouched).
+  void clear() { bindings_.clear(); }
+  void reserve(std::size_t n) { bindings_.reserve(n); }
 
   [[nodiscard]] const Scope* parent() const { return parent_; }
 
  private:
   const Scope* parent_ = nullptr;
-  std::map<std::string, Value> bindings_;
+  std::vector<std::pair<Symbol, Value>> bindings_;
 };
 
 }  // namespace tydi::eval

@@ -1,6 +1,8 @@
 #include "src/sim/behavior.hpp"
 
+#include <cmath>
 #include <functional>
+#include <memory>
 
 #include "src/eval/interp.hpp"
 #include "src/eval/scope.hpp"
@@ -10,13 +12,14 @@ namespace tydi::sim {
 using elab::Impl;
 using elab::Port;
 using elab::Streamlet;
+using support::Symbol;
 
 namespace {
 
-std::vector<std::string> port_names(const Streamlet& s, lang::PortDir dir) {
-  std::vector<std::string> out;
-  for (const Port& p : s.ports) {
-    if (p.dir == dir) out.push_back(p.name);
+std::vector<int> port_indices(const Streamlet& s, lang::PortDir dir) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < s.ports.size(); ++i) {
+    if (s.ports[i].dir == dir) out.push_back(static_cast<int>(i));
   }
   return out;
 }
@@ -32,18 +35,22 @@ double param(const std::map<std::string, double>& params,
 // ---------------------------------------------------------------------------
 
 /// Always-ready sink: acknowledges after `latency_cycles` (default 0).
+/// Delayed acks travel as timer events whose token is the port index.
 class SinkModel : public Behavior {
  public:
   explicit SinkModel(double latency_cycles) : latency_(latency_cycles) {}
 
-  void on_receive(Engine& engine, int self, const std::string& port) override {
-    if (port.empty()) return;
+  void on_receive(Engine& engine, int self, int port) override {
+    if (port < 0) return;
     if (latency_ <= 0.0) {
       engine.ack(self, port);
       return;
     }
-    double delay = latency_ * engine.clock_period(self);
-    engine.schedule(delay, [&engine, self, port] { engine.ack(self, port); });
+    engine.schedule_timer(latency_ * engine.clock_period(self), self, port);
+  }
+
+  void on_timer(Engine& engine, int self, std::int32_t token) override {
+    engine.ack(self, token);
   }
 
  private:
@@ -55,17 +62,19 @@ class SinkModel : public Behavior {
 /// bottleneck analysis ranks).
 class SourceModel : public Behavior {
  public:
-  SourceModel(std::string out_port, std::int64_t count, double interval_cycles)
-      : out_(std::move(out_port)), count_(count), interval_(interval_cycles) {}
+  SourceModel(int out_port, std::int64_t count, double interval_cycles)
+      : out_(out_port), count_(count), interval_(interval_cycles) {}
 
-  void on_start(Engine& engine, int self) override {
+  void on_start(Engine& engine, int self) override { emit(engine, self); }
+
+  void on_receive(Engine&, int, int) override {}
+
+  void on_timer(Engine& engine, int self, std::int32_t) override {
     emit(engine, self);
   }
 
-  void on_receive(Engine&, int, const std::string&) override {}
-
  private:
-  std::string out_;
+  int out_;
   std::int64_t count_;
   double interval_;
   std::int64_t sent_ = 0;
@@ -78,8 +87,7 @@ class SourceModel : public Behavior {
     engine.send(self, out_, p);
     ++sent_;
     if (sent_ < count_) {
-      engine.schedule(interval_ * engine.clock_period(self),
-                      [this, &engine, self] { emit(engine, self); });
+      engine.schedule_timer(interval_ * engine.clock_period(self), self, 0);
     }
   }
 };
@@ -88,15 +96,14 @@ class SourceModel : public Behavior {
 /// outputs were acknowledged (Sec. IV-C).
 class DuplicatorModel : public Behavior {
  public:
-  DuplicatorModel(std::string in_port, std::vector<std::string> out_ports)
-      : in_(std::move(in_port)), outs_(std::move(out_ports)) {}
+  DuplicatorModel(int in_port, std::vector<int> out_ports)
+      : in_(in_port), outs_(std::move(out_ports)) {}
 
-  void on_receive(Engine& engine, int self, const std::string&) override {
+  void on_receive(Engine& engine, int self, int) override {
     try_fire(engine, self);
   }
 
-  void on_output_acked(Engine& engine, int self,
-                       const std::string&) override {
+  void on_output_acked(Engine& engine, int self, int) override {
     if (!forwarding_) return;
     if (--pending_ == 0) {
       forwarding_ = false;
@@ -105,16 +112,15 @@ class DuplicatorModel : public Behavior {
     }
   }
 
-  [[nodiscard]] std::vector<std::string> waiting_ports(
+  [[nodiscard]] std::vector<int> waiting_ports(
       const Component& self) const override {
-    auto it = self.inbox.find(in_);
-    if (it == self.inbox.end() || it->second.empty()) return {in_};
+    if (self.inbox[in_].empty()) return {in_};
     return {};
   }
 
  private:
-  std::string in_;
-  std::vector<std::string> outs_;
+  int in_;
+  std::vector<int> outs_;
   bool forwarding_ = false;
   std::size_t pending_ = 0;
 
@@ -125,7 +131,7 @@ class DuplicatorModel : public Behavior {
     forwarding_ = true;
     pending_ = outs_.size();
     Packet p = box.front();
-    for (const std::string& out : outs_) {
+    for (int out : outs_) {
       engine.send(self, out, p);
     }
   }
@@ -135,27 +141,25 @@ class DuplicatorModel : public Behavior {
 /// free, so backpressure propagates to the producer.
 class DemuxModel : public Behavior {
  public:
-  DemuxModel(std::string in_port, std::vector<std::string> out_ports)
-      : in_(std::move(in_port)), outs_(std::move(out_ports)) {}
+  DemuxModel(int in_port, std::vector<int> out_ports)
+      : in_(in_port), outs_(std::move(out_ports)) {}
 
-  void on_receive(Engine& engine, int self, const std::string&) override {
+  void on_receive(Engine& engine, int self, int) override {
     try_forward(engine, self);
   }
-  void on_output_acked(Engine& engine, int self,
-                       const std::string&) override {
+  void on_output_acked(Engine& engine, int self, int) override {
     try_forward(engine, self);
   }
 
-  [[nodiscard]] std::vector<std::string> waiting_ports(
+  [[nodiscard]] std::vector<int> waiting_ports(
       const Component& self) const override {
-    auto it = self.inbox.find(in_);
-    if (it == self.inbox.end() || it->second.empty()) return {in_};
+    if (self.inbox[in_].empty()) return {in_};
     return {};
   }
 
  private:
-  std::string in_;
-  std::vector<std::string> outs_;
+  int in_;
+  std::vector<int> outs_;
   std::size_t rr_ = 0;
 
   void try_forward(Engine& engine, int self) {
@@ -171,28 +175,26 @@ class DemuxModel : public Behavior {
 /// Round-robin collector (order-preserving counterpart of DemuxModel).
 class MuxModel : public Behavior {
  public:
-  MuxModel(std::vector<std::string> in_ports, std::string out_port)
-      : ins_(std::move(in_ports)), out_(std::move(out_port)) {}
+  MuxModel(std::vector<int> in_ports, int out_port)
+      : ins_(std::move(in_ports)), out_(out_port) {}
 
-  void on_receive(Engine& engine, int self, const std::string&) override {
+  void on_receive(Engine& engine, int self, int) override {
     try_forward(engine, self);
   }
-  void on_output_acked(Engine& engine, int self,
-                       const std::string&) override {
+  void on_output_acked(Engine& engine, int self, int) override {
     try_forward(engine, self);
   }
 
-  [[nodiscard]] std::vector<std::string> waiting_ports(
+  [[nodiscard]] std::vector<int> waiting_ports(
       const Component& self) const override {
-    const std::string& want = ins_[rr_];
-    auto it = self.inbox.find(want);
-    if (it == self.inbox.end() || it->second.empty()) return {want};
+    int want = ins_[rr_];
+    if (self.inbox[want].empty()) return {want};
     return {};
   }
 
  private:
-  std::vector<std::string> ins_;
-  std::string out_;
+  std::vector<int> ins_;
+  int out_;
   std::size_t rr_ = 0;
 
   void try_forward(Engine& engine, int self) {
@@ -212,32 +214,37 @@ class MuxModel : public Behavior {
 class PipeModel : public Behavior {
  public:
   using Transform = std::function<Packet(const Packet&)>;
-  PipeModel(std::string in_port, std::string out_port, double latency_cycles,
+  PipeModel(int in_port, int out_port, double latency_cycles,
             Transform transform)
-      : in_(std::move(in_port)),
-        out_(std::move(out_port)),
+      : in_(in_port),
+        out_(out_port),
         latency_(latency_cycles),
         transform_(std::move(transform)) {}
 
-  void on_receive(Engine& engine, int self, const std::string&) override {
+  void on_receive(Engine& engine, int self, int) override {
     try_start(engine, self);
   }
-  void on_output_acked(Engine& engine, int self,
-                       const std::string&) override {
+  void on_output_acked(Engine& engine, int self, int) override {
     if (done_waiting_out_) complete(engine, self);
   }
+  void on_timer(Engine& engine, int self, std::int32_t) override {
+    if (engine.can_send(self, out_)) {
+      complete(engine, self);
+    } else {
+      done_waiting_out_ = true;
+    }
+  }
 
-  [[nodiscard]] std::vector<std::string> waiting_ports(
+  [[nodiscard]] std::vector<int> waiting_ports(
       const Component& self) const override {
     if (busy_) return {};
-    auto it = self.inbox.find(in_);
-    if (it == self.inbox.end() || it->second.empty()) return {in_};
+    if (self.inbox[in_].empty()) return {in_};
     return {};
   }
 
  private:
-  std::string in_;
-  std::string out_;
+  int in_;
+  int out_;
   double latency_;
   Transform transform_;
   bool busy_ = false;
@@ -250,14 +257,7 @@ class PipeModel : public Behavior {
     if (box.empty()) return;
     busy_ = true;
     current_ = box.front();
-    double delay = latency_ * engine.clock_period(self);
-    engine.schedule(delay, [this, &engine, self] {
-      if (engine.can_send(self, out_)) {
-        complete(engine, self);
-      } else {
-        done_waiting_out_ = true;
-      }
-    });
+    engine.schedule_timer(latency_ * engine.clock_period(self), self, 0);
   }
 
   void complete(Engine& engine, int self) {
@@ -273,34 +273,29 @@ class PipeModel : public Behavior {
 /// inputs are acknowledged together (Sec. VI).
 class FilterModel : public Behavior {
  public:
-  FilterModel(std::string data_port, std::string keep_port,
-              std::string out_port)
-      : data_(std::move(data_port)),
-        keep_(std::move(keep_port)),
-        out_(std::move(out_port)) {}
+  FilterModel(int data_port, int keep_port, int out_port)
+      : data_(data_port), keep_(keep_port), out_(out_port) {}
 
-  void on_receive(Engine& engine, int self, const std::string&) override {
+  void on_receive(Engine& engine, int self, int) override {
     try_fire(engine, self);
   }
-  void on_output_acked(Engine& engine, int self,
-                       const std::string&) override {
+  void on_output_acked(Engine& engine, int self, int) override {
     try_fire(engine, self);
   }
 
-  [[nodiscard]] std::vector<std::string> waiting_ports(
+  [[nodiscard]] std::vector<int> waiting_ports(
       const Component& self) const override {
-    std::vector<std::string> missing;
-    for (const std::string& p : {data_, keep_}) {
-      auto it = self.inbox.find(p);
-      if (it == self.inbox.end() || it->second.empty()) missing.push_back(p);
+    std::vector<int> missing;
+    for (int p : {data_, keep_}) {
+      if (self.inbox[p].empty()) missing.push_back(p);
     }
     return missing;
   }
 
  private:
-  std::string data_;
-  std::string keep_;
-  std::string out_;
+  int data_;
+  int keep_;
+  int out_;
 
   void try_fire(Engine& engine, int self) {
     for (;;) {
@@ -321,39 +316,35 @@ class FilterModel : public Behavior {
 /// n-input logical reduce (and/or) with full input synchronization.
 class LogicReduceModel : public Behavior {
  public:
-  LogicReduceModel(std::vector<std::string> in_ports, std::string out_port,
-                   bool is_and)
-      : ins_(std::move(in_ports)), out_(std::move(out_port)), and_(is_and) {}
+  LogicReduceModel(std::vector<int> in_ports, int out_port, bool is_and)
+      : ins_(std::move(in_ports)), out_(out_port), and_(is_and) {}
 
-  void on_receive(Engine& engine, int self, const std::string&) override {
+  void on_receive(Engine& engine, int self, int) override {
     try_fire(engine, self);
   }
-  void on_output_acked(Engine& engine, int self,
-                       const std::string&) override {
+  void on_output_acked(Engine& engine, int self, int) override {
     try_fire(engine, self);
   }
 
-  [[nodiscard]] std::vector<std::string> waiting_ports(
+  [[nodiscard]] std::vector<int> waiting_ports(
       const Component& self) const override {
-    std::vector<std::string> missing;
-    for (const std::string& p : ins_) {
-      auto it = self.inbox.find(p);
-      if (it == self.inbox.end() || it->second.empty()) missing.push_back(p);
+    std::vector<int> missing;
+    for (int p : ins_) {
+      if (self.inbox[p].empty()) missing.push_back(p);
     }
     return missing;
   }
 
  private:
-  std::vector<std::string> ins_;
-  std::string out_;
+  std::vector<int> ins_;
+  int out_;
   bool and_;
 
   void try_fire(Engine& engine, int self) {
     for (;;) {
       bool all_ready = true;
-      for (const std::string& p : ins_) {
-        auto& box = engine.component(self).inbox[p];
-        if (box.empty()) {
+      for (int p : ins_) {
+        if (engine.component(self).inbox[p].empty()) {
           all_ready = false;
           break;
         }
@@ -361,7 +352,7 @@ class LogicReduceModel : public Behavior {
       if (!all_ready || !engine.can_send(self, out_)) return;
       bool result = and_;
       bool last = false;
-      for (const std::string& p : ins_) {
+      for (int p : ins_) {
         const Packet& pk = engine.component(self).inbox[p].front();
         bool bit = pk.value != 0;
         result = and_ ? (result && bit) : (result || bit);
@@ -371,7 +362,7 @@ class LogicReduceModel : public Behavior {
       out.value = result ? 1 : 0;
       out.last = last;
       engine.send(self, out_, out);
-      for (const std::string& p : ins_) engine.ack(self, p);
+      for (int p : ins_) engine.ack(self, p);
     }
   }
 };
@@ -381,34 +372,29 @@ class LogicReduceModel : public Behavior {
 class Join2Model : public Behavior {
  public:
   using Op = std::function<std::int64_t(std::int64_t, std::int64_t)>;
-  Join2Model(std::string lhs, std::string rhs, std::string out, Op op)
-      : lhs_(std::move(lhs)),
-        rhs_(std::move(rhs)),
-        out_(std::move(out)),
-        op_(std::move(op)) {}
+  Join2Model(int lhs, int rhs, int out, Op op)
+      : lhs_(lhs), rhs_(rhs), out_(out), op_(std::move(op)) {}
 
-  void on_receive(Engine& engine, int self, const std::string&) override {
+  void on_receive(Engine& engine, int self, int) override {
     try_fire(engine, self);
   }
-  void on_output_acked(Engine& engine, int self,
-                       const std::string&) override {
+  void on_output_acked(Engine& engine, int self, int) override {
     try_fire(engine, self);
   }
 
-  [[nodiscard]] std::vector<std::string> waiting_ports(
+  [[nodiscard]] std::vector<int> waiting_ports(
       const Component& self) const override {
-    std::vector<std::string> missing;
-    for (const std::string& p : {lhs_, rhs_}) {
-      auto it = self.inbox.find(p);
-      if (it == self.inbox.end() || it->second.empty()) missing.push_back(p);
+    std::vector<int> missing;
+    for (int p : {lhs_, rhs_}) {
+      if (self.inbox[p].empty()) missing.push_back(p);
     }
     return missing;
   }
 
  private:
-  std::string lhs_;
-  std::string rhs_;
-  std::string out_;
+  int lhs_;
+  int rhs_;
+  int out_;
   Op op_;
 
   void try_fire(Engine& engine, int self) {
@@ -431,11 +417,10 @@ class Join2Model : public Behavior {
 /// Sums a dimension-1 sequence, emitting the total when `last` arrives.
 class AccumulatorModel : public Behavior {
  public:
-  AccumulatorModel(std::string in_port, std::string out_port)
-      : in_(std::move(in_port)), out_(std::move(out_port)) {}
+  AccumulatorModel(int in_port, int out_port) : in_(in_port), out_(out_port) {}
 
-  void on_receive(Engine& engine, int self, const std::string& port) override {
-    if (port.empty()) return;
+  void on_receive(Engine& engine, int self, int port) override {
+    if (port < 0) return;
     auto& box = engine.component(self).inbox[in_];
     while (!box.empty()) {
       Packet p = box.front();
@@ -452,8 +437,8 @@ class AccumulatorModel : public Behavior {
   }
 
  private:
-  std::string in_;
-  std::string out_;
+  int in_;
+  int out_;
   std::int64_t acc_ = 0;
 };
 
@@ -465,35 +450,88 @@ struct Instr {
   enum class Op { kAck, kSend, kDelay, kSet, kCondJumpFalse, kJump,
                   kBindLocal };
   Op op{};
-  std::string name;              // port (ack/send), state var, or local var
+  int port = -1;                 // port index (ack/send); -1 = unresolved
+  Symbol name = support::kNoSymbol;  // state var (set) or local var (bind)
   const lang::Expr* expr = nullptr;  // payload / delay / condition / value
   std::size_t target = 0;        // jump target
-  eval::Value bind_value;        // kBindLocal: pre-evaluated loop value
+  /// kBindLocal: the pre-evaluated loop value. For the other expression
+  /// ops: the expression's value when it is a literal (`delay(7)`,
+  /// `set s = "busy"`), folded at compile time so execution skips scope
+  /// construction and the evaluator entirely (`expr` is nulled then).
+  eval::Value bind_value;
+  bool constant = false;
 };
 
-// Compiles handler actions to a flat instruction list. `consts` carries the
-// captured elaboration constants plus enclosing sim-for loop bindings;
-// sim-for loops unroll at compile time (their iterables must be constant)
-// with the loop variable bound per iteration via kBindLocal.
+/// Folds literal expressions into the instruction (engine-side constant
+/// propagation; anything with identifiers still evaluates at run time).
+void fold_literal(Instr& instr) {
+  if (instr.expr == nullptr) return;
+  const auto& node = instr.expr->node;
+  eval::Value v;
+  if (const auto* i = std::get_if<lang::IntLit>(&node)) {
+    v = eval::Value(i->value);
+  } else if (const auto* f = std::get_if<lang::FloatLit>(&node)) {
+    v = eval::Value(f->value);
+  } else if (const auto* s = std::get_if<lang::StringLit>(&node)) {
+    v = eval::Value(s->value);
+  } else if (const auto* b = std::get_if<lang::BoolLit>(&node)) {
+    v = eval::Value(b->value);
+  } else {
+    return;
+  }
+  instr.bind_value = std::move(v);
+  instr.constant = true;  // expr stays for diagnostics (source location)
+}
+
+// Compiles handler actions to a flat instruction list, resolving port names
+// against `streamlet` once. `consts` carries the captured elaboration
+// constants plus enclosing sim-for loop bindings; sim-for loops unroll at
+// compile time (their iterables must be constant) with the loop variable
+// bound per iteration via kBindLocal.
 void compile_actions(const std::vector<lang::SimAction>& actions,
-                     std::vector<Instr>& out,
+                     const Streamlet& streamlet, std::vector<Instr>& out,
                      const std::map<std::string, eval::Value>& consts,
                      support::DiagnosticEngine& diags) {
+  auto resolve_port = [&](const std::string& port_name,
+                          support::Loc loc) -> int {
+    int port = streamlet.port_index(support::intern(port_name));
+    if (port < 0) {
+      diags.warning("sim",
+                    "sim block references unknown port '" + port_name +
+                        "' of streamlet '" + streamlet.name + "'",
+                    loc);
+    }
+    return port;
+  };
   for (const lang::SimAction& a : actions) {
     std::visit(
         [&](const auto& n) {
           using T = std::decay_t<decltype(n)>;
           if constexpr (std::is_same_v<T, lang::ActAck>) {
-            out.push_back(Instr{Instr::Op::kAck, n.port, nullptr, 0, {}});
+            Instr instr;
+            instr.op = Instr::Op::kAck;
+            instr.port = resolve_port(n.port, a.loc);
+            out.push_back(std::move(instr));
           } else if constexpr (std::is_same_v<T, lang::ActSend>) {
-            out.push_back(
-                Instr{Instr::Op::kSend, n.port, n.payload.get(), 0, {}});
+            Instr instr;
+            instr.op = Instr::Op::kSend;
+            instr.port = resolve_port(n.port, a.loc);
+            instr.expr = n.payload.get();
+            fold_literal(instr);
+            out.push_back(std::move(instr));
           } else if constexpr (std::is_same_v<T, lang::ActDelay>) {
-            out.push_back(
-                Instr{Instr::Op::kDelay, "", n.cycles.get(), 0, {}});
+            Instr instr;
+            instr.op = Instr::Op::kDelay;
+            instr.expr = n.cycles.get();
+            fold_literal(instr);
+            out.push_back(std::move(instr));
           } else if constexpr (std::is_same_v<T, lang::ActSet>) {
-            out.push_back(
-                Instr{Instr::Op::kSet, n.state_var, n.value.get(), 0, {}});
+            Instr instr;
+            instr.op = Instr::Op::kSet;
+            instr.name = support::intern(n.state_var);
+            instr.expr = n.value.get();
+            fold_literal(instr);
+            out.push_back(std::move(instr));
           } else if constexpr (std::is_same_v<T, lang::ActFor>) {
             eval::Scope scope;
             for (const auto& [name, value] : consts) {
@@ -509,11 +547,14 @@ void compile_actions(const std::vector<lang::SimAction>& actions,
                 return;
               }
               for (const eval::Value& element : iterable.as_array()) {
-                out.push_back(Instr{Instr::Op::kBindLocal, n.var, nullptr, 0,
-                                    element});
+                Instr bind;
+                bind.op = Instr::Op::kBindLocal;
+                bind.name = support::intern(n.var);
+                bind.bind_value = element;
+                out.push_back(std::move(bind));
                 std::map<std::string, eval::Value> inner = consts;
                 inner.insert_or_assign(n.var, element);
-                compile_actions(n.body, out, inner, diags);
+                compile_actions(n.body, streamlet, out, inner, diags);
               }
             } catch (const eval::EvalError& e) {
               diags.error("sim",
@@ -524,16 +565,21 @@ void compile_actions(const std::vector<lang::SimAction>& actions,
             }
           } else {  // ActIf
             std::size_t cond_index = out.size();
-            out.push_back(
-                Instr{Instr::Op::kCondJumpFalse, "", n.cond.get(), 0, {}});
-            compile_actions(n.then_body, out, consts, diags);
+            Instr cond;
+            cond.op = Instr::Op::kCondJumpFalse;
+            cond.expr = n.cond.get();
+            fold_literal(cond);
+            out.push_back(std::move(cond));
+            compile_actions(n.then_body, streamlet, out, consts, diags);
             if (n.else_body.empty()) {
               out[cond_index].target = out.size();
             } else {
               std::size_t jump_index = out.size();
-              out.push_back(Instr{Instr::Op::kJump, "", nullptr, 0, {}});
+              Instr jump;
+              jump.op = Instr::Op::kJump;
+              out.push_back(std::move(jump));
               out[cond_index].target = out.size();
-              compile_actions(n.else_body, out, consts, diags);
+              compile_actions(n.else_body, streamlet, out, consts, diags);
               out[jump_index].target = out.size();
             }
           }
@@ -547,19 +593,45 @@ void compile_actions(const std::vector<lang::SimAction>& actions,
 /// pending packet and the component is idle; `send(p)` forwards the trigger
 /// payload, `send(p, expr)` sends an evaluated value; `delay(n)` suspends
 /// for n clock cycles; handlers must `ack` their waited ports.
+///
+/// Scope layout (all symbol-keyed, no string hashing per instruction):
+///   captured_scope_ (elaboration constants, built once)
+///     <- state_scope_ (state variables, updated in place on `set`)
+///        <- per-evaluation scope (payload, locals, port payloads)
 class SimBlockBehavior : public Behavior {
  public:
-  SimBlockBehavior(const elab::SimProgram& program,
+  SimBlockBehavior(const elab::SimProgram& program, const Streamlet& streamlet,
                    support::DiagnosticEngine& diags)
-      : diags_(diags) {
-    for (const lang::SimStateDecl& s : program.block->states) {
-      state_[s.name] = s.initial;
+      : diags_(diags), state_scope_(&captured_scope_) {
+    for (const auto& [name, value] : program.captured) {
+      captured_scope_.define(name, value);
     }
-    captured_ = program.captured;
+    for (const lang::SimStateDecl& s : program.block->states) {
+      Symbol sym = support::intern(s.name);
+      state_.push_back(StateVar{sym, support::intern(s.initial)});
+      state_scope_.assign(sym, eval::Value(s.initial));
+    }
+    payload_sym_ = support::intern("payload");
+    payload_last_sym_ = support::intern("payload_last");
+    for (std::size_t i = 0; i < streamlet.ports.size(); ++i) {
+      port_payload_syms_.push_back(
+          support::intern(streamlet.ports[i].name + "_payload"));
+    }
     for (const lang::SimHandler& h : program.block->handlers) {
       Handler compiled;
-      compiled.wait_ports = h.wait_ports;
-      compile_actions(h.actions, compiled.code, captured_, diags_);
+      for (const std::string& port_name : h.wait_ports) {
+        int port = streamlet.port_index(support::intern(port_name));
+        if (port < 0) {
+          diags_.warning("sim",
+                         "sim handler waits on unknown port '" + port_name +
+                             "' of streamlet '" + streamlet.name + "'",
+                         program.block->loc);
+          continue;
+        }
+        compiled.wait_ports.push_back(port);
+      }
+      compile_actions(h.actions, streamlet, compiled.code, program.captured,
+                      diags_);
       handlers_.push_back(std::move(compiled));
     }
   }
@@ -572,19 +644,23 @@ class SimBlockBehavior : public Behavior {
     }
   }
 
-  void on_receive(Engine& engine, int self, const std::string&) override {
+  void on_receive(Engine& engine, int self, int) override {
     try_fire(engine, self);
   }
 
-  [[nodiscard]] std::vector<std::string> waiting_ports(
+  void on_timer(Engine& engine, int self, std::int32_t token) override {
+    Resume resume = std::move(pending_[token]);
+    free_slots_.push_back(token);
+    exec(engine, self, resume.handler, resume.pc, resume.trigger,
+         std::move(resume.locals));
+  }
+
+  [[nodiscard]] std::vector<int> waiting_ports(
       const Component& self) const override {
-    std::vector<std::string> missing;
+    std::vector<int> missing;
     for (const Handler& h : handlers_) {
-      for (const std::string& p : h.wait_ports) {
-        auto it = self.inbox.find(p);
-        if (it == self.inbox.end() || it->second.empty()) {
-          missing.push_back(p);
-        }
+      for (int p : h.wait_ports) {
+        if (self.inbox[p].empty()) missing.push_back(p);
       }
     }
     return missing;
@@ -592,14 +668,41 @@ class SimBlockBehavior : public Behavior {
 
  private:
   struct Handler {
-    std::vector<std::string> wait_ports;
+    std::vector<int> wait_ports;
     std::vector<Instr> code;
   };
 
+  using Locals = std::shared_ptr<std::vector<std::pair<Symbol, eval::Value>>>;
+
+  /// A handler suspended in `delay(...)`, waiting for its timer.
+  struct Resume {
+    std::size_t handler = 0;
+    std::size_t pc = 0;
+    Packet trigger;
+    Locals locals;
+  };
+
   support::DiagnosticEngine& diags_;
-  std::map<std::string, std::string> state_;
-  std::map<std::string, eval::Value> captured_;
+  eval::Scope captured_scope_;
+  eval::Scope state_scope_;
+  /// Reusable innermost evaluation scope: cleared (capacity kept) before
+  /// each instruction that evaluates an expression. Safe to share because
+  /// expression evaluation never re-enters this behaviour.
+  eval::Scope scratch_scope_{&state_scope_};
+  /// State variables: current values tracked as interned symbols (change
+  /// detection and transition recording are integer compares); the string
+  /// form lives in state_scope_ for expression evaluation.
+  struct StateVar {
+    Symbol name;
+    Symbol value_sym;
+  };
+  std::vector<StateVar> state_;
+  Symbol payload_sym_ = support::kNoSymbol;
+  Symbol payload_last_sym_ = support::kNoSymbol;
+  std::vector<Symbol> port_payload_syms_;
   std::vector<Handler> handlers_;
+  std::vector<Resume> pending_;
+  std::vector<std::int32_t> free_slots_;
   bool busy_ = false;
   std::size_t fires_without_progress_ = 0;
 
@@ -609,9 +712,8 @@ class SimBlockBehavior : public Behavior {
       const Handler& handler = handlers_[h];
       if (handler.wait_ports.empty()) continue;
       bool ready = true;
-      for (const std::string& p : handler.wait_ports) {
-        auto& box = engine.component(self).inbox[p];
-        if (box.empty()) {
+      for (int p : handler.wait_ports) {
+        if (engine.component(self).inbox[p].empty()) {
           ready = false;
           break;
         }
@@ -633,34 +735,78 @@ class SimBlockBehavior : public Behavior {
     }
   }
 
-  using Locals = std::shared_ptr<std::map<std::string, eval::Value>>;
-
   void fire(Engine& engine, int self, std::size_t handler_index,
             Packet trigger) {
     busy_ = true;
-    exec(engine, self, handler_index, 0, trigger,
-         std::make_shared<std::map<std::string, eval::Value>>());
+    exec(engine, self, handler_index, 0, trigger, nullptr);
   }
 
-  [[nodiscard]] eval::Scope build_scope(Engine& engine, int self,
-                                        const Packet& trigger,
-                                        const Locals& locals) const {
-    eval::Scope scope;
-    for (const auto& [name, value] : captured_) scope.define(name, value);
-    for (const auto& [name, value] : state_) {
-      scope.define(name, eval::Value(value));
-    }
+  /// Rebuilds the innermost evaluation scope for one instruction: trigger
+  /// payload, loop locals, and per-port head-of-inbox payloads. Parent
+  /// chain supplies state and captured constants without copying.
+  eval::Scope& build_scope(Engine& engine, int self, const Packet& trigger,
+                           const Locals& locals) {
+    eval::Scope& scope = scratch_scope_;
+    scope.clear();
+    scope.define(payload_sym_, eval::Value(trigger.value));
+    scope.define(payload_last_sym_, eval::Value(trigger.last));
     if (locals != nullptr) {
-      for (const auto& [name, value] : *locals) scope.define(name, value);
+      for (const auto& [name, value] : *locals) scope.assign(name, value);
     }
-    scope.define("payload", eval::Value(trigger.value));
-    scope.define("payload_last", eval::Value(trigger.last));
-    for (const auto& [port, box] : engine.component(self).inbox) {
-      if (!box.empty()) {
-        scope.define(port + "_payload", eval::Value(box.front().value));
+    const Component& comp = engine.component(self);
+    for (std::size_t port = 0; port < comp.inbox.size(); ++port) {
+      if (!comp.inbox[port].empty()) {
+        scope.define(port_payload_syms_[port],
+                     eval::Value(comp.inbox[port].front().value));
       }
     }
     return scope;
+  }
+
+  void set_state(Engine& engine, int self, Symbol var,
+                 const std::string& to) {
+    for (StateVar& s : state_) {
+      if (s.name != var) continue;
+      Symbol to_sym = support::intern(to);
+      if (s.value_sym != to_sym) {
+        engine.record_state_transition(self, var, s.value_sym, to_sym);
+        s.value_sym = to_sym;
+        state_scope_.assign(var, eval::Value(to));
+      }
+      return;
+    }
+    diags_.warning("sim",
+                   "set of undeclared state variable '" +
+                       support::symbol_name(var) + "'",
+                   {});
+  }
+
+  // Conversions for compile-time-folded literals, mirroring the
+  // eval::evaluate_* contracts (EvalError carries the literal's location).
+  static std::int64_t constant_int(const Instr& instr) {
+    const eval::Value& v = instr.bind_value;
+    if (v.is_int()) return v.as_int();
+    if (v.is_float() && std::floor(v.as_float()) == v.as_float()) {
+      return static_cast<std::int64_t>(v.as_float());
+    }
+    throw eval::EvalError("expected an integer, got " +
+                              std::string(v.type_name()) + " (" +
+                              v.to_display() + ")",
+                          instr.expr->loc);
+  }
+  static double constant_number(const Instr& instr) {
+    const eval::Value& v = instr.bind_value;
+    if (v.is_numeric()) return v.as_number();
+    throw eval::EvalError("expected a number, got " +
+                              std::string(v.type_name()),
+                          instr.expr->loc);
+  }
+  static bool constant_bool(const Instr& instr) {
+    const eval::Value& v = instr.bind_value;
+    if (v.is_bool()) return v.as_bool();
+    throw eval::EvalError("expected a bool, got " +
+                              std::string(v.type_name()),
+                          instr.expr->loc);
   }
 
   void exec(Engine& engine, int self, std::size_t handler_index,
@@ -671,64 +817,89 @@ class SimBlockBehavior : public Behavior {
       try {
         switch (instr.op) {
           case Instr::Op::kAck:
-            engine.ack(self, instr.name);
+            engine.ack(self, instr.port);
             fires_without_progress_ = 0;
             ++pc;
             break;
           case Instr::Op::kSend: {
             Packet p = trigger;
-            if (instr.expr != nullptr) {
-              eval::Scope scope = build_scope(engine, self, trigger, locals);
-              p.value = eval::evaluate_int(*instr.expr, scope);
+            if (instr.constant) {
+              p.value = constant_int(instr);
+            } else if (instr.expr != nullptr) {
+              p.value = eval::evaluate_int(
+                  *instr.expr, build_scope(engine, self, trigger, locals));
             }
-            engine.send(self, instr.name, p);
+            engine.send(self, instr.port, p);
             ++pc;
             break;
           }
           case Instr::Op::kDelay: {
-            eval::Scope scope = build_scope(engine, self, trigger, locals);
-            double cycles = eval::evaluate_number(*instr.expr, scope);
+            double cycles =
+                instr.constant
+                    ? constant_number(instr)
+                    : eval::evaluate_number(
+                          *instr.expr,
+                          build_scope(engine, self, trigger, locals));
             double delay = cycles * engine.clock_period(self);
-            std::size_t next = pc + 1;
-            engine.schedule(delay,
-                            [this, &engine, self, handler_index, next,
-                             trigger, locals] {
-                              exec(engine, self, handler_index, next, trigger,
-                                   locals);
-                            });
-            return;  // resumes later
+            std::int32_t token;
+            if (!free_slots_.empty()) {
+              token = free_slots_.back();
+              free_slots_.pop_back();
+            } else {
+              token = static_cast<std::int32_t>(pending_.size());
+              pending_.emplace_back();
+            }
+            pending_[token] =
+                Resume{handler_index, pc + 1, trigger, std::move(locals)};
+            engine.schedule_timer(delay, self, token);
+            return;  // resumes via on_timer
           }
           case Instr::Op::kSet: {
-            eval::Scope scope = build_scope(engine, self, trigger, locals);
-            eval::Value v = eval::evaluate(*instr.expr, scope);
-            std::string to = v.is_string() ? v.as_string() : v.to_display();
-            auto it = state_.find(instr.name);
-            if (it == state_.end()) {
-              diags_.warning("sim",
-                             "set of undeclared state variable '" +
-                                 instr.name + "'",
-                             {});
-            } else if (it->second != to) {
-              engine.record_state_transition(self, instr.name, it->second,
-                                             to);
-              it->second = to;
+            if (instr.constant) {
+              const eval::Value& v = instr.bind_value;
+              set_state(engine, self, instr.name,
+                        v.is_string() ? v.as_string() : v.to_display());
+            } else {
+              eval::Value v = eval::evaluate(
+                  *instr.expr, build_scope(engine, self, trigger, locals));
+              set_state(engine, self, instr.name,
+                        v.is_string() ? v.as_string() : v.to_display());
             }
             ++pc;
             break;
           }
           case Instr::Op::kCondJumpFalse: {
-            eval::Scope scope = build_scope(engine, self, trigger, locals);
-            bool cond = eval::evaluate_bool(*instr.expr, scope);
+            bool cond =
+                instr.constant
+                    ? constant_bool(instr)
+                    : eval::evaluate_bool(
+                          *instr.expr,
+                          build_scope(engine, self, trigger, locals));
             pc = cond ? pc + 1 : instr.target;
             break;
           }
           case Instr::Op::kJump:
             pc = instr.target;
             break;
-          case Instr::Op::kBindLocal:
-            (*locals)[instr.name] = instr.bind_value;
+          case Instr::Op::kBindLocal: {
+            // At most one continuation per fire is alive (delay suspends the
+            // whole handler), so the shared list is mutated in place.
+            if (locals == nullptr) {
+              locals = std::make_shared<
+                  std::vector<std::pair<Symbol, eval::Value>>>();
+            }
+            bool found = false;
+            for (auto& [name, value] : *locals) {
+              if (name == instr.name) {
+                value = instr.bind_value;
+                found = true;
+                break;
+              }
+            }
+            if (!found) locals->emplace_back(instr.name, instr.bind_value);
             ++pc;
             break;
+          }
         }
       } catch (const eval::EvalError& e) {
         diags_.error("sim", e.what(), e.loc());
@@ -737,27 +908,25 @@ class SimBlockBehavior : public Behavior {
     }
     busy_ = false;
     // Re-examine conditions: more packets may be pending.
-    engine.schedule(0.0, [&engine, self] { engine.poke(self); });
+    engine.schedule_poke(0.0, self);
   }
 };
 
 /// Fallback: forwards first input to first output combinationally.
 class PassThroughModel : public Behavior {
  public:
-  PassThroughModel(std::string in_port, std::string out_port)
-      : in_(std::move(in_port)), out_(std::move(out_port)) {}
+  PassThroughModel(int in_port, int out_port) : in_(in_port), out_(out_port) {}
 
-  void on_receive(Engine& engine, int self, const std::string&) override {
+  void on_receive(Engine& engine, int self, int) override {
     try_forward(engine, self);
   }
-  void on_output_acked(Engine& engine, int self,
-                       const std::string&) override {
+  void on_output_acked(Engine& engine, int self, int) override {
     try_forward(engine, self);
   }
 
  private:
-  std::string in_;
-  std::string out_;
+  int in_;
+  int out_;
 
   void try_forward(Engine& engine, int self) {
     auto& box = engine.component(self).inbox[in_];
@@ -768,6 +937,12 @@ class PassThroughModel : public Behavior {
   }
 };
 
+/// Sink that ignores everything (ports exist but stay idle).
+class IdleModel : public Behavior {
+ public:
+  void on_receive(Engine&, int, int) override {}
+};
+
 }  // namespace
 
 std::unique_ptr<Behavior> make_behavior(
@@ -776,12 +951,15 @@ std::unique_ptr<Behavior> make_behavior(
     support::DiagnosticEngine& diags) {
   // 1. User-written simulation code wins.
   if (impl.sim.has_value()) {
-    return std::make_unique<SimBlockBehavior>(*impl.sim, diags);
+    return std::make_unique<SimBlockBehavior>(*impl.sim, streamlet, diags);
   }
 
-  auto ins = port_names(streamlet, lang::PortDir::kIn);
-  auto outs = port_names(streamlet, lang::PortDir::kOut);
+  auto ins = port_indices(streamlet, lang::PortDir::kIn);
+  auto outs = port_indices(streamlet, lang::PortDir::kOut);
   const std::string& family = impl.template_name;
+  auto port_name = [&](int port) -> const std::string& {
+    return streamlet.ports[port].name;
+  };
 
   // 2. Built-in models by stdlib family.
   if (family == "voider_i" || family == "sink_i") {
@@ -844,11 +1022,11 @@ std::unique_ptr<Behavior> make_behavior(
                                         std::move(op));
   }
   if (family == "filter_i" && ins.size() >= 2 && !outs.empty()) {
-    std::string keep = ins[1];
-    for (const std::string& p : ins) {
-      if (p.find("keep") != std::string::npos) keep = p;
+    int keep = ins[1];
+    for (int p : ins) {
+      if (port_name(p).find("keep") != std::string::npos) keep = p;
     }
-    std::string data = ins[0] == keep && ins.size() > 1 ? ins[1] : ins[0];
+    int data = (ins[0] == keep && ins.size() > 1) ? ins[1] : ins[0];
     return std::make_unique<FilterModel>(data, keep, outs.front());
   }
   if ((family == "logic_and_i" || family == "logic_or_i") && !ins.empty() &&
@@ -872,8 +1050,10 @@ std::unique_ptr<Behavior> make_behavior(
   if (!ins.empty()) {
     return std::make_unique<SinkModel>(0.0);
   }
-  return std::make_unique<SourceModel>(outs.empty() ? "" : outs.front(), 0,
-                                       1.0);
+  if (!outs.empty()) {
+    return std::make_unique<SourceModel>(outs.front(), 0, 1.0);
+  }
+  return std::make_unique<IdleModel>();
 }
 
 const std::vector<std::string>& builtin_behavior_families() {

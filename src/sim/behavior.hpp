@@ -9,7 +9,9 @@
 //
 // A behaviour reacts to packet arrivals on its component's input ports and
 // to acknowledgements of its own sends; it drives the engine via
-// send()/ack()/schedule().
+// send()/ack()/schedule_timer(). All port references are *indices* into the
+// component streamlet's port list — names are resolved once when the
+// behaviour is constructed, never on the event path.
 #pragma once
 
 #include <cstdint>
@@ -32,29 +34,34 @@ class Behavior {
     (void)engine;
     (void)self;
   }
-  /// Called when a packet lands in the component inbox. The packet stays in
-  /// the inbox until the behaviour calls engine.ack(self, port).
-  virtual void on_receive(Engine& engine, int self,
-                          const std::string& port) = 0;
+  /// Called when a packet lands in the component inbox (`port` is the port
+  /// index, or -1 for a generic poke). The packet stays in the inbox until
+  /// the behaviour calls engine.ack(self, port).
+  virtual void on_receive(Engine& engine, int self, int port) = 0;
   /// Called when a packet previously sent on `port` is acknowledged by the
   /// far side.
-  virtual void on_output_acked(Engine& engine, int self,
-                               const std::string& port) {
+  virtual void on_output_acked(Engine& engine, int self, int port) {
     (void)engine;
     (void)self;
     (void)port;
   }
   /// Called when a queued packet leaves the outbox and enters the channel
   /// register (backpressure released).
-  virtual void on_send_accepted(Engine& engine, int self,
-                                const std::string& port) {
+  virtual void on_send_accepted(Engine& engine, int self, int port) {
     (void)engine;
     (void)self;
     (void)port;
   }
-  /// Ports this behaviour is currently waiting on (used by the deadlock
-  /// analyzer to build the wait-for graph). Default: none.
-  [[nodiscard]] virtual std::vector<std::string> waiting_ports(
+  /// Called when a timer scheduled via Engine::schedule_timer fires.
+  /// `token` is whatever the behaviour passed when scheduling.
+  virtual void on_timer(Engine& engine, int self, std::int32_t token) {
+    (void)engine;
+    (void)self;
+    (void)token;
+  }
+  /// Port indices this behaviour is currently waiting on (used by the
+  /// deadlock analyzer to build the wait-for graph). Default: none.
+  [[nodiscard]] virtual std::vector<int> waiting_ports(
       const Component& self) const {
     (void)self;
     return {};

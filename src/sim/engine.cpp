@@ -25,7 +25,10 @@ const ChannelStats* SimResult::bottleneck() const {
   const ChannelStats* best = nullptr;
   for (const ChannelStats& c : channels) {
     if (c.blocked_ns <= 0.0) continue;
-    if (best == nullptr || c.blocked_ns > best->blocked_ns) best = &c;
+    if (best == nullptr || c.blocked_ns > best->blocked_ns ||
+        (c.blocked_ns == best->blocked_ns && c.name < best->name)) {
+      best = &c;
+    }
   }
   return best;
 }
@@ -68,80 +71,85 @@ std::string SimResult::summary() const {
 Engine::Engine(const Design& design, support::DiagnosticEngine& diags)
     : design_(design), diags_(diags) {}
 
-void Engine::schedule(double delay_ns, std::function<void()> fn) {
-  queue_.push(Event{now_ + delay_ns, sequence_++, std::move(fn)});
-}
-
 std::string Engine::endpoint_name(const ChannelEndpoint& ep) const {
-  if (ep.component < 0) return "top." + ep.port;
-  return components_[ep.component].path + "." + ep.port;
+  const Streamlet* s =
+      ep.component < 0 ? top_streamlet_ : components_[ep.component].streamlet;
+  std::string port = s != nullptr && ep.port >= 0 &&
+                             static_cast<std::size_t>(ep.port) <
+                                 s->ports.size()
+                         ? s->ports[ep.port].name
+                         : "<port " + std::to_string(ep.port) + ">";
+  if (ep.component < 0) return "top." + port;
+  return components_[ep.component].path + "." + port;
 }
 
-std::string Engine::channel_name(const Channel& c) const {
+std::string Engine::channel_display_name(const Channel& c) const {
   return endpoint_name(c.src) + " -> " + endpoint_name(c.dst);
 }
 
 namespace {
 
-/// Union-find over string keys.
+/// Index-based union-find with path halving; roots by arbitrary attach
+/// (net groups are tiny).
 class UnionFind {
  public:
-  std::string find(const std::string& key) {
-    auto it = parent_.find(key);
-    if (it == parent_.end()) {
-      parent_[key] = key;
-      return key;
+  int make_node() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return static_cast<int>(parent_.size()) - 1;
+  }
+  int find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
     }
-    if (it->second == key) return key;
-    std::string root = find(it->second);
-    parent_[key] = root;
-    return root;
+    return x;
   }
-  void unite(const std::string& a, const std::string& b) {
-    parent_[find(a)] = find(b);
-  }
-  [[nodiscard]] const std::map<std::string, std::string>& nodes() const {
-    return parent_;
-  }
+  void unite(int a, int b) { parent_[find(a)] = find(b); }
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
 
  private:
-  std::map<std::string, std::string> parent_;
+  std::vector<int> parent_;
 };
 
 std::string join_path(const std::string& path, const std::string& name) {
   return path.empty() ? name : path + "." + name;
 }
 
-std::string node_key(const std::string& path, const std::string& port) {
-  return path + ":" + port;
-}
+/// One endpoint of a connection net during flattening. Nodes are created
+/// with their classification baked in, so channel construction after the
+/// union pass is pure index work.
+struct FlatNode {
+  enum class Kind : std::uint8_t { kLeaf, kTop, kPass };
+  Kind kind = Kind::kPass;
+  std::int32_t component = -1;  ///< leaf component index (kLeaf)
+  std::int32_t port = -1;       ///< port index (kLeaf/kTop)
+  bool is_source = false;
+  const Port* decl = nullptr;   ///< port declaration (clock domain)
+  Symbol key = support::kNoSymbol;  ///< "path:port" for diagnostics
+};
+
+/// Transient flattening state: preassigned endpoint-ID table (node key
+/// symbol -> dense node id) + union-find over those ids.
+struct Flattener {
+  UnionFind uf;
+  std::vector<FlatNode> nodes;
+  std::unordered_map<Symbol, int> node_ids;
+  std::vector<std::pair<int, int>> links;
+
+  int node_of(const std::string& path, const std::string& port_name,
+              const FlatNode& info) {
+    Symbol key = support::intern(path + ":" + port_name);
+    auto it = node_ids.find(key);
+    if (it != node_ids.end()) return it->second;
+    int id = uf.make_node();
+    nodes.push_back(info);
+    nodes.back().key = key;
+    node_ids.emplace(key, id);
+    return id;
+  }
+};
 
 }  // namespace
-
-void Engine::flatten_impl(
-    const Impl& impl, const std::string& path,
-    std::vector<std::pair<std::string, std::string>>& links) {
-  for (const Instance& inst : impl.instances) {
-    const Impl* child = design_.find_impl(inst.impl_name);
-    if (child == nullptr) continue;
-    std::string child_path = join_path(path, inst.name);
-    if (child->external) {
-      Component comp;
-      comp.path = child_path;
-      comp.impl = child;
-      components_.push_back(std::move(comp));
-    } else {
-      flatten_impl(*child, child_path, links);
-    }
-  }
-  for (const Connection& c : impl.connections) {
-    auto key_of = [&](const Endpoint& ep) {
-      if (ep.instance.empty()) return node_key(path, ep.port);
-      return node_key(join_path(path, ep.instance), ep.port);
-    };
-    links.emplace_back(key_of(c.src), key_of(c.dst));
-  }
-}
 
 void Engine::flatten(const SimOptions& options) {
   const Impl* top = design_.find_impl(design_.top());
@@ -149,147 +157,260 @@ void Engine::flatten(const SimOptions& options) {
     diags_.error("sim", "design has no top implementation", {});
     return;
   }
-
-  std::vector<std::pair<std::string, std::string>> links;
   if (top->external) {
     diags_.error("sim", "top implementation must be structural", top->loc);
     return;
   }
-  flatten_impl(*top, "", links);
+  top_streamlet_ = design_.streamlet_of(*top);
 
-  // Union connected endpoints.
-  UnionFind uf;
-  for (const auto& [a, b] : links) uf.unite(a, b);
+  Flattener flat;
 
-  // Component path -> index, and leaf port lookup.
-  std::map<std::string, int> comp_index;
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    comp_index[components_[i].path] = static_cast<int>(i);
-  }
-
-  struct Leaf {
-    ChannelEndpoint ep;
-    bool is_source = false;
-    std::string clock_domain = "default";
-  };
-  std::map<std::string, std::vector<Leaf>> sets;
-
-  auto classify = [&](const std::string& key) -> std::optional<Leaf> {
-    std::size_t colon = key.rfind(':');
-    std::string path = key.substr(0, colon);
-    std::string port = key.substr(colon + 1);
-    if (path.empty()) {
-      // Top-level boundary port.
-      const Streamlet* s = design_.streamlet_of(*top);
-      const Port* p = s != nullptr ? s->find_port(port) : nullptr;
-      if (p == nullptr) return std::nullopt;
-      Leaf leaf;
-      leaf.ep = ChannelEndpoint{-1, port};
-      leaf.is_source = (p->dir == lang::PortDir::kIn);
-      leaf.clock_domain = p->clock_domain;
-      return leaf;
-    }
-    auto it = comp_index.find(path);
-    if (it == comp_index.end()) return std::nullopt;  // pass-through node
-    const Component& comp = components_[it->second];
-    const Streamlet* s = design_.streamlet_of(*comp.impl);
-    const Port* p = s != nullptr ? s->find_port(port) : nullptr;
-    if (p == nullptr) return std::nullopt;
-    Leaf leaf;
-    leaf.ep = ChannelEndpoint{it->second, port};
-    leaf.is_source = (p->dir == lang::PortDir::kOut);
-    leaf.clock_domain = p->clock_domain;
-    return leaf;
-  };
-
-  for (const auto& [key, parent] : uf.nodes()) {
-    (void)parent;
-    if (auto leaf = classify(key)) {
-      sets[uf.find(key)].push_back(*leaf);
-    }
-  }
-
-  for (auto& [root, leaves] : sets) {
-    const Leaf* source = nullptr;
-    const Leaf* sink = nullptr;
-    for (const Leaf& leaf : leaves) {
-      if (leaf.is_source) {
-        source = &leaf;
+  // Recursive flatten: leaf instances become components; every connection
+  // endpoint becomes a dense node id in the endpoint table.
+  auto flatten_impl = [&](auto&& self, const Impl& impl,
+                          const std::string& path, bool is_top) -> void {
+    // Instance name -> leaf component index (-1 = structural child).
+    std::unordered_map<Symbol, std::int32_t> local;
+    for (const Instance& inst : impl.instances) {
+      const Impl* child = design_.find_impl(inst.impl_name);
+      if (child == nullptr) continue;
+      std::string child_path = join_path(path, inst.name);
+      if (child->external) {
+        std::int32_t index = static_cast<std::int32_t>(components_.size());
+        Component comp;
+        comp.path = child_path;
+        comp.impl = child;
+        comp.streamlet = design_.streamlet_of(*child);
+        std::size_t nports =
+            comp.streamlet != nullptr ? comp.streamlet->ports.size() : 0;
+        comp.inbox.resize(nports);
+        comp.out_channel.assign(nports, -1);
+        comp.in_channel.assign(nports, -1);
+        components_.push_back(std::move(comp));
+        local.emplace(support::intern(inst.name), index);
       } else {
-        sink = &leaf;
+        local.emplace(support::intern(inst.name), -1);
+        self(self, *child, child_path, false);
       }
     }
-    if (leaves.size() != 2 || source == nullptr || sink == nullptr) {
+    for (const Connection& c : impl.connections) {
+      auto node_of_endpoint = [&](const Endpoint& ep) -> int {
+        if (ep.instance.empty()) {
+          FlatNode info;
+          if (is_top && top_streamlet_ != nullptr) {
+            int port = top_streamlet_->port_index(support::intern(ep.port));
+            if (port >= 0) {
+              const Port& decl = top_streamlet_->ports[port];
+              info.kind = FlatNode::Kind::kTop;
+              info.port = port;
+              info.decl = &decl;
+              // A top *input* drives data into the design: source side.
+              info.is_source = (decl.dir == lang::PortDir::kIn);
+            }
+          }
+          return flat.node_of(path, ep.port, info);
+        }
+        std::string child_path = join_path(path, ep.instance);
+        FlatNode info;
+        auto lit = local.find(support::intern(ep.instance));
+        if (lit != local.end() && lit->second >= 0) {
+          const Component& comp = components_[lit->second];
+          int port = comp.streamlet != nullptr
+                         ? comp.streamlet->port_index(support::intern(ep.port))
+                         : -1;
+          if (port >= 0) {
+            const Port& decl = comp.streamlet->ports[port];
+            info.kind = FlatNode::Kind::kLeaf;
+            info.component = lit->second;
+            info.port = port;
+            info.decl = &decl;
+            info.is_source = (decl.dir == lang::PortDir::kOut);
+          }
+        }
+        return flat.node_of(child_path, ep.port, info);
+      };
+      flat.links.emplace_back(node_of_endpoint(c.src),
+                              node_of_endpoint(c.dst));
+    }
+  };
+  flatten_impl(flatten_impl, *top, "", true);
+
+  for (const auto& [a, b] : flat.links) flat.uf.unite(a, b);
+
+  // Group nodes by net root in node-id order (deterministic channel order),
+  // then collapse each net to one channel.
+  std::unordered_map<int, std::vector<int>> sets;
+  std::vector<int> roots;
+  for (int id = 0; id < static_cast<int>(flat.nodes.size()); ++id) {
+    int root = flat.uf.find(id);
+    auto [it, inserted] = sets.try_emplace(root);
+    if (inserted) roots.push_back(root);
+    it->second.push_back(id);
+  }
+
+  std::size_t top_ports =
+      top_streamlet_ != nullptr ? top_streamlet_->ports.size() : 0;
+  top_src_channel_.assign(top_ports, -1);
+  top_out_packets_.assign(top_ports, {});
+
+  for (int root : roots) {
+    const std::vector<int>& members = sets[root];
+    const FlatNode* source = nullptr;
+    const FlatNode* sink = nullptr;
+    std::size_t leaves = 0;
+    for (int id : members) {
+      const FlatNode& n = flat.nodes[id];
+      if (n.kind == FlatNode::Kind::kPass) continue;
+      ++leaves;
+      if (n.is_source) {
+        source = &n;
+      } else {
+        sink = &n;
+      }
+    }
+    if (leaves != 2 || source == nullptr || sink == nullptr) {
       diags_.warning("sim",
-                     "connection net '" + root + "' does not resolve to one "
-                     "source and one sink (" +
-                         std::to_string(leaves.size()) +
-                         " leaf endpoint(s)); skipped",
+                     "connection net '" +
+                         support::symbol_name(flat.nodes[root].key) +
+                         "' does not resolve to one source and one sink (" +
+                         std::to_string(leaves) + " leaf endpoint(s)); "
+                         "skipped",
                      {});
       continue;
     }
     Channel c;
-    c.src = source->ep;
-    c.dst = sink->ep;
-    auto period_it = options.clock_period_ns.find(source->clock_domain);
+    c.src = ChannelEndpoint{source->component, source->port};
+    c.dst = ChannelEndpoint{sink->component, sink->port};
+    const std::string& domain =
+        source->decl != nullptr ? source->decl->clock_domain : "default";
+    auto period_it = options.clock_period_ns.find(domain);
     c.latency_ns = period_it != options.clock_period_ns.end()
                        ? period_it->second
                        : options.default_period_ns;
-    c.stats.name = channel_name(c);
-    std::size_t index = channels_.size();
+    std::int32_t index = static_cast<std::int32_t>(channels_.size());
+    if (c.src.component >= 0) {
+      components_[c.src.component].out_channel[c.src.port] = index;
+    } else {
+      top_src_channel_[c.src.port] = index;
+    }
+    if (c.dst.component >= 0) {
+      components_[c.dst.component].in_channel[c.dst.port] = index;
+    }
     channels_.push_back(std::move(c));
-    channel_by_src_[{channels_[index].src.component,
-                     channels_[index].src.port}] = index;
-    channel_by_dst_[{channels_[index].dst.component,
-                     channels_[index].dst.port}] = index;
   }
 }
 
-double Engine::clock_period(int component) const {
-  if (options_ == nullptr) return 10.0;
-  if (component < 0 ||
-      static_cast<std::size_t>(component) >= components_.size()) {
-    return options_->default_period_ns;
-  }
-  const Component& comp = components_[component];
-  const Streamlet* s = design_.streamlet_of(*comp.impl);
-  if (s != nullptr && !s->ports.empty()) {
-    auto it = options_->clock_period_ns.find(s->ports.front().clock_domain);
-    if (it != options_->clock_period_ns.end()) return it->second;
-  }
-  return options_->default_period_ns;
+void Engine::record_state_transition(int component, Symbol variable,
+                                     Symbol from, Symbol to) {
+  pending_transitions_.push_back(
+      PendingTransition{now_, component, variable, from, to});
 }
 
-void Engine::record_state_transition(int component,
-                                     const std::string& variable,
-                                     const std::string& from,
-                                     const std::string& to) {
-  result_.state_transitions.push_back(StateTransition{
-      now_, components_[component].path, variable, from, to});
+void Engine::push_event(double delay_ns, EventKind kind, std::int32_t a,
+                        std::int32_t b) {
+  Event ev;
+  ev.time = now_ + delay_ns;
+  ev.seq = sequence_++;
+  ev.kind = kind;
+  ev.a = a;
+  ev.b = b;
+  queue_.push(ev);
 }
 
-void Engine::send(int component, const std::string& port, Packet packet) {
-  auto it = channel_by_src_.find({component, port});
-  if (it == channel_by_src_.end()) {
-    diags_.warning("sim",
-                   "send on unconnected port '" +
-                       endpoint_name(ChannelEndpoint{component, port}) +
-                       "'; packet dropped",
-                   {});
+void Engine::schedule_timer(double delay_ns, int component,
+                            std::int32_t token) {
+  push_event(delay_ns, EventKind::kTimer, component, token);
+}
+
+void Engine::schedule_poke(double delay_ns, int component) {
+  push_event(delay_ns, EventKind::kPoke, component, -1);
+}
+
+void Engine::dispatch(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kDeliver:
+      deliver(static_cast<std::size_t>(ev.a));
+      break;
+    case EventKind::kTimer: {
+      Component& comp = components_[ev.a];
+      if (comp.behavior) comp.behavior->on_timer(*this, ev.a, ev.b);
+      break;
+    }
+    case EventKind::kPoke:
+      poke(ev.a);
+      break;
+    case EventKind::kStimulus: {
+      StimulusCursor& cursor = stimulus_cursors_[ev.a];
+      send_on_channel(static_cast<std::size_t>(cursor.channel),
+                      cursor.stimulus->packets[cursor.next].second);
+      cursor.next += 1;
+      if (cursor.next < cursor.stimulus->packets.size()) {
+        // Packets enter the channel in list order; out-of-order timestamps
+        // clamp to "now".
+        double at = cursor.stimulus->packets[cursor.next].first;
+        push_event(at > now_ ? at - now_ : 0.0, EventKind::kStimulus, ev.a,
+                   -1);
+      }
+      break;
+    }
+  }
+}
+
+bool Engine::should_warn(WarnSite site, std::int32_t a, std::int32_t b) {
+  std::uint64_t key = (static_cast<std::uint64_t>(site) << 56) |
+                      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                           a + 1))
+                       << 24) |
+                      (static_cast<std::uint32_t>(b + 1) & 0xFFFFFFu);
+  return warn_counts_[key]++ == 0;
+}
+
+void Engine::send(int component, int port, Packet packet) {
+  std::int32_t ch = -1;
+  if (component >= 0) {
+    const Component& comp = components_[component];
+    if (port >= 0 && static_cast<std::size_t>(port) < comp.out_channel.size()) {
+      ch = comp.out_channel[port];
+    }
+  } else if (port >= 0 &&
+             static_cast<std::size_t>(port) < top_src_channel_.size()) {
+    ch = top_src_channel_[port];
+  }
+  if (ch < 0) {
+    if (should_warn(WarnSite::kSendUnconnected, component, port)) {
+      diags_.warning("sim",
+                     "send on unconnected port '" +
+                         endpoint_name(ChannelEndpoint{component, port}) +
+                         "'; packet dropped (repeats counted)",
+                     {});
+    }
     return;
   }
-  Channel& c = channels_[it->second];
+  send_on_channel(static_cast<std::size_t>(ch), packet);
+}
+
+void Engine::send_on_channel(std::size_t channel_index, Packet packet) {
+  Channel& c = channels_[channel_index];
   if (!c.occupied && c.outbox.empty()) {
-    start_channel_transfer(it->second, packet);
+    start_channel_transfer(channel_index, packet);
   } else {
     c.outbox.emplace_back(now_, packet);
   }
 }
 
-bool Engine::can_send(int component, const std::string& port) const {
-  auto it = channel_by_src_.find({component, port});
-  if (it == channel_by_src_.end()) return false;
-  const Channel& c = channels_[it->second];
+bool Engine::can_send(int component, int port) const {
+  std::int32_t ch = -1;
+  if (component >= 0) {
+    const Component& comp = components_[component];
+    if (port >= 0 && static_cast<std::size_t>(port) < comp.out_channel.size()) {
+      ch = comp.out_channel[port];
+    }
+  } else if (port >= 0 &&
+             static_cast<std::size_t>(port) < top_src_channel_.size()) {
+    ch = top_src_channel_[port];
+  }
+  if (ch < 0) return false;
+  const Channel& c = channels_[ch];
   return !c.occupied && c.outbox.empty();
 }
 
@@ -297,7 +418,35 @@ void Engine::start_channel_transfer(std::size_t channel_index, Packet packet) {
   Channel& c = channels_[channel_index];
   c.occupied = true;
   c.in_flight = packet;
-  schedule(c.latency_ns, [this, channel_index] { deliver(channel_index); });
+  push_event(c.latency_ns, EventKind::kDeliver,
+             static_cast<std::int32_t>(channel_index), -1);
+}
+
+void Engine::notify_output_acked(ChannelEndpoint src) {
+  if (src.component < 0) return;
+  Component& comp = components_[src.component];
+  if (comp.behavior) {
+    comp.behavior->on_output_acked(*this, src.component, src.port);
+  }
+}
+
+void Engine::drain_outbox(std::size_t channel_index) {
+  // Note: re-check `occupied` — a behaviour notified just before this call
+  // may have re-filled the register (the pre-refactor code raced here and
+  // could overwrite an in-flight packet).
+  Channel& c = channels_[channel_index];
+  if (c.occupied || c.outbox.empty()) return;
+  auto [t_enq, packet] = c.outbox.front();
+  c.outbox.pop_front();
+  c.stats.blocked_ns += now_ - t_enq;
+  start_channel_transfer(channel_index, packet);
+  ChannelEndpoint src = channels_[channel_index].src;
+  if (src.component >= 0) {
+    Component& comp = components_[src.component];
+    if (comp.behavior) {
+      comp.behavior->on_send_accepted(*this, src.component, src.port);
+    }
+  }
 }
 
 void Engine::deliver(std::size_t channel_index) {
@@ -309,105 +458,86 @@ void Engine::deliver(std::size_t channel_index) {
   if (trace_enabled_) {
     TraceEvent ev;
     ev.time_ns = now_;
-    ev.channel = c.stats.name;
+    ev.channel_index = static_cast<std::int32_t>(channel_index);
     ev.packet = c.in_flight;
     ev.is_top_input = (c.src.component < 0);
     ev.is_top_output = (c.dst.component < 0);
-    ev.top_port = ev.is_top_input ? c.src.port
-                                  : (ev.is_top_output ? c.dst.port : "");
     result_.trace.push_back(std::move(ev));
   }
 
   if (c.dst.component < 0) {
     // Environment observer: always ready, records and acknowledges.
-    result_.top_outputs[c.dst.port].emplace_back(now_, c.in_flight);
+    top_out_packets_[c.dst.port].emplace_back(now_, c.in_flight);
     c.occupied = false;
-    if (c.src.component >= 0) {
-      Component& src = components_[c.src.component];
-      if (src.behavior) src.behavior->on_output_acked(*this, c.src.component,
-                                                      c.src.port);
-    }
-    if (!c.outbox.empty()) {
-      auto [t_enq, packet] = c.outbox.front();
-      c.outbox.pop_front();
-      c.stats.blocked_ns += now_ - t_enq;
-      start_channel_transfer(channel_index, packet);
-      if (c.src.component >= 0) {
-        Component& src = components_[c.src.component];
-        if (src.behavior) {
-          src.behavior->on_send_accepted(*this, c.src.component, c.src.port);
-        }
-      }
-    }
+    notify_output_acked(c.src);
+    drain_outbox(channel_index);
     return;
   }
 
   Component& dst = components_[c.dst.component];
   dst.inbox[c.dst.port].push_back(c.in_flight);
-  if (dst.behavior) dst.behavior->on_receive(*this, c.dst.component,
-                                             c.dst.port);
+  if (dst.behavior) {
+    dst.behavior->on_receive(*this, c.dst.component, c.dst.port);
+  }
 }
 
-void Engine::ack(int component, const std::string& port) {
-  auto it = channel_by_dst_.find({component, port});
-  if (it == channel_by_dst_.end()) {
-    diags_.warning("sim",
-                   "ack on unconnected port '" +
-                       endpoint_name(ChannelEndpoint{component, port}) + "'",
-                   {});
+void Engine::ack(int component, int port) {
+  Component& comp = components_[component];
+  std::int32_t ch =
+      port >= 0 && static_cast<std::size_t>(port) < comp.in_channel.size()
+          ? comp.in_channel[port]
+          : -1;
+  if (ch < 0) {
+    if (should_warn(WarnSite::kAckUnconnected, component, port)) {
+      diags_.warning("sim",
+                     "ack on unconnected port '" +
+                         endpoint_name(ChannelEndpoint{component, port}) +
+                         "' (repeats counted)",
+                     {});
+    }
     return;
   }
-  Channel& c = channels_[it->second];
+  std::size_t channel_index = static_cast<std::size_t>(ch);
+  Channel& c = channels_[channel_index];
   if (!c.occupied) {
-    diags_.warning("sim", "ack on empty channel '" + c.stats.name + "'", {});
+    if (should_warn(WarnSite::kAckEmptyChannel, ch, -1)) {
+      diags_.warning("sim",
+                     "ack on empty channel '" + channel_display_name(c) +
+                         "' (repeats counted)",
+                     {});
+    }
     return;
   }
   // Consume the packet from the sink inbox.
-  Component& dst = components_[component];
-  auto& box = dst.inbox[port];
+  auto& box = comp.inbox[port];
   if (!box.empty()) box.pop_front();
 
   c.occupied = false;
-  std::size_t channel_index = it->second;
-  if (c.src.component >= 0) {
-    Component& src = components_[c.src.component];
-    if (src.behavior) src.behavior->on_output_acked(*this, c.src.component,
-                                                    c.src.port);
-  }
-  Channel& c2 = channels_[channel_index];
-  if (!c2.occupied && !c2.outbox.empty()) {
-    auto [t_enq, packet] = c2.outbox.front();
-    c2.outbox.pop_front();
-    c2.stats.blocked_ns += now_ - t_enq;
-    start_channel_transfer(channel_index, packet);
-    if (c2.src.component >= 0) {
-      Component& src = components_[c2.src.component];
-      if (src.behavior) {
-        src.behavior->on_send_accepted(*this, c2.src.component, c2.src.port);
-      }
-    }
-  }
+  notify_output_acked(c.src);
+  drain_outbox(channel_index);
 }
 
 void Engine::poke(int component) {
   Component& comp = components_[component];
-  if (comp.behavior) comp.behavior->on_receive(*this, component, "");
+  if (comp.behavior) comp.behavior->on_receive(*this, component, -1);
 }
 
 void Engine::inject_stimuli(const SimOptions& options) {
   for (const Stimulus& stim : options.stimuli) {
-    auto it = channel_by_src_.find({-1, stim.port});
-    if (it == channel_by_src_.end()) {
+    int port = top_streamlet_ != nullptr
+                   ? top_streamlet_->port_index(support::intern(stim.port))
+                   : -1;
+    std::int32_t ch = port >= 0 ? top_src_channel_[port] : -1;
+    if (ch < 0) {
       diags_.warning("sim",
                      "stimulus targets unknown top input '" + stim.port + "'",
                      {});
       continue;
     }
-    for (const auto& [time, packet] : stim.packets) {
-      Packet p = packet;
-      std::string port = stim.port;
-      schedule(time, [this, port, p] { send(-1, port, p); });
-    }
+    if (stim.packets.empty()) continue;
+    std::int32_t cursor = static_cast<std::int32_t>(stimulus_cursors_.size());
+    stimulus_cursors_.push_back(StimulusCursor{ch, &stim, 0});
+    push_event(stim.packets.front().first, EventKind::kStimulus, cursor, -1);
   }
 }
 
@@ -418,7 +548,7 @@ void Engine::detect_deadlock() {
     if (c.occupied || !c.outbox.empty()) {
       anything_blocked = true;
       std::ostringstream why;
-      why << "channel " << c.stats.name << ": ";
+      why << "channel " << channel_display_name(c) << ": ";
       if (c.occupied) why << "packet not acknowledged by sink";
       if (!c.outbox.empty()) {
         if (c.occupied) why << ", ";
@@ -428,12 +558,16 @@ void Engine::detect_deadlock() {
     }
   }
   for (const Component& comp : components_) {
-    for (const auto& [port, box] : comp.inbox) {
-      if (!box.empty()) {
+    for (std::size_t port = 0; port < comp.inbox.size(); ++port) {
+      if (!comp.inbox[port].empty()) {
         anything_blocked = true;
+        std::string port_name =
+            comp.streamlet != nullptr ? comp.streamlet->ports[port].name
+                                      : std::to_string(port);
         result_.blocked_report.push_back(
-            "component " + comp.path + ": " + std::to_string(box.size()) +
-            " unconsumed packet(s) on port '" + port + "'");
+            "component " + comp.path + ": " +
+            std::to_string(comp.inbox[port].size()) +
+            " unconsumed packet(s) on port '" + port_name + "'");
       }
     }
   }
@@ -444,7 +578,7 @@ void Engine::detect_deadlock() {
   //  - a source whose outbox is blocked waits on the sink of that channel;
   //  - a component waiting for a packet on port p waits on the source
   //    feeding p.
-  std::map<int, std::vector<int>> edges;
+  std::vector<std::vector<int>> edges(components_.size());
   for (const Channel& c : channels_) {
     if (!c.outbox.empty() && c.src.component >= 0 && c.dst.component >= 0) {
       edges[c.src.component].push_back(c.dst.component);
@@ -453,20 +587,23 @@ void Engine::detect_deadlock() {
   for (std::size_t i = 0; i < components_.size(); ++i) {
     const Component& comp = components_[i];
     if (!comp.behavior) continue;
-    for (const std::string& port : comp.behavior->waiting_ports(comp)) {
-      auto it = channel_by_dst_.find({static_cast<int>(i), port});
-      if (it == channel_by_dst_.end()) continue;
-      const Channel& c = channels_[it->second];
+    for (int port : comp.behavior->waiting_ports(comp)) {
+      std::int32_t ch =
+          port >= 0 && static_cast<std::size_t>(port) < comp.in_channel.size()
+              ? comp.in_channel[port]
+              : -1;
+      if (ch < 0) continue;
+      const Channel& c = channels_[ch];
       if (c.src.component >= 0) {
-        edges[static_cast<int>(i)].push_back(c.src.component);
+        edges[i].push_back(c.src.component);
       }
     }
   }
 
-  // DFS cycle search.
-  std::map<int, int> color;  // 0 white, 1 gray, 2 black
+  // Iterative DFS cycle search in component-index order (deterministic).
+  std::vector<std::uint8_t> color(components_.size(), 0);  // 0 w, 1 g, 2 b
   std::vector<int> stack;
-  std::function<bool(int)> dfs = [&](int node) -> bool {
+  auto dfs = [&](auto&& self, int node) -> bool {
     color[node] = 1;
     stack.push_back(node);
     for (int next : edges[node]) {
@@ -477,39 +614,106 @@ void Engine::detect_deadlock() {
         }
         return true;
       }
-      if (color[next] == 0 && dfs(next)) return true;
+      if (color[next] == 0 && self(self, next)) return true;
     }
     stack.pop_back();
     color[node] = 2;
     return false;
   };
-  for (const auto& [node, next] : edges) {
-    (void)next;
-    if (color[node] == 0 && dfs(node)) break;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (!edges[i].empty() && color[i] == 0 && dfs(dfs, static_cast<int>(i))) {
+      break;
+    }
+  }
+}
+
+void Engine::finalize_result() {
+  // Materialize the name strings the hot path never built.
+  for (Channel& c : channels_) {
+    c.stats.name = channel_display_name(c);
+    result_.channels.push_back(c.stats);
+  }
+  for (TraceEvent& ev : result_.trace) {
+    const Channel& c = channels_[ev.channel_index];
+    ev.channel = c.stats.name;
+    if (ev.is_top_input) {
+      ev.top_port = top_streamlet_->ports[c.src.port].name;
+    } else if (ev.is_top_output) {
+      ev.top_port = top_streamlet_->ports[c.dst.port].name;
+    }
+  }
+  for (std::size_t port = 0; port < top_out_packets_.size(); ++port) {
+    if (top_out_packets_[port].empty()) continue;
+    result_.top_outputs[top_streamlet_->ports[port].name] =
+        std::move(top_out_packets_[port]);
+  }
+  for (const PendingTransition& t : pending_transitions_) {
+    result_.state_transitions.push_back(StateTransition{
+        t.time_ns, components_[t.component].path,
+        support::symbol_name(t.variable), support::symbol_name(t.from),
+        support::symbol_name(t.to)});
+  }
+  // Summarize deduplicated warning sites (decode the packed key back into
+  // the site kind and its endpoint/channel).
+  for (const auto& [key, count] : warn_counts_) {
+    if (count <= 1) continue;
+    auto site = static_cast<WarnSite>(key >> 56);
+    auto a = static_cast<std::int32_t>((key >> 24) & 0xFFFFFFFFu) - 1;
+    auto b = static_cast<std::int32_t>(key & 0xFFFFFFu) - 1;
+    std::string what;
+    switch (site) {
+      case WarnSite::kSendUnconnected:
+        what = "send on unconnected port '" +
+               endpoint_name(ChannelEndpoint{a, b}) + "'";
+        break;
+      case WarnSite::kAckUnconnected:
+        what = "ack on unconnected port '" +
+               endpoint_name(ChannelEndpoint{a, b}) + "'";
+        break;
+      case WarnSite::kAckEmptyChannel:
+        what = "ack on empty channel '" + channel_display_name(channels_[a]) +
+               "'";
+        break;
+    }
+    diags_.note("sim",
+                what + " occurred " + std::to_string(count) +
+                    " time(s) in total",
+                {});
   }
 }
 
 SimResult Engine::run(const SimOptions& options) {
   options_ = &options;
   trace_enabled_ = options.record_trace;
+  default_period_ns_ = options.default_period_ns;
   result_ = SimResult{};
   components_.clear();
   channels_.clear();
-  channel_by_src_.clear();
-  channel_by_dst_.clear();
+  top_src_channel_.clear();
+  top_out_packets_.clear();
+  pending_transitions_.clear();
+  warn_counts_.clear();
+  stimulus_cursors_.clear();
+  queue_ = {};  // drop events left over from a cut-off previous run
   now_ = 0.0;
+  sequence_ = 0;
 
   flatten(options);
 
-  // Attach behaviours.
+  // Attach behaviours and resolve per-component clock periods once.
   for (std::size_t i = 0; i < components_.size(); ++i) {
     Component& comp = components_[i];
-    const Streamlet* s = design_.streamlet_of(*comp.impl);
-    if (s == nullptr) continue;
+    comp.clock_period_ns = options.default_period_ns;
+    if (comp.streamlet == nullptr) continue;
+    if (!comp.streamlet->ports.empty()) {
+      auto it = options.clock_period_ns.find(
+          comp.streamlet->ports.front().clock_domain);
+      if (it != options.clock_period_ns.end()) comp.clock_period_ns = it->second;
+    }
     std::map<std::string, double> params;
     auto pit = options.model_params.find(comp.path);
     if (pit != options.model_params.end()) params = pit->second;
-    comp.behavior = make_behavior(*comp.impl, *s, params, diags_);
+    comp.behavior = make_behavior(*comp.impl, *comp.streamlet, params, diags_);
   }
 
   inject_stimuli(options);
@@ -527,11 +731,12 @@ SimResult Engine::run(const SimOptions& options) {
       break;
     }
     now_ = ev.time;
-    ev.fn();
+    result_.events_processed += 1;
+    dispatch(ev);
   }
   result_.end_time_ns = now_;
   detect_deadlock();
-  for (const Channel& c : channels_) result_.channels.push_back(c.stats);
+  finalize_result();
   return std::move(result_);
 }
 

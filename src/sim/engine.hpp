@@ -17,22 +17,34 @@
 //  - bottleneck analysis = channels ranked by blocked time (Sec. V-B);
 //  - deadlock detection = wait-for cycle search when the event queue runs
 //    dry while packets are still in flight.
+//
+// Performance model (see src/sim/README.md): all names are resolved to
+// dense integer IDs during flatten — components by index, ports by their
+// position in the owning streamlet's port list, channels by index. The
+// steady-state send/deliver/ack path is pure integer indexing: no string
+// hashing, no string-keyed maps, and no per-event heap allocation (events
+// are a POD tagged union dispatched by a switch). Channel/endpoint name
+// strings exist only for diagnostics and are materialized once, after the
+// event loop finishes.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/elab/design.hpp"
 #include "src/support/diagnostic.hpp"
+#include "src/support/intern.hpp"
 
 namespace tydi::sim {
+
+using support::Symbol;
 
 /// One data packet travelling a channel. `value` is the abstract payload
 /// (the simulator models timing, not bit-level data); `last` marks the end
@@ -76,6 +88,9 @@ struct ChannelStats {
 struct TraceEvent {
   double time_ns = 0.0;
   std::string channel;  ///< same format as ChannelStats::name
+  /// Index into SimResult::channels (set during the run; the `channel`
+  /// string is derived from it after the event loop).
+  std::int32_t channel_index = -1;
   Packet packet;
   bool is_top_input = false;
   bool is_top_output = false;
@@ -94,6 +109,8 @@ struct StateTransition {
 
 struct SimResult {
   double end_time_ns = 0.0;
+  /// Events popped from the scheduler queue (simulation work metric).
+  std::uint64_t events_processed = 0;
   bool deadlock = false;
   /// Non-empty on deadlock when a wait-for cycle was found: the component
   /// paths forming the cycle.
@@ -107,7 +124,8 @@ struct SimResult {
   std::vector<StateTransition> state_transitions;
 
   /// Channel with the largest blocked time (the streaming bottleneck), or
-  /// nullptr if nothing blocked.
+  /// nullptr if nothing blocked. Ties break towards the lexicographically
+  /// smaller channel name so the answer is deterministic.
   [[nodiscard]] const ChannelStats* bottleneck() const;
   /// Packets per nanosecond observed on a top output port.
   [[nodiscard]] double throughput(const std::string& top_port) const;
@@ -116,14 +134,21 @@ struct SimResult {
 
 class Behavior;  // behavior.hpp
 
-/// Flattened leaf component.
+/// Flattened leaf component. Ports are addressed by their index in the
+/// owning streamlet's port list.
 struct Component {
   std::string path;            ///< dotted instance path from the top
   const elab::Impl* impl = nullptr;
+  const elab::Streamlet* streamlet = nullptr;
   std::unique_ptr<Behavior> behavior;
-  bool busy = false;
-  /// Packets delivered but not yet consumed by the behaviour, per port.
-  std::map<std::string, std::deque<Packet>> inbox;
+  double clock_period_ns = 10.0;  ///< resolved from the clock-domain map
+  /// Packets delivered but not yet consumed by the behaviour, per port
+  /// index (entries for output ports stay empty).
+  std::vector<std::deque<Packet>> inbox;
+  /// Port index -> channel index this port feeds (-1 = unconnected).
+  std::vector<std::int32_t> out_channel;
+  /// Port index -> channel index feeding this port (-1 = unconnected).
+  std::vector<std::int32_t> in_channel;
 
   // Out-of-line special members: Behavior is incomplete here.
   Component();
@@ -132,9 +157,11 @@ struct Component {
   ~Component();
 };
 
+/// (component, port-index) pair. component == -1 is the environment (top
+/// boundary), in which case `port` indexes the top streamlet's ports.
 struct ChannelEndpoint {
-  int component = -1;  ///< -1 = environment (top-level boundary)
-  std::string port;
+  std::int32_t component = -1;
+  std::int32_t port = -1;
 };
 
 struct Channel {
@@ -155,60 +182,130 @@ class Engine {
   [[nodiscard]] SimResult run(const SimOptions& options);
 
   // --- API for Behavior models -------------------------------------------
+  // Ports are addressed by index into the component's streamlet port list;
+  // negative indices are tolerated (warn-and-drop) so behaviours built from
+  // unresolvable names degrade gracefully.
 
   [[nodiscard]] double now() const { return now_; }
-  void schedule(double delay_ns, std::function<void()> fn);
+  /// Schedules Behavior::on_timer(self=component, token) after `delay_ns`.
+  void schedule_timer(double delay_ns, int component, std::int32_t token);
+  /// Schedules a poke (re-evaluation of firing conditions) for `component`.
+  void schedule_poke(double delay_ns, int component);
   /// Sends on an output port of `component`. Queues when the channel is
   /// occupied.
-  void send(int component, const std::string& port, Packet packet);
+  void send(int component, int port, Packet packet);
   /// Acknowledges the packet pending on an input port of `component`.
-  void ack(int component, const std::string& port);
+  void ack(int component, int port);
   /// True if the channel out of (component, port) can accept immediately.
-  [[nodiscard]] bool can_send(int component, const std::string& port) const;
+  [[nodiscard]] bool can_send(int component, int port) const;
   [[nodiscard]] Component& component(int index) { return components_[index]; }
   [[nodiscard]] const elab::Design& design() const { return design_; }
-  [[nodiscard]] double clock_period(int component) const;
-  void record_state_transition(int component, const std::string& variable,
-                               const std::string& from, const std::string& to);
+  [[nodiscard]] double clock_period(int component) const {
+    return component >= 0 ? components_[component].clock_period_ns
+                          : default_period_ns_;
+  }
+  /// `from`/`to` are interned state values (state alphabets are small, so
+  /// recording a transition is three integer stores, no string copies).
+  void record_state_transition(int component, Symbol variable, Symbol from,
+                               Symbol to);
   /// Re-evaluates a component's firing conditions (called by behaviours
   /// after finishing a handler).
   void poke(int component);
 
- private:
-  const elab::Design& design_;
-  support::DiagnosticEngine& diags_;
-  const SimOptions* options_ = nullptr;
-  double now_ = 0.0;
-  std::uint64_t sequence_ = 0;
-  bool trace_enabled_ = true;
+  /// Human-readable "path.port" for diagnostics (not on the hot path).
+  [[nodiscard]] std::string endpoint_name(const ChannelEndpoint& ep) const;
 
+ private:
+  // POD scheduler event: kind + two integer operands + packet payload,
+  // dispatched by a switch. No closures, no allocation per event.
+  enum class EventKind : std::uint8_t {
+    kDeliver,   ///< a = channel index
+    kTimer,     ///< a = component, b = behaviour-defined token
+    kPoke,      ///< a = component
+    kStimulus,  ///< a = stimulus cursor index
+  };
   struct Event {
-    double time;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break at equal times
+    std::int32_t a = -1;
+    std::int32_t b = -1;
+    EventKind kind = EventKind::kDeliver;
     bool operator>(const Event& other) const {
       return time != other.time ? time > other.time : seq > other.seq;
     }
   };
+
+  // Deduplicated per-packet warnings: each (kind, component, port/channel)
+  // site warns once and is counted; totals are reported after the run.
+  enum class WarnSite : std::uint8_t {
+    kSendUnconnected,
+    kAckUnconnected,
+    kAckEmptyChannel,
+  };
+
+  const elab::Design& design_;
+  support::DiagnosticEngine& diags_;
+  const SimOptions* options_ = nullptr;
+  const elab::Streamlet* top_streamlet_ = nullptr;
+  double now_ = 0.0;
+  double default_period_ns_ = 10.0;
+  std::uint64_t sequence_ = 0;
+  bool trace_enabled_ = true;
+
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 
   std::vector<Component> components_;
   std::vector<Channel> channels_;
-  /// (component, port) -> channel index, for both src and dst sides.
-  std::map<std::pair<int, std::string>, std::size_t> channel_by_src_;
-  std::map<std::pair<int, std::string>, std::size_t> channel_by_dst_;
+  /// Top streamlet port index -> channel driven by that (input) port.
+  std::vector<std::int32_t> top_src_channel_;
+  /// Packets observed per top streamlet port index (folded into
+  /// SimResult::top_outputs after the run).
+  std::vector<std::vector<std::pair<double, Packet>>> top_out_packets_;
+
+  /// (time, component, variable, from, to); paths/names materialize later.
+  struct PendingTransition {
+    double time_ns;
+    std::int32_t component;
+    Symbol variable;
+    Symbol from;
+    Symbol to;
+  };
+  std::vector<PendingTransition> pending_transitions_;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> warn_counts_;
+
+  /// Lazy stimulus injection: only the next packet of each stimulus stream
+  /// lives in the event queue (keeps the heap small and cache-resident
+  /// instead of pre-loading every future packet).
+  struct StimulusCursor {
+    std::int32_t channel = -1;
+    const Stimulus* stimulus = nullptr;
+    std::size_t next = 0;
+  };
+  std::vector<StimulusCursor> stimulus_cursors_;
 
   SimResult result_;
 
+  void push_event(double delay_ns, EventKind kind, std::int32_t a,
+                  std::int32_t b);
+  void dispatch(const Event& ev);
   void flatten(const SimOptions& options);
-  void flatten_impl(const elab::Impl& impl, const std::string& path,
-                    std::vector<std::pair<std::string, std::string>>& links);
   void deliver(std::size_t channel_index);
   void start_channel_transfer(std::size_t channel_index, Packet packet);
+  /// Starts the next outbox packet if the register is free, charging the
+  /// waiting time to the channel's blocked counter.
+  void drain_outbox(std::size_t channel_index);
+  void send_on_channel(std::size_t channel_index, Packet packet);
+  void notify_output_acked(ChannelEndpoint src);
   void inject_stimuli(const SimOptions& options);
   void detect_deadlock();
-  [[nodiscard]] std::string channel_name(const Channel& c) const;
-  [[nodiscard]] std::string endpoint_name(const ChannelEndpoint& ep) const;
+  void finalize_result();
+  /// True exactly on the first hit of a warning site; every call counts, so
+  /// repeat totals can be summarized after the run without building message
+  /// strings on the event path.
+  [[nodiscard]] bool should_warn(WarnSite site, std::int32_t a,
+                                 std::int32_t b);
+  [[nodiscard]] std::string channel_display_name(const Channel& c) const;
 };
 
 }  // namespace tydi::sim

@@ -10,9 +10,14 @@ namespace tydi::sim {
 
 std::vector<ChannelStats> rank_bottlenecks(const SimResult& result) {
   std::vector<ChannelStats> ranked = result.channels;
+  // Name tie-break at equal blocked time: the ranking must be identical
+  // across runs regardless of channel construction order.
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const ChannelStats& a, const ChannelStats& b) {
-                     return a.blocked_ns > b.blocked_ns;
+                     if (a.blocked_ns != b.blocked_ns) {
+                       return a.blocked_ns > b.blocked_ns;
+                     }
+                     return a.name < b.name;
                    });
   return ranked;
 }

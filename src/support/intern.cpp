@@ -1,0 +1,30 @@
+#include "src/support/intern.hpp"
+
+namespace tydi::support {
+
+Symbol Interner::intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  Symbol sym = static_cast<Symbol>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), sym);
+  return sym;
+}
+
+Symbol Interner::find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it != index_.end() ? it->second : kNoSymbol;
+}
+
+Interner& Interner::global() {
+  static Interner interner;
+  return interner;
+}
+
+Symbol intern(std::string_view s) { return Interner::global().intern(s); }
+
+const std::string& symbol_name(Symbol sym) {
+  return Interner::global().str(sym);
+}
+
+}  // namespace tydi::support

@@ -1,0 +1,56 @@
+// Global string interner (Sec. V performance substrate).
+//
+// Every name that crosses the elaborator/simulator boundary — port names,
+// instance paths, impl names, scope bindings — is interned once into a
+// process-wide table and handled as a dense 32-bit `Symbol` afterwards.
+// Symbol comparison is integer comparison; the steady-state simulation path
+// never touches string hashing or string-keyed maps. The table only grows
+// (symbols are stable for the lifetime of the process), mirroring the
+// resolve-names-once-at-lowering approach of compiled simulation kernels.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace tydi::support {
+
+/// Index into the global interner table. Dense, starts at 0.
+using Symbol = std::uint32_t;
+
+/// Sentinel for "not yet interned / no name".
+inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
+
+class Interner {
+ public:
+  /// Returns the symbol for `s`, inserting it on first sight. Stable: the
+  /// same string always yields the same symbol.
+  Symbol intern(std::string_view s);
+
+  /// The string behind a symbol. `sym` must come from this interner.
+  [[nodiscard]] const std::string& str(Symbol sym) const {
+    return strings_[sym];
+  }
+
+  /// Symbol for `s` if already interned, else kNoSymbol (no insertion).
+  [[nodiscard]] Symbol find(std::string_view s) const;
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+  /// The process-wide interner used by the compiler and simulator.
+  static Interner& global();
+
+ private:
+  // deque keeps element addresses stable so the string_view keys of index_
+  // can point into strings_ without re-keying on growth.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, Symbol> index_;
+};
+
+/// Shorthands over Interner::global().
+[[nodiscard]] Symbol intern(std::string_view s);
+[[nodiscard]] const std::string& symbol_name(Symbol sym);
+
+}  // namespace tydi::support

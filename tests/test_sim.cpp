@@ -244,6 +244,20 @@ TEST(SimEngine, MaxTimeCutoffStopsLongSimulations) {
   options.stimuli.push_back(std::move(stim));
   sim::SimResult result = engine.run(options);
   EXPECT_LE(result.end_time_ns, 500.0);
+
+  // Re-running on the same engine after a cut-off must start clean: no
+  // stale events from the aborted run may leak into the next one.
+  sim::SimOptions fresh;
+  fresh.max_time_ns = 1.0e7;
+  sim::Stimulus stim2;
+  stim2.port = "feed";
+  for (int i = 0; i < 16; ++i) {
+    stim2.packets.emplace_back(10.0 * i, sim::Packet{i, i == 15});
+  }
+  fresh.stimuli.push_back(std::move(stim2));
+  sim::SimResult second = engine.run(fresh);
+  ASSERT_TRUE(second.top_outputs.contains("result"));
+  EXPECT_EQ(second.top_outputs.at("result").size(), 16u);
 }
 
 TEST(SimEngine, SummaryMentionsOutputsAndBottleneck) {
@@ -273,6 +287,87 @@ TEST(SimEngine, StimulusOnUnknownPortWarnsInsteadOfCrashing) {
   options.stimuli.push_back(std::move(stim));
   (void)engine.run(options);
   EXPECT_GT(diags.warning_count(), 0u);
+}
+
+TEST(SimEngine, RepeatedRunsAreDeterministic) {
+  // Two identical runs must agree on bottleneck ranking (including the
+  // tie-break at equal blocked_ns), trace ordering, and — for a deadlocking
+  // design — the reported wait-for cycle.
+  driver::CompileResult compiled = compile_parallelize(2);
+  ASSERT_TRUE(compiled.success());
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+
+  auto run_once = [&] {
+    sim::SimOptions options;
+    options.max_time_ns = 1.0e7;
+    sim::Stimulus stim;
+    stim.port = "feed";
+    for (int i = 0; i < 96; ++i) {
+      stim.packets.emplace_back(10.0 * i, sim::Packet{i, i == 95});
+    }
+    options.stimuli.push_back(std::move(stim));
+    return engine.run(options);
+  };
+  sim::SimResult first = run_once();
+  sim::SimResult second = run_once();
+
+  auto ranked_names = [](const sim::SimResult& r) {
+    std::vector<std::string> names;
+    for (const sim::ChannelStats& c : sim::rank_bottlenecks(r)) {
+      names.push_back(c.name);
+    }
+    return names;
+  };
+  EXPECT_EQ(ranked_names(first), ranked_names(second));
+  ASSERT_NE(first.bottleneck(), nullptr);
+  ASSERT_NE(second.bottleneck(), nullptr);
+  EXPECT_EQ(first.bottleneck()->name, second.bottleneck()->name);
+
+  ASSERT_EQ(first.trace.size(), second.trace.size());
+  for (std::size_t i = 0; i < first.trace.size(); ++i) {
+    EXPECT_EQ(first.trace[i].time_ns, second.trace[i].time_ns) << i;
+    EXPECT_EQ(first.trace[i].channel, second.trace[i].channel) << i;
+    EXPECT_EQ(first.trace[i].packet.value, second.trace[i].packet.value) << i;
+  }
+
+  // Deadlock cycle determinism on the cyclic join design.
+  driver::CompileOptions options;
+  options.top = "deadtop";
+  options.emit_vhdl = false;
+  driver::CompileResult dead_compiled =
+      driver::compile_source(std::string(kDeadlockSource), options);
+  ASSERT_TRUE(dead_compiled.success()) << dead_compiled.report();
+  sim::Engine dead_engine(dead_compiled.design, diags);
+  auto dead_once = [&] {
+    sim::SimOptions dead_options;
+    sim::Stimulus stim;
+    stim.port = "feed";
+    stim.packets.emplace_back(0.0, sim::Packet{1, false});
+    dead_options.stimuli.push_back(stim);
+    return dead_engine.run(dead_options);
+  };
+  sim::SimResult dead_first = dead_once();
+  sim::SimResult dead_second = dead_once();
+  EXPECT_TRUE(dead_first.deadlock);
+  EXPECT_EQ(dead_first.deadlock_cycle, dead_second.deadlock_cycle);
+  EXPECT_EQ(dead_first.blocked_report, dead_second.blocked_report);
+}
+
+TEST(SimEngine, BottleneckTieBreaksByName) {
+  sim::SimResult result;
+  sim::ChannelStats z;
+  z.name = "z.out -> sink.in_";
+  z.blocked_ns = 50.0;
+  sim::ChannelStats a;
+  a.name = "a.out -> sink.in_";
+  a.blocked_ns = 50.0;
+  result.channels = {z, a};
+  ASSERT_NE(result.bottleneck(), nullptr);
+  EXPECT_EQ(result.bottleneck()->name, "a.out -> sink.in_");
+  auto ranked = sim::rank_bottlenecks(result);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].name, "a.out -> sink.in_");
 }
 
 TEST(SimEngine, TraceCanBeDisabled) {

@@ -4,11 +4,59 @@
 #include <gtest/gtest.h>
 
 #include "src/support/diagnostic.hpp"
+#include "src/support/intern.hpp"
 #include "src/support/source.hpp"
 #include "src/support/text.hpp"
 
 namespace tydi::support {
 namespace {
+
+TEST(Interner, RoundTripAndDedup) {
+  Interner interner;
+  Symbol a = interner.intern("alpha");
+  Symbol b = interner.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.str(a), "alpha");
+  EXPECT_EQ(interner.str(b), "beta");
+  // Dedup: same string, same symbol — no new entry.
+  std::size_t size = interner.size();
+  EXPECT_EQ(interner.intern("alpha"), a);
+  EXPECT_EQ(interner.intern(std::string("alpha")), a);
+  EXPECT_EQ(interner.size(), size);
+}
+
+TEST(Interner, StableSymbolsAcrossGrowth) {
+  Interner interner;
+  Symbol first = interner.intern("first");
+  const std::string& before = interner.str(first);
+  // Force the storage through several growth steps.
+  std::vector<Symbol> symbols;
+  for (int i = 0; i < 1000; ++i) {
+    symbols.push_back(interner.intern("sym_" + std::to_string(i)));
+  }
+  // Old symbol still resolves and its string address did not move.
+  EXPECT_EQ(interner.str(first), "first");
+  EXPECT_EQ(&interner.str(first), &before);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.intern("sym_" + std::to_string(i)), symbols[i]);
+    EXPECT_EQ(interner.str(symbols[i]), "sym_" + std::to_string(i));
+  }
+}
+
+TEST(Interner, FindDoesNotInsert) {
+  Interner interner;
+  EXPECT_EQ(interner.find("ghost"), kNoSymbol);
+  EXPECT_EQ(interner.size(), 0u);
+  Symbol s = interner.intern("ghost");
+  EXPECT_EQ(interner.find("ghost"), s);
+}
+
+TEST(Interner, GlobalSingletonIsStable) {
+  Symbol a = intern("global_interner_test_symbol");
+  Symbol b = intern("global_interner_test_symbol");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(symbol_name(a), "global_interner_test_symbol");
+}
 
 TEST(SourceManager, LineColumnMapping) {
   SourceManager sm;
