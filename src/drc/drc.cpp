@@ -1,19 +1,21 @@
 #include "src/drc/drc.hpp"
 
-#include <map>
 #include <sstream>
 
 #include "src/types/compat.hpp"
 
 namespace tydi::drc {
 
-using elab::Connection;
-using elab::Design;
-using elab::Endpoint;
-using elab::Impl;
-using elab::Instance;
-using elab::Port;
-using elab::Streamlet;
+using ir::EndpointStatus;
+using ir::Index;
+using ir::IrConnection;
+using ir::IrEndpoint;
+using ir::IrImpl;
+using ir::IrInstance;
+using ir::IrPort;
+using ir::IrStreamlet;
+using ir::kNoIndex;
+using ir::Module;
 
 std::string_view to_string(Rule r) {
   switch (r) {
@@ -46,36 +48,36 @@ std::string DrcReport::render() const {
 
 namespace {
 
-struct ResolvedEndpoint {
-  const Port* port = nullptr;
-  bool is_self = false;
-};
-
 class ImplChecker {
  public:
-  ImplChecker(const Design& design, const Impl& impl,
+  ImplChecker(const Module& module, const IrImpl& impl,
               const DrcOptions& options, DrcReport& report,
               support::DiagnosticEngine& diags)
-      : design_(design),
+      : module_(module),
         impl_(impl),
         options_(options),
         report_(report),
         diags_(diags) {}
 
   void run() {
+    build_slots();
     check_connections();
     check_port_usage();
   }
 
  private:
-  const Design& design_;
-  const Impl& impl_;
+  const Module& module_;
+  const IrImpl& impl_;
   const DrcOptions& options_;
   DrcReport& report_;
   support::DiagnosticEngine& diags_;
-  // usage counters keyed by endpoint display name
-  std::map<std::string, std::size_t> source_drive_count_;
-  std::map<std::string, std::size_t> sink_driven_count_;
+  // Flat usage counters: one slot per endpoint of the impl (self ports
+  // first, then each resolved instance's ports). slot = slot_base + port
+  // index — no string-keyed map on the hot path.
+  std::vector<std::size_t> drive_count_;
+  std::size_t self_slot_base_ = 0;
+  std::vector<std::size_t> instance_slot_base_;  ///< kNoSlot if unresolved
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
   void violate(Rule rule, std::string message, support::Loc loc,
                bool as_error = true) {
@@ -88,66 +90,100 @@ class ImplChecker {
     }
   }
 
-  ResolvedEndpoint resolve(const Endpoint& ep) {
-    ResolvedEndpoint r;
-    r.is_self = ep.instance.empty();
-    if (r.is_self) {
-      const Streamlet* self = design_.streamlet_of(impl_);
-      if (self == nullptr) {
+  [[nodiscard]] const IrStreamlet* self_streamlet() const {
+    return module_.streamlet_of(impl_);
+  }
+
+  [[nodiscard]] const IrStreamlet* instance_streamlet(
+      const IrInstance& inst) const {
+    if (inst.impl == kNoIndex) return nullptr;
+    return module_.streamlet_of(module_.impls[inst.impl]);
+  }
+
+  void build_slots() {
+    std::size_t total = 0;
+    const IrStreamlet* self = self_streamlet();
+    self_slot_base_ = total;
+    if (self != nullptr) total += self->ports.size();
+    instance_slot_base_.reserve(impl_.instances.size());
+    for (const IrInstance& inst : impl_.instances) {
+      const IrStreamlet* cs = instance_streamlet(inst);
+      if (cs == nullptr) {
+        instance_slot_base_.push_back(kNoSlot);
+        continue;
+      }
+      instance_slot_base_.push_back(total);
+      total += cs->ports.size();
+    }
+    drive_count_.assign(total, 0);
+  }
+
+  /// Slot of a resolved endpoint, or kNoSlot.
+  [[nodiscard]] std::size_t slot_of(const IrEndpoint& ep) const {
+    if (!ep.ok()) return kNoSlot;
+    if (ep.is_self()) return self_slot_base_ + ep.port;
+    std::size_t base = instance_slot_base_[ep.instance];
+    return base == kNoSlot ? kNoSlot : base + ep.port;
+  }
+
+  /// Reports the R5 violation recorded in the endpoint's lowering status.
+  /// Returns the endpoint's port when resolved, nullptr otherwise.
+  const IrPort* resolve(const IrEndpoint& ep) {
+    switch (ep.status) {
+      case EndpointStatus::kOk:
+        return module_.resolve(impl_, ep);
+      case EndpointStatus::kUnknownStreamlet:
         violate(Rule::kResolution,
                 "impl '" + impl_.name + "' has unknown streamlet '" +
-                    impl_.streamlet_name + "'",
+                    support::symbol_name(impl_.streamlet_sym) + "'",
                 impl_.loc);
-        return r;
-      }
-      r.port = self->find_port(ep.port);
-      if (r.port == nullptr) {
+        return nullptr;
+      case EndpointStatus::kUnknownInstance:
         violate(Rule::kResolution,
-                "unknown port '" + ep.port + "' on impl '" +
+                "unknown instance '" +
+                    support::symbol_name(ep.instance_sym) + "' in '" +
                     impl_.display_name + "'",
                 ep.loc);
-      }
-      return r;
+        return nullptr;
+      case EndpointStatus::kUnresolvedImpl:
+        violate(Rule::kResolution,
+                "instance '" + support::symbol_name(ep.instance_sym) +
+                    "' has unresolved impl '" +
+                    support::symbol_name(
+                        impl_.instances[ep.instance].impl_sym) +
+                    "'",
+                ep.loc);
+        return nullptr;
+      case EndpointStatus::kUnknownPort:
+        if (ep.is_self()) {
+          violate(Rule::kResolution,
+                  "unknown port '" + support::symbol_name(ep.port_sym) +
+                      "' on impl '" + impl_.display_name + "'",
+                  ep.loc);
+        } else {
+          const IrStreamlet* cs =
+              instance_streamlet(impl_.instances[ep.instance]);
+          violate(Rule::kResolution,
+                  "unknown port '" + support::symbol_name(ep.port_sym) +
+                      "' on instance '" +
+                      support::symbol_name(ep.instance_sym) + "' (" +
+                      (cs != nullptr ? cs->display_name : "?") + ")",
+                  ep.loc);
+        }
+        return nullptr;
     }
-    const Instance* inst = impl_.find_instance(ep.instance);
-    if (inst == nullptr) {
-      violate(Rule::kResolution,
-              "unknown instance '" + ep.instance + "' in '" +
-                  impl_.display_name + "'",
-              ep.loc);
-      return r;
-    }
-    const Impl* child = design_.find_impl(inst->impl_name);
-    const Streamlet* child_streamlet =
-        child != nullptr ? design_.streamlet_of(*child) : nullptr;
-    if (child_streamlet == nullptr) {
-      violate(Rule::kResolution,
-              "instance '" + ep.instance + "' has unresolved impl '" +
-                  inst->impl_name + "'",
-              ep.loc);
-      return r;
-    }
-    r.port = child_streamlet->find_port(ep.port);
-    if (r.port == nullptr) {
-      violate(Rule::kResolution,
-              "unknown port '" + ep.port + "' on instance '" + ep.instance +
-                  "' (" + child_streamlet->display_name + ")",
-              ep.loc);
-    }
-    return r;
+    return nullptr;
   }
 
   void check_connections() {
-    for (const Connection& c : impl_.connections) {
-      ResolvedEndpoint src = resolve(c.src);
-      ResolvedEndpoint dst = resolve(c.dst);
-      if (src.port == nullptr || dst.port == nullptr) continue;
+    for (const IrConnection& c : impl_.connections) {
+      const IrPort* src = resolve(c.src);
+      const IrPort* dst = resolve(c.dst);
+      if (src == nullptr || dst == nullptr) continue;
 
       // R3: direction.
-      bool src_is_source = elab::endpoint_is_source(src.port->dir,
-                                                    src.is_self);
-      bool dst_is_sink = !elab::endpoint_is_source(dst.port->dir,
-                                                   dst.is_self);
+      bool src_is_source = ir::endpoint_is_source(src->dir, c.src.is_self());
+      bool dst_is_sink = !ir::endpoint_is_source(dst->dir, c.dst.is_self());
       if (!src_is_source) {
         violate(Rule::kDirection,
                 "left side of connection " + c.src.display() + " => " +
@@ -162,94 +198,87 @@ class ImplChecker {
       }
 
       // R1: type equality + complexity compatibility.
-      types::CompatResult compat = types::check_connection(
-          *src.port->type, *dst.port->type, /*strict=*/!c.structural);
-      if (!compat.ok) {
-        violate(Rule::kTypeEquality,
-                "connection " + c.src.display() + " => " + c.dst.display() +
-                    ": " + compat.reason,
-                c.loc);
+      if (src->type != nullptr && dst->type != nullptr) {
+        types::CompatResult compat = types::check_connection(
+            *src->type, *dst->type, /*strict=*/!c.structural);
+        if (!compat.ok) {
+          violate(Rule::kTypeEquality,
+                  "connection " + c.src.display() + " => " +
+                      c.dst.display() + ": " + compat.reason,
+                  c.loc);
+        }
       }
 
-      // R4: clock domains.
-      if (src.port->clock_domain != dst.port->clock_domain) {
+      // R4: clock domains (symbol comparison, not string comparison).
+      if (src->clock_sym != dst->clock_sym) {
         violate(Rule::kClockDomain,
                 "connection " + c.src.display() + " => " + c.dst.display() +
-                    " crosses clock domains ('" + src.port->clock_domain +
-                    "' vs '" + dst.port->clock_domain + "')",
+                    " crosses clock domains ('" + src->clock_domain +
+                    "' vs '" + dst->clock_domain + "')",
                 c.loc);
       }
 
       // Track usage for R2 regardless of the above.
-      if (src_is_source) ++source_drive_count_[c.src.display()];
-      if (dst_is_sink) ++sink_driven_count_[c.dst.display()];
+      if (src_is_source) {
+        std::size_t slot = slot_of(c.src);
+        if (slot != kNoSlot) ++drive_count_[slot];
+      }
+      if (dst_is_sink) {
+        std::size_t slot = slot_of(c.dst);
+        if (slot != kNoSlot) ++drive_count_[slot];
+      }
     }
   }
 
-  void enumerate_endpoints(
-      std::vector<std::pair<Endpoint, bool>>& sources,
-      std::vector<std::pair<Endpoint, bool>>& sinks) const {
-    const Streamlet* self = design_.streamlet_of(impl_);
-    if (self != nullptr) {
-      for (const Port& p : self->ports) {
-        Endpoint ep{"", p.name, p.loc};
-        if (p.dir == lang::PortDir::kIn) {
-          sources.emplace_back(ep, true);
-        } else {
-          sinks.emplace_back(ep, true);
-        }
+  void report_usage(bool is_source, const std::string& display,
+                    std::size_t n, support::Loc loc) {
+    const bool as_error = options_.port_use_count_is_error;
+    if (is_source) {
+      if (n == 0) {
+        violate(Rule::kPortUseCount,
+                "source " + display + " is never used (each port must "
+                "be used exactly once; sugaring would insert a voider)",
+                loc, as_error);
+      } else if (n > 1) {
+        violate(Rule::kPortUseCount,
+                "source " + display + " drives " + std::to_string(n) +
+                    " connections (each port must be used exactly once; "
+                    "sugaring would insert a duplicator)",
+                loc, as_error);
       }
-    }
-    for (const Instance& inst : impl_.instances) {
-      const Impl* child = design_.find_impl(inst.impl_name);
-      const Streamlet* cs =
-          child != nullptr ? design_.streamlet_of(*child) : nullptr;
-      if (cs == nullptr) continue;
-      for (const Port& p : cs->ports) {
-        Endpoint ep{inst.name, p.name, inst.loc};
-        if (p.dir == lang::PortDir::kOut) {
-          sources.emplace_back(ep, false);
-        } else {
-          sinks.emplace_back(ep, false);
-        }
+    } else {
+      if (n == 0) {
+        violate(Rule::kPortUseCount,
+                "sink " + display + " is never driven",
+                loc, as_error);
+      } else if (n > 1) {
+        violate(Rule::kPortUseCount,
+                "sink " + display + " is driven by " + std::to_string(n) +
+                    " connections",
+                loc, as_error);
       }
     }
   }
 
   void check_port_usage() {
-    std::vector<std::pair<Endpoint, bool>> sources;
-    std::vector<std::pair<Endpoint, bool>> sinks;
-    enumerate_endpoints(sources, sinks);
-    const bool as_error = options_.port_use_count_is_error;
-
-    for (const auto& [ep, is_self] : sources) {
-      auto it = source_drive_count_.find(ep.display());
-      std::size_t n = it == source_drive_count_.end() ? 0 : it->second;
-      if (n == 0) {
-        violate(Rule::kPortUseCount,
-                "source " + ep.display() + " is never used (each port must "
-                "be used exactly once; sugaring would insert a voider)",
-                ep.loc, as_error);
-      } else if (n > 1) {
-        violate(Rule::kPortUseCount,
-                "source " + ep.display() + " drives " + std::to_string(n) +
-                    " connections (each port must be used exactly once; "
-                    "sugaring would insert a duplicator)",
-                ep.loc, as_error);
+    const IrStreamlet* self = self_streamlet();
+    if (self != nullptr) {
+      for (std::size_t i = 0; i < self->ports.size(); ++i) {
+        const IrPort& p = self->ports[i];
+        bool is_source = (p.dir == lang::PortDir::kIn);
+        report_usage(is_source, p.name, drive_count_[self_slot_base_ + i],
+                     p.loc);
       }
     }
-    for (const auto& [ep, is_self] : sinks) {
-      auto it = sink_driven_count_.find(ep.display());
-      std::size_t n = it == sink_driven_count_.end() ? 0 : it->second;
-      if (n == 0) {
-        violate(Rule::kPortUseCount,
-                "sink " + ep.display() + " is never driven",
-                ep.loc, as_error);
-      } else if (n > 1) {
-        violate(Rule::kPortUseCount,
-                "sink " + ep.display() + " is driven by " +
-                    std::to_string(n) + " connections",
-                ep.loc, as_error);
+    for (std::size_t k = 0; k < impl_.instances.size(); ++k) {
+      const IrInstance& inst = impl_.instances[k];
+      const IrStreamlet* cs = instance_streamlet(inst);
+      if (cs == nullptr || instance_slot_base_[k] == kNoSlot) continue;
+      for (std::size_t i = 0; i < cs->ports.size(); ++i) {
+        const IrPort& p = cs->ports[i];
+        bool is_source = (p.dir == lang::PortDir::kOut);
+        report_usage(is_source, inst.name + "." + p.name,
+                     drive_count_[instance_slot_base_[k] + i], inst.loc);
       }
     }
   }
@@ -257,12 +286,12 @@ class ImplChecker {
 
 }  // namespace
 
-DrcReport check(const Design& design, const DrcOptions& options,
+DrcReport check(const Module& module, const DrcOptions& options,
                 support::DiagnosticEngine& diags) {
   DrcReport report;
-  for (const Impl& impl : design.impls()) {
+  for (const IrImpl& impl : module.impls) {
     if (impl.external) continue;
-    ImplChecker checker(design, impl, options, report, diags);
+    ImplChecker checker(module, impl, options, report, diags);
     checker.run();
   }
   return report;

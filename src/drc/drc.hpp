@@ -14,13 +14,18 @@
 //                         instance `out` on the left, self `out` or instance
 //                         `in` on the right).
 //  R4 clock domain      — both ports live in the same clock domain.
-//  R5 resolution        — every endpoint names an existing instance/port.
+//  R5 resolution        — every endpoint names an existing instance/port
+//                         (read off the IR's endpoint resolution status).
+//
+// The checker consumes the lowered ir::Module: endpoints arrive
+// pre-resolved to dense (instance, port) indices, usage counters are flat
+// vectors indexed by endpoint slot, and no string-keyed map is touched.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "src/elab/design.hpp"
+#include "src/ir/ir.hpp"
 #include "src/support/diagnostic.hpp"
 
 namespace tydi::drc {
@@ -57,9 +62,9 @@ struct DrcOptions {
   bool port_use_count_is_error = true;
 };
 
-/// Checks every non-external implementation of `design`. Violations are
-/// both returned and mirrored into `diags` (phase "drc").
-[[nodiscard]] DrcReport check(const elab::Design& design,
+/// Checks every non-external implementation of the lowered module.
+/// Violations are both returned and mirrored into `diags` (phase "drc").
+[[nodiscard]] DrcReport check(const ir::Module& module,
                               const DrcOptions& options,
                               support::DiagnosticEngine& diags);
 

@@ -1,13 +1,51 @@
 #include "src/driver/compiler.hpp"
 
 #include <chrono>
+#include <sstream>
 
-#include "src/elab/elaborator.hpp"
-#include "src/ir/ir.hpp"
 #include "src/parser/parser.hpp"
 #include "src/stdlib/stdlib.hpp"
 
 namespace tydi::driver {
+
+void PhaseTimings::add(std::string_view phase, double ms) {
+  for (Entry& e : entries_) {
+    if (e.phase == phase) {
+      e.ms += ms;
+      return;
+    }
+  }
+  entries_.push_back(Entry{std::string(phase), ms});
+}
+
+bool PhaseTimings::contains(std::string_view phase) const {
+  for (const Entry& e : entries_) {
+    if (e.phase == phase) return true;
+  }
+  return false;
+}
+
+double PhaseTimings::at(std::string_view phase) const {
+  for (const Entry& e : entries_) {
+    if (e.phase == phase) return e.ms;
+  }
+  return 0.0;
+}
+
+double PhaseTimings::total_ms() const {
+  double total = 0.0;
+  for (const Entry& e : entries_) total += e.ms;
+  return total;
+}
+
+std::string PhaseTimings::render() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out << " | ";
+    out << entries_[i].phase << " " << entries_[i].ms << "ms";
+  }
+  return out.str();
+}
 
 CompileResult::CompileResult()
     : sources(std::make_unique<support::SourceManager>()),
@@ -17,20 +55,20 @@ namespace {
 
 class PhaseTimer {
  public:
-  PhaseTimer(std::map<std::string, double>& out, std::string phase)
+  PhaseTimer(PhaseTimings& out, std::string phase)
       : out_(out),
         phase_(std::move(phase)),
         start_(std::chrono::steady_clock::now()) {}
   ~PhaseTimer() {
     auto end = std::chrono::steady_clock::now();
-    out_[phase_] +=
-        std::chrono::duration<double, std::milli>(end - start_).count();
+    out_.add(phase_,
+             std::chrono::duration<double, std::milli>(end - start_).count());
   }
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;
 
  private:
-  std::map<std::string, double>& out_;
+  PhaseTimings& out_;
   std::string phase_;
   std::chrono::steady_clock::time_point start_;
 };
@@ -65,6 +103,7 @@ CompileResult compile(const std::vector<NamedSource>& sources,
     elab::Elaborator elaborator(program, *result.diags);
     result.design = options.top.empty() ? elaborator.run_all()
                                         : elaborator.run(options.top);
+    result.template_cache = elaborator.stats();
   }
   if (result.diags->has_errors()) return result;
 
@@ -74,19 +113,25 @@ CompileResult compile(const std::vector<NamedSource>& sources,
         sugar::apply_sugaring(result.design, options.sugar, *result.diags);
   }
 
+  // Lower once, unconditionally: every backend (DRC, IR text, VHDL) and any
+  // caller-side consumer (e.g. the fletchgen manifest) reads result.ir.
+  {
+    PhaseTimer t(result.phase_ms, "lower");
+    result.ir = ir::lower(result.design);
+  }
+
   if (options.run_drc) {
     PhaseTimer t(result.phase_ms, "drc");
-    result.drc_report = drc::check(result.design, options.drc, *result.diags);
+    result.drc_report = drc::check(result.ir, options.drc, *result.diags);
   }
 
   if (options.emit_ir) {
     PhaseTimer t(result.phase_ms, "ir");
-    result.ir_text = ir::emit(result.design);
+    result.ir_text = ir::emit(result.ir);
   }
   if (options.emit_vhdl) {
     PhaseTimer t(result.phase_ms, "vhdl");
-    result.vhdl_text =
-        vhdl::emit(result.design, options.vhdl, *result.diags);
+    result.vhdl_text = vhdl::emit(result.ir, options.vhdl, *result.diags);
   }
   return result;
 }

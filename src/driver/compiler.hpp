@@ -1,20 +1,23 @@
 // Compiler driver — the full Fig. 3 pipeline behind one call:
 //
 //   sources -> parse -> elaborate (evaluation + code expansion) ->
-//   sugaring -> DRC -> Tydi-IR -> VHDL
+//   sugaring -> lower (Tydi-IR) -> DRC -> IR text -> VHDL
 //
 // This facade is the primary public API: examples, tests and benches all
-// compile through it. Phase timings are recorded for the compile-performance
+// compile through it. The design is lowered to ir::Module exactly once;
+// DRC, the IR text emitter and the VHDL backend all consume that module.
+// Phase timings are recorded in pipeline order for the compile-performance
 // bench.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/drc/drc.hpp"
 #include "src/elab/design.hpp"
+#include "src/elab/elaborator.hpp"
+#include "src/ir/ir.hpp"
 #include "src/sugar/sugar.hpp"
 #include "src/support/diagnostic.hpp"
 #include "src/support/source.hpp"
@@ -44,6 +47,38 @@ struct CompileOptions {
   vhdl::VhdlOptions vhdl;
 };
 
+/// Wall-clock per pipeline phase. Stored as an ordered vector of
+/// {phase, ms} so reports print in pipeline order (parse, elaborate, sugar,
+/// lower, drc, ir, vhdl) instead of the alphabetical order a
+/// std::map<std::string, double> imposed.
+class PhaseTimings {
+ public:
+  struct Entry {
+    std::string phase;
+    double ms = 0.0;
+  };
+
+  /// Accumulates `ms` into `phase`, appending on first sight (insertion
+  /// order is pipeline order because the driver times phases in order).
+  void add(std::string_view phase, double ms);
+
+  [[nodiscard]] bool contains(std::string_view phase) const;
+  /// Milliseconds recorded for `phase`; 0.0 when absent.
+  [[nodiscard]] double at(std::string_view phase) const;
+  [[nodiscard]] double total_ms() const;
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// "parse 0.12ms | elaborate 0.48ms | ..." in pipeline order.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 class CompileResult {
  public:
   CompileResult();
@@ -55,12 +90,19 @@ class CompileResult {
   elab::ProgramRef program;
   elab::Design design;
   sugar::SugarStats sugar_stats;
+  /// The lowered Tydi-IR — the backend contract. Populated once per compile
+  /// whenever elaboration (and sugaring) succeeded; DRC, the IR text
+  /// emitter, the VHDL backend and caller-side consumers (fletchgen
+  /// manifest) all read this module.
+  ir::Module ir;
   drc::DrcReport drc_report;
   std::string ir_text;
   std::string vhdl_text;
-  /// Wall-clock per phase, milliseconds: parse, elaborate, sugar, drc, ir,
-  /// vhdl.
-  std::map<std::string, double> phase_ms;
+  /// Wall-clock per phase in pipeline order: parse, elaborate, sugar,
+  /// lower, drc, ir, vhdl (phases that did not run are absent).
+  PhaseTimings phase_ms;
+  /// Template-instantiation cache counters of the elaborator.
+  elab::InstantiationStats template_cache;
 
   [[nodiscard]] bool success() const { return !diags->has_errors(); }
   /// Rendered diagnostics (errors, warnings, notes).

@@ -394,7 +394,13 @@ std::string Elaborator::elaborate_streamlet(
     const lang::StreamletDecl& decl, const std::vector<TemplateArgValue>& args,
     Loc use_loc) {
   std::string mangled = mangle(decl.name, args);
-  if (design_.find_streamlet(mangled) != nullptr) return mangled;
+  // Template-instantiation cache: monomorphisation is keyed by the mangled
+  // name's symbol; a hit skips re-elaboration entirely.
+  if (design_.find_streamlet(support::intern(mangled)) != nullptr) {
+    ++stats_.streamlet_hits;
+    return mangled;
+  }
+  ++stats_.streamlet_misses;
 
   if (args.size() != decl.params.size()) {
     diags_.error("elab",
@@ -536,7 +542,12 @@ std::string Elaborator::elaborate_impl(
     Loc use_loc) {
   std::string mangled = mangle(decl.name, args);
   const Symbol mangled_sym = support::intern(mangled);
-  if (design_.find_impl(mangled_sym) != nullptr) return mangled;
+  // Template-instantiation cache (see elaborate_streamlet).
+  if (design_.find_impl(mangled_sym) != nullptr) {
+    ++stats_.impl_hits;
+    return mangled;
+  }
+  ++stats_.impl_misses;
   if (impls_in_progress_.contains(mangled_sym)) {
     diags_.error("elab",
                  "recursive instantiation of impl '" + decl.name + "'",

@@ -25,6 +25,37 @@
 
 namespace tydi::elab {
 
+/// Counters of the template-instantiation cache: monomorphisation is
+/// memoized on the mangled name's interned symbol (a repeated
+/// streamlet/impl instantiation with identical evaluated arguments is an
+/// integer-keyed lookup, not a re-elaboration). Reported per compile by
+/// driver::CompileResult and by `bench_compile_perf --json`.
+struct InstantiationStats {
+  std::uint64_t streamlet_hits = 0;
+  std::uint64_t streamlet_misses = 0;
+  std::uint64_t impl_hits = 0;
+  std::uint64_t impl_misses = 0;
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return streamlet_hits + impl_hits;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return streamlet_misses + impl_misses;
+  }
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits() + misses();
+    return total == 0 ? 0.0 : static_cast<double>(hits()) / total;
+  }
+
+  InstantiationStats& operator+=(const InstantiationStats& o) {
+    streamlet_hits += o.streamlet_hits;
+    streamlet_misses += o.streamlet_misses;
+    impl_hits += o.impl_hits;
+    impl_misses += o.impl_misses;
+    return *this;
+  }
+};
+
 class Elaborator {
  public:
   Elaborator(ProgramRef program, support::DiagnosticEngine& diags);
@@ -36,6 +67,9 @@ class Elaborator {
   /// Elaborates every non-template impl in the program (used by tests and
   /// by library-wide checks); top is left empty unless `top_impl` is given.
   [[nodiscard]] Design run_all();
+
+  /// Template-instantiation cache counters accumulated by this elaborator.
+  [[nodiscard]] const InstantiationStats& stats() const { return stats_; }
 
  private:
   struct Context {
@@ -64,6 +98,7 @@ class Elaborator {
   std::unordered_map<Symbol, types::TypeRef> named_type_cache_;
   std::unordered_set<Symbol> resolving_types_;
   std::unordered_set<Symbol> impls_in_progress_;
+  InstantiationStats stats_;
 
   void build_registries();
   void evaluate_global_consts();

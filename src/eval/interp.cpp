@@ -3,6 +3,13 @@
 #include <cmath>
 #include <limits>
 
+// GCC's -Wmaybe-uninitialized fires a known false positive on std::variant
+// copies under optimization (PR105593 family); the Value variant returned
+// from eval_binary trips it. Silenced here so -Werror builds stay clean.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace tydi::eval {
 
 namespace {

@@ -42,4 +42,58 @@ std::string generate_interfaces(const std::vector<Schema>& schemas,
   return out;
 }
 
+namespace {
+
+constexpr std::string_view kReaderSuffix = "_reader_i";
+
+}  // namespace
+
+std::vector<ReaderInfo> readers_of(const ir::Module& module) {
+  std::vector<ReaderInfo> out;
+  for (const ir::IrImpl& impl : module.impls) {
+    if (!impl.external || !impl.name.ends_with(kReaderSuffix)) continue;
+    const ir::IrStreamlet* s = module.streamlet_of(impl);
+    if (s == nullptr) continue;
+    ReaderInfo info;
+    info.table = impl.name.substr(0, impl.name.size() - kReaderSuffix.size());
+    info.impl = impl.name;
+    info.ports.reserve(s->ports.size());
+    for (const ir::IrPort& p : s->ports) {
+      ReaderPort rp;
+      rp.column = p.name;
+      // Generated readers expose primary keys as input ports (Sec. VI).
+      rp.is_primary_key = (p.dir == lang::PortDir::kIn);
+      if (!p.layouts.empty()) {
+        const types::PhysicalStream& primary = p.layouts.front().stream;
+        rp.data_bits = primary.data_bits;
+        rp.dimension = primary.dimension;
+        rp.complexity = primary.complexity;
+      }
+      info.ports.push_back(std::move(rp));
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string generate_reader_manifest(const ir::Module& module) {
+  support::CodeWriter w;
+  std::vector<ReaderInfo> readers = readers_of(module);
+  w.line("# fletchgen reader manifest (recovered from Tydi-IR)");
+  w.line("# readers: " + std::to_string(readers.size()));
+  for (const ReaderInfo& r : readers) {
+    w.line();
+    w.open("reader " + r.table + " (impl " + r.impl + ") {");
+    for (const ReaderPort& p : r.ports) {
+      w.line("column " + p.column + ": " +
+             (p.is_primary_key ? "key_in" : "data_out") + ", bits=" +
+             std::to_string(p.data_bits) + ", d=" +
+             std::to_string(p.dimension) + ", c=" +
+             std::to_string(p.complexity) + ";");
+    }
+    w.close("}");
+  }
+  return w.take();
+}
+
 }  // namespace tydi::fletcher

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/fletcher/schema.hpp"
+#include "src/ir/ir.hpp"
 
 namespace tydi::fletcher {
 
@@ -38,5 +39,33 @@ struct FletchgenOptions {
 /// by query code: `t_<table>_<column>`.
 [[nodiscard]] std::string column_type_name(const Schema& schema,
                                            const Column& column);
+
+/// One reader recovered from the lowered IR: the external `<table>_reader_i`
+/// impl together with the physical widths of its column streams. This is
+/// the hand-off fletchgen needs to realize the memory-access hardware —
+/// recovered entirely from ir::Module (cached layouts, symbol lookups), the
+/// elaborated design is never re-traversed.
+struct ReaderPort {
+  std::string column;          ///< column/port name
+  bool is_primary_key = false; ///< input port (key lookups flow inward)
+  std::int64_t data_bits = 0;  ///< primary stream payload width
+  int dimension = 0;
+  int complexity = 1;
+};
+
+struct ReaderInfo {
+  std::string table;           ///< table name (impl name minus "_reader_i")
+  std::string impl;            ///< mangled impl name
+  std::vector<ReaderPort> ports;
+};
+
+/// Scans the module for external reader impls (`*_reader_i`). Deterministic:
+/// module table order.
+[[nodiscard]] std::vector<ReaderInfo> readers_of(const ir::Module& module);
+
+/// Fletchgen-style manifest of every reader in the module, one block per
+/// table with per-column physical widths (deterministic text; consumed by
+/// downstream tooling the way fletchgen consumes Arrow schemas).
+[[nodiscard]] std::string generate_reader_manifest(const ir::Module& module);
 
 }  // namespace tydi::fletcher

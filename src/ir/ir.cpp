@@ -1,45 +1,237 @@
 #include "src/ir/ir.hpp"
 
+#include "src/elab/design.hpp"
 #include "src/support/text.hpp"
 
 namespace tydi::ir {
 
+Index IrStreamlet::port_index(Symbol port_sym) const {
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].sym == port_sym) return static_cast<Index>(i);
+  }
+  return kNoIndex;
+}
+
+Index IrImpl::instance_index(Symbol instance_sym) const {
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (instances[i].sym == instance_sym) return static_cast<Index>(i);
+  }
+  return kNoIndex;
+}
+
+std::string IrEndpoint::display() const {
+  std::string port = port_sym != support::kNoSymbol
+                         ? support::symbol_name(port_sym)
+                         : std::string();
+  if (is_self()) return port;
+  return support::symbol_name(instance_sym) + "." + port;
+}
+
+const IrStreamlet* Module::find_streamlet(Symbol sym) const {
+  Index i = streamlet_index(sym);
+  return i != kNoIndex ? &streamlets[i] : nullptr;
+}
+
+const IrImpl* Module::find_impl(Symbol sym) const {
+  Index i = impl_index(sym);
+  return i != kNoIndex ? &impls[i] : nullptr;
+}
+
+Index Module::streamlet_index(Symbol sym) const {
+  auto it = streamlet_index_.find(sym);
+  return it != streamlet_index_.end() ? it->second : kNoIndex;
+}
+
+Index Module::impl_index(Symbol sym) const {
+  auto it = impl_index_.find(sym);
+  return it != impl_index_.end() ? it->second : kNoIndex;
+}
+
+const IrStreamlet* Module::streamlet_of(const IrImpl& impl) const {
+  return impl.streamlet != kNoIndex ? &streamlets[impl.streamlet] : nullptr;
+}
+
+const IrPort* Module::resolve(const IrImpl& impl,
+                              const IrEndpoint& ep) const {
+  if (!ep.ok()) return nullptr;
+  if (ep.is_self()) {
+    const IrStreamlet* s = streamlet_of(impl);
+    return s != nullptr ? &s->ports[ep.port] : nullptr;
+  }
+  const IrInstance& inst = impl.instances[ep.instance];
+  if (inst.impl == kNoIndex) return nullptr;
+  const IrStreamlet* s = streamlet_of(impls[inst.impl]);
+  return s != nullptr ? &s->ports[ep.port] : nullptr;
+}
+
+void Module::rebuild_index() {
+  streamlet_index_.clear();
+  impl_index_.clear();
+  streamlet_index_.reserve(streamlets.size());
+  impl_index_.reserve(impls.size());
+  for (std::size_t i = 0; i < streamlets.size(); ++i) {
+    streamlet_index_[streamlets[i].sym] = static_cast<Index>(i);
+  }
+  for (std::size_t i = 0; i < impls.size(); ++i) {
+    impl_index_[impls[i].sym] = static_cast<Index>(i);
+  }
+}
+
+namespace {
+
+IrTemplateArg lower_template_arg(const elab::TemplateArgValue& a) {
+  IrTemplateArg out;
+  out.display = a.display();
+  if (a.kind == elab::TemplateArgValue::Kind::kValue) {
+    if (a.value.is_int()) {
+      out.kind = IrTemplateArg::Kind::kInt;
+      out.int_value = a.value.as_int();
+    } else if (a.value.is_string()) {
+      out.kind = IrTemplateArg::Kind::kString;
+      out.string_value = a.value.as_string();
+    }
+  }
+  return out;
+}
+
+IrPort lower_port(const elab::Port& p) {
+  IrPort out;
+  out.sym = p.sym != support::kNoSymbol ? p.sym : support::intern(p.name);
+  out.name = p.name;
+  out.vhdl = support::sanitize_identifier(p.name);
+  out.dir = p.dir;
+  out.type = p.type;
+  out.type_display = p.type != nullptr ? p.type->to_display() : "<unresolved>";
+  out.clock_domain = p.clock_domain;
+  out.clock_sym = support::intern(p.clock_domain);
+  out.loc = p.loc;
+  if (p.type != nullptr && p.type->is_stream()) {
+    // Prefix "" gives each stream's suffix directly ("" for the primary
+    // stream, "__field..." for nested ones); consumers prepend their own
+    // prefixes, so the layout is computed once here and never again.
+    for (types::PhysicalStream& ps : types::physical_streams(p.type, "")) {
+      StreamLayout layout;
+      layout.suffix = ps.name;
+      layout.signals = ps.signals();
+      layout.stream = std::move(ps);
+      out.layouts.push_back(std::move(layout));
+    }
+  }
+  return out;
+}
+
+/// Resolves one endpoint of a connection inside `impl` to dense indices.
+IrEndpoint lower_endpoint(const Module& m, const IrImpl& impl,
+                          const elab::Endpoint& ep) {
+  IrEndpoint out;
+  out.loc = ep.loc;
+  out.port_sym = support::intern(ep.port);
+  if (ep.instance.empty()) {
+    if (impl.streamlet == kNoIndex) {
+      out.status = EndpointStatus::kUnknownStreamlet;
+      return out;
+    }
+    out.port = m.streamlets[impl.streamlet].port_index(out.port_sym);
+    if (out.port == kNoIndex) out.status = EndpointStatus::kUnknownPort;
+    return out;
+  }
+  out.instance_sym = support::intern(ep.instance);
+  out.instance = impl.instance_index(out.instance_sym);
+  if (out.instance == kNoIndex) {
+    out.status = EndpointStatus::kUnknownInstance;
+    return out;
+  }
+  const IrInstance& inst = impl.instances[out.instance];
+  Index child_streamlet =
+      inst.impl != kNoIndex ? m.impls[inst.impl].streamlet : kNoIndex;
+  if (child_streamlet == kNoIndex) {
+    out.status = EndpointStatus::kUnresolvedImpl;
+    return out;
+  }
+  out.port = m.streamlets[child_streamlet].port_index(out.port_sym);
+  if (out.port == kNoIndex) out.status = EndpointStatus::kUnknownPort;
+  return out;
+}
+
+}  // namespace
+
 Module lower(const elab::Design& design) {
   Module m;
-  m.top = design.top();
+  m.streamlets.reserve(design.streamlets().size());
+  m.impls.reserve(design.impls().size());
+
   for (const elab::Streamlet& s : design.streamlets()) {
     IrStreamlet is;
+    is.sym = s.sym != support::kNoSymbol ? s.sym : support::intern(s.name);
     is.name = s.name;
-    if (s.display_name != s.name) is.doc = s.display_name;
-    for (const elab::Port& p : s.ports) {
-      IrPort ip;
-      ip.name = p.name;
-      ip.direction = std::string(lang::to_string(p.dir));
-      ip.type = p.type != nullptr ? p.type->to_display() : "<unresolved>";
-      ip.clock_domain = p.clock_domain;
-      is.ports.push_back(std::move(ip));
-    }
+    is.display_name = s.display_name;
+    is.loc = s.loc;
+    is.ports.reserve(s.ports.size());
+    for (const elab::Port& p : s.ports) is.ports.push_back(lower_port(p));
     m.streamlets.push_back(std::move(is));
   }
+
+  // First pass: impl shells with instance references, so connection
+  // endpoints can resolve instances of any impl regardless of order.
   for (const elab::Impl& i : design.impls()) {
     IrImpl ii;
+    ii.sym = i.sym != support::kNoSymbol ? i.sym : support::intern(i.name);
     ii.name = i.name;
-    if (i.display_name != i.name) ii.doc = i.display_name;
-    ii.streamlet = i.streamlet_name;
+    ii.display_name = i.display_name;
+    ii.streamlet_sym = support::intern(i.streamlet_name);
     ii.external = i.external;
-    ii.template_family = i.template_name;
+    if (!i.template_name.empty()) {
+      ii.family_sym = support::intern(i.template_name);
+      ii.template_family = i.template_name;
+    }
+    ii.template_args.reserve(i.template_args.size());
     for (const elab::TemplateArgValue& a : i.template_args) {
-      ii.template_args.push_back(a.display());
+      ii.template_args.push_back(lower_template_arg(a));
     }
+    ii.instances.reserve(i.instances.size());
     for (const elab::Instance& inst : i.instances) {
-      ii.instances.push_back(IrInstance{inst.name, inst.impl_name});
-    }
-    for (const elab::Connection& c : i.connections) {
-      ii.connections.push_back(
-          IrConnection{c.src.display(), c.dst.display(), c.structural});
+      IrInstance ir_inst;
+      ir_inst.sym = support::intern(inst.name);
+      ir_inst.name = inst.name;
+      ir_inst.vhdl = support::sanitize_identifier(inst.name);
+      ir_inst.impl_sym = support::intern(inst.impl_name);
+      ir_inst.loc = inst.loc;
+      ii.instances.push_back(std::move(ir_inst));
     }
     ii.has_simulation = i.sim.has_value();
+    ii.loc = i.loc;
     m.impls.push_back(std::move(ii));
+  }
+  m.rebuild_index();
+
+  // Second pass: resolve every cross-reference to dense indices (all of
+  // them, before any endpoint is resolved — an endpoint may point at an
+  // instance of an impl that appears later in the table).
+  for (IrImpl& ii : m.impls) {
+    ii.streamlet = m.streamlet_index(ii.streamlet_sym);
+    for (IrInstance& inst : ii.instances) {
+      inst.impl = m.impl_index(inst.impl_sym);
+    }
+  }
+
+  // Third pass: lower connections with endpoint resolution baked in.
+  std::size_t impl_idx = 0;
+  for (const elab::Impl& i : design.impls()) {
+    IrImpl& ii = m.impls[impl_idx++];
+    ii.connections.reserve(i.connections.size());
+    for (const elab::Connection& c : i.connections) {
+      IrConnection ic;
+      ic.src = lower_endpoint(m, ii, c.src);
+      ic.dst = lower_endpoint(m, ii, c.dst);
+      ic.structural = c.structural;
+      ic.loc = c.loc;
+      ii.connections.push_back(std::move(ic));
+    }
+  }
+
+  if (!design.top().empty()) {
+    m.top_name = design.top();
+    m.top = m.impl_index(support::Interner::global().intern(design.top()));
   }
   return m;
 }
@@ -47,14 +239,15 @@ Module lower(const elab::Design& design) {
 std::string emit(const Module& module) {
   support::CodeWriter w;
   w.line("// Tydi-IR generated by tydi-cpp");
-  if (!module.top.empty()) w.line("// top: " + module.top);
+  if (!module.top_name.empty()) w.line("// top: " + module.top_name);
   w.line();
   for (const IrStreamlet& s : module.streamlets) {
-    if (!s.doc.empty()) w.line("// " + s.doc);
+    if (s.display_name != s.name) w.line("// " + s.display_name);
     w.open("streamlet " + s.name + " {");
     for (const IrPort& p : s.ports) {
-      std::string line =
-          "port " + p.name + ": " + p.direction + " " + p.type;
+      std::string line = "port " + p.name + ": " +
+                         std::string(lang::to_string(p.dir)) + " " +
+                         p.type_display;
       if (p.clock_domain != "default") {
         line += " @ " + p.clock_domain;
       }
@@ -65,14 +258,16 @@ std::string emit(const Module& module) {
     w.line();
   }
   for (const IrImpl& i : module.impls) {
-    if (!i.doc.empty()) w.line("// " + i.doc);
+    const IrStreamlet* s = module.streamlet_of(i);
+    const std::string streamlet_name =
+        s != nullptr ? s->name : support::symbol_name(i.streamlet_sym);
+    if (i.display_name != i.name) w.line("// " + i.display_name);
     if (i.external) {
-      std::string header =
-          "external impl " + i.name + " of " + i.streamlet;
+      std::string header = "external impl " + i.name + " of " + streamlet_name;
       if (!i.template_family.empty() && i.template_family != i.name) {
         header += " @generator(" + i.template_family;
-        for (const std::string& a : i.template_args) {
-          header += ", " + a;
+        for (const IrTemplateArg& a : i.template_args) {
+          header += ", " + a.display;
         }
         header += ")";
       }
@@ -82,12 +277,14 @@ std::string emit(const Module& module) {
       w.line();
       continue;
     }
-    w.open("impl " + i.name + " of " + i.streamlet + " {");
+    w.open("impl " + i.name + " of " + streamlet_name + " {");
     for (const IrInstance& inst : i.instances) {
-      w.line("instance " + inst.name + ": " + inst.impl + ";");
+      w.line("instance " + inst.name + ": " +
+             support::symbol_name(inst.impl_sym) + ";");
     }
     for (const IrConnection& c : i.connections) {
-      std::string line = "connect " + c.src + " -> " + c.dst;
+      std::string line = "connect " + c.src.display() + " -> " +
+                         c.dst.display();
       if (c.structural) line += " @structural";
       line += ";";
       w.line(line);

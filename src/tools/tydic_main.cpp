@@ -4,22 +4,26 @@
 //   tydic --top <impl> [options] file1.td [file2.td ...]
 //
 // Options:
-//   --top <name>       top-level impl to elaborate (required)
-//   --no-stdlib        do not prepend the standard library
-//   --no-sugar         disable duplicator/voider insertion
-//   --emit-ir <path>   write Tydi-IR (default: stdout)
-//   --emit-vhdl <path> write generated VHDL
-//   --summary          print the design inventory
+//   --top <name>           top-level impl to elaborate (required)
+//   --no-stdlib            do not prepend the standard library
+//   --no-sugar             disable duplicator/voider insertion
+//   --emit-ir <path>       write Tydi-IR (default: stdout)
+//   --emit-vhdl <path>     write generated VHDL
+//   --emit-manifest <path> write the fletchgen reader manifest
+//   --summary              print the design inventory
+//   --timings              print per-phase wall clock (pipeline order)
 #include <fstream>
 #include <iostream>
 
 #include "src/driver/compiler.hpp"
+#include "src/fletcher/fletchgen.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: tydic --top <impl> [--no-stdlib] [--no-sugar] "
-               "[--emit-ir <path>] [--emit-vhdl <path>] [--summary] "
+               "[--emit-ir <path>] [--emit-vhdl <path>] "
+               "[--emit-manifest <path>] [--summary] [--timings] "
                "<file.td>...\n";
   return 2;
 }
@@ -41,7 +45,9 @@ int main(int argc, char** argv) {
   std::vector<tydi::driver::NamedSource> sources;
   std::string ir_path;
   std::string vhdl_path;
+  std::string manifest_path;
   bool summary = false;
+  bool timings = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -62,8 +68,12 @@ int main(int argc, char** argv) {
       ir_path = next("--emit-ir");
     } else if (arg == "--emit-vhdl") {
       vhdl_path = next("--emit-vhdl");
+    } else if (arg == "--emit-manifest") {
+      manifest_path = next("--emit-manifest");
     } else if (arg == "--summary") {
       summary = true;
+    } else if (arg == "--timings") {
+      timings = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else {
@@ -85,6 +95,7 @@ int main(int argc, char** argv) {
     std::cerr << "compilation failed\n";
     return 1;
   }
+  if (timings) std::cerr << "phases: " << result.phase_ms.render() << "\n";
   if (summary) std::cout << result.design.summary();
   if (!ir_path.empty()) {
     if (!write_file(ir_path, result.ir_text)) return 1;
@@ -93,6 +104,12 @@ int main(int argc, char** argv) {
   }
   if (!vhdl_path.empty()) {
     if (!write_file(vhdl_path, result.vhdl_text)) return 1;
+  }
+  if (!manifest_path.empty()) {
+    if (!write_file(manifest_path,
+                    tydi::fletcher::generate_reader_manifest(result.ir))) {
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,42 +1,48 @@
 #include "src/vhdl/rtl_lib.hpp"
 
 #include <algorithm>
+#include <array>
 #include <functional>
-#include <map>
 
 #include "src/support/text.hpp"
-#include "src/types/physical.hpp"
 
 namespace tydi::vhdl {
 
-using elab::Impl;
-using elab::Port;
-using elab::Streamlet;
-using types::PhysicalStream;
+using ir::IrImpl;
+using ir::IrPort;
+using ir::IrStreamlet;
+using ir::IrTemplateArg;
+using ir::StreamLayout;
+using support::Symbol;
 
 namespace {
 
-/// Primary physical stream of one port, with its VHDL signal prefix.
+/// Primary physical stream of one port, read from the layout cached at
+/// lowering, with its VHDL signal prefix.
 struct PortSignals {
-  const Port* port = nullptr;
-  PhysicalStream stream;
+  const IrPort* port = nullptr;
+  const StreamLayout* layout = nullptr;
   std::string prefix;
 
   [[nodiscard]] std::string sig(const std::string& name) const {
     return prefix + "_" + name;
   }
-  [[nodiscard]] std::int64_t data_bits() const { return stream.data_bits; }
+  [[nodiscard]] std::int64_t data_bits() const {
+    return layout->stream.data_bits;
+  }
+  [[nodiscard]] std::int64_t last_bits() const {
+    return layout->stream.last_bits;
+  }
 };
 
-std::vector<PortSignals> ports_of(const Streamlet& s, lang::PortDir dir) {
+std::vector<PortSignals> ports_of(const IrStreamlet& s, lang::PortDir dir) {
   std::vector<PortSignals> out;
-  for (const Port& p : s.ports) {
-    if (p.dir != dir) continue;
+  for (const IrPort& p : s.ports) {
+    if (p.dir != dir || p.layouts.empty()) continue;
     PortSignals ps;
     ps.port = &p;
-    ps.prefix = support::sanitize_identifier(p.name);
-    auto streams = types::physical_streams(p.type, ps.prefix);
-    ps.stream = streams.front();
+    ps.layout = &p.layouts.front();
+    ps.prefix = p.vhdl;
     out.push_back(std::move(ps));
   }
   return out;
@@ -47,52 +53,52 @@ std::string vec(std::int64_t width) {
 }
 
 /// First int-valued template argument, or `fallback`.
-std::int64_t int_arg(const Impl& impl, std::int64_t fallback) {
-  for (const elab::TemplateArgValue& a : impl.template_args) {
-    if (a.kind == elab::TemplateArgValue::Kind::kValue && a.value.is_int()) {
-      return a.value.as_int();
-    }
+std::int64_t int_arg(const IrImpl& impl, std::int64_t fallback) {
+  for (const IrTemplateArg& a : impl.template_args) {
+    if (a.kind == IrTemplateArg::Kind::kInt) return a.int_value;
   }
   return fallback;
 }
 
 /// First string-valued template argument, or `fallback`.
-std::string string_arg(const Impl& impl, const std::string& fallback) {
-  for (const elab::TemplateArgValue& a : impl.template_args) {
-    if (a.kind == elab::TemplateArgValue::Kind::kValue &&
-        a.value.is_string()) {
-      return a.value.as_string();
-    }
+std::string string_arg(const IrImpl& impl, const std::string& fallback) {
+  for (const IrTemplateArg& a : impl.template_args) {
+    if (a.kind == IrTemplateArg::Kind::kString) return a.string_value;
   }
   return fallback;
 }
 
 /// All string-valued template arguments, in order.
-std::vector<std::string> string_args(const Impl& impl) {
+std::vector<std::string> string_args(const IrImpl& impl) {
   std::vector<std::string> out;
-  for (const elab::TemplateArgValue& a : impl.template_args) {
-    if (a.kind == elab::TemplateArgValue::Kind::kValue &&
-        a.value.is_string()) {
-      out.push_back(a.value.as_string());
-    }
+  for (const IrTemplateArg& a : impl.template_args) {
+    if (a.kind == IrTemplateArg::Kind::kString) out.push_back(a.string_value);
   }
   return out;
 }
 
-/// Maps a Tydi-lang comparison operator string to its VHDL spelling.
+/// Maps a Tydi-lang comparison operator string to its VHDL spelling (flat
+/// table — six entries do not need a map).
 std::string vhdl_compare_op(const std::string& op) {
-  static const std::map<std::string, std::string> table = {
-      {"==", "="}, {"!=", "/="}, {"<", "<"},
-      {"<=", "<="}, {">", ">"},  {">=", ">="}};
-  auto it = table.find(op);
-  return it != table.end() ? it->second : "=";
+  static constexpr std::array<std::pair<std::string_view, std::string_view>,
+                              6>
+      table{{{"==", "="},
+             {"!=", "/="},
+             {"<", "<"},
+             {"<=", "<="},
+             {">", ">"},
+             {">=", ">="}}};
+  for (const auto& [tydi_op, vhdl_op] : table) {
+    if (op == tydi_op) return std::string(vhdl_op);
+  }
+  return "=";
 }
 
 /// Copies every forward payload signal (everything except valid/ready) from
 /// `src` to `dst`; both carry the same logical type.
 void copy_payload(RtlBody& body, const PortSignals& src,
                   const PortSignals& dst) {
-  for (const types::PhysicalSignal& sig : src.stream.signals()) {
+  for (const types::PhysicalSignal& sig : src.layout->signals) {
     if (sig.name == "valid" || sig.name == "ready") continue;
     body.statements.push_back(dst.sig(sig.name) + " <= " + src.sig(sig.name) +
                               ";");
@@ -105,7 +111,7 @@ void copy_payload(RtlBody& body, const PortSignals& src,
 // Tydi-spec valid/ready protocol.
 // ---------------------------------------------------------------------------
 
-RtlBody gen_voider(const Impl&, const Streamlet& s) {
+RtlBody gen_voider(const IrImpl&, const IrStreamlet& s) {
   // Always-ready sink: acknowledges every packet and discards it (Sec. IV-C:
   // "voiders will remove all data packets by always acknowledging the source
   // component and ignoring the data").
@@ -119,7 +125,7 @@ RtlBody gen_voider(const Impl&, const Streamlet& s) {
   return body;
 }
 
-RtlBody gen_duplicator(const Impl&, const Streamlet& s) {
+RtlBody gen_duplicator(const IrImpl&, const IrStreamlet& s) {
   // Copies the input packet to every output and acknowledges the input only
   // once all outputs have accepted (Sec. IV-C).
   RtlBody body;
@@ -167,7 +173,7 @@ RtlBody gen_duplicator(const Impl&, const Streamlet& s) {
 /// Registered single-in single-out unit with a combinational datapath
 /// expression produced by `datapath(in, out)`.
 RtlBody gen_unary_pipe(
-    const Streamlet& s,
+    const IrStreamlet& s,
     const std::function<std::string(const PortSignals&, const PortSignals&)>&
         datapath) {
   RtlBody body;
@@ -180,9 +186,9 @@ RtlBody gen_unary_pipe(
   body.declarations.push_back("signal r_valid : std_logic;");
   body.declarations.push_back("signal r_data : " + vec(out.data_bits()) +
                               ";");
-  if (out.stream.last_bits > 0) {
-    body.declarations.push_back("signal r_last : " +
-                                vec(out.stream.last_bits) + ";");
+  if (out.last_bits() > 0) {
+    body.declarations.push_back("signal r_last : " + vec(out.last_bits()) +
+                                ";");
   }
 
   body.statements.push_back("datapath : process(clk)");
@@ -193,7 +199,7 @@ RtlBody gen_unary_pipe(
   body.statements.push_back("    elsif " + in.sig("valid") + " = '1' and " +
                             in.sig("ready") + " = '1' then");
   body.statements.push_back("      r_data <= " + datapath(in, out) + ";");
-  if (out.stream.last_bits > 0 && in.stream.last_bits > 0) {
+  if (out.last_bits() > 0 && in.last_bits() > 0) {
     body.statements.push_back("      r_last <= " + in.sig("last") + ";");
   }
   body.statements.push_back("      r_valid <= '1';");
@@ -204,7 +210,7 @@ RtlBody gen_unary_pipe(
   body.statements.push_back("end process datapath;");
   body.statements.push_back(out.sig("valid") + " <= r_valid;");
   body.statements.push_back(out.sig("data") + " <= r_data;");
-  if (out.stream.last_bits > 0) {
+  if (out.last_bits() > 0) {
     body.statements.push_back(out.sig("last") + " <= r_last;");
   }
   body.statements.push_back(in.sig("ready") + " <= (not r_valid) or " +
@@ -228,25 +234,25 @@ std::string half_op(const PortSignals& in, const PortSignals& out,
          " unsigned(" + lo + "), " + std::to_string(out.data_bits()) + "))";
 }
 
-RtlBody gen_adder(const Impl&, const Streamlet& s) {
+RtlBody gen_adder(const IrImpl&, const IrStreamlet& s) {
   return gen_unary_pipe(s, [](const PortSignals& in, const PortSignals& out) {
     return half_op(in, out, "+");
   });
 }
 
-RtlBody gen_subtractor(const Impl&, const Streamlet& s) {
+RtlBody gen_subtractor(const IrImpl&, const IrStreamlet& s) {
   return gen_unary_pipe(s, [](const PortSignals& in, const PortSignals& out) {
     return half_op(in, out, "-");
   });
 }
 
-RtlBody gen_multiplier(const Impl&, const Streamlet& s) {
+RtlBody gen_multiplier(const IrImpl&, const IrStreamlet& s) {
   return gen_unary_pipe(s, [](const PortSignals& in, const PortSignals& out) {
     return half_op(in, out, "*");
   });
 }
 
-RtlBody gen_comparator(const Impl& impl, const Streamlet& s) {
+RtlBody gen_comparator(const IrImpl& impl, const IrStreamlet& s) {
   std::string vop = vhdl_compare_op(string_arg(impl, "=="));
   return gen_unary_pipe(
       s, [vop](const PortSignals& in, const PortSignals& out) {
@@ -262,7 +268,7 @@ RtlBody gen_comparator(const Impl& impl, const Streamlet& s) {
       });
 }
 
-RtlBody gen_const_compare(const Impl& impl, const Streamlet& s) {
+RtlBody gen_const_compare(const IrImpl& impl, const IrStreamlet& s) {
   // Compares the input against a compile-time constant (e.g. the string
   // literals in `p_container in ('MED BAG', ...)`, Sec. IV-A).
   // const_compare_i carries (value: string, op: string); the integer
@@ -307,7 +313,7 @@ RtlBody gen_const_compare(const Impl& impl, const Streamlet& s) {
       out.sig("data") + " <= (0 => '1', others => '0') when unsigned(" +
       in.sig("data") + ") " + vop +
       " unsigned(c_operand) else (others => '0');");
-  if (out.stream.last_bits > 0 && in.stream.last_bits > 0) {
+  if (out.last_bits() > 0 && in.last_bits() > 0) {
     body.statements.push_back(out.sig("last") + " <= " + in.sig("last") +
                               ";");
   }
@@ -316,7 +322,7 @@ RtlBody gen_const_compare(const Impl& impl, const Streamlet& s) {
   return body;
 }
 
-RtlBody gen_filter(const Impl&, const Streamlet& s) {
+RtlBody gen_filter(const IrImpl&, const IrStreamlet& s) {
   // `filter<in, out, keep>`: forwards the data packet when the keep stream
   // carries 1, silently drops it when 0 (Sec. VI, TPC-H 19 walkthrough).
   RtlBody body;
@@ -350,7 +356,7 @@ RtlBody gen_filter(const Impl&, const Streamlet& s) {
   return body;
 }
 
-RtlBody gen_logic_reduce(const Impl&, const Streamlet& s,
+RtlBody gen_logic_reduce(const IrImpl&, const IrStreamlet& s,
                          const std::string& op) {
   // n-input logical and/or over single-bit streams with full
   // synchronization: fires when all inputs are valid.
@@ -370,7 +376,7 @@ RtlBody gen_logic_reduce(const Impl&, const Streamlet& s,
   body.statements.push_back("all_valid <= " + all_valid + ";");
   body.statements.push_back(out.sig("valid") + " <= all_valid;");
   body.statements.push_back(out.sig("data") + "(0) <= " + reduced + ";");
-  if (out.stream.last_bits > 0 && ins[0].stream.last_bits > 0) {
+  if (out.last_bits() > 0 && ins[0].last_bits() > 0) {
     body.statements.push_back(out.sig("last") + " <= " + ins[0].sig("last") +
                               ";");
   }
@@ -381,7 +387,7 @@ RtlBody gen_logic_reduce(const Impl&, const Streamlet& s,
   return body;
 }
 
-RtlBody gen_demux(const Impl&, const Streamlet& s) {
+RtlBody gen_demux(const IrImpl&, const IrStreamlet& s) {
   // Round-robin packet distributor: one input, n outputs.
   RtlBody body;
   auto ins = ports_of(s, lang::PortDir::kIn);
@@ -420,7 +426,7 @@ RtlBody gen_demux(const Impl&, const Streamlet& s) {
   return body;
 }
 
-RtlBody gen_mux(const Impl&, const Streamlet& s) {
+RtlBody gen_mux(const IrImpl&, const IrStreamlet& s) {
   // Round-robin packet collector: n inputs, one output (order-preserving
   // counterpart of gen_demux).
   RtlBody body;
@@ -438,7 +444,7 @@ RtlBody gen_mux(const Impl&, const Streamlet& s) {
                 " else " + valid_mux;
   }
   body.statements.push_back(out.sig("valid") + " <= " + valid_mux + ";");
-  for (const types::PhysicalSignal& sig : out.stream.signals()) {
+  for (const types::PhysicalSignal& sig : out.layout->signals) {
     if (sig.name == "valid" || sig.name == "ready") continue;
     std::string data_mux = "(others => '0')";
     for (std::size_t k = 0; k < n; ++k) {
@@ -467,7 +473,7 @@ RtlBody gen_mux(const Impl&, const Streamlet& s) {
   return body;
 }
 
-RtlBody gen_accumulator(const Impl&, const Streamlet& s) {
+RtlBody gen_accumulator(const IrImpl&, const IrStreamlet& s) {
   // Sums packets of a dimension-1 sequence and emits the total on `last`
   // (used for SQL aggregates such as `sum(...)`).
   RtlBody body;
@@ -492,7 +498,7 @@ RtlBody gen_accumulator(const Impl&, const Streamlet& s) {
   body.statements.push_back("      acc <= acc + resize(unsigned(" +
                             in.sig("data") + "), " + std::to_string(w) +
                             ");");
-  if (in.stream.last_bits > 0) {
+  if (in.last_bits() > 0) {
     body.statements.push_back("      total_valid <= " + in.sig("last") +
                               "(0);");
   } else {
@@ -508,7 +514,7 @@ RtlBody gen_accumulator(const Impl&, const Streamlet& s) {
   body.statements.push_back(out.sig("valid") + " <= total_valid;");
   body.statements.push_back(out.sig("data") +
                             " <= std_logic_vector(acc);");
-  if (out.stream.last_bits > 0) {
+  if (out.last_bits() > 0) {
     body.statements.push_back(out.sig("last") + " <= (others => '1');");
   }
   body.statements.push_back(in.sig("ready") + " <= not total_valid;");
@@ -516,7 +522,7 @@ RtlBody gen_accumulator(const Impl&, const Streamlet& s) {
 }
 
 /// Two-operand synchronized unit: fires when both inputs are valid.
-RtlBody gen_binary_op(const Streamlet& s, const std::string& op,
+RtlBody gen_binary_op(const IrStreamlet& s, const std::string& op,
                       bool is_compare) {
   RtlBody body;
   auto ins = ports_of(s, lang::PortDir::kIn);
@@ -541,7 +547,7 @@ RtlBody gen_binary_op(const Streamlet& s, const std::string& op,
         lhs.sig("data") + ") " + op + " unsigned(" + rhs.sig("data") + "), " +
         std::to_string(out.data_bits()) + "));");
   }
-  if (out.stream.last_bits > 0 && lhs.stream.last_bits > 0) {
+  if (out.last_bits() > 0 && lhs.last_bits() > 0) {
     body.statements.push_back(out.sig("last") + " <= " + lhs.sig("last") +
                               ";");
   }
@@ -552,15 +558,11 @@ RtlBody gen_binary_op(const Streamlet& s, const std::string& op,
   return body;
 }
 
-RtlBody gen_cmp2(const Impl& impl, const Streamlet& s) {
-  std::string op = string_arg(impl, "==");
-  std::map<std::string, std::string> vhdl_ops = {
-      {"==", "="}, {"!=", "/="}, {"<", "<"},
-      {"<=", "<="}, {">", ">"},  {">=", ">="}};
-  return gen_binary_op(s, vhdl_ops.contains(op) ? vhdl_ops[op] : "=", true);
+RtlBody gen_cmp2(const IrImpl& impl, const IrStreamlet& s) {
+  return gen_binary_op(s, vhdl_compare_op(string_arg(impl, "==")), true);
 }
 
-RtlBody gen_const_generator(const Impl& impl, const Streamlet& s) {
+RtlBody gen_const_generator(const IrImpl& impl, const IrStreamlet& s) {
   RtlBody body;
   auto outs = ports_of(s, lang::PortDir::kOut);
   if (outs.empty()) return body;
@@ -572,13 +574,13 @@ RtlBody gen_const_generator(const Impl& impl, const Streamlet& s) {
                             " <= std_logic_vector(to_unsigned(" +
                             std::to_string(value) + ", " + std::to_string(w) +
                             "));");
-  if (out.stream.last_bits > 0) {
+  if (out.last_bits() > 0) {
     body.statements.push_back(out.sig("last") + " <= (others => '0');");
   }
   return body;
 }
 
-RtlBody gen_group_split2(const Impl&, const Streamlet& s) {
+RtlBody gen_group_split2(const IrImpl&, const IrStreamlet& s) {
   // Slices the Group's packed data into its two field streams; the input
   // is acknowledged when both outputs accept (joint handshake).
   RtlBody body;
@@ -598,12 +600,12 @@ RtlBody gen_group_split2(const Impl&, const Streamlet& s) {
                             std::to_string(wb) + ");");
   body.statements.push_back(b.sig("data") + " <= " + in.sig("data") + "(" +
                             std::to_string(wb - 1) + " downto 0);");
-  if (in.stream.last_bits > 0) {
-    if (a.stream.last_bits > 0) {
+  if (in.last_bits() > 0) {
+    if (a.last_bits() > 0) {
       body.statements.push_back(a.sig("last") + " <= " + in.sig("last") +
                                 ";");
     }
-    if (b.stream.last_bits > 0) {
+    if (b.last_bits() > 0) {
       body.statements.push_back(b.sig("last") + " <= " + in.sig("last") +
                                 ";");
     }
@@ -613,7 +615,7 @@ RtlBody gen_group_split2(const Impl&, const Streamlet& s) {
   return body;
 }
 
-RtlBody gen_group_combine2(const Impl&, const Streamlet& s) {
+RtlBody gen_group_combine2(const IrImpl&, const IrStreamlet& s) {
   // Concatenates two field streams into the Group's packed data; fires when
   // both operands are present.
   RtlBody body;
@@ -630,7 +632,7 @@ RtlBody gen_group_combine2(const Impl&, const Streamlet& s) {
   body.statements.push_back(out.sig("valid") + " <= both_valid;");
   body.statements.push_back(out.sig("data") + " <= " + a.sig("data") +
                             " & " + b.sig("data") + ";");
-  if (out.stream.last_bits > 0 && a.stream.last_bits > 0) {
+  if (out.last_bits() > 0 && a.last_bits() > 0) {
     body.statements.push_back(out.sig("last") + " <= " + a.sig("last") +
                               ";");
   }
@@ -641,7 +643,7 @@ RtlBody gen_group_combine2(const Impl&, const Streamlet& s) {
   return body;
 }
 
-RtlBody gen_source(const Impl&, const Streamlet& s) {
+RtlBody gen_source(const IrImpl&, const IrStreamlet& s) {
   // Test stimulus source: free-running counter packets.
   RtlBody body;
   auto outs = ports_of(s, lang::PortDir::kOut);
@@ -653,7 +655,7 @@ RtlBody gen_source(const Impl&, const Streamlet& s) {
   body.statements.push_back(out.sig("valid") + " <= '1';");
   body.statements.push_back(out.sig("data") +
                             " <= std_logic_vector(counter);");
-  if (out.stream.last_bits > 0) {
+  if (out.last_bits() > 0) {
     body.statements.push_back(out.sig("last") + " <= (others => '0');");
   }
   body.statements.push_back("count : process(clk)");
@@ -669,62 +671,85 @@ RtlBody gen_source(const Impl&, const Streamlet& s) {
   return body;
 }
 
-RtlBody gen_sink(const Impl& impl, const Streamlet& s) {
+RtlBody gen_sink(const IrImpl& impl, const IrStreamlet& s) {
   return gen_voider(impl, s);
 }
 
-using Generator = RtlBody (*)(const Impl&, const Streamlet&);
+using Generator = RtlBody (*)(const IrImpl&, const IrStreamlet&);
 
-const std::map<std::string, Generator>& generator_table() {
-  static const std::map<std::string, Generator> table = {
-      {"voider_i", &gen_voider},
-      {"duplicator_i", &gen_duplicator},
-      {"adder_i", &gen_adder},
-      {"subtractor_i", &gen_subtractor},
-      {"multiplier_i", &gen_multiplier},
-      {"comparator_i", &gen_comparator},
-      {"const_compare_i", &gen_const_compare},
-      {"const_compare_int_i", &gen_const_compare},
-      {"add2_i",
-       [](const Impl&, const Streamlet& s) {
-         return gen_binary_op(s, "+", false);
-       }},
-      {"sub2_i",
-       [](const Impl&, const Streamlet& s) {
-         return gen_binary_op(s, "-", false);
-       }},
-      {"mul2_i",
-       [](const Impl&, const Streamlet& s) {
-         return gen_binary_op(s, "*", false);
-       }},
-      {"cmp2_i", &gen_cmp2},
-      {"group_split2_i", &gen_group_split2},
-      {"group_combine2_i", &gen_group_combine2},
-      {"filter_i", &gen_filter},
-      {"logic_and_i",
-       [](const Impl& impl, const Streamlet& s) {
-         return gen_logic_reduce(impl, s, "and");
-       }},
-      {"logic_or_i",
-       [](const Impl& impl, const Streamlet& s) {
-         return gen_logic_reduce(impl, s, "or");
-       }},
-      {"demux_i", &gen_demux},
-      {"mux_i", &gen_mux},
-      {"accumulator_i", &gen_accumulator},
-      {"const_generator_i", &gen_const_generator},
-      {"source_i", &gen_source},
-      {"sink_i", &gen_sink},
-  };
+struct FamilyEntry {
+  const char* name;
+  Generator generator;
+};
+
+/// Family names with generators, alphabetical (stdlib_rtl_families order).
+constexpr FamilyEntry kFamilies[] = {
+    {"accumulator_i", &gen_accumulator},
+    {"add2_i",
+     [](const IrImpl&, const IrStreamlet& s) {
+       return gen_binary_op(s, "+", false);
+     }},
+    {"adder_i", &gen_adder},
+    {"cmp2_i", &gen_cmp2},
+    {"comparator_i", &gen_comparator},
+    {"const_compare_i", &gen_const_compare},
+    {"const_compare_int_i", &gen_const_compare},
+    {"const_generator_i", &gen_const_generator},
+    {"demux_i", &gen_demux},
+    {"duplicator_i", &gen_duplicator},
+    {"filter_i", &gen_filter},
+    {"group_combine2_i", &gen_group_combine2},
+    {"group_split2_i", &gen_group_split2},
+    {"logic_and_i",
+     [](const IrImpl& impl, const IrStreamlet& s) {
+       return gen_logic_reduce(impl, s, "and");
+     }},
+    {"logic_or_i",
+     [](const IrImpl& impl, const IrStreamlet& s) {
+       return gen_logic_reduce(impl, s, "or");
+     }},
+    {"mul2_i",
+     [](const IrImpl&, const IrStreamlet& s) {
+       return gen_binary_op(s, "*", false);
+     }},
+    {"multiplier_i", &gen_multiplier},
+    {"mux_i", &gen_mux},
+    {"sink_i", &gen_sink},
+    {"source_i", &gen_source},
+    {"sub2_i",
+     [](const IrImpl&, const IrStreamlet& s) {
+       return gen_binary_op(s, "-", false);
+     }},
+    {"subtractor_i", &gen_subtractor},
+    {"voider_i", &gen_voider},
+};
+
+/// Symbol-keyed flat dispatch table, sorted by symbol for binary search
+/// (built once; replaces the old std::map<std::string, Generator>).
+const std::vector<std::pair<Symbol, Generator>>& generator_table() {
+  static const std::vector<std::pair<Symbol, Generator>> table = [] {
+    std::vector<std::pair<Symbol, Generator>> out;
+    out.reserve(std::size(kFamilies));
+    for (const FamilyEntry& f : kFamilies) {
+      out.emplace_back(support::intern(f.name), f.generator);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }();
   return table;
 }
 
 }  // namespace
 
-std::optional<RtlBody> generate_stdlib_rtl(const Impl& impl,
-                                           const Streamlet& streamlet) {
-  auto it = generator_table().find(impl.template_name);
-  if (it == generator_table().end()) return std::nullopt;
+std::optional<RtlBody> generate_stdlib_rtl(const IrImpl& impl,
+                                           const IrStreamlet& streamlet) {
+  if (impl.family_sym == support::kNoSymbol) return std::nullopt;
+  const auto& table = generator_table();
+  auto it = std::lower_bound(
+      table.begin(), table.end(), impl.family_sym,
+      [](const auto& entry, Symbol sym) { return entry.first < sym; });
+  if (it == table.end() || it->first != impl.family_sym) return std::nullopt;
   RtlBody body = it->second(impl, streamlet);
   if (body.statements.empty()) return std::nullopt;
   return body;
@@ -733,7 +758,8 @@ std::optional<RtlBody> generate_stdlib_rtl(const Impl& impl,
 const std::vector<std::string>& stdlib_rtl_families() {
   static const std::vector<std::string> families = [] {
     std::vector<std::string> out;
-    for (const auto& [name, gen] : generator_table()) out.push_back(name);
+    out.reserve(std::size(kFamilies));
+    for (const FamilyEntry& f : kFamilies) out.emplace_back(f.name);
     return out;
   }();
   return families;

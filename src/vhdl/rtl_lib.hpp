@@ -6,17 +6,18 @@
 //  generation process must be manually defined."
 //
 // Each stdlib template family (duplicator_i, voider_i, adder_i, ...) has a
-// manually written VHDL architecture generator keyed by the family name. The
-// generator receives the elaborated impl (with its evaluated template
+// manually written VHDL architecture generator keyed by the family's
+// interned symbol (flat sorted table, binary search — no string-keyed map).
+// The generator receives the lowered impl (with its evaluated template
 // arguments) and its streamlet, and produces the architecture declarations
-// and body.
+// and body from the physical layouts cached on the IR ports.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "src/elab/design.hpp"
+#include "src/ir/ir.hpp"
 
 namespace tydi::vhdl {
 
@@ -29,7 +30,7 @@ struct RtlBody {
 /// Returns the behavioural body for a known stdlib family, or nullopt if the
 /// family has no hard-coded generator (the impl is then a black box).
 [[nodiscard]] std::optional<RtlBody> generate_stdlib_rtl(
-    const elab::Impl& impl, const elab::Streamlet& streamlet);
+    const ir::IrImpl& impl, const ir::IrStreamlet& streamlet);
 
 /// The list of template families with a hard-coded generator.
 [[nodiscard]] const std::vector<std::string>& stdlib_rtl_families();

@@ -1,23 +1,22 @@
 #include "src/vhdl/vhdl.hpp"
 
-#include <map>
-
 #include "src/support/text.hpp"
-#include "src/types/physical.hpp"
 #include "src/vhdl/rtl_lib.hpp"
 
 namespace tydi::vhdl {
 
-using elab::Connection;
-using elab::Design;
-using elab::Endpoint;
-using elab::Impl;
-using elab::Instance;
-using elab::Port;
-using elab::Streamlet;
+using ir::Index;
+using ir::IrConnection;
+using ir::IrEndpoint;
+using ir::IrImpl;
+using ir::IrInstance;
+using ir::IrPort;
+using ir::IrStreamlet;
+using ir::kNoIndex;
+using ir::Module;
+using ir::StreamLayout;
 using support::CodeWriter;
 using types::PhysicalSignal;
-using types::PhysicalStream;
 
 std::string vhdl_name(std::string_view name) {
   return support::sanitize_identifier(name);
@@ -31,38 +30,41 @@ std::string signal_type(const PhysicalSignal& sig) {
   return "std_logic_vector(" + std::to_string(sig.width - 1) + " downto 0)";
 }
 
-/// Physical streams of one logical port (throws only on non-stream types,
-/// which elaboration already rejects).
-std::vector<PhysicalStream> streams_of(const Port& p) {
-  return types::physical_streams(p.type, vhdl_name(p.name));
-}
-
 /// VHDL direction of a physical signal on an entity port: forward signals
 /// follow the port direction, ready runs opposite; Reverse streams flip.
-std::string port_mode(const Port& p, const PhysicalStream& ps,
+std::string port_mode(const IrPort& p, const StreamLayout& layout,
                       const PhysicalSignal& sig) {
   bool forward_is_in = (p.dir == lang::PortDir::kIn);
-  if (ps.direction == lang::StreamDir::kReverse) forward_is_in = !forward_is_in;
+  if (layout.stream.direction == lang::StreamDir::kReverse) {
+    forward_is_in = !forward_is_in;
+  }
   bool is_in = sig.reverse ? !forward_is_in : forward_is_in;
   return is_in ? "in" : "out";
 }
 
+/// Port list shared by entity and component declarations, built from the
+/// layouts cached at lowering (no physical_streams() recomputation).
+std::vector<std::string> port_lines(const IrStreamlet& streamlet) {
+  std::vector<std::string> lines;
+  for (const IrPort& p : streamlet.ports) {
+    for (const StreamLayout& layout : p.layouts) {
+      for (const PhysicalSignal& sig : layout.signals) {
+        lines.push_back(p.vhdl + layout.suffix + "_" + sig.name + " : " +
+                        port_mode(p, layout, sig) + " " + signal_type(sig));
+      }
+    }
+  }
+  return lines;
+}
+
 /// Emits `entity <name> is port (...); end <name>;`.
 void emit_entity(CodeWriter& w, const std::string& name,
-                 const Streamlet& streamlet) {
+                 const IrStreamlet& streamlet) {
   w.open("entity " + name + " is");
   w.open("port (");
   w.line("clk : in std_logic;");
   w.line("rst : in std_logic;");
-  std::vector<std::string> lines;
-  for (const Port& p : streamlet.ports) {
-    for (const PhysicalStream& ps : streams_of(p)) {
-      for (const PhysicalSignal& sig : ps.signals()) {
-        lines.push_back(ps.name + "_" + sig.name + " : " +
-                        port_mode(p, ps, sig) + " " + signal_type(sig));
-      }
-    }
-  }
+  std::vector<std::string> lines = port_lines(streamlet);
   for (std::size_t i = 0; i < lines.size(); ++i) {
     w.line(lines[i] + (i + 1 < lines.size() ? ";" : ""));
   }
@@ -72,20 +74,12 @@ void emit_entity(CodeWriter& w, const std::string& name,
 
 /// Emits a component declaration matching emit_entity's port list.
 void emit_component_decl(CodeWriter& w, const std::string& name,
-                         const Streamlet& streamlet) {
+                         const IrStreamlet& streamlet) {
   w.open("component " + name + " is");
   w.open("port (");
   w.line("clk : in std_logic;");
   w.line("rst : in std_logic;");
-  std::vector<std::string> lines;
-  for (const Port& p : streamlet.ports) {
-    for (const PhysicalStream& ps : streams_of(p)) {
-      for (const PhysicalSignal& sig : ps.signals()) {
-        lines.push_back(ps.name + "_" + sig.name + " : " +
-                        port_mode(p, ps, sig) + " " + signal_type(sig));
-      }
-    }
-  }
+  std::vector<std::string> lines = port_lines(streamlet);
   for (std::size_t i = 0; i < lines.size(); ++i) {
     w.line(lines[i] + (i + 1 < lines.size() ? ";" : ""));
   }
@@ -93,19 +87,11 @@ void emit_component_decl(CodeWriter& w, const std::string& name,
   w.close("end component;");
 }
 
-/// Bundle prefix for an endpoint: entity ports use their own names;
-/// instance ports use a declared internal signal bundle.
-std::string bundle_prefix(const Endpoint& ep) {
-  if (ep.instance.empty()) return vhdl_name(ep.port);
-  return "sig_" + vhdl_name(ep.instance) + "_" + vhdl_name(ep.port);
-}
-
 class ArchitectureEmitter {
  public:
-  ArchitectureEmitter(CodeWriter& w, const Design& design, const Impl& impl,
-                      const Streamlet& self,
+  ArchitectureEmitter(CodeWriter& w, const Module& module, const IrImpl& impl,
                       support::DiagnosticEngine& diags)
-      : w_(w), design_(design), impl_(impl), self_(self), diags_(diags) {}
+      : w_(w), module_(module), impl_(impl), diags_(diags) {}
 
   void emit_structural() {
     w_.open("architecture structural of " + vhdl_name(impl_.name) + " is");
@@ -120,33 +106,46 @@ class ArchitectureEmitter {
 
  private:
   CodeWriter& w_;
-  const Design& design_;
-  const Impl& impl_;
-  const Streamlet& self_;
+  const Module& module_;
+  const IrImpl& impl_;
   support::DiagnosticEngine& diags_;
 
-  [[nodiscard]] const Streamlet* child_streamlet(
-      const Instance& inst) const {
-    const Impl* child = design_.find_impl(inst.impl_name);
-    return child != nullptr ? design_.streamlet_of(*child) : nullptr;
+  [[nodiscard]] const IrStreamlet* child_streamlet(
+      const IrInstance& inst) const {
+    if (inst.impl == kNoIndex) return nullptr;
+    return module_.streamlet_of(module_.impls[inst.impl]);
+  }
+
+  /// Signal bundle prefix of an instance port.
+  [[nodiscard]] static std::string sig_prefix(const IrInstance& inst,
+                                              const IrPort& p) {
+    return "sig_" + inst.vhdl + "_" + p.vhdl;
+  }
+
+  /// Bundle prefix for a resolved endpoint: entity ports use their own
+  /// names; instance ports use a declared internal signal bundle.
+  [[nodiscard]] std::string bundle_prefix(const IrEndpoint& ep,
+                                          const IrPort& port) const {
+    if (ep.is_self()) return port.vhdl;
+    return sig_prefix(impl_.instances[ep.instance], port);
   }
 
   void emit_component_decls() {
-    // One declaration per distinct child implementation.
-    std::map<std::string, const Streamlet*> components;
-    for (const Instance& inst : impl_.instances) {
-      const Streamlet* cs = child_streamlet(inst);
-      if (cs != nullptr) components.emplace(inst.impl_name, cs);
-    }
-    for (const auto& [impl_name, streamlet] : components) {
-      emit_component_decl(w_, vhdl_name(impl_name), *streamlet);
+    // One declaration per distinct child implementation, first-seen order
+    // (flat per-impl bitmap, not a string-keyed map).
+    std::vector<bool> declared(module_.impls.size(), false);
+    for (const IrInstance& inst : impl_.instances) {
+      const IrStreamlet* cs = child_streamlet(inst);
+      if (cs == nullptr || declared[inst.impl]) continue;
+      declared[inst.impl] = true;
+      emit_component_decl(w_, vhdl_name(module_.impls[inst.impl].name), *cs);
     }
   }
 
   void emit_signal_decls() {
     // One signal bundle per instance port; entity ports are used directly.
-    for (const Instance& inst : impl_.instances) {
-      const Streamlet* cs = child_streamlet(inst);
+    for (const IrInstance& inst : impl_.instances) {
+      const IrStreamlet* cs = child_streamlet(inst);
       if (cs == nullptr) {
         diags_.warning("vhdl",
                        "instance '" + inst.name +
@@ -154,14 +153,12 @@ class ArchitectureEmitter {
                        inst.loc);
         continue;
       }
-      for (const Port& p : cs->ports) {
-        std::string prefix =
-            "sig_" + vhdl_name(inst.name) + "_" + vhdl_name(p.name);
-        for (const PhysicalStream& ps :
-             types::physical_streams(p.type, prefix)) {
-          for (const PhysicalSignal& sig : ps.signals()) {
-            w_.line("signal " + ps.name + "_" + sig.name + " : " +
-                    signal_type(sig) + ";");
+      for (const IrPort& p : cs->ports) {
+        std::string prefix = sig_prefix(inst, p);
+        for (const StreamLayout& layout : p.layouts) {
+          for (const PhysicalSignal& sig : layout.signals) {
+            w_.line("signal " + prefix + layout.suffix + "_" + sig.name +
+                    " : " + signal_type(sig) + ";");
           }
         }
       }
@@ -169,26 +166,21 @@ class ArchitectureEmitter {
   }
 
   void emit_instantiations() {
-    for (const Instance& inst : impl_.instances) {
-      const Streamlet* cs = child_streamlet(inst);
+    for (const IrInstance& inst : impl_.instances) {
+      const IrStreamlet* cs = child_streamlet(inst);
       if (cs == nullptr) continue;
-      w_.open("u_" + vhdl_name(inst.name) + " : " +
-              vhdl_name(inst.impl_name));
+      w_.open("u_" + inst.vhdl + " : " +
+              vhdl_name(module_.impls[inst.impl].name));
       w_.open("port map (");
       std::vector<std::string> maps;
       maps.push_back("clk => clk");
       maps.push_back("rst => rst");
-      for (const Port& p : cs->ports) {
-        std::string formal_prefix = vhdl_name(p.name);
-        std::string actual_prefix =
-            "sig_" + vhdl_name(inst.name) + "_" + vhdl_name(p.name);
-        auto formal_streams = types::physical_streams(p.type, formal_prefix);
-        auto actual_streams = types::physical_streams(p.type, actual_prefix);
-        for (std::size_t s = 0; s < formal_streams.size(); ++s) {
-          auto sigs = formal_streams[s].signals();
-          for (const PhysicalSignal& sig : sigs) {
-            maps.push_back(formal_streams[s].name + "_" + sig.name + " => " +
-                           actual_streams[s].name + "_" + sig.name);
+      for (const IrPort& p : cs->ports) {
+        std::string actual_prefix = sig_prefix(inst, p);
+        for (const StreamLayout& layout : p.layouts) {
+          for (const PhysicalSignal& sig : layout.signals) {
+            maps.push_back(p.vhdl + layout.suffix + "_" + sig.name + " => " +
+                           actual_prefix + layout.suffix + "_" + sig.name);
           }
         }
       }
@@ -201,9 +193,9 @@ class ArchitectureEmitter {
   }
 
   void emit_connection_wiring() {
-    for (const Connection& c : impl_.connections) {
-      const Port* src_port = design_.resolve_endpoint(impl_, c.src);
-      const Port* dst_port = design_.resolve_endpoint(impl_, c.dst);
+    for (const IrConnection& c : impl_.connections) {
+      const IrPort* src_port = module_.resolve(impl_, c.src);
+      const IrPort* dst_port = module_.resolve(impl_, c.dst);
       if (src_port == nullptr || dst_port == nullptr) {
         diags_.warning("vhdl",
                        "unresolved connection " + c.src.display() + " => " +
@@ -211,20 +203,22 @@ class ArchitectureEmitter {
                        c.loc);
         continue;
       }
-      std::string src_prefix = bundle_prefix(c.src);
-      std::string dst_prefix = bundle_prefix(c.dst);
-      auto src_streams = types::physical_streams(src_port->type, src_prefix);
-      auto dst_streams = types::physical_streams(dst_port->type, dst_prefix);
-      if (src_streams.size() != dst_streams.size()) continue;  // DRC reported
+      const auto& src_layouts = src_port->layouts;
+      const auto& dst_layouts = dst_port->layouts;
+      if (src_layouts.size() != dst_layouts.size()) continue;  // DRC reported
+      std::string src_prefix = bundle_prefix(c.src, *src_port);
+      std::string dst_prefix = bundle_prefix(c.dst, *dst_port);
       w_.line("-- " + c.src.display() + " => " + c.dst.display());
-      for (std::size_t s = 0; s < src_streams.size(); ++s) {
-        auto src_sigs = src_streams[s].signals();
-        auto dst_sigs = dst_streams[s].signals();
+      for (std::size_t s = 0; s < src_layouts.size(); ++s) {
+        const auto& src_sigs = src_layouts[s].signals;
+        const auto& dst_sigs = dst_layouts[s].signals;
         for (std::size_t k = 0;
              k < src_sigs.size() && k < dst_sigs.size(); ++k) {
           const PhysicalSignal& sig = src_sigs[k];
-          std::string src_sig = src_streams[s].name + "_" + sig.name;
-          std::string dst_sig = dst_streams[s].name + "_" + sig.name;
+          std::string src_sig =
+              src_prefix + src_layouts[s].suffix + "_" + sig.name;
+          std::string dst_sig =
+              dst_prefix + dst_layouts[s].suffix + "_" + sig.name;
           if (sig.reverse) {
             // ready flows sink -> source.
             w_.line(src_sig + " <= " + dst_sig + ";");
@@ -237,8 +231,8 @@ class ArchitectureEmitter {
   }
 };
 
-void emit_external_architecture(CodeWriter& w, const Impl& impl,
-                                const Streamlet& streamlet,
+void emit_external_architecture(CodeWriter& w, const IrImpl& impl,
+                                const IrStreamlet& streamlet,
                                 const VhdlOptions& options,
                                 support::DiagnosticEngine& diags) {
   std::optional<RtlBody> body;
@@ -254,12 +248,12 @@ void emit_external_architecture(CodeWriter& w, const Impl& impl,
     w.line("-- its behaviour is characterized by the Tydi simulation code "
            "and verified via generated testbenches.");
     w.close("end architecture blackbox;");
-    if (!impl.template_name.empty()) {
+    if (!impl.template_family.empty()) {
       diags.note("vhdl",
                  "external impl '" + impl.display_name +
                      "' emitted as black box (no stdlib RTL generator for "
                      "family '" +
-                     impl.template_name + "')",
+                     impl.template_family + "')",
                  impl.loc);
     }
     return;
@@ -274,16 +268,16 @@ void emit_external_architecture(CodeWriter& w, const Impl& impl,
 
 }  // namespace
 
-std::string emit(const Design& design, const VhdlOptions& options,
+std::string emit(const Module& module, const VhdlOptions& options,
                  support::DiagnosticEngine& diags) {
   CodeWriter w;
   if (options.emit_header) {
     w.line("-- VHDL generated by tydi-cpp (Tydi-IR backend)");
-    if (!design.top().empty()) w.line("-- top: " + design.top());
+    if (!module.top_name.empty()) w.line("-- top: " + module.top_name);
     w.line();
   }
-  for (const Impl& impl : design.impls()) {
-    const Streamlet* s = design.streamlet_of(impl);
+  for (const IrImpl& impl : module.impls) {
+    const IrStreamlet* s = module.streamlet_of(impl);
     if (s == nullptr) {
       diags.warning("vhdl",
                     "impl '" + impl.name +
@@ -301,7 +295,7 @@ std::string emit(const Design& design, const VhdlOptions& options,
     if (impl.external) {
       emit_external_architecture(w, impl, *s, options, diags);
     } else {
-      ArchitectureEmitter arch(w, design, impl, *s, diags);
+      ArchitectureEmitter arch(w, module, impl, diags);
       arch.emit_structural();
     }
     w.line();

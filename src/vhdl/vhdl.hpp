@@ -1,7 +1,11 @@
 // Tydi-IR -> VHDL backend.
 //
 // In the paper this is a separate project; here it is implemented in full so
-// Table IV can be regenerated. For every implementation we emit one
+// Table IV can be regenerated. The backend consumes the lowered ir::Module
+// (never elab::Design): ports arrive with their physical stream layouts
+// precomputed at lowering, connection endpoints are pre-resolved dense
+// indices, and component dedup uses a flat per-impl bitmap instead of a
+// string-keyed map. For every implementation we emit one
 // entity/architecture pair:
 //
 //  - The entity expands each logical port into its physical stream signals
@@ -18,7 +22,7 @@
 
 #include <string>
 
-#include "src/elab/design.hpp"
+#include "src/ir/ir.hpp"
 #include "src/support/diagnostic.hpp"
 
 namespace tydi::vhdl {
@@ -31,9 +35,9 @@ struct VhdlOptions {
   bool generate_stdlib_rtl = true;
 };
 
-/// Emits the whole design as one VHDL file (deterministic order: design
-/// insertion order, children before parents).
-[[nodiscard]] std::string emit(const elab::Design& design,
+/// Emits the whole lowered design as one VHDL file (deterministic order:
+/// module table order, children before parents).
+[[nodiscard]] std::string emit(const ir::Module& module,
                                const VhdlOptions& options,
                                support::DiagnosticEngine& diags);
 

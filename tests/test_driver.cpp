@@ -7,7 +7,9 @@
 #include <sstream>
 
 #include "src/driver/compiler.hpp"
+#include "src/ir/ir.hpp"
 #include "src/sim/engine.hpp"
+#include "src/support/intern.hpp"
 
 namespace tydi {
 namespace {
@@ -25,11 +27,60 @@ TEST(Driver, PhaseTimingsRecorded) {
   options.top = "top";
   auto result = driver::compile_source(std::string(kGood), options);
   ASSERT_TRUE(result.success()) << result.report();
-  for (const char* phase : {"parse", "elaborate", "sugar", "drc", "ir",
-                            "vhdl"}) {
+  for (const char* phase : {"parse", "elaborate", "sugar", "lower", "drc",
+                            "ir", "vhdl"}) {
     EXPECT_TRUE(result.phase_ms.contains(phase)) << phase;
     EXPECT_GE(result.phase_ms.at(phase), 0.0);
   }
+}
+
+TEST(Driver, PhaseTimingsInPipelineOrder) {
+  driver::CompileOptions options;
+  options.top = "top";
+  auto result = driver::compile_source(std::string(kGood), options);
+  ASSERT_TRUE(result.success()) << result.report();
+  std::vector<std::string> order;
+  for (const auto& e : result.phase_ms.entries()) order.push_back(e.phase);
+  std::vector<std::string> expected = {"parse", "elaborate", "sugar",
+                                       "lower", "drc", "ir", "vhdl"};
+  EXPECT_EQ(order, expected);
+  EXPECT_GE(result.phase_ms.total_ms(), 0.0);
+  EXPECT_NE(result.phase_ms.render().find("parse"), std::string::npos);
+}
+
+TEST(Driver, LoweredModulePopulatedOnce) {
+  driver::CompileOptions options;
+  options.top = "top";
+  auto result = driver::compile_source(std::string(kGood), options);
+  ASSERT_TRUE(result.success()) << result.report();
+  EXPECT_EQ(result.ir.top_name, "top");
+  EXPECT_NE(result.ir.find_impl(support::intern("top")), nullptr);
+  // The IR text is emitted from the stored module.
+  EXPECT_EQ(result.ir_text, ir::emit(result.ir));
+}
+
+TEST(Driver, TemplateCacheStatsReported) {
+  // voider_i<type t> is instantiated twice with the same argument: the
+  // second instantiation must hit the template cache.
+  driver::CompileOptions options;
+  options.top = "top";
+  options.drc.port_use_count_is_error = false;
+  auto result = driver::compile_source(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet s { a: t in, b: t in, }
+impl top of s {
+  instance v1(voider_i<type t>),
+  instance v2(voider_i<type t>),
+  a => v1.in_,
+  b => v2.in_,
+}
+)",
+                                       options);
+  ASSERT_TRUE(result.success()) << result.report();
+  EXPECT_GE(result.template_cache.impl_hits, 1u);
+  EXPECT_GE(result.template_cache.impl_misses, 1u);
+  EXPECT_GT(result.template_cache.hit_rate(), 0.0);
+  EXPECT_LT(result.template_cache.hit_rate(), 1.0);
 }
 
 TEST(Driver, EmitFlagsControlOutputs) {

@@ -36,7 +36,9 @@ TEST(Ir, LowerCapturesEverything) {
   auto result = compile(kSmallDesign, "top");
   ASSERT_TRUE(result.success()) << result.report();
   ir::Module module = ir::lower(result.design);
-  EXPECT_EQ(module.top, "top");
+  EXPECT_EQ(module.top_name, "top");
+  ASSERT_NE(module.top, ir::kNoIndex);
+  EXPECT_EQ(module.impls[module.top].name, "top");
   EXPECT_GE(module.streamlets.size(), 2u);
   bool found_top = false;
   for (const ir::IrImpl& impl : module.impls) {
@@ -51,6 +53,53 @@ TEST(Ir, LowerCapturesEverything) {
     }
   }
   EXPECT_TRUE(found_top);
+}
+
+TEST(Ir, SymbolIndexesAndResolvedEndpoints) {
+  auto result = compile(kSmallDesign, "top");
+  ASSERT_TRUE(result.success()) << result.report();
+  const ir::Module& module = result.ir;
+
+  // Symbol-keyed flat lookup finds the top impl and its streamlet.
+  const ir::IrImpl* top = module.find_impl(support::intern("top"));
+  ASSERT_NE(top, nullptr);
+  const ir::IrStreamlet* top_s = module.streamlet_of(*top);
+  ASSERT_NE(top_s, nullptr);
+  EXPECT_EQ(top_s->name, "top_s");
+  EXPECT_EQ(top_s->port_index(support::intern("x")), 0u);
+  EXPECT_EQ(top_s->port_index(support::intern("nope")), ir::kNoIndex);
+
+  // Instances reference their impls by dense index.
+  ASSERT_EQ(top->instances.size(), 2u);
+  for (const ir::IrInstance& inst : top->instances) {
+    ASSERT_NE(inst.impl, ir::kNoIndex);
+    EXPECT_EQ(module.impls[inst.impl].name, "stage");
+  }
+
+  // Every connection endpoint was resolved at lowering time.
+  for (const ir::IrConnection& c : top->connections) {
+    EXPECT_TRUE(c.src.ok()) << c.src.display();
+    EXPECT_TRUE(c.dst.ok()) << c.dst.display();
+    EXPECT_NE(module.resolve(*top, c.src), nullptr);
+    EXPECT_NE(module.resolve(*top, c.dst), nullptr);
+  }
+}
+
+TEST(Ir, PortsCarryCachedPhysicalLayouts) {
+  auto result = compile(kSmallDesign, "top");
+  ASSERT_TRUE(result.success()) << result.report();
+  const ir::IrImpl* top = result.ir.find_impl(support::intern("top"));
+  ASSERT_NE(top, nullptr);
+  const ir::IrStreamlet* s = result.ir.streamlet_of(*top);
+  ASSERT_NE(s, nullptr);
+  for (const ir::IrPort& p : s->ports) {
+    ASSERT_FALSE(p.layouts.empty()) << p.name;
+    const ir::StreamLayout& primary = p.layouts.front();
+    EXPECT_EQ(primary.suffix, "");  // primary stream, relative naming
+    EXPECT_EQ(primary.stream.data_bits, 8);
+    EXPECT_FALSE(primary.signals.empty());
+    EXPECT_EQ(primary.signals[0].name, "valid");
+  }
 }
 
 TEST(Ir, EmissionIsDeterministic) {
