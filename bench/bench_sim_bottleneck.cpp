@@ -18,7 +18,9 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "bench/bench_json.hpp"
 #include "src/driver/compiler.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/metrics.hpp"
@@ -180,25 +182,26 @@ int run_perf_json(const char* path) {
   (void)measure_events_per_sec(2000);
   PerfNumbers perf = measure_events_per_sec(20000);
   double baseline = kPreRefactorEventsPerSec;
-  std::ofstream out(path);
-  if (!out) {
+  std::ostringstream out;
+  out << "  {\n"
+      << "    \"benchmark\": \"sim_parallelize_channel_sweep\",\n"
+      << "    \"channels\": [1, 2, 4, 8, 16],\n"
+      << "    \"packets_per_run\": 20000,\n"
+      << "    \"events_processed\": " << perf.events << ",\n"
+      << "    \"wall_seconds\": " << perf.wall_seconds << ",\n"
+      << "    \"events_per_sec\": " << perf.events_per_sec() << ",\n"
+      << "    \"baseline_events_per_sec\": " << baseline << ",\n"
+      << "    \"speedup_vs_baseline\": "
+      << (baseline > 0.0 ? perf.events_per_sec() / baseline : 0.0) << "\n"
+      << "  }";
+  if (!benchjson::upsert_section(path, "\"sim_parallelize_channel_sweep\"",
+                                 out.str())) {
     std::cerr << "error: cannot write " << path << "\n";
     return 1;
   }
-  out << "{\n"
-      << "  \"benchmark\": \"sim_parallelize_channel_sweep\",\n"
-      << "  \"channels\": [1, 2, 4, 8, 16],\n"
-      << "  \"packets_per_run\": 20000,\n"
-      << "  \"events_processed\": " << perf.events << ",\n"
-      << "  \"wall_seconds\": " << perf.wall_seconds << ",\n"
-      << "  \"events_per_sec\": " << perf.events_per_sec() << ",\n"
-      << "  \"baseline_events_per_sec\": " << baseline << ",\n"
-      << "  \"speedup_vs_baseline\": "
-      << (baseline > 0.0 ? perf.events_per_sec() / baseline : 0.0) << "\n"
-      << "}\n";
   std::cout << "events/sec: " << perf.events_per_sec() << " ("
             << perf.events << " events in " << perf.wall_seconds
-            << " s); JSON written to " << path << "\n";
+            << " s); JSON section updated in " << path << "\n";
   return 0;
 }
 

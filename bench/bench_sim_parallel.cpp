@@ -1,0 +1,338 @@
+// Multi-core scaling harness for the sharded simulation engine
+// (src/sim/shard/): events/sec at shard counts {1, 2, 4} on
+//
+//  1. the parallelize channel sweep (32 processing units behind a
+//     demux/mux pair — the Sec. IV-B scaling design, wide enough that a
+//     partition cuts it into balanced slices), and
+//  2. the TPC-H Q19 design (Sec. VI: the largest Table IV query), driven by
+//     generic stimuli on every table column input.
+//
+// Besides the numbers, the harness *gates*: it validates the partition
+// invariants for several shard counts and checks that the sharded results
+// are byte-identical to the single-queue engine. Any violation makes the
+// process exit non-zero, which is what the CI multi-core job keys off.
+//
+// With `--json <path>` the measurements are upserted into the BENCH_sim.json
+// trajectory array (section "sim_parallel_shards"). `--packets <n>` shrinks
+// the measured run for smoke use.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "src/driver/compiler.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/metrics.hpp"
+#include "src/sim/shard/partition.hpp"
+#include "src/support/text.hpp"
+#include "src/tpch/tpch.hpp"
+
+namespace {
+
+std::string parallelize_source(int channels) {
+  std::string source = R"tydi(
+package partest;
+type t_data = Stream(Bit(64), d=1, c=2);
+impl pu_adder of process_unit_s<type t_data, type t_data> @ external {
+  sim {
+    state s = "idle";
+    on in_.receive {
+      set s = "busy";
+      delay(7);
+      send(out);
+      ack(in_);
+      set s = "idle";
+    }
+  }
+}
+streamlet partest_top_s { feed: t_data in, result: t_data out, }
+impl partest_top of partest_top_s {
+  instance par(parallelize_i<type t_data, type t_data, impl pu_adder, @CH@>),
+  feed => par.in_,
+  par.out => result,
+}
+)tydi";
+  std::string needle = "@CH@";
+  source.replace(source.find(needle), needle.size(),
+                 std::to_string(channels));
+  return source;
+}
+
+/// 16 independent 8-stage pipelines, one top input/output pair each: the
+/// partitioner's best case (BFS keeps chains whole, zero cross-shard
+/// channels, the conservative window degenerates to free-running shards).
+/// This is the upper bound of the engine's scaling; the cut designs above
+/// pay the time-window synchronization.
+constexpr std::string_view kGridSource = R"tydi(
+package grid;
+type t_word = Stream(Bit(32), d=1, c=2);
+streamlet stage_s<T: type> { in_: T in, out: T out, }
+impl pipeline_i<T: type, stage: impl of stage_s, n: int> of stage_s<type T> {
+  instance st(stage) [n],
+  in_ => st[0].in_,
+  for i in 0->n-1 {
+    st[i].out => st[i+1].in_,
+  }
+  st[n-1].out => out,
+}
+impl reg_stage of stage_s<type t_word> @ external {
+  sim {
+    on in_.receive {
+      delay(2);
+      send(out);
+      ack(in_);
+    }
+  }
+}
+streamlet grid_s<n: int> { feed: t_word in [n], drained: t_word out [n], }
+impl grid_top of grid_s<16> {
+  instance ch(pipeline_i<type t_word, impl reg_stage, 8>) [16],
+  for i in 0->16 {
+    feed[i] => ch[i].in_,
+    ch[i].out => drained[i],
+  }
+}
+)tydi";
+
+tydi::sim::SimOptions generic_options(const tydi::elab::Design& design,
+                                      int packets, int shards,
+                                      bool record_trace) {
+  tydi::sim::SimOptions options;
+  options.max_time_ns = 1.0e9;
+  options.record_trace = record_trace;
+  options.shards = shards;
+  options.stimuli = tydi::sim::generic_stimuli(design, packets);
+  return options;
+}
+
+struct Measurement {
+  int shards = 1;
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                              : 0.0;
+  }
+};
+
+struct Workload {
+  std::string name;
+  tydi::driver::CompileResult compiled;
+  int packets = 0;
+  std::vector<Measurement> runs;
+  bool determinism_ok = true;
+  std::string determinism_why;
+};
+
+Measurement measure(Workload& workload, int shards) {
+  tydi::support::DiagnosticEngine diags;
+  tydi::sim::Engine engine(workload.compiled.design, diags);
+  tydi::sim::SimOptions options = generic_options(
+      workload.compiled.design, workload.packets, shards,
+      /*record_trace=*/false);
+  auto start = std::chrono::steady_clock::now();
+  tydi::sim::SimResult result = engine.run(options);
+  auto stop = std::chrono::steady_clock::now();
+  Measurement m;
+  m.shards = shards;
+  m.events = result.events_processed;
+  m.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  return m;
+}
+
+void check_determinism(Workload& workload, int packets) {
+  tydi::support::DiagnosticEngine diags;
+  tydi::sim::Engine engine(workload.compiled.design, diags);
+  tydi::sim::SimResult reference = engine.run(generic_options(
+      workload.compiled.design, packets, 1, /*record_trace=*/true));
+  for (int shards : {2, 4}) {
+    tydi::sim::SimResult sharded = engine.run(generic_options(
+        workload.compiled.design, packets, shards, /*record_trace=*/true));
+    std::string why;
+    if (!tydi::sim::results_identical(reference, sharded, &why)) {
+      workload.determinism_ok = false;
+      workload.determinism_why =
+          std::to_string(shards) + " shards: " + why;
+      return;
+    }
+  }
+}
+
+bool check_partitions(Workload& workload, std::vector<std::string>& errors) {
+  tydi::support::DiagnosticEngine diags;
+  tydi::sim::SimOptions options =
+      generic_options(workload.compiled.design, 1, 1, false);
+  for (int shards : {2, 4, 7}) {
+    for (bool auto_partition : {true, false}) {
+      tydi::sim::SimGraph graph;
+      if (!tydi::sim::build_sim_graph(workload.compiled.design, options,
+                                      diags, graph)) {
+        errors.push_back(workload.name + ": graph build failed");
+        return false;
+      }
+      tydi::sim::shard::PartitionStats stats =
+          tydi::sim::shard::partition_graph(graph, shards, auto_partition);
+      std::vector<std::string> local;
+      if (!tydi::sim::shard::validate_partition(graph, stats, local)) {
+        for (const std::string& e : local) {
+          errors.push_back(workload.name + " (shards=" +
+                           std::to_string(shards) + "): " + e);
+        }
+      }
+    }
+  }
+  return errors.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  int packets = 20000;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--packets") == 0) {
+      packets = std::max(1, std::atoi(argv[i + 1]));
+    }
+  }
+
+  std::vector<Workload> workloads;
+  {
+    Workload sweep;
+    sweep.name = "parallelize_c32";
+    tydi::driver::CompileOptions options;
+    options.top = "partest_top";
+    options.emit_vhdl = false;
+    sweep.compiled =
+        tydi::driver::compile_source(parallelize_source(32), options);
+    sweep.packets = packets;
+    workloads.push_back(std::move(sweep));
+  }
+  {
+    Workload q19;
+    q19.name = "tpch_q19";
+    const tydi::tpch::QueryCase* query = tydi::tpch::find_query("TPC-H 19");
+    if (query == nullptr) {
+      std::cerr << "error: TPC-H 19 case missing\n";
+      return 1;
+    }
+    q19.compiled = tydi::tpch::compile_query(*query);
+    q19.packets = std::max(1, packets / 10);
+    workloads.push_back(std::move(q19));
+  }
+  {
+    Workload grid;
+    grid.name = "pipeline_grid_16x8";
+    tydi::driver::CompileOptions options;
+    options.top = "grid_top";
+    options.emit_vhdl = false;
+    grid.compiled =
+        tydi::driver::compile_source(std::string(kGridSource), options);
+    grid.packets = std::max(1, packets / 4);
+    workloads.push_back(std::move(grid));
+  }
+  for (const Workload& w : workloads) {
+    if (!w.compiled.success()) {
+      std::cerr << w.name << " failed to compile:\n" << w.compiled.report();
+      return 1;
+    }
+  }
+
+  // Correctness gates first: partition invariants + sharded determinism.
+  std::vector<std::string> partition_errors;
+  bool determinism_ok = true;
+  for (Workload& w : workloads) {
+    check_partitions(w, partition_errors);
+    check_determinism(w, std::max(64, packets / 100));
+    determinism_ok = determinism_ok && w.determinism_ok;
+  }
+  for (const std::string& error : partition_errors) {
+    std::cerr << "partition error: " << error << "\n";
+  }
+  for (const Workload& w : workloads) {
+    if (!w.determinism_ok) {
+      std::cerr << "determinism violation in " << w.name << ": "
+                << w.determinism_why << "\n";
+    }
+  }
+
+  // Scaling measurement (warm-up pass at 1 shard, then the recorded runs).
+  for (Workload& w : workloads) {
+    Workload warm;
+    warm.name = w.name;
+    warm.compiled = std::move(w.compiled);
+    warm.packets = std::max(1, w.packets / 10);
+    (void)measure(warm, 1);
+    w.compiled = std::move(warm.compiled);
+    for (int shards : {1, 2, 4}) {
+      w.runs.push_back(measure(w, shards));
+    }
+  }
+
+  unsigned cores = std::thread::hardware_concurrency();
+  tydi::support::TextTable table;
+  table.header({"workload", "shards", "events", "wall s", "events/s",
+                "speedup vs 1"});
+  for (const Workload& w : workloads) {
+    double base = w.runs.front().events_per_sec();
+    for (const Measurement& m : w.runs) {
+      table.row({w.name, std::to_string(m.shards), std::to_string(m.events),
+                 tydi::support::format_fixed(m.wall_seconds, 4),
+                 tydi::support::format_fixed(m.events_per_sec(), 0),
+                 tydi::support::format_fixed(
+                     base > 0.0 ? m.events_per_sec() / base : 0.0, 2)});
+    }
+  }
+  std::cout << "sharded simulation scaling (" << cores
+            << " hardware thread(s))\n\n"
+            << table.render() << "\n"
+            << "partition invariants: "
+            << (partition_errors.empty() ? "ok" : "VIOLATED") << "\n"
+            << "determinism (1 vs {2,4} shards): "
+            << (determinism_ok ? "ok" : "VIOLATED") << "\n";
+
+  if (json_path != nullptr) {
+    std::ostringstream out;
+    out << "  {\n"
+        << "    \"benchmark\": \"sim_parallel_shards\",\n"
+        << "    \"hardware_concurrency\": " << cores << ",\n"
+        << "    \"partition_ok\": "
+        << (partition_errors.empty() ? "true" : "false") << ",\n"
+        << "    \"determinism_ok\": " << (determinism_ok ? "true" : "false")
+        << ",\n"
+        << "    \"workloads\": [\n";
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      const Workload& w = workloads[i];
+      double base = w.runs.front().events_per_sec();
+      double at4 = w.runs.back().events_per_sec();
+      out << "      {\n"
+          << "        \"name\": \"" << w.name << "\",\n"
+          << "        \"packets\": " << w.packets << ",\n"
+          << "        \"runs\": [";
+      for (std::size_t r = 0; r < w.runs.size(); ++r) {
+        const Measurement& m = w.runs[r];
+        out << (r == 0 ? "" : ", ") << "{\"shards\": " << m.shards
+            << ", \"events\": " << m.events
+            << ", \"wall_seconds\": " << m.wall_seconds
+            << ", \"events_per_sec\": " << m.events_per_sec() << "}";
+      }
+      out << "],\n"
+          << "        \"speedup_4_shards\": "
+          << (base > 0.0 ? at4 / base : 0.0) << "\n"
+          << "      }" << (i + 1 < workloads.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n"
+        << "  }";
+    if (!benchjson::upsert_section(json_path, "\"sim_parallel_shards\"",
+                                   out.str())) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "JSON section updated in " << json_path << "\n";
+  }
+
+  return partition_errors.empty() && determinism_ok ? 0 : 1;
+}

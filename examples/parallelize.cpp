@@ -51,7 +51,7 @@ impl partest_top of partest_top_s {
   return source;
 }
 
-tydi::sim::SimResult run(int channels, int packets) {
+tydi::sim::SimResult run(int channels, int packets, int shards = 1) {
   tydi::driver::CompileOptions options;
   options.top = "partest_top";
   options.emit_vhdl = false;
@@ -65,6 +65,7 @@ tydi::sim::SimResult run(int channels, int packets) {
   tydi::sim::Engine engine(compiled.design, diags);
   tydi::sim::SimOptions sim_options;
   sim_options.max_time_ns = 1.0e7;
+  sim_options.shards = shards;
   tydi::sim::Stimulus stim;
   stim.port = "feed";
   for (int i = 0; i < packets; ++i) {
@@ -94,5 +95,17 @@ int main() {
   std::cout << "Bottleneck analysis for channel = 2 (undersized):\n";
   tydi::sim::SimResult undersized = run(2, 256);
   std::cout << tydi::sim::render_bottleneck_report(undersized, 5);
+
+  // The sharded engine (src/sim/shard/) partitions the flattened design
+  // over worker threads; results are byte-identical for any shard count.
+  std::cout << "\nSharded run check (4 shards vs single queue): ";
+  tydi::sim::SimResult sharded = run(8, 256, /*shards=*/4);
+  tydi::sim::SimResult reference = run(8, 256);
+  std::string why;
+  if (!tydi::sim::results_identical(reference, sharded, &why)) {
+    std::cout << "MISMATCH (" << why << ")\n";
+    return 1;
+  }
+  std::cout << "identical (" << sharded.events_processed << " events)\n";
   return 0;
 }

@@ -65,10 +65,10 @@ int main() {
   tydi::tb::TestbenchOptions tb_options;
   tb_options.name = "tb_doubler";
   std::cout << "=== Tydi-IR testbench ===\n"
-            << tydi::tb::emit_ir_testbench(compiled.design, result, tb_options)
+            << tydi::tb::emit_ir_testbench(compiled.ir, result, tb_options)
             << "\n";
   std::cout << "=== VHDL testbench ===\n"
-            << tydi::tb::emit_vhdl_testbench(compiled.design, result,
+            << tydi::tb::emit_vhdl_testbench(compiled.ir, result,
                                              tb_options);
   return 0;
 }

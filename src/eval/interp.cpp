@@ -345,4 +345,27 @@ const std::vector<std::string>& builtin_function_names() {
   return names;
 }
 
+void prime_symbols(const Expr& expr) {
+  std::visit(
+      [](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, lang::Ident>) {
+          if (n.sym == support::kNoSymbol) n.sym = support::intern(n.name);
+        } else if constexpr (std::is_same_v<T, lang::Binary>) {
+          prime_symbols(*n.lhs);
+          prime_symbols(*n.rhs);
+        } else if constexpr (std::is_same_v<T, lang::Unary>) {
+          prime_symbols(*n.operand);
+        } else if constexpr (std::is_same_v<T, lang::Call>) {
+          for (const auto& arg : n.args) prime_symbols(*arg);
+        } else if constexpr (std::is_same_v<T, lang::ArrayLit>) {
+          for (const auto& el : n.elems) prime_symbols(*el);
+        } else if constexpr (std::is_same_v<T, lang::IndexExpr>) {
+          prime_symbols(*n.base);
+          prime_symbols(*n.index);
+        }
+      },
+      expr.node);
+}
+
 }  // namespace tydi::eval

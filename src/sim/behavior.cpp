@@ -40,7 +40,7 @@ class SinkModel : public Behavior {
  public:
   explicit SinkModel(double latency_cycles) : latency_(latency_cycles) {}
 
-  void on_receive(Engine& engine, int self, int port) override {
+  void on_receive(Kernel& engine, int self, int port) override {
     if (port < 0) return;
     if (latency_ <= 0.0) {
       engine.ack(self, port);
@@ -49,7 +49,7 @@ class SinkModel : public Behavior {
     engine.schedule_timer(latency_ * engine.clock_period(self), self, port);
   }
 
-  void on_timer(Engine& engine, int self, std::int32_t token) override {
+  void on_timer(Kernel& engine, int self, std::int32_t token) override {
     engine.ack(self, token);
   }
 
@@ -65,11 +65,11 @@ class SourceModel : public Behavior {
   SourceModel(int out_port, std::int64_t count, double interval_cycles)
       : out_(out_port), count_(count), interval_(interval_cycles) {}
 
-  void on_start(Engine& engine, int self) override { emit(engine, self); }
+  void on_start(Kernel& engine, int self) override { emit(engine, self); }
 
-  void on_receive(Engine&, int, int) override {}
+  void on_receive(Kernel&, int, int) override {}
 
-  void on_timer(Engine& engine, int self, std::int32_t) override {
+  void on_timer(Kernel& engine, int self, std::int32_t) override {
     emit(engine, self);
   }
 
@@ -79,7 +79,7 @@ class SourceModel : public Behavior {
   double interval_;
   std::int64_t sent_ = 0;
 
-  void emit(Engine& engine, int self) {
+  void emit(Kernel& engine, int self) {
     if (sent_ >= count_) return;
     Packet p;
     p.value = sent_;
@@ -99,11 +99,11 @@ class DuplicatorModel : public Behavior {
   DuplicatorModel(int in_port, std::vector<int> out_ports)
       : in_(in_port), outs_(std::move(out_ports)) {}
 
-  void on_receive(Engine& engine, int self, int) override {
+  void on_receive(Kernel& engine, int self, int) override {
     try_fire(engine, self);
   }
 
-  void on_output_acked(Engine& engine, int self, int) override {
+  void on_output_acked(Kernel& engine, int self, int) override {
     if (!forwarding_) return;
     if (--pending_ == 0) {
       forwarding_ = false;
@@ -124,7 +124,7 @@ class DuplicatorModel : public Behavior {
   bool forwarding_ = false;
   std::size_t pending_ = 0;
 
-  void try_fire(Engine& engine, int self) {
+  void try_fire(Kernel& engine, int self) {
     if (forwarding_) return;
     auto& box = engine.component(self).inbox[in_];
     if (box.empty()) return;
@@ -144,10 +144,10 @@ class DemuxModel : public Behavior {
   DemuxModel(int in_port, std::vector<int> out_ports)
       : in_(in_port), outs_(std::move(out_ports)) {}
 
-  void on_receive(Engine& engine, int self, int) override {
+  void on_receive(Kernel& engine, int self, int) override {
     try_forward(engine, self);
   }
-  void on_output_acked(Engine& engine, int self, int) override {
+  void on_output_acked(Kernel& engine, int self, int) override {
     try_forward(engine, self);
   }
 
@@ -162,7 +162,7 @@ class DemuxModel : public Behavior {
   std::vector<int> outs_;
   std::size_t rr_ = 0;
 
-  void try_forward(Engine& engine, int self) {
+  void try_forward(Kernel& engine, int self) {
     auto& box = engine.component(self).inbox[in_];
     while (!box.empty() && engine.can_send(self, outs_[rr_])) {
       engine.send(self, outs_[rr_], box.front());
@@ -178,10 +178,10 @@ class MuxModel : public Behavior {
   MuxModel(std::vector<int> in_ports, int out_port)
       : ins_(std::move(in_ports)), out_(out_port) {}
 
-  void on_receive(Engine& engine, int self, int) override {
+  void on_receive(Kernel& engine, int self, int) override {
     try_forward(engine, self);
   }
-  void on_output_acked(Engine& engine, int self, int) override {
+  void on_output_acked(Kernel& engine, int self, int) override {
     try_forward(engine, self);
   }
 
@@ -197,7 +197,7 @@ class MuxModel : public Behavior {
   int out_;
   std::size_t rr_ = 0;
 
-  void try_forward(Engine& engine, int self) {
+  void try_forward(Kernel& engine, int self) {
     for (;;) {
       auto& box = engine.component(self).inbox[ins_[rr_]];
       if (box.empty() || !engine.can_send(self, out_)) return;
@@ -221,13 +221,13 @@ class PipeModel : public Behavior {
         latency_(latency_cycles),
         transform_(std::move(transform)) {}
 
-  void on_receive(Engine& engine, int self, int) override {
+  void on_receive(Kernel& engine, int self, int) override {
     try_start(engine, self);
   }
-  void on_output_acked(Engine& engine, int self, int) override {
+  void on_output_acked(Kernel& engine, int self, int) override {
     if (done_waiting_out_) complete(engine, self);
   }
-  void on_timer(Engine& engine, int self, std::int32_t) override {
+  void on_timer(Kernel& engine, int self, std::int32_t) override {
     if (engine.can_send(self, out_)) {
       complete(engine, self);
     } else {
@@ -251,7 +251,7 @@ class PipeModel : public Behavior {
   bool done_waiting_out_ = false;
   Packet current_;
 
-  void try_start(Engine& engine, int self) {
+  void try_start(Kernel& engine, int self) {
     if (busy_) return;
     auto& box = engine.component(self).inbox[in_];
     if (box.empty()) return;
@@ -260,7 +260,7 @@ class PipeModel : public Behavior {
     engine.schedule_timer(latency_ * engine.clock_period(self), self, 0);
   }
 
-  void complete(Engine& engine, int self) {
+  void complete(Kernel& engine, int self) {
     done_waiting_out_ = false;
     engine.send(self, out_, transform_(current_));
     engine.ack(self, in_);
@@ -276,10 +276,10 @@ class FilterModel : public Behavior {
   FilterModel(int data_port, int keep_port, int out_port)
       : data_(data_port), keep_(keep_port), out_(out_port) {}
 
-  void on_receive(Engine& engine, int self, int) override {
+  void on_receive(Kernel& engine, int self, int) override {
     try_fire(engine, self);
   }
-  void on_output_acked(Engine& engine, int self, int) override {
+  void on_output_acked(Kernel& engine, int self, int) override {
     try_fire(engine, self);
   }
 
@@ -297,7 +297,7 @@ class FilterModel : public Behavior {
   int keep_;
   int out_;
 
-  void try_fire(Engine& engine, int self) {
+  void try_fire(Kernel& engine, int self) {
     for (;;) {
       auto& data_box = engine.component(self).inbox[data_];
       auto& keep_box = engine.component(self).inbox[keep_];
@@ -319,10 +319,10 @@ class LogicReduceModel : public Behavior {
   LogicReduceModel(std::vector<int> in_ports, int out_port, bool is_and)
       : ins_(std::move(in_ports)), out_(out_port), and_(is_and) {}
 
-  void on_receive(Engine& engine, int self, int) override {
+  void on_receive(Kernel& engine, int self, int) override {
     try_fire(engine, self);
   }
-  void on_output_acked(Engine& engine, int self, int) override {
+  void on_output_acked(Kernel& engine, int self, int) override {
     try_fire(engine, self);
   }
 
@@ -340,7 +340,7 @@ class LogicReduceModel : public Behavior {
   int out_;
   bool and_;
 
-  void try_fire(Engine& engine, int self) {
+  void try_fire(Kernel& engine, int self) {
     for (;;) {
       bool all_ready = true;
       for (int p : ins_) {
@@ -375,10 +375,10 @@ class Join2Model : public Behavior {
   Join2Model(int lhs, int rhs, int out, Op op)
       : lhs_(lhs), rhs_(rhs), out_(out), op_(std::move(op)) {}
 
-  void on_receive(Engine& engine, int self, int) override {
+  void on_receive(Kernel& engine, int self, int) override {
     try_fire(engine, self);
   }
-  void on_output_acked(Engine& engine, int self, int) override {
+  void on_output_acked(Kernel& engine, int self, int) override {
     try_fire(engine, self);
   }
 
@@ -397,7 +397,7 @@ class Join2Model : public Behavior {
   int out_;
   Op op_;
 
-  void try_fire(Engine& engine, int self) {
+  void try_fire(Kernel& engine, int self) {
     for (;;) {
       auto& lbox = engine.component(self).inbox[lhs_];
       auto& rbox = engine.component(self).inbox[rhs_];
@@ -419,7 +419,7 @@ class AccumulatorModel : public Behavior {
  public:
   AccumulatorModel(int in_port, int out_port) : in_(in_port), out_(out_port) {}
 
-  void on_receive(Engine& engine, int self, int port) override {
+  void on_receive(Kernel& engine, int self, int port) override {
     if (port < 0) return;
     auto& box = engine.component(self).inbox[in_];
     while (!box.empty()) {
@@ -464,8 +464,12 @@ struct Instr {
 
 /// Folds literal expressions into the instruction (engine-side constant
 /// propagation; anything with identifiers still evaluates at run time).
+/// Non-literal expressions get their identifier symbols interned up front:
+/// sibling instances of one impl share the handler AST, and the lazy
+/// `Ident::sym` cache must not be written from shard worker threads.
 void fold_literal(Instr& instr) {
   if (instr.expr == nullptr) return;
+  eval::prime_symbols(*instr.expr);
   const auto& node = instr.expr->node;
   eval::Value v;
   if (const auto* i = std::get_if<lang::IntLit>(&node)) {
@@ -636,7 +640,7 @@ class SimBlockBehavior : public Behavior {
     }
   }
 
-  void on_start(Engine& engine, int self) override {
+  void on_start(Kernel& engine, int self) override {
     for (std::size_t h = 0; h < handlers_.size(); ++h) {
       if (handlers_[h].wait_ports.empty()) {
         fire(engine, self, h, Packet{});
@@ -644,11 +648,11 @@ class SimBlockBehavior : public Behavior {
     }
   }
 
-  void on_receive(Engine& engine, int self, int) override {
+  void on_receive(Kernel& engine, int self, int) override {
     try_fire(engine, self);
   }
 
-  void on_timer(Engine& engine, int self, std::int32_t token) override {
+  void on_timer(Kernel& engine, int self, std::int32_t token) override {
     Resume resume = std::move(pending_[token]);
     free_slots_.push_back(token);
     exec(engine, self, resume.handler, resume.pc, resume.trigger,
@@ -706,7 +710,7 @@ class SimBlockBehavior : public Behavior {
   bool busy_ = false;
   std::size_t fires_without_progress_ = 0;
 
-  void try_fire(Engine& engine, int self) {
+  void try_fire(Kernel& engine, int self) {
     if (busy_) return;
     for (std::size_t h = 0; h < handlers_.size(); ++h) {
       const Handler& handler = handlers_[h];
@@ -735,7 +739,7 @@ class SimBlockBehavior : public Behavior {
     }
   }
 
-  void fire(Engine& engine, int self, std::size_t handler_index,
+  void fire(Kernel& engine, int self, std::size_t handler_index,
             Packet trigger) {
     busy_ = true;
     exec(engine, self, handler_index, 0, trigger, nullptr);
@@ -744,7 +748,7 @@ class SimBlockBehavior : public Behavior {
   /// Rebuilds the innermost evaluation scope for one instruction: trigger
   /// payload, loop locals, and per-port head-of-inbox payloads. Parent
   /// chain supplies state and captured constants without copying.
-  eval::Scope& build_scope(Engine& engine, int self, const Packet& trigger,
+  eval::Scope& build_scope(Kernel& engine, int self, const Packet& trigger,
                            const Locals& locals) {
     eval::Scope& scope = scratch_scope_;
     scope.clear();
@@ -763,7 +767,7 @@ class SimBlockBehavior : public Behavior {
     return scope;
   }
 
-  void set_state(Engine& engine, int self, Symbol var,
+  void set_state(Kernel& engine, int self, Symbol var,
                  const std::string& to) {
     for (StateVar& s : state_) {
       if (s.name != var) continue;
@@ -809,7 +813,7 @@ class SimBlockBehavior : public Behavior {
                           instr.expr->loc);
   }
 
-  void exec(Engine& engine, int self, std::size_t handler_index,
+  void exec(Kernel& engine, int self, std::size_t handler_index,
             std::size_t pc, Packet trigger, Locals locals) {
     const Handler& handler = handlers_[handler_index];
     while (pc < handler.code.size()) {
@@ -917,10 +921,10 @@ class PassThroughModel : public Behavior {
  public:
   PassThroughModel(int in_port, int out_port) : in_(in_port), out_(out_port) {}
 
-  void on_receive(Engine& engine, int self, int) override {
+  void on_receive(Kernel& engine, int self, int) override {
     try_forward(engine, self);
   }
-  void on_output_acked(Engine& engine, int self, int) override {
+  void on_output_acked(Kernel& engine, int self, int) override {
     try_forward(engine, self);
   }
 
@@ -928,7 +932,7 @@ class PassThroughModel : public Behavior {
   int in_;
   int out_;
 
-  void try_forward(Engine& engine, int self) {
+  void try_forward(Kernel& engine, int self) {
     auto& box = engine.component(self).inbox[in_];
     while (!box.empty() && engine.can_send(self, out_)) {
       engine.send(self, out_, box.front());
@@ -940,7 +944,7 @@ class PassThroughModel : public Behavior {
 /// Sink that ignores everything (ports exist but stay idle).
 class IdleModel : public Behavior {
  public:
-  void on_receive(Engine&, int, int) override {}
+  void on_receive(Kernel&, int, int) override {}
 };
 
 }  // namespace

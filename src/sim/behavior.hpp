@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "src/elab/design.hpp"
-#include "src/sim/engine.hpp"
+#include "src/sim/kernel.hpp"
 
 namespace tydi::sim {
 
@@ -30,31 +30,31 @@ class Behavior {
   virtual ~Behavior() = default;
 
   /// Called once at time zero.
-  virtual void on_start(Engine& engine, int self) {
+  virtual void on_start(Kernel& engine, int self) {
     (void)engine;
     (void)self;
   }
   /// Called when a packet lands in the component inbox (`port` is the port
   /// index, or -1 for a generic poke). The packet stays in the inbox until
   /// the behaviour calls engine.ack(self, port).
-  virtual void on_receive(Engine& engine, int self, int port) = 0;
+  virtual void on_receive(Kernel& engine, int self, int port) = 0;
   /// Called when a packet previously sent on `port` is acknowledged by the
   /// far side.
-  virtual void on_output_acked(Engine& engine, int self, int port) {
+  virtual void on_output_acked(Kernel& engine, int self, int port) {
     (void)engine;
     (void)self;
     (void)port;
   }
   /// Called when a queued packet leaves the outbox and enters the channel
   /// register (backpressure released).
-  virtual void on_send_accepted(Engine& engine, int self, int port) {
+  virtual void on_send_accepted(Kernel& engine, int self, int port) {
     (void)engine;
     (void)self;
     (void)port;
   }
   /// Called when a timer scheduled via Engine::schedule_timer fires.
   /// `token` is whatever the behaviour passed when scheduling.
-  virtual void on_timer(Engine& engine, int self, std::int32_t token) {
+  virtual void on_timer(Kernel& engine, int self, std::int32_t token) {
     (void)engine;
     (void)self;
     (void)token;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 
 #include "src/sim/behavior.hpp"
+#include "src/sim/kernel.hpp"
+#include "src/sim/shard/runtime.hpp"
 #include "src/support/text.hpp"
 
 namespace tydi::sim {
@@ -68,22 +71,19 @@ std::string SimResult::summary() const {
   return out.str();
 }
 
-Engine::Engine(const Design& design, support::DiagnosticEngine& diags)
-    : design_(design), diags_(diags) {}
-
-std::string Engine::endpoint_name(const ChannelEndpoint& ep) const {
+std::string SimGraph::endpoint_name(const ChannelEndpoint& ep) const {
   const Streamlet* s =
-      ep.component < 0 ? top_streamlet_ : components_[ep.component].streamlet;
+      ep.component < 0 ? top_streamlet : components[ep.component].streamlet;
   std::string port = s != nullptr && ep.port >= 0 &&
                              static_cast<std::size_t>(ep.port) <
                                  s->ports.size()
                          ? s->ports[ep.port].name
                          : "<port " + std::to_string(ep.port) + ">";
   if (ep.component < 0) return "top." + port;
-  return components_[ep.component].path + "." + port;
+  return components[ep.component].path + "." + port;
 }
 
-std::string Engine::channel_display_name(const Channel& c) const {
+std::string SimGraph::channel_display_name(const Channel& c) const {
   return endpoint_name(c.src) + " -> " + endpoint_name(c.dst);
 }
 
@@ -151,17 +151,21 @@ struct Flattener {
 
 }  // namespace
 
-void Engine::flatten(const SimOptions& options) {
-  const Impl* top = design_.find_impl(design_.top());
+bool build_sim_graph(const Design& design, const SimOptions& options,
+                     support::DiagnosticEngine& diags, SimGraph& graph) {
+  graph.design = &design;
+  graph.default_period_ns = options.default_period_ns;
+
+  const Impl* top = design.find_impl(design.top());
   if (top == nullptr) {
-    diags_.error("sim", "design has no top implementation", {});
-    return;
+    diags.error("sim", "design has no top implementation", {});
+    return false;
   }
   if (top->external) {
-    diags_.error("sim", "top implementation must be structural", top->loc);
-    return;
+    diags.error("sim", "top implementation must be structural", top->loc);
+    return false;
   }
-  top_streamlet_ = design_.streamlet_of(*top);
+  graph.top_streamlet = design.streamlet_of(*top);
 
   Flattener flat;
 
@@ -172,21 +176,22 @@ void Engine::flatten(const SimOptions& options) {
     // Instance name -> leaf component index (-1 = structural child).
     std::unordered_map<Symbol, std::int32_t> local;
     for (const Instance& inst : impl.instances) {
-      const Impl* child = design_.find_impl(inst.impl_name);
+      const Impl* child = design.find_impl(inst.impl_name);
       if (child == nullptr) continue;
       std::string child_path = join_path(path, inst.name);
       if (child->external) {
-        std::int32_t index = static_cast<std::int32_t>(components_.size());
+        std::int32_t index =
+            static_cast<std::int32_t>(graph.components.size());
         Component comp;
         comp.path = child_path;
         comp.impl = child;
-        comp.streamlet = design_.streamlet_of(*child);
+        comp.streamlet = design.streamlet_of(*child);
         std::size_t nports =
             comp.streamlet != nullptr ? comp.streamlet->ports.size() : 0;
         comp.inbox.resize(nports);
         comp.out_channel.assign(nports, -1);
         comp.in_channel.assign(nports, -1);
-        components_.push_back(std::move(comp));
+        graph.components.push_back(std::move(comp));
         local.emplace(support::intern(inst.name), index);
       } else {
         local.emplace(support::intern(inst.name), -1);
@@ -197,10 +202,11 @@ void Engine::flatten(const SimOptions& options) {
       auto node_of_endpoint = [&](const Endpoint& ep) -> int {
         if (ep.instance.empty()) {
           FlatNode info;
-          if (is_top && top_streamlet_ != nullptr) {
-            int port = top_streamlet_->port_index(support::intern(ep.port));
+          if (is_top && graph.top_streamlet != nullptr) {
+            int port =
+                graph.top_streamlet->port_index(support::intern(ep.port));
             if (port >= 0) {
-              const Port& decl = top_streamlet_->ports[port];
+              const Port& decl = graph.top_streamlet->ports[port];
               info.kind = FlatNode::Kind::kTop;
               info.port = port;
               info.decl = &decl;
@@ -214,7 +220,7 @@ void Engine::flatten(const SimOptions& options) {
         FlatNode info;
         auto lit = local.find(support::intern(ep.instance));
         if (lit != local.end() && lit->second >= 0) {
-          const Component& comp = components_[lit->second];
+          const Component& comp = graph.components[lit->second];
           int port = comp.streamlet != nullptr
                          ? comp.streamlet->port_index(support::intern(ep.port))
                          : -1;
@@ -249,9 +255,9 @@ void Engine::flatten(const SimOptions& options) {
   }
 
   std::size_t top_ports =
-      top_streamlet_ != nullptr ? top_streamlet_->ports.size() : 0;
-  top_src_channel_.assign(top_ports, -1);
-  top_out_packets_.assign(top_ports, {});
+      graph.top_streamlet != nullptr ? graph.top_streamlet->ports.size() : 0;
+  graph.top_src_channel.assign(top_ports, -1);
+  graph.top_out_packets.assign(top_ports, {});
 
   for (int root : roots) {
     const std::vector<int>& members = sets[root];
@@ -269,13 +275,13 @@ void Engine::flatten(const SimOptions& options) {
       }
     }
     if (leaves != 2 || source == nullptr || sink == nullptr) {
-      diags_.warning("sim",
-                     "connection net '" +
-                         support::symbol_name(flat.nodes[root].key) +
-                         "' does not resolve to one source and one sink (" +
-                         std::to_string(leaves) + " leaf endpoint(s)); "
-                         "skipped",
-                     {});
+      diags.warning("sim",
+                    "connection net '" +
+                        support::symbol_name(flat.nodes[root].key) +
+                        "' does not resolve to one source and one sink (" +
+                        std::to_string(leaves) + " leaf endpoint(s)); "
+                        "skipped",
+                    {});
       continue;
     }
     Channel c;
@@ -287,457 +293,96 @@ void Engine::flatten(const SimOptions& options) {
     c.latency_ns = period_it != options.clock_period_ns.end()
                        ? period_it->second
                        : options.default_period_ns;
-    std::int32_t index = static_cast<std::int32_t>(channels_.size());
+    std::int32_t index = static_cast<std::int32_t>(graph.channels.size());
     if (c.src.component >= 0) {
-      components_[c.src.component].out_channel[c.src.port] = index;
+      graph.components[c.src.component].out_channel[c.src.port] = index;
     } else {
-      top_src_channel_[c.src.port] = index;
+      graph.top_src_channel[c.src.port] = index;
     }
     if (c.dst.component >= 0) {
-      components_[c.dst.component].in_channel[c.dst.port] = index;
+      graph.components[c.dst.component].in_channel[c.dst.port] = index;
     }
-    channels_.push_back(std::move(c));
+    graph.channels.push_back(std::move(c));
   }
-}
-
-void Engine::record_state_transition(int component, Symbol variable,
-                                     Symbol from, Symbol to) {
-  pending_transitions_.push_back(
-      PendingTransition{now_, component, variable, from, to});
-}
-
-void Engine::push_event(double delay_ns, EventKind kind, std::int32_t a,
-                        std::int32_t b) {
-  Event ev;
-  ev.time = now_ + delay_ns;
-  ev.seq = sequence_++;
-  ev.kind = kind;
-  ev.a = a;
-  ev.b = b;
-  queue_.push(ev);
-}
-
-void Engine::schedule_timer(double delay_ns, int component,
-                            std::int32_t token) {
-  push_event(delay_ns, EventKind::kTimer, component, token);
-}
-
-void Engine::schedule_poke(double delay_ns, int component) {
-  push_event(delay_ns, EventKind::kPoke, component, -1);
-}
-
-void Engine::dispatch(const Event& ev) {
-  switch (ev.kind) {
-    case EventKind::kDeliver:
-      deliver(static_cast<std::size_t>(ev.a));
-      break;
-    case EventKind::kTimer: {
-      Component& comp = components_[ev.a];
-      if (comp.behavior) comp.behavior->on_timer(*this, ev.a, ev.b);
-      break;
-    }
-    case EventKind::kPoke:
-      poke(ev.a);
-      break;
-    case EventKind::kStimulus: {
-      StimulusCursor& cursor = stimulus_cursors_[ev.a];
-      send_on_channel(static_cast<std::size_t>(cursor.channel),
-                      cursor.stimulus->packets[cursor.next].second);
-      cursor.next += 1;
-      if (cursor.next < cursor.stimulus->packets.size()) {
-        // Packets enter the channel in list order; out-of-order timestamps
-        // clamp to "now".
-        double at = cursor.stimulus->packets[cursor.next].first;
-        push_event(at > now_ ? at - now_ : 0.0, EventKind::kStimulus, ev.a,
-                   -1);
-      }
-      break;
-    }
-  }
-}
-
-bool Engine::should_warn(WarnSite site, std::int32_t a, std::int32_t b) {
-  std::uint64_t key = (static_cast<std::uint64_t>(site) << 56) |
-                      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                           a + 1))
-                       << 24) |
-                      (static_cast<std::uint32_t>(b + 1) & 0xFFFFFFu);
-  return warn_counts_[key]++ == 0;
-}
-
-void Engine::send(int component, int port, Packet packet) {
-  std::int32_t ch = -1;
-  if (component >= 0) {
-    const Component& comp = components_[component];
-    if (port >= 0 && static_cast<std::size_t>(port) < comp.out_channel.size()) {
-      ch = comp.out_channel[port];
-    }
-  } else if (port >= 0 &&
-             static_cast<std::size_t>(port) < top_src_channel_.size()) {
-    ch = top_src_channel_[port];
-  }
-  if (ch < 0) {
-    if (should_warn(WarnSite::kSendUnconnected, component, port)) {
-      diags_.warning("sim",
-                     "send on unconnected port '" +
-                         endpoint_name(ChannelEndpoint{component, port}) +
-                         "'; packet dropped (repeats counted)",
-                     {});
-    }
-    return;
-  }
-  send_on_channel(static_cast<std::size_t>(ch), packet);
-}
-
-void Engine::send_on_channel(std::size_t channel_index, Packet packet) {
-  Channel& c = channels_[channel_index];
-  if (!c.occupied && c.outbox.empty()) {
-    start_channel_transfer(channel_index, packet);
-  } else {
-    c.outbox.emplace_back(now_, packet);
-  }
-}
-
-bool Engine::can_send(int component, int port) const {
-  std::int32_t ch = -1;
-  if (component >= 0) {
-    const Component& comp = components_[component];
-    if (port >= 0 && static_cast<std::size_t>(port) < comp.out_channel.size()) {
-      ch = comp.out_channel[port];
-    }
-  } else if (port >= 0 &&
-             static_cast<std::size_t>(port) < top_src_channel_.size()) {
-    ch = top_src_channel_[port];
-  }
-  if (ch < 0) return false;
-  const Channel& c = channels_[ch];
-  return !c.occupied && c.outbox.empty();
-}
-
-void Engine::start_channel_transfer(std::size_t channel_index, Packet packet) {
-  Channel& c = channels_[channel_index];
-  c.occupied = true;
-  c.in_flight = packet;
-  push_event(c.latency_ns, EventKind::kDeliver,
-             static_cast<std::int32_t>(channel_index), -1);
-}
-
-void Engine::notify_output_acked(ChannelEndpoint src) {
-  if (src.component < 0) return;
-  Component& comp = components_[src.component];
-  if (comp.behavior) {
-    comp.behavior->on_output_acked(*this, src.component, src.port);
-  }
-}
-
-void Engine::drain_outbox(std::size_t channel_index) {
-  // Note: re-check `occupied` — a behaviour notified just before this call
-  // may have re-filled the register (the pre-refactor code raced here and
-  // could overwrite an in-flight packet).
-  Channel& c = channels_[channel_index];
-  if (c.occupied || c.outbox.empty()) return;
-  auto [t_enq, packet] = c.outbox.front();
-  c.outbox.pop_front();
-  c.stats.blocked_ns += now_ - t_enq;
-  start_channel_transfer(channel_index, packet);
-  ChannelEndpoint src = channels_[channel_index].src;
-  if (src.component >= 0) {
-    Component& comp = components_[src.component];
-    if (comp.behavior) {
-      comp.behavior->on_send_accepted(*this, src.component, src.port);
-    }
-  }
-}
-
-void Engine::deliver(std::size_t channel_index) {
-  Channel& c = channels_[channel_index];
-  c.stats.packets += 1;
-  if (c.stats.packets == 1) c.stats.first_delivery_ns = now_;
-  c.stats.last_delivery_ns = now_;
-
-  if (trace_enabled_) {
-    TraceEvent ev;
-    ev.time_ns = now_;
-    ev.channel_index = static_cast<std::int32_t>(channel_index);
-    ev.packet = c.in_flight;
-    ev.is_top_input = (c.src.component < 0);
-    ev.is_top_output = (c.dst.component < 0);
-    result_.trace.push_back(std::move(ev));
-  }
-
-  if (c.dst.component < 0) {
-    // Environment observer: always ready, records and acknowledges.
-    top_out_packets_[c.dst.port].emplace_back(now_, c.in_flight);
-    c.occupied = false;
-    notify_output_acked(c.src);
-    drain_outbox(channel_index);
-    return;
-  }
-
-  Component& dst = components_[c.dst.component];
-  dst.inbox[c.dst.port].push_back(c.in_flight);
-  if (dst.behavior) {
-    dst.behavior->on_receive(*this, c.dst.component, c.dst.port);
-  }
-}
-
-void Engine::ack(int component, int port) {
-  Component& comp = components_[component];
-  std::int32_t ch =
-      port >= 0 && static_cast<std::size_t>(port) < comp.in_channel.size()
-          ? comp.in_channel[port]
-          : -1;
-  if (ch < 0) {
-    if (should_warn(WarnSite::kAckUnconnected, component, port)) {
-      diags_.warning("sim",
-                     "ack on unconnected port '" +
-                         endpoint_name(ChannelEndpoint{component, port}) +
-                         "' (repeats counted)",
-                     {});
-    }
-    return;
-  }
-  std::size_t channel_index = static_cast<std::size_t>(ch);
-  Channel& c = channels_[channel_index];
-  if (!c.occupied) {
-    if (should_warn(WarnSite::kAckEmptyChannel, ch, -1)) {
-      diags_.warning("sim",
-                     "ack on empty channel '" + channel_display_name(c) +
-                         "' (repeats counted)",
-                     {});
-    }
-    return;
-  }
-  // Consume the packet from the sink inbox.
-  auto& box = comp.inbox[port];
-  if (!box.empty()) box.pop_front();
-
-  c.occupied = false;
-  notify_output_acked(c.src);
-  drain_outbox(channel_index);
-}
-
-void Engine::poke(int component) {
-  Component& comp = components_[component];
-  if (comp.behavior) comp.behavior->on_receive(*this, component, -1);
-}
-
-void Engine::inject_stimuli(const SimOptions& options) {
-  for (const Stimulus& stim : options.stimuli) {
-    int port = top_streamlet_ != nullptr
-                   ? top_streamlet_->port_index(support::intern(stim.port))
-                   : -1;
-    std::int32_t ch = port >= 0 ? top_src_channel_[port] : -1;
-    if (ch < 0) {
-      diags_.warning("sim",
-                     "stimulus targets unknown top input '" + stim.port + "'",
-                     {});
-      continue;
-    }
-    if (stim.packets.empty()) continue;
-    std::int32_t cursor = static_cast<std::int32_t>(stimulus_cursors_.size());
-    stimulus_cursors_.push_back(StimulusCursor{ch, &stim, 0});
-    push_event(stim.packets.front().first, EventKind::kStimulus, cursor, -1);
-  }
-}
-
-void Engine::detect_deadlock() {
-  // Anything still in flight when the queue runs dry is blocked for good.
-  bool anything_blocked = false;
-  for (const Channel& c : channels_) {
-    if (c.occupied || !c.outbox.empty()) {
-      anything_blocked = true;
-      std::ostringstream why;
-      why << "channel " << channel_display_name(c) << ": ";
-      if (c.occupied) why << "packet not acknowledged by sink";
-      if (!c.outbox.empty()) {
-        if (c.occupied) why << ", ";
-        why << c.outbox.size() << " packet(s) blocked in outbox";
-      }
-      result_.blocked_report.push_back(why.str());
-    }
-  }
-  for (const Component& comp : components_) {
-    for (std::size_t port = 0; port < comp.inbox.size(); ++port) {
-      if (!comp.inbox[port].empty()) {
-        anything_blocked = true;
-        std::string port_name =
-            comp.streamlet != nullptr ? comp.streamlet->ports[port].name
-                                      : std::to_string(port);
-        result_.blocked_report.push_back(
-            "component " + comp.path + ": " +
-            std::to_string(comp.inbox[port].size()) +
-            " unconsumed packet(s) on port '" + port_name + "'");
-      }
-    }
-  }
-  if (!anything_blocked) return;
-  result_.deadlock = true;
-
-  // Wait-for graph: X -> Y means "X cannot make progress until Y acts".
-  //  - a source whose outbox is blocked waits on the sink of that channel;
-  //  - a component waiting for a packet on port p waits on the source
-  //    feeding p.
-  std::vector<std::vector<int>> edges(components_.size());
-  for (const Channel& c : channels_) {
-    if (!c.outbox.empty() && c.src.component >= 0 && c.dst.component >= 0) {
-      edges[c.src.component].push_back(c.dst.component);
-    }
-  }
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    const Component& comp = components_[i];
-    if (!comp.behavior) continue;
-    for (int port : comp.behavior->waiting_ports(comp)) {
-      std::int32_t ch =
-          port >= 0 && static_cast<std::size_t>(port) < comp.in_channel.size()
-              ? comp.in_channel[port]
-              : -1;
-      if (ch < 0) continue;
-      const Channel& c = channels_[ch];
-      if (c.src.component >= 0) {
-        edges[i].push_back(c.src.component);
-      }
-    }
-  }
-
-  // Iterative DFS cycle search in component-index order (deterministic).
-  std::vector<std::uint8_t> color(components_.size(), 0);  // 0 w, 1 g, 2 b
-  std::vector<int> stack;
-  auto dfs = [&](auto&& self, int node) -> bool {
-    color[node] = 1;
-    stack.push_back(node);
-    for (int next : edges[node]) {
-      if (color[next] == 1) {
-        auto it = std::find(stack.begin(), stack.end(), next);
-        for (; it != stack.end(); ++it) {
-          result_.deadlock_cycle.push_back(components_[*it].path);
-        }
-        return true;
-      }
-      if (color[next] == 0 && self(self, next)) return true;
-    }
-    stack.pop_back();
-    color[node] = 2;
-    return false;
-  };
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    if (!edges[i].empty() && color[i] == 0 && dfs(dfs, static_cast<int>(i))) {
-      break;
-    }
-  }
-}
-
-void Engine::finalize_result() {
-  // Materialize the name strings the hot path never built.
-  for (Channel& c : channels_) {
-    c.stats.name = channel_display_name(c);
-    result_.channels.push_back(c.stats);
-  }
-  for (TraceEvent& ev : result_.trace) {
-    const Channel& c = channels_[ev.channel_index];
-    ev.channel = c.stats.name;
-    if (ev.is_top_input) {
-      ev.top_port = top_streamlet_->ports[c.src.port].name;
-    } else if (ev.is_top_output) {
-      ev.top_port = top_streamlet_->ports[c.dst.port].name;
-    }
-  }
-  for (std::size_t port = 0; port < top_out_packets_.size(); ++port) {
-    if (top_out_packets_[port].empty()) continue;
-    result_.top_outputs[top_streamlet_->ports[port].name] =
-        std::move(top_out_packets_[port]);
-  }
-  for (const PendingTransition& t : pending_transitions_) {
-    result_.state_transitions.push_back(StateTransition{
-        t.time_ns, components_[t.component].path,
-        support::symbol_name(t.variable), support::symbol_name(t.from),
-        support::symbol_name(t.to)});
-  }
-  // Summarize deduplicated warning sites (decode the packed key back into
-  // the site kind and its endpoint/channel).
-  for (const auto& [key, count] : warn_counts_) {
-    if (count <= 1) continue;
-    auto site = static_cast<WarnSite>(key >> 56);
-    auto a = static_cast<std::int32_t>((key >> 24) & 0xFFFFFFFFu) - 1;
-    auto b = static_cast<std::int32_t>(key & 0xFFFFFFu) - 1;
-    std::string what;
-    switch (site) {
-      case WarnSite::kSendUnconnected:
-        what = "send on unconnected port '" +
-               endpoint_name(ChannelEndpoint{a, b}) + "'";
-        break;
-      case WarnSite::kAckUnconnected:
-        what = "ack on unconnected port '" +
-               endpoint_name(ChannelEndpoint{a, b}) + "'";
-        break;
-      case WarnSite::kAckEmptyChannel:
-        what = "ack on empty channel '" + channel_display_name(channels_[a]) +
-               "'";
-        break;
-    }
-    diags_.note("sim",
-                what + " occurred " + std::to_string(count) +
-                    " time(s) in total",
-                {});
-  }
-}
-
-SimResult Engine::run(const SimOptions& options) {
-  options_ = &options;
-  trace_enabled_ = options.record_trace;
-  default_period_ns_ = options.default_period_ns;
-  result_ = SimResult{};
-  components_.clear();
-  channels_.clear();
-  top_src_channel_.clear();
-  top_out_packets_.clear();
-  pending_transitions_.clear();
-  warn_counts_.clear();
-  stimulus_cursors_.clear();
-  queue_ = {};  // drop events left over from a cut-off previous run
-  now_ = 0.0;
-  sequence_ = 0;
-
-  flatten(options);
 
   // Attach behaviours and resolve per-component clock periods once.
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    Component& comp = components_[i];
+  for (std::size_t i = 0; i < graph.components.size(); ++i) {
+    Component& comp = graph.components[i];
     comp.clock_period_ns = options.default_period_ns;
     if (comp.streamlet == nullptr) continue;
     if (!comp.streamlet->ports.empty()) {
       auto it = options.clock_period_ns.find(
           comp.streamlet->ports.front().clock_domain);
-      if (it != options.clock_period_ns.end()) comp.clock_period_ns = it->second;
+      if (it != options.clock_period_ns.end()) {
+        comp.clock_period_ns = it->second;
+      }
     }
     std::map<std::string, double> params;
     auto pit = options.model_params.find(comp.path);
     if (pit != options.model_params.end()) params = pit->second;
-    comp.behavior = make_behavior(*comp.impl, *comp.streamlet, params, diags_);
+    comp.behavior = make_behavior(*comp.impl, *comp.streamlet, params, diags);
   }
 
-  inject_stimuli(options);
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    if (components_[i].behavior) {
-      components_[i].behavior->on_start(*this, static_cast<int>(i));
+  // Stimulus cursor table (global indices: options order).
+  for (const Stimulus& stim : options.stimuli) {
+    int port = graph.top_streamlet != nullptr
+                   ? graph.top_streamlet->port_index(support::intern(stim.port))
+                   : -1;
+    std::int32_t ch = port >= 0 ? graph.top_src_channel[port] : -1;
+    if (ch < 0) {
+      diags.warning("sim",
+                    "stimulus targets unknown top input '" + stim.port + "'",
+                    {});
+      continue;
     }
+    if (stim.packets.empty()) continue;
+    graph.stimulus_cursors.push_back(StimulusCursor{ch, &stim, 0});
   }
 
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.time > options.max_time_ns) {
-      now_ = options.max_time_ns;
-      break;
+  graph.component_shard.assign(graph.components.size(), 0);
+  graph.shard_count = 1;
+  return true;
+}
+
+std::vector<Stimulus> generic_stimuli(const Design& design, int packets,
+                                      double interval_ns) {
+  std::vector<Stimulus> stimuli;
+  const Impl* top = design.find_impl(design.top());
+  const Streamlet* s = top != nullptr ? design.streamlet_of(*top) : nullptr;
+  if (s == nullptr) return stimuli;
+  for (const Port& port : s->ports) {
+    if (port.dir != lang::PortDir::kIn) continue;
+    Stimulus stim;
+    stim.port = port.name;
+    stim.packets.reserve(static_cast<std::size_t>(packets));
+    for (int i = 0; i < packets; ++i) {
+      stim.packets.emplace_back(interval_ns * i,
+                                Packet{i, i == packets - 1});
     }
-    now_ = ev.time;
-    result_.events_processed += 1;
-    dispatch(ev);
+    stimuli.push_back(std::move(stim));
   }
-  result_.end_time_ns = now_;
-  detect_deadlock();
-  finalize_result();
-  return std::move(result_);
+  return stimuli;
+}
+
+Engine::Engine(const Design& design, support::DiagnosticEngine& diags)
+    : design_(design), diags_(diags) {}
+
+SimResult Engine::run(const SimOptions& options) {
+  SimGraph graph;
+  if (!build_sim_graph(design_, options, diags_, graph)) return SimResult{};
+
+  if (options.shards > 1) {
+    return shard::run_sharded(graph, options, diags_);
+  }
+
+  Kernel kernel(graph, options, diags_, /*shard=*/0, /*router=*/nullptr);
+  kernel.seed();
+  kernel.process_events(kInfiniteTime, /*inclusive=*/false,
+                        options.max_time_ns);
+  double end_time =
+      kernel.capped() ? options.max_time_ns : kernel.last_event_time();
+  std::vector<Kernel*> kernels{&kernel};
+  return merge_results(graph, kernels, end_time, diags_);
 }
 
 }  // namespace tydi::sim

@@ -18,27 +18,26 @@
 //  - deadlock detection = wait-for cycle search when the event queue runs
 //    dry while packets are still in flight.
 //
-// Performance model (see src/sim/README.md): all names are resolved to
-// dense integer IDs during flatten — components by index, ports by their
-// position in the owning streamlet's port list, channels by index. The
-// steady-state send/deliver/ack path is pure integer indexing: no string
-// hashing, no string-keyed maps, and no per-event heap allocation (events
-// are a POD tagged union dispatched by a switch). Channel/endpoint name
-// strings exist only for diagnostics and are materialized once, after the
-// event loop finishes.
+// Architecture (see src/sim/README.md): the design flattens once into a
+// `SimGraph` of dense-integer components and channels; a `Kernel`
+// (src/sim/kernel.hpp) runs the deliver/timer/poke/stimulus event loop over
+// a subset of that graph. The single-threaded engine drives one kernel over
+// the whole graph; the sharded engine (src/sim/shard/) partitions the graph
+// and drives K kernels on K threads under a conservative time-window
+// barrier. Event ordering is a canonical (time, kind, channel/component)
+// key — independent of insertion interleaving — so both drivers produce
+// byte-identical `SimResult`s.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <limits>
 #include <map>
 #include <memory>
-#include <optional>
-#include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/elab/design.hpp"
+#include "src/sim/ring.hpp"
 #include "src/support/diagnostic.hpp"
 #include "src/support/intern.hpp"
 
@@ -74,6 +73,15 @@ struct SimOptions {
   std::map<std::string, std::map<std::string, double>> model_params;
   /// Record the full packet trace (needed for testbench generation).
   bool record_trace = true;
+  /// Number of simulation shards (worker threads). 1 = the single-queue
+  /// engine; >1 partitions the flattened graph and runs the shards under a
+  /// conservative time-window barrier (src/sim/shard/). Results are
+  /// byte-identical for any shard count.
+  int shards = 1;
+  /// Partitioning strategy: true = balanced BFS partition that minimizes
+  /// cross-shard channels; false = naive contiguous block partition by
+  /// component index (useful to stress the cross-shard protocol in tests).
+  bool auto_partition = true;
 };
 
 struct ChannelStats {
@@ -144,7 +152,7 @@ struct Component {
   double clock_period_ns = 10.0;  ///< resolved from the clock-domain map
   /// Packets delivered but not yet consumed by the behaviour, per port
   /// index (entries for output ports stay empty).
-  std::vector<std::deque<Packet>> inbox;
+  std::vector<SlabRing<Packet>> inbox;
   /// Port index -> channel index this port feeds (-1 = unconnected).
   std::vector<std::int32_t> out_channel;
   /// Port index -> channel index feeding this port (-1 = unconnected).
@@ -164,148 +172,101 @@ struct ChannelEndpoint {
   std::int32_t port = -1;
 };
 
+/// A packet waiting in a channel outbox, stamped with its enqueue time so
+/// the drain can charge the blocked interval.
+struct QueuedPacket {
+  double enqueue_ns = 0.0;
+  Packet packet;
+};
+
 struct Channel {
   ChannelEndpoint src;
   ChannelEndpoint dst;
   double latency_ns = 10.0;
   bool occupied = false;
+  /// Sink-side mirror of `occupied` for cross-shard channels: set by the
+  /// sink shard at delivery, cleared on ack. Owned by the sink shard, so
+  /// the ack sanity check never reads source-owned state across threads.
+  bool delivered_pending = false;
   Packet in_flight;
-  std::deque<std::pair<double, Packet>> outbox;  ///< (enqueue time, packet)
+  /// Delivery time of the in-flight packet (valid while occupied). The
+  /// sharded runtime uses it as the earliest time the remote sink could
+  /// acknowledge (the ack-risk bound of the time-window protocol).
+  double deliver_time_ns = 0.0;
+  /// Shard owning the register + outbox (the source side). 0 in
+  /// single-shard runs.
+  std::int32_t src_shard = 0;
+  /// Shard running the sink component's behaviour. 0 in single-shard runs.
+  std::int32_t dst_shard = 0;
+  SlabRing<QueuedPacket> outbox;
   ChannelStats stats;
+
+  [[nodiscard]] bool cross_shard() const { return src_shard != dst_shard; }
 };
+
+/// Lazy stimulus injection cursor: only the next packet of each stimulus
+/// stream lives in the event queue. Cursor indices are global (options
+/// order) so the canonical event key is identical for any shard count.
+struct StimulusCursor {
+  std::int32_t channel = -1;
+  const Stimulus* stimulus = nullptr;
+  std::size_t next = 0;
+};
+
+/// The flattened design: what the event kernels run over. Built once per
+/// `Engine::run`. In sharded runs the component/channel tables are shared
+/// between threads; each kernel only touches the state it owns (its
+/// components' inboxes and behaviours, its channels' registers/outboxes).
+struct SimGraph {
+  const elab::Design* design = nullptr;
+  const elab::Streamlet* top_streamlet = nullptr;
+  std::vector<Component> components;
+  std::vector<Channel> channels;
+  /// Top streamlet port index -> channel driven by that (input) port.
+  std::vector<std::int32_t> top_src_channel;
+  /// Packets observed per top streamlet port index (folded into
+  /// SimResult::top_outputs after the run). Each port is fed by exactly one
+  /// channel, so shards append to disjoint entries.
+  std::vector<std::vector<std::pair<double, Packet>>> top_out_packets;
+  std::vector<StimulusCursor> stimulus_cursors;
+  double default_period_ns = 10.0;
+  /// Component index -> shard (all zero until partitioned).
+  std::vector<std::int32_t> component_shard;
+  int shard_count = 1;
+
+  [[nodiscard]] std::string endpoint_name(const ChannelEndpoint& ep) const;
+  [[nodiscard]] std::string channel_display_name(const Channel& c) const;
+};
+
+inline constexpr double kInfiniteTime = std::numeric_limits<double>::infinity();
+
+/// Flattens the design's top implementation, resolves clock periods,
+/// attaches behaviours, and builds the stimulus cursor table. Returns false
+/// on fatal errors (no/structural-less top).
+[[nodiscard]] bool build_sim_graph(const elab::Design& design,
+                                   const SimOptions& options,
+                                   support::DiagnosticEngine& diags,
+                                   SimGraph& graph);
+
+/// Generic workload: one stimulus per top-level input port with `packets`
+/// packets at `interval_ns` spacing (values 0..n-1, `last` on the final
+/// packet). Shared by `tydic --sim`, the scaling bench and the shard
+/// determinism tests so every harness drives the same traffic shape.
+[[nodiscard]] std::vector<Stimulus> generic_stimuli(
+    const elab::Design& design, int packets, double interval_ns = 10.0);
 
 class Engine {
  public:
   Engine(const elab::Design& design, support::DiagnosticEngine& diags);
 
-  /// Flattens and simulates the design's top implementation.
+  /// Flattens and simulates the design's top implementation. With
+  /// `options.shards > 1` the run is dispatched to the sharded engine
+  /// (src/sim/shard/); the result is byte-identical either way.
   [[nodiscard]] SimResult run(const SimOptions& options);
 
-  // --- API for Behavior models -------------------------------------------
-  // Ports are addressed by index into the component's streamlet port list;
-  // negative indices are tolerated (warn-and-drop) so behaviours built from
-  // unresolvable names degrade gracefully.
-
-  [[nodiscard]] double now() const { return now_; }
-  /// Schedules Behavior::on_timer(self=component, token) after `delay_ns`.
-  void schedule_timer(double delay_ns, int component, std::int32_t token);
-  /// Schedules a poke (re-evaluation of firing conditions) for `component`.
-  void schedule_poke(double delay_ns, int component);
-  /// Sends on an output port of `component`. Queues when the channel is
-  /// occupied.
-  void send(int component, int port, Packet packet);
-  /// Acknowledges the packet pending on an input port of `component`.
-  void ack(int component, int port);
-  /// True if the channel out of (component, port) can accept immediately.
-  [[nodiscard]] bool can_send(int component, int port) const;
-  [[nodiscard]] Component& component(int index) { return components_[index]; }
-  [[nodiscard]] const elab::Design& design() const { return design_; }
-  [[nodiscard]] double clock_period(int component) const {
-    return component >= 0 ? components_[component].clock_period_ns
-                          : default_period_ns_;
-  }
-  /// `from`/`to` are interned state values (state alphabets are small, so
-  /// recording a transition is three integer stores, no string copies).
-  void record_state_transition(int component, Symbol variable, Symbol from,
-                               Symbol to);
-  /// Re-evaluates a component's firing conditions (called by behaviours
-  /// after finishing a handler).
-  void poke(int component);
-
-  /// Human-readable "path.port" for diagnostics (not on the hot path).
-  [[nodiscard]] std::string endpoint_name(const ChannelEndpoint& ep) const;
-
  private:
-  // POD scheduler event: kind + two integer operands + packet payload,
-  // dispatched by a switch. No closures, no allocation per event.
-  enum class EventKind : std::uint8_t {
-    kDeliver,   ///< a = channel index
-    kTimer,     ///< a = component, b = behaviour-defined token
-    kPoke,      ///< a = component
-    kStimulus,  ///< a = stimulus cursor index
-  };
-  struct Event {
-    double time = 0.0;
-    std::uint64_t seq = 0;  ///< FIFO tie-break at equal times
-    std::int32_t a = -1;
-    std::int32_t b = -1;
-    EventKind kind = EventKind::kDeliver;
-    bool operator>(const Event& other) const {
-      return time != other.time ? time > other.time : seq > other.seq;
-    }
-  };
-
-  // Deduplicated per-packet warnings: each (kind, component, port/channel)
-  // site warns once and is counted; totals are reported after the run.
-  enum class WarnSite : std::uint8_t {
-    kSendUnconnected,
-    kAckUnconnected,
-    kAckEmptyChannel,
-  };
-
   const elab::Design& design_;
   support::DiagnosticEngine& diags_;
-  const SimOptions* options_ = nullptr;
-  const elab::Streamlet* top_streamlet_ = nullptr;
-  double now_ = 0.0;
-  double default_period_ns_ = 10.0;
-  std::uint64_t sequence_ = 0;
-  bool trace_enabled_ = true;
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-
-  std::vector<Component> components_;
-  std::vector<Channel> channels_;
-  /// Top streamlet port index -> channel driven by that (input) port.
-  std::vector<std::int32_t> top_src_channel_;
-  /// Packets observed per top streamlet port index (folded into
-  /// SimResult::top_outputs after the run).
-  std::vector<std::vector<std::pair<double, Packet>>> top_out_packets_;
-
-  /// (time, component, variable, from, to); paths/names materialize later.
-  struct PendingTransition {
-    double time_ns;
-    std::int32_t component;
-    Symbol variable;
-    Symbol from;
-    Symbol to;
-  };
-  std::vector<PendingTransition> pending_transitions_;
-
-  std::unordered_map<std::uint64_t, std::uint64_t> warn_counts_;
-
-  /// Lazy stimulus injection: only the next packet of each stimulus stream
-  /// lives in the event queue (keeps the heap small and cache-resident
-  /// instead of pre-loading every future packet).
-  struct StimulusCursor {
-    std::int32_t channel = -1;
-    const Stimulus* stimulus = nullptr;
-    std::size_t next = 0;
-  };
-  std::vector<StimulusCursor> stimulus_cursors_;
-
-  SimResult result_;
-
-  void push_event(double delay_ns, EventKind kind, std::int32_t a,
-                  std::int32_t b);
-  void dispatch(const Event& ev);
-  void flatten(const SimOptions& options);
-  void deliver(std::size_t channel_index);
-  void start_channel_transfer(std::size_t channel_index, Packet packet);
-  /// Starts the next outbox packet if the register is free, charging the
-  /// waiting time to the channel's blocked counter.
-  void drain_outbox(std::size_t channel_index);
-  void send_on_channel(std::size_t channel_index, Packet packet);
-  void notify_output_acked(ChannelEndpoint src);
-  void inject_stimuli(const SimOptions& options);
-  void detect_deadlock();
-  void finalize_result();
-  /// True exactly on the first hit of a warning site; every call counts, so
-  /// repeat totals can be summarized after the run without building message
-  /// strings on the event path.
-  [[nodiscard]] bool should_warn(WarnSite site, std::int32_t a,
-                                 std::int32_t b);
-  [[nodiscard]] std::string channel_display_name(const Channel& c) const;
 };
 
 }  // namespace tydi::sim

@@ -1,0 +1,531 @@
+#include "src/sim/kernel.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/sim/behavior.hpp"
+
+namespace tydi::sim {
+
+Kernel::Kernel(SimGraph& graph, const SimOptions& options,
+               support::DiagnosticEngine& diags, int shard,
+               CrossRouter* router)
+    : graph_(graph),
+      diags_(diags),
+      shard_(shard),
+      router_(router),
+      trace_enabled_(options.record_trace),
+      defer_warnings_(graph.shard_count > 1) {
+  for (std::size_t i = 0; i < graph_.channels.size(); ++i) {
+    const Channel& c = graph_.channels[i];
+    if (c.cross_shard() && c.src_shard == shard_) {
+      cross_src_channels_.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+}
+
+void Kernel::push_event(double delay_ns, EventKind kind, std::int32_t a,
+                        std::int32_t b) {
+  queue_.push(Event{now_ + delay_ns, a, b, kind});
+}
+
+void Kernel::schedule_timer(double delay_ns, int component,
+                            std::int32_t token) {
+  push_event(delay_ns, EventKind::kTimer, component, token);
+}
+
+void Kernel::schedule_poke(double delay_ns, int component) {
+  push_event(delay_ns, EventKind::kPoke, component, -1);
+}
+
+void Kernel::seed() {
+  for (std::size_t i = 0; i < graph_.stimulus_cursors.size(); ++i) {
+    const StimulusCursor& cursor = graph_.stimulus_cursors[i];
+    if (cursor.channel < 0 ||
+        graph_.channels[cursor.channel].src_shard != shard_) {
+      continue;
+    }
+    queue_.push(Event{cursor.stimulus->packets.front().first,
+                      static_cast<std::int32_t>(i), -1, EventKind::kStimulus});
+  }
+  for (std::size_t i = 0; i < graph_.components.size(); ++i) {
+    if (graph_.component_shard[i] != shard_) continue;
+    Component& comp = graph_.components[i];
+    if (comp.behavior) comp.behavior->on_start(*this, static_cast<int>(i));
+  }
+}
+
+void Kernel::process_events(double limit, bool inclusive, double max_time_ns) {
+  while (!queue_.empty()) {
+    const Event& head = queue_.top();
+    if (head.time > max_time_ns) {
+      capped_ = true;
+      break;
+    }
+    if (inclusive ? head.time > limit : head.time >= limit) break;
+    Event ev = head;
+    queue_.pop();
+    now_ = ev.time;
+    if (ev.kind != EventKind::kRemoteAck) events_processed_ += 1;
+    dispatch(ev);
+  }
+}
+
+void Kernel::dispatch(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kDeliver:
+      deliver(static_cast<std::size_t>(ev.a));
+      break;
+    case EventKind::kTimer: {
+      Component& comp = graph_.components[ev.a];
+      if (comp.behavior) comp.behavior->on_timer(*this, ev.a, ev.b);
+      break;
+    }
+    case EventKind::kPoke:
+      poke(ev.a);
+      break;
+    case EventKind::kStimulus: {
+      StimulusCursor& cursor = graph_.stimulus_cursors[ev.a];
+      send_on_channel(static_cast<std::size_t>(cursor.channel),
+                      cursor.stimulus->packets[cursor.next].second);
+      cursor.next += 1;
+      if (cursor.next < cursor.stimulus->packets.size()) {
+        // Packets enter the channel in list order; out-of-order timestamps
+        // clamp to "now".
+        double at = cursor.stimulus->packets[cursor.next].first;
+        queue_.push(Event{at > now_ ? at : now_, ev.a, -1,
+                          EventKind::kStimulus});
+      }
+      break;
+    }
+    case EventKind::kRemoteAck:
+      complete_remote_ack(static_cast<std::size_t>(ev.a));
+      break;
+  }
+}
+
+std::string Kernel::warn_message(std::uint64_t key) const {
+  auto site = static_cast<WarnSite>(key >> 56);
+  auto a = static_cast<std::int32_t>((key >> 24) & 0xFFFFFFFFu) - 1;
+  auto b = static_cast<std::int32_t>(key & 0xFFFFFFu) - 1;
+  switch (site) {
+    case WarnSite::kSendUnconnected:
+      return "send on unconnected port '" +
+             graph_.endpoint_name(ChannelEndpoint{a, b}) + "'";
+    case WarnSite::kAckUnconnected:
+      return "ack on unconnected port '" +
+             graph_.endpoint_name(ChannelEndpoint{a, b}) + "'";
+    case WarnSite::kAckEmptyChannel:
+      return "ack on empty channel '" +
+             graph_.channel_display_name(graph_.channels[a]) + "'";
+  }
+  return {};
+}
+
+std::string Kernel::warn_first_message(std::uint64_t key) const {
+  std::string what = warn_message(key);
+  if (static_cast<WarnSite>(key >> 56) == WarnSite::kSendUnconnected) {
+    what += "; packet dropped (repeats counted)";
+  } else {
+    what += " (repeats counted)";
+  }
+  return what;
+}
+
+void Kernel::warn_once(WarnSite site, std::int32_t a, std::int32_t b) {
+  std::uint64_t key = (static_cast<std::uint64_t>(site) << 56) |
+                      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                           a + 1))
+                       << 24) |
+                      (static_cast<std::uint32_t>(b + 1) & 0xFFFFFFu);
+  if (warn_counts_[key]++ != 0) return;
+  if (defer_warnings_) {
+    deferred_warnings_.push_back(WarnRecord{key});
+    return;
+  }
+  diags_.warning("sim", warn_first_message(key), {});
+}
+
+void Kernel::send(int component, int port, Packet packet) {
+  std::int32_t ch = -1;
+  if (component >= 0) {
+    const Component& comp = graph_.components[component];
+    if (port >= 0 && static_cast<std::size_t>(port) < comp.out_channel.size()) {
+      ch = comp.out_channel[port];
+    }
+  } else if (port >= 0 &&
+             static_cast<std::size_t>(port) < graph_.top_src_channel.size()) {
+    ch = graph_.top_src_channel[port];
+  }
+  if (ch < 0) {
+    warn_once(WarnSite::kSendUnconnected, component, port);
+    return;
+  }
+  send_on_channel(static_cast<std::size_t>(ch), packet);
+}
+
+void Kernel::send_on_channel(std::size_t channel_index, Packet packet) {
+  Channel& c = graph_.channels[channel_index];
+  if (!c.occupied && c.outbox.empty()) {
+    start_channel_transfer(channel_index, packet);
+  } else {
+    c.outbox.emplace_back(now_, packet);
+  }
+}
+
+bool Kernel::can_send(int component, int port) const {
+  std::int32_t ch = -1;
+  if (component >= 0) {
+    const Component& comp = graph_.components[component];
+    if (port >= 0 && static_cast<std::size_t>(port) < comp.out_channel.size()) {
+      ch = comp.out_channel[port];
+    }
+  } else if (port >= 0 &&
+             static_cast<std::size_t>(port) < graph_.top_src_channel.size()) {
+    ch = graph_.top_src_channel[port];
+  }
+  if (ch < 0) return false;
+  const Channel& c = graph_.channels[ch];
+  return !c.occupied && c.outbox.empty();
+}
+
+void Kernel::start_channel_transfer(std::size_t channel_index, Packet packet) {
+  Channel& c = graph_.channels[channel_index];
+  c.occupied = true;
+  c.in_flight = packet;
+  c.deliver_time_ns = now_ + c.latency_ns;
+  if (c.dst_shard != shard_) {
+    router_->post_deliver(c.dst_shard, c.deliver_time_ns,
+                          static_cast<std::int32_t>(channel_index));
+  } else {
+    push_event(c.latency_ns, EventKind::kDeliver,
+               static_cast<std::int32_t>(channel_index), -1);
+  }
+}
+
+void Kernel::notify_output_acked(ChannelEndpoint src) {
+  if (src.component < 0) return;
+  Component& comp = graph_.components[src.component];
+  if (comp.behavior) {
+    comp.behavior->on_output_acked(*this, src.component, src.port);
+  }
+}
+
+void Kernel::drain_outbox(std::size_t channel_index) {
+  // Note: re-check `occupied` — a behaviour notified just before this call
+  // may have re-filled the register (the pre-refactor code raced here and
+  // could overwrite an in-flight packet).
+  Channel& c = graph_.channels[channel_index];
+  if (c.occupied || c.outbox.empty()) return;
+  QueuedPacket queued = c.outbox.front();
+  c.outbox.pop_front();
+  c.stats.blocked_ns += now_ - queued.enqueue_ns;
+  start_channel_transfer(channel_index, queued.packet);
+  ChannelEndpoint src = graph_.channels[channel_index].src;
+  if (src.component >= 0) {
+    Component& comp = graph_.components[src.component];
+    if (comp.behavior) {
+      comp.behavior->on_send_accepted(*this, src.component, src.port);
+    }
+  }
+}
+
+void Kernel::deliver(std::size_t channel_index) {
+  Channel& c = graph_.channels[channel_index];
+  c.stats.packets += 1;
+  if (c.stats.packets == 1) c.stats.first_delivery_ns = now_;
+  c.stats.last_delivery_ns = now_;
+
+  if (trace_enabled_) {
+    TraceEvent ev;
+    ev.time_ns = now_;
+    ev.channel_index = static_cast<std::int32_t>(channel_index);
+    ev.packet = c.in_flight;
+    ev.is_top_input = (c.src.component < 0);
+    ev.is_top_output = (c.dst.component < 0);
+    trace_.push_back(std::move(ev));
+  }
+
+  if (c.dst.component < 0) {
+    // Environment observer: always ready, records and acknowledges.
+    // Boundary channels are never cut, so this path is always shard-local.
+    graph_.top_out_packets[c.dst.port].emplace_back(now_, c.in_flight);
+    c.occupied = false;
+    notify_output_acked(c.src);
+    drain_outbox(channel_index);
+    return;
+  }
+
+  if (c.cross_shard()) c.delivered_pending = true;
+  Component& dst = graph_.components[c.dst.component];
+  dst.inbox[c.dst.port].push_back(c.in_flight);
+  if (dst.behavior) {
+    dst.behavior->on_receive(*this, c.dst.component, c.dst.port);
+  }
+}
+
+void Kernel::ack(int component, int port) {
+  Component& comp = graph_.components[component];
+  std::int32_t ch =
+      port >= 0 && static_cast<std::size_t>(port) < comp.in_channel.size()
+          ? comp.in_channel[port]
+          : -1;
+  if (ch < 0) {
+    warn_once(WarnSite::kAckUnconnected, component, port);
+    return;
+  }
+  std::size_t channel_index = static_cast<std::size_t>(ch);
+  Channel& c = graph_.channels[channel_index];
+
+  if (c.cross_shard()) {
+    // Sink side of a cut channel: consume locally, then route the ack to
+    // the source shard, which frees the register at this same timestamp
+    // (the runtime's same-time fixpoint round).
+    //
+    // Acking before anything was delivered is warned-and-dropped here. The
+    // single-queue engine tolerates that protocol violation differently
+    // (it frees a register whose packet is still in flight); mirroring it
+    // would let acks precede the channel's delivery time and unsound the
+    // runtime's ack-risk bound, so the sharded engine refuses instead —
+    // well-formed behaviours never hit this path.
+    if (!c.delivered_pending) {
+      warn_once(WarnSite::kAckEmptyChannel, ch, -1);
+      return;
+    }
+    auto& box = comp.inbox[port];
+    if (!box.empty()) box.pop_front();
+    c.delivered_pending = false;
+    acks_posted_ += 1;
+    router_->post_ack(c.src_shard, now_, ch);
+    return;
+  }
+
+  if (!c.occupied) {
+    warn_once(WarnSite::kAckEmptyChannel, ch, -1);
+    return;
+  }
+  // Consume the packet from the sink inbox.
+  auto& box = comp.inbox[port];
+  if (!box.empty()) box.pop_front();
+
+  c.occupied = false;
+  notify_output_acked(c.src);
+  drain_outbox(channel_index);
+}
+
+void Kernel::complete_remote_ack(std::size_t channel_index) {
+  Channel& c = graph_.channels[channel_index];
+  if (!c.occupied) return;  // protocol violation; tolerate
+  c.occupied = false;
+  notify_output_acked(c.src);
+  drain_outbox(channel_index);
+}
+
+double Kernel::ack_risk_bound() const {
+  double bound = kInfiniteTime;
+  for (std::int32_t ch : cross_src_channels_) {
+    const Channel& c = graph_.channels[ch];
+    if (c.occupied && c.deliver_time_ns < bound) bound = c.deliver_time_ns;
+  }
+  return bound;
+}
+
+void Kernel::poke(int component) {
+  Component& comp = graph_.components[component];
+  if (comp.behavior) comp.behavior->on_receive(*this, component, -1);
+}
+
+void Kernel::record_state_transition(int component, Symbol variable,
+                                     Symbol from, Symbol to) {
+  transitions_.push_back(
+      PendingTransition{now_, component, variable, from, to});
+}
+
+namespace {
+
+/// Deadlock analysis over the quiesced graph (identical for any shard
+/// count: by the time this runs, every queue and mailbox is empty).
+void detect_deadlock(SimGraph& graph, SimResult& result) {
+  bool anything_blocked = false;
+  for (const Channel& c : graph.channels) {
+    if (c.occupied || !c.outbox.empty()) {
+      anything_blocked = true;
+      std::ostringstream why;
+      why << "channel " << graph.channel_display_name(c) << ": ";
+      if (c.occupied) why << "packet not acknowledged by sink";
+      if (!c.outbox.empty()) {
+        if (c.occupied) why << ", ";
+        why << c.outbox.size() << " packet(s) blocked in outbox";
+      }
+      result.blocked_report.push_back(why.str());
+    }
+  }
+  for (const Component& comp : graph.components) {
+    for (std::size_t port = 0; port < comp.inbox.size(); ++port) {
+      if (!comp.inbox[port].empty()) {
+        anything_blocked = true;
+        std::string port_name =
+            comp.streamlet != nullptr ? comp.streamlet->ports[port].name
+                                      : std::to_string(port);
+        result.blocked_report.push_back(
+            "component " + comp.path + ": " +
+            std::to_string(comp.inbox[port].size()) +
+            " unconsumed packet(s) on port '" + port_name + "'");
+      }
+    }
+  }
+  if (!anything_blocked) return;
+  result.deadlock = true;
+
+  // Wait-for graph: X -> Y means "X cannot make progress until Y acts".
+  //  - a source whose outbox is blocked waits on the sink of that channel;
+  //  - a component waiting for a packet on port p waits on the source
+  //    feeding p.
+  std::vector<std::vector<int>> edges(graph.components.size());
+  for (const Channel& c : graph.channels) {
+    if (!c.outbox.empty() && c.src.component >= 0 && c.dst.component >= 0) {
+      edges[c.src.component].push_back(c.dst.component);
+    }
+  }
+  for (std::size_t i = 0; i < graph.components.size(); ++i) {
+    const Component& comp = graph.components[i];
+    if (!comp.behavior) continue;
+    for (int port : comp.behavior->waiting_ports(comp)) {
+      std::int32_t ch =
+          port >= 0 && static_cast<std::size_t>(port) < comp.in_channel.size()
+              ? comp.in_channel[port]
+              : -1;
+      if (ch < 0) continue;
+      const Channel& c = graph.channels[ch];
+      if (c.src.component >= 0) {
+        edges[i].push_back(c.src.component);
+      }
+    }
+  }
+
+  // Iterative DFS cycle search in component-index order (deterministic).
+  std::vector<std::uint8_t> color(graph.components.size(), 0);  // 0w 1g 2b
+  std::vector<int> stack;
+  auto dfs = [&](auto&& self, int node) -> bool {
+    color[node] = 1;
+    stack.push_back(node);
+    for (int next : edges[node]) {
+      if (color[next] == 1) {
+        auto it = std::find(stack.begin(), stack.end(), next);
+        for (; it != stack.end(); ++it) {
+          result.deadlock_cycle.push_back(graph.components[*it].path);
+        }
+        return true;
+      }
+      if (color[next] == 0 && self(self, next)) return true;
+    }
+    stack.pop_back();
+    color[node] = 2;
+    return false;
+  };
+  for (std::size_t i = 0; i < graph.components.size(); ++i) {
+    if (!edges[i].empty() && color[i] == 0 && dfs(dfs, static_cast<int>(i))) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+SimResult merge_results(SimGraph& graph, const std::vector<Kernel*>& kernels,
+                        double end_time_ns,
+                        support::DiagnosticEngine& diags) {
+  SimResult result;
+  result.end_time_ns = end_time_ns;
+  for (const Kernel* k : kernels) {
+    result.events_processed += k->events_processed();
+  }
+
+  detect_deadlock(graph, result);
+
+  // Materialize the name strings the hot path never built.
+  for (Channel& c : graph.channels) {
+    c.stats.name = graph.channel_display_name(c);
+    result.channels.push_back(c.stats);
+  }
+
+  // Trace: each kernel's buffer is already in canonical pop order
+  // (time, then channel at equal times); the cross-shard merge re-sorts on
+  // the same key, so the result is identical for any shard count. The sort
+  // must be stable: a zero-latency channel (clock period 0) can deliver
+  // more than once per timestamp, and those duplicates keep their
+  // shard-local delivery order.
+  for (Kernel* k : kernels) {
+    std::vector<TraceEvent>& t = k->trace();
+    result.trace.insert(result.trace.end(),
+                        std::make_move_iterator(t.begin()),
+                        std::make_move_iterator(t.end()));
+  }
+  std::stable_sort(result.trace.begin(), result.trace.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+                     return a.channel_index < b.channel_index;
+                   });
+  for (TraceEvent& ev : result.trace) {
+    const Channel& c = graph.channels[ev.channel_index];
+    ev.channel = c.stats.name;
+    if (ev.is_top_input) {
+      ev.top_port = graph.top_streamlet->ports[c.src.port].name;
+    } else if (ev.is_top_output) {
+      ev.top_port = graph.top_streamlet->ports[c.dst.port].name;
+    }
+  }
+
+  for (std::size_t port = 0; port < graph.top_out_packets.size(); ++port) {
+    if (graph.top_out_packets[port].empty()) continue;
+    result.top_outputs[graph.top_streamlet->ports[port].name] =
+        std::move(graph.top_out_packets[port]);
+  }
+
+  // State transitions: canonical order is (time, component), with a
+  // component's own transitions kept in its execution order (a component
+  // runs on exactly one shard, so the stable sort preserves it).
+  std::vector<Kernel::PendingTransition> pending;
+  for (const Kernel* k : kernels) {
+    pending.insert(pending.end(), k->transitions().begin(),
+                   k->transitions().end());
+  }
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Kernel::PendingTransition& a,
+                      const Kernel::PendingTransition& b) {
+                     if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+                     return a.component < b.component;
+                   });
+  for (const Kernel::PendingTransition& t : pending) {
+    result.state_transitions.push_back(StateTransition{
+        t.time_ns, graph.components[t.component].path,
+        support::symbol_name(t.variable), support::symbol_name(t.from),
+        support::symbol_name(t.to)});
+  }
+
+  // Warnings. Sharded kernels deferred their first-hit warnings to keep the
+  // diagnostic engine off worker threads; emit them now in shard order.
+  if (graph.shard_count > 1) {
+    for (Kernel* k : kernels) {
+      for (const Kernel::WarnRecord& rec : k->deferred_warnings()) {
+        diags.warning("sim", k->warn_first_message(rec.key), {});
+      }
+    }
+  }
+  // Summarize deduplicated warning sites across shards (sorted by key so
+  // the report order is deterministic).
+  std::map<std::uint64_t, std::uint64_t> totals;
+  for (const Kernel* k : kernels) {
+    for (const auto& [key, count] : k->warn_counts()) totals[key] += count;
+  }
+  for (const auto& [key, count] : totals) {
+    if (count <= 1) continue;
+    diags.note("sim",
+               kernels.front()->warn_message(key) + " occurred " +
+                   std::to_string(count) + " time(s) in total",
+               {});
+  }
+  return result;
+}
+
+}  // namespace tydi::sim

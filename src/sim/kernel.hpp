@@ -1,0 +1,244 @@
+// The shard-runnable simulation kernel.
+//
+// A `Kernel` owns the event loop for one shard of a `SimGraph`: a POD
+// priority queue of deliver/timer/poke/stimulus events plus per-shard
+// result buffers (trace, state transitions, deduplicated warning sites).
+// The single-threaded engine drives one kernel over the whole graph; the
+// sharded runtime (src/sim/shard/) drives K kernels in lockstep rounds and
+// routes cross-shard channel traffic through a `CrossRouter`.
+//
+// Determinism contract: events are ordered by the canonical key
+// (time, kind, a, b) — kind before operands, deliver < timer < poke <
+// stimulus < remote-ack — which is *independent of insertion order*. Any
+// execution that feeds a kernel the same event set therefore pops it in the
+// same order, which is what makes the K-shard run byte-identical to the
+// single-queue run: cross-shard messages merely move event insertion to a
+// barrier, they cannot reorder the canonical key.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace tydi::sim {
+
+/// Scheduler event kinds, in canonical same-time execution order.
+enum class EventKind : std::uint8_t {
+  kDeliver = 0,   ///< a = channel index
+  kTimer = 1,     ///< a = component, b = behaviour-defined token
+  kPoke = 2,      ///< a = component
+  kStimulus = 3,  ///< a = global stimulus cursor index
+  kRemoteAck = 4, ///< a = channel index (sharded runs only; not counted in
+                  ///< events_processed — the single-queue engine performs
+                  ///< the same work nested inside the sink's ack call)
+};
+
+// POD scheduler event dispatched by a switch. No closures, no allocation
+// per event, no insertion-order sequence: ties at equal times break on the
+// canonical (kind, a, b) key.
+struct Event {
+  double time = 0.0;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  EventKind kind = EventKind::kDeliver;
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    if (kind != other.kind) return kind > other.kind;
+    if (a != other.a) return a > other.a;
+    return b > other.b;
+  }
+};
+
+/// Cross-shard message fabric. The sharded runtime implements this over
+/// per-shard mailboxes; single-threaded runs pass nullptr (every channel is
+/// shard-local).
+class CrossRouter {
+ public:
+  virtual ~CrossRouter() = default;
+  /// The in-flight packet of `channel` reaches the sink shard at `time`.
+  virtual void post_deliver(int to_shard, double time,
+                            std::int32_t channel) = 0;
+  /// The sink acknowledged `channel` at `time`; the source shard frees the
+  /// register, notifies the source behaviour and drains the outbox.
+  virtual void post_ack(int to_shard, double time, std::int32_t channel) = 0;
+};
+
+class Kernel {
+ public:
+  /// `shard` selects the owned slice of `graph` (graph.component_shard);
+  /// `router` must be non-null iff graph.shard_count > 1.
+  Kernel(SimGraph& graph, const SimOptions& options,
+         support::DiagnosticEngine& diags, int shard, CrossRouter* router);
+
+  // --- API for Behavior models -------------------------------------------
+  // Ports are addressed by index into the component's streamlet port list;
+  // negative indices are tolerated (warn-and-drop) so behaviours built from
+  // unresolvable names degrade gracefully.
+
+  [[nodiscard]] double now() const { return now_; }
+  /// Schedules Behavior::on_timer(self=component, token) after `delay_ns`.
+  void schedule_timer(double delay_ns, int component, std::int32_t token);
+  /// Schedules a poke (re-evaluation of firing conditions) for `component`.
+  void schedule_poke(double delay_ns, int component);
+  /// Sends on an output port of `component`. Queues when the channel is
+  /// occupied.
+  void send(int component, int port, Packet packet);
+  /// Acknowledges the packet pending on an input port of `component`.
+  void ack(int component, int port);
+  /// True if the channel out of (component, port) can accept immediately.
+  [[nodiscard]] bool can_send(int component, int port) const;
+  [[nodiscard]] Component& component(int index) {
+    return graph_.components[index];
+  }
+  [[nodiscard]] const elab::Design& design() const { return *graph_.design; }
+  [[nodiscard]] double clock_period(int component) const {
+    return component >= 0 ? graph_.components[component].clock_period_ns
+                          : graph_.default_period_ns;
+  }
+  /// `from`/`to` are interned state values (state alphabets are small, so
+  /// recording a transition is three integer stores, no string copies).
+  void record_state_transition(int component, Symbol variable, Symbol from,
+                               Symbol to);
+  /// Re-evaluates a component's firing conditions (called by behaviours
+  /// after finishing a handler).
+  void poke(int component);
+
+  /// Human-readable "path.port" for diagnostics (not on the hot path).
+  [[nodiscard]] std::string endpoint_name(const ChannelEndpoint& ep) const {
+    return graph_.endpoint_name(ep);
+  }
+
+  // --- Driver API --------------------------------------------------------
+
+  /// Pushes the first event of every owned stimulus cursor and calls
+  /// on_start for every owned component.
+  void seed();
+
+  /// Pops and dispatches events while the head is within `limit`
+  /// (`<= limit` when inclusive, `< limit` otherwise) and `<= max_time_ns`.
+  /// Sets the capped flag instead of popping an event beyond max_time_ns.
+  void process_events(double limit, bool inclusive, double max_time_ns);
+
+  /// Time of the next queued event, or kInfiniteTime when idle.
+  [[nodiscard]] double next_time() const {
+    return queue_.empty() ? kInfiniteTime : queue_.top().time;
+  }
+
+  /// Earliest time a remote sink could acknowledge one of this shard's
+  /// occupied cross-shard source channels (kInfiniteTime when none is
+  /// occupied). The runtime clamps the round horizon to this bound.
+  [[nodiscard]] double ack_risk_bound() const;
+
+  /// Absolute-time event insertion for mailbox drains.
+  void enqueue_remote_deliver(double time, std::int32_t channel) {
+    queue_.push(Event{time, channel, -1, EventKind::kDeliver});
+  }
+  void enqueue_remote_ack(double time, std::int32_t channel) {
+    queue_.push(Event{time, channel, -1, EventKind::kRemoteAck});
+  }
+
+  /// Number of cross-shard acks posted since the last call (the sharded
+  /// runtime's same-timestamp fixpoint counter).
+  [[nodiscard]] std::uint32_t take_acks_posted() {
+    std::uint32_t n = acks_posted_;
+    acks_posted_ = 0;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+  [[nodiscard]] double last_event_time() const { return now_; }
+  [[nodiscard]] bool capped() const { return capped_; }
+
+  // Result-merge access (after the event loop; see merge_results).
+  [[nodiscard]] std::vector<TraceEvent>& trace() { return trace_; }
+  struct PendingTransition {
+    double time_ns;
+    std::int32_t component;
+    Symbol variable;
+    Symbol from;
+    Symbol to;
+  };
+  [[nodiscard]] const std::vector<PendingTransition>& transitions() const {
+    return transitions_;
+  }
+  /// First-hit warning sites in local emission order (deferred mode).
+  struct WarnRecord {
+    std::uint64_t key;
+  };
+  [[nodiscard]] const std::vector<WarnRecord>& deferred_warnings() const {
+    return deferred_warnings_;
+  }
+  [[nodiscard]] const std::unordered_map<std::uint64_t, std::uint64_t>&
+  warn_counts() const {
+    return warn_counts_;
+  }
+  /// Base phrase of a warning site ("ack on empty channel '...'").
+  [[nodiscard]] std::string warn_message(std::uint64_t key) const;
+  /// First-hit form: base phrase + the site's advisory suffix.
+  [[nodiscard]] std::string warn_first_message(std::uint64_t key) const;
+
+ private:
+  // Deduplicated per-packet warnings: each (kind, component, port/channel)
+  // site warns once and is counted; totals are reported after the run.
+  enum class WarnSite : std::uint8_t {
+    kSendUnconnected,
+    kAckUnconnected,
+    kAckEmptyChannel,
+  };
+
+  void push_event(double delay_ns, EventKind kind, std::int32_t a,
+                  std::int32_t b);
+  void dispatch(const Event& ev);
+  void deliver(std::size_t channel_index);
+  void start_channel_transfer(std::size_t channel_index, Packet packet);
+  /// Starts the next outbox packet if the register is free, charging the
+  /// waiting time to the channel's blocked counter.
+  void drain_outbox(std::size_t channel_index);
+  void send_on_channel(std::size_t channel_index, Packet packet);
+  void notify_output_acked(ChannelEndpoint src);
+  /// Source-side completion of a cross-shard ack (the tail of what the
+  /// single-queue engine runs nested inside Kernel::ack).
+  void complete_remote_ack(std::size_t channel_index);
+  /// Counts the warning site; emits (or defers) the message on first hit.
+  void warn_once(WarnSite site, std::int32_t a, std::int32_t b);
+
+  SimGraph& graph_;
+  support::DiagnosticEngine& diags_;
+  const int shard_;
+  CrossRouter* router_;
+  bool trace_enabled_ = true;
+  /// Sharded runs defer warning emission to the deterministic post-join
+  /// merge instead of calling the diagnostic engine from worker threads.
+  bool defer_warnings_ = false;
+
+  double now_ = 0.0;
+  std::uint64_t events_processed_ = 0;
+  std::uint32_t acks_posted_ = 0;
+  bool capped_ = false;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<TraceEvent> trace_;
+  std::vector<PendingTransition> transitions_;
+  std::unordered_map<std::uint64_t, std::uint64_t> warn_counts_;
+  std::vector<WarnRecord> deferred_warnings_;
+  /// Channel indices of cross-shard channels whose source side this shard
+  /// owns (precomputed for ack_risk_bound).
+  std::vector<std::int32_t> cross_src_channels_;
+};
+
+/// Merges K kernels' buffers into one SimResult: channel stats + names,
+/// canonically ordered trace and state transitions, top outputs, deadlock
+/// analysis over the quiesced graph, deferred warning emission. Identical
+/// output for any K covering the same run.
+[[nodiscard]] SimResult merge_results(SimGraph& graph,
+                                      const std::vector<Kernel*>& kernels,
+                                      double end_time_ns,
+                                      support::DiagnosticEngine& diags);
+
+}  // namespace tydi::sim

@@ -87,4 +87,80 @@ std::string render_state_table(const SimResult& result) {
   return out.str();
 }
 
+bool results_identical(const SimResult& a, const SimResult& b,
+                       std::string* why) {
+  auto fail = [&](const std::string& what) {
+    if (why != nullptr) *why = what;
+    return false;
+  };
+  if (a.end_time_ns != b.end_time_ns) return fail("end_time_ns differs");
+  if (a.events_processed != b.events_processed) {
+    return fail("events_processed differs: " +
+                std::to_string(a.events_processed) + " vs " +
+                std::to_string(b.events_processed));
+  }
+  if (a.deadlock != b.deadlock) return fail("deadlock flag differs");
+  if (a.deadlock_cycle != b.deadlock_cycle) {
+    return fail("deadlock_cycle differs");
+  }
+  if (a.blocked_report != b.blocked_report) {
+    return fail("blocked_report differs");
+  }
+  if (a.channels.size() != b.channels.size()) {
+    return fail("channel count differs");
+  }
+  for (std::size_t i = 0; i < a.channels.size(); ++i) {
+    const ChannelStats& ca = a.channels[i];
+    const ChannelStats& cb = b.channels[i];
+    if (ca.name != cb.name || ca.packets != cb.packets ||
+        ca.blocked_ns != cb.blocked_ns ||
+        ca.first_delivery_ns != cb.first_delivery_ns ||
+        ca.last_delivery_ns != cb.last_delivery_ns) {
+      return fail("channel stats differ at '" + ca.name + "'");
+    }
+  }
+  if (a.top_outputs.size() != b.top_outputs.size()) {
+    return fail("top_outputs port set differs");
+  }
+  for (const auto& [port, packets] : a.top_outputs) {
+    auto it = b.top_outputs.find(port);
+    if (it == b.top_outputs.end() || it->second.size() != packets.size()) {
+      return fail("top output '" + port + "' differs in packet count");
+    }
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      if (packets[i].first != it->second[i].first ||
+          packets[i].second.value != it->second[i].second.value ||
+          packets[i].second.last != it->second[i].second.last) {
+        return fail("top output '" + port + "' differs at packet " +
+                    std::to_string(i));
+      }
+    }
+  }
+  if (a.trace.size() != b.trace.size()) return fail("trace length differs");
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    const TraceEvent& ta = a.trace[i];
+    const TraceEvent& tb = b.trace[i];
+    if (ta.time_ns != tb.time_ns || ta.channel != tb.channel ||
+        ta.channel_index != tb.channel_index ||
+        ta.packet.value != tb.packet.value ||
+        ta.packet.last != tb.packet.last ||
+        ta.is_top_input != tb.is_top_input ||
+        ta.is_top_output != tb.is_top_output || ta.top_port != tb.top_port) {
+      return fail("trace differs at event " + std::to_string(i));
+    }
+  }
+  if (a.state_transitions.size() != b.state_transitions.size()) {
+    return fail("state transition count differs");
+  }
+  for (std::size_t i = 0; i < a.state_transitions.size(); ++i) {
+    const StateTransition& sa = a.state_transitions[i];
+    const StateTransition& sb = b.state_transitions[i];
+    if (sa.time_ns != sb.time_ns || sa.component != sb.component ||
+        sa.variable != sb.variable || sa.from != sb.from || sa.to != sb.to) {
+      return fail("state transition differs at " + std::to_string(i));
+    }
+  }
+  return true;
+}
+
 }  // namespace tydi::sim

@@ -33,4 +33,11 @@ struct ChannelUtilization {
 /// Plain-text state-transition table grouped by component.
 [[nodiscard]] std::string render_state_table(const SimResult& result);
 
+/// Exact (bit-for-bit, including double timestamps) equality of two
+/// simulation results. The sharded engine's determinism contract: results
+/// must be identical for any shard count. When `why` is non-null the first
+/// difference is described there.
+[[nodiscard]] bool results_identical(const SimResult& a, const SimResult& b,
+                                     std::string* why = nullptr);
+
 }  // namespace tydi::sim

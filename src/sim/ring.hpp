@@ -1,0 +1,70 @@
+// Slab-backed ring buffer for simulator packet queues.
+//
+// Component inboxes and channel outboxes are FIFO queues with bursty
+// occupancy: usually empty or a handful of packets, but deep-backpressure
+// workloads push hundreds of packets through them. std::deque pays one
+// node allocation per 512-byte block and scatters packets across the heap;
+// SlabRing keeps all live packets in one contiguous power-of-two slab with
+// head/size indices, so steady-state push/pop touches no allocator at all
+// and iteration during deadlock analysis is a linear scan. Capacity only
+// grows (doubling), mirroring the event queue's reuse policy.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace tydi::sim {
+
+template <typename T>
+class SlabRing {
+ public:
+  SlabRing() = default;
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] T& front() { return slab_[head_]; }
+  [[nodiscard]] const T& front() const { return slab_[head_]; }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow();
+    slab_[(head_ + size_) & (capacity_ - 1)] = T{std::forward<Args>(args)...};
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & (capacity_ - 1);
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    std::size_t next = capacity_ == 0 ? kInitialCapacity : capacity_ * 2;
+    std::unique_ptr<T[]> slab(new T[next]);
+    for (std::size_t i = 0; i < size_; ++i) {
+      slab[i] = std::move(slab_[(head_ + i) & (capacity_ - 1)]);
+    }
+    slab_ = std::move(slab);
+    capacity_ = next;
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  std::unique_ptr<T[]> slab_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tydi::sim

@@ -1,0 +1,195 @@
+#include "src/sim/shard/partition.hpp"
+
+#include <algorithm>
+
+namespace tydi::sim::shard {
+
+namespace {
+
+/// Estimated activity weight: a component with more connected ports sees
+/// proportionally more deliver/ack traffic.
+double component_weight(const Component& comp) {
+  double connected = 0;
+  for (std::int32_t ch : comp.in_channel) connected += ch >= 0 ? 1 : 0;
+  for (std::int32_t ch : comp.out_channel) connected += ch >= 0 ? 1 : 0;
+  return 1.0 + connected;
+}
+
+/// BFS order over the channel adjacency, seeded by the components fed from
+/// top inputs (in channel index order), then any unreached component in
+/// index order. Deterministic: neighbours are visited in channel order.
+std::vector<std::int32_t> bfs_order(const SimGraph& graph) {
+  std::size_t n = graph.components.size();
+  std::vector<std::vector<std::int32_t>> adjacency(n);
+  for (const Channel& c : graph.channels) {
+    if (c.src.component >= 0 && c.dst.component >= 0) {
+      adjacency[c.src.component].push_back(c.dst.component);
+      adjacency[c.dst.component].push_back(c.src.component);
+    }
+  }
+  std::vector<std::int32_t> order;
+  order.reserve(n);
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<std::int32_t> frontier;
+  auto visit = [&](std::int32_t comp) {
+    if (comp < 0 || seen[comp]) return;
+    seen[comp] = 1;
+    order.push_back(comp);
+    frontier.push_back(comp);
+  };
+  auto drain = [&] {
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      for (std::int32_t next : adjacency[frontier[head]]) visit(next);
+    }
+    frontier.clear();
+  };
+  // Expand each seed's reachable subgraph before seeding the next, so
+  // independent subgraphs (e.g. parallel pipelines) stay contiguous in the
+  // order and a block split never cuts across them needlessly.
+  for (const Channel& c : graph.channels) {
+    if (c.src.component < 0) {
+      visit(c.dst.component);
+      drain();
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!seen[i]) {
+      visit(static_cast<std::int32_t>(i));
+      drain();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+PartitionStats partition_graph(SimGraph& graph, int shards,
+                               bool auto_partition) {
+  PartitionStats stats;
+  stats.requested_shards = shards;
+  std::size_t n = graph.components.size();
+  int k = std::max(1, std::min<int>(shards, static_cast<int>(n)));
+  graph.component_shard.assign(n, 0);
+
+  if (k > 1) {
+    std::vector<std::int32_t> order;
+    if (auto_partition) {
+      order = bfs_order(graph);
+    } else {
+      order.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        order[i] = static_cast<std::int32_t>(i);
+      }
+    }
+    double total = 0.0;
+    for (const Component& comp : graph.components) {
+      total += component_weight(comp);
+    }
+    int block = 0;
+    double cum = 0.0;
+    for (std::size_t j = 0; j < order.size(); ++j) {
+      graph.component_shard[order[j]] = block;
+      cum += component_weight(graph.components[order[j]]);
+      std::size_t remaining = order.size() - j - 1;
+      if (block < k - 1 &&
+          (cum * k >= total * (block + 1) ||
+           remaining == static_cast<std::size_t>(k - 1 - block))) {
+        ++block;
+      }
+    }
+  }
+
+  // Stamp channel ownership: the source side owns the register/outbox;
+  // environment endpoints follow the opposite (component) side so boundary
+  // channels are never cut.
+  for (Channel& c : graph.channels) {
+    std::int32_t src_shard =
+        c.src.component >= 0 ? graph.component_shard[c.src.component]
+        : c.dst.component >= 0 ? graph.component_shard[c.dst.component]
+                               : 0;
+    std::int32_t dst_shard =
+        c.dst.component >= 0 ? graph.component_shard[c.dst.component]
+                             : src_shard;
+    c.src_shard = src_shard;
+    c.dst_shard = dst_shard;
+    if (c.cross_shard()) {
+      stats.cross_channels += 1;
+      stats.min_cross_latency_ns =
+          std::min(stats.min_cross_latency_ns, c.latency_ns);
+    }
+  }
+
+  stats.shard_count = k;
+  stats.components_per_shard.assign(k, 0);
+  for (std::int32_t s : graph.component_shard) {
+    stats.components_per_shard[s] += 1;
+  }
+  graph.shard_count = k;
+  return stats;
+}
+
+bool validate_partition(const SimGraph& graph, const PartitionStats& stats,
+                        std::vector<std::string>& errors) {
+  std::size_t before = errors.size();
+  if (graph.component_shard.size() != graph.components.size()) {
+    errors.push_back("component_shard size mismatch");
+    return false;
+  }
+  if (graph.shard_count != stats.shard_count) {
+    errors.push_back("graph.shard_count disagrees with stats");
+  }
+  std::vector<std::size_t> per_shard(stats.shard_count, 0);
+  for (std::size_t i = 0; i < graph.component_shard.size(); ++i) {
+    std::int32_t s = graph.component_shard[i];
+    if (s < 0 || s >= stats.shard_count) {
+      errors.push_back("component " + graph.components[i].path +
+                       " assigned to out-of-range shard " +
+                       std::to_string(s));
+      continue;
+    }
+    per_shard[s] += 1;
+  }
+  for (int s = 0; s < stats.shard_count; ++s) {
+    if (per_shard[s] == 0) {
+      errors.push_back("shard " + std::to_string(s) + " owns no components");
+    }
+    if (s < static_cast<int>(stats.components_per_shard.size()) &&
+        per_shard[s] != stats.components_per_shard[s]) {
+      errors.push_back("shard " + std::to_string(s) +
+                       " component count disagrees with stats");
+    }
+  }
+  std::size_t cross = 0;
+  double min_latency = kInfiniteTime;
+  for (const Channel& c : graph.channels) {
+    std::int32_t expect_src =
+        c.src.component >= 0 ? graph.component_shard[c.src.component]
+        : c.dst.component >= 0 ? graph.component_shard[c.dst.component]
+                               : 0;
+    std::int32_t expect_dst =
+        c.dst.component >= 0 ? graph.component_shard[c.dst.component]
+                             : expect_src;
+    if (c.src_shard != expect_src || c.dst_shard != expect_dst) {
+      errors.push_back("channel ownership inconsistent with component "
+                       "assignment: " +
+                       graph.channel_display_name(c));
+    }
+    if ((c.src.component < 0 || c.dst.component < 0) && c.cross_shard()) {
+      errors.push_back("boundary channel cut: " +
+                       graph.channel_display_name(c));
+    }
+    if (c.cross_shard()) {
+      cross += 1;
+      min_latency = std::min(min_latency, c.latency_ns);
+    }
+  }
+  if (cross != stats.cross_channels) {
+    errors.push_back("cross-channel count disagrees with stats");
+  }
+  if (cross > 0 && min_latency != stats.min_cross_latency_ns) {
+    errors.push_back("min cross latency disagrees with stats");
+  }
+  return errors.size() == before;
+}
+
+}  // namespace tydi::sim::shard

@@ -1,0 +1,49 @@
+// Deterministic spatial partitioner for the sharded simulation engine.
+//
+// Splits the flattened SimGraph into K shards: every component lands in
+// exactly one shard; channels between shards become cross-shard channels
+// whose minimum latency is the conservative lookahead of the time-window
+// protocol (src/sim/shard/runtime.hpp). Top-boundary channels are never
+// cut — they are owned by the shard of their non-environment endpoint.
+//
+// Two strategies, both deterministic:
+//  - auto (default): BFS order from the top-input-fed components over the
+//    channel adjacency, split into K contiguous blocks balanced by
+//    estimated activity (port degree). BFS keeps pipeline neighbourhoods
+//    together, so cuts land on few channels.
+//  - naive: contiguous component-index blocks (stresses the cross-shard
+//    protocol in tests: cuts land wherever the flatten order put them).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace tydi::sim::shard {
+
+struct PartitionStats {
+  int requested_shards = 1;
+  /// Effective shard count (≤ requested; clamped to the component count).
+  int shard_count = 1;
+  std::size_t cross_channels = 0;
+  /// Conservative lookahead: min latency over cross-shard channels
+  /// (kInfiniteTime when nothing is cut).
+  double min_cross_latency_ns = kInfiniteTime;
+  std::vector<std::size_t> components_per_shard;
+};
+
+/// Assigns `graph.component_shard`, stamps every channel's src/dst shard,
+/// and sets `graph.shard_count`. Deterministic for a given graph + options.
+PartitionStats partition_graph(SimGraph& graph, int shards,
+                               bool auto_partition);
+
+/// Checks the partition invariants (every component in exactly one shard in
+/// range, channel ownership consistent with component assignment, boundary
+/// channels uncut, stats consistent). Appends one message per violation.
+[[nodiscard]] bool validate_partition(const SimGraph& graph,
+                                      const PartitionStats& stats,
+                                      std::vector<std::string>& errors);
+
+}  // namespace tydi::sim::shard

@@ -1,0 +1,232 @@
+#include "src/sim/shard/runtime.hpp"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/sim/kernel.hpp"
+#include "src/sim/shard/partition.hpp"
+
+namespace tydi::sim::shard {
+
+namespace {
+
+/// Sense-reversing barrier: bounded spin, then yield (stays correct and
+/// non-pathological when shards exceed hardware cores). A phase transition
+/// publishes with release/acquire ordering, so everything a thread wrote
+/// before arriving is visible to every thread after leaving — the mailbox
+/// cells and reduction slots need no locks of their own.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::uint32_t phase = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    int spins = 0;
+    while (phase_.load(std::memory_order_acquire) == phase) {
+      if (++spins > 512) std::this_thread::yield();
+    }
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint32_t> phase_{0};
+};
+
+struct Msg {
+  double time = 0.0;
+  std::int32_t channel = -1;
+  bool is_ack = false;
+};
+
+/// K×K single-producer cells. Cell (src, dst) is written only by shard
+/// `src` during a processing phase and drained only by shard `dst` during a
+/// drain phase; the two phases are always separated by a barrier, so plain
+/// vectors suffice.
+class Mailboxes {
+ public:
+  explicit Mailboxes(int shards)
+      : shards_(shards), cells_(static_cast<std::size_t>(shards) * shards) {}
+
+  std::vector<Msg>& cell(int src, int dst) {
+    return cells_[static_cast<std::size_t>(src) * shards_ + dst].msgs;
+  }
+
+  /// Drains every inbound cell of `dst` (in source-shard order) into the
+  /// kernel's queue. The canonical event order makes the drain order
+  /// irrelevant, but keeping it fixed makes runs reproducible to the byte.
+  void drain_into(int dst, Kernel& kernel) {
+    for (int src = 0; src < shards_; ++src) {
+      std::vector<Msg>& box = cell(src, dst);
+      for (const Msg& msg : box) {
+        if (msg.is_ack) {
+          kernel.enqueue_remote_ack(msg.time, msg.channel);
+        } else {
+          kernel.enqueue_remote_deliver(msg.time, msg.channel);
+        }
+      }
+      box.clear();
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::vector<Msg> msgs;
+  };
+  int shards_;
+  std::vector<Cell> cells_;
+};
+
+class ShardRouter : public CrossRouter {
+ public:
+  ShardRouter(Mailboxes& mail, int from) : mail_(mail), from_(from) {}
+
+  void post_deliver(int to_shard, double time, std::int32_t channel) override {
+    mail_.cell(from_, to_shard).push_back(Msg{time, channel, false});
+  }
+  void post_ack(int to_shard, double time, std::int32_t channel) override {
+    mail_.cell(from_, to_shard).push_back(Msg{time, channel, true});
+  }
+
+ private:
+  Mailboxes& mail_;
+  const int from_;
+};
+
+/// Cache-line-isolated per-shard reduction slot. Written by its shard
+/// before a barrier, read by every shard after it.
+struct alignas(64) Slot {
+  double next_time = kInfiniteTime;
+  double ack_bound = kInfiniteTime;
+  std::uint32_t acks_posted = 0;
+};
+
+struct RoundState {
+  SpinBarrier barrier;
+  Mailboxes mail;
+  std::vector<Slot> slots;
+  double lookahead_ns;
+  double max_time_ns;
+  std::atomic<bool> capped{false};
+
+  RoundState(int shards, double lookahead, double max_time)
+      : barrier(shards),
+        mail(shards),
+        slots(shards),
+        lookahead_ns(lookahead),
+        max_time_ns(max_time) {}
+};
+
+void shard_main(int me, int shards, Kernel& kernel, RoundState& state) {
+  for (;;) {
+    state.mail.drain_into(me, kernel);
+    state.slots[me].next_time = kernel.next_time();
+    state.slots[me].ack_bound = kernel.ack_risk_bound();
+    state.barrier.arrive_and_wait();
+
+    double t = kInfiniteTime;
+    double bound = kInfiniteTime;
+    for (int s = 0; s < shards; ++s) {
+      t = std::min(t, state.slots[s].next_time);
+      bound = std::min(bound, state.slots[s].ack_bound);
+    }
+    if (t == kInfiniteTime) break;  // global quiescence
+    if (t > state.max_time_ns) {
+      // Same t on every thread: all conclude the cutoff together.
+      if (me == 0) state.capped.store(true, std::memory_order_relaxed);
+      break;
+    }
+
+    double horizon = std::min(t + state.lookahead_ns, bound);
+    if (horizon > t) {
+      // Window round: no remote ack can land before `horizon`, and every
+      // cross-shard delivery posted now lands at ≥ t + lookahead.
+      kernel.process_events(horizon, /*inclusive=*/false, state.max_time_ns);
+      state.barrier.arrive_and_wait();
+      continue;
+    }
+
+    // Timestep round: a cross-shard channel could be acknowledged at `t`.
+    // Process exactly this timestamp, then iterate same-time ack exchange
+    // to a fixpoint so the source sees the ack at the same timestamp the
+    // single-queue engine would.
+    kernel.process_events(t, /*inclusive=*/true, state.max_time_ns);
+    state.slots[me].acks_posted = kernel.take_acks_posted();
+    state.barrier.arrive_and_wait();
+    for (;;) {
+      std::uint32_t acks = 0;
+      for (int s = 0; s < shards; ++s) acks += state.slots[s].acks_posted;
+      if (acks == 0) break;
+      state.mail.drain_into(me, kernel);
+      state.barrier.arrive_and_wait();  // drains before the next posts
+      kernel.process_events(t, /*inclusive=*/true, state.max_time_ns);
+      state.slots[me].acks_posted = kernel.take_acks_posted();
+      state.barrier.arrive_and_wait();
+    }
+  }
+}
+
+}  // namespace
+
+SimResult run_sharded(SimGraph& graph, const SimOptions& options,
+                      support::DiagnosticEngine& diags) {
+  PartitionStats stats =
+      partition_graph(graph, options.shards, options.auto_partition);
+
+  if (graph.shard_count <= 1) {
+    Kernel kernel(graph, options, diags, /*shard=*/0, /*router=*/nullptr);
+    kernel.seed();
+    kernel.process_events(kInfiniteTime, /*inclusive=*/false,
+                          options.max_time_ns);
+    double end_time =
+        kernel.capped() ? options.max_time_ns : kernel.last_event_time();
+    std::vector<Kernel*> kernels{&kernel};
+    return merge_results(graph, kernels, end_time, diags);
+  }
+
+  const int shards = graph.shard_count;
+  RoundState state(shards, stats.min_cross_latency_ns, options.max_time_ns);
+
+  std::vector<std::unique_ptr<ShardRouter>> routers;
+  std::vector<std::unique_ptr<Kernel>> kernels;
+  routers.reserve(shards);
+  kernels.reserve(shards);
+  for (int s = 0; s < shards; ++s) {
+    routers.push_back(std::make_unique<ShardRouter>(state.mail, s));
+    kernels.push_back(
+        std::make_unique<Kernel>(graph, options, diags, s, routers[s].get()));
+  }
+  // Seed single-threaded (behaviour on_start may post cross-shard traffic;
+  // the mailboxes are drained at the first round).
+  for (auto& kernel : kernels) kernel->seed();
+
+  std::vector<std::thread> threads;
+  threads.reserve(shards);
+  for (int s = 0; s < shards; ++s) {
+    threads.emplace_back(shard_main, s, shards, std::ref(*kernels[s]),
+                         std::ref(state));
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  double end_time = 0.0;
+  if (state.capped.load(std::memory_order_relaxed)) {
+    end_time = options.max_time_ns;
+  } else {
+    for (const auto& kernel : kernels) {
+      end_time = std::max(end_time, kernel->last_event_time());
+    }
+  }
+  std::vector<Kernel*> kernel_ptrs;
+  kernel_ptrs.reserve(shards);
+  for (auto& kernel : kernels) kernel_ptrs.push_back(kernel.get());
+  return merge_results(graph, kernel_ptrs, end_time, diags);
+}
+
+}  // namespace tydi::sim::shard

@@ -1,0 +1,39 @@
+// Sharded simulation runtime: K kernels on K threads under a conservative
+// time-window barrier.
+//
+// Protocol (see src/sim/shard/README.md for the full argument):
+//  - All threads advance in lockstep *rounds*. A round starts by draining
+//    the shard mailboxes and reducing the global next-event time T and the
+//    global ack-risk bound over a barrier.
+//  - When no cross-shard channel could be acknowledged inside the window
+//    (bound > T), every shard freely processes events in [T, H) with
+//    H = min(T + W, bound), W = the partition's minimum cross-shard channel
+//    latency. Any cross-shard delivery posted inside the window lands at
+//    ≥ T + W, i.e. in a later round — no shard can affect another within
+//    the window.
+//  - Otherwise the round degrades to a single timestamp: shards process
+//    events at exactly T, exchange same-time acknowledgements, and iterate
+//    to a fixpoint before advancing. This preserves the single-queue
+//    engine's synchronous ack semantics (a sink's ack frees the source
+//    register *at the same timestamp*), which has zero lookahead and is
+//    exactly the part a pure window scheme cannot cut.
+//
+// Determinism: every control decision (T, H, fixpoint continuation) derives
+// from barrier-reduced values all threads compute identically, and kernels
+// pop events in the canonical interleaving-independent order, so the run is
+// reproducible and byte-identical to the single-queue engine.
+#pragma once
+
+#include "src/sim/engine.hpp"
+#include "src/support/diagnostic.hpp"
+
+namespace tydi::sim::shard {
+
+/// Partitions `graph` per `options` (shards, auto_partition), runs the
+/// sharded simulation, and merges the per-shard buffers into a SimResult
+/// byte-identical to the single-queue engine's. Falls back to the inline
+/// single-kernel loop when the effective shard count is 1.
+[[nodiscard]] SimResult run_sharded(SimGraph& graph, const SimOptions& options,
+                                    support::DiagnosticEngine& diags);
+
+}  // namespace tydi::sim::shard

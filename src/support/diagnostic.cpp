@@ -18,6 +18,7 @@ std::string_view to_string(Severity s) {
 
 void DiagnosticEngine::report(Severity sev, std::string phase,
                               std::string message, Loc loc) {
+  std::lock_guard lock(mu_);
   if (sev == Severity::kError) ++error_count_;
   if (sev == Severity::kWarning) ++warning_count_;
   diags_.push_back(Diagnostic{sev, std::move(phase), std::move(message), loc});
@@ -38,6 +39,7 @@ void DiagnosticEngine::note(std::string phase, std::string message, Loc loc) {
 
 std::string DiagnosticEngine::render() const {
   std::ostringstream out;
+  std::lock_guard lock(mu_);
   for (const Diagnostic& d : diags_) {
     out << to_string(d.severity) << ": ";
     if (sm_ != nullptr) {
@@ -51,6 +53,7 @@ std::string DiagnosticEngine::render() const {
 std::vector<Diagnostic> DiagnosticEngine::by_phase(
     std::string_view phase) const {
   std::vector<Diagnostic> out;
+  std::lock_guard lock(mu_);
   for (const Diagnostic& d : diags_) {
     if (d.phase == phase) out.push_back(d);
   }
@@ -58,6 +61,7 @@ std::vector<Diagnostic> DiagnosticEngine::by_phase(
 }
 
 void DiagnosticEngine::clear() {
+  std::lock_guard lock(mu_);
   diags_.clear();
   error_count_ = 0;
   warning_count_ = 0;

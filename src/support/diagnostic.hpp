@@ -5,6 +5,8 @@
 // way the paper's DRC produces a report (Fig. 3, "DRC report").
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +34,11 @@ struct Diagnostic {
 
 /// Collects diagnostics for a compilation. Cheap to pass by reference through
 /// all phases; rendering is deferred until a report is requested.
+///
+/// Reporting is thread-safe (the sharded simulator's behaviours may warn
+/// from worker threads); the counters are atomics so has_errors() stays a
+/// lock-free read. The reference returned by diagnostics() must not be held
+/// across concurrent report() calls.
 class DiagnosticEngine {
  public:
   explicit DiagnosticEngine(const SourceManager* sm = nullptr) : sm_(sm) {}
@@ -58,9 +65,10 @@ class DiagnosticEngine {
 
  private:
   const SourceManager* sm_;
+  mutable std::mutex mu_;
   std::vector<Diagnostic> diags_;
-  std::size_t error_count_ = 0;
-  std::size_t warning_count_ = 0;
+  std::atomic<std::size_t> error_count_ = 0;
+  std::atomic<std::size_t> warning_count_ = 0;
 };
 
 }  // namespace tydi::support

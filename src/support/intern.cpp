@@ -1,8 +1,17 @@
 #include "src/support/intern.hpp"
 
+#include <mutex>
+
 namespace tydi::support {
 
 Symbol Interner::intern(std::string_view s) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  // Re-check: another thread may have inserted between the locks.
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
   Symbol sym = static_cast<Symbol>(strings_.size());
@@ -12,6 +21,7 @@ Symbol Interner::intern(std::string_view s) {
 }
 
 Symbol Interner::find(std::string_view s) const {
+  std::shared_lock lock(mu_);
   auto it = index_.find(s);
   return it != index_.end() ? it->second : kNoSymbol;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -23,6 +24,9 @@ using Symbol = std::uint32_t;
 /// Sentinel for "not yet interned / no name".
 inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
 
+/// Thread-safe: the sharded simulator interns (rarely — state values and
+/// diagnostics) from worker threads. Lookups take a shared lock; first-time
+/// insertion upgrades to an exclusive lock.
 class Interner {
  public:
   /// Returns the symbol for `s`, inserting it on first sight. Stable: the
@@ -30,19 +34,26 @@ class Interner {
   Symbol intern(std::string_view s);
 
   /// The string behind a symbol. `sym` must come from this interner.
+  /// The returned reference is stable for the process lifetime (the table
+  /// only grows and element addresses never move).
   [[nodiscard]] const std::string& str(Symbol sym) const {
+    std::shared_lock lock(mu_);
     return strings_[sym];
   }
 
   /// Symbol for `s` if already interned, else kNoSymbol (no insertion).
   [[nodiscard]] Symbol find(std::string_view s) const;
 
-  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return strings_.size();
+  }
 
   /// The process-wide interner used by the compiler and simulator.
   static Interner& global();
 
  private:
+  mutable std::shared_mutex mu_;
   // deque keeps element addresses stable so the string_view keys of index_
   // can point into strings_ without re-keying on growth.
   std::deque<std::string> strings_;

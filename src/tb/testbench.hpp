@@ -8,11 +8,16 @@
 //     packets through the physical stream signals, and asserts the outputs,
 // so low-level tools can verify that external implementations behave as
 // their simulation code promised.
+//
+// Like every other backend (DRC, VHDL, fletchgen), testbench generation
+// consumes the lowered `ir::Module`: port signal lists come from the
+// `StreamLayout`s cached once at lowering, not from re-running
+// `types::physical_streams()` per port.
 #pragma once
 
 #include <string>
 
-#include "src/elab/design.hpp"
+#include "src/ir/ir.hpp"
 #include "src/sim/engine.hpp"
 
 namespace tydi::tb {
@@ -23,12 +28,12 @@ struct TestbenchOptions {
 };
 
 /// Tydi-IR testbench text from a recorded simulation trace.
-[[nodiscard]] std::string emit_ir_testbench(const elab::Design& design,
+[[nodiscard]] std::string emit_ir_testbench(const ir::Module& module,
                                             const sim::SimResult& result,
                                             const TestbenchOptions& options);
 
 /// VHDL testbench (entity + stimulus/checker process).
-[[nodiscard]] std::string emit_vhdl_testbench(const elab::Design& design,
+[[nodiscard]] std::string emit_vhdl_testbench(const ir::Module& module,
                                               const sim::SimResult& result,
                                               const TestbenchOptions& options);
 

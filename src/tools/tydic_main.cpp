@@ -12,11 +12,19 @@
 //   --emit-manifest <path> write the fletchgen reader manifest
 //   --summary              print the design inventory
 //   --timings              print per-phase wall clock (pipeline order)
+//   --sim                  simulate the elaborated design (generic stimuli
+//                          on every top input) and print the report
+//   --sim-shards <n>       simulation shards / worker threads (implies
+//                          --sim; results are identical for any n)
+//   --sim-packets <n>      packets per top input stimulus (default 256)
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 #include "src/driver/compiler.hpp"
 #include "src/fletcher/fletchgen.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/metrics.hpp"
 
 namespace {
 
@@ -24,8 +32,24 @@ int usage() {
   std::cerr << "usage: tydic --top <impl> [--no-stdlib] [--no-sugar] "
                "[--emit-ir <path>] [--emit-vhdl <path>] "
                "[--emit-manifest <path>] [--summary] [--timings] "
+               "[--sim] [--sim-shards <n>] [--sim-packets <n>] "
                "<file.td>...\n";
   return 2;
+}
+
+int run_simulation(const tydi::driver::CompileResult& result, int shards,
+                   int packets) {
+  tydi::support::DiagnosticEngine diags;
+  tydi::sim::Engine engine(result.design, diags);
+  tydi::sim::SimOptions options;
+  options.shards = shards;
+  options.record_trace = false;  // the report below never reads the trace
+  options.stimuli = tydi::sim::generic_stimuli(result.design, packets);
+  tydi::sim::SimResult sim_result = engine.run(options);
+  std::cerr << diags.render();
+  std::cout << sim_result.summary() << "\n"
+            << tydi::sim::render_bottleneck_report(sim_result, 10);
+  return sim_result.deadlock ? 1 : 0;
 }
 
 bool write_file(const std::string& path, const std::string& text) {
@@ -48,6 +72,9 @@ int main(int argc, char** argv) {
   std::string manifest_path;
   bool summary = false;
   bool timings = false;
+  bool simulate = false;
+  int sim_shards = 1;
+  int sim_packets = 256;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -74,6 +101,16 @@ int main(int argc, char** argv) {
       summary = true;
     } else if (arg == "--timings") {
       timings = true;
+    } else if (arg == "--sim") {
+      simulate = true;
+    } else if (arg == "--sim-shards") {
+      simulate = true;
+      sim_shards = std::atoi(next("--sim-shards").c_str());
+      if (sim_shards < 1) sim_shards = 1;
+    } else if (arg == "--sim-packets") {
+      simulate = true;
+      sim_packets = std::atoi(next("--sim-packets").c_str());
+      if (sim_packets < 1) sim_packets = 1;
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else {
@@ -99,7 +136,7 @@ int main(int argc, char** argv) {
   if (summary) std::cout << result.design.summary();
   if (!ir_path.empty()) {
     if (!write_file(ir_path, result.ir_text)) return 1;
-  } else if (vhdl_path.empty() && !summary) {
+  } else if (vhdl_path.empty() && !summary && !simulate) {
     std::cout << result.ir_text;
   }
   if (!vhdl_path.empty()) {
@@ -111,5 +148,6 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (simulate) return run_simulation(result, sim_shards, sim_packets);
   return 0;
 }

@@ -316,7 +316,7 @@ impl top of s {
   tb::TestbenchOptions options;
   options.name = "tb_echo";
 
-  std::string ir = tb::emit_ir_testbench(setup.compiled.design, setup.result,
+  std::string ir = tb::emit_ir_testbench(setup.compiled.ir, setup.result,
                                          options);
   EXPECT_NE(ir.find("testbench tb_echo for top"), std::string::npos);
   // Three drives and three expects.
@@ -333,7 +333,7 @@ impl top of s {
   EXPECT_EQ(drives, 3u);
   EXPECT_EQ(expects, 3u);
 
-  std::string vhdl = tb::emit_vhdl_testbench(setup.compiled.design,
+  std::string vhdl = tb::emit_vhdl_testbench(setup.compiled.ir,
                                              setup.result, options);
   EXPECT_NE(vhdl.find("entity tb_echo is"), std::string::npos);
   EXPECT_NE(vhdl.find("dut : entity work.top"), std::string::npos);

@@ -1,0 +1,292 @@
+// Sharded simulation engine tests: the determinism contract (SimResult
+// byte-identical across shard counts, including shard=1 == the legacy
+// single-queue engine) on the example + TPC-H designs, plus partitioner
+// invariants (every component in exactly one shard, consistent cross-shard
+// channel accounting, boundary channels never cut).
+#include <gtest/gtest.h>
+
+#include "src/driver/compiler.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/kernel.hpp"
+#include "src/sim/metrics.hpp"
+#include "src/sim/shard/partition.hpp"
+#include "src/tpch/tpch.hpp"
+
+namespace tydi {
+namespace {
+
+constexpr std::string_view kParallelizeSource = R"tydi(
+package partest;
+type t_data = Stream(Bit(64), d=1, c=2);
+impl pu_adder of process_unit_s<type t_data, type t_data> @ external {
+  sim {
+    state s = "idle";
+    on in_.receive {
+      set s = "busy";
+      delay(7);
+      send(out);
+      ack(in_);
+      set s = "idle";
+    }
+  }
+}
+streamlet partest_top_s { feed: t_data in, result: t_data out, }
+impl partest_top of partest_top_s {
+  instance par(parallelize_i<type t_data, type t_data, impl pu_adder, 8>),
+  feed => par.in_,
+  par.out => result,
+}
+)tydi";
+
+constexpr std::string_view kPipelineSource = R"tydi(
+package pipedemo;
+type t_word = Stream(Bit(32), d=1, c=2);
+streamlet stage_s<T: type> { in_: T in, out: T out, }
+impl pipeline_i<T: type, stage: impl of stage_s, n: int> of stage_s<type T> {
+  instance st(stage) [n],
+  in_ => st[0].in_,
+  for i in 0->n-1 {
+    st[i].out => st[i+1].in_,
+  }
+  st[n-1].out => out,
+}
+impl reg_stage of stage_s<type t_word> @ external {
+  sim {
+    on in_.receive {
+      delay(2);
+      send(out);
+      ack(in_);
+    }
+  }
+}
+streamlet demo_s { feed: t_word in, drained: t_word out, }
+impl demo_top of demo_s {
+  instance pipe(pipeline_i<type t_word, impl reg_stage, 8>),
+  feed => pipe.in_,
+  pipe.out => drained,
+}
+)tydi";
+
+constexpr std::string_view kSqlFilterSource = R"tydi(
+package sqlfilter;
+type t_container = Stream(Bit(80), d=1, c=2);
+streamlet in_list_s {
+  container: t_container in,
+  matched: std_bool out,
+}
+impl in_list of in_list_s {
+  const values = ["MED BAG", "MED BOX", "MED PKG", "MED PACK"];
+  instance any_of(logic_or_i<type std_bool, 4>),
+  for i in 0->4 {
+    instance cmp[i](const_compare_i<type t_container, type std_bool, values[i], "==">),
+    container => cmp[i].in_,
+    cmp[i].out => any_of.in_[i],
+  }
+  any_of.out => matched,
+}
+)tydi";
+
+constexpr std::string_view kDeadlockSource = R"tydi(
+package deadtest;
+type t_data = Stream(Bit(8), d=1, c=2);
+streamlet join_s { a: t_data in, b: t_data in, out: t_data out, }
+impl join_i of join_s @ external {
+  sim {
+    on a.receive && b.receive { send(out); ack(a); ack(b); }
+  }
+}
+streamlet loop_s { in_: t_data in, out: t_data out, }
+impl echo_i of loop_s @ external {
+  sim {
+    on in_.receive { send(out); ack(in_); }
+  }
+}
+streamlet deadtop_s { feed: t_data in, result: t_data out, }
+impl deadtop of deadtop_s {
+  instance join(join_i),
+  instance echo(echo_i),
+  instance dup(duplicator_i<type t_data, 2>),
+  feed => join.a,
+  echo.out => join.b,
+  join.out => dup.in_,
+  dup.out_[0] => echo.in_,
+  dup.out_[1] => result,
+}
+)tydi";
+
+driver::CompileResult compile(std::string_view source, const std::string& top) {
+  driver::CompileOptions options;
+  options.top = top;
+  options.emit_vhdl = false;
+  driver::CompileResult compiled =
+      driver::compile_source(std::string(source), options);
+  EXPECT_TRUE(compiled.success()) << compiled.report();
+  return compiled;
+}
+
+/// Stimuli for every top-level input port: `packets` packets at one-cycle
+/// intervals, values 0..packets-1, `last` on the final one.
+sim::SimOptions generic_options(const elab::Design& design, int packets,
+                                int shards, bool auto_partition) {
+  sim::SimOptions options;
+  options.max_time_ns = 1.0e7;
+  options.shards = shards;
+  options.auto_partition = auto_partition;
+  options.stimuli = sim::generic_stimuli(design, packets);
+  return options;
+}
+
+void expect_identical_across_shards(const driver::CompileResult& compiled,
+                                    int packets, bool auto_partition,
+                                    const char* what) {
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+  sim::SimOptions base =
+      generic_options(compiled.design, packets, 1, auto_partition);
+  sim::SimResult reference = engine.run(base);
+  EXPECT_GT(reference.events_processed, 0u) << what;
+  for (int shards : {2, 4, 7}) {
+    sim::SimOptions options =
+        generic_options(compiled.design, packets, shards, auto_partition);
+    sim::SimResult sharded = engine.run(options);
+    std::string why;
+    EXPECT_TRUE(sim::results_identical(reference, sharded, &why))
+        << what << " with " << shards << " shards (auto_partition="
+        << auto_partition << "): " << why;
+  }
+}
+
+TEST(SimShardDeterminism, ParallelizeIdenticalAcrossShardCounts) {
+  driver::CompileResult compiled = compile(kParallelizeSource, "partest_top");
+  expect_identical_across_shards(compiled, 96, true, "parallelize");
+  expect_identical_across_shards(compiled, 96, false, "parallelize");
+}
+
+TEST(SimShardDeterminism, PipelineChainIdenticalAcrossShardCounts) {
+  driver::CompileResult compiled = compile(kPipelineSource, "demo_top");
+  expect_identical_across_shards(compiled, 64, true, "pipeline_chain");
+  expect_identical_across_shards(compiled, 64, false, "pipeline_chain");
+}
+
+TEST(SimShardDeterminism, SqlFilterIdenticalAcrossShardCounts) {
+  driver::CompileResult compiled = compile(kSqlFilterSource, "in_list");
+  expect_identical_across_shards(compiled, 64, true, "sql_filter");
+  expect_identical_across_shards(compiled, 64, false, "sql_filter");
+}
+
+TEST(SimShardDeterminism, TpchQueryIdenticalAcrossShardCounts) {
+  const tpch::QueryCase* q6 = tpch::find_query("TPC-H 6");
+  ASSERT_NE(q6, nullptr);
+  driver::CompileResult compiled = tpch::compile_query(*q6);
+  ASSERT_TRUE(compiled.success()) << compiled.report();
+  expect_identical_across_shards(compiled, 32, true, "tpch_q6");
+}
+
+TEST(SimShardDeterminism, DeadlockReportIdenticalAcrossShardCounts) {
+  // The wait-for cycle and blocked report must be stable under sharding:
+  // deadlock analysis runs over the quiesced global graph.
+  driver::CompileResult compiled = compile(kDeadlockSource, "deadtop");
+  expect_identical_across_shards(compiled, 1, true, "deadlock");
+}
+
+TEST(SimShardDeterminism, RepeatedShardedRunsIdentical) {
+  driver::CompileResult compiled = compile(kParallelizeSource, "partest_top");
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+  sim::SimOptions options = generic_options(compiled.design, 48, 4, true);
+  sim::SimResult first = engine.run(options);
+  sim::SimResult second = engine.run(options);
+  std::string why;
+  EXPECT_TRUE(sim::results_identical(first, second, &why)) << why;
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner invariants
+// ---------------------------------------------------------------------------
+
+TEST(SimShardPartition, EveryComponentInExactlyOneShard) {
+  driver::CompileResult compiled = compile(kParallelizeSource, "partest_top");
+  support::DiagnosticEngine diags;
+  sim::SimGraph graph;
+  sim::SimOptions options = generic_options(compiled.design, 1, 1, true);
+  ASSERT_TRUE(sim::build_sim_graph(compiled.design, options, diags, graph));
+  ASSERT_GT(graph.components.size(), 4u);
+
+  for (bool auto_partition : {true, false}) {
+    sim::shard::PartitionStats stats =
+        sim::shard::partition_graph(graph, 4, auto_partition);
+    EXPECT_EQ(stats.shard_count, 4);
+    ASSERT_EQ(graph.component_shard.size(), graph.components.size());
+    std::vector<std::size_t> per_shard(stats.shard_count, 0);
+    for (std::int32_t shard : graph.component_shard) {
+      ASSERT_GE(shard, 0);
+      ASSERT_LT(shard, stats.shard_count);
+      per_shard[shard] += 1;
+    }
+    std::size_t total = 0;
+    for (int s = 0; s < stats.shard_count; ++s) {
+      EXPECT_GT(per_shard[s], 0u) << "shard " << s << " is empty";
+      EXPECT_EQ(per_shard[s], stats.components_per_shard[s]);
+      total += per_shard[s];
+    }
+    EXPECT_EQ(total, graph.components.size());
+
+    std::vector<std::string> errors;
+    EXPECT_TRUE(sim::shard::validate_partition(graph, stats, errors))
+        << (errors.empty() ? "" : errors.front());
+  }
+}
+
+TEST(SimShardPartition, CrossChannelAccountingIsConsistent) {
+  driver::CompileResult compiled = compile(kPipelineSource, "demo_top");
+  support::DiagnosticEngine diags;
+  sim::SimGraph graph;
+  sim::SimOptions options = generic_options(compiled.design, 1, 1, true);
+  ASSERT_TRUE(sim::build_sim_graph(compiled.design, options, diags, graph));
+
+  sim::shard::PartitionStats stats =
+      sim::shard::partition_graph(graph, 4, true);
+  std::size_t cross = 0;
+  double min_latency = sim::kInfiniteTime;
+  for (const sim::Channel& c : graph.channels) {
+    // Boundary channels must never be cut.
+    if (c.src.component < 0 || c.dst.component < 0) {
+      EXPECT_FALSE(c.cross_shard())
+          << graph.channel_display_name(c);
+    }
+    if (c.src.component >= 0) {
+      EXPECT_EQ(c.src_shard, graph.component_shard[c.src.component]);
+    }
+    if (c.dst.component >= 0) {
+      EXPECT_EQ(c.dst_shard, graph.component_shard[c.dst.component]);
+    }
+    if (c.cross_shard()) {
+      cross += 1;
+      min_latency = std::min(min_latency, c.latency_ns);
+    }
+  }
+  EXPECT_EQ(cross, stats.cross_channels);
+  // An 8-deep pipeline over 4 shards must cut something, and the lookahead
+  // is the minimum cut latency.
+  EXPECT_GT(cross, 0u);
+  EXPECT_EQ(stats.min_cross_latency_ns, min_latency);
+}
+
+TEST(SimShardPartition, ShardCountClampsToComponentCount) {
+  driver::CompileResult compiled = compile(kDeadlockSource, "deadtop");
+  support::DiagnosticEngine diags;
+  sim::SimGraph graph;
+  sim::SimOptions options = generic_options(compiled.design, 1, 1, true);
+  ASSERT_TRUE(sim::build_sim_graph(compiled.design, options, diags, graph));
+  sim::shard::PartitionStats stats =
+      sim::shard::partition_graph(graph, 64, true);
+  EXPECT_LE(static_cast<std::size_t>(stats.shard_count),
+            graph.components.size());
+  EXPECT_EQ(stats.shard_count, graph.shard_count);
+  std::vector<std::string> errors;
+  EXPECT_TRUE(sim::shard::validate_partition(graph, stats, errors))
+      << (errors.empty() ? "" : errors.front());
+}
+
+}  // namespace
+}  // namespace tydi
