@@ -5,18 +5,38 @@
 // plus a template-instantiation scaling benchmark (parallelize with growing
 // channel counts exercises the monomorphiser and the generative for).
 //
-// With `--json <path>` the harness instead compiles every TPC-H query once
-// and writes per-phase wall-clock (pipeline order, lowering counted once)
-// and the template-instantiation cache hit rate to `path`.
+// With `--json <path>` the harness instead measures the cold-vs-warm
+// behaviour of a driver::CompileSession on the TPC-H workload: cold rounds
+// (default 3) each compile every query in a *fresh* session, warm rounds
+// (default 5) recompile the same queries in one surviving session so the
+// process-wide template memo and parse cache serve them. Identical work per
+// round, so each side reports its fastest round (noise-robust minimum).
+// Per-phase wall-clock (pipeline order), template-cache hit rates, emitted
+// bytes, emission chunk allocations and peak RSS are upserted as the
+// "compile_pipeline_tpch" section of the given JSON trajectory file
+// (BENCH_compile.json at the repo root).
+//
+// The JSON run also *gates*: it exits non-zero when any query fails, when a
+// warm recompile is not byte-identical to the cold compile, when the warm
+// template-cache hit rate falls below --min-warm-hit-rate (default 0.9), or
+// when the warm speedup falls below --min-warm-speedup (default 1.25; the
+// committed BENCH_compile.json tracks the actual measured value).
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 
+#include "bench/bench_json.hpp"
 #include "src/driver/compiler.hpp"
 #include "src/parser/parser.hpp"
 #include "src/stdlib/stdlib.hpp"
+#include "src/support/text.hpp"
 #include "src/tpch/tpch.hpp"
 
 namespace {
@@ -97,69 +117,217 @@ impl scale_top of top_s {
   state.SetComplexityN(channels);
 }
 
-int run_compile_json(const char* path) {
-  // One full compile per TPC-H query case; phases accumulate in pipeline
-  // order (the driver lowers to Tydi-IR exactly once per compile, so the
-  // "lower" phase is counted once however many backends consume it).
+// Pre-overhaul numbers measured on this container at the seed of this PR
+// (single-string CodeWriter, per-compile template cache): the JSON section
+// records them so the trajectory shows the emission-phase reduction against
+// the same workload.
+constexpr double kPreOverhaulTotalMs = 11.02;
+constexpr double kPreOverhaulVhdlMs = 5.00;
+constexpr double kPreOverhaulHitRate = 0.104;
+
+/// One batch round (all TPC-H queries through one session pass).
+struct RoundMetrics {
   tydi::driver::PhaseTimings phases;
+  tydi::elab::InstantiationStats cache;
+  std::size_t bytes = 0;                    ///< IR + VHDL bytes emitted
+  std::uint64_t emission_chunk_allocs = 0;  ///< CodeWriter chunks allocated
+  std::size_t failed = 0;
+};
+
+RoundMetrics run_round(tydi::driver::CompileSession& session,
+                       std::vector<std::string>* texts_out,
+                       bool* determinism_ok,
+                       const std::vector<std::string>* cold_texts) {
+  RoundMetrics m;
   // Seed canonical pipeline order: some cases skip phases (Q1 runs without
   // sugaring), and the aggregate must still print in pipeline order.
-  for (const char* phase : {"parse", "elaborate", "sugar", "lower", "drc",
-                            "ir", "vhdl"}) {
-    phases.add(phase, 0.0);
+  for (const char* phase : tydi::driver::kPipelinePhases) {
+    m.phases.add(phase, 0.0);
   }
-  tydi::elab::InstantiationStats cache;
-  std::size_t compiled = 0;
-  std::size_t failed = 0;
+  std::size_t index = 0;
+  const std::uint64_t allocs_before =
+      tydi::support::CodeWriter::process_chunk_allocs();
   for (const tydi::tpch::QueryCase& q : tydi::tpch::queries()) {
-    tydi::driver::CompileOptions options;
-    options.top = q.top_impl;
-    options.sugaring = q.sugaring;
-    auto result = tydi::driver::compile(sources_for(q), options);
+    auto result = tydi::tpch::compile_query(q, session);
+    // One text slot per query, failed or not, so determinism comparisons
+    // across rounds always align by query index. Failed compiles keep an
+    // empty slot and are excluded from the byte comparison.
+    std::string text;
     if (!result.success()) {
-      ++failed;
-      continue;
+      ++m.failed;
+    } else {
+      for (const auto& e : result.phase_ms.entries()) {
+        m.phases.add(e.phase, e.ms);
+      }
+      m.cache += result.template_cache;
+      m.bytes += result.vhdl_text.size() + result.ir_text.size();
+      text = std::move(result.vhdl_text);
+      text += '\x01';
+      text += result.ir_text;
+      if (cold_texts != nullptr && determinism_ok != nullptr &&
+          index < cold_texts->size() && !(*cold_texts)[index].empty() &&
+          text != (*cold_texts)[index]) {
+        *determinism_ok = false;
+      }
     }
-    ++compiled;
-    for (const auto& e : result.phase_ms.entries()) phases.add(e.phase, e.ms);
-    cache += result.template_cache;
+    if (texts_out != nullptr) texts_out->push_back(std::move(text));
+    ++index;
   }
+  m.emission_chunk_allocs =
+      tydi::support::CodeWriter::process_chunk_allocs() - allocs_before;
+  return m;
+}
 
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "error: cannot write " << path << "\n";
-    return 1;
-  }
-  out << "{\n"
-      << "  \"benchmark\": \"compile_pipeline_tpch\",\n"
-      << "  \"queries_compiled\": " << compiled << ",\n"
-      << "  \"queries_failed\": " << failed << ",\n"
-      << "  \"phase_ms\": {";
-  const auto& entries = phases.entries();
+long peak_rss_kb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+void append_round_json(std::ostream& out, const char* name,
+                       const RoundMetrics& m) {
+  out << "  \"" << name << "\": {\n    \"phase_ms\": {";
+  const auto& entries = m.phases.entries();
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out << (i > 0 ? ", " : "") << "\"" << entries[i].phase
         << "\": " << entries[i].ms;
   }
   out << "},\n"
-      << "  \"total_ms\": " << phases.total_ms() << ",\n"
-      << "  \"template_cache\": {\n"
-      << "    \"streamlet_hits\": " << cache.streamlet_hits << ",\n"
-      << "    \"streamlet_misses\": " << cache.streamlet_misses << ",\n"
-      << "    \"impl_hits\": " << cache.impl_hits << ",\n"
-      << "    \"impl_misses\": " << cache.impl_misses << ",\n"
-      << "    \"hit_rate\": " << cache.hit_rate() << "\n"
-      << "  }\n"
-      << "}\n";
-  std::cout << "compile pipeline: " << compiled << " queries, "
-            << phases.total_ms() << " ms total ("
-            << phases.render() << "); template cache hit rate "
-            << cache.hit_rate() << "; JSON written to " << path << "\n";
-  if (failed > 0) {
-    std::cerr << "error: " << failed << " quer"
-              << (failed == 1 ? "y" : "ies") << " failed to compile\n";
+      << "    \"total_ms\": " << m.phases.total_ms() << ",\n"
+      << "    \"template_cache\": {\n"
+      << "      \"streamlet_hits\": " << m.cache.streamlet_hits << ",\n"
+      << "      \"streamlet_misses\": " << m.cache.streamlet_misses << ",\n"
+      << "      \"impl_hits\": " << m.cache.impl_hits << ",\n"
+      << "      \"impl_misses\": " << m.cache.impl_misses << ",\n"
+      << "      \"session_hits\": " << m.cache.session_hits() << ",\n"
+      << "      \"hit_rate\": " << m.cache.hit_rate() << "\n"
+      << "    },\n"
+      << "    \"bytes_emitted\": " << m.bytes << ",\n"
+      << "    \"emission_chunk_allocs\": " << m.emission_chunk_allocs << "\n"
+      << "  }";
+}
+
+struct JsonOptions {
+  const char* path = nullptr;
+  int cold_rounds = 5;
+  int warm_rounds = 7;
+  double min_warm_hit_rate = 0.9;
+  double min_warm_speedup = 1.25;
+};
+
+int run_compile_json(const JsonOptions& options) {
+  // Cold: every round in a *fresh* session, so each pays the full
+  // monomorphisation cost; the fastest round is reported (identical work
+  // per round, so the minimum is the noise-robust statistic on shared
+  // machines). The last cold session is kept and becomes the warm one.
+  std::vector<std::string> cold_texts;
+  bool determinism_ok = true;
+  RoundMetrics cold;
+  bool have_cold = false;
+  auto session = std::make_unique<tydi::driver::CompileSession>();
+  for (int round = 0; round < options.cold_rounds; ++round) {
+    if (round > 0) session = std::make_unique<tydi::driver::CompileSession>();
+    RoundMetrics candidate = run_round(
+        *session, cold_texts.empty() ? &cold_texts : nullptr,
+        &determinism_ok, cold_texts.empty() ? nullptr : &cold_texts);
+    if (!have_cold || candidate.phases.total_ms() < cold.phases.total_ms()) {
+      cold.phases = candidate.phases;
+      cold.bytes = candidate.bytes;
+      cold.emission_chunk_allocs = candidate.emission_chunk_allocs;
+    }
+    cold.cache = candidate.cache;  // identical work per round; keep the last
+    cold.failed = std::max(cold.failed, candidate.failed);
+    have_cold = true;
+  }
+
+  // Warm: recompile the identical workload in the surviving session — the
+  // memo and parse cache serve it. Every warm round must reproduce the
+  // cold bytes exactly; minimum-of-rounds again.
+  RoundMetrics warm;
+  bool have_warm = false;
+  for (int round = 0; round < options.warm_rounds; ++round) {
+    RoundMetrics candidate =
+        run_round(*session, nullptr, &determinism_ok, &cold_texts);
+    if (!have_warm ||
+        candidate.phases.total_ms() < warm.phases.total_ms()) {
+      warm.phases = candidate.phases;
+      warm.bytes = candidate.bytes;
+      warm.emission_chunk_allocs = candidate.emission_chunk_allocs;
+    }
+    warm.cache = candidate.cache;  // identical work per round; keep the last
+    warm.failed = std::max(warm.failed, candidate.failed);
+    have_warm = true;
+  }
+
+  const double warm_speedup =
+      warm.phases.total_ms() > 0.0
+          ? cold.phases.total_ms() / warm.phases.total_ms()
+          : 0.0;
+  const double warm_hit_rate = warm.cache.hit_rate();
+
+  std::ostringstream section;
+  section << "{\n"
+          << "  \"benchmark\": \"compile_pipeline_tpch\",\n"
+          << "  \"queries_compiled\": "
+          << (tydi::tpch::queries().size() - cold.failed) << ",\n"
+          << "  \"queries_failed\": " << cold.failed + warm.failed << ",\n"
+          << "  \"baseline_pre_overhaul\": {\"total_ms\": "
+          << kPreOverhaulTotalMs << ", \"vhdl_ms\": " << kPreOverhaulVhdlMs
+          << ", \"hit_rate\": " << kPreOverhaulHitRate << "},\n";
+  append_round_json(section, "cold", cold);
+  section << ",\n";
+  append_round_json(section, "warm", warm);
+  section << ",\n"
+          << "  \"cold_rounds\": " << options.cold_rounds << ",\n"
+          << "  \"warm_rounds\": " << options.warm_rounds << ",\n"
+          << "  \"warm_speedup\": " << warm_speedup << ",\n"
+          << "  \"warm_hit_rate\": " << warm_hit_rate << ",\n"
+          << "  \"determinism_ok\": " << (determinism_ok ? "true" : "false")
+          << ",\n"
+          << "  \"peak_rss_kb\": " << peak_rss_kb() << "\n"
+          << "}";
+
+  if (!benchjson::upsert_section(options.path, "compile_pipeline_tpch",
+                                 section.str())) {
+    std::cerr << "error: cannot write " << options.path << "\n";
     return 1;
   }
-  return 0;
+
+  std::cout << "compile pipeline (cold): " << cold.phases.total_ms()
+            << " ms (" << cold.phases.render() << "); hit rate "
+            << cold.cache.hit_rate() << "\n"
+            << "compile pipeline (warm): " << warm.phases.total_ms()
+            << " ms (" << warm.phases.render() << "); hit rate "
+            << warm_hit_rate << "; session hits "
+            << warm.cache.session_hits() << "\n"
+            << "warm speedup " << warm_speedup << "x; determinism "
+            << (determinism_ok ? "ok" : "VIOLATED") << "; bytes "
+            << cold.bytes << "; emission chunk allocs cold "
+            << cold.emission_chunk_allocs << " / warm "
+            << warm.emission_chunk_allocs << "; peak RSS " << peak_rss_kb()
+            << " kB; JSON written to " << options.path << "\n";
+
+  int rc = 0;
+  if (cold.failed + warm.failed > 0) {
+    std::cerr << "error: " << cold.failed + warm.failed
+              << " compile(s) failed\n";
+    rc = 1;
+  }
+  if (!determinism_ok) {
+    std::cerr << "error: warm recompile is not byte-identical to cold\n";
+    rc = 1;
+  }
+  if (warm_hit_rate < options.min_warm_hit_rate) {
+    std::cerr << "error: warm hit rate " << warm_hit_rate
+              << " below threshold " << options.min_warm_hit_rate << "\n";
+    rc = 1;
+  }
+  if (warm_speedup < options.min_warm_speedup) {
+    std::cerr << "error: warm speedup " << warm_speedup
+              << "x below threshold " << options.min_warm_speedup << "x\n";
+    rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace
@@ -174,10 +342,22 @@ BENCHMARK(BM_TemplateInstantiationScaling)
     ->Complexity();
 
 int main(int argc, char** argv) {
+  JsonOptions options;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
-      return run_compile_json(argv[i + 1]);
+      options.path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--cold-rounds") == 0) {
+      options.cold_rounds = std::max(1, std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--warm-rounds") == 0) {
+      options.warm_rounds = std::max(1, std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--min-warm-hit-rate") == 0) {
+      options.min_warm_hit_rate = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--min-warm-speedup") == 0) {
+      options.min_warm_speedup = std::atof(argv[i + 1]);
     }
+  }
+  if (options.path != nullptr) {
+    return run_compile_json(options);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

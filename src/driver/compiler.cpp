@@ -5,6 +5,7 @@
 
 #include "src/parser/parser.hpp"
 #include "src/stdlib/stdlib.hpp"
+#include "src/support/text.hpp"
 
 namespace tydi::driver {
 
@@ -75,24 +76,49 @@ class PhaseTimer {
 
 }  // namespace
 
-CompileResult compile(const std::vector<NamedSource>& sources,
-                      const CompileOptions& options) {
+CompileResult compile_with_session(const std::vector<NamedSource>& sources,
+                                   const CompileOptions& options,
+                                   CompileSession* session) {
   CompileResult result;
+  elab::SourceHashes hashes;
 
   auto program = std::make_shared<elab::Program>();
   {
     PhaseTimer t(result.phase_ms, "parse");
+    // Registers + hashes a source, then parses it — or, with a session,
+    // reuses a previously parsed AST when (file id, name, content hash)
+    // match, so the AST's Locs resolve identically in this compile.
+    auto add_and_parse = [&](const std::string& name, std::string text) {
+      support::FileId id = result.sources->add(name, std::move(text));
+      std::string_view stored = result.sources->text(id);
+      const std::uint64_t hash = elab::source_hash(stored);
+      if (hashes.size() <= id.value) hashes.resize(id.value + 1, 0);
+      hashes[id.value] = hash;
+      if (session != nullptr) {
+        for (const CompileSession::CachedParse& c : session->parses_) {
+          if (c.file_value == id.value && c.hash == hash && c.name == name) {
+            program->files.push_back(c.ast);
+            return;
+          }
+        }
+      }
+      const std::size_t diags_before = result.diags->diagnostics().size();
+      auto ast = std::make_shared<const lang::SourceFile>(
+          lang::parse(stored, id, *result.diags));
+      program->files.push_back(ast);
+      // Cache only diagnostic-free parses (cached reuse replays no diags).
+      if (session != nullptr &&
+          result.diags->diagnostics().size() == diags_before) {
+        session->parses_.push_back(CompileSession::CachedParse{
+            name, hash, id.value, std::move(ast)});
+      }
+    };
     if (options.include_stdlib) {
-      support::FileId id = result.sources->add(
-          std::string(stdlib::stdlib_file_name()),
-          std::string(stdlib::stdlib_source()));
-      program->files.push_back(
-          lang::parse(result.sources->text(id), id, *result.diags));
+      add_and_parse(std::string(stdlib::stdlib_file_name()),
+                    std::string(stdlib::stdlib_source()));
     }
     for (const NamedSource& src : sources) {
-      support::FileId id = result.sources->add(src.name, src.text);
-      program->files.push_back(
-          lang::parse(result.sources->text(id), id, *result.diags));
+      add_and_parse(src.name, src.text);
     }
   }
   result.program = program;
@@ -100,7 +126,12 @@ CompileResult compile(const std::vector<NamedSource>& sources,
 
   {
     PhaseTimer t(result.phase_ms, "elaborate");
-    elab::Elaborator elaborator(program, *result.diags);
+    elab::MemoHook hook;
+    if (session != nullptr) {
+      hook.memo = &session->memo_;
+      hook.hashes = &hashes;
+    }
+    elab::Elaborator elaborator(program, *result.diags, hook);
     result.design = options.top.empty() ? elaborator.run_all()
                                         : elaborator.run(options.top);
     result.template_cache = elaborator.stats();
@@ -117,7 +148,9 @@ CompileResult compile(const std::vector<NamedSource>& sources,
   // caller-side consumer (e.g. the fletchgen manifest) reads result.ir.
   {
     PhaseTimer t(result.phase_ms, "lower");
-    result.ir = ir::lower(result.design);
+    result.ir = ir::lower(result.design,
+                          session != nullptr ? &session->type_cache_
+                                             : nullptr);
   }
 
   if (options.run_drc) {
@@ -131,13 +164,80 @@ CompileResult compile(const std::vector<NamedSource>& sources,
   }
   if (options.emit_vhdl) {
     PhaseTimer t(result.phase_ms, "vhdl");
-    result.vhdl_text = vhdl::emit(result.ir, options.vhdl, *result.diags);
+    result.vhdl_text =
+        vhdl::emit(result.ir, options.vhdl, *result.diags,
+                   session != nullptr ? &session->vhdl_cache_ : nullptr);
   }
   return result;
 }
 
+CompileResult compile(const std::vector<NamedSource>& sources,
+                      const CompileOptions& options) {
+  return compile_with_session(sources, options, nullptr);
+}
+
 CompileResult compile_source(std::string text, const CompileOptions& options) {
   return compile({NamedSource{"input.td", std::move(text)}}, options);
+}
+
+BatchResult compile_batch(CompileSession& session,
+                          const std::vector<BatchJob>& jobs) {
+  BatchResult out;
+  // Canonical pipeline order for the aggregate, whatever phases jobs skip.
+  for (const char* phase : kPipelinePhases) {
+    out.phase_ms.add(phase, 0.0);
+  }
+  for (const BatchJob& job : jobs) {
+    CompileResult r = session.compile(job.sources, job.options);
+    BatchEntry entry;
+    entry.name = job.name;
+    entry.success = r.success();
+    entry.phase_ms = r.phase_ms;
+    entry.template_cache = r.template_cache;
+    entry.vhdl_bytes = r.vhdl_text.size();
+    entry.ir_bytes = r.ir_text.size();
+    if (!entry.success) {
+      entry.diagnostics = r.report();
+      ++out.failures;
+    }
+    for (const PhaseTimings::Entry& p : r.phase_ms.entries()) {
+      out.phase_ms.add(p.phase, p.ms);
+    }
+    out.template_cache += r.template_cache;
+    out.bytes_emitted += entry.vhdl_bytes + entry.ir_bytes;
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string BatchResult::render() const {
+  support::TextTable table;
+  table.header({"query", "ok", "total ms", "elab ms", "vhdl ms", "hit rate",
+                "memo hits", "vhdl bytes"});
+  for (const BatchEntry& e : entries) {
+    table.row({e.name, e.success ? "yes" : "NO",
+               support::format_fixed(e.phase_ms.total_ms(), 3),
+               support::format_fixed(e.phase_ms.at("elaborate"), 3),
+               support::format_fixed(e.phase_ms.at("vhdl"), 3),
+               support::format_fixed(e.template_cache.hit_rate(), 3),
+               std::to_string(e.template_cache.session_hits()),
+               std::to_string(e.vhdl_bytes)});
+  }
+  table.row({"(aggregate)", failures == 0 ? "yes" : "NO",
+             support::format_fixed(phase_ms.total_ms(), 3),
+             support::format_fixed(phase_ms.at("elaborate"), 3),
+             support::format_fixed(phase_ms.at("vhdl"), 3),
+             support::format_fixed(template_cache.hit_rate(), 3),
+             std::to_string(template_cache.session_hits()),
+             std::to_string(bytes_emitted)});
+  std::string out = table.render();
+  out += "phases: " + phase_ms.render() + "\n";
+  for (const BatchEntry& e : entries) {
+    if (!e.success) {
+      out += "-- " + e.name + " failed:\n" + e.diagnostics;
+    }
+  }
+  return out;
 }
 
 }  // namespace tydi::driver

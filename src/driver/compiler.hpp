@@ -25,6 +25,12 @@
 
 namespace tydi::driver {
 
+/// Canonical pipeline phase names in execution order. Aggregators (batch
+/// reports, the compile bench) seed their PhaseTimings from this single
+/// list so skipped phases cannot reorder reports.
+inline constexpr const char* kPipelinePhases[] = {
+    "parse", "elaborate", "sugar", "lower", "drc", "ir", "vhdl"};
+
 struct NamedSource {
   std::string name;
   std::string text;
@@ -116,5 +122,119 @@ class CompileResult {
 /// Convenience for single-source programs.
 [[nodiscard]] CompileResult compile_source(std::string text,
                                            const CompileOptions& options);
+
+class CompileSession;
+
+/// Internal pipeline entry point shared by `compile` (no session) and
+/// `CompileSession::compile`; declared here only to be befriendable.
+[[nodiscard]] CompileResult compile_with_session(
+    const std::vector<NamedSource>& sources, const CompileOptions& options,
+    CompileSession* session);
+
+/// A sequence of compiles sharing the process-wide caches of the compile
+/// hot path:
+///
+///  - the template-instantiation memo (elab::TemplateMemo): stdlib and
+///    user monomorphisations elaborated by one compile are replayed —
+///    value-copied in original insertion order — by later compiles whose
+///    defining sources are byte-identical;
+///  - the parse cache: a source file whose (file id, name, content hash)
+///    triple matches a previous compile reuses that compile's AST, so the
+///    standard library parses once per session, not once per compile.
+///
+/// Compiles through a session produce byte-identical IR/VHDL to standalone
+/// `driver::compile` calls (covered by the golden tests). Memo entries are
+/// invalidated by content hash of their defining file *and* of every file
+/// whose global types/constants their elaboration resolved (dependency
+/// stamps, see src/elab/memo.hpp), so editing any involved source between
+/// compiles re-elaborates instead of serving stale results. Sessions are
+/// single-threaded, like the driver. `invalidate()` drops every cache
+/// wholesale.
+class CompileSession {
+ public:
+  CompileSession() = default;
+  CompileSession(const CompileSession&) = delete;
+  CompileSession& operator=(const CompileSession&) = delete;
+
+  /// Same contract as driver::compile, plus session cache reuse.
+  [[nodiscard]] CompileResult compile(const std::vector<NamedSource>& sources,
+                                      const CompileOptions& options) {
+    return compile_with_session(sources, options, this);
+  }
+
+  /// Drops every cached parse, memo entry, per-type lowering product and
+  /// per-port emission string.
+  void invalidate() {
+    memo_.invalidate();
+    parses_.clear();
+    type_cache_.clear();
+    vhdl_cache_.clear();
+  }
+
+  [[nodiscard]] const elab::TemplateMemo& memo() const { return memo_; }
+  [[nodiscard]] std::size_t parse_cache_size() const {
+    return parses_.size();
+  }
+
+ private:
+  friend CompileResult compile_with_session(
+      const std::vector<NamedSource>& sources, const CompileOptions& options,
+      CompileSession* session);
+
+  struct CachedParse {
+    std::string name;
+    std::uint64_t hash = 0;
+    std::uint32_t file_value = 0;  ///< FileId the AST's Locs refer to
+    std::shared_ptr<const lang::SourceFile> ast;
+  };
+
+  elab::TemplateMemo memo_;
+  std::vector<CachedParse> parses_;
+  /// Per-type layouts/display reused by the "lower" phase: warm compiles
+  /// receive the same TypeRefs from the memo, so lowering skips the
+  /// physical-stream recomputation (see ir::TypeLoweringCache).
+  ir::TypeLoweringCache type_cache_;
+  /// Per-port emission strings reused by the "vhdl" phase (see
+  /// vhdl::EmitSession).
+  vhdl::EmitSession vhdl_cache_;
+};
+
+/// One unit of a batch compile: a named source set with its own options.
+struct BatchJob {
+  std::string name;  ///< e.g. "TPC-H 6"
+  std::vector<NamedSource> sources;
+  CompileOptions options;
+};
+
+/// Per-job outcome kept by compile_batch (texts are dropped; sizes and
+/// timings remain so batch reports stay cheap for large workloads).
+struct BatchEntry {
+  std::string name;
+  bool success = false;
+  PhaseTimings phase_ms;
+  elab::InstantiationStats template_cache;
+  std::size_t vhdl_bytes = 0;
+  std::size_t ir_bytes = 0;
+  std::string diagnostics;  ///< rendered only for failed jobs
+};
+
+struct BatchResult {
+  std::vector<BatchEntry> entries;
+  /// Aggregate wall-clock per phase, pipeline order (seeded canonically so
+  /// jobs that skip phases cannot reorder the report).
+  PhaseTimings phase_ms;
+  elab::InstantiationStats template_cache;
+  std::size_t failures = 0;
+  std::size_t bytes_emitted = 0;  ///< IR + VHDL bytes across all jobs
+
+  [[nodiscard]] bool success() const { return failures == 0; }
+  /// Per-query + aggregate table (phase ms, cache hit rates, bytes).
+  [[nodiscard]] std::string render() const;
+};
+
+/// Compiles every job through one shared session (memo + parse cache warm
+/// across jobs) and aggregates timings — the `tydic --batch` entry point.
+[[nodiscard]] BatchResult compile_batch(CompileSession& session,
+                                        const std::vector<BatchJob>& jobs);
 
 }  // namespace tydi::driver

@@ -26,9 +26,12 @@ using support::Symbol;
 
 /// The parsed program (all source files of a compilation: standard library,
 /// Fletcher interfaces, user code). The Design keeps it alive because
-/// simulation programs point into the AST.
+/// simulation programs point into the AST. Files are held by shared_ptr so a
+/// driver::CompileSession can reuse a parsed file across compiles (the
+/// standard library parses once per session, not once per compile) and so
+/// the template memo can pin the ASTs its cached impls point into.
 struct Program {
-  std::vector<lang::SourceFile> files;
+  std::vector<std::shared_ptr<const lang::SourceFile>> files;
 };
 using ProgramRef = std::shared_ptr<const Program>;
 

@@ -1,5 +1,6 @@
 #include "src/elab/elaborator.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/eval/interp.hpp"
@@ -38,15 +39,173 @@ std::string display_args(const std::vector<TemplateArgValue>& args) {
 
 }  // namespace
 
-Elaborator::Elaborator(ProgramRef program, support::DiagnosticEngine& diags)
-    : program_(std::move(program)), diags_(diags), design_(program_) {
+Elaborator::Elaborator(ProgramRef program, support::DiagnosticEngine& diags,
+                       MemoHook memo)
+    : program_(std::move(program)),
+      diags_(diags),
+      design_(program_),
+      memo_(memo) {
   build_registries();
+  if (memo_.enabled()) {
+    // Record every global-constant read as a dependency of the entry (or
+    // constant/type) being elaborated. Installed before the global consts
+    // evaluate so const-to-const reads build the transitive closure.
+    global_scope_.set_lookup_observer(
+        [](Symbol name, void* ctx) {
+          static_cast<Elaborator*>(ctx)->record_const_dep(name);
+        },
+        this);
+  }
   evaluate_global_consts();
+}
+
+void Elaborator::record_stamp(SourceStamp stamp) {
+  if (dep_stack_.empty() || !stamp.file.valid()) return;
+  std::vector<SourceStamp>& sources = dep_stack_.back().sources;
+  for (const SourceStamp& existing : sources) {
+    if (existing.file == stamp.file) return;
+  }
+  sources.push_back(stamp);
+}
+
+void Elaborator::record_source_dep(support::Loc loc) {
+  if (dep_stack_.empty()) return;
+  record_stamp(stamp_for(loc));
+}
+
+void Elaborator::record_const_dep(Symbol name_sym) {
+  if (dep_stack_.empty()) return;
+  // A constant's value may have been baked from other files' constants
+  // during evaluate_global_consts; replay its full transitive closure.
+  if (auto it = const_deps_.find(name_sym); it != const_deps_.end()) {
+    for (const SourceStamp& stamp : it->second) record_stamp(stamp);
+    return;
+  }
+  if (auto it = const_decls_.find(name_sym); it != const_decls_.end()) {
+    record_source_dep(it->second->loc);
+  }
+}
+
+void Elaborator::record_named_type_dep(Symbol name_sym) {
+  if (dep_stack_.empty()) return;
+  // First resolution stored the transitive closure (nested aliases/groups
+  // may live in other files); cache hits replay it in full.
+  if (auto it = type_deps_.find(name_sym); it != type_deps_.end()) {
+    for (const SourceStamp& stamp : it->second) record_stamp(stamp);
+    return;
+  }
+  if (auto it = alias_decls_.find(name_sym); it != alias_decls_.end()) {
+    record_source_dep(it->second->loc);
+  } else if (auto git = group_decls_.find(name_sym);
+             git != group_decls_.end()) {
+    record_source_dep(git->second->loc);
+  }
+}
+
+void Elaborator::record_ref_streamlet(Symbol sym) {
+  if (dep_stack_.empty()) return;
+  std::vector<Symbol>& refs = dep_stack_.back().ref_streamlets;
+  if (std::find(refs.begin(), refs.end(), sym) == refs.end()) {
+    refs.push_back(sym);
+  }
+}
+
+void Elaborator::record_ref_impl(Symbol sym) {
+  if (dep_stack_.empty()) return;
+  std::vector<Symbol>& refs = dep_stack_.back().ref_impls;
+  if (std::find(refs.begin(), refs.end(), sym) == refs.end()) {
+    refs.push_back(sym);
+  }
+}
+
+Elaborator::DepFrameData Elaborator::pop_dep_frame() {
+  DepFrameData frame = std::move(dep_stack_.back());
+  dep_stack_.pop_back();
+  if (!dep_stack_.empty()) {
+    DepFrameData& parent = dep_stack_.back();
+    for (const SourceStamp& dep : frame.sources) {
+      bool seen = false;
+      for (const SourceStamp& existing : parent.sources) {
+        if (existing.file == dep.file) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) parent.sources.push_back(dep);
+    }
+    for (Symbol sym : frame.ref_streamlets) {
+      if (std::find(parent.ref_streamlets.begin(),
+                    parent.ref_streamlets.end(),
+                    sym) == parent.ref_streamlets.end()) {
+        parent.ref_streamlets.push_back(sym);
+      }
+    }
+    for (Symbol sym : frame.ref_impls) {
+      if (std::find(parent.ref_impls.begin(), parent.ref_impls.end(), sym) ==
+          parent.ref_impls.end()) {
+        parent.ref_impls.push_back(sym);
+      }
+    }
+  }
+  return frame;
+}
+
+SourceStamp Elaborator::stamp_for(support::Loc loc) const {
+  SourceStamp stamp;
+  if (memo_.enabled() && loc.file.valid() &&
+      loc.file.value < memo_.hashes->size()) {
+    stamp.file = loc.file;
+    stamp.hash = (*memo_.hashes)[loc.file.value];
+  }
+  return stamp;
+}
+
+bool Elaborator::materialize_memo_impl(const TemplateMemo::ImplEntry& e) {
+  // Entities the original elaboration referenced but did not insert must
+  // already be present; otherwise re-elaborate so the current compile's
+  // insertion order matches its own cold order (per-child memo hits still
+  // apply during that re-elaboration).
+  for (Symbol sym : e.required_streamlets) {
+    if (design_.find_streamlet(sym) == nullptr) return false;
+  }
+  for (Symbol sym : e.required_impls) {
+    if (design_.find_impl(sym) == nullptr) return false;
+  }
+  // Validate the whole window before touching the design: a member already
+  // elaborated in this compile is satisfied by the design itself, anything
+  // else must have a stamp-current memo entry.
+  for (Symbol sym : e.dep_streamlets) {
+    if (design_.find_streamlet(sym) == nullptr &&
+        memo_.memo->valid_streamlet(sym, *memo_.hashes) == nullptr) {
+      return false;
+    }
+  }
+  for (Symbol sym : e.dep_impls) {
+    if (design_.find_impl(sym) == nullptr &&
+        memo_.memo->valid_impl(sym, *memo_.hashes) == nullptr) {
+      return false;
+    }
+  }
+  // Replay in recorded insertion order (skipping already-present members)
+  // so a warm compile reproduces the cold compile's emission order exactly.
+  for (Symbol sym : e.dep_streamlets) {
+    if (design_.find_streamlet(sym) == nullptr) {
+      design_.add_streamlet(*memo_.memo->valid_streamlet(sym, *memo_.hashes));
+    }
+  }
+  for (Symbol sym : e.dep_impls) {
+    if (design_.find_impl(sym) == nullptr) {
+      design_.add_impl(*memo_.memo->valid_impl(sym, *memo_.hashes));
+    }
+  }
+  design_.add_impl(e.payload);
+  return true;
 }
 
 void Elaborator::build_registries() {
   assert(program_ != nullptr);
-  for (const lang::SourceFile& file : program_->files) {
+  for (const auto& file_ptr : program_->files) {
+    const lang::SourceFile& file = *file_ptr;
     for (const lang::Decl& d : file.decls) {
       std::visit(
           [this](const auto& n) {
@@ -91,42 +250,68 @@ void Elaborator::build_registries() {
 void Elaborator::evaluate_global_consts() {
   // Declaration order across files: stdlib sources come first by convention
   // (driver concatenates them first), so user constants may reference them.
-  for (const lang::SourceFile& file : program_->files) {
+  for (const auto& file_ptr : program_->files) {
+    const lang::SourceFile& file = *file_ptr;
     for (const lang::Decl& d : file.decls) {
       const auto* c = std::get_if<lang::ConstDecl>(&d.node);
       if (c == nullptr) continue;
-      try {
-        Value v = eval::evaluate(*c->init, global_scope_);
-        if (c->declared_kind) {
-          bool matches = false;
-          switch (*c->declared_kind) {
-            case lang::ParamKind::kInt: matches = v.is_int(); break;
-            case lang::ParamKind::kFloat: matches = v.is_numeric(); break;
-            case lang::ParamKind::kString: matches = v.is_string(); break;
-            case lang::ParamKind::kBool: matches = v.is_bool(); break;
-            case lang::ParamKind::kClockdomain: matches = v.is_clock(); break;
-            default: matches = false; break;
-          }
-          if (!matches) {
-            diags_.error("elab",
-                         "constant '" + c->name + "' declared as " +
-                             std::string(lang::to_string(*c->declared_kind)) +
-                             " but initialized with " +
-                             std::string(v.type_name()),
-                         c->loc);
-            continue;
+      if (!memo_.enabled()) {
+        evaluate_global_const(*c);
+        continue;
+      }
+      // With a memo, collect the transitive file deps of this constant
+      // (its own file + the files of every constant its initializer read)
+      // so entries reading it later can stamp the full closure.
+      push_dep_frame();
+      evaluate_global_const(*c);
+      DepFrameData frame = pop_dep_frame();
+      SourceStamp own = stamp_for(c->loc);
+      if (own.file.valid()) {
+        bool seen = false;
+        for (const SourceStamp& s : frame.sources) {
+          if (s.file == own.file) {
+            seen = true;
+            break;
           }
         }
-        if (!global_scope_.define(c->name, std::move(v))) {
-          diags_.error("elab",
-                       "constant '" + c->name +
-                           "' is already defined (variables are immutable)",
-                       c->loc);
-        }
-      } catch (const EvalError& e) {
-        diags_.error("elab", e.what(), e.loc());
+        if (!seen) frame.sources.push_back(own);
+      }
+      const_deps_[support::intern(c->name)] = std::move(frame.sources);
+    }
+  }
+}
+
+void Elaborator::evaluate_global_const(const lang::ConstDecl& c) {
+  try {
+    Value v = eval::evaluate(*c.init, global_scope_);
+    if (c.declared_kind) {
+      bool matches = false;
+      switch (*c.declared_kind) {
+        case lang::ParamKind::kInt: matches = v.is_int(); break;
+        case lang::ParamKind::kFloat: matches = v.is_numeric(); break;
+        case lang::ParamKind::kString: matches = v.is_string(); break;
+        case lang::ParamKind::kBool: matches = v.is_bool(); break;
+        case lang::ParamKind::kClockdomain: matches = v.is_clock(); break;
+        default: matches = false; break;
+      }
+      if (!matches) {
+        diags_.error("elab",
+                     "constant '" + c.name + "' declared as " +
+                         std::string(lang::to_string(*c.declared_kind)) +
+                         " but initialized with " +
+                         std::string(v.type_name()),
+                     c.loc);
+        return;
       }
     }
+    if (!global_scope_.define(c.name, std::move(v))) {
+      diags_.error("elab",
+                   "constant '" + c.name +
+                       "' is already defined (variables are immutable)",
+                   c.loc);
+    }
+  } catch (const EvalError& e) {
+    diags_.error("elab", e.what(), e.loc());
   }
 }
 
@@ -149,10 +334,15 @@ types::TypeRef Elaborator::resolve_named_type(const std::string& name,
     auto it = ctx.type_bindings->find(name);
     if (it != ctx.type_bindings->end()) return it->second;
   }
-  // 2. Cached global named type.
+  // 2. Cached global named type. A cache hit replays the type's stored
+  // transitive file-dependency closure into the active memo frame; a fresh
+  // resolution collects that closure in its own frame below.
   const Symbol name_sym = support::intern(name);
   auto cached = named_type_cache_.find(name_sym);
-  if (cached != named_type_cache_.end()) return cached->second;
+  if (cached != named_type_cache_.end()) {
+    record_named_type_dep(name_sym);
+    return cached->second;
+  }
 
   if (resolving_types_.contains(name_sym)) {
     diags_.error("elab", "recursive type definition involving '" + name + "'",
@@ -160,6 +350,16 @@ types::TypeRef Elaborator::resolve_named_type(const std::string& name,
     return nullptr;
   }
   resolving_types_.insert(name_sym);
+  const bool track_deps = memo_.enabled();
+  if (track_deps) {
+    push_dep_frame();
+    if (auto it = alias_decls_.find(name_sym); it != alias_decls_.end()) {
+      record_source_dep(it->second->loc);
+    } else if (auto git = group_decls_.find(name_sym);
+               git != group_decls_.end()) {
+      record_source_dep(git->second->loc);
+    }
+  }
   types::TypeRef result;
 
   // Global types resolve in the *global* context only (logical types cannot
@@ -191,6 +391,12 @@ types::TypeRef Elaborator::resolve_named_type(const std::string& name,
     diags_.error("elab", "unknown type '" + name + "'", loc);
   }
   resolving_types_.erase(name_sym);
+  if (track_deps) {
+    // Store the closure (own file + nested types' files + consts read) for
+    // cache-hit replay, and merge it into the enclosing frame.
+    DepFrameData frame = pop_dep_frame();
+    if (result != nullptr) type_deps_[name_sym] = std::move(frame.sources);
+  }
   if (result != nullptr) named_type_cache_[name_sym] = result;
   return result;
 }
@@ -347,6 +553,9 @@ bool Elaborator::check_param_binding(const lang::TemplateParam& param,
       if (supplied == nullptr) {
         return mismatch("unresolved impl '" + arg.impl_name + "'");
       }
+      // The entry under elaboration references this impl without inserting
+      // it — record as a memo-hit precondition (see elaborate_streamlet).
+      record_ref_impl(supplied->sym);
       // `impl of <streamlet>` constraint: family must match; if the
       // constraint supplies arguments, the exact streamlet instance must
       // match (Sec. IV-B: "the streamlet template only accepts
@@ -394,13 +603,31 @@ std::string Elaborator::elaborate_streamlet(
     const lang::StreamletDecl& decl, const std::vector<TemplateArgValue>& args,
     Loc use_loc) {
   std::string mangled = mangle(decl.name, args);
+  const Symbol mangled_sym = support::intern(mangled);
   // Template-instantiation cache: monomorphisation is keyed by the mangled
   // name's symbol; a hit skips re-elaboration entirely.
-  if (design_.find_streamlet(support::intern(mangled)) != nullptr) {
+  if (design_.find_streamlet(mangled_sym) != nullptr) {
     ++stats_.streamlet_hits;
+    // A reference to an entity elaborated before the enclosing entry's
+    // window opened becomes a hit precondition of that entry (filtered
+    // against the window at memoization time).
+    record_ref_streamlet(mangled_sym);
     return mangled;
   }
+  // Cross-compile memo: a prior compile of this session already
+  // monomorphised this streamlet from byte-identical source.
+  if (memo_.enabled()) {
+    if (const Streamlet* cached =
+            memo_.memo->find_streamlet(mangled_sym, *memo_.hashes)) {
+      design_.add_streamlet(*cached);
+      ++stats_.streamlet_hits;
+      ++stats_.session_streamlet_hits;
+      return mangled;
+    }
+  }
   ++stats_.streamlet_misses;
+  const std::size_t errors_before = diags_.error_count();
+  DepFrame dep_frame(this);
 
   if (args.size() != decl.params.size()) {
     diags_.error("elab",
@@ -508,6 +735,15 @@ std::string Elaborator::elaborate_streamlet(
   }
 
   design_.add_streamlet(std::move(s));
+  // Memoize only clean elaborations of decls with a stampable source file.
+  if (memo_.enabled() && diags_.error_count() == errors_before) {
+    SourceStamp stamp = stamp_for(decl.loc);
+    if (stamp.file.valid()) {
+      memo_.memo->put_streamlet(mangled_sym,
+                                *design_.find_streamlet(mangled_sym), stamp,
+                                dep_stack_.back().sources);
+    }
+  }
   return mangled;
 }
 
@@ -545,9 +781,26 @@ std::string Elaborator::elaborate_impl(
   // Template-instantiation cache (see elaborate_streamlet).
   if (design_.find_impl(mangled_sym) != nullptr) {
     ++stats_.impl_hits;
+    record_ref_impl(mangled_sym);  // see elaborate_streamlet
     return mangled;
   }
+  // Cross-compile memo: replay the cached impl plus its recorded insertion
+  // window (streamlet + transitive children) in original order.
+  if (memo_.enabled()) {
+    if (const TemplateMemo::ImplEntry* entry =
+            memo_.memo->find_impl(mangled_sym, *memo_.hashes)) {
+      if (materialize_memo_impl(*entry)) {
+        ++stats_.impl_hits;
+        ++stats_.session_impl_hits;
+        return mangled;
+      }
+    }
+  }
   ++stats_.impl_misses;
+  const std::size_t errors_before = diags_.error_count();
+  const std::size_t streamlets_before = design_.streamlets().size();
+  const std::size_t impls_before = design_.impls().size();
+  DepFrame dep_frame(this);
   if (impls_in_progress_.contains(mangled_sym)) {
     diags_.error("elab",
                  "recursive instantiation of impl '" + decl.name + "'",
@@ -673,6 +926,48 @@ std::string Elaborator::elaborate_impl(
 
   impls_in_progress_.erase(mangled_sym);
   design_.add_impl(std::move(impl));
+  // Memoize clean elaborations together with the insertion window recorded
+  // above (everything this call added transitively, in order) and the
+  // referenced-but-not-inserted preconditions.
+  if (memo_.enabled() && diags_.error_count() == errors_before) {
+    SourceStamp stamp = stamp_for(decl.loc);
+    if (stamp.file.valid()) {
+      TemplateMemo::ImplEntry entry;
+      entry.payload = *design_.find_impl(mangled_sym);
+      entry.stamp = stamp;
+      const DepFrameData& frame = dep_stack_.back();
+      entry.dep_sources = frame.sources;
+      const auto& streamlets = design_.streamlets();
+      const auto& impls = design_.impls();
+      entry.dep_streamlets.reserve(streamlets.size() - streamlets_before);
+      for (std::size_t i = streamlets_before; i < streamlets.size(); ++i) {
+        entry.dep_streamlets.push_back(streamlets[i].sym);
+      }
+      entry.dep_impls.reserve(impls.size() - impls_before - 1);
+      for (std::size_t i = impls_before; i + 1 < impls.size(); ++i) {
+        entry.dep_impls.push_back(impls[i].sym);
+      }
+      // References inside the window are replayed anyway; only references
+      // predating the window become preconditions.
+      auto outside_window = [](const std::vector<Symbol>& refs,
+                               const std::vector<Symbol>& window,
+                               Symbol self) {
+        std::vector<Symbol> out;
+        for (Symbol sym : refs) {
+          if (sym != self &&
+              std::find(window.begin(), window.end(), sym) == window.end()) {
+            out.push_back(sym);
+          }
+        }
+        return out;
+      };
+      entry.required_streamlets = outside_window(
+          frame.ref_streamlets, entry.dep_streamlets, support::kNoSymbol);
+      entry.required_impls =
+          outside_window(frame.ref_impls, entry.dep_impls, mangled_sym);
+      memo_.memo->put_impl(mangled_sym, std::move(entry), program_);
+    }
+  }
   return mangled;
 }
 

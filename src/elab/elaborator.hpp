@@ -19,6 +19,7 @@
 #include <unordered_set>
 
 #include "src/elab/design.hpp"
+#include "src/elab/memo.hpp"
 #include "src/eval/scope.hpp"
 #include "src/support/diagnostic.hpp"
 #include "src/support/intern.hpp"
@@ -29,18 +30,26 @@ namespace tydi::elab {
 /// memoized on the mangled name's interned symbol (a repeated
 /// streamlet/impl instantiation with identical evaluated arguments is an
 /// integer-keyed lookup, not a re-elaboration). Reported per compile by
-/// driver::CompileResult and by `bench_compile_perf --json`.
+/// driver::CompileResult and by `bench_compile_perf --json`. Hits served by
+/// a session's process-wide TemplateMemo (instead of the per-compile Design
+/// cache) are additionally counted in the session_* fields.
 struct InstantiationStats {
   std::uint64_t streamlet_hits = 0;
   std::uint64_t streamlet_misses = 0;
   std::uint64_t impl_hits = 0;
   std::uint64_t impl_misses = 0;
+  /// Subset of *_hits that came from the cross-compile TemplateMemo.
+  std::uint64_t session_streamlet_hits = 0;
+  std::uint64_t session_impl_hits = 0;
 
   [[nodiscard]] std::uint64_t hits() const {
     return streamlet_hits + impl_hits;
   }
   [[nodiscard]] std::uint64_t misses() const {
     return streamlet_misses + impl_misses;
+  }
+  [[nodiscard]] std::uint64_t session_hits() const {
+    return session_streamlet_hits + session_impl_hits;
   }
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits() + misses();
@@ -52,13 +61,18 @@ struct InstantiationStats {
     streamlet_misses += o.streamlet_misses;
     impl_hits += o.impl_hits;
     impl_misses += o.impl_misses;
+    session_streamlet_hits += o.session_streamlet_hits;
+    session_impl_hits += o.session_impl_hits;
     return *this;
   }
 };
 
 class Elaborator {
  public:
-  Elaborator(ProgramRef program, support::DiagnosticEngine& diags);
+  /// `memo` (optional) connects this compile to a session's process-wide
+  /// template memo; see elab::MemoHook.
+  Elaborator(ProgramRef program, support::DiagnosticEngine& diags,
+             MemoHook memo = {});
 
   /// Elaborates the design rooted at `top_impl` (must name a non-template
   /// impl). On errors a partial Design is returned; check diags.
@@ -99,9 +113,62 @@ class Elaborator {
   std::unordered_set<Symbol> resolving_types_;
   std::unordered_set<Symbol> impls_in_progress_;
   InstantiationStats stats_;
+  MemoHook memo_;
 
   void build_registries();
   void evaluate_global_consts();
+  void evaluate_global_const(const lang::ConstDecl& c);
+
+  /// Validity stamp of a decl's defining file, or an invalid stamp when the
+  /// file is unknown to the current compile (memoization is then skipped).
+  [[nodiscard]] SourceStamp stamp_for(support::Loc loc) const;
+  /// Replays a memoized impl's insertion window into the design. Validates
+  /// every window member first; returns false (inserting nothing) when any
+  /// member is stale, so the caller re-elaborates normally.
+  [[nodiscard]] bool materialize_memo_impl(const TemplateMemo::ImplEntry& e);
+
+  // Dependency recording for the cross-compile memo: while an entry
+  // elaborates (one frame per active elaborate_streamlet/impl miss or
+  // named-type resolution), the defining files of every global type/const
+  // resolved — transitively, via the per-type and per-const dependency
+  // closures below — plus every already-elaborated entity referenced are
+  // recorded into the top frame; frames merge into their parent on pop so
+  // dependencies propagate to enclosing entries.
+  struct DepFrameData {
+    std::vector<SourceStamp> sources;
+    std::vector<Symbol> ref_streamlets;  ///< design-cache hits (pre-window)
+    std::vector<Symbol> ref_impls;
+  };
+  std::vector<DepFrameData> dep_stack_;
+  /// Transitive file deps of each evaluated global constant (its own file
+  /// plus the files of every constant its initializer read).
+  std::unordered_map<Symbol, std::vector<SourceStamp>> const_deps_;
+  /// Transitive file deps of each resolved global named type.
+  std::unordered_map<Symbol, std::vector<SourceStamp>> type_deps_;
+  void record_stamp(SourceStamp stamp);
+  void record_source_dep(support::Loc loc);
+  void record_const_dep(Symbol name_sym);
+  void record_named_type_dep(Symbol name_sym);
+  void record_ref_streamlet(Symbol sym);
+  void record_ref_impl(Symbol sym);
+  void push_dep_frame() { dep_stack_.emplace_back(); }
+  /// Pops the top frame, merges it into the parent (if any) and returns it.
+  DepFrameData pop_dep_frame();
+  /// RAII frame, exception/early-return safe; inactive when memo disabled.
+  struct DepFrame {
+    Elaborator* e = nullptr;
+    explicit DepFrame(Elaborator* elab) {
+      if (elab->memo_.enabled()) {
+        e = elab;
+        e->push_dep_frame();
+      }
+    }
+    ~DepFrame() {
+      if (e != nullptr) e->pop_dep_frame();
+    }
+    DepFrame(const DepFrame&) = delete;
+    DepFrame& operator=(const DepFrame&) = delete;
+  };
 
   [[nodiscard]] types::TypeRef resolve_type(const lang::TypeExpr& type,
                                             const Context& ctx);

@@ -1,0 +1,124 @@
+#include "src/elab/memo.hpp"
+
+namespace tydi::elab {
+
+std::uint64_t source_hash(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+namespace {
+
+/// True when the entry's own stamp and every dependency stamp match the
+/// current compile's sources.
+template <typename Entry>
+bool entry_current(const Entry& entry, const SourceHashes& hashes) {
+  if (!entry.stamp.current(hashes)) return false;
+  for (const SourceStamp& dep : entry.dep_sources) {
+    if (!dep.current(hashes)) return false;
+  }
+  return true;
+}
+
+/// The version whose stamps all match the current source hashes, or
+/// nullptr. At most one version's *own* stamp can match (a file id has one
+/// current hash), so the scan is deterministic.
+template <typename Entry>
+const Entry* current_version(const std::vector<Entry>& versions,
+                             const SourceHashes& hashes) {
+  for (const Entry& entry : versions) {
+    if (entry_current(entry, hashes)) return &entry;
+  }
+  return nullptr;
+}
+
+/// Replaces the version with the same stamp identity, or appends.
+template <typename Entry>
+void upsert_version(std::vector<Entry>& versions, Entry entry) {
+  for (Entry& existing : versions) {
+    if (existing.stamp.file == entry.stamp.file &&
+        existing.stamp.hash == entry.stamp.hash) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  versions.push_back(std::move(entry));
+}
+
+}  // namespace
+
+const Streamlet* TemplateMemo::find_streamlet(Symbol sym,
+                                              const SourceHashes& hashes) {
+  auto it = streamlets_.find(sym);
+  if (it == streamlets_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const StreamletEntry* entry = current_version(it->second, hashes);
+  if (entry == nullptr) {
+    ++stats_.stale;
+    return nullptr;
+  }
+  ++stats_.streamlet_hits;
+  return &entry->payload;
+}
+
+const TemplateMemo::ImplEntry* TemplateMemo::find_impl(
+    Symbol sym, const SourceHashes& hashes) {
+  auto it = impls_.find(sym);
+  if (it == impls_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const ImplEntry* entry = current_version(it->second, hashes);
+  if (entry == nullptr) {
+    ++stats_.stale;
+    return nullptr;
+  }
+  ++stats_.impl_hits;
+  return entry;
+}
+
+const Streamlet* TemplateMemo::valid_streamlet(
+    Symbol sym, const SourceHashes& hashes) const {
+  auto it = streamlets_.find(sym);
+  if (it == streamlets_.end()) return nullptr;
+  const StreamletEntry* entry = current_version(it->second, hashes);
+  return entry != nullptr ? &entry->payload : nullptr;
+}
+
+const Impl* TemplateMemo::valid_impl(Symbol sym,
+                                     const SourceHashes& hashes) const {
+  auto it = impls_.find(sym);
+  if (it == impls_.end()) return nullptr;
+  const ImplEntry* entry = current_version(it->second, hashes);
+  return entry != nullptr ? &entry->payload : nullptr;
+}
+
+void TemplateMemo::put_streamlet(Symbol sym, Streamlet payload,
+                                 SourceStamp stamp,
+                                 std::vector<SourceStamp> dep_sources) {
+  upsert_version(streamlets_[sym],
+                 StreamletEntry{std::move(payload), stamp,
+                                std::move(dep_sources)});
+}
+
+void TemplateMemo::put_impl(Symbol sym, ImplEntry entry, ProgramRef pin) {
+  upsert_version(impls_[sym], std::move(entry));
+  if (pin != nullptr &&
+      (pinned_.empty() || pinned_.back() != pin)) {
+    pinned_.push_back(std::move(pin));
+  }
+}
+
+void TemplateMemo::invalidate() {
+  streamlets_.clear();
+  impls_.clear();
+  pinned_.clear();
+}
+
+}  // namespace tydi::elab

@@ -22,7 +22,10 @@ const Value* Scope::lookup_ptr(Symbol name) const {
   for (const Scope* s = this; s != nullptr; s = s->parent_) {
     // Reverse scan: later bindings shadow earlier ones within a scope.
     for (auto it = s->bindings_.rbegin(); it != s->bindings_.rend(); ++it) {
-      if (it->first == name) return &it->second;
+      if (it->first == name) {
+        if (s->observer_ != nullptr) s->observer_(name, s->observer_ctx_);
+        return &it->second;
+      }
     }
   }
   return nullptr;

@@ -59,9 +59,22 @@ class Scope {
 
   [[nodiscard]] const Scope* parent() const { return parent_; }
 
+  /// Observer invoked whenever a lookup resolves in *this* scope (typically
+  /// installed on the global scope only). The elaborator uses it to record
+  /// which global constants a template elaboration actually read, so the
+  /// cross-compile memo can invalidate on cross-file constant edits. Plain
+  /// function pointer + context: one predictable null check per hit, no
+  /// std::function overhead on the simulator's evaluation path.
+  void set_lookup_observer(void (*fn)(Symbol, void*), void* ctx) {
+    observer_ = fn;
+    observer_ctx_ = ctx;
+  }
+
  private:
   const Scope* parent_ = nullptr;
   std::vector<std::pair<Symbol, Value>> bindings_;
+  void (*observer_)(Symbol, void*) = nullptr;
+  void* observer_ctx_ = nullptr;
 };
 
 }  // namespace tydi::eval

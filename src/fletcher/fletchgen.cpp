@@ -11,22 +11,23 @@ std::string column_type_name(const Schema& schema, const Column& column) {
 std::string generate_interface(const Schema& schema,
                                const FletchgenOptions& options) {
   support::CodeWriter w;
-  w.line("// interface for Arrow schema '" + schema.name +
+  const std::string dim = std::to_string(options.dimension);
+  const std::string complexity = std::to_string(options.complexity);
+  w.line("// interface for Arrow schema '", schema.name,
          "' (generated, Fletcher-style)");
   for (const Column& c : schema.columns) {
-    w.line("type " + column_type_name(schema, c) + " = Stream(Bit(" +
-           std::to_string(c.bit_width()) + "), d=" +
-           std::to_string(options.dimension) + ", c=" +
-           std::to_string(options.complexity) + ");");
+    w.line("type ", column_type_name(schema, c), " = Stream(Bit(",
+           std::to_string(c.bit_width()), "), d=", dim, ", c=", complexity,
+           ");");
   }
-  w.open("streamlet " + schema.name + "_reader_s {");
+  w.open("streamlet ", schema.name, "_reader_s {");
   for (const Column& c : schema.columns) {
     bool is_pk = schema.is_primary_key(c.name);
-    w.line(c.name + ": " + column_type_name(schema, c) +
-           (is_pk ? " in," : " out,"));
+    w.line(c.name, ": ", column_type_name(schema, c),
+           is_pk ? " in," : " out,");
   }
   w.close("}");
-  w.line("impl " + schema.name + "_reader_i of " + schema.name +
+  w.line("impl ", schema.name, "_reader_i of ", schema.name,
          "_reader_s @ external {");
   w.line("}");
   return w.take();
@@ -80,16 +81,15 @@ std::string generate_reader_manifest(const ir::Module& module) {
   support::CodeWriter w;
   std::vector<ReaderInfo> readers = readers_of(module);
   w.line("# fletchgen reader manifest (recovered from Tydi-IR)");
-  w.line("# readers: " + std::to_string(readers.size()));
+  w.line("# readers: ", std::to_string(readers.size()));
   for (const ReaderInfo& r : readers) {
     w.line();
-    w.open("reader " + r.table + " (impl " + r.impl + ") {");
+    w.open("reader ", r.table, " (impl ", r.impl, ") {");
     for (const ReaderPort& p : r.ports) {
-      w.line("column " + p.column + ": " +
-             (p.is_primary_key ? "key_in" : "data_out") + ", bits=" +
-             std::to_string(p.data_bits) + ", d=" +
-             std::to_string(p.dimension) + ", c=" +
-             std::to_string(p.complexity) + ";");
+      w.line("column ", p.column, ": ",
+             p.is_primary_key ? "key_in" : "data_out", ", bits=",
+             std::to_string(p.data_bits), ", d=", std::to_string(p.dimension),
+             ", c=", std::to_string(p.complexity), ";");
     }
     w.close("}");
   }

@@ -94,28 +94,47 @@ IrTemplateArg lower_template_arg(const elab::TemplateArgValue& a) {
   return out;
 }
 
-IrPort lower_port(const elab::Port& p) {
+/// Layouts + display of a type, computed directly (the uncached path).
+TypeLoweringCache::Entry compute_type_entry(const types::TypeRef& type) {
+  TypeLoweringCache::Entry entry;
+  entry.display = type->to_display();
+  if (type->is_stream()) {
+    // Prefix "" gives each stream's suffix directly ("" for the primary
+    // stream, "__field..." for nested ones); consumers prepend their own
+    // prefixes, so the layout is computed once here and never again.
+    for (types::PhysicalStream& ps : types::physical_streams(type, "")) {
+      StreamLayout layout;
+      layout.suffix = ps.name;
+      layout.signals = ps.signals();
+      layout.stream = std::move(ps);
+      entry.layouts.push_back(std::move(layout));
+    }
+  }
+  return entry;
+}
+
+IrPort lower_port(const elab::Port& p, TypeLoweringCache* cache) {
   IrPort out;
   out.sym = p.sym != support::kNoSymbol ? p.sym : support::intern(p.name);
   out.name = p.name;
   out.vhdl = support::sanitize_identifier(p.name);
   out.dir = p.dir;
   out.type = p.type;
-  out.type_display = p.type != nullptr ? p.type->to_display() : "<unresolved>";
   out.clock_domain = p.clock_domain;
   out.clock_sym = support::intern(p.clock_domain);
   out.loc = p.loc;
-  if (p.type != nullptr && p.type->is_stream()) {
-    // Prefix "" gives each stream's suffix directly ("" for the primary
-    // stream, "__field..." for nested ones); consumers prepend their own
-    // prefixes, so the layout is computed once here and never again.
-    for (types::PhysicalStream& ps : types::physical_streams(p.type, "")) {
-      StreamLayout layout;
-      layout.suffix = ps.name;
-      layout.signals = ps.signals();
-      layout.stream = std::move(ps);
-      out.layouts.push_back(std::move(layout));
-    }
+  if (p.type == nullptr) {
+    out.type_display = "<unresolved>";
+    return out;
+  }
+  if (cache != nullptr) {
+    const TypeLoweringCache::Entry& entry = cache->of(p.type);
+    out.type_display = entry.display;
+    out.layouts = entry.layouts;
+  } else {
+    TypeLoweringCache::Entry entry = compute_type_entry(p.type);
+    out.type_display = std::move(entry.display);
+    out.layouts = std::move(entry.layouts);
   }
   return out;
 }
@@ -155,7 +174,22 @@ IrEndpoint lower_endpoint(const Module& m, const IrImpl& impl,
 
 }  // namespace
 
-Module lower(const elab::Design& design) {
+const TypeLoweringCache::Entry& TypeLoweringCache::of(
+    const types::TypeRef& type) {
+  auto it = entries_.find(type.get());
+  if (it == entries_.end()) {
+    it = entries_.emplace(type.get(), compute_type_entry(type)).first;
+    pinned_.push_back(type);
+  }
+  return it->second;
+}
+
+void TypeLoweringCache::clear() {
+  entries_.clear();
+  pinned_.clear();
+}
+
+Module lower(const elab::Design& design, TypeLoweringCache* cache) {
   Module m;
   m.streamlets.reserve(design.streamlets().size());
   m.impls.reserve(design.impls().size());
@@ -167,7 +201,9 @@ Module lower(const elab::Design& design) {
     is.display_name = s.display_name;
     is.loc = s.loc;
     is.ports.reserve(s.ports.size());
-    for (const elab::Port& p : s.ports) is.ports.push_back(lower_port(p));
+    for (const elab::Port& p : s.ports) {
+      is.ports.push_back(lower_port(p, cache));
+    }
     m.streamlets.push_back(std::move(is));
   }
 
@@ -239,55 +275,49 @@ Module lower(const elab::Design& design) {
 std::string emit(const Module& module) {
   support::CodeWriter w;
   w.line("// Tydi-IR generated by tydi-cpp");
-  if (!module.top_name.empty()) w.line("// top: " + module.top_name);
+  if (!module.top_name.empty()) w.line("// top: ", module.top_name);
   w.line();
   for (const IrStreamlet& s : module.streamlets) {
-    if (s.display_name != s.name) w.line("// " + s.display_name);
-    w.open("streamlet " + s.name + " {");
+    if (s.display_name != s.name) w.line("// ", s.display_name);
+    w.open("streamlet ", s.name, " {");
     for (const IrPort& p : s.ports) {
-      std::string line = "port " + p.name + ": " +
-                         std::string(lang::to_string(p.dir)) + " " +
-                         p.type_display;
-      if (p.clock_domain != "default") {
-        line += " @ " + p.clock_domain;
-      }
-      line += ";";
-      w.line(line);
+      const bool has_clock = p.clock_domain != "default";
+      w.line("port ", p.name, ": ", lang::to_string(p.dir), " ",
+             p.type_display, has_clock ? " @ " : "",
+             has_clock ? std::string_view(p.clock_domain)
+                       : std::string_view(),
+             ";");
     }
     w.close("}");
     w.line();
   }
   for (const IrImpl& i : module.impls) {
     const IrStreamlet* s = module.streamlet_of(i);
-    const std::string streamlet_name =
+    const std::string& streamlet_name =
         s != nullptr ? s->name : support::symbol_name(i.streamlet_sym);
-    if (i.display_name != i.name) w.line("// " + i.display_name);
+    if (i.display_name != i.name) w.line("// ", i.display_name);
     if (i.external) {
-      std::string header = "external impl " + i.name + " of " + streamlet_name;
+      std::string generator;
       if (!i.template_family.empty() && i.template_family != i.name) {
-        header += " @generator(" + i.template_family;
+        generator = " @generator(" + i.template_family;
         for (const IrTemplateArg& a : i.template_args) {
-          header += ", " + a.display;
+          generator += ", " + a.display;
         }
-        header += ")";
+        generator += ")";
       }
-      if (i.has_simulation) header += " @simulated";
-      header += ";";
-      w.line(header);
+      w.line("external impl ", i.name, " of ", streamlet_name, generator,
+             i.has_simulation ? " @simulated" : "", ";");
       w.line();
       continue;
     }
-    w.open("impl " + i.name + " of " + streamlet_name + " {");
+    w.open("impl ", i.name, " of ", streamlet_name, " {");
     for (const IrInstance& inst : i.instances) {
-      w.line("instance " + inst.name + ": " +
-             support::symbol_name(inst.impl_sym) + ";");
+      w.line("instance ", inst.name, ": ",
+             support::symbol_name(inst.impl_sym), ";");
     }
     for (const IrConnection& c : i.connections) {
-      std::string line = "connect " + c.src.display() + " -> " +
-                         c.dst.display();
-      if (c.structural) line += " @structural";
-      line += ";";
-      w.line(line);
+      w.line("connect ", c.src.display(), " -> ", c.dst.display(),
+             c.structural ? " @structural" : "", ";");
     }
     w.close("}");
     w.line();

@@ -198,8 +198,38 @@ class Module {
                       : (dir == lang::PortDir::kOut);
 }
 
-/// Lowers an elaborated design to the IR. Runs once per compile.
-[[nodiscard]] Module lower(const elab::Design& design);
+/// Session-lifetime cache of per-type lowering products: the physical
+/// stream layouts and the display string of a logical type, keyed by type
+/// identity (the shared_ptr'd LogicalType address, pinned so keys stay
+/// valid). Types are immutable, and a driver::CompileSession's template
+/// memo hands the *same* TypeRefs to every warm compile, so repeated
+/// lowering of a memoized design skips the recursive physical-stream walk
+/// entirely. Owned by the session (bounded lifetime; `clear()` on
+/// invalidation) — the sessionless `lower(design)` never caches.
+class TypeLoweringCache {
+ public:
+  struct Entry {
+    std::vector<StreamLayout> layouts;  ///< empty for non-stream types
+    std::string display;
+  };
+
+  /// The cached entry for `type` (computed on first sight). `type` must be
+  /// non-null.
+  const Entry& of(const types::TypeRef& type);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<const types::LogicalType*, Entry> entries_;
+  std::vector<types::TypeRef> pinned_;  ///< keeps key addresses alive
+};
+
+/// Lowers an elaborated design to the IR. Runs once per compile. `cache`
+/// (optional) reuses per-type lowering products across compiles of a
+/// session.
+[[nodiscard]] Module lower(const elab::Design& design,
+                           TypeLoweringCache* cache = nullptr);
 
 /// Emits the IR as deterministic Tydi-IR text (just another consumer of the
 /// module — the backends do not depend on this form).

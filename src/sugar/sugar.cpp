@@ -154,13 +154,21 @@ void sugar_impl(Design& design, std::size_t impl_index,
       }
     }
 
-    // Attribute each connection to its source endpoint.
-    std::map<std::string, std::size_t> source_index;
+    // Attribute each connection to its source endpoint. Keyed by the
+    // (instance, port) symbol pair packed into one integer — no display
+    // strings, no string-compare tree walks.
+    auto key_of = [](const Endpoint& ep) {
+      return (static_cast<std::uint64_t>(support::intern(ep.instance))
+              << 32U) |
+             support::intern(ep.port);
+    };
+    std::unordered_map<std::uint64_t, std::size_t> source_index;
+    source_index.reserve(sources.size());
     for (std::size_t i = 0; i < sources.size(); ++i) {
-      source_index[sources[i].endpoint.display()] = i;
+      source_index[key_of(sources[i].endpoint)] = i;
     }
     for (std::size_t c = 0; c < impl.connections.size(); ++c) {
-      auto it = source_index.find(impl.connections[c].src.display());
+      auto it = source_index.find(key_of(impl.connections[c].src));
       if (it != source_index.end()) {
         sources[it->second].connection_indices.push_back(c);
       }

@@ -10,10 +10,9 @@ FileId SourceManager::add(std::string name, std::string text) {
   File f;
   f.name = std::move(name);
   f.text = std::move(text);
-  f.line_starts.push_back(0);
-  for (std::uint32_t i = 0; i < f.text.size(); ++i) {
-    if (f.text[i] == '\n') f.line_starts.push_back(i + 1);
-  }
+  // The line table is built lazily by line_col(): registration is on the
+  // compile hot path, line/column expansion only happens when a diagnostic
+  // actually renders.
   files_.push_back(std::move(f));
   return FileId{static_cast<std::uint32_t>(files_.size())};
 }
@@ -44,6 +43,12 @@ std::string_view SourceManager::name(FileId id) const {
 LineCol SourceManager::line_col(Loc loc) const {
   const File* f = get(loc.file);
   if (f == nullptr) return LineCol{"<synthesized>", 0, 0};
+  if (f->line_starts.empty()) {
+    f->line_starts.push_back(0);
+    for (std::uint32_t i = 0; i < f->text.size(); ++i) {
+      if (f->text[i] == '\n') f->line_starts.push_back(i + 1);
+    }
+  }
   // Find the last line start <= offset.
   auto it = std::upper_bound(f->line_starts.begin(), f->line_starts.end(),
                              loc.offset);

@@ -68,7 +68,9 @@ class SourceManager {
   struct File {
     std::string name;
     std::string text;
-    std::vector<std::uint32_t> line_starts;  // byte offset of each line start
+    /// Byte offset of each line start; built lazily on the first
+    /// line_col() for this file (diagnostic rendering is single-threaded).
+    mutable std::vector<std::uint32_t> line_starts;
   };
   std::vector<File> files_;
 

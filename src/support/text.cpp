@@ -6,26 +6,78 @@
 
 namespace tydi::support {
 
-void CodeWriter::line(std::string_view text) {
-  if (!text.empty()) {
-    for (int i = 0; i < depth_; ++i) out_ += indent_unit_;
-    out_ += text;
+namespace {
+
+std::atomic<std::uint64_t> g_chunk_allocs{0};
+
+}  // namespace
+
+std::uint64_t CodeWriter::process_chunk_allocs() {
+  return g_chunk_allocs.load(std::memory_order_relaxed);
+}
+
+void CodeWriter::new_chunk() {
+  chunks_.emplace_back();
+  chunks_.back().reserve(next_chunk_bytes_);
+  next_chunk_bytes_ = std::min(kChunkBytes, next_chunk_bytes_ * 8);
+  ++chunk_allocs_;
+  g_chunk_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CodeWriter::put_slow(std::string_view text) {
+  // total_ was already advanced by put(). Fill the current chunk to its
+  // reserved capacity, then roll into fresh chunks for the remainder.
+  while (true) {
+    if (chunks_.empty() ||
+        chunks_.back().size() == chunks_.back().capacity()) {
+      new_chunk();
+    }
+    std::string& back = chunks_.back();
+    const std::size_t n =
+        std::min(back.capacity() - back.size(), text.size());
+    back.append(text.data(), n);
+    text.remove_prefix(n);
+    if (text.empty()) return;
   }
-  out_ += '\n';
 }
 
-void CodeWriter::open(std::string_view text) {
-  line(text);
-  indent();
+void CodeWriter::grow_indent_cache(std::size_t want) {
+  while (indent_cache_.size() < want) indent_cache_ += indent_unit_;
 }
 
-void CodeWriter::close(std::string_view text) {
-  dedent();
-  line(text);
+void CodeWriter::append(CodeWriter&& other) {
+  total_ += other.total_;
+  chunk_allocs_ += other.chunk_allocs_;
+  next_chunk_bytes_ = std::max(next_chunk_bytes_, other.next_chunk_bytes_);
+  chunks_.reserve(chunks_.size() + other.chunks_.size());
+  for (std::string& chunk : other.chunks_) {
+    chunks_.push_back(std::move(chunk));
+  }
+  other.chunks_.clear();
+  other.total_ = 0;
+  other.chunk_allocs_ = 0;
+  other.next_chunk_bytes_ = kFirstChunkBytes;
 }
 
-void CodeWriter::dedent() {
-  if (depth_ > 0) --depth_;
+std::string CodeWriter::str() const {
+  std::string out;
+  out.reserve(total_);
+  for (const std::string& chunk : chunks_) out += chunk;
+  return out;
+}
+
+std::string CodeWriter::take() {
+  if (chunks_.size() == 1 && chunks_.front().size() == total_) {
+    // Single-chunk fast path: hand the chunk over without copying.
+    std::string out = std::move(chunks_.front());
+    chunks_.clear();
+    total_ = 0;
+    return out;
+  }
+  std::string out = str();
+  chunks_.clear();
+  total_ = 0;
+  return out;
 }
 
 namespace {

@@ -1,9 +1,12 @@
-// Text utilities used across the toolchain: an indenting code writer for the
-// IR/VHDL emitters, a LoC counter matching the paper's counting rules, and a
-// plain-text table renderer for the bench harnesses.
+// Text utilities used across the toolchain: a rope-backed indenting code
+// writer for the IR/VHDL emitters, a LoC counter matching the paper's
+// counting rules, and a plain-text table renderer for the bench harnesses.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,31 +16,123 @@ namespace tydi::support {
 /// Streaming code writer with indentation management. Both the Tydi-IR and
 /// the VHDL emitters build their output through this class so generated code
 /// is consistently formatted (and therefore LoC counts are deterministic).
+///
+/// Storage is a rope: a vector of fixed-capacity `std::string` chunks, each
+/// reserved once. Appending never re-copies previously written text (no
+/// single-buffer doubling), and `take()` concatenates into an
+/// exactly-reserved string in one pass. `line()` accepts any number of
+/// `string_view`-convertible pieces, which are copied straight into the
+/// current chunk — a multi-piece line allocates no intermediate temporaries,
+/// and the indent prefix is served from a shared grow-only cache.
 class CodeWriter {
  public:
-  explicit CodeWriter(std::string indent_unit = "  ")
-      : indent_unit_(std::move(indent_unit)) {}
+  /// Steady-state bytes reserved per rope chunk. Multi-MB outputs allocate
+  /// `~total / kChunkBytes` chunks instead of log2(total) doubling copies.
+  static constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
+  /// First chunk of a writer (ramping up 8x per chunk to kChunkBytes), so
+  /// the many small sub-writers — cached component declarations, RTL
+  /// bodies — do not each pin a full 64 KiB chunk.
+  static constexpr std::size_t kFirstChunkBytes = std::size_t{1} << 10;
 
-  /// Writes one full line at the current indentation. Empty argument writes a
-  /// blank line (with no trailing spaces).
-  void line(std::string_view text = {});
+  explicit CodeWriter(std::string indent_unit = "  ", int depth = 0)
+      : indent_unit_(std::move(indent_unit)), depth_(depth < 0 ? 0 : depth) {}
+
+  /// Writes one full line at the current indentation: indent prefix, every
+  /// piece in order, newline. No arguments (or all-empty pieces) writes a
+  /// blank line with no trailing spaces.
+  template <typename... Parts>
+  void line(const Parts&... parts) {
+    const std::array<std::string_view, sizeof...(Parts)> views{
+        std::string_view(parts)...};
+    std::size_t len = 0;
+    for (std::string_view v : views) len += v.size();
+    if (len > 0) {
+      put_indent();
+      for (std::string_view v : views) put(v);
+    }
+    put("\n");
+  }
+  void line() { put("\n"); }
 
   /// Writes a line and increases the indent (e.g. "begin").
-  void open(std::string_view text);
+  template <typename... Parts>
+  void open(const Parts&... parts) {
+    line(parts...);
+    indent();
+  }
 
   /// Decreases the indent and writes a line (e.g. "end;").
-  void close(std::string_view text);
+  template <typename... Parts>
+  void close(const Parts&... parts) {
+    dedent();
+    line(parts...);
+  }
+
+  /// Raw append: no indent, no newline. Use for splicing pre-formatted text.
+  void write(std::string_view text) { put(text); }
 
   void indent() { ++depth_; }
-  void dedent();
+  void dedent() {
+    if (depth_ > 0) --depth_;
+  }
 
-  [[nodiscard]] const std::string& str() const { return out_; }
-  [[nodiscard]] std::string take() { return std::move(out_); }
+  /// Splices another writer's buffer onto this one by moving its chunks
+  /// (no byte copying). `other` is left empty; its indent state is ignored.
+  void append(CodeWriter&& other);
+
+  [[nodiscard]] std::size_t bytes() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
   [[nodiscard]] int depth() const { return depth_; }
 
+  /// Concatenated copy of the buffer (chunks stay in place).
+  [[nodiscard]] std::string str() const;
+  /// Concatenates into one exactly-reserved string and clears the writer.
+  [[nodiscard]] std::string take();
+
+  /// Chunk allocations performed by this writer (including spliced-in
+  /// chunks) — the writer's whole allocation story apart from the final
+  /// `take()` string.
+  [[nodiscard]] std::size_t chunk_allocs() const { return chunk_allocs_; }
+
+  /// Process-wide chunk-allocation counter across all writers; the compile
+  /// bench reads deltas of this to report emission allocation counts.
+  [[nodiscard]] static std::uint64_t process_chunk_allocs();
+
  private:
-  std::string out_;
+  /// Hot path: the piece fits in the current chunk (inline); anything else
+  /// (first write, chunk rollover, oversized piece) goes out of line.
+  /// Chunks fill to their reserved capacity, never beyond — appends inside
+  /// capacity cannot reallocate, so chunk addresses stay stable.
+  void put(std::string_view text) {
+    total_ += text.size();
+    if (!chunks_.empty()) {
+      std::string& back = chunks_.back();
+      if (back.size() + text.size() <= back.capacity()) {
+        back.append(text.data(), text.size());
+        return;
+      }
+    }
+    put_slow(text);
+  }
+  void put_indent() {
+    if (depth_ <= 0) return;
+    const std::size_t want =
+        static_cast<std::size_t>(depth_) * indent_unit_.size();
+    if (want > indent_cache_.size()) grow_indent_cache(want);
+    put(std::string_view(indent_cache_.data(), want));
+  }
+  void put_slow(std::string_view text);
+  void grow_indent_cache(std::size_t want);
+  void new_chunk();
+
+  std::vector<std::string> chunks_;
+  std::size_t total_ = 0;
+  std::size_t chunk_allocs_ = 0;
+  std::size_t next_chunk_bytes_ = kFirstChunkBytes;
   std::string indent_unit_;
+  /// `indent_unit_` repeated at least `depth_` times (grow-only, shared by
+  /// every line — indent prefixes never build temporaries).
+  std::string indent_cache_;
   int depth_ = 0;
 };
 

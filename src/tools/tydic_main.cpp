@@ -17,6 +17,11 @@
 //   --sim-shards <n>       simulation shards / worker threads (implies
 //                          --sim; results are identical for any n)
 //   --sim-packets <n>      packets per top input stimulus (default 256)
+//   --batch                compile the built-in TPC-H workload in one
+//                          CompileSession (shared template memo + parse
+//                          cache) and print per-query + aggregate timings
+//   --batch-rounds <n>     repeat the batch n times in the same session
+//                          (round 2+ shows the warm-cache behaviour)
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -25,6 +30,7 @@
 #include "src/fletcher/fletchgen.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/metrics.hpp"
+#include "src/tpch/tpch.hpp"
 
 namespace {
 
@@ -33,8 +39,26 @@ int usage() {
                "[--emit-ir <path>] [--emit-vhdl <path>] "
                "[--emit-manifest <path>] [--summary] [--timings] "
                "[--sim] [--sim-shards <n>] [--sim-packets <n>] "
-               "<file.td>...\n";
+               "<file.td>...\n"
+               "       tydic --batch [--batch-rounds <n>]\n";
   return 2;
+}
+
+int run_batch(int rounds) {
+  tydi::driver::CompileSession session;
+  const std::vector<tydi::driver::BatchJob> jobs = tydi::tpch::batch_jobs();
+  bool ok = true;
+  for (int round = 1; round <= rounds; ++round) {
+    tydi::driver::BatchResult result =
+        tydi::driver::compile_batch(session, jobs);
+    if (rounds > 1) {
+      std::cout << "-- round " << round << (round == 1 ? " (cold)" : " (warm)")
+                << "\n";
+    }
+    std::cout << result.render();
+    ok = ok && result.success();
+  }
+  return ok ? 0 : 1;
 }
 
 int run_simulation(const tydi::driver::CompileResult& result, int shards,
@@ -73,6 +97,8 @@ int main(int argc, char** argv) {
   bool summary = false;
   bool timings = false;
   bool simulate = false;
+  bool batch = false;
+  int batch_rounds = 1;
   int sim_shards = 1;
   int sim_packets = 256;
 
@@ -101,6 +127,12 @@ int main(int argc, char** argv) {
       summary = true;
     } else if (arg == "--timings") {
       timings = true;
+    } else if (arg == "--batch") {
+      batch = true;
+    } else if (arg == "--batch-rounds") {
+      batch = true;
+      batch_rounds = std::atoi(next("--batch-rounds").c_str());
+      if (batch_rounds < 1) batch_rounds = 1;
     } else if (arg == "--sim") {
       simulate = true;
     } else if (arg == "--sim-shards") {
@@ -123,6 +155,14 @@ int main(int argc, char** argv) {
                        std::istreambuf_iterator<char>());
       sources.push_back(tydi::driver::NamedSource{arg, std::move(text)});
     }
+  }
+  if (batch) {
+    if (!sources.empty() || !options.top.empty()) {
+      std::cerr << "error: --batch uses the built-in TPC-H workload and "
+                   "takes no files or --top\n";
+      return 2;
+    }
+    return run_batch(batch_rounds);
   }
   if (sources.empty() || options.top.empty()) return usage();
 

@@ -873,16 +873,41 @@ const QueryCase* find_query(std::string_view id, std::string_view note) {
   return nullptr;
 }
 
-driver::CompileResult compile_query(const QueryCase& query) {
-  driver::CompileOptions options;
-  options.top = query.top_impl;
-  options.sugaring = query.sugaring;
+std::vector<driver::NamedSource> query_sources(const QueryCase& query) {
   std::vector<driver::NamedSource> sources;
   sources.push_back(
       driver::NamedSource{"fletcher.td", fletcher_source()});
   sources.push_back(driver::NamedSource{
       std::string(query.id) + ".td", std::string(query.source)});
-  return driver::compile(sources, options);
+  return sources;
+}
+
+driver::CompileOptions query_options(const QueryCase& query) {
+  driver::CompileOptions options;
+  options.top = query.top_impl;
+  options.sugaring = query.sugaring;
+  return options;
+}
+
+driver::CompileResult compile_query(const QueryCase& query) {
+  return driver::compile(query_sources(query), query_options(query));
+}
+
+driver::CompileResult compile_query(const QueryCase& query,
+                                    driver::CompileSession& session) {
+  return session.compile(query_sources(query), query_options(query));
+}
+
+std::vector<driver::BatchJob> batch_jobs() {
+  std::vector<driver::BatchJob> jobs;
+  for (const QueryCase& q : queries()) {
+    driver::BatchJob job;
+    job.name = q.id + q.note;
+    job.sources = query_sources(q);
+    job.options = query_options(q);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
 }
 
 std::vector<Table4Row> measure_table4() {

@@ -44,9 +44,26 @@ struct QueryCase {
 [[nodiscard]] const QueryCase* find_query(std::string_view id,
                                           std::string_view note = "");
 
+/// Sources of one query exactly as compile_query builds them (Fletcher
+/// interfaces + query logic; the driver prepends the stdlib).
+[[nodiscard]] std::vector<driver::NamedSource> query_sources(
+    const QueryCase& query);
+
+/// CompileOptions of one query (top impl, sugaring per the case).
+[[nodiscard]] driver::CompileOptions query_options(const QueryCase& query);
+
 /// Compiles one query through the full pipeline (stdlib + Fletcher part +
 /// query logic; sugaring per the case).
 [[nodiscard]] driver::CompileResult compile_query(const QueryCase& query);
+
+/// Session variant: identical output, but the session's template memo and
+/// parse cache serve repeated/shared monomorphisations.
+[[nodiscard]] driver::CompileResult compile_query(
+    const QueryCase& query, driver::CompileSession& session);
+
+/// The whole Table IV workload as batch jobs (shared by `tydic --batch`,
+/// bench_compile_perf and the golden tests).
+[[nodiscard]] std::vector<driver::BatchJob> batch_jobs();
 
 /// One row of Table IV as measured on this implementation.
 struct Table4Row {

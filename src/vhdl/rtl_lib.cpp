@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <deque>
 #include <functional>
 
 #include "src/support/text.hpp"
@@ -18,21 +19,39 @@ using support::Symbol;
 namespace {
 
 /// Primary physical stream of one port, read from the layout cached at
-/// lowering, with its VHDL signal prefix.
+/// lowering, with its VHDL signal prefix. Full signal names are built once
+/// per (port, signal) and reused across every mention in the generated body.
 struct PortSignals {
   const IrPort* port = nullptr;
   const StreamLayout* layout = nullptr;
-  std::string prefix;
+  std::string_view prefix;  ///< the port's cached sanitized identifier
 
-  [[nodiscard]] std::string sig(const std::string& name) const {
-    return prefix + "_" + name;
+  /// `<prefix>_<name>`, interned on first use. Keys are literals or
+  /// layout-owned signal names; both outlive the generator call. The cache
+  /// is a deque so returned references survive later insertions (several
+  /// sig() results are routinely alive within one line() call).
+  const std::string& sig(std::string_view name) const {
+    for (const auto& [key, value] : names_) {
+      if (key == name) return value;
+    }
+    std::string full;
+    full.reserve(prefix.size() + 1 + name.size());
+    full.append(prefix);
+    full.push_back('_');
+    full.append(name);
+    names_.emplace_back(name, std::move(full));
+    return names_.back().second;
   }
+
   [[nodiscard]] std::int64_t data_bits() const {
     return layout->stream.data_bits;
   }
   [[nodiscard]] std::int64_t last_bits() const {
     return layout->stream.last_bits;
   }
+
+ private:
+  mutable std::deque<std::pair<std::string_view, std::string>> names_;
 };
 
 std::vector<PortSignals> ports_of(const IrStreamlet& s, lang::PortDir dir) {
@@ -100,8 +119,7 @@ void copy_payload(RtlBody& body, const PortSignals& src,
                   const PortSignals& dst) {
   for (const types::PhysicalSignal& sig : src.layout->signals) {
     if (sig.name == "valid" || sig.name == "ready") continue;
-    body.statements.push_back(dst.sig(sig.name) + " <= " + src.sig(sig.name) +
-                              ";");
+    body.statements.line(dst.sig(sig.name), " <= ", src.sig(sig.name), ";");
   }
 }
 
@@ -117,10 +135,10 @@ RtlBody gen_voider(const IrImpl&, const IrStreamlet& s) {
   // component and ignoring the data").
   RtlBody body;
   for (const PortSignals& in : ports_of(s, lang::PortDir::kIn)) {
-    body.statements.push_back(in.sig("ready") + " <= '1';");
+    body.statements.line(in.sig("ready"), " <= '1';");
   }
   if (body.statements.empty()) {
-    body.statements.push_back("-- voider with no inputs");
+    body.statements.line("-- voider with no inputs");
   }
   return body;
 }
@@ -134,39 +152,39 @@ RtlBody gen_duplicator(const IrImpl&, const IrStreamlet& s) {
   if (ins.empty() || outs.empty()) return body;
   const PortSignals& in = ins.front();
   const std::size_t n = outs.size();
+  const std::string top = std::to_string(n - 1);
 
-  body.declarations.push_back("signal acked : std_logic_vector(" +
-                              std::to_string(n - 1) + " downto 0);");
-  body.declarations.push_back("signal fire : std_logic_vector(" +
-                              std::to_string(n - 1) + " downto 0);");
-  body.declarations.push_back("signal all_done : std_logic;");
+  body.declarations.line("signal acked : std_logic_vector(", top,
+                         " downto 0);");
+  body.declarations.line("signal fire : std_logic_vector(", top,
+                         " downto 0);");
+  body.declarations.line("signal all_done : std_logic;");
 
   for (std::size_t k = 0; k < n; ++k) {
     const PortSignals& out = outs[k];
     std::string ks = std::to_string(k);
-    body.statements.push_back(out.sig("valid") + " <= " + in.sig("valid") +
-                              " and not acked(" + ks + ");");
+    body.statements.line(out.sig("valid"), " <= ", in.sig("valid"),
+                         " and not acked(", ks, ");");
     copy_payload(body, in, out);
-    body.statements.push_back("fire(" + ks + ") <= acked(" + ks + ") or (" +
-                              out.sig("valid") + " and " + out.sig("ready") +
-                              ");");
+    body.statements.line("fire(", ks, ") <= acked(", ks, ") or (",
+                         out.sig("valid"), " and ", out.sig("ready"), ");");
   }
   std::string all = "fire(0)";
   for (std::size_t k = 1; k < n; ++k) {
     all += " and fire(" + std::to_string(k) + ")";
   }
-  body.statements.push_back("all_done <= " + all + ";");
-  body.statements.push_back(in.sig("ready") + " <= all_done;");
-  body.statements.push_back("track : process(clk)");
-  body.statements.push_back("begin");
-  body.statements.push_back("  if rising_edge(clk) then");
-  body.statements.push_back("    if rst = '1' or all_done = '1' then");
-  body.statements.push_back("      acked <= (others => '0');");
-  body.statements.push_back("    else");
-  body.statements.push_back("      acked <= fire;");
-  body.statements.push_back("    end if;");
-  body.statements.push_back("  end if;");
-  body.statements.push_back("end process track;");
+  body.statements.line("all_done <= ", all, ";");
+  body.statements.line(in.sig("ready"), " <= all_done;");
+  body.statements.line("track : process(clk)");
+  body.statements.line("begin");
+  body.statements.line("  if rising_edge(clk) then");
+  body.statements.line("    if rst = '1' or all_done = '1' then");
+  body.statements.line("      acked <= (others => '0');");
+  body.statements.line("    else");
+  body.statements.line("      acked <= fire;");
+  body.statements.line("    end if;");
+  body.statements.line("  end if;");
+  body.statements.line("end process track;");
   return body;
 }
 
@@ -183,38 +201,36 @@ RtlBody gen_unary_pipe(
   const PortSignals& in = ins.front();
   const PortSignals& out = outs.front();
 
-  body.declarations.push_back("signal r_valid : std_logic;");
-  body.declarations.push_back("signal r_data : " + vec(out.data_bits()) +
-                              ";");
+  body.declarations.line("signal r_valid : std_logic;");
+  body.declarations.line("signal r_data : ", vec(out.data_bits()), ";");
   if (out.last_bits() > 0) {
-    body.declarations.push_back("signal r_last : " + vec(out.last_bits()) +
-                                ";");
+    body.declarations.line("signal r_last : ", vec(out.last_bits()), ";");
   }
 
-  body.statements.push_back("datapath : process(clk)");
-  body.statements.push_back("begin");
-  body.statements.push_back("  if rising_edge(clk) then");
-  body.statements.push_back("    if rst = '1' then");
-  body.statements.push_back("      r_valid <= '0';");
-  body.statements.push_back("    elsif " + in.sig("valid") + " = '1' and " +
-                            in.sig("ready") + " = '1' then");
-  body.statements.push_back("      r_data <= " + datapath(in, out) + ";");
+  body.statements.line("datapath : process(clk)");
+  body.statements.line("begin");
+  body.statements.line("  if rising_edge(clk) then");
+  body.statements.line("    if rst = '1' then");
+  body.statements.line("      r_valid <= '0';");
+  body.statements.line("    elsif ", in.sig("valid"), " = '1' and ",
+                       in.sig("ready"), " = '1' then");
+  body.statements.line("      r_data <= ", datapath(in, out), ";");
   if (out.last_bits() > 0 && in.last_bits() > 0) {
-    body.statements.push_back("      r_last <= " + in.sig("last") + ";");
+    body.statements.line("      r_last <= ", in.sig("last"), ";");
   }
-  body.statements.push_back("      r_valid <= '1';");
-  body.statements.push_back("    elsif " + out.sig("ready") + " = '1' then");
-  body.statements.push_back("      r_valid <= '0';");
-  body.statements.push_back("    end if;");
-  body.statements.push_back("  end if;");
-  body.statements.push_back("end process datapath;");
-  body.statements.push_back(out.sig("valid") + " <= r_valid;");
-  body.statements.push_back(out.sig("data") + " <= r_data;");
+  body.statements.line("      r_valid <= '1';");
+  body.statements.line("    elsif ", out.sig("ready"), " = '1' then");
+  body.statements.line("      r_valid <= '0';");
+  body.statements.line("    end if;");
+  body.statements.line("  end if;");
+  body.statements.line("end process datapath;");
+  body.statements.line(out.sig("valid"), " <= r_valid;");
+  body.statements.line(out.sig("data"), " <= r_data;");
   if (out.last_bits() > 0) {
-    body.statements.push_back(out.sig("last") + " <= r_last;");
+    body.statements.line(out.sig("last"), " <= r_last;");
   }
-  body.statements.push_back(in.sig("ready") + " <= (not r_valid) or " +
-                            out.sig("ready") + ";");
+  body.statements.line(in.sig("ready"), " <= (not r_valid) or ",
+                       out.sig("ready"), ";");
   // Remaining payload signals (strb/stai/endi) pass through registered-less;
   // acceptable for generated prototypes.
   return body;
@@ -297,28 +313,25 @@ RtlBody gen_const_compare(const IrImpl& impl, const IrStreamlet& s) {
       bool set = (static_cast<unsigned char>(value[byte]) >> bit) & 1U;
       bits[bits.size() - 1 - i] = set ? '1' : '0';
     }
-    body.declarations.push_back("constant c_operand : " + vec(w) + " := \"" +
-                                bits + "\";");
+    body.declarations.line("constant c_operand : ", vec(w), " := \"", bits,
+                           "\";");
   } else {
     std::int64_t num = int_arg(impl, 0);
-    body.declarations.push_back(
-        "constant c_operand : " + vec(w) +
-        " := std_logic_vector(to_unsigned(" + std::to_string(num) + ", " +
-        std::to_string(w) + "));");
+    body.declarations.line("constant c_operand : ", vec(w),
+                           " := std_logic_vector(to_unsigned(",
+                           std::to_string(num), ", ", std::to_string(w),
+                           "));");
   }
 
-  body.statements.push_back(out.sig("valid") + " <= " + in.sig("valid") +
-                            ";");
-  body.statements.push_back(
-      out.sig("data") + " <= (0 => '1', others => '0') when unsigned(" +
-      in.sig("data") + ") " + vop +
-      " unsigned(c_operand) else (others => '0');");
+  body.statements.line(out.sig("valid"), " <= ", in.sig("valid"), ";");
+  body.statements.line(out.sig("data"),
+                       " <= (0 => '1', others => '0') when unsigned(",
+                       in.sig("data"), ") ", vop,
+                       " unsigned(c_operand) else (others => '0');");
   if (out.last_bits() > 0 && in.last_bits() > 0) {
-    body.statements.push_back(out.sig("last") + " <= " + in.sig("last") +
-                              ";");
+    body.statements.line(out.sig("last"), " <= ", in.sig("last"), ";");
   }
-  body.statements.push_back(in.sig("ready") + " <= " + out.sig("ready") +
-                            ";");
+  body.statements.line(in.sig("ready"), " <= ", out.sig("ready"), ";");
   return body;
 }
 
@@ -339,20 +352,19 @@ RtlBody gen_filter(const IrImpl&, const IrStreamlet& s) {
   if (keep == data) keep = &ins[1];
   const PortSignals& out = outs.front();
 
-  body.declarations.push_back("signal both_valid : std_logic;");
-  body.declarations.push_back("signal keep_bit : std_logic;");
-  body.statements.push_back("both_valid <= " + data->sig("valid") + " and " +
-                            keep->sig("valid") + ";");
-  body.statements.push_back("keep_bit <= " + keep->sig("data") + "(0);");
-  body.statements.push_back(out.sig("valid") +
-                            " <= both_valid and keep_bit;");
+  body.declarations.line("signal both_valid : std_logic;");
+  body.declarations.line("signal keep_bit : std_logic;");
+  body.statements.line("both_valid <= ", data->sig("valid"), " and ",
+                       keep->sig("valid"), ";");
+  body.statements.line("keep_bit <= ", keep->sig("data"), "(0);");
+  body.statements.line(out.sig("valid"), " <= both_valid and keep_bit;");
   copy_payload(body, *data, out);
   // Both inputs acknowledge together: either the packet was forwarded and
   // accepted, or it was dropped (keep = 0).
-  body.statements.push_back(data->sig("ready") + " <= both_valid and (" +
-                            out.sig("ready") + " or not keep_bit);");
-  body.statements.push_back(keep->sig("ready") + " <= both_valid and (" +
-                            out.sig("ready") + " or not keep_bit);");
+  body.statements.line(data->sig("ready"), " <= both_valid and (",
+                       out.sig("ready"), " or not keep_bit);");
+  body.statements.line(keep->sig("ready"), " <= both_valid and (",
+                       out.sig("ready"), " or not keep_bit);");
   return body;
 }
 
@@ -372,17 +384,16 @@ RtlBody gen_logic_reduce(const IrImpl&, const IrStreamlet& s,
     all_valid += " and " + ins[i].sig("valid");
     reduced += " " + op + " " + ins[i].sig("data") + "(0)";
   }
-  body.declarations.push_back("signal all_valid : std_logic;");
-  body.statements.push_back("all_valid <= " + all_valid + ";");
-  body.statements.push_back(out.sig("valid") + " <= all_valid;");
-  body.statements.push_back(out.sig("data") + "(0) <= " + reduced + ";");
+  body.declarations.line("signal all_valid : std_logic;");
+  body.statements.line("all_valid <= ", all_valid, ";");
+  body.statements.line(out.sig("valid"), " <= all_valid;");
+  body.statements.line(out.sig("data"), "(0) <= ", reduced, ";");
   if (out.last_bits() > 0 && ins[0].last_bits() > 0) {
-    body.statements.push_back(out.sig("last") + " <= " + ins[0].sig("last") +
-                              ";");
+    body.statements.line(out.sig("last"), " <= ", ins[0].sig("last"), ";");
   }
   for (const PortSignals& in : ins) {
-    body.statements.push_back(in.sig("ready") + " <= all_valid and " +
-                              out.sig("ready") + ";");
+    body.statements.line(in.sig("ready"), " <= all_valid and ",
+                         out.sig("ready"), ";");
   }
   return body;
 }
@@ -396,13 +407,13 @@ RtlBody gen_demux(const IrImpl&, const IrStreamlet& s) {
   const PortSignals& in = ins.front();
   const std::size_t n = outs.size();
 
-  body.declarations.push_back("signal sel : integer range 0 to " +
-                              std::to_string(n - 1) + " := 0;");
+  body.declarations.line("signal sel : integer range 0 to ",
+                         std::to_string(n - 1), " := 0;");
   for (std::size_t k = 0; k < n; ++k) {
     const PortSignals& out = outs[k];
     std::string ks = std::to_string(k);
-    body.statements.push_back(out.sig("valid") + " <= " + in.sig("valid") +
-                              " when sel = " + ks + " else '0';");
+    body.statements.line(out.sig("valid"), " <= ", in.sig("valid"),
+                         " when sel = ", ks, " else '0';");
     copy_payload(body, in, out);
   }
   std::string ready_mux = "'0'";
@@ -410,19 +421,19 @@ RtlBody gen_demux(const IrImpl&, const IrStreamlet& s) {
     ready_mux = outs[k].sig("ready") + " when sel = " + std::to_string(k) +
                 " else " + ready_mux;
   }
-  body.statements.push_back(in.sig("ready") + " <= " + ready_mux + ";");
-  body.statements.push_back("advance : process(clk)");
-  body.statements.push_back("begin");
-  body.statements.push_back("  if rising_edge(clk) then");
-  body.statements.push_back("    if rst = '1' then");
-  body.statements.push_back("      sel <= 0;");
-  body.statements.push_back("    elsif " + in.sig("valid") + " = '1' and " +
-                            in.sig("ready") + " = '1' then");
-  body.statements.push_back("      if sel = " + std::to_string(n - 1) +
-                            " then sel <= 0; else sel <= sel + 1; end if;");
-  body.statements.push_back("    end if;");
-  body.statements.push_back("  end if;");
-  body.statements.push_back("end process advance;");
+  body.statements.line(in.sig("ready"), " <= ", ready_mux, ";");
+  body.statements.line("advance : process(clk)");
+  body.statements.line("begin");
+  body.statements.line("  if rising_edge(clk) then");
+  body.statements.line("    if rst = '1' then");
+  body.statements.line("      sel <= 0;");
+  body.statements.line("    elsif ", in.sig("valid"), " = '1' and ",
+                       in.sig("ready"), " = '1' then");
+  body.statements.line("      if sel = ", std::to_string(n - 1),
+                       " then sel <= 0; else sel <= sel + 1; end if;");
+  body.statements.line("    end if;");
+  body.statements.line("  end if;");
+  body.statements.line("end process advance;");
   return body;
 }
 
@@ -436,14 +447,14 @@ RtlBody gen_mux(const IrImpl&, const IrStreamlet& s) {
   const PortSignals& out = outs.front();
   const std::size_t n = ins.size();
 
-  body.declarations.push_back("signal sel : integer range 0 to " +
-                              std::to_string(n - 1) + " := 0;");
+  body.declarations.line("signal sel : integer range 0 to ",
+                         std::to_string(n - 1), " := 0;");
   std::string valid_mux = "'0'";
   for (std::size_t k = 0; k < n; ++k) {
     valid_mux = ins[k].sig("valid") + " when sel = " + std::to_string(k) +
                 " else " + valid_mux;
   }
-  body.statements.push_back(out.sig("valid") + " <= " + valid_mux + ";");
+  body.statements.line(out.sig("valid"), " <= ", valid_mux, ";");
   for (const types::PhysicalSignal& sig : out.layout->signals) {
     if (sig.name == "valid" || sig.name == "ready") continue;
     std::string data_mux = "(others => '0')";
@@ -451,25 +462,24 @@ RtlBody gen_mux(const IrImpl&, const IrStreamlet& s) {
       data_mux = ins[k].sig(sig.name) + " when sel = " + std::to_string(k) +
                  " else " + data_mux;
     }
-    body.statements.push_back(out.sig(sig.name) + " <= " + data_mux + ";");
+    body.statements.line(out.sig(sig.name), " <= ", data_mux, ";");
   }
   for (std::size_t k = 0; k < n; ++k) {
-    body.statements.push_back(ins[k].sig("ready") + " <= " + out.sig("ready") +
-                              " when sel = " + std::to_string(k) +
-                              " else '0';");
+    body.statements.line(ins[k].sig("ready"), " <= ", out.sig("ready"),
+                         " when sel = ", std::to_string(k), " else '0';");
   }
-  body.statements.push_back("advance : process(clk)");
-  body.statements.push_back("begin");
-  body.statements.push_back("  if rising_edge(clk) then");
-  body.statements.push_back("    if rst = '1' then");
-  body.statements.push_back("      sel <= 0;");
-  body.statements.push_back("    elsif " + out.sig("valid") + " = '1' and " +
-                            out.sig("ready") + " = '1' then");
-  body.statements.push_back("      if sel = " + std::to_string(n - 1) +
-                            " then sel <= 0; else sel <= sel + 1; end if;");
-  body.statements.push_back("    end if;");
-  body.statements.push_back("  end if;");
-  body.statements.push_back("end process advance;");
+  body.statements.line("advance : process(clk)");
+  body.statements.line("begin");
+  body.statements.line("  if rising_edge(clk) then");
+  body.statements.line("    if rst = '1' then");
+  body.statements.line("      sel <= 0;");
+  body.statements.line("    elsif ", out.sig("valid"), " = '1' and ",
+                       out.sig("ready"), " = '1' then");
+  body.statements.line("      if sel = ", std::to_string(n - 1),
+                       " then sel <= 0; else sel <= sel + 1; end if;");
+  body.statements.line("    end if;");
+  body.statements.line("  end if;");
+  body.statements.line("end process advance;");
   return body;
 }
 
@@ -483,41 +493,39 @@ RtlBody gen_accumulator(const IrImpl&, const IrStreamlet& s) {
   const PortSignals& in = ins.front();
   const PortSignals& out = outs.front();
   std::int64_t w = out.data_bits();
+  const std::string ws = std::to_string(w);
 
-  body.declarations.push_back("signal acc : unsigned(" +
-                              std::to_string(w - 1) + " downto 0);");
-  body.declarations.push_back("signal total_valid : std_logic;");
-  body.statements.push_back("accumulate : process(clk)");
-  body.statements.push_back("begin");
-  body.statements.push_back("  if rising_edge(clk) then");
-  body.statements.push_back("    if rst = '1' then");
-  body.statements.push_back("      acc <= (others => '0');");
-  body.statements.push_back("      total_valid <= '0';");
-  body.statements.push_back("    elsif " + in.sig("valid") + " = '1' and " +
-                            in.sig("ready") + " = '1' then");
-  body.statements.push_back("      acc <= acc + resize(unsigned(" +
-                            in.sig("data") + "), " + std::to_string(w) +
-                            ");");
+  body.declarations.line("signal acc : unsigned(", std::to_string(w - 1),
+                         " downto 0);");
+  body.declarations.line("signal total_valid : std_logic;");
+  body.statements.line("accumulate : process(clk)");
+  body.statements.line("begin");
+  body.statements.line("  if rising_edge(clk) then");
+  body.statements.line("    if rst = '1' then");
+  body.statements.line("      acc <= (others => '0');");
+  body.statements.line("      total_valid <= '0';");
+  body.statements.line("    elsif ", in.sig("valid"), " = '1' and ",
+                       in.sig("ready"), " = '1' then");
+  body.statements.line("      acc <= acc + resize(unsigned(", in.sig("data"),
+                       "), ", ws, ");");
   if (in.last_bits() > 0) {
-    body.statements.push_back("      total_valid <= " + in.sig("last") +
-                              "(0);");
+    body.statements.line("      total_valid <= ", in.sig("last"), "(0);");
   } else {
-    body.statements.push_back("      total_valid <= '1';");
+    body.statements.line("      total_valid <= '1';");
   }
-  body.statements.push_back("    elsif total_valid = '1' and " +
-                            out.sig("ready") + " = '1' then");
-  body.statements.push_back("      total_valid <= '0';");
-  body.statements.push_back("      acc <= (others => '0');");
-  body.statements.push_back("    end if;");
-  body.statements.push_back("  end if;");
-  body.statements.push_back("end process accumulate;");
-  body.statements.push_back(out.sig("valid") + " <= total_valid;");
-  body.statements.push_back(out.sig("data") +
-                            " <= std_logic_vector(acc);");
+  body.statements.line("    elsif total_valid = '1' and ", out.sig("ready"),
+                       " = '1' then");
+  body.statements.line("      total_valid <= '0';");
+  body.statements.line("      acc <= (others => '0');");
+  body.statements.line("    end if;");
+  body.statements.line("  end if;");
+  body.statements.line("end process accumulate;");
+  body.statements.line(out.sig("valid"), " <= total_valid;");
+  body.statements.line(out.sig("data"), " <= std_logic_vector(acc);");
   if (out.last_bits() > 0) {
-    body.statements.push_back(out.sig("last") + " <= (others => '1');");
+    body.statements.line(out.sig("last"), " <= (others => '1');");
   }
-  body.statements.push_back(in.sig("ready") + " <= not total_valid;");
+  body.statements.line(in.sig("ready"), " <= not total_valid;");
   return body;
 }
 
@@ -532,29 +540,29 @@ RtlBody gen_binary_op(const IrStreamlet& s, const std::string& op,
   const PortSignals& rhs = ins[1];
   const PortSignals& out = outs.front();
 
-  body.declarations.push_back("signal both_valid : std_logic;");
-  body.statements.push_back("both_valid <= " + lhs.sig("valid") + " and " +
-                            rhs.sig("valid") + ";");
-  body.statements.push_back(out.sig("valid") + " <= both_valid;");
+  body.declarations.line("signal both_valid : std_logic;");
+  body.statements.line("both_valid <= ", lhs.sig("valid"), " and ",
+                       rhs.sig("valid"), ";");
+  body.statements.line(out.sig("valid"), " <= both_valid;");
   if (is_compare) {
-    body.statements.push_back(
-        out.sig("data") + " <= (0 => '1', others => '0') when unsigned(" +
-        lhs.sig("data") + ") " + op + " unsigned(" + rhs.sig("data") +
-        ") else (others => '0');");
+    body.statements.line(out.sig("data"),
+                         " <= (0 => '1', others => '0') when unsigned(",
+                         lhs.sig("data"), ") ", op, " unsigned(",
+                         rhs.sig("data"), ") else (others => '0');");
   } else {
-    body.statements.push_back(
-        out.sig("data") + " <= std_logic_vector(resize(unsigned(" +
-        lhs.sig("data") + ") " + op + " unsigned(" + rhs.sig("data") + "), " +
-        std::to_string(out.data_bits()) + "));");
+    body.statements.line(out.sig("data"),
+                         " <= std_logic_vector(resize(unsigned(",
+                         lhs.sig("data"), ") ", op, " unsigned(",
+                         rhs.sig("data"), "), ",
+                         std::to_string(out.data_bits()), "));");
   }
   if (out.last_bits() > 0 && lhs.last_bits() > 0) {
-    body.statements.push_back(out.sig("last") + " <= " + lhs.sig("last") +
-                              ";");
+    body.statements.line(out.sig("last"), " <= ", lhs.sig("last"), ";");
   }
-  body.statements.push_back(lhs.sig("ready") + " <= both_valid and " +
-                            out.sig("ready") + ";");
-  body.statements.push_back(rhs.sig("ready") + " <= both_valid and " +
-                            out.sig("ready") + ";");
+  body.statements.line(lhs.sig("ready"), " <= both_valid and ",
+                       out.sig("ready"), ";");
+  body.statements.line(rhs.sig("ready"), " <= both_valid and ",
+                       out.sig("ready"), ";");
   return body;
 }
 
@@ -569,13 +577,11 @@ RtlBody gen_const_generator(const IrImpl& impl, const IrStreamlet& s) {
   const PortSignals& out = outs.front();
   std::int64_t w = out.data_bits();
   std::int64_t value = int_arg(impl, 0);
-  body.statements.push_back(out.sig("valid") + " <= '1';");
-  body.statements.push_back(out.sig("data") +
-                            " <= std_logic_vector(to_unsigned(" +
-                            std::to_string(value) + ", " + std::to_string(w) +
-                            "));");
+  body.statements.line(out.sig("valid"), " <= '1';");
+  body.statements.line(out.sig("data"), " <= std_logic_vector(to_unsigned(",
+                       std::to_string(value), ", ", std::to_string(w), "));");
   if (out.last_bits() > 0) {
-    body.statements.push_back(out.sig("last") + " <= (others => '0');");
+    body.statements.line(out.sig("last"), " <= (others => '0');");
   }
   return body;
 }
@@ -593,25 +599,23 @@ RtlBody gen_group_split2(const IrImpl&, const IrStreamlet& s) {
   std::int64_t wa = a.data_bits();
   std::int64_t wb = b.data_bits();
 
-  body.statements.push_back(a.sig("valid") + " <= " + in.sig("valid") + ";");
-  body.statements.push_back(b.sig("valid") + " <= " + in.sig("valid") + ";");
-  body.statements.push_back(a.sig("data") + " <= " + in.sig("data") + "(" +
-                            std::to_string(wa + wb - 1) + " downto " +
-                            std::to_string(wb) + ");");
-  body.statements.push_back(b.sig("data") + " <= " + in.sig("data") + "(" +
-                            std::to_string(wb - 1) + " downto 0);");
+  body.statements.line(a.sig("valid"), " <= ", in.sig("valid"), ";");
+  body.statements.line(b.sig("valid"), " <= ", in.sig("valid"), ";");
+  body.statements.line(a.sig("data"), " <= ", in.sig("data"), "(",
+                       std::to_string(wa + wb - 1), " downto ",
+                       std::to_string(wb), ");");
+  body.statements.line(b.sig("data"), " <= ", in.sig("data"), "(",
+                       std::to_string(wb - 1), " downto 0);");
   if (in.last_bits() > 0) {
     if (a.last_bits() > 0) {
-      body.statements.push_back(a.sig("last") + " <= " + in.sig("last") +
-                                ";");
+      body.statements.line(a.sig("last"), " <= ", in.sig("last"), ";");
     }
     if (b.last_bits() > 0) {
-      body.statements.push_back(b.sig("last") + " <= " + in.sig("last") +
-                                ";");
+      body.statements.line(b.sig("last"), " <= ", in.sig("last"), ";");
     }
   }
-  body.statements.push_back(in.sig("ready") + " <= " + a.sig("ready") +
-                            " and " + b.sig("ready") + ";");
+  body.statements.line(in.sig("ready"), " <= ", a.sig("ready"), " and ",
+                       b.sig("ready"), ";");
   return body;
 }
 
@@ -626,20 +630,19 @@ RtlBody gen_group_combine2(const IrImpl&, const IrStreamlet& s) {
   const PortSignals& b = ins[1];
   const PortSignals& out = outs.front();
 
-  body.declarations.push_back("signal both_valid : std_logic;");
-  body.statements.push_back("both_valid <= " + a.sig("valid") + " and " +
-                            b.sig("valid") + ";");
-  body.statements.push_back(out.sig("valid") + " <= both_valid;");
-  body.statements.push_back(out.sig("data") + " <= " + a.sig("data") +
-                            " & " + b.sig("data") + ";");
+  body.declarations.line("signal both_valid : std_logic;");
+  body.statements.line("both_valid <= ", a.sig("valid"), " and ",
+                       b.sig("valid"), ";");
+  body.statements.line(out.sig("valid"), " <= both_valid;");
+  body.statements.line(out.sig("data"), " <= ", a.sig("data"), " & ",
+                       b.sig("data"), ";");
   if (out.last_bits() > 0 && a.last_bits() > 0) {
-    body.statements.push_back(out.sig("last") + " <= " + a.sig("last") +
-                              ";");
+    body.statements.line(out.sig("last"), " <= ", a.sig("last"), ";");
   }
-  body.statements.push_back(a.sig("ready") + " <= both_valid and " +
-                            out.sig("ready") + ";");
-  body.statements.push_back(b.sig("ready") + " <= both_valid and " +
-                            out.sig("ready") + ";");
+  body.statements.line(a.sig("ready"), " <= both_valid and ",
+                       out.sig("ready"), ";");
+  body.statements.line(b.sig("ready"), " <= both_valid and ",
+                       out.sig("ready"), ";");
   return body;
 }
 
@@ -650,24 +653,23 @@ RtlBody gen_source(const IrImpl&, const IrStreamlet& s) {
   if (outs.empty()) return body;
   const PortSignals& out = outs.front();
   std::int64_t w = out.data_bits();
-  body.declarations.push_back("signal counter : unsigned(" +
-                              std::to_string(w - 1) + " downto 0);");
-  body.statements.push_back(out.sig("valid") + " <= '1';");
-  body.statements.push_back(out.sig("data") +
-                            " <= std_logic_vector(counter);");
+  body.declarations.line("signal counter : unsigned(", std::to_string(w - 1),
+                         " downto 0);");
+  body.statements.line(out.sig("valid"), " <= '1';");
+  body.statements.line(out.sig("data"), " <= std_logic_vector(counter);");
   if (out.last_bits() > 0) {
-    body.statements.push_back(out.sig("last") + " <= (others => '0');");
+    body.statements.line(out.sig("last"), " <= (others => '0');");
   }
-  body.statements.push_back("count : process(clk)");
-  body.statements.push_back("begin");
-  body.statements.push_back("  if rising_edge(clk) then");
-  body.statements.push_back("    if rst = '1' then");
-  body.statements.push_back("      counter <= (others => '0');");
-  body.statements.push_back("    elsif " + out.sig("ready") + " = '1' then");
-  body.statements.push_back("      counter <= counter + 1;");
-  body.statements.push_back("    end if;");
-  body.statements.push_back("  end if;");
-  body.statements.push_back("end process count;");
+  body.statements.line("count : process(clk)");
+  body.statements.line("begin");
+  body.statements.line("  if rising_edge(clk) then");
+  body.statements.line("    if rst = '1' then");
+  body.statements.line("      counter <= (others => '0');");
+  body.statements.line("    elsif ", out.sig("ready"), " = '1' then");
+  body.statements.line("      counter <= counter + 1;");
+  body.statements.line("    end if;");
+  body.statements.line("  end if;");
+  body.statements.line("end process count;");
   return body;
 }
 

@@ -18,13 +18,17 @@
 #include <vector>
 
 #include "src/ir/ir.hpp"
+#include "src/support/text.hpp"
 
 namespace tydi::vhdl {
 
-/// Architecture pieces for one external implementation.
+/// Architecture pieces for one external implementation. Both sections are
+/// rope writers pre-set to architecture-body depth: the generators write
+/// lines (as `string_view` pieces, no concatenation temporaries) and the
+/// VHDL emitter splices the chunks into the output writer without copying.
 struct RtlBody {
-  std::vector<std::string> declarations;  ///< signal/constant declarations
-  std::vector<std::string> statements;    ///< concurrent statements/processes
+  support::CodeWriter declarations{"  ", 1};  ///< signal/constant decls
+  support::CodeWriter statements{"  ", 1};    ///< concurrent stmts/processes
 };
 
 /// Returns the behavioural body for a known stdlib family, or nullopt if the

@@ -20,6 +20,7 @@
 //    emitted as black boxes.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "src/ir/ir.hpp"
@@ -35,11 +36,37 @@ struct VhdlOptions {
   bool generate_stdlib_rtl = true;
 };
 
+/// Session-lifetime emission cache. A port's emission products — its entity
+/// port lines and per-net name/type fragments — are pure functions of the
+/// port's name, logical type identity and direction; a
+/// driver::CompileSession hands warm compiles the same TypeRefs, so the
+/// emitter reuses the strings built by earlier compiles instead of
+/// rebuilding them per module. Opaque: the payload type lives in vhdl.cpp.
+/// Owned by the session (single-threaded, like the driver).
+class EmitSession {
+ public:
+  EmitSession();
+  ~EmitSession();
+  EmitSession(const EmitSession&) = delete;
+  EmitSession& operator=(const EmitSession&) = delete;
+
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Emits the whole lowered design as one VHDL file (deterministic order:
-/// module table order, children before parents).
+/// module table order, children before parents). `session` (optional)
+/// reuses per-port emission strings across compiles of a session.
 [[nodiscard]] std::string emit(const ir::Module& module,
                                const VhdlOptions& options,
-                               support::DiagnosticEngine& diags);
+                               support::DiagnosticEngine& diags,
+                               EmitSession* session = nullptr);
 
 /// VHDL-safe identifier for design names (lowercase, no '__' runs).
 [[nodiscard]] std::string vhdl_name(std::string_view name);

@@ -18,7 +18,8 @@ struct ElabOutcome {
 ElabOutcome elaborate(std::string_view text, const std::string& top) {
   auto program = std::make_shared<Program>();
   support::DiagnosticEngine diags;
-  program->files.push_back(lang::parse(text, support::FileId{1}, diags));
+  program->files.push_back(std::make_shared<const lang::SourceFile>(
+      lang::parse(text, support::FileId{1}, diags)));
   EXPECT_EQ(diags.error_count(), 0u) << "parse failed: " << diags.render();
   Elaborator elaborator(program, diags);
   Design design = top.empty() ? elaborator.run_all() : elaborator.run(top);

@@ -1,12 +1,40 @@
 // Support-layer tests: source management, diagnostics, the LoC counter
-// that Table IV depends on, the code writer, tables, and identifier
-// sanitization.
+// that Table IV depends on, the rope-backed code writer (including an
+// allocation-count regression check), tables, and identifier sanitization.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "src/support/diagnostic.hpp"
 #include "src/support/intern.hpp"
 #include "src/support/source.hpp"
 #include "src/support/text.hpp"
+
+// Process-wide allocation counter for the CodeWriter regression test: every
+// operator new in this test binary bumps the counter, so a test can assert
+// an upper bound on the allocations a code path performs.
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace tydi::support {
 namespace {
@@ -152,6 +180,100 @@ TEST(CodeWriter, IndentationManagement) {
   w2.dedent();
   w2.line("x");
   EXPECT_EQ(w2.str(), "x\n");
+}
+
+TEST(CodeWriter, MultiPieceLinesAndRawWrites) {
+  CodeWriter w;
+  // Pieces concatenate with a single indent prefix and newline.
+  w.open("entity e is");
+  w.line("signal ", std::string("sig_a"), std::string_view("_data"), " : ",
+         "std_logic", ";");
+  w.close("end;");
+  // All-empty pieces behave like a blank line: no trailing spaces.
+  w.indent();
+  w.line("", "", "");
+  w.dedent();
+  w.write("raw");
+  w.write(" tail\n");
+  EXPECT_EQ(w.str(),
+            "entity e is\n  signal sig_a_data : std_logic;\nend;\n\nraw "
+            "tail\n");
+  EXPECT_EQ(w.bytes(), w.str().size());
+}
+
+TEST(CodeWriter, ConstructorDepthAndTake) {
+  CodeWriter w("  ", 1);
+  EXPECT_EQ(w.depth(), 1);
+  w.line("indented");
+  EXPECT_EQ(w.take(), "  indented\n");
+  // take() clears the buffer.
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.take(), "");
+}
+
+TEST(CodeWriter, AppendSplicesWithoutReindenting) {
+  CodeWriter body("  ", 2);
+  body.line("inner");
+  CodeWriter w;
+  w.open("outer {");
+  w.append(std::move(body));
+  w.close("}");
+  EXPECT_EQ(w.str(), "outer {\n    inner\n}\n");
+  EXPECT_TRUE(body.empty());  // NOLINT(bugprone-use-after-move): documented
+}
+
+TEST(CodeWriter, ChunkBoundaryCorrectnessOnMultiMegabyteOutput) {
+  // Varied line lengths force pieces to straddle chunk boundaries at many
+  // different offsets; the rope must agree byte for byte with a flat string.
+  const std::string pad(97, 'x');
+  CodeWriter w;
+  std::string expected;
+  w.indent();
+  for (int i = 0; i < 40000; ++i) {
+    std::string number = std::to_string(i);
+    std::string_view tail = std::string_view(pad).substr(
+        0, static_cast<std::size_t>(i) % pad.size());
+    w.line("line ", number, " ", tail, ";");
+    expected += "  line ";
+    expected += number;
+    expected += ' ';
+    expected += tail;
+    expected += ";\n";
+  }
+  ASSERT_GT(expected.size(), 3u * CodeWriter::kChunkBytes);
+  EXPECT_EQ(w.bytes(), expected.size());
+  EXPECT_GE(w.chunk_allocs(), expected.size() / CodeWriter::kChunkBytes);
+  EXPECT_EQ(w.take(), expected);
+}
+
+TEST(CodeWriter, AllocationCountRegression) {
+  // ~1 MiB of output written as view pieces must allocate on the order of
+  // one chunk per 64 KiB — not one (or more) string per line. The bound is
+  // loose (chunk vector growth, indent cache, gtest bookkeeping) but two
+  // orders of magnitude below a per-line-temporary regression.
+  const std::string pad(64, 'y');
+  const std::string_view pad_view(pad);
+  CodeWriter w;
+  w.indent();
+  const std::uint64_t before =
+      g_allocation_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 20000; ++i) {
+    w.line("entry ", pad_view.substr(0, static_cast<std::size_t>(i) % 60),
+           ";");
+  }
+  const std::uint64_t during =
+      g_allocation_count.load(std::memory_order_relaxed) - before;
+  EXPECT_GT(w.bytes(), 2u * CodeWriter::kChunkBytes);
+  EXPECT_LE(during, 200u) << "CodeWriter should allocate per chunk, not per "
+                             "line (20000 lines written)";
+  // The writer's own account matches: a handful of 64 KiB chunks (plus the
+  // small ramp-up chunks at the front of the rope).
+  EXPECT_LE(w.chunk_allocs(),
+            w.bytes() / CodeWriter::kChunkBytes + 4);
+  // The process-wide counter (read by bench_compile_perf) moved by exactly
+  // the chunks this writer allocated plus any concurrent writer activity —
+  // in this single-threaded test, at least the writer's own chunks.
+  EXPECT_GE(CodeWriter::process_chunk_allocs(), w.chunk_allocs());
 }
 
 TEST(TextTable, AlignedRendering) {
