@@ -12,9 +12,15 @@
 // are byte-identical to the single-queue engine. Any violation makes the
 // process exit non-zero, which is what the CI multi-core job keys off.
 //
+// The credit section (BENCH_sim.json "sim_credit_mode") measures exact vs
+// credit-batched acks on a *saturated* pipeline chain — the regime where
+// the exact protocol degrades to per-timestamp ack-fixpoint rounds — and
+// gates on: credit functionally equivalent to exact, credit events/sec >=
+// exact events/sec at 2+ shards, and columnar-trace slab allocations
+// staying chunked (<= 1 per 1024 traced events).
+//
 // With `--json <path>` the measurements are upserted into the BENCH_sim.json
-// trajectory array (section "sim_parallel_shards"). `--packets <n>` shrinks
-// the measured run for smoke use.
+// trajectory array. `--packets <n>` shrinks the measured run for smoke use.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -27,6 +33,7 @@
 #include "src/sim/engine.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/sim/shard/partition.hpp"
+#include "src/sim/trace.hpp"
 #include "src/support/text.hpp"
 #include "src/tpch/tpch.hpp"
 
@@ -97,14 +104,48 @@ impl grid_top of grid_s<16> {
 }
 )tydi";
 
+/// A single 48-stage pipeline driven at one packet per ns against a 6 ns
+/// stage service time: every channel a partition cuts runs saturated, so
+/// the exact protocol pays per-timestamp ack-fixpoint rounds while credit
+/// mode keeps full window rounds.
+constexpr std::string_view kSaturatedChainSource = R"tydi(
+package satchain;
+type t_word = Stream(Bit(32), d=1, c=2);
+streamlet stage_s<T: type> { in_: T in, out: T out, }
+impl pipeline_i<T: type, stage: impl of stage_s, n: int> of stage_s<type T> {
+  instance st(stage) [n],
+  in_ => st[0].in_,
+  for i in 0->n-1 {
+    st[i].out => st[i+1].in_,
+  }
+  st[n-1].out => out,
+}
+impl slow_stage of stage_s<type t_word> @ external {
+  sim {
+    on in_.receive {
+      delay(6);
+      send(out);
+      ack(in_);
+    }
+  }
+}
+streamlet sat_s { feed: t_word in, drained: t_word out, }
+impl sat_top of sat_s {
+  instance pipe(pipeline_i<type t_word, impl slow_stage, 48>),
+  feed => pipe.in_,
+  pipe.out => drained,
+}
+)tydi";
+
 tydi::sim::SimOptions generic_options(const tydi::elab::Design& design,
                                       int packets, int shards,
-                                      bool record_trace) {
+                                      bool record_trace,
+                                      double interval_ns = 10.0) {
   tydi::sim::SimOptions options;
   options.max_time_ns = 1.0e9;
   options.record_trace = record_trace;
   options.shards = shards;
-  options.stimuli = tydi::sim::generic_stimuli(design, packets);
+  options.stimuli = tydi::sim::generic_stimuli(design, packets, interval_ns);
   return options;
 }
 
@@ -127,12 +168,15 @@ struct Workload {
   std::string determinism_why;
 };
 
-Measurement measure(Workload& workload, int shards) {
+Measurement measure(Workload& workload, int shards,
+                    tydi::sim::AckMode ack_mode = tydi::sim::AckMode::kExact,
+                    double interval_ns = 10.0) {
   tydi::support::DiagnosticEngine diags;
   tydi::sim::Engine engine(workload.compiled.design, diags);
   tydi::sim::SimOptions options = generic_options(
       workload.compiled.design, workload.packets, shards,
-      /*record_trace=*/false);
+      /*record_trace=*/false, interval_ns);
+  options.ack_mode = ack_mode;
   auto start = std::chrono::steady_clock::now();
   tydi::sim::SimResult result = engine.run(options);
   auto stop = std::chrono::steady_clock::now();
@@ -141,6 +185,37 @@ Measurement measure(Workload& workload, int shards) {
   m.events = result.events_processed;
   m.wall_seconds = std::chrono::duration<double>(stop - start).count();
   return m;
+}
+
+/// Exact vs credit at one shard count on the saturated chain (best of
+/// `reps` each; events/sec comparisons on shared CI runners need the min
+/// wall clock, not a single sample).
+struct CreditComparison {
+  int shards = 1;
+  Measurement exact;
+  Measurement credit;
+  [[nodiscard]] double ratio() const {
+    double base = exact.events_per_sec();
+    return base > 0.0 ? credit.events_per_sec() / base : 0.0;
+  }
+};
+
+CreditComparison compare_credit(Workload& workload, int shards, int reps) {
+  CreditComparison cmp;
+  cmp.shards = shards;
+  for (int r = 0; r < reps; ++r) {
+    Measurement exact =
+        measure(workload, shards, tydi::sim::AckMode::kExact, 1.0);
+    Measurement credit =
+        measure(workload, shards, tydi::sim::AckMode::kCredit, 1.0);
+    if (r == 0 || exact.wall_seconds < cmp.exact.wall_seconds) {
+      cmp.exact = exact;
+    }
+    if (r == 0 || credit.wall_seconds < cmp.credit.wall_seconds) {
+      cmp.credit = credit;
+    }
+  }
+  return cmp;
 }
 
 void check_determinism(Workload& workload, int packets) {
@@ -272,6 +347,76 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Credit-mode section: saturated chain, exact vs batched acks -------
+  Workload chain;
+  chain.name = "saturated_chain_48";
+  {
+    tydi::driver::CompileOptions chain_options;
+    chain_options.top = "sat_top";
+    chain_options.emit_vhdl = false;
+    chain.compiled = tydi::driver::compile_source(
+        std::string(kSaturatedChainSource), chain_options);
+    if (!chain.compiled.success()) {
+      std::cerr << "saturated_chain_48 failed to compile:\n"
+                << chain.compiled.report();
+      return 1;
+    }
+    chain.packets = std::max(1, packets / 4);
+  }
+
+  // Functional-equivalence gate (exact@1 reference vs credit at 2/4
+  // shards) + the columnar-trace allocation gauge on the same runs.
+  bool credit_equivalent = true;
+  std::string credit_why;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_slab_allocs = 0;
+  {
+    int check_packets = std::max(64, chain.packets / 10);
+    tydi::support::DiagnosticEngine diags;
+    tydi::sim::Engine engine(chain.compiled.design, diags);
+    tydi::sim::SimOptions reference_options =
+        generic_options(chain.compiled.design, check_packets, 1,
+                        /*record_trace=*/true, /*interval_ns=*/1.0);
+    std::uint64_t slabs_before = tydi::sim::TraceBuffer::slabs_allocated();
+    tydi::sim::SimResult reference = engine.run(reference_options);
+    for (int shards : {2, 4}) {
+      tydi::sim::SimOptions credit_options =
+          generic_options(chain.compiled.design, check_packets, shards,
+                          /*record_trace=*/true, /*interval_ns=*/1.0);
+      credit_options.ack_mode = tydi::sim::AckMode::kCredit;
+      tydi::sim::SimResult credit = engine.run(credit_options);
+      trace_events += credit.trace.size();
+      std::string why;
+      if (!tydi::sim::results_functionally_equivalent(reference, credit,
+                                                      &why)) {
+        credit_equivalent = false;
+        credit_why = std::to_string(shards) + " shards: " + why;
+        break;
+      }
+    }
+    trace_events += reference.trace.size();
+    trace_slab_allocs =
+        tydi::sim::TraceBuffer::slabs_allocated() - slabs_before;
+  }
+  // Columnar slabs hold 4096 events; even counting per-shard buffers plus
+  // the merge copy, one allocation per 1024 traced events is generous.
+  bool trace_allocs_ok =
+      trace_slab_allocs <= std::max<std::uint64_t>(16, trace_events / 1024);
+
+  std::vector<CreditComparison> credit_runs;
+  {
+    (void)compare_credit(chain, 1, 1);  // warm-up
+    for (int shards : {1, 2, 4}) {
+      credit_runs.push_back(compare_credit(chain, shards, 2));
+    }
+  }
+  // The gate: batched acks must never lose to per-timestamp fixpoint
+  // rounds once something is actually cut (2+ shards).
+  bool credit_fast = true;
+  for (const CreditComparison& cmp : credit_runs) {
+    if (cmp.shards >= 2 && cmp.ratio() < 1.0) credit_fast = false;
+  }
+
   unsigned cores = std::thread::hardware_concurrency();
   tydi::support::TextTable table;
   table.header({"workload", "shards", "events", "wall s", "events/s",
@@ -286,13 +431,31 @@ int main(int argc, char** argv) {
                      base > 0.0 ? m.events_per_sec() / base : 0.0, 2)});
     }
   }
+  tydi::support::TextTable credit_table;
+  credit_table.header({"shards", "exact ev/s", "credit ev/s", "ratio"});
+  for (const CreditComparison& cmp : credit_runs) {
+    credit_table.row(
+        {std::to_string(cmp.shards),
+         tydi::support::format_fixed(cmp.exact.events_per_sec(), 0),
+         tydi::support::format_fixed(cmp.credit.events_per_sec(), 0),
+         tydi::support::format_fixed(cmp.ratio(), 2)});
+  }
   std::cout << "sharded simulation scaling (" << cores
             << " hardware thread(s))\n\n"
             << table.render() << "\n"
+            << "credit vs exact ack protocol (saturated_chain_48)\n\n"
+            << credit_table.render() << "\n"
             << "partition invariants: "
             << (partition_errors.empty() ? "ok" : "VIOLATED") << "\n"
             << "determinism (1 vs {2,4} shards): "
-            << (determinism_ok ? "ok" : "VIOLATED") << "\n";
+            << (determinism_ok ? "ok" : "VIOLATED") << "\n"
+            << "credit functional equivalence: "
+            << (credit_equivalent ? "ok" : "VIOLATED " + credit_why) << "\n"
+            << "credit >= exact at 2+ shards: "
+            << (credit_fast ? "ok" : "VIOLATED") << "\n"
+            << "trace slab allocs: " << trace_slab_allocs << " for "
+            << trace_events << " traced event(s) "
+            << (trace_allocs_ok ? "(ok)" : "(VIOLATED)") << "\n";
 
   if (json_path != nullptr) {
     std::ostringstream out;
@@ -331,8 +494,42 @@ int main(int argc, char** argv) {
       std::cerr << "error: cannot write " << json_path << "\n";
       return 1;
     }
-    std::cout << "JSON section updated in " << json_path << "\n";
+    std::ostringstream credit_out;
+    credit_out << "  {\n"
+               << "    \"benchmark\": \"sim_credit_mode\",\n"
+               << "    \"workload\": \"" << chain.name << "\",\n"
+               << "    \"packets\": " << chain.packets << ",\n"
+               << "    \"hardware_concurrency\": " << cores << ",\n"
+               << "    \"functional_equivalence_ok\": "
+               << (credit_equivalent ? "true" : "false") << ",\n"
+               << "    \"credit_not_slower_ok\": "
+               << (credit_fast ? "true" : "false") << ",\n"
+               << "    \"trace_events\": " << trace_events << ",\n"
+               << "    \"trace_slab_allocs\": " << trace_slab_allocs << ",\n"
+               << "    \"trace_allocs_ok\": "
+               << (trace_allocs_ok ? "true" : "false") << ",\n"
+               << "    \"runs\": [";
+    for (std::size_t i = 0; i < credit_runs.size(); ++i) {
+      const CreditComparison& cmp = credit_runs[i];
+      credit_out << (i == 0 ? "" : ", ") << "{\"shards\": " << cmp.shards
+                 << ", \"exact_events_per_sec\": "
+                 << cmp.exact.events_per_sec()
+                 << ", \"credit_events_per_sec\": "
+                 << cmp.credit.events_per_sec()
+                 << ", \"ratio\": " << cmp.ratio() << "}";
+    }
+    credit_out << "]\n"
+               << "  }";
+    if (!benchjson::upsert_section(json_path, "\"sim_credit_mode\"",
+                                   credit_out.str())) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "JSON sections updated in " << json_path << "\n";
   }
 
-  return partition_errors.empty() && determinism_ok ? 0 : 1;
+  return partition_errors.empty() && determinism_ok && credit_equivalent &&
+                 credit_fast && trace_allocs_ok
+             ? 0
+             : 1;
 }

@@ -1,6 +1,7 @@
 #include "src/driver/compiler.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <sstream>
 
 #include "src/parser/parser.hpp"
@@ -178,6 +179,50 @@ CompileResult compile(const std::vector<NamedSource>& sources,
 
 CompileResult compile_source(std::string text, const CompileOptions& options) {
   return compile({NamedSource{"input.td", std::move(text)}}, options);
+}
+
+bool load_batch_manifest(const std::string& path, std::vector<BatchJob>& jobs,
+                         std::string& error) {
+  std::ifstream manifest(path);
+  if (!manifest) {
+    error = "cannot read manifest " + path;
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(manifest, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string source_path;
+    std::string top;
+    if (!(fields >> source_path)) continue;  // blank line
+    if (source_path.front() == '#') continue;
+    if (!(fields >> top)) {
+      error = path + ":" + std::to_string(line_no) +
+              ": expected \"source_file top_name\"";
+      return false;
+    }
+    std::string extra;
+    if (fields >> extra) {
+      error = path + ":" + std::to_string(line_no) +
+              ": trailing field '" + extra + "'";
+      return false;
+    }
+    std::ifstream source(source_path, std::ios::binary);
+    if (!source) {
+      error = path + ":" + std::to_string(line_no) + ": cannot read " +
+              source_path;
+      return false;
+    }
+    BatchJob job;
+    job.name = source_path + ":" + top;
+    job.sources.push_back(NamedSource{
+        source_path, std::string((std::istreambuf_iterator<char>(source)),
+                                 std::istreambuf_iterator<char>())});
+    job.options.top = top;
+    jobs.push_back(std::move(job));
+  }
+  return true;
 }
 
 BatchResult compile_batch(CompileSession& session,

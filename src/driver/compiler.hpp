@@ -237,4 +237,16 @@ struct BatchResult {
 [[nodiscard]] BatchResult compile_batch(CompileSession& session,
                                         const std::vector<BatchJob>& jobs);
 
+/// Parses a batch job manifest — one `source_file top_name` pair per line
+/// (blank lines and `#` comments skipped) — and appends one BatchJob per
+/// line with the referenced source loaded and default options (stdlib +
+/// sugaring on). This is how arbitrary query sets, not just the built-in
+/// Table IV cases, batch through one CompileSession (`tydic
+/// --batch-manifest`). Returns false (with `error` set, jobs untouched
+/// beyond already-appended lines) on an unreadable manifest/source or a
+/// malformed line.
+[[nodiscard]] bool load_batch_manifest(const std::string& path,
+                                       std::vector<BatchJob>& jobs,
+                                       std::string& error);
+
 }  // namespace tydi::driver

@@ -47,19 +47,50 @@ std::string TemplateArgValue::display() const {
   return "?";
 }
 
-Streamlet& Design::add_streamlet(Streamlet s) {
+const Streamlet& Design::add_streamlet(Streamlet s) {
   s.sym = support::intern(s.name);
   for (Port& p : s.ports) p.sym = support::intern(p.name);
-  streamlet_index_[s.sym] = streamlets_.size();
-  streamlets_.push_back(std::move(s));
-  return streamlets_.back();
+  // make_shared<Streamlet>, not <const Streamlet>: the payload object must
+  // not be genuinely const (impl_mutable const_casts unique slots).
+  return add_streamlet(std::make_shared<Streamlet>(std::move(s)));
 }
 
-Impl& Design::add_impl(Impl i) {
+const Impl& Design::add_impl(Impl i) {
   i.sym = support::intern(i.name);
-  impl_index_[i.sym] = impls_.size();
+  return add_impl(std::make_shared<Impl>(std::move(i)));
+}
+
+const Streamlet& Design::add_streamlet(std::shared_ptr<const Streamlet> s) {
+  streamlet_index_[s->sym] = streamlets_.size();
+  streamlets_.push_back(std::move(s));
+  return *streamlets_.back();
+}
+
+const Impl& Design::add_impl(std::shared_ptr<const Impl> i) {
+  impl_index_[i->sym] = impls_.size();
   impls_.push_back(std::move(i));
-  return impls_.back();
+  return *impls_.back();
+}
+
+std::shared_ptr<const Streamlet> Design::share_streamlet(Symbol sym) const {
+  auto it = streamlet_index_.find(sym);
+  return it != streamlet_index_.end() ? streamlets_[it->second] : nullptr;
+}
+
+std::shared_ptr<const Impl> Design::share_impl(Symbol sym) const {
+  auto it = impl_index_.find(sym);
+  return it != impl_index_.end() ? impls_[it->second] : nullptr;
+}
+
+Impl& Design::impl_mutable(std::size_t index) {
+  std::shared_ptr<const Impl>& slot = impls_[index];
+  if (slot.use_count() > 1) {
+    // Copy-on-write: the payload is shared with a template-memo entry (or
+    // another design replaying it); give this design a private copy so the
+    // memo keeps the pristine pre-sugar elaboration.
+    slot = std::make_shared<Impl>(*slot);
+  }
+  return const_cast<Impl&>(*slot);  // originated as make_shared<Impl>
 }
 
 const Streamlet* Design::find_streamlet(std::string_view name) const {
@@ -71,7 +102,7 @@ const Streamlet* Design::find_streamlet(std::string_view name) const {
 const Streamlet* Design::find_streamlet(Symbol sym) const {
   auto it = streamlet_index_.find(sym);
   if (it == streamlet_index_.end()) return nullptr;
-  return &streamlets_[it->second];
+  return streamlets_[it->second].get();
 }
 
 const Impl* Design::find_impl(std::string_view name) const {
@@ -82,15 +113,7 @@ const Impl* Design::find_impl(std::string_view name) const {
 const Impl* Design::find_impl(Symbol sym) const {
   auto it = impl_index_.find(sym);
   if (it == impl_index_.end()) return nullptr;
-  return &impls_[it->second];
-}
-
-Impl* Design::find_impl_mutable(std::string_view name) {
-  Symbol sym = support::Interner::global().find(name);
-  if (sym == support::kNoSymbol) return nullptr;
-  auto it = impl_index_.find(sym);
-  if (it == impl_index_.end()) return nullptr;
-  return &impls_[it->second];
+  return impls_[it->second].get();
 }
 
 const Streamlet* Design::streamlet_of(const Impl& impl) const {
@@ -117,7 +140,8 @@ std::string Design::summary() const {
       << impls_.size() << " implementation(s)";
   if (!top_.empty()) out << ", top = " << top_;
   out << "\n";
-  for (const Impl& i : impls_) {
+  for (const auto& slot : impls_) {
+    const Impl& i = *slot;
     out << "  impl " << i.name;
     if (i.display_name != i.name) out << " (" << i.display_name << ")";
     out << " of " << i.streamlet_name;

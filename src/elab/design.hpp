@@ -139,27 +139,89 @@ struct Impl {
       std::string_view instance_name) const;
 };
 
+/// Lightweight deref view over a vector of shared payload slots: iterates
+/// and indexes as `const T&`, so consumers read shared-storage designs with
+/// the same syntax as the old by-value vectors.
+template <typename T>
+class SharedView {
+ public:
+  using Slots = std::vector<std::shared_ptr<const T>>;
+
+  explicit SharedView(const Slots& slots) : slots_(&slots) {}
+
+  class iterator {
+   public:
+    explicit iterator(typename Slots::const_iterator it) : it_(it) {}
+    const T& operator*() const { return **it_; }
+    const T* operator->() const { return it_->get(); }
+    iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    bool operator==(const iterator& other) const { return it_ == other.it_; }
+    bool operator!=(const iterator& other) const { return it_ != other.it_; }
+
+   private:
+    typename Slots::const_iterator it_;
+  };
+
+  [[nodiscard]] iterator begin() const { return iterator(slots_->begin()); }
+  [[nodiscard]] iterator end() const { return iterator(slots_->end()); }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return *(*slots_)[i];
+  }
+  [[nodiscard]] std::size_t size() const { return slots_->size(); }
+  [[nodiscard]] bool empty() const { return slots_->empty(); }
+
+ private:
+  const Slots* slots_;
+};
+
 /// The fully elaborated design. Insertion order is preserved so emitted IR /
 /// VHDL is deterministic (children appear before their parents).
+///
+/// Streamlet/Impl payloads live behind shared_ptr slots so the template
+/// memo can *share* them across warm compiles instead of value-copying the
+/// whole standard library into every Design (see elab::TemplateMemo). The
+/// only post-insertion mutator, the sugaring pass, goes through
+/// `impl_mutable`, which copies-on-write when the slot is shared — a memo
+/// therefore always holds the pristine pre-sugar payload. A pleasant side
+/// effect: payload addresses are stable under insertion (the old by-value
+/// vectors invalidated references on growth).
 class Design {
  public:
   explicit Design(ProgramRef program = nullptr)
       : program_(std::move(program)) {}
 
-  Streamlet& add_streamlet(Streamlet s);
-  Impl& add_impl(Impl i);
+  /// Interns the name/port symbols and takes ownership of a fresh payload.
+  const Streamlet& add_streamlet(Streamlet s);
+  const Impl& add_impl(Impl i);
+  /// Shared insert (memo replay): indexes the payload without copying.
+  /// Symbols must already be interned (true for any payload that has been
+  /// through the by-value overload in a previous compile).
+  const Streamlet& add_streamlet(std::shared_ptr<const Streamlet> s);
+  const Impl& add_impl(std::shared_ptr<const Impl> i);
 
   [[nodiscard]] const Streamlet* find_streamlet(std::string_view name) const;
   [[nodiscard]] const Streamlet* find_streamlet(Symbol sym) const;
   [[nodiscard]] const Impl* find_impl(std::string_view name) const;
   [[nodiscard]] const Impl* find_impl(Symbol sym) const;
-  [[nodiscard]] Impl* find_impl_mutable(std::string_view name);
 
-  [[nodiscard]] const std::vector<Streamlet>& streamlets() const {
-    return streamlets_;
+  /// Shared handles for memoization (nullptr when absent).
+  [[nodiscard]] std::shared_ptr<const Streamlet> share_streamlet(
+      Symbol sym) const;
+  [[nodiscard]] std::shared_ptr<const Impl> share_impl(Symbol sym) const;
+
+  /// Mutable access for the sugaring pass; clones the payload first when
+  /// the slot is shared with a memo or another design (copy-on-write).
+  [[nodiscard]] Impl& impl_mutable(std::size_t index);
+
+  [[nodiscard]] SharedView<Streamlet> streamlets() const {
+    return SharedView<Streamlet>(streamlets_);
   }
-  [[nodiscard]] const std::vector<Impl>& impls() const { return impls_; }
-  [[nodiscard]] std::vector<Impl>& impls_mutable() { return impls_; }
+  [[nodiscard]] SharedView<Impl> impls() const {
+    return SharedView<Impl>(impls_);
+  }
 
   /// Name of the top-level implementation (set by the elaborator).
   [[nodiscard]] const std::string& top() const { return top_; }
@@ -180,8 +242,12 @@ class Design {
 
  private:
   ProgramRef program_;
-  std::vector<Streamlet> streamlets_;
-  std::vector<Impl> impls_;
+  // Payload objects always originate from make_shared<T> in the by-value
+  // add_* overloads (shared inserts only recirculate such objects), so the
+  // unique-slot const_cast in impl_mutable never touches a genuinely const
+  // object.
+  std::vector<std::shared_ptr<const Streamlet>> streamlets_;
+  std::vector<std::shared_ptr<const Impl>> impls_;
   // Flat symbol-keyed indexes: lookups intern once and hash an integer
   // instead of walking a string-keyed tree.
   std::unordered_map<Symbol, std::size_t> streamlet_index_;

@@ -188,14 +188,16 @@ bool Elaborator::materialize_memo_impl(const TemplateMemo::ImplEntry& e) {
   }
   // Replay in recorded insertion order (skipping already-present members)
   // so a warm compile reproduces the cold compile's emission order exactly.
+  // Payloads are shared, not copied — the design references the memo's
+  // objects until something (the sugaring pass) copies-on-write.
   for (Symbol sym : e.dep_streamlets) {
     if (design_.find_streamlet(sym) == nullptr) {
-      design_.add_streamlet(*memo_.memo->valid_streamlet(sym, *memo_.hashes));
+      design_.add_streamlet(memo_.memo->valid_streamlet(sym, *memo_.hashes));
     }
   }
   for (Symbol sym : e.dep_impls) {
     if (design_.find_impl(sym) == nullptr) {
-      design_.add_impl(*memo_.memo->valid_impl(sym, *memo_.hashes));
+      design_.add_impl(memo_.memo->valid_impl(sym, *memo_.hashes));
     }
   }
   design_.add_impl(e.payload);
@@ -615,11 +617,12 @@ std::string Elaborator::elaborate_streamlet(
     return mangled;
   }
   // Cross-compile memo: a prior compile of this session already
-  // monomorphised this streamlet from byte-identical source.
+  // monomorphised this streamlet from byte-identical source. The payload is
+  // shared into this design, not copied.
   if (memo_.enabled()) {
-    if (const Streamlet* cached =
+    if (std::shared_ptr<const Streamlet> cached =
             memo_.memo->find_streamlet(mangled_sym, *memo_.hashes)) {
-      design_.add_streamlet(*cached);
+      design_.add_streamlet(std::move(cached));
       ++stats_.streamlet_hits;
       ++stats_.session_streamlet_hits;
       return mangled;
@@ -736,11 +739,12 @@ std::string Elaborator::elaborate_streamlet(
 
   design_.add_streamlet(std::move(s));
   // Memoize only clean elaborations of decls with a stampable source file.
+  // The entry shares the design's payload object (no copy).
   if (memo_.enabled() && diags_.error_count() == errors_before) {
     SourceStamp stamp = stamp_for(decl.loc);
     if (stamp.file.valid()) {
       memo_.memo->put_streamlet(mangled_sym,
-                                *design_.find_streamlet(mangled_sym), stamp,
+                                design_.share_streamlet(mangled_sym), stamp,
                                 dep_stack_.back().sources);
     }
   }
@@ -933,7 +937,7 @@ std::string Elaborator::elaborate_impl(
     SourceStamp stamp = stamp_for(decl.loc);
     if (stamp.file.valid()) {
       TemplateMemo::ImplEntry entry;
-      entry.payload = *design_.find_impl(mangled_sym);
+      entry.payload = design_.share_impl(mangled_sym);
       entry.stamp = stamp;
       const DepFrameData& frame = dep_stack_.back();
       entry.dep_sources = frame.sources;

@@ -51,8 +51,8 @@ void upsert_version(std::vector<Entry>& versions, Entry entry) {
 
 }  // namespace
 
-const Streamlet* TemplateMemo::find_streamlet(Symbol sym,
-                                              const SourceHashes& hashes) {
+std::shared_ptr<const Streamlet> TemplateMemo::find_streamlet(
+    Symbol sym, const SourceHashes& hashes) {
   auto it = streamlets_.find(sym);
   if (it == streamlets_.end()) {
     ++stats_.misses;
@@ -64,7 +64,7 @@ const Streamlet* TemplateMemo::find_streamlet(Symbol sym,
     return nullptr;
   }
   ++stats_.streamlet_hits;
-  return &entry->payload;
+  return entry->payload;
 }
 
 const TemplateMemo::ImplEntry* TemplateMemo::find_impl(
@@ -83,23 +83,24 @@ const TemplateMemo::ImplEntry* TemplateMemo::find_impl(
   return entry;
 }
 
-const Streamlet* TemplateMemo::valid_streamlet(
+std::shared_ptr<const Streamlet> TemplateMemo::valid_streamlet(
     Symbol sym, const SourceHashes& hashes) const {
   auto it = streamlets_.find(sym);
   if (it == streamlets_.end()) return nullptr;
   const StreamletEntry* entry = current_version(it->second, hashes);
-  return entry != nullptr ? &entry->payload : nullptr;
+  return entry != nullptr ? entry->payload : nullptr;
 }
 
-const Impl* TemplateMemo::valid_impl(Symbol sym,
-                                     const SourceHashes& hashes) const {
+std::shared_ptr<const Impl> TemplateMemo::valid_impl(
+    Symbol sym, const SourceHashes& hashes) const {
   auto it = impls_.find(sym);
   if (it == impls_.end()) return nullptr;
   const ImplEntry* entry = current_version(it->second, hashes);
-  return entry != nullptr ? &entry->payload : nullptr;
+  return entry != nullptr ? entry->payload : nullptr;
 }
 
-void TemplateMemo::put_streamlet(Symbol sym, Streamlet payload,
+void TemplateMemo::put_streamlet(Symbol sym,
+                                 std::shared_ptr<const Streamlet> payload,
                                  SourceStamp stamp,
                                  std::vector<SourceStamp> dep_sources) {
   upsert_version(streamlets_[sym],

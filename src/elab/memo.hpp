@@ -43,6 +43,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -84,7 +85,11 @@ struct MemoStats {
 class TemplateMemo {
  public:
   struct ImplEntry {
-    Impl payload;
+    /// Shared with every Design that elaborated or replayed this impl —
+    /// never value-copied. The sugaring pass copies-on-write before
+    /// mutating (Design::impl_mutable), so the memo's view stays the
+    /// pristine pre-sugar elaboration.
+    std::shared_ptr<const Impl> payload;
     SourceStamp stamp;
     /// Defining files of every global type/const this elaboration resolved
     /// (transitively); all must be current for the entry to hit.
@@ -104,19 +109,23 @@ class TemplateMemo {
   };
 
   /// Valid payload lookups: nullptr on miss *or* stale stamp (stat-counted).
-  [[nodiscard]] const Streamlet* find_streamlet(Symbol sym,
-                                                const SourceHashes& hashes);
+  /// Payloads are returned as shared handles so a hit inserts into the
+  /// current Design without copying.
+  [[nodiscard]] std::shared_ptr<const Streamlet> find_streamlet(
+      Symbol sym, const SourceHashes& hashes);
   [[nodiscard]] const ImplEntry* find_impl(Symbol sym,
                                            const SourceHashes& hashes);
 
   /// Stamp-checked payload reads for window replay (no stat counting).
-  [[nodiscard]] const Streamlet* valid_streamlet(
+  [[nodiscard]] std::shared_ptr<const Streamlet> valid_streamlet(
       Symbol sym, const SourceHashes& hashes) const;
-  [[nodiscard]] const Impl* valid_impl(Symbol sym,
-                                       const SourceHashes& hashes) const;
+  [[nodiscard]] std::shared_ptr<const Impl> valid_impl(
+      Symbol sym, const SourceHashes& hashes) const;
 
   /// Inserts or replaces (a re-elaboration after a stale lookup replaces).
-  void put_streamlet(Symbol sym, Streamlet payload, SourceStamp stamp,
+  /// Payloads are shared with the inserting Design, not copied.
+  void put_streamlet(Symbol sym, std::shared_ptr<const Streamlet> payload,
+                     SourceStamp stamp,
                      std::vector<SourceStamp> dep_sources);
   void put_impl(Symbol sym, ImplEntry entry, ProgramRef pin);
 
@@ -132,7 +141,7 @@ class TemplateMemo {
 
  private:
   struct StreamletEntry {
-    Streamlet payload;
+    std::shared_ptr<const Streamlet> payload;  ///< shared, never copied
     SourceStamp stamp;
     std::vector<SourceStamp> dep_sources;  ///< see ImplEntry::dep_sources
   };

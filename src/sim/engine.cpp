@@ -36,6 +36,19 @@ const ChannelStats* SimResult::bottleneck() const {
   return best;
 }
 
+TraceEvent SimResult::trace_event(std::size_t i) const {
+  TraceEvent ev;
+  ev.time_ns = trace.time_ns(i);
+  ev.channel_index = trace.channel(i);
+  ev.packet = Packet{trace.value(i), trace.last(i)};
+  const ChannelStats& c = channels[ev.channel_index];
+  ev.channel = c.name;
+  ev.is_top_input = c.top_input;
+  ev.is_top_output = c.top_output;
+  ev.top_port = c.top_port;
+  return ev;
+}
+
 double SimResult::throughput(const std::string& top_port) const {
   auto it = top_outputs.find(top_port);
   if (it == top_outputs.end() || it->second.size() < 2) return 0.0;

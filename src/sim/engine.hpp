@@ -38,6 +38,7 @@
 
 #include "src/elab/design.hpp"
 #include "src/sim/ring.hpp"
+#include "src/sim/trace.hpp"
 #include "src/support/diagnostic.hpp"
 #include "src/support/intern.hpp"
 
@@ -61,6 +62,23 @@ struct Stimulus {
   std::vector<std::pair<double, Packet>> packets;
 };
 
+/// Cross-shard acknowledgement protocol of the sharded engine.
+enum class AckMode : std::uint8_t {
+  /// Synchronous acks: a sink's ack frees the source register at the same
+  /// timestamp, reproduced by same-time fixpoint rounds. Byte-identical
+  /// results for any shard count — the default contract.
+  kExact = 0,
+  /// Credit-based batching: every cross-shard channel gets a
+  /// `credit_window`-deep send budget at partition time; sinks return acks
+  /// in one batch per barrier round instead of per timestamp, and the
+  /// runtime drops the zero-lookahead ack ready-path entirely. Ack (and
+  /// therefore backpressure-release) timestamps shift by up to one window,
+  /// so results are *functionally* equivalent to exact mode (same packets,
+  /// same per-channel orders, same transitions) but not byte-identical —
+  /// see sim::results_functionally_equivalent.
+  kCredit = 1,
+};
+
 struct SimOptions {
   double max_time_ns = 1.0e6;
   /// Clock-domain name -> period ns ("the mapping from the clock-domain to
@@ -82,6 +100,18 @@ struct SimOptions {
   /// cross-shard channels; false = naive contiguous block partition by
   /// component index (useful to stress the cross-shard protocol in tests).
   bool auto_partition = true;
+  /// Cross-shard acknowledgement protocol (sharded runs only; single-shard
+  /// runs have no cut channels, so both modes are the single-queue engine).
+  AckMode ack_mode = AckMode::kExact;
+  /// Send credits per cross-shard channel in AckMode::kCredit (clamped to
+  /// >= 1). Larger windows amortize more acks per barrier round at the
+  /// price of longer backpressure-release latency.
+  int credit_window = 8;
+  /// Measured per-component activity weights for the partitioner (indexed
+  /// by flattened component index, e.g. a prior SimResult's
+  /// component_events). Empty = the degree heuristic. Exposed on the CLI as
+  /// `tydic --sim-profile` (profiling pre-run).
+  std::vector<double> component_weights;
 };
 
 struct ChannelStats {
@@ -90,14 +120,23 @@ struct ChannelStats {
   double blocked_ns = 0.0;   ///< total outbox waiting time
   double first_delivery_ns = 0.0;
   double last_delivery_ns = 0.0;
+  /// Top streamlet port name when this channel touches the top boundary
+  /// (""
+  /// otherwise). Boundary-ness is a channel property, so the trace stores
+  /// it once per channel instead of once per event.
+  std::string top_port;
+  bool top_input = false;   ///< driven by a top-level input port
+  bool top_output = false;  ///< feeds a top-level output port
 };
 
-/// One traced transfer (for testbenches and debugging).
+/// One traced transfer, materialized from the columnar trace on demand
+/// (testbench emission, debugging — not the storage format; see
+/// SimResult::trace and sim/trace.hpp).
 struct TraceEvent {
   double time_ns = 0.0;
   std::string channel;  ///< same format as ChannelStats::name
-  /// Index into SimResult::channels (set during the run; the `channel`
-  /// string is derived from it after the event loop).
+  /// Index into SimResult::channels (the `channel` string is derived from
+  /// it).
   std::int32_t channel_index = -1;
   Packet packet;
   bool is_top_input = false;
@@ -128,8 +167,19 @@ struct SimResult {
   std::vector<ChannelStats> channels;
   /// Output packets observed at each top-level output port.
   std::map<std::string, std::vector<std::pair<double, Packet>>> top_outputs;
-  std::vector<TraceEvent> trace;
+  /// Columnar packet trace in canonical (time, channel) order; per-channel
+  /// names and boundary info live in `channels`. Use trace_event(i) for a
+  /// materialized per-event view.
+  TraceBuffer trace;
   std::vector<StateTransition> state_transitions;
+  /// Events dispatched per flattened component index (delivers at the sink,
+  /// timers, pokes). Feed back into SimOptions::component_weights to
+  /// profile-weight the partitioner.
+  std::vector<std::uint64_t> component_events;
+
+  /// Materializes trace entry `i` with the channel name / boundary fields
+  /// resolved through `channels`.
+  [[nodiscard]] TraceEvent trace_event(std::size_t i) const;
 
   /// Channel with the largest blocked time (the streaming bottleneck), or
   /// nullptr if nothing blocked. Ties break towards the lexicographically
@@ -198,10 +248,31 @@ struct Channel {
   std::int32_t src_shard = 0;
   /// Shard running the sink component's behaviour. 0 in single-shard runs.
   std::int32_t dst_shard = 0;
+  // --- Credit protocol state (AckMode::kCredit, cut channels only) -------
+  /// Credit protocol engaged for this channel. Set once at partition time,
+  /// immutable while kernels run — both endpoints' threads read it, so it
+  /// must not alias mutable per-side state (`credits` is source-owned and
+  /// changes mid-round).
+  bool credit = false;
+  /// Source-owned remaining send credits (meaningful when `credit`).
+  /// Negotiated to SimOptions::credit_window at partition time.
+  std::int32_t credits = 0;
+  /// Sink-owned delivered-but-unacked packet count (the credit-mode
+  /// analogue of `delivered_pending`).
+  std::int32_t unacked = 0;
+  /// Sink-owned acks consumed since the last window boundary; flushed to
+  /// the source shard as one batched message per round.
+  std::int32_t ack_batch = 0;
+  /// Sink-owned FIFO of packets that crossed the shard boundary but have
+  /// not reached their deliver event yet (credit mode keeps up to
+  /// `credit_window` packets in flight, so the one-deep `in_flight`
+  /// register cannot carry them).
+  SlabRing<Packet> arrivals;
   SlabRing<QueuedPacket> outbox;
   ChannelStats stats;
 
   [[nodiscard]] bool cross_shard() const { return src_shard != dst_shard; }
+  [[nodiscard]] bool credit_mode() const { return credit; }
 };
 
 /// Lazy stimulus injection cursor: only the next packet of each stimulus

@@ -21,7 +21,11 @@ Kernel::Kernel(SimGraph& graph, const SimOptions& options,
     if (c.cross_shard() && c.src_shard == shard_) {
       cross_src_channels_.push_back(static_cast<std::int32_t>(i));
     }
+    if (c.cross_shard() && c.dst_shard == shard_) {
+      cross_dst_channels_.push_back(static_cast<std::int32_t>(i));
+    }
   }
+  component_events_.assign(graph_.components.size(), 0);
 }
 
 void Kernel::push_event(double delay_ns, EventKind kind, std::int32_t a,
@@ -77,11 +81,13 @@ void Kernel::dispatch(const Event& ev) {
       deliver(static_cast<std::size_t>(ev.a));
       break;
     case EventKind::kTimer: {
+      component_events_[ev.a] += 1;
       Component& comp = graph_.components[ev.a];
       if (comp.behavior) comp.behavior->on_timer(*this, ev.a, ev.b);
       break;
     }
     case EventKind::kPoke:
+      component_events_[ev.a] += 1;
       poke(ev.a);
       break;
     case EventKind::kStimulus: {
@@ -99,7 +105,11 @@ void Kernel::dispatch(const Event& ev) {
       break;
     }
     case EventKind::kRemoteAck:
-      complete_remote_ack(static_cast<std::size_t>(ev.a));
+      if (graph_.channels[ev.a].credit_mode()) {
+        complete_remote_ack_batch(static_cast<std::size_t>(ev.a), ev.b);
+      } else {
+        complete_remote_ack(static_cast<std::size_t>(ev.a));
+      }
       break;
   }
 }
@@ -166,6 +176,18 @@ void Kernel::send(int component, int port, Packet packet) {
 
 void Kernel::send_on_channel(std::size_t channel_index, Packet packet) {
   Channel& c = graph_.channels[channel_index];
+  if (c.credit_mode()) {
+    // Credit-mode cut channel (source side): consume a credit per launch;
+    // exhausted credits queue in the outbox until an ack batch returns.
+    if (c.credits > 0 && c.outbox.empty()) {
+      c.credits -= 1;
+      router_->post_deliver(c.dst_shard, now_ + c.latency_ns,
+                            static_cast<std::int32_t>(channel_index), packet);
+    } else {
+      c.outbox.emplace_back(now_, packet);
+    }
+    return;
+  }
   if (!c.occupied && c.outbox.empty()) {
     start_channel_transfer(channel_index, packet);
   } else {
@@ -186,6 +208,7 @@ bool Kernel::can_send(int component, int port) const {
   }
   if (ch < 0) return false;
   const Channel& c = graph_.channels[ch];
+  if (c.credit_mode()) return c.credits > 0 && c.outbox.empty();
   return !c.occupied && c.outbox.empty();
 }
 
@@ -196,7 +219,7 @@ void Kernel::start_channel_transfer(std::size_t channel_index, Packet packet) {
   c.deliver_time_ns = now_ + c.latency_ns;
   if (c.dst_shard != shard_) {
     router_->post_deliver(c.dst_shard, c.deliver_time_ns,
-                          static_cast<std::int32_t>(channel_index));
+                          static_cast<std::int32_t>(channel_index), packet);
   } else {
     push_event(c.latency_ns, EventKind::kDeliver,
                static_cast<std::int32_t>(channel_index), -1);
@@ -216,6 +239,27 @@ void Kernel::drain_outbox(std::size_t channel_index) {
   // may have re-filled the register (the pre-refactor code raced here and
   // could overwrite an in-flight packet).
   Channel& c = graph_.channels[channel_index];
+  if (c.credit_mode()) {
+    // Credit-mode launch: one queued packet per available credit (a batch
+    // of n acks releases up to n packets through repeated drains).
+    while (c.credits > 0 && !c.outbox.empty()) {
+      QueuedPacket queued = c.outbox.front();
+      c.outbox.pop_front();
+      c.stats.blocked_ns += now_ - queued.enqueue_ns;
+      c.credits -= 1;
+      router_->post_deliver(c.dst_shard, now_ + c.latency_ns,
+                            static_cast<std::int32_t>(channel_index),
+                            queued.packet);
+      ChannelEndpoint src = c.src;
+      if (src.component >= 0) {
+        Component& comp = graph_.components[src.component];
+        if (comp.behavior) {
+          comp.behavior->on_send_accepted(*this, src.component, src.port);
+        }
+      }
+    }
+    return;
+  }
   if (c.occupied || c.outbox.empty()) return;
   QueuedPacket queued = c.outbox.front();
   c.outbox.pop_front();
@@ -236,29 +280,40 @@ void Kernel::deliver(std::size_t channel_index) {
   if (c.stats.packets == 1) c.stats.first_delivery_ns = now_;
   c.stats.last_delivery_ns = now_;
 
+  // Credit-mode cut channels carry the payload in the sink-owned arrivals
+  // ring (several packets can be in flight); everything else reads the
+  // one-deep register.
+  Packet packet;
+  if (c.credit_mode()) {
+    packet = c.arrivals.front();
+    c.arrivals.pop_front();
+  } else {
+    packet = c.in_flight;
+  }
+
   if (trace_enabled_) {
-    TraceEvent ev;
-    ev.time_ns = now_;
-    ev.channel_index = static_cast<std::int32_t>(channel_index);
-    ev.packet = c.in_flight;
-    ev.is_top_input = (c.src.component < 0);
-    ev.is_top_output = (c.dst.component < 0);
-    trace_.push_back(std::move(ev));
+    trace_.append(now_, static_cast<std::int32_t>(channel_index),
+                  packet.value, packet.last);
   }
 
   if (c.dst.component < 0) {
     // Environment observer: always ready, records and acknowledges.
     // Boundary channels are never cut, so this path is always shard-local.
-    graph_.top_out_packets[c.dst.port].emplace_back(now_, c.in_flight);
+    graph_.top_out_packets[c.dst.port].emplace_back(now_, packet);
     c.occupied = false;
     notify_output_acked(c.src);
     drain_outbox(channel_index);
     return;
   }
 
-  if (c.cross_shard()) c.delivered_pending = true;
+  component_events_[c.dst.component] += 1;
+  if (c.credit_mode()) {
+    c.unacked += 1;
+  } else if (c.cross_shard()) {
+    c.delivered_pending = true;
+  }
   Component& dst = graph_.components[c.dst.component];
-  dst.inbox[c.dst.port].push_back(c.in_flight);
+  dst.inbox[c.dst.port].push_back(packet);
   if (dst.behavior) {
     dst.behavior->on_receive(*this, c.dst.component, c.dst.port);
   }
@@ -276,6 +331,21 @@ void Kernel::ack(int component, int port) {
   }
   std::size_t channel_index = static_cast<std::size_t>(ch);
   Channel& c = graph_.channels[channel_index];
+
+  if (c.credit_mode()) {
+    // Credit-mode cut channel, sink side: consume locally and batch the
+    // ack; the batch flushes to the source shard at the window boundary
+    // (Kernel::flush_ack_batches) instead of per timestamp.
+    if (c.unacked == 0) {
+      warn_once(WarnSite::kAckEmptyChannel, ch, -1);
+      return;
+    }
+    auto& box = comp.inbox[port];
+    if (!box.empty()) box.pop_front();
+    c.unacked -= 1;
+    c.ack_batch += 1;
+    return;
+  }
 
   if (c.cross_shard()) {
     // Sink side of a cut channel: consume locally, then route the ack to
@@ -296,7 +366,7 @@ void Kernel::ack(int component, int port) {
     if (!box.empty()) box.pop_front();
     c.delivered_pending = false;
     acks_posted_ += 1;
-    router_->post_ack(c.src_shard, now_, ch);
+    router_->post_ack(c.src_shard, now_, ch, 1);
     return;
   }
 
@@ -319,6 +389,25 @@ void Kernel::complete_remote_ack(std::size_t channel_index) {
   c.occupied = false;
   notify_output_acked(c.src);
   drain_outbox(channel_index);
+}
+
+void Kernel::complete_remote_ack_batch(std::size_t channel_index,
+                                       std::int32_t count) {
+  Channel& c = graph_.channels[channel_index];
+  for (std::int32_t i = 0; i < count; ++i) {
+    c.credits += 1;
+    notify_output_acked(c.src);
+    drain_outbox(channel_index);
+  }
+}
+
+void Kernel::flush_ack_batches(double time) {
+  for (std::int32_t ch : cross_dst_channels_) {
+    Channel& c = graph_.channels[ch];
+    if (c.ack_batch == 0) continue;
+    router_->post_ack(c.src_shard, time, ch, c.ack_batch);
+    c.ack_batch = 0;
+  }
 }
 
 double Kernel::ack_risk_bound() const {
@@ -437,42 +526,68 @@ SimResult merge_results(SimGraph& graph, const std::vector<Kernel*>& kernels,
                         support::DiagnosticEngine& diags) {
   SimResult result;
   result.end_time_ns = end_time_ns;
+  result.component_events.assign(graph.components.size(), 0);
   for (const Kernel* k : kernels) {
     result.events_processed += k->events_processed();
+    const std::vector<std::uint64_t>& per_comp = k->component_events();
+    for (std::size_t i = 0; i < per_comp.size(); ++i) {
+      result.component_events[i] += per_comp[i];
+    }
   }
 
   detect_deadlock(graph, result);
 
-  // Materialize the name strings the hot path never built.
+  // Materialize the name strings (and per-channel boundary info) the hot
+  // path never built. These are per-channel, not per-event: the columnar
+  // trace only stores the channel index.
   for (Channel& c : graph.channels) {
     c.stats.name = graph.channel_display_name(c);
+    c.stats.top_input = c.src.component < 0;
+    c.stats.top_output = c.dst.component < 0;
+    if (c.stats.top_input) {
+      c.stats.top_port = graph.top_streamlet->ports[c.src.port].name;
+    } else if (c.stats.top_output) {
+      c.stats.top_port = graph.top_streamlet->ports[c.dst.port].name;
+    }
     result.channels.push_back(c.stats);
   }
 
-  // Trace: each kernel's buffer is already in canonical pop order
-  // (time, then channel at equal times); the cross-shard merge re-sorts on
-  // the same key, so the result is identical for any shard count. The sort
-  // must be stable: a zero-latency channel (clock period 0) can deliver
-  // more than once per timestamp, and those duplicates keep their
-  // shard-local delivery order.
-  for (Kernel* k : kernels) {
-    std::vector<TraceEvent>& t = k->trace();
-    result.trace.insert(result.trace.end(),
-                        std::make_move_iterator(t.begin()),
-                        std::make_move_iterator(t.end()));
-  }
-  std::stable_sort(result.trace.begin(), result.trace.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
-                     return a.channel_index < b.channel_index;
-                   });
-  for (TraceEvent& ev : result.trace) {
-    const Channel& c = graph.channels[ev.channel_index];
-    ev.channel = c.stats.name;
-    if (ev.is_top_input) {
-      ev.top_port = graph.top_streamlet->ports[c.src.port].name;
-    } else if (ev.is_top_output) {
-      ev.top_port = graph.top_streamlet->ports[c.dst.port].name;
+  // Trace: the canonical order is (time, channel), stable — a zero-latency
+  // channel (clock period 0) can deliver more than once per timestamp, and
+  // those duplicates keep their shard-local delivery order. A single
+  // already-sorted buffer (the common case) is stolen wholesale; otherwise
+  // the merge permutes indices over the columns, which is equivalent to a
+  // stable sort of the shard-order concatenation.
+  if (kernels.size() == 1 && kernels.front()->trace().canonically_sorted()) {
+    result.trace = std::move(kernels.front()->trace());
+  } else {
+    struct TraceRef {
+      double time_ns;
+      std::int32_t channel;
+      std::uint32_t kernel;
+      std::uint32_t index;
+    };
+    std::size_t total = 0;
+    for (Kernel* k : kernels) total += k->trace().size();
+    std::vector<TraceRef> refs;
+    refs.reserve(total);
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+      const TraceBuffer& t = kernels[ki]->trace();
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        refs.push_back(TraceRef{t.time_ns(i), t.channel(i),
+                                static_cast<std::uint32_t>(ki),
+                                static_cast<std::uint32_t>(i)});
+      }
+    }
+    std::stable_sort(refs.begin(), refs.end(),
+                     [](const TraceRef& a, const TraceRef& b) {
+                       if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+                       return a.channel < b.channel;
+                     });
+    for (const TraceRef& ref : refs) {
+      const TraceBuffer& t = kernels[ref.kernel]->trace();
+      result.trace.append(ref.time_ns, ref.channel, t.value(ref.index),
+                          t.last(ref.index));
     }
   }
 

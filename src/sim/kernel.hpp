@@ -59,12 +59,19 @@ struct Event {
 class CrossRouter {
  public:
   virtual ~CrossRouter() = default;
-  /// The in-flight packet of `channel` reaches the sink shard at `time`.
-  virtual void post_deliver(int to_shard, double time,
-                            std::int32_t channel) = 0;
-  /// The sink acknowledged `channel` at `time`; the source shard frees the
-  /// register, notifies the source behaviour and drains the outbox.
-  virtual void post_ack(int to_shard, double time, std::int32_t channel) = 0;
+  /// A packet of `channel` reaches the sink shard at `time`. In exact mode
+  /// the payload also sits in the (quiescent) channel register; in credit
+  /// mode up to `credit_window` packets are in flight, so the payload rides
+  /// in the message and queues in the sink-owned `Channel::arrivals` ring.
+  virtual void post_deliver(int to_shard, double time, std::int32_t channel,
+                            Packet packet) = 0;
+  /// The sink acknowledged `count` packets of `channel` at `time`; the
+  /// source shard replenishes the register/credits, notifies the source
+  /// behaviour and drains the outbox. Exact mode always posts count 1 at
+  /// the consumption timestamp; credit mode posts one batch per barrier
+  /// round stamped at the window boundary.
+  virtual void post_ack(int to_shard, double time, std::int32_t channel,
+                        std::int32_t count) = 0;
 };
 
 class Kernel {
@@ -133,13 +140,25 @@ class Kernel {
   /// occupied). The runtime clamps the round horizon to this bound.
   [[nodiscard]] double ack_risk_bound() const;
 
-  /// Absolute-time event insertion for mailbox drains.
-  void enqueue_remote_deliver(double time, std::int32_t channel) {
+  /// Absolute-time event insertion for mailbox drains. Credit-mode cut
+  /// channels queue the payload in the sink-owned arrivals ring (exact mode
+  /// reads the quiescent channel register instead, byte-compatible with the
+  /// pre-credit protocol).
+  void enqueue_remote_deliver(double time, std::int32_t channel,
+                              Packet packet) {
+    Channel& c = graph_.channels[channel];
+    if (c.credit_mode()) c.arrivals.push_back(packet);
     queue_.push(Event{time, channel, -1, EventKind::kDeliver});
   }
-  void enqueue_remote_ack(double time, std::int32_t channel) {
-    queue_.push(Event{time, channel, -1, EventKind::kRemoteAck});
+  void enqueue_remote_ack(double time, std::int32_t channel,
+                          std::int32_t count) {
+    queue_.push(Event{time, channel, count, EventKind::kRemoteAck});
   }
+
+  /// Credit mode: posts each cut sink channel's accumulated ack batch to
+  /// its source shard, stamped at the window boundary `time`. Called by the
+  /// sharded runtime once per round, after processing.
+  void flush_ack_batches(double time);
 
   /// Number of cross-shard acks posted since the last call (the sharded
   /// runtime's same-timestamp fixpoint counter).
@@ -156,7 +175,10 @@ class Kernel {
   [[nodiscard]] bool capped() const { return capped_; }
 
   // Result-merge access (after the event loop; see merge_results).
-  [[nodiscard]] std::vector<TraceEvent>& trace() { return trace_; }
+  [[nodiscard]] TraceBuffer& trace() { return trace_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& component_events() const {
+    return component_events_;
+  }
   struct PendingTransition {
     double time_ns;
     std::int32_t component;
@@ -205,6 +227,11 @@ class Kernel {
   /// Source-side completion of a cross-shard ack (the tail of what the
   /// single-queue engine runs nested inside Kernel::ack).
   void complete_remote_ack(std::size_t channel_index);
+  /// Source-side completion of a credit-mode ack batch: replenishes `count`
+  /// credits, notifying the source behaviour and draining the outbox per
+  /// credit (the per-ack sequence of the exact protocol, batched).
+  void complete_remote_ack_batch(std::size_t channel_index,
+                                 std::int32_t count);
   /// Counts the warning site; emits (or defers) the message on first hit.
   void warn_once(WarnSite site, std::int32_t a, std::int32_t b);
 
@@ -223,13 +250,19 @@ class Kernel {
   bool capped_ = false;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::vector<TraceEvent> trace_;
+  TraceBuffer trace_;
   std::vector<PendingTransition> transitions_;
+  /// Events dispatched per component (deliver at the sink, timer, poke) —
+  /// the measured activity weights of profile-guided partitioning.
+  std::vector<std::uint64_t> component_events_;
   std::unordered_map<std::uint64_t, std::uint64_t> warn_counts_;
   std::vector<WarnRecord> deferred_warnings_;
   /// Channel indices of cross-shard channels whose source side this shard
   /// owns (precomputed for ack_risk_bound).
   std::vector<std::int32_t> cross_src_channels_;
+  /// Channel indices of cross-shard channels whose sink side this shard
+  /// owns (credit-mode ack-batch flushing).
+  std::vector<std::int32_t> cross_dst_channels_;
 };
 
 /// Merges K kernels' buffers into one SimResult: channel stats + names,

@@ -115,9 +115,14 @@ bool results_identical(const SimResult& a, const SimResult& b,
     if (ca.name != cb.name || ca.packets != cb.packets ||
         ca.blocked_ns != cb.blocked_ns ||
         ca.first_delivery_ns != cb.first_delivery_ns ||
-        ca.last_delivery_ns != cb.last_delivery_ns) {
+        ca.last_delivery_ns != cb.last_delivery_ns ||
+        ca.top_port != cb.top_port || ca.top_input != cb.top_input ||
+        ca.top_output != cb.top_output) {
       return fail("channel stats differ at '" + ca.name + "'");
     }
+  }
+  if (a.component_events != b.component_events) {
+    return fail("per-component event counts differ");
   }
   if (a.top_outputs.size() != b.top_outputs.size()) {
     return fail("top_outputs port set differs");
@@ -138,14 +143,12 @@ bool results_identical(const SimResult& a, const SimResult& b,
   }
   if (a.trace.size() != b.trace.size()) return fail("trace length differs");
   for (std::size_t i = 0; i < a.trace.size(); ++i) {
-    const TraceEvent& ta = a.trace[i];
-    const TraceEvent& tb = b.trace[i];
-    if (ta.time_ns != tb.time_ns || ta.channel != tb.channel ||
-        ta.channel_index != tb.channel_index ||
-        ta.packet.value != tb.packet.value ||
-        ta.packet.last != tb.packet.last ||
-        ta.is_top_input != tb.is_top_input ||
-        ta.is_top_output != tb.is_top_output || ta.top_port != tb.top_port) {
+    // Column compare; name/boundary fields are per-channel and covered by
+    // the ChannelStats comparison above.
+    if (a.trace.time_ns(i) != b.trace.time_ns(i) ||
+        a.trace.channel(i) != b.trace.channel(i) ||
+        a.trace.value(i) != b.trace.value(i) ||
+        a.trace.last(i) != b.trace.last(i)) {
       return fail("trace differs at event " + std::to_string(i));
     }
   }
@@ -158,6 +161,106 @@ bool results_identical(const SimResult& a, const SimResult& b,
     if (sa.time_ns != sb.time_ns || sa.component != sb.component ||
         sa.variable != sb.variable || sa.from != sb.from || sa.to != sb.to) {
       return fail("state transition differs at " + std::to_string(i));
+    }
+  }
+  return true;
+}
+
+bool results_functionally_equivalent(const SimResult& a, const SimResult& b,
+                                     std::string* why) {
+  auto fail = [&](const std::string& what) {
+    if (why != nullptr) *why = what;
+    return false;
+  };
+  if (a.deadlock != b.deadlock) return fail("deadlock flag differs");
+
+  // Per-channel delivered counts, keyed by name (channel construction order
+  // is deterministic, but keying by name makes the diagnostic readable).
+  if (a.channels.size() != b.channels.size()) {
+    return fail("channel count differs");
+  }
+  for (std::size_t i = 0; i < a.channels.size(); ++i) {
+    const ChannelStats& ca = a.channels[i];
+    const ChannelStats& cb = b.channels[i];
+    if (ca.name != cb.name) return fail("channel order differs");
+    if (ca.packets != cb.packets) {
+      return fail("delivered packet count differs at '" + ca.name + "': " +
+                  std::to_string(ca.packets) + " vs " +
+                  std::to_string(cb.packets));
+    }
+  }
+
+  // Per-channel traced payload sequences: same packets in the same FIFO
+  // order, whatever their timestamps.
+  if (!a.trace.empty() && !b.trace.empty()) {
+    if (a.trace.size() != b.trace.size()) {
+      return fail("trace length differs");
+    }
+    std::vector<std::vector<std::size_t>> per_channel_a(a.channels.size());
+    std::vector<std::vector<std::size_t>> per_channel_b(b.channels.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+      per_channel_a[a.trace.channel(i)].push_back(i);
+      per_channel_b[b.trace.channel(i)].push_back(i);
+    }
+    for (std::size_t ch = 0; ch < per_channel_a.size(); ++ch) {
+      const auto& ia = per_channel_a[ch];
+      const auto& ib = per_channel_b[ch];
+      if (ia.size() != ib.size()) {
+        return fail("traced packet count differs on '" +
+                    a.channels[ch].name + "'");
+      }
+      for (std::size_t j = 0; j < ia.size(); ++j) {
+        if (a.trace.value(ia[j]) != b.trace.value(ib[j]) ||
+            a.trace.last(ia[j]) != b.trace.last(ib[j])) {
+          return fail("traced payload differs on '" + a.channels[ch].name +
+                      "' at packet " + std::to_string(j));
+        }
+      }
+    }
+  }
+
+  // Top output payload sequences per port.
+  if (a.top_outputs.size() != b.top_outputs.size()) {
+    return fail("top_outputs port set differs");
+  }
+  for (const auto& [port, packets] : a.top_outputs) {
+    auto it = b.top_outputs.find(port);
+    if (it == b.top_outputs.end() || it->second.size() != packets.size()) {
+      return fail("top output '" + port + "' differs in packet count");
+    }
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      if (packets[i].second.value != it->second[i].second.value ||
+          packets[i].second.last != it->second[i].second.last) {
+        return fail("top output '" + port + "' differs at packet " +
+                    std::to_string(i));
+      }
+    }
+  }
+
+  // State-transition sequences grouped per component (cross-component
+  // interleaving is timing, the per-component order is causality).
+  auto group = [](const SimResult& r) {
+    std::map<std::string, std::vector<const StateTransition*>> by_component;
+    for (const StateTransition& t : r.state_transitions) {
+      by_component[t.component].push_back(&t);
+    }
+    return by_component;
+  };
+  auto ga = group(a);
+  auto gb = group(b);
+  if (ga.size() != gb.size()) return fail("transitioning component sets differ");
+  for (const auto& [component, seq] : ga) {
+    auto it = gb.find(component);
+    if (it == gb.end() || it->second.size() != seq.size()) {
+      return fail("state transition count differs for '" + component + "'");
+    }
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      if (seq[i]->variable != it->second[i]->variable ||
+          seq[i]->from != it->second[i]->from ||
+          seq[i]->to != it->second[i]->to) {
+        return fail("state transition sequence differs for '" + component +
+                    "' at step " + std::to_string(i));
+      }
     }
   }
   return true;

@@ -40,4 +40,18 @@ struct ChannelUtilization {
 [[nodiscard]] bool results_identical(const SimResult& a, const SimResult& b,
                                      std::string* why = nullptr);
 
+/// The credit-mode contract (SimOptions::ack_mode == AckMode::kCredit):
+/// batched acknowledgements shift ack/backpressure timestamps by up to one
+/// credit window, so timing-carrying fields (blocked_ns, event times,
+/// events_processed) legitimately differ from the exact engine — but the
+/// *functional* outcome must not. Checks, ignoring every timestamp:
+///  - deadlock flag;
+///  - per-channel delivered packet counts (by channel name);
+///  - per-channel traced (value, last) sequences, when both traces exist;
+///  - per-port top output (value, last) sequences;
+///  - per-component ordered state-transition sequences (variable/from/to).
+[[nodiscard]] bool results_functionally_equivalent(const SimResult& a,
+                                                   const SimResult& b,
+                                                   std::string* why = nullptr);
+
 }  // namespace tydi::sim

@@ -64,12 +64,19 @@ std::vector<std::int32_t> bfs_order(const SimGraph& graph) {
 }  // namespace
 
 PartitionStats partition_graph(SimGraph& graph, int shards,
-                               bool auto_partition) {
+                               bool auto_partition,
+                               const std::vector<double>* activity) {
   PartitionStats stats;
   stats.requested_shards = shards;
   std::size_t n = graph.components.size();
   int k = std::max(1, std::min<int>(shards, static_cast<int>(n)));
   graph.component_shard.assign(n, 0);
+  const bool weighted = activity != nullptr && activity->size() == n;
+  stats.profile_weighted = weighted && k > 1;
+  auto weight_of = [&](std::size_t comp) {
+    if (weighted && (*activity)[comp] > 0.0) return (*activity)[comp];
+    return component_weight(graph.components[comp]);
+  };
 
   if (k > 1) {
     std::vector<std::int32_t> order;
@@ -82,14 +89,12 @@ PartitionStats partition_graph(SimGraph& graph, int shards,
       }
     }
     double total = 0.0;
-    for (const Component& comp : graph.components) {
-      total += component_weight(comp);
-    }
+    for (std::size_t i = 0; i < n; ++i) total += weight_of(i);
     int block = 0;
     double cum = 0.0;
     for (std::size_t j = 0; j < order.size(); ++j) {
       graph.component_shard[order[j]] = block;
-      cum += component_weight(graph.components[order[j]]);
+      cum += weight_of(static_cast<std::size_t>(order[j]));
       std::size_t remaining = order.size() - j - 1;
       if (block < k - 1 &&
           (cum * k >= total * (block + 1) ||

@@ -32,12 +32,23 @@ struct PartitionStats {
   /// (kInfiniteTime when nothing is cut).
   double min_cross_latency_ns = kInfiniteTime;
   std::vector<std::size_t> components_per_shard;
+  /// True when measured activity weights (not the degree heuristic)
+  /// balanced the blocks.
+  bool profile_weighted = false;
 };
 
 /// Assigns `graph.component_shard`, stamps every channel's src/dst shard,
 /// and sets `graph.shard_count`. Deterministic for a given graph + options.
+///
+/// `activity`, when non-null and indexed like `graph.components`, supplies
+/// measured per-component event counts (a profiling pre-run or a prior
+/// SimResult::component_events) that replace the degree heuristic for
+/// block balancing — heterogeneous designs (TPC-H) split far closer to
+/// equal work. Components whose measured weight is zero fall back to the
+/// degree estimate so idle-but-connected components still count.
 PartitionStats partition_graph(SimGraph& graph, int shards,
-                               bool auto_partition);
+                               bool auto_partition,
+                               const std::vector<double>* activity = nullptr);
 
 /// Checks the partition invariants (every component in exactly one shard in
 /// range, channel ownership consistent with component assignment, boundary

@@ -43,6 +43,13 @@ class SpinBarrier {
 struct Msg {
   double time = 0.0;
   std::int32_t channel = -1;
+  /// Ack batch size (acks only). Exact mode always posts 1; credit mode
+  /// posts one batched message per channel per round.
+  std::int32_t count = 0;
+  /// Payload (delivers only). Exact mode also keeps it in the quiescent
+  /// channel register; credit mode has up to `credit_window` packets in
+  /// flight, so the message is the only carrier.
+  Packet packet;
   bool is_ack = false;
 };
 
@@ -67,9 +74,9 @@ class Mailboxes {
       std::vector<Msg>& box = cell(src, dst);
       for (const Msg& msg : box) {
         if (msg.is_ack) {
-          kernel.enqueue_remote_ack(msg.time, msg.channel);
+          kernel.enqueue_remote_ack(msg.time, msg.channel, msg.count);
         } else {
-          kernel.enqueue_remote_deliver(msg.time, msg.channel);
+          kernel.enqueue_remote_deliver(msg.time, msg.channel, msg.packet);
         }
       }
       box.clear();
@@ -88,11 +95,15 @@ class ShardRouter : public CrossRouter {
  public:
   ShardRouter(Mailboxes& mail, int from) : mail_(mail), from_(from) {}
 
-  void post_deliver(int to_shard, double time, std::int32_t channel) override {
-    mail_.cell(from_, to_shard).push_back(Msg{time, channel, false});
+  void post_deliver(int to_shard, double time, std::int32_t channel,
+                    Packet packet) override {
+    mail_.cell(from_, to_shard)
+        .push_back(Msg{time, channel, 0, packet, false});
   }
-  void post_ack(int to_shard, double time, std::int32_t channel) override {
-    mail_.cell(from_, to_shard).push_back(Msg{time, channel, true});
+  void post_ack(int to_shard, double time, std::int32_t channel,
+                std::int32_t count) override {
+    mail_.cell(from_, to_shard)
+        .push_back(Msg{time, channel, count, Packet{}, true});
   }
 
  private:
@@ -123,6 +134,45 @@ struct RoundState {
         lookahead_ns(lookahead),
         max_time_ns(max_time) {}
 };
+
+/// Credit-mode round loop: no ack-risk bound, no same-timestamp fixpoint.
+/// Every round is a window round with H = T + lookahead — the credit
+/// horizon guarantees no shard needs a remote ack inside the window
+/// (exhausted credits queue in the outbox instead of blocking the round) —
+/// and the acks consumed during the round flush as one batch per channel at
+/// the window boundary. The degenerate H == T case (a zero-latency cut
+/// channel) processes single timestamps but still batches acks, so time
+/// never runs backwards: an ack consumed at T is processed by the source at
+/// T in the next round.
+void shard_main_credit(int me, int shards, Kernel& kernel, RoundState& state) {
+  for (;;) {
+    state.mail.drain_into(me, kernel);
+    state.slots[me].next_time = kernel.next_time();
+    state.barrier.arrive_and_wait();
+
+    double t = kInfiniteTime;
+    for (int s = 0; s < shards; ++s) {
+      t = std::min(t, state.slots[s].next_time);
+    }
+    if (t == kInfiniteTime) break;  // global quiescence (batches are
+                                    // flushed in the round they fill, so
+                                    // none can be outstanding here)
+    if (t > state.max_time_ns) {
+      if (me == 0) state.capped.store(true, std::memory_order_relaxed);
+      break;
+    }
+
+    double horizon = t + state.lookahead_ns;
+    if (horizon > t) {
+      kernel.process_events(horizon, /*inclusive=*/false, state.max_time_ns);
+      kernel.flush_ack_batches(horizon);
+    } else {
+      kernel.process_events(t, /*inclusive=*/true, state.max_time_ns);
+      kernel.flush_ack_batches(t);
+    }
+    state.barrier.arrive_and_wait();
+  }
+}
 
 void shard_main(int me, int shards, Kernel& kernel, RoundState& state) {
   for (;;) {
@@ -177,8 +227,26 @@ void shard_main(int me, int shards, Kernel& kernel, RoundState& state) {
 
 SimResult run_sharded(SimGraph& graph, const SimOptions& options,
                       support::DiagnosticEngine& diags) {
-  PartitionStats stats =
-      partition_graph(graph, options.shards, options.auto_partition);
+  PartitionStats stats = partition_graph(
+      graph, options.shards, options.auto_partition,
+      options.component_weights.empty() ? nullptr
+                                        : &options.component_weights);
+
+  // Credit negotiation (AckMode::kCredit): every cut channel gets a
+  // window-sized send budget; the register protocol stays in place for
+  // shard-local channels, so a single-shard run is the exact engine either
+  // way.
+  const bool credit = options.ack_mode == AckMode::kCredit &&
+                      graph.shard_count > 1 && stats.cross_channels > 0;
+  if (credit) {
+    std::int32_t window = std::max(1, options.credit_window);
+    for (Channel& c : graph.channels) {
+      if (c.cross_shard()) {
+        c.credit = true;
+        c.credits = window;
+      }
+    }
+  }
 
   if (graph.shard_count <= 1) {
     Kernel kernel(graph, options, diags, /*shard=*/0, /*router=*/nullptr);
@@ -210,8 +278,8 @@ SimResult run_sharded(SimGraph& graph, const SimOptions& options,
   std::vector<std::thread> threads;
   threads.reserve(shards);
   for (int s = 0; s < shards; ++s) {
-    threads.emplace_back(shard_main, s, shards, std::ref(*kernels[s]),
-                         std::ref(state));
+    threads.emplace_back(credit ? shard_main_credit : shard_main, s, shards,
+                         std::ref(*kernels[s]), std::ref(state));
   }
   for (std::thread& thread : threads) thread.join();
 

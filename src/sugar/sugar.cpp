@@ -121,9 +121,10 @@ struct SourceInfo {
   std::vector<std::size_t> connection_indices;  // where endpoint is src
 };
 
-// NOTE: materialize_* may append to design.impls(), which can reallocate the
-// vector; this function therefore addresses the impl under work by *index*
-// and re-fetches the reference after every materialization.
+// NOTE: the impl under work is addressed by *index* and the mutable
+// reference re-fetched after every materialization: impl_mutable may
+// copy-on-write a payload shared with the template memo, which moves the
+// impl to a fresh object.
 void sugar_impl(Design& design, std::size_t impl_index,
                 const SugarOptions& options, SugarStats& stats,
                 support::DiagnosticEngine& diags) {
@@ -181,7 +182,7 @@ void sugar_impl(Design& design, std::size_t impl_index,
     if (fanout == 0 && options.insert_voiders) {
       // Fig. 4 left: unused output -> voider.
       std::string voider = materialize_voider(design, src.type);
-      Impl& impl = design.impls_mutable()[impl_index];
+      Impl& impl = design.impl_mutable(impl_index);
       std::string inst_name = "auto_void_" + std::to_string(auto_counter++);
       impl.instances.push_back(
           Instance{inst_name, voider, support::Loc::synthesized()});
@@ -198,7 +199,7 @@ void sugar_impl(Design& design, std::size_t impl_index,
     } else if (fanout > 1 && options.insert_duplicators) {
       // Fig. 4 right: fan-out -> duplicator with `fanout` channels.
       std::string dup = materialize_duplicator(design, src.type, fanout);
-      Impl& impl = design.impls_mutable()[impl_index];
+      Impl& impl = design.impl_mutable(impl_index);
       std::string inst_name = "auto_dup_" + std::to_string(auto_counter++);
       impl.instances.push_back(
           Instance{inst_name, dup, support::Loc::synthesized()});

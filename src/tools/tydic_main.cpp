@@ -17,11 +17,26 @@
 //   --sim-shards <n>       simulation shards / worker threads (implies
 //                          --sim; results are identical for any n)
 //   --sim-packets <n>      packets per top input stimulus (default 256)
+//   --sim-ack-mode <m>     cross-shard ack protocol: "exact" (default,
+//                          byte-identical results) or "credit" (batched
+//                          acks, functionally equivalent, much better
+//                          scaling on saturated cut channels)
+//   --sim-credit-window <n> send credits per cut channel in credit mode
+//                          (default 8)
+//   --sim-profile          run a short profiling pre-run and partition by
+//                          measured per-component event counts instead of
+//                          the degree heuristic
+//   --trace-out <path>     record the packet trace and dump it as a binary
+//                          columnar TYTR file (implies --sim)
 //   --batch                compile the built-in TPC-H workload in one
 //                          CompileSession (shared template memo + parse
 //                          cache) and print per-query + aggregate timings
+//   --batch-manifest <path> compile a custom job set instead: one
+//                          "source_file top_name" per line ('#' comments),
+//                          all through one CompileSession
 //   --batch-rounds <n>     repeat the batch n times in the same session
 //                          (round 2+ shows the warm-cache behaviour)
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -30,6 +45,7 @@
 #include "src/fletcher/fletchgen.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/metrics.hpp"
+#include "src/sim/trace.hpp"
 #include "src/tpch/tpch.hpp"
 
 namespace {
@@ -39,14 +55,29 @@ int usage() {
                "[--emit-ir <path>] [--emit-vhdl <path>] "
                "[--emit-manifest <path>] [--summary] [--timings] "
                "[--sim] [--sim-shards <n>] [--sim-packets <n>] "
-               "<file.td>...\n"
-               "       tydic --batch [--batch-rounds <n>]\n";
+               "[--sim-ack-mode exact|credit] [--sim-credit-window <n>] "
+               "[--sim-profile] [--trace-out <path>] <file.td>...\n"
+               "       tydic --batch [--batch-rounds <n>]\n"
+               "       tydic --batch-manifest <path> [--batch-rounds <n>]\n";
   return 2;
 }
 
-int run_batch(int rounds) {
+int run_batch(int rounds, const std::string& manifest_path) {
   tydi::driver::CompileSession session;
-  const std::vector<tydi::driver::BatchJob> jobs = tydi::tpch::batch_jobs();
+  std::vector<tydi::driver::BatchJob> jobs;
+  if (manifest_path.empty()) {
+    jobs = tydi::tpch::batch_jobs();
+  } else {
+    std::string error;
+    if (!tydi::driver::load_batch_manifest(manifest_path, jobs, error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    if (jobs.empty()) {
+      std::cerr << "error: manifest " << manifest_path << " lists no jobs\n";
+      return 2;
+    }
+  }
   bool ok = true;
   for (int round = 1; round <= rounds; ++round) {
     tydi::driver::BatchResult result =
@@ -61,18 +92,50 @@ int run_batch(int rounds) {
   return ok ? 0 : 1;
 }
 
-int run_simulation(const tydi::driver::CompileResult& result, int shards,
-                   int packets) {
+struct SimCliOptions {
+  int shards = 1;
+  int packets = 256;
+  tydi::sim::AckMode ack_mode = tydi::sim::AckMode::kExact;
+  int credit_window = 8;
+  bool profile = false;
+  std::string trace_out;
+};
+
+int run_simulation(const tydi::driver::CompileResult& result,
+                   const SimCliOptions& cli) {
   tydi::support::DiagnosticEngine diags;
   tydi::sim::Engine engine(result.design, diags);
   tydi::sim::SimOptions options;
-  options.shards = shards;
-  options.record_trace = false;  // the report below never reads the trace
-  options.stimuli = tydi::sim::generic_stimuli(result.design, packets);
+  options.shards = cli.shards;
+  options.ack_mode = cli.ack_mode;
+  options.credit_window = cli.credit_window;
+  // The report below never reads the trace; only --trace-out needs it.
+  options.record_trace = !cli.trace_out.empty();
+  options.stimuli = tydi::sim::generic_stimuli(result.design, cli.packets);
+  if (cli.profile) {
+    // Short profiling pre-run: measured per-component event counts replace
+    // the partitioner's degree heuristic for the real run.
+    tydi::sim::SimOptions pre = options;
+    pre.shards = 1;
+    pre.record_trace = false;
+    pre.stimuli = tydi::sim::generic_stimuli(result.design,
+                                             std::min(cli.packets, 64));
+    tydi::sim::SimResult profile_run = engine.run(pre);
+    options.component_weights.assign(profile_run.component_events.begin(),
+                                     profile_run.component_events.end());
+  }
   tydi::sim::SimResult sim_result = engine.run(options);
   std::cerr << diags.render();
   std::cout << sim_result.summary() << "\n"
             << tydi::sim::render_bottleneck_report(sim_result, 10);
+  if (!cli.trace_out.empty()) {
+    if (!tydi::sim::write_binary_trace(sim_result, cli.trace_out)) {
+      std::cerr << "error: cannot write " << cli.trace_out << "\n";
+      return 1;
+    }
+    std::cout << "trace: " << sim_result.trace.size() << " event(s) -> "
+              << cli.trace_out << "\n";
+  }
   return sim_result.deadlock ? 1 : 0;
 }
 
@@ -99,8 +162,8 @@ int main(int argc, char** argv) {
   bool simulate = false;
   bool batch = false;
   int batch_rounds = 1;
-  int sim_shards = 1;
-  int sim_packets = 256;
+  std::string batch_manifest;
+  SimCliOptions sim_cli;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -129,6 +192,9 @@ int main(int argc, char** argv) {
       timings = true;
     } else if (arg == "--batch") {
       batch = true;
+    } else if (arg == "--batch-manifest") {
+      batch = true;
+      batch_manifest = next("--batch-manifest");
     } else if (arg == "--batch-rounds") {
       batch = true;
       batch_rounds = std::atoi(next("--batch-rounds").c_str());
@@ -137,12 +203,36 @@ int main(int argc, char** argv) {
       simulate = true;
     } else if (arg == "--sim-shards") {
       simulate = true;
-      sim_shards = std::atoi(next("--sim-shards").c_str());
-      if (sim_shards < 1) sim_shards = 1;
+      sim_cli.shards = std::atoi(next("--sim-shards").c_str());
+      if (sim_cli.shards < 1) sim_cli.shards = 1;
     } else if (arg == "--sim-packets") {
       simulate = true;
-      sim_packets = std::atoi(next("--sim-packets").c_str());
-      if (sim_packets < 1) sim_packets = 1;
+      sim_cli.packets = std::atoi(next("--sim-packets").c_str());
+      if (sim_cli.packets < 1) sim_cli.packets = 1;
+    } else if (arg == "--sim-ack-mode") {
+      simulate = true;
+      std::string mode = next("--sim-ack-mode");
+      if (mode == "exact") {
+        sim_cli.ack_mode = tydi::sim::AckMode::kExact;
+      } else if (mode == "credit") {
+        sim_cli.ack_mode = tydi::sim::AckMode::kCredit;
+      } else {
+        std::cerr << "error: unknown ack mode '" << mode
+                  << "' (use exact or credit)\n";
+        return 2;
+      }
+    } else if (arg == "--sim-credit-window") {
+      // Sets the window only; the protocol is chosen by --sim-ack-mode
+      // (an explicit "exact" must not be silently overridden).
+      simulate = true;
+      sim_cli.credit_window = std::atoi(next("--sim-credit-window").c_str());
+      if (sim_cli.credit_window < 1) sim_cli.credit_window = 1;
+    } else if (arg == "--sim-profile") {
+      simulate = true;
+      sim_cli.profile = true;
+    } else if (arg == "--trace-out") {
+      simulate = true;
+      sim_cli.trace_out = next("--trace-out");
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else {
@@ -158,11 +248,12 @@ int main(int argc, char** argv) {
   }
   if (batch) {
     if (!sources.empty() || !options.top.empty()) {
-      std::cerr << "error: --batch uses the built-in TPC-H workload and "
-                   "takes no files or --top\n";
+      std::cerr << "error: --batch compiles the built-in TPC-H workload (or "
+                   "the --batch-manifest job list) and takes no files or "
+                   "--top\n";
       return 2;
     }
-    return run_batch(batch_rounds);
+    return run_batch(batch_rounds, batch_manifest);
   }
   if (sources.empty() || options.top.empty()) return usage();
 
@@ -188,6 +279,6 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (simulate) return run_simulation(result, sim_shards, sim_packets);
+  if (simulate) return run_simulation(result, sim_cli);
   return 0;
 }

@@ -83,6 +83,104 @@ impl top of s {
   EXPECT_LT(result.template_cache.hit_rate(), 1.0);
 }
 
+TEST(Driver, WarmCompilesShareMemoPayloads) {
+  // Template-memo replay shares Streamlet/Impl payloads into warm designs
+  // (shared_ptr slots + copy-on-write) instead of value-copying them: two
+  // warm compiles of the same source must reference the *same* payload
+  // objects for impls the sugaring pass left untouched (external stdlib
+  // monomorphisations qualify — sugaring only rewires structural impls).
+  driver::CompileSession session;
+  driver::CompileOptions options;
+  options.top = "top";
+  std::string source = R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet s { a: t in, b: t out, }
+impl top of s {
+  instance v(voider_i<type t>),
+  instance d(duplicator_i<type t, 2>),
+  a => d.in_,
+  d.out_[0] => b,
+  d.out_[1] => v.in_,
+}
+)";
+  auto warm_up = session.compile(
+      {driver::NamedSource{"input.td", source}}, options);
+  ASSERT_TRUE(warm_up.success()) << warm_up.report();
+  auto first = session.compile(
+      {driver::NamedSource{"input.td", source}}, options);
+  auto second = session.compile(
+      {driver::NamedSource{"input.td", source}}, options);
+  ASSERT_TRUE(first.success()) << first.report();
+  ASSERT_TRUE(second.success()) << second.report();
+
+  const elab::Impl* voider_a = nullptr;
+  const elab::Impl* voider_b = nullptr;
+  for (const elab::Impl& impl : first.design.impls()) {
+    if (impl.external && impl.template_name == "voider_i") voider_a = &impl;
+  }
+  for (const elab::Impl& impl : second.design.impls()) {
+    if (impl.external && impl.template_name == "voider_i") voider_b = &impl;
+  }
+  ASSERT_NE(voider_a, nullptr);
+  ASSERT_NE(voider_b, nullptr);
+  // Same object, not equal copies: both warm designs replay the memo's
+  // shared payload.
+  EXPECT_EQ(voider_a, voider_b);
+
+  // Streamlets are never mutated post-insertion, so every streamlet of the
+  // two warm designs is shared.
+  ASSERT_EQ(first.design.streamlets().size(),
+            second.design.streamlets().size());
+  for (std::size_t i = 0; i < first.design.streamlets().size(); ++i) {
+    EXPECT_EQ(&first.design.streamlets()[i], &second.design.streamlets()[i]);
+  }
+}
+
+TEST(Driver, BatchManifestLoadsJobs) {
+  std::string source_path = "/tmp/tydi_manifest_job.td";
+  {
+    std::ofstream out(source_path);
+    out << kGood;
+  }
+  std::string manifest_path = "/tmp/tydi_manifest.txt";
+  {
+    std::ofstream out(manifest_path);
+    out << "# comment line\n\n" << source_path << " top\n"
+        << source_path << " top\n";
+  }
+  std::vector<driver::BatchJob> jobs;
+  std::string error;
+  ASSERT_TRUE(driver::load_batch_manifest(manifest_path, jobs, error))
+      << error;
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].name, source_path + ":top");
+  EXPECT_EQ(jobs[0].options.top, "top");
+  ASSERT_EQ(jobs[0].sources.size(), 1u);
+  EXPECT_EQ(jobs[0].sources[0].name, source_path);
+
+  driver::CompileSession session;
+  driver::BatchResult result = driver::compile_batch(session, jobs);
+  EXPECT_TRUE(result.success()) << result.render();
+  EXPECT_EQ(result.entries.size(), 2u);
+
+  // Malformed line: missing top name.
+  {
+    std::ofstream out(manifest_path);
+    out << source_path << "\n";
+  }
+  jobs.clear();
+  EXPECT_FALSE(driver::load_batch_manifest(manifest_path, jobs, error));
+  EXPECT_NE(error.find("expected"), std::string::npos);
+
+  // Unreadable source file.
+  {
+    std::ofstream out(manifest_path);
+    out << "/tmp/definitely_missing_source.td top\n";
+  }
+  jobs.clear();
+  EXPECT_FALSE(driver::load_batch_manifest(manifest_path, jobs, error));
+}
+
 TEST(Driver, EmitFlagsControlOutputs) {
   driver::CompileOptions options;
   options.top = "top";

@@ -326,9 +326,10 @@ TEST(SimEngine, RepeatedRunsAreDeterministic) {
 
   ASSERT_EQ(first.trace.size(), second.trace.size());
   for (std::size_t i = 0; i < first.trace.size(); ++i) {
-    EXPECT_EQ(first.trace[i].time_ns, second.trace[i].time_ns) << i;
-    EXPECT_EQ(first.trace[i].channel, second.trace[i].channel) << i;
-    EXPECT_EQ(first.trace[i].packet.value, second.trace[i].packet.value) << i;
+    EXPECT_EQ(first.trace.time_ns(i), second.trace.time_ns(i)) << i;
+    EXPECT_EQ(first.trace_event(i).channel, second.trace_event(i).channel)
+        << i;
+    EXPECT_EQ(first.trace.value(i), second.trace.value(i)) << i;
   }
 
   // Deadlock cycle determinism on the cyclic join design.
