@@ -19,8 +19,18 @@
 // exact events/sec at 2+ shards, and columnar-trace slab allocations
 // staying chunked (<= 1 per 1024 traced events).
 //
+// The fault-injection sweep (BENCH_sim.json "sim_fault_sweep") re-runs the
+// saturated chain under seed-derived fault plans — delayed mailbox posts,
+// barrier jitter, shard stalls, withheld credit flushes — across seeds ×
+// shards {2,4} × {exact,credit} and gates on: exact stays byte-identical
+// and credit stays functionally equivalent to the fault-free reference.
+// A final negative control withholds every credit ack forever and requires
+// the watchdog to convert the hang into SimResult::aborted with non-empty
+// per-shard forensics.
+//
 // With `--json <path>` the measurements are upserted into the BENCH_sim.json
-// trajectory array. `--packets <n>` shrinks the measured run for smoke use.
+// trajectory array. `--packets <n>` shrinks the measured run for smoke use;
+// `--fault-seeds <n>` sets the sweep width (default 64).
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -267,10 +277,14 @@ bool check_partitions(Workload& workload, std::vector<std::string>& errors) {
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
   int packets = 20000;
+  int fault_seeds = 64;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
     if (std::strcmp(argv[i], "--packets") == 0) {
       packets = std::max(1, std::atoi(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--fault-seeds") == 0) {
+      fault_seeds = std::max(1, std::atoi(argv[i + 1]));
     }
   }
 
@@ -417,6 +431,83 @@ int main(int argc, char** argv) {
     if (cmp.shards >= 2 && cmp.ratio() < 1.0) credit_fast = false;
   }
 
+  // --- Fault-injection sweep: the guard-rail gates ----------------------
+  // Seed-derived fault plans perturb thread timing (and, in credit mode,
+  // defer ack flushes); the protocols must not notice. Exact mode gates on
+  // byte-identity with the fault-free single-shard reference, credit mode
+  // on functional equivalence.
+  bool fault_sweep_ok = true;
+  std::string fault_why;
+  int fault_runs = 0;
+  {
+    int sweep_packets = std::max(24, packets / 500);
+    tydi::support::DiagnosticEngine diags;
+    tydi::sim::Engine engine(chain.compiled.design, diags);
+    tydi::sim::SimResult reference = engine.run(generic_options(
+        chain.compiled.design, sweep_packets, 1, /*record_trace=*/true,
+        /*interval_ns=*/1.0));
+    for (int seed = 1; seed <= fault_seeds && fault_sweep_ok; ++seed) {
+      for (int shards : {2, 4}) {
+        for (tydi::sim::AckMode mode :
+             {tydi::sim::AckMode::kExact, tydi::sim::AckMode::kCredit}) {
+          tydi::sim::SimOptions options = generic_options(
+              chain.compiled.design, sweep_packets, shards,
+              /*record_trace=*/true, /*interval_ns=*/1.0);
+          options.ack_mode = mode;
+          options.fault = tydi::sim::FaultPlan::from_seed(
+              static_cast<std::uint64_t>(seed));
+          options.fault.delay_spin_iters = 200;  // keep the sweep cheap
+          tydi::sim::SimResult faulted = engine.run(options);
+          ++fault_runs;
+          std::string why;
+          bool ok =
+              mode == tydi::sim::AckMode::kExact
+                  ? tydi::sim::results_identical(reference, faulted, &why)
+                  : tydi::sim::results_functionally_equivalent(reference,
+                                                               faulted, &why);
+          if (!ok) {
+            fault_sweep_ok = false;
+            fault_why = "seed " + std::to_string(seed) + " shards " +
+                        std::to_string(shards) + " mode " +
+                        (mode == tydi::sim::AckMode::kExact ? "exact"
+                                                            : "credit") +
+                        ": " + why;
+            break;
+          }
+        }
+        if (!fault_sweep_ok) break;
+      }
+    }
+  }
+
+  // Negative control: withhold every credit ack forever — a deliberate
+  // livelock. The watchdog must convert it into an abort with forensics,
+  // not a hang.
+  bool watchdog_ok = true;
+  std::string watchdog_why;
+  {
+    tydi::support::DiagnosticEngine diags;
+    tydi::sim::Engine engine(chain.compiled.design, diags);
+    tydi::sim::SimOptions options = generic_options(
+        chain.compiled.design, 64, 2, /*record_trace=*/false,
+        /*interval_ns=*/1.0);
+    options.ack_mode = tydi::sim::AckMode::kCredit;
+    options.fault.seed = 1;
+    options.fault.withhold_acks_forever = true;
+    options.watchdog_timeout_ms = 200.0;
+    tydi::sim::SimResult hung = engine.run(options);
+    if (!hung.aborted) {
+      watchdog_ok = false;
+      watchdog_why = "withheld-ack run finished instead of aborting";
+    } else if (hung.abort_reason.empty()) {
+      watchdog_ok = false;
+      watchdog_why = "aborted without an abort_reason";
+    } else if (hung.shard_forensics.empty()) {
+      watchdog_ok = false;
+      watchdog_why = "aborted without per-shard forensics";
+    }
+  }
+
   unsigned cores = std::thread::hardware_concurrency();
   tydi::support::TextTable table;
   table.header({"workload", "shards", "events", "wall s", "events/s",
@@ -455,7 +546,12 @@ int main(int argc, char** argv) {
             << (credit_fast ? "ok" : "VIOLATED") << "\n"
             << "trace slab allocs: " << trace_slab_allocs << " for "
             << trace_events << " traced event(s) "
-            << (trace_allocs_ok ? "(ok)" : "(VIOLATED)") << "\n";
+            << (trace_allocs_ok ? "(ok)" : "(VIOLATED)") << "\n"
+            << "fault sweep (" << fault_runs << " faulted run(s), "
+            << fault_seeds << " seed(s) x shards {2,4} x {exact,credit}): "
+            << (fault_sweep_ok ? "ok" : "VIOLATED " + fault_why) << "\n"
+            << "watchdog converts withheld-ack hang into abort: "
+            << (watchdog_ok ? "ok" : "VIOLATED " + watchdog_why) << "\n";
 
   if (json_path != nullptr) {
     std::ostringstream out;
@@ -525,11 +621,28 @@ int main(int argc, char** argv) {
       std::cerr << "error: cannot write " << json_path << "\n";
       return 1;
     }
+    std::ostringstream fault_out;
+    fault_out << "  {\n"
+              << "    \"benchmark\": \"sim_fault_sweep\",\n"
+              << "    \"workload\": \"" << chain.name << "\",\n"
+              << "    \"seeds\": " << fault_seeds << ",\n"
+              << "    \"faulted_runs\": " << fault_runs << ",\n"
+              << "    \"sweep_ok\": " << (fault_sweep_ok ? "true" : "false")
+              << ",\n"
+              << "    \"watchdog_abort_ok\": "
+              << (watchdog_ok ? "true" : "false") << "\n"
+              << "  }";
+    if (!benchjson::upsert_section(json_path, "\"sim_fault_sweep\"",
+                                   fault_out.str())) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
     std::cout << "JSON sections updated in " << json_path << "\n";
   }
 
   return partition_errors.empty() && determinism_ok && credit_equivalent &&
-                 credit_fast && trace_allocs_ok
+                 credit_fast && trace_allocs_ok && fault_sweep_ok &&
+                 watchdog_ok
              ? 0
              : 1;
 }

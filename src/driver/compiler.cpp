@@ -53,6 +53,30 @@ CompileResult::CompileResult()
     : sources(std::make_unique<support::SourceManager>()),
       diags(std::make_unique<support::DiagnosticEngine>(sources.get())) {}
 
+support::Status CompileResult::status() const {
+  using support::Status;
+  using support::StatusCode;
+  if (!diags->has_errors()) return Status::ok();
+  // Classify by the first error's reporting phase: the pipeline stops at
+  // the first failing stage, so that phase names the failure class.
+  for (const support::Diagnostic& d : diags->diagnostics()) {
+    if (d.severity != support::Severity::kError) continue;
+    StatusCode code = StatusCode::kInternal;
+    if (d.phase == "lexer" || d.phase == "parser") {
+      code = StatusCode::kParseError;
+    } else if (d.phase == "elab" || d.phase == "sugar") {
+      code = StatusCode::kElabError;
+    } else if (d.phase == "drc") {
+      code = StatusCode::kDrcError;
+    } else if (d.phase == "ir" || d.phase == "vhdl") {
+      code = StatusCode::kEmitError;
+    }
+    return Status::error(code, d.phase, d.message);
+  }
+  return Status::error(StatusCode::kInternal, "driver",
+                       "error count nonzero but no error diagnostic stored");
+}
+
 namespace {
 
 class PhaseTimer {
@@ -181,15 +205,27 @@ CompileResult compile_source(std::string text, const CompileOptions& options) {
   return compile({NamedSource{"input.td", std::move(text)}}, options);
 }
 
-bool load_batch_manifest(const std::string& path, std::vector<BatchJob>& jobs,
-                         std::string& error) {
+support::Status load_batch_manifest(const std::string& path,
+                                    std::vector<BatchJob>& jobs) {
+  using support::Status;
+  using support::StatusCode;
   std::ifstream manifest(path);
   if (!manifest) {
-    error = "cannot read manifest " + path;
-    return false;
+    return Status::error(StatusCode::kIoError, "manifest",
+                         "cannot read manifest " + path);
   }
   std::string line;
   std::size_t line_no = 0;
+  // One bad line poisons its own job, not the batch: the job is appended
+  // with a preflight failure and compile_batch skips it while the rest of
+  // the manifest loads normally.
+  auto skip = [&](StatusCode code, const std::string& what) {
+    BatchJob job;
+    job.name = path + ":" + std::to_string(line_no);
+    job.preflight = Status::error(
+        code, "manifest", path + ":" + std::to_string(line_no) + ": " + what);
+    jobs.push_back(std::move(job));
+  };
   while (std::getline(manifest, line)) {
     ++line_no;
     std::istringstream fields(line);
@@ -198,21 +234,18 @@ bool load_batch_manifest(const std::string& path, std::vector<BatchJob>& jobs,
     if (!(fields >> source_path)) continue;  // blank line
     if (source_path.front() == '#') continue;
     if (!(fields >> top)) {
-      error = path + ":" + std::to_string(line_no) +
-              ": expected \"source_file top_name\"";
-      return false;
+      skip(StatusCode::kCorruptData, "expected \"source_file top_name\"");
+      continue;
     }
     std::string extra;
     if (fields >> extra) {
-      error = path + ":" + std::to_string(line_no) +
-              ": trailing field '" + extra + "'";
-      return false;
+      skip(StatusCode::kCorruptData, "trailing field '" + extra + "'");
+      continue;
     }
     std::ifstream source(source_path, std::ios::binary);
     if (!source) {
-      error = path + ":" + std::to_string(line_no) + ": cannot read " +
-              source_path;
-      return false;
+      skip(StatusCode::kIoError, "cannot read " + source_path);
+      continue;
     }
     BatchJob job;
     job.name = source_path + ":" + top;
@@ -222,7 +255,7 @@ bool load_batch_manifest(const std::string& path, std::vector<BatchJob>& jobs,
     job.options.top = top;
     jobs.push_back(std::move(job));
   }
-  return true;
+  return Status::ok();
 }
 
 BatchResult compile_batch(CompileSession& session,
@@ -233,6 +266,18 @@ BatchResult compile_batch(CompileSession& session,
     out.phase_ms.add(phase, 0.0);
   }
   for (const BatchJob& job : jobs) {
+    if (!job.preflight.is_ok()) {
+      // The manifest loader already condemned this job; record it and move
+      // on without compiling.
+      BatchEntry entry;
+      entry.name = job.name;
+      entry.success = false;
+      entry.status = job.preflight;
+      entry.diagnostics = job.preflight.render() + "\n";
+      ++out.failures;
+      out.entries.push_back(std::move(entry));
+      continue;
+    }
     CompileResult r = session.compile(job.sources, job.options);
     BatchEntry entry;
     entry.name = job.name;
@@ -242,6 +287,7 @@ BatchResult compile_batch(CompileSession& session,
     entry.vhdl_bytes = r.vhdl_text.size();
     entry.ir_bytes = r.ir_text.size();
     if (!entry.success) {
+      entry.status = r.status();
       entry.diagnostics = r.report();
       ++out.failures;
     }
@@ -253,6 +299,13 @@ BatchResult compile_batch(CompileSession& session,
     out.entries.push_back(std::move(entry));
   }
   return out;
+}
+
+support::Status BatchResult::status() const {
+  for (const BatchEntry& e : entries) {
+    if (!e.success) return e.status;
+  }
+  return support::Status::ok();
 }
 
 std::string BatchResult::render() const {

@@ -21,6 +21,7 @@
 #include "src/sugar/sugar.hpp"
 #include "src/support/diagnostic.hpp"
 #include "src/support/source.hpp"
+#include "src/support/status.hpp"
 #include "src/vhdl/vhdl.hpp"
 
 namespace tydi::driver {
@@ -113,6 +114,10 @@ class CompileResult {
   [[nodiscard]] bool success() const { return !diags->has_errors(); }
   /// Rendered diagnostics (errors, warnings, notes).
   [[nodiscard]] std::string report() const { return diags->render(); }
+  /// Machine-readable classification of the first error: which pipeline
+  /// phase failed (parse/elaborate/drc/emit) mapped onto the shared
+  /// StatusCode taxonomy. kOk when the compile succeeded.
+  [[nodiscard]] support::Status status() const;
 };
 
 /// Runs the whole pipeline. Never throws; check `result.success()`.
@@ -204,6 +209,11 @@ struct BatchJob {
   std::string name;  ///< e.g. "TPC-H 6"
   std::vector<NamedSource> sources;
   CompileOptions options;
+  /// Pre-compile failure recorded by the manifest loader (malformed line,
+  /// unreadable source). compile_batch records such jobs as failed entries
+  /// without attempting to compile them, so one bad manifest line cannot
+  /// take down the whole batch.
+  support::Status preflight = support::Status::ok();
 };
 
 /// Per-job outcome kept by compile_batch (texts are dropped; sizes and
@@ -216,6 +226,10 @@ struct BatchEntry {
   std::size_t vhdl_bytes = 0;
   std::size_t ir_bytes = 0;
   std::string diagnostics;  ///< rendered only for failed jobs
+  /// Failure class of this job (kOk on success): the manifest loader's
+  /// preflight status for skipped jobs, the compile classification
+  /// otherwise.
+  support::Status status;
 };
 
 struct BatchResult {
@@ -228,6 +242,9 @@ struct BatchResult {
   std::size_t bytes_emitted = 0;  ///< IR + VHDL bytes across all jobs
 
   [[nodiscard]] bool success() const { return failures == 0; }
+  /// kOk when every job succeeded; otherwise the first failing entry's
+  /// status (the CLI exit code for batch runs).
+  [[nodiscard]] support::Status status() const;
   /// Per-query + aggregate table (phase ms, cache hit rates, bytes).
   [[nodiscard]] std::string render() const;
 };
@@ -242,11 +259,14 @@ struct BatchResult {
 /// line with the referenced source loaded and default options (stdlib +
 /// sugaring on). This is how arbitrary query sets, not just the built-in
 /// Table IV cases, batch through one CompileSession (`tydic
-/// --batch-manifest`). Returns false (with `error` set, jobs untouched
-/// beyond already-appended lines) on an unreadable manifest/source or a
-/// malformed line.
-[[nodiscard]] bool load_batch_manifest(const std::string& path,
-                                       std::vector<BatchJob>& jobs,
-                                       std::string& error);
+/// --batch-manifest`).
+///
+/// A malformed line or an unreadable source is NOT fatal: the loader
+/// appends a job whose `preflight` status records the problem, and
+/// compile_batch reports it as a failed entry while every well-formed job
+/// still compiles. Only an unreadable manifest returns a non-ok Status
+/// (kIoError) with `jobs` untouched.
+[[nodiscard]] support::Status load_batch_manifest(const std::string& path,
+                                                  std::vector<BatchJob>& jobs);
 
 }  // namespace tydi::driver

@@ -21,6 +21,12 @@ const Token& Parser::peek(std::size_t ahead) const {
 
 const Token& Parser::advance() {
   const Token& t = tokens_[pos_];
+  // Consuming a statement/body boundary ends panic mode: whatever follows
+  // is a fresh construct whose errors deserve their own diagnostics.
+  if (panic_ &&
+      (t.kind == TokenKind::kSemicolon || t.kind == TokenKind::kRBrace)) {
+    panic_ = false;
+  }
   if (pos_ + 1 < tokens_.size()) ++pos_;
   return t;
 }
@@ -42,6 +48,14 @@ bool Parser::expect(TokenKind k, std::string_view context) {
 }
 
 void Parser::error_here(std::string message) {
+  // Panic mode: after one error, suppress the cascade of bogus follow-on
+  // diagnostics a broken construct produces (every expect() after the
+  // original failure would fire) until the parser synchronizes on a `;` or
+  // `}` boundary or an explicit sync_to_* call. One malformed statement
+  // therefore reports one precise error, and later statements still report
+  // theirs — a single file yields all of its real diagnostics.
+  if (panic_) return;
+  panic_ = true;
   diags_.error("parser", std::move(message), peek().loc);
 }
 
@@ -55,12 +69,13 @@ void Parser::sync_to_decl() {
          k == TokenKind::kKwGroup || k == TokenKind::kKwUnion ||
          k == TokenKind::kKwStreamlet || k == TokenKind::kKwImpl ||
          k == TokenKind::kKwPackage || k == TokenKind::kKwImport)) {
-      return;
+      break;
     }
     if (k == TokenKind::kLBrace) ++depth;
     if (k == TokenKind::kRBrace && depth > 0) --depth;
     advance();
   }
+  panic_ = false;  // synchronized: report errors in what follows
 }
 
 void Parser::sync_to_stmt_end() {
@@ -69,13 +84,14 @@ void Parser::sync_to_stmt_end() {
     TokenKind k = peek().kind;
     if (depth == 0 && (k == TokenKind::kSemicolon || k == TokenKind::kComma)) {
       advance();
-      return;
+      break;
     }
-    if (depth == 0 && k == TokenKind::kRBrace) return;
+    if (depth == 0 && k == TokenKind::kRBrace) break;
     if (k == TokenKind::kLBrace) ++depth;
     if (k == TokenKind::kRBrace) --depth;
     advance();
   }
+  panic_ = false;  // synchronized: report errors in what follows
 }
 
 SourceFile Parser::parse_file() {

@@ -40,6 +40,11 @@ class Parser {
   void sync_to_decl();
   void sync_to_stmt_end();
 
+  /// Panic mode (set by the first error_here of a broken construct):
+  /// suppresses cascade diagnostics until the parser consumes a `;`/`}` or
+  /// runs one of the sync_to_* recoveries.
+  bool panic_ = false;
+
   // Declarations.
   bool parse_decl(SourceFile& file);
   ConstDecl parse_const_decl();

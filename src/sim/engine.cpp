@@ -57,8 +57,50 @@ double SimResult::throughput(const std::string& top_port) const {
   return static_cast<double>(it->second.size() - 1) / span;
 }
 
+std::string ShardForensics::summary() const {
+  std::ostringstream out;
+  out << "shard " << shard << ": window=";
+  if (window_time_ns == kInfiniteTime) {
+    out << "idle";
+  } else {
+    out << window_time_ns << "ns";
+  }
+  out << " last_event=" << last_event_time_ns << "ns"
+      << " events=" << events_processed << " queue=" << queue_depth
+      << " mailbox=" << mailbox_depth << " credits=" << credit_balance
+      << " unacked=" << unacked
+      << " pending_ack_batches=" << pending_ack_batches;
+  return out.str();
+}
+
+support::Status SimResult::status() const {
+  using support::Status;
+  using support::StatusCode;
+  if (aborted) {
+    return Status::error(StatusCode::kAborted, "sim",
+                         "run aborted (" + abort_reason + ") at " +
+                             std::to_string(end_time_ns) + " ns");
+  }
+  if (deadlock) {
+    std::string what = "simulation deadlocked";
+    if (!deadlock_cycle.empty()) {
+      what += ": " + support::join(deadlock_cycle, " -> ");
+    }
+    return Status::error(StatusCode::kDeadlock, "sim", std::move(what));
+  }
+  return Status::ok();
+}
+
 std::string SimResult::summary() const {
   std::ostringstream out;
+  if (aborted) {
+    out << "simulation ABORTED (" << abort_reason << ") at " << end_time_ns
+        << " ns\n";
+    for (const ShardForensics& f : shard_forensics) {
+      out << "  " << f.summary() << "\n";
+    }
+    return out.str();
+  }
   out << "simulation finished at " << end_time_ns << " ns";
   if (deadlock) {
     out << " [DEADLOCK]";
@@ -384,18 +426,10 @@ SimResult Engine::run(const SimOptions& options) {
   SimGraph graph;
   if (!build_sim_graph(design_, options, diags_, graph)) return SimResult{};
 
-  if (options.shards > 1) {
-    return shard::run_sharded(graph, options, diags_);
-  }
-
-  Kernel kernel(graph, options, diags_, /*shard=*/0, /*router=*/nullptr);
-  kernel.seed();
-  kernel.process_events(kInfiniteTime, /*inclusive=*/false,
-                        options.max_time_ns);
-  double end_time =
-      kernel.capped() ? options.max_time_ns : kernel.last_event_time();
-  std::vector<Kernel*> kernels{&kernel};
-  return merge_results(graph, kernels, end_time, diags_);
+  // Always route through the sharded driver: its single-shard path is the
+  // plain single-queue loop, and keeping one entry point means the
+  // watchdog and the event/wall-clock/RSS budgets guard every run shape.
+  return shard::run_sharded(graph, options, diags_);
 }
 
 }  // namespace tydi::sim

@@ -37,10 +37,12 @@
 #include <vector>
 
 #include "src/elab/design.hpp"
+#include "src/sim/fault.hpp"
 #include "src/sim/ring.hpp"
 #include "src/sim/trace.hpp"
 #include "src/support/diagnostic.hpp"
 #include "src/support/intern.hpp"
+#include "src/support/status.hpp"
 
 namespace tydi::sim {
 
@@ -112,6 +114,24 @@ struct SimOptions {
   /// component_events). Empty = the degree heuristic. Exposed on the CLI as
   /// `tydic --sim-profile` (profiling pre-run).
   std::vector<double> component_weights;
+  // --- Guard rails (src/sim/guard.hpp, src/sim/fault.hpp) ----------------
+  /// Deterministic fault-injection plan for the sharded runtime (disabled
+  /// by default; see FaultPlan). CLI: --sim-fault-seed / --sim-fault-plan.
+  FaultPlan fault;
+  /// No-progress watchdog: abort the run when the global processed-event
+  /// counter has not moved for this many wall-clock ms. <= 0 disables.
+  /// Catches cross-shard livelocks (e.g. lost/withheld acks) that the
+  /// deadlock detector cannot see because the queues never quiesce.
+  double watchdog_timeout_ms = 10000.0;
+  /// Total wall-clock budget in ms; the run aborts with partial results
+  /// when exceeded. <= 0 disables.
+  double wall_clock_budget_ms = 0.0;
+  /// Global processed-event budget; the run aborts with partial results
+  /// when exceeded. 0 disables.
+  std::uint64_t max_events = 0;
+  /// Resident-set budget in MiB (getrusage high-water mark); the run aborts
+  /// when exceeded. 0 disables.
+  std::uint64_t rss_budget_mb = 0;
 };
 
 struct ChannelStats {
@@ -154,11 +174,49 @@ struct StateTransition {
   std::string to;
 };
 
+/// Per-shard snapshot taken when a run is aborted (watchdog fire or budget
+/// breach): what each shard was doing when the guard pulled the plug. The
+/// fields are read after every worker thread has joined, so no live state
+/// is touched.
+struct ShardForensics {
+  int shard = 0;
+  /// Time of the shard's next pending event (kInfiniteTime when its queue
+  /// is idle) — the window the round loop was trying to open.
+  double window_time_ns = 0.0;
+  /// Timestamp of the last event this shard dispatched.
+  double last_event_time_ns = 0.0;
+  std::uint64_t events_processed = 0;
+  /// Events still queued in the shard's scheduler.
+  std::size_t queue_depth = 0;
+  /// Cross-shard messages parked in this shard's inbound mailbox cells.
+  std::size_t mailbox_depth = 0;
+  /// Remaining send credits over this shard's source-side cut channels
+  /// (credit mode).
+  std::int64_t credit_balance = 0;
+  /// Delivered-but-unacked packets over this shard's sink-side cut
+  /// channels (credit mode).
+  std::int64_t unacked = 0;
+  /// Consumed acks batched but not yet flushed to their source shards —
+  /// nonzero here is the signature of a withheld-ack hang.
+  std::int64_t pending_ack_batches = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
 struct SimResult {
   double end_time_ns = 0.0;
   /// Events popped from the scheduler queue (simulation work metric).
   std::uint64_t events_processed = 0;
   bool deadlock = false;
+  /// The run did not complete: the watchdog detected no progress or a
+  /// budget (events / wall-clock / RSS) was exceeded. All other fields hold
+  /// the partial results up to the abort point.
+  bool aborted = false;
+  /// Machine-readable abort trigger ("watchdog-no-progress",
+  /// "max-events-budget", "wall-clock-budget", "rss-budget").
+  std::string abort_reason;
+  /// One snapshot per shard when `aborted` (empty otherwise).
+  std::vector<ShardForensics> shard_forensics;
   /// Non-empty on deadlock when a wait-for cycle was found: the component
   /// paths forming the cycle.
   std::vector<std::string> deadlock_cycle;
@@ -188,6 +246,9 @@ struct SimResult {
   /// Packets per nanosecond observed on a top output port.
   [[nodiscard]] double throughput(const std::string& top_port) const;
   [[nodiscard]] std::string summary() const;
+  /// Classification for callers and the CLI exit code: kAborted when the
+  /// guard stopped the run, kDeadlock on a wait-for cycle, kOk otherwise.
+  [[nodiscard]] support::Status status() const;
 };
 
 class Behavior;  // behavior.hpp

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "src/sim/behavior.hpp"
+#include "src/sim/fault.hpp"
+#include "src/sim/guard.hpp"
 
 namespace tydi::sim {
 
@@ -60,6 +62,20 @@ void Kernel::seed() {
 }
 
 void Kernel::process_events(double limit, bool inclusive, double max_time_ns) {
+  // Guard sync granularity: one relaxed fetch_add + one acquire load every
+  // 256 events keeps the stop latency in the microseconds without touching
+  // shared cache lines per event.
+  constexpr std::uint64_t kGuardStride = 256;
+  std::uint64_t unsynced = 0;
+  auto sync_guard = [&] {
+    if (guard_ == nullptr || unsynced == 0) return false;
+    std::uint64_t total = guard_->add_events(unsynced);
+    unsynced = 0;
+    if (max_events_ != 0 && total >= max_events_) {
+      guard_->request_stop(StopCause::kMaxEvents);
+    }
+    return guard_->stop_requested();
+  };
   while (!queue_.empty()) {
     const Event& head = queue_.top();
     if (head.time > max_time_ns) {
@@ -70,9 +86,13 @@ void Kernel::process_events(double limit, bool inclusive, double max_time_ns) {
     Event ev = head;
     queue_.pop();
     now_ = ev.time;
-    if (ev.kind != EventKind::kRemoteAck) events_processed_ += 1;
+    if (ev.kind != EventKind::kRemoteAck) {
+      events_processed_ += 1;
+      if (++unsynced >= kGuardStride && sync_guard()) break;
+    }
     dispatch(ev);
   }
+  sync_guard();
 }
 
 void Kernel::dispatch(const Event& ev) {
@@ -401,13 +421,48 @@ void Kernel::complete_remote_ack_batch(std::size_t channel_index,
   }
 }
 
-void Kernel::flush_ack_batches(double time) {
+void Kernel::flush_ack_batches(double time, bool force) {
   for (std::int32_t ch : cross_dst_channels_) {
     Channel& c = graph_.channels[ch];
     if (c.ack_batch == 0) continue;
+    if (fault_ != nullptr) {
+      // The hang fault swallows batches unconditionally (the watchdog's
+      // negative control); the probabilistic withhold defers this channel's
+      // flush to a later round unless the quiescence check forces it.
+      if (fault_->plan().withhold_acks_forever) continue;
+      if (!force && fault_->fires(FaultInjector::Site::kWithholdCredit)) {
+        continue;
+      }
+    }
     router_->post_ack(c.src_shard, time, ch, c.ack_batch);
     c.ack_batch = 0;
   }
+}
+
+std::int64_t Kernel::pending_ack_batches() const {
+  std::int64_t total = 0;
+  for (std::int32_t ch : cross_dst_channels_) {
+    total += graph_.channels[ch].ack_batch;
+  }
+  return total;
+}
+
+std::int64_t Kernel::credit_balance() const {
+  std::int64_t total = 0;
+  for (std::int32_t ch : cross_src_channels_) {
+    const Channel& c = graph_.channels[ch];
+    if (c.credit_mode()) total += c.credits;
+  }
+  return total;
+}
+
+std::int64_t Kernel::unacked_total() const {
+  std::int64_t total = 0;
+  for (std::int32_t ch : cross_dst_channels_) {
+    const Channel& c = graph_.channels[ch];
+    if (c.credit_mode()) total += c.unacked;
+  }
+  return total;
 }
 
 double Kernel::ack_risk_bound() const {
@@ -523,7 +578,7 @@ void detect_deadlock(SimGraph& graph, SimResult& result) {
 
 SimResult merge_results(SimGraph& graph, const std::vector<Kernel*>& kernels,
                         double end_time_ns,
-                        support::DiagnosticEngine& diags) {
+                        support::DiagnosticEngine& diags, bool aborted) {
   SimResult result;
   result.end_time_ns = end_time_ns;
   result.component_events.assign(graph.components.size(), 0);
@@ -535,7 +590,9 @@ SimResult merge_results(SimGraph& graph, const std::vector<Kernel*>& kernels,
     }
   }
 
-  detect_deadlock(graph, result);
+  // Aborted runs are not quiescent: the wait-for analysis would mistake
+  // in-flight work for blockage, so the abort forensics replace it.
+  if (!aborted) detect_deadlock(graph, result);
 
   // Materialize the name strings (and per-channel boundary info) the hot
   // path never built. These are per-channel, not per-event: the columnar

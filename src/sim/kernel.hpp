@@ -26,6 +26,9 @@
 
 namespace tydi::sim {
 
+class RunGuard;       // guard.hpp
+class FaultInjector;  // fault.hpp
+
 /// Scheduler event kinds, in canonical same-time execution order.
 enum class EventKind : std::uint8_t {
   kDeliver = 0,   ///< a = channel index
@@ -157,8 +160,34 @@ class Kernel {
 
   /// Credit mode: posts each cut sink channel's accumulated ack batch to
   /// its source shard, stamped at the window boundary `time`. Called by the
-  /// sharded runtime once per round, after processing.
-  void flush_ack_batches(double time);
+  /// sharded runtime once per round, after processing. An attached fault
+  /// injector may withhold individual flushes (deferring them to a later
+  /// round); `force` overrides that probabilistic fault — but never the
+  /// hang fault (FaultPlan::withhold_acks_forever) — and is used by the
+  /// quiescence check to flush straggler batches.
+  void flush_ack_batches(double time, bool force = false);
+
+  /// Sum of accumulated-but-unflushed ack batches over this shard's
+  /// sink-side cut channels. Nonzero at an otherwise-idle barrier means the
+  /// run is NOT quiescent: sources are still owed credits.
+  [[nodiscard]] std::int64_t pending_ack_batches() const;
+  /// Remaining send credits over this shard's source-side cut channels.
+  [[nodiscard]] std::int64_t credit_balance() const;
+  /// Delivered-but-unacked packets over this shard's sink-side cut
+  /// channels.
+  [[nodiscard]] std::int64_t unacked_total() const;
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Attaches the run's stop-signal. The event loop contributes to the
+  /// guard's global event counter and polls its stop flag every few hundred
+  /// events; `max_events` > 0 additionally trips the kMaxEvents budget when
+  /// the global counter crosses it.
+  void set_guard(RunGuard* guard, std::uint64_t max_events) {
+    guard_ = guard;
+    max_events_ = max_events;
+  }
+  /// Attaches this shard's fault oracle (withheld credit-flush site).
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
 
   /// Number of cross-shard acks posted since the last call (the sharded
   /// runtime's same-timestamp fixpoint counter).
@@ -239,6 +268,9 @@ class Kernel {
   support::DiagnosticEngine& diags_;
   const int shard_;
   CrossRouter* router_;
+  RunGuard* guard_ = nullptr;
+  std::uint64_t max_events_ = 0;
+  FaultInjector* fault_ = nullptr;
   bool trace_enabled_ = true;
   /// Sharded runs defer warning emission to the deterministic post-join
   /// merge instead of calling the diagnostic engine from worker threads.
@@ -269,9 +301,12 @@ class Kernel {
 /// canonically ordered trace and state transitions, top outputs, deadlock
 /// analysis over the quiesced graph, deferred warning emission. Identical
 /// output for any K covering the same run.
+/// `aborted` skips the deadlock analysis: an aborted run's queues are not
+/// quiescent, so the wait-for search would report phantom cycles.
 [[nodiscard]] SimResult merge_results(SimGraph& graph,
                                       const std::vector<Kernel*>& kernels,
                                       double end_time_ns,
-                                      support::DiagnosticEngine& diags);
+                                      support::DiagnosticEngine& diags,
+                                      bool aborted = false);
 
 }  // namespace tydi::sim

@@ -93,6 +93,8 @@ bool results_identical(const SimResult& a, const SimResult& b,
     if (why != nullptr) *why = what;
     return false;
   };
+  if (a.aborted != b.aborted) return fail("aborted flag differs");
+  if (a.abort_reason != b.abort_reason) return fail("abort_reason differs");
   if (a.end_time_ns != b.end_time_ns) return fail("end_time_ns differs");
   if (a.events_processed != b.events_processed) {
     return fail("events_processed differs: " +
@@ -172,6 +174,7 @@ bool results_functionally_equivalent(const SimResult& a, const SimResult& b,
     if (why != nullptr) *why = what;
     return false;
   };
+  if (a.aborted != b.aborted) return fail("aborted flag differs");
   if (a.deadlock != b.deadlock) return fail("deadlock flag differs");
 
   // Per-channel delivered counts, keyed by name (channel construction order

@@ -1,10 +1,13 @@
 #include "src/sim/shard/runtime.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "src/sim/fault.hpp"
+#include "src/sim/guard.hpp"
 #include "src/sim/kernel.hpp"
 #include "src/sim/shard/partition.hpp"
 
@@ -17,11 +20,19 @@ namespace {
 /// publishes with release/acquire ordering, so everything a thread wrote
 /// before arriving is visible to every thread after leaving — the mailbox
 /// cells and reduction slots need no locks of their own.
+///
+/// The barrier is *abortable*: once the run guard's stop flag is raised,
+/// every wait (current and future) returns immediately, so a watchdog abort
+/// cannot strand threads waiting for a partner that already unwound. After
+/// the flag is up, threads must not rely on barrier separation — they only
+/// ever check the flag and exit their round loops.
 class SpinBarrier {
  public:
-  explicit SpinBarrier(int parties) : parties_(parties) {}
+  SpinBarrier(int parties, const RunGuard& guard)
+      : parties_(parties), guard_(guard) {}
 
   void arrive_and_wait() {
+    if (guard_.stop_requested()) return;
     std::uint32_t phase = phase_.load(std::memory_order_acquire);
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
       arrived_.store(0, std::memory_order_relaxed);
@@ -30,12 +41,16 @@ class SpinBarrier {
     }
     int spins = 0;
     while (phase_.load(std::memory_order_acquire) == phase) {
-      if (++spins > 512) std::this_thread::yield();
+      if (++spins > 512) {
+        if (guard_.stop_requested()) return;
+        std::this_thread::yield();
+      }
     }
   }
 
  private:
   const int parties_;
+  const RunGuard& guard_;
   std::atomic<int> arrived_{0};
   std::atomic<std::uint32_t> phase_{0};
 };
@@ -83,6 +98,14 @@ class Mailboxes {
     }
   }
 
+  /// Messages parked in `dst`'s inbound cells. Forensics only — called
+  /// after the worker threads have joined.
+  [[nodiscard]] std::size_t inbound_depth(int dst) {
+    std::size_t total = 0;
+    for (int src = 0; src < shards_; ++src) total += cell(src, dst).size();
+    return total;
+  }
+
  private:
   struct alignas(64) Cell {
     std::vector<Msg> msgs;
@@ -93,22 +116,36 @@ class Mailboxes {
 
 class ShardRouter : public CrossRouter {
  public:
-  ShardRouter(Mailboxes& mail, int from) : mail_(mail), from_(from) {}
+  ShardRouter(Mailboxes& mail, int from, FaultInjector* fault)
+      : mail_(mail), from_(from), fault_(fault) {}
 
   void post_deliver(int to_shard, double time, std::int32_t channel,
                     Packet packet) override {
+    delay_fault();
     mail_.cell(from_, to_shard)
         .push_back(Msg{time, channel, 0, packet, false});
   }
   void post_ack(int to_shard, double time, std::int32_t channel,
                 std::int32_t count) override {
+    delay_fault();
     mail_.cell(from_, to_shard)
         .push_back(Msg{time, channel, count, Packet{}, true});
   }
 
  private:
+  /// Wall-clock-only fault: the post is held back in real time but still
+  /// lands in the same protocol round (the mailbox cell is drained only
+  /// after the next barrier), so results must not change.
+  void delay_fault() {
+    if (fault_ != nullptr &&
+        fault_->fires(FaultInjector::Site::kMailboxPost)) {
+      fault_->spin_delay();
+    }
+  }
+
   Mailboxes& mail_;
   const int from_;
+  FaultInjector* fault_;
 };
 
 /// Cache-line-isolated per-shard reduction slot. Written by its shard
@@ -117,6 +154,11 @@ struct alignas(64) Slot {
   double next_time = kInfiniteTime;
   double ack_bound = kInfiniteTime;
   std::uint32_t acks_posted = 0;
+  /// Credit mode: accumulated-but-unflushed ack batches (quiescence check).
+  std::int64_t pending_batches = 0;
+  /// Credit mode: the shard's last dispatched event time (straggler-batch
+  /// flush timestamp).
+  double last_time = 0.0;
 };
 
 struct RoundState {
@@ -125,14 +167,16 @@ struct RoundState {
   std::vector<Slot> slots;
   double lookahead_ns;
   double max_time_ns;
+  RunGuard& guard;
   std::atomic<bool> capped{false};
 
-  RoundState(int shards, double lookahead, double max_time)
-      : barrier(shards),
+  RoundState(int shards, double lookahead, double max_time, RunGuard& g)
+      : barrier(shards, g),
         mail(shards),
         slots(shards),
         lookahead_ns(lookahead),
-        max_time_ns(max_time) {}
+        max_time_ns(max_time),
+        guard(g) {}
 };
 
 /// Credit-mode round loop: no ack-risk bound, no same-timestamp fixpoint.
@@ -144,23 +188,54 @@ struct RoundState {
 /// channel) processes single timestamps but still batches acks, so time
 /// never runs backwards: an ack consumed at T is processed by the source at
 /// T in the next round.
-void shard_main_credit(int me, int shards, Kernel& kernel, RoundState& state) {
+///
+/// Quiescence needs two conditions, not one: every queue idle (t == inf)
+/// AND no ack batch left unflushed. Fault injection can withhold a flush
+/// past the round that filled it, so an idle barrier with outstanding
+/// batches force-flushes and goes around — except under the deliberate
+/// hang fault, which keeps withholding until the watchdog aborts the run.
+void shard_main_credit(int me, int shards, Kernel& kernel, RoundState& state,
+                       FaultInjector& inject) {
+  auto arrive = [&] {
+    if (inject.fires(FaultInjector::Site::kBarrierArrive)) {
+      inject.spin_delay();
+    }
+    state.barrier.arrive_and_wait();
+  };
   for (;;) {
+    if (state.guard.stop_requested()) return;
     state.mail.drain_into(me, kernel);
     state.slots[me].next_time = kernel.next_time();
-    state.barrier.arrive_and_wait();
+    state.slots[me].pending_batches = kernel.pending_ack_batches();
+    state.slots[me].last_time = kernel.last_event_time();
+    arrive();
+    if (state.guard.stop_requested()) return;
 
     double t = kInfiniteTime;
+    std::int64_t pending = 0;
+    double flush_time = 0.0;
     for (int s = 0; s < shards; ++s) {
       t = std::min(t, state.slots[s].next_time);
+      pending += state.slots[s].pending_batches;
+      flush_time = std::max(flush_time, state.slots[s].last_time);
     }
-    if (t == kInfiniteTime) break;  // global quiescence (batches are
-                                    // flushed in the round they fill, so
-                                    // none can be outstanding here)
+    if (t == kInfiniteTime) {
+      if (pending == 0) break;  // global quiescence: idle AND no batch owed
+      // Idle queues but withheld batches: force-flush the stragglers at
+      // the latest dispatched time and go around (all reduced values, so
+      // every shard picks the same timestamp). Under the hang fault the
+      // flush is a no-op and this loop spins at zero processed events —
+      // exactly the livelock the watchdog converts into an abort.
+      kernel.flush_ack_batches(flush_time, /*force=*/true);
+      arrive();  // flush posts before the next round's drains
+      continue;
+    }
     if (t > state.max_time_ns) {
       if (me == 0) state.capped.store(true, std::memory_order_relaxed);
       break;
     }
+
+    if (inject.fires(FaultInjector::Site::kRoundStall)) inject.spin_delay();
 
     double horizon = t + state.lookahead_ns;
     if (horizon > t) {
@@ -170,16 +245,25 @@ void shard_main_credit(int me, int shards, Kernel& kernel, RoundState& state) {
       kernel.process_events(t, /*inclusive=*/true, state.max_time_ns);
       kernel.flush_ack_batches(t);
     }
-    state.barrier.arrive_and_wait();
+    arrive();
   }
 }
 
-void shard_main(int me, int shards, Kernel& kernel, RoundState& state) {
+void shard_main(int me, int shards, Kernel& kernel, RoundState& state,
+                FaultInjector& inject) {
+  auto arrive = [&] {
+    if (inject.fires(FaultInjector::Site::kBarrierArrive)) {
+      inject.spin_delay();
+    }
+    state.barrier.arrive_and_wait();
+  };
   for (;;) {
+    if (state.guard.stop_requested()) return;
     state.mail.drain_into(me, kernel);
     state.slots[me].next_time = kernel.next_time();
     state.slots[me].ack_bound = kernel.ack_risk_bound();
-    state.barrier.arrive_and_wait();
+    arrive();
+    if (state.guard.stop_requested()) return;
 
     double t = kInfiniteTime;
     double bound = kInfiniteTime;
@@ -194,12 +278,14 @@ void shard_main(int me, int shards, Kernel& kernel, RoundState& state) {
       break;
     }
 
+    if (inject.fires(FaultInjector::Site::kRoundStall)) inject.spin_delay();
+
     double horizon = std::min(t + state.lookahead_ns, bound);
     if (horizon > t) {
       // Window round: no remote ack can land before `horizon`, and every
       // cross-shard delivery posted now lands at ≥ t + lookahead.
       kernel.process_events(horizon, /*inclusive=*/false, state.max_time_ns);
-      state.barrier.arrive_and_wait();
+      arrive();
       continue;
     }
 
@@ -209,17 +295,41 @@ void shard_main(int me, int shards, Kernel& kernel, RoundState& state) {
     // single-queue engine would.
     kernel.process_events(t, /*inclusive=*/true, state.max_time_ns);
     state.slots[me].acks_posted = kernel.take_acks_posted();
-    state.barrier.arrive_and_wait();
+    arrive();
     for (;;) {
+      if (state.guard.stop_requested()) return;
       std::uint32_t acks = 0;
       for (int s = 0; s < shards; ++s) acks += state.slots[s].acks_posted;
       if (acks == 0) break;
       state.mail.drain_into(me, kernel);
-      state.barrier.arrive_and_wait();  // drains before the next posts
+      arrive();  // drains before the next posts
       kernel.process_events(t, /*inclusive=*/true, state.max_time_ns);
       state.slots[me].acks_posted = kernel.take_acks_posted();
-      state.barrier.arrive_and_wait();
+      arrive();
     }
+  }
+}
+
+/// Fills the abort classification + per-shard snapshots. Runs on the main
+/// thread after every worker (and the watchdog) has stopped.
+void collect_abort(SimResult& result, const RunGuard& guard,
+                   const std::vector<Kernel*>& kernels, Mailboxes* mail) {
+  result.aborted = true;
+  result.abort_reason = std::string(to_string(guard.cause()));
+  for (std::size_t s = 0; s < kernels.size(); ++s) {
+    const Kernel& k = *kernels[s];
+    ShardForensics f;
+    f.shard = static_cast<int>(s);
+    f.window_time_ns = k.next_time();
+    f.last_event_time_ns = k.last_event_time();
+    f.events_processed = k.events_processed();
+    f.queue_depth = k.queue_depth();
+    f.mailbox_depth =
+        mail != nullptr ? mail->inbound_depth(static_cast<int>(s)) : 0;
+    f.credit_balance = k.credit_balance();
+    f.unacked = k.unacked_total();
+    f.pending_ack_batches = k.pending_ack_batches();
+    result.shard_forensics.push_back(std::move(f));
   }
 }
 
@@ -248,41 +358,69 @@ SimResult run_sharded(SimGraph& graph, const SimOptions& options,
     }
   }
 
+  RunGuard guard;
+  Watchdog::Config wd_config;
+  wd_config.timeout_ms = options.watchdog_timeout_ms;
+  wd_config.wall_clock_budget_ms = options.wall_clock_budget_ms;
+  wd_config.rss_budget_mb = options.rss_budget_mb;
+
   if (graph.shard_count <= 1) {
+    // Single shard: no cross-shard protocol, so no fault sites — but the
+    // watchdog and the event/wall-clock/RSS budgets still apply.
     Kernel kernel(graph, options, diags, /*shard=*/0, /*router=*/nullptr);
+    kernel.set_guard(&guard, options.max_events);
     kernel.seed();
-    kernel.process_events(kInfiniteTime, /*inclusive=*/false,
-                          options.max_time_ns);
+    {
+      Watchdog watchdog(guard, wd_config);
+      kernel.process_events(kInfiniteTime, /*inclusive=*/false,
+                            options.max_time_ns);
+    }
+    const bool aborted = guard.cause() != StopCause::kNone;
     double end_time =
         kernel.capped() ? options.max_time_ns : kernel.last_event_time();
     std::vector<Kernel*> kernels{&kernel};
-    return merge_results(graph, kernels, end_time, diags);
+    SimResult result = merge_results(graph, kernels, end_time, diags, aborted);
+    if (aborted) collect_abort(result, guard, kernels, /*mail=*/nullptr);
+    return result;
   }
 
   const int shards = graph.shard_count;
-  RoundState state(shards, stats.min_cross_latency_ns, options.max_time_ns);
+  RoundState state(shards, stats.min_cross_latency_ns, options.max_time_ns,
+                   guard);
 
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
   std::vector<std::unique_ptr<ShardRouter>> routers;
   std::vector<std::unique_ptr<Kernel>> kernels;
+  injectors.reserve(shards);
   routers.reserve(shards);
   kernels.reserve(shards);
+  const bool faulty = options.fault.enabled();
   for (int s = 0; s < shards; ++s) {
-    routers.push_back(std::make_unique<ShardRouter>(state.mail, s));
+    injectors.push_back(std::make_unique<FaultInjector>(options.fault, s));
+    routers.push_back(std::make_unique<ShardRouter>(
+        state.mail, s, faulty ? injectors[s].get() : nullptr));
     kernels.push_back(
         std::make_unique<Kernel>(graph, options, diags, s, routers[s].get()));
+    kernels[s]->set_guard(&guard, options.max_events);
+    if (faulty) kernels[s]->set_fault_injector(injectors[s].get());
   }
   // Seed single-threaded (behaviour on_start may post cross-shard traffic;
   // the mailboxes are drained at the first round).
   for (auto& kernel : kernels) kernel->seed();
 
-  std::vector<std::thread> threads;
-  threads.reserve(shards);
-  for (int s = 0; s < shards; ++s) {
-    threads.emplace_back(credit ? shard_main_credit : shard_main, s, shards,
-                         std::ref(*kernels[s]), std::ref(state));
-  }
-  for (std::thread& thread : threads) thread.join();
+  {
+    Watchdog watchdog(guard, wd_config);
+    std::vector<std::thread> threads;
+    threads.reserve(shards);
+    for (int s = 0; s < shards; ++s) {
+      threads.emplace_back(credit ? shard_main_credit : shard_main, s, shards,
+                           std::ref(*kernels[s]), std::ref(state),
+                           std::ref(*injectors[s]));
+    }
+    for (std::thread& thread : threads) thread.join();
+  }  // watchdog joined: forensics below read a quiet world
 
+  const bool aborted = guard.cause() != StopCause::kNone;
   double end_time = 0.0;
   if (state.capped.load(std::memory_order_relaxed)) {
     end_time = options.max_time_ns;
@@ -294,7 +432,10 @@ SimResult run_sharded(SimGraph& graph, const SimOptions& options,
   std::vector<Kernel*> kernel_ptrs;
   kernel_ptrs.reserve(shards);
   for (auto& kernel : kernels) kernel_ptrs.push_back(kernel.get());
-  return merge_results(graph, kernel_ptrs, end_time, diags);
+  SimResult result =
+      merge_results(graph, kernel_ptrs, end_time, diags, aborted);
+  if (aborted) collect_abort(result, guard, kernel_ptrs, &state.mail);
+  return result;
 }
 
 }  // namespace tydi::sim::shard

@@ -40,9 +40,9 @@ bool read_pod(std::istream& in, T& value) {
   return static_cast<bool>(in);
 }
 
-bool fail(std::string* error, const char* what) {
-  if (error != nullptr) *error = what;
-  return false;
+support::Status corrupt(std::string what) {
+  return support::Status::error(support::StatusCode::kCorruptData, "trace",
+                                std::move(what));
 }
 
 }  // namespace
@@ -72,21 +72,20 @@ bool write_binary_trace(const SimResult& result, const std::string& path) {
   return write_binary_trace(result, out);
 }
 
-bool read_binary_trace(std::istream& in, BinaryTrace& out,
-                       std::string* error) {
+support::Status read_binary_trace(std::istream& in, BinaryTrace& out) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return fail(error, "not a TYTR trace file");
+    return corrupt("not a TYTR trace file");
   }
   std::uint32_t version = 0;
   if (!read_pod(in, version) || version != kVersion) {
-    return fail(error, "unsupported trace version");
+    return corrupt("unsupported trace version");
   }
   std::uint64_t events = 0;
   std::uint32_t channels = 0;
   if (!read_pod(in, events) || !read_pod(in, channels)) {
-    return fail(error, "truncated trace header");
+    return corrupt("truncated trace header");
   }
   // Sanity-cap the header-supplied sizes against the remaining stream
   // length (when seekable) before allocating: a corrupt count must yield
@@ -104,19 +103,19 @@ bool read_binary_trace(std::istream& in, BinaryTrace& out,
   constexpr std::uint64_t kBytesPerEvent =
       sizeof(double) + sizeof(std::int32_t) + sizeof(std::int64_t) + 1;
   if (events > remaining / kBytesPerEvent || channels > remaining) {
-    return fail(error, "trace header sizes exceed the file length");
+    return corrupt("trace header sizes exceed the file length");
   }
   out.channels.clear();
   out.channels.reserve(channels);
   for (std::uint32_t i = 0; i < channels; ++i) {
     std::uint32_t length = 0;
-    if (!read_pod(in, length)) return fail(error, "truncated channel table");
+    if (!read_pod(in, length)) return corrupt("truncated channel table");
     if (length > remaining) {
-      return fail(error, "channel name length exceeds the file length");
+      return corrupt("channel name length exceeds the file length");
     }
     std::string name(length, '\0');
     in.read(name.data(), length);
-    if (!in) return fail(error, "truncated channel table");
+    if (!in) return corrupt("truncated channel table");
     out.channels.push_back(std::move(name));
   }
   std::vector<double> times(events);
@@ -124,29 +123,42 @@ bool read_binary_trace(std::istream& in, BinaryTrace& out,
   std::vector<std::int64_t> values(events);
   std::vector<std::uint8_t> lasts(events);
   for (auto& v : times) {
-    if (!read_pod(in, v)) return fail(error, "truncated time column");
+    if (!read_pod(in, v)) return corrupt("truncated time column");
   }
   for (auto& v : chans) {
-    if (!read_pod(in, v)) return fail(error, "truncated channel column");
+    if (!read_pod(in, v)) return corrupt("truncated channel column");
   }
   for (auto& v : values) {
-    if (!read_pod(in, v)) return fail(error, "truncated value column");
+    if (!read_pod(in, v)) return corrupt("truncated value column");
   }
   for (auto& v : lasts) {
-    if (!read_pod(in, v)) return fail(error, "truncated last column");
+    if (!read_pod(in, v)) return corrupt("truncated last column");
+  }
+  // A channel column entry outside the name table would index out of
+  // bounds in every consumer (trace_event, per-channel grouping); reject
+  // the file instead of handing the corruption downstream.
+  for (std::uint64_t i = 0; i < events; ++i) {
+    if (chans[i] < 0 ||
+        static_cast<std::uint32_t>(chans[i]) >= channels) {
+      return corrupt("channel column entry " + std::to_string(i) +
+                     " out of range (" + std::to_string(chans[i]) + " of " +
+                     std::to_string(channels) + " channels)");
+    }
   }
   out.trace.clear();
   for (std::uint64_t i = 0; i < events; ++i) {
     out.trace.append(times[i], chans[i], values[i], lasts[i] != 0);
   }
-  return true;
+  return support::Status::ok();
 }
 
-bool read_binary_trace(const std::string& path, BinaryTrace& out,
-                       std::string* error) {
+support::Status read_binary_trace(const std::string& path, BinaryTrace& out) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return fail(error, "cannot open trace file");
-  return read_binary_trace(in, out, error);
+  if (!in) {
+    return support::Status::error(support::StatusCode::kIoError, "trace",
+                                  "cannot open trace file '" + path + "'");
+  }
+  return read_binary_trace(in, out);
 }
 
 }  // namespace tydi::sim

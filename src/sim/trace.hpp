@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "src/support/status.hpp"
+
 namespace tydi::sim {
 
 struct SimResult;
@@ -131,11 +133,14 @@ struct BinaryTrace {
 bool write_binary_trace(const SimResult& result, std::ostream& out);
 bool write_binary_trace(const SimResult& result, const std::string& path);
 
-/// Reads a TYTR v1 file. On failure returns false and describes the problem
-/// in `error` (when non-null).
-bool read_binary_trace(std::istream& in, BinaryTrace& out,
-                       std::string* error = nullptr);
-bool read_binary_trace(const std::string& path, BinaryTrace& out,
-                       std::string* error = nullptr);
+/// Reads a TYTR v1 file. Every header-supplied count and length is
+/// bounds-checked against the stream before allocation or use, and every
+/// channel column entry is validated against the name table, so truncated
+/// or bit-flipped input yields a kCorruptData / kIoError Status — never an
+/// out-of-range index reaching TraceBuffer or a bad_alloc escaping.
+[[nodiscard]] support::Status read_binary_trace(std::istream& in,
+                                                BinaryTrace& out);
+[[nodiscard]] support::Status read_binary_trace(const std::string& path,
+                                                BinaryTrace& out);
 
 }  // namespace tydi::sim

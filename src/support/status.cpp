@@ -1,0 +1,53 @@
+#include "src/support/status.hpp"
+
+namespace tydi::support {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kCorruptData: return "corrupt-data";
+    case StatusCode::kParseError: return "parse-error";
+    case StatusCode::kElabError: return "elab-error";
+    case StatusCode::kDrcError: return "drc-error";
+    case StatusCode::kEmitError: return "emit-error";
+    case StatusCode::kDeadlock: return "deadlock";
+    case StatusCode::kAborted: return "aborted";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+int exit_code(StatusCode code) {
+  // Stable contract: documented in tydic --help and relied on by CI
+  // scripts. 1 is reserved for legacy/unclassified failure, 2 for usage
+  // errors (the CLI's own convention).
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kIoError: return 3;
+    case StatusCode::kCorruptData: return 4;
+    case StatusCode::kParseError: return 5;
+    case StatusCode::kElabError: return 6;
+    case StatusCode::kDrcError: return 7;
+    case StatusCode::kEmitError: return 8;
+    case StatusCode::kDeadlock: return 9;
+    case StatusCode::kAborted: return 10;
+    case StatusCode::kInternal: return 11;
+  }
+  return 1;
+}
+
+std::string Status::render() const {
+  if (is_ok()) return "ok";
+  std::string out = "[" + phase_ + "] ";
+  out += to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace tydi::support

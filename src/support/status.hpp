@@ -1,0 +1,85 @@
+// Structured error taxonomy shared by the driver, the simulator runtime and
+// the CLI.
+//
+// The DiagnosticEngine collects *human-readable* findings; `Status` is the
+// *machine-readable* classification layered on top: which pipeline phase
+// failed and which failure class it belongs to. Library entry points return
+// (or expose) a Status so embedding services can dispatch on the code — skip
+// a bad batch job, retry an I/O error, page on an internal bug — and `tydic`
+// maps each class to a distinct process exit code, so scripts and CI can
+// tell "the source didn't parse" from "the simulation hung and was aborted
+// by the watchdog" without scraping stderr.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tydi::support {
+
+/// Failure classes, ordered roughly by pipeline position. Each class maps to
+/// a stable, distinct process exit code (see `exit_code`).
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  /// Caller error: malformed options, unusable arguments.
+  kInvalidArgument,
+  /// The host environment failed us: unreadable/unwritable files.
+  kIoError,
+  /// An input artifact (manifest line, TYTR trace) is malformed or corrupt.
+  kCorruptData,
+  /// Source failed to lex/parse.
+  kParseError,
+  /// Elaboration (evaluation + code expansion) failed.
+  kElabError,
+  /// Design rule check reported violations.
+  kDrcError,
+  /// Backend emission (IR text / VHDL) failed.
+  kEmitError,
+  /// Simulation ended in deadlock (a wait-for cycle, not a runtime bug).
+  kDeadlock,
+  /// The run was aborted: watchdog no-progress detection or an exceeded
+  /// event / wall-clock / RSS budget. Partial results may exist.
+  kAborted,
+  /// Invariant violation inside this compiler — always a bug.
+  kInternal,
+};
+
+[[nodiscard]] std::string_view to_string(StatusCode code);
+
+/// Stable process exit code for a failure class (0 for kOk). Distinct per
+/// class so callers can dispatch without parsing diagnostics.
+[[nodiscard]] int exit_code(StatusCode code);
+
+/// A failure classification: code + the pipeline phase that produced it
+/// ("parse", "elaborate", "sim", "manifest", ...) + a one-line message.
+/// Statuses are cheap value types; the ok() singleton carries no strings.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status error(StatusCode code, std::string phase,
+                                    std::string message) {
+    Status s;
+    s.code_ = code;
+    s.phase_ = std::move(phase);
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] explicit operator bool() const { return is_ok(); }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] int exit_code() const { return support::exit_code(code_); }
+
+  /// "[phase] class: message" ("ok" for the success status).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string phase_;
+  std::string message_;
+};
+
+}  // namespace tydi::support

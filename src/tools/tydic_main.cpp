@@ -36,6 +36,21 @@
 //                          all through one CompileSession
 //   --batch-rounds <n>     repeat the batch n times in the same session
 //                          (round 2+ shows the warm-cache behaviour)
+//   --sim-fault-seed <n>   deterministic fault-injection plan derived from
+//                          one seed (delayed mailbox posts, barrier jitter,
+//                          shard stalls, withheld credit flushes); results
+//                          must match a fault-free run (implies --sim)
+//   --sim-fault-plan <s>   explicit plan "seed=..,delay=..,jitter=..,
+//                          stall=..,withhold=..,spin=..,hang=0|1"
+//   --sim-watchdog-ms <ms> abort when no event is processed for <ms>
+//                          (default 10000; 0 disables)
+//   --sim-max-events <n>   abort after n processed events (0 = unlimited)
+//   --sim-budget-ms <ms>   wall-clock budget for the run (0 = unlimited)
+//   --sim-rss-mb <n>       resident-set budget in MiB (0 = unlimited)
+//
+// Exit codes (stable; see src/support/status.hpp): 0 ok, 1 unclassified,
+// 2 usage, 3 io-error, 4 corrupt-data, 5 parse-error, 6 elab-error,
+// 7 drc-error, 8 emit-error, 9 deadlock, 10 aborted, 11 internal.
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -56,7 +71,10 @@ int usage() {
                "[--emit-manifest <path>] [--summary] [--timings] "
                "[--sim] [--sim-shards <n>] [--sim-packets <n>] "
                "[--sim-ack-mode exact|credit] [--sim-credit-window <n>] "
-               "[--sim-profile] [--trace-out <path>] <file.td>...\n"
+               "[--sim-profile] [--sim-fault-seed <n>] "
+               "[--sim-fault-plan <spec>] [--sim-watchdog-ms <ms>] "
+               "[--sim-max-events <n>] [--sim-budget-ms <ms>] "
+               "[--sim-rss-mb <n>] [--trace-out <path>] <file.td>...\n"
                "       tydic --batch [--batch-rounds <n>]\n"
                "       tydic --batch-manifest <path> [--batch-rounds <n>]\n";
   return 2;
@@ -68,17 +86,20 @@ int run_batch(int rounds, const std::string& manifest_path) {
   if (manifest_path.empty()) {
     jobs = tydi::tpch::batch_jobs();
   } else {
-    std::string error;
-    if (!tydi::driver::load_batch_manifest(manifest_path, jobs, error)) {
-      std::cerr << "error: " << error << "\n";
-      return 2;
+    // Malformed lines become pre-failed jobs reported per entry below; only
+    // an unreadable manifest is fatal here.
+    tydi::support::Status loaded =
+        tydi::driver::load_batch_manifest(manifest_path, jobs);
+    if (!loaded.is_ok()) {
+      std::cerr << "error: " << loaded.render() << "\n";
+      return loaded.exit_code();
     }
     if (jobs.empty()) {
       std::cerr << "error: manifest " << manifest_path << " lists no jobs\n";
       return 2;
     }
   }
-  bool ok = true;
+  tydi::support::Status status = tydi::support::Status::ok();
   for (int round = 1; round <= rounds; ++round) {
     tydi::driver::BatchResult result =
         tydi::driver::compile_batch(session, jobs);
@@ -87,9 +108,9 @@ int run_batch(int rounds, const std::string& manifest_path) {
                 << "\n";
     }
     std::cout << result.render();
-    ok = ok && result.success();
+    if (status.is_ok()) status = result.status();
   }
-  return ok ? 0 : 1;
+  return status.exit_code();
 }
 
 struct SimCliOptions {
@@ -99,6 +120,11 @@ struct SimCliOptions {
   int credit_window = 8;
   bool profile = false;
   std::string trace_out;
+  tydi::sim::FaultPlan fault;
+  double watchdog_ms = 10000.0;
+  double budget_ms = 0.0;
+  std::uint64_t max_events = 0;
+  std::uint64_t rss_mb = 0;
 };
 
 int run_simulation(const tydi::driver::CompileResult& result,
@@ -109,6 +135,14 @@ int run_simulation(const tydi::driver::CompileResult& result,
   options.shards = cli.shards;
   options.ack_mode = cli.ack_mode;
   options.credit_window = cli.credit_window;
+  options.fault = cli.fault;
+  options.watchdog_timeout_ms = cli.watchdog_ms;
+  options.wall_clock_budget_ms = cli.budget_ms;
+  options.max_events = cli.max_events;
+  options.rss_budget_mb = cli.rss_mb;
+  if (options.fault.enabled()) {
+    std::cerr << "fault plan: " << options.fault.render() << "\n";
+  }
   // The report below never reads the trace; only --trace-out needs it.
   options.record_trace = !cli.trace_out.empty();
   options.stimuli = tydi::sim::generic_stimuli(result.design, cli.packets);
@@ -131,12 +165,16 @@ int run_simulation(const tydi::driver::CompileResult& result,
   if (!cli.trace_out.empty()) {
     if (!tydi::sim::write_binary_trace(sim_result, cli.trace_out)) {
       std::cerr << "error: cannot write " << cli.trace_out << "\n";
-      return 1;
+      return 3;
     }
     std::cout << "trace: " << sim_result.trace.size() << " event(s) -> "
               << cli.trace_out << "\n";
   }
-  return sim_result.deadlock ? 1 : 0;
+  // Distinct exit codes per failure class: deadlock (9) and watchdog /
+  // budget abort (10) are different operational problems.
+  tydi::support::Status status = sim_result.status();
+  if (!status.is_ok()) std::cerr << "error: " << status.render() << "\n";
+  return status.exit_code();
 }
 
 bool write_file(const std::string& path, const std::string& text) {
@@ -230,6 +268,34 @@ int main(int argc, char** argv) {
     } else if (arg == "--sim-profile") {
       simulate = true;
       sim_cli.profile = true;
+    } else if (arg == "--sim-fault-seed") {
+      simulate = true;
+      sim_cli.fault = tydi::sim::FaultPlan::from_seed(
+          std::strtoull(next("--sim-fault-seed").c_str(), nullptr, 10));
+    } else if (arg == "--sim-fault-plan") {
+      simulate = true;
+      std::string spec = next("--sim-fault-plan");
+      std::string error;
+      if (!tydi::sim::FaultPlan::parse(spec, sim_cli.fault, error)) {
+        std::cerr << "error: bad --sim-fault-plan: " << error << "\n";
+        return 2;
+      }
+    } else if (arg == "--sim-watchdog-ms") {
+      simulate = true;
+      sim_cli.watchdog_ms = std::atof(next("--sim-watchdog-ms").c_str());
+      if (sim_cli.watchdog_ms < 0) sim_cli.watchdog_ms = 0;
+    } else if (arg == "--sim-max-events") {
+      simulate = true;
+      sim_cli.max_events =
+          std::strtoull(next("--sim-max-events").c_str(), nullptr, 10);
+    } else if (arg == "--sim-budget-ms") {
+      simulate = true;
+      sim_cli.budget_ms = std::atof(next("--sim-budget-ms").c_str());
+      if (sim_cli.budget_ms < 0) sim_cli.budget_ms = 0;
+    } else if (arg == "--sim-rss-mb") {
+      simulate = true;
+      sim_cli.rss_mb =
+          std::strtoull(next("--sim-rss-mb").c_str(), nullptr, 10);
     } else if (arg == "--trace-out") {
       simulate = true;
       sim_cli.trace_out = next("--trace-out");
@@ -260,8 +326,9 @@ int main(int argc, char** argv) {
   tydi::driver::CompileResult result = tydi::driver::compile(sources, options);
   std::cerr << result.report();
   if (!result.success()) {
+    // Distinct exit code per failing pipeline phase (see header comment).
     std::cerr << "compilation failed\n";
-    return 1;
+    return result.status().exit_code();
   }
   if (timings) std::cerr << "phases: " << result.phase_ms.render() << "\n";
   if (summary) std::cout << result.design.summary();

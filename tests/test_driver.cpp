@@ -2,6 +2,8 @@
 // timing, multi-source compiles, and the `tydic` executable end-to-end.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -149,9 +151,8 @@ TEST(Driver, BatchManifestLoadsJobs) {
         << source_path << " top\n";
   }
   std::vector<driver::BatchJob> jobs;
-  std::string error;
-  ASSERT_TRUE(driver::load_batch_manifest(manifest_path, jobs, error))
-      << error;
+  support::Status loaded = driver::load_batch_manifest(manifest_path, jobs);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.render();
   ASSERT_EQ(jobs.size(), 2u);
   EXPECT_EQ(jobs[0].name, source_path + ":top");
   EXPECT_EQ(jobs[0].options.top, "top");
@@ -162,23 +163,102 @@ TEST(Driver, BatchManifestLoadsJobs) {
   driver::BatchResult result = driver::compile_batch(session, jobs);
   EXPECT_TRUE(result.success()) << result.render();
   EXPECT_EQ(result.entries.size(), 2u);
+  EXPECT_TRUE(result.status().is_ok());
 
-  // Malformed line: missing top name.
+  // Malformed line (missing top name): recorded as a pre-failed job, not a
+  // load failure.
   {
     std::ofstream out(manifest_path);
     out << source_path << "\n";
   }
   jobs.clear();
-  EXPECT_FALSE(driver::load_batch_manifest(manifest_path, jobs, error));
-  EXPECT_NE(error.find("expected"), std::string::npos);
+  loaded = driver::load_batch_manifest(manifest_path, jobs);
+  EXPECT_TRUE(loaded.is_ok()) << loaded.render();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_FALSE(jobs[0].preflight.is_ok());
+  EXPECT_EQ(jobs[0].preflight.code(), support::StatusCode::kCorruptData);
+  EXPECT_NE(jobs[0].preflight.message().find("expected"), std::string::npos);
 
-  // Unreadable source file.
+  // Unreadable source file: same record-and-skip treatment.
   {
     std::ofstream out(manifest_path);
     out << "/tmp/definitely_missing_source.td top\n";
   }
   jobs.clear();
-  EXPECT_FALSE(driver::load_batch_manifest(manifest_path, jobs, error));
+  loaded = driver::load_batch_manifest(manifest_path, jobs);
+  EXPECT_TRUE(loaded.is_ok()) << loaded.render();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].preflight.code(), support::StatusCode::kIoError);
+
+  // An unreadable manifest IS fatal.
+  jobs.clear();
+  loaded = driver::load_batch_manifest("/nonexistent/manifest.txt", jobs);
+  EXPECT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.code(), support::StatusCode::kIoError);
+  EXPECT_TRUE(jobs.empty());
+}
+
+TEST(Driver, BatchSkipsMalformedJobsAndCompilesTheRest) {
+  // One bad manifest line must not take down the batch: the well-formed
+  // jobs compile, the condemned one surfaces as a failed entry carrying the
+  // preflight status.
+  std::string source_path = "/tmp/tydi_manifest_mixed.td";
+  {
+    std::ofstream out(source_path);
+    out << kGood;
+  }
+  std::string manifest_path = "/tmp/tydi_manifest_mixed.txt";
+  {
+    std::ofstream out(manifest_path);
+    out << source_path << " top\n"
+        << source_path << "\n"  // malformed: missing top
+        << source_path << " top\n";
+  }
+  std::vector<driver::BatchJob> jobs;
+  support::Status loaded = driver::load_batch_manifest(manifest_path, jobs);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.render();
+  ASSERT_EQ(jobs.size(), 3u);
+
+  driver::CompileSession session;
+  driver::BatchResult result = driver::compile_batch(session, jobs);
+  ASSERT_EQ(result.entries.size(), 3u);
+  EXPECT_TRUE(result.entries[0].success);
+  EXPECT_FALSE(result.entries[1].success);
+  EXPECT_EQ(result.entries[1].status.code(),
+            support::StatusCode::kCorruptData);
+  EXPECT_TRUE(result.entries[2].success);
+  EXPECT_EQ(result.failures, 1u);
+  // The aggregate status is the first failing entry's classification.
+  EXPECT_EQ(result.status().code(), support::StatusCode::kCorruptData);
+  EXPECT_EQ(result.status().exit_code(), 4);
+}
+
+TEST(Driver, CompileStatusClassifiesFailurePhase) {
+  driver::CompileOptions options;
+  options.top = "top";
+  // Parse failure -> kParseError / exit 5.
+  auto parse_fail = driver::compile_source("streamlet {", options);
+  ASSERT_FALSE(parse_fail.success());
+  EXPECT_EQ(parse_fail.status().code(), support::StatusCode::kParseError);
+  EXPECT_EQ(parse_fail.status().exit_code(), 5);
+  // Elaboration failure (unknown impl) -> kElabError / exit 6.
+  auto elab_fail = driver::compile_source(R"(
+type t = Stream(Bit(8), d=1, c=2);
+streamlet s { a: t in, }
+impl top of s {
+  instance v(no_such_impl<type t>),
+  a => v.in_,
+}
+)",
+                                          options);
+  ASSERT_FALSE(elab_fail.success());
+  EXPECT_EQ(elab_fail.status().code(), support::StatusCode::kElabError);
+  EXPECT_EQ(elab_fail.status().exit_code(), 6);
+  // Success -> kOk / exit 0.
+  auto good = driver::compile_source(std::string(kGood), options);
+  ASSERT_TRUE(good.success()) << good.report();
+  EXPECT_TRUE(good.status().is_ok());
+  EXPECT_EQ(good.status().exit_code(), 0);
 }
 
 TEST(Driver, EmitFlagsControlOutputs) {
@@ -327,6 +407,10 @@ TEST(Cli, TydicReportsErrorsWithNonZeroExit) {
                         " > /dev/null 2>&1";
   int rc = std::system(command.c_str());
   EXPECT_NE(rc, 0);
+  // The exit code names the failure class: parse errors exit 5 (see
+  // src/support/status.hpp).
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 5) << command;
 }
 
 TEST(Cli, TydicUsageOnMissingArguments) {

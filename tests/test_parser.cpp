@@ -290,6 +290,30 @@ TEST(Parser, MissingSemicolonReported) {
   EXPECT_GT(outcome.errors, 0u);
 }
 
+TEST(Parser, PanicModeRecoversAtLeastThreeErrorsFromOneSource) {
+  // Panic-mode recovery: each broken construct reports exactly one primary
+  // error, the parser re-syncs on `;` / `}`, and the next broken construct
+  // reports again — so one pass over a thrice-broken file yields >= 3
+  // diagnostics instead of stopping at the first or cascading dozens.
+  auto [file, errors] = parse_text(R"(
+const = 1;
+const good_one = 2;
+type = Stream(Bit(8), d=1);
+const good_two = 3;
+streamlet { }
+const good_three = 4;
+)");
+  EXPECT_GE(errors, 3u);
+  // Panic mode suppresses cascades: nowhere near one error per token.
+  EXPECT_LE(errors, 8u);
+  // Every well-formed declaration between the broken ones was recovered.
+  std::size_t const_count = 0;
+  for (const Decl& d : file.decls) {
+    if (std::holds_alternative<ConstDecl>(d.node)) ++const_count;
+  }
+  EXPECT_GE(const_count, 3u);
+}
+
 TEST(Parser, TemplateAngleVsComparisonInArgs) {
   // Comparisons inside template args must be parenthesized; plain
   // arithmetic must work unparenthesized.

@@ -12,6 +12,7 @@
 //  - Profile-weighted partitioning must honour measured activity weights.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "src/driver/compiler.hpp"
@@ -209,6 +210,32 @@ TEST(SimCredit, DeadlockStillDetected) {
   }
 }
 
+TEST(SimCredit, DeadlockCycleIdenticalAcrossShards) {
+  // The wait-for cycle diagnosis must name the same components in the same
+  // order no matter how the graph was sharded: detection runs over the
+  // merged quiesced graph, and credit-mode timestamp shifts must not
+  // perturb it.
+  driver::CompileResult compiled = compile(kDeadlockSource, "deadtop");
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+  sim::SimResult reference = engine.run(base_options(compiled.design, 1, 10.0));
+  ASSERT_TRUE(reference.deadlock);
+  ASSERT_FALSE(reference.deadlock_cycle.empty());
+  for (int shards : {1, 2, 4}) {
+    sim::SimOptions credit = base_options(compiled.design, 1, 10.0);
+    credit.shards = shards;
+    credit.auto_partition = false;
+    credit.ack_mode = sim::AckMode::kCredit;
+    sim::SimResult result = engine.run(credit);
+    EXPECT_TRUE(result.deadlock) << shards << " shards";
+    EXPECT_EQ(result.deadlock_cycle, reference.deadlock_cycle)
+        << shards << " shards";
+    EXPECT_EQ(result.status().code(), support::StatusCode::kDeadlock)
+        << shards << " shards";
+    EXPECT_EQ(result.status().exit_code(), 9) << shards << " shards";
+  }
+}
+
 TEST(SimCredit, RepeatedCreditRunsIdentical) {
   // Credit mode relaxes exactness versus the *exact engine*, not
   // reproducibility: the same configuration must be deterministic.
@@ -291,8 +318,8 @@ TEST(SimTrace, BinaryRoundTrip) {
   std::stringstream stream;
   ASSERT_TRUE(sim::write_binary_trace(result, stream));
   sim::BinaryTrace loaded;
-  std::string error;
-  ASSERT_TRUE(sim::read_binary_trace(stream, loaded, &error)) << error;
+  support::Status read = sim::read_binary_trace(stream, loaded);
+  ASSERT_TRUE(read.is_ok()) << read.render();
 
   ASSERT_EQ(loaded.channels.size(), result.channels.size());
   for (std::size_t i = 0; i < loaded.channels.size(); ++i) {
@@ -310,9 +337,76 @@ TEST(SimTrace, BinaryRoundTrip) {
 TEST(SimTrace, RejectsGarbage) {
   std::stringstream stream("definitely not a trace");
   sim::BinaryTrace loaded;
-  std::string error;
-  EXPECT_FALSE(sim::read_binary_trace(stream, loaded, &error));
-  EXPECT_FALSE(error.empty());
+  support::Status read = sim::read_binary_trace(stream, loaded);
+  EXPECT_FALSE(read.is_ok());
+  EXPECT_EQ(read.code(), support::StatusCode::kCorruptData);
+  EXPECT_FALSE(read.message().empty());
+}
+
+TEST(SimTrace, RejectsOutOfRangeChannelIndex) {
+  // A bit-flipped channel column entry must be rejected up front — an
+  // out-of-range index would otherwise reach every consumer that uses it
+  // to address the channel-name table.
+  driver::CompileResult compiled = compile(kSaturatedPipelineSource,
+                                           "sat_top");
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+  sim::SimResult result = engine.run(base_options(compiled.design, 8, 1.0));
+  ASSERT_GT(result.trace.size(), 0u);
+  std::stringstream stream;
+  ASSERT_TRUE(sim::write_binary_trace(result, stream));
+  std::string bytes = stream.str();
+
+  // TYTR v1: magic(4) version(4) events(8) channels(4), then the name
+  // table (u32 length + bytes each), then times (8 per event), then the
+  // channel column (4 per event) — patch its first entry out of range.
+  std::size_t offset = 4 + 4 + 8 + 4;
+  for (const sim::ChannelStats& c : result.channels) {
+    offset += 4 + c.name.size();
+  }
+  offset += result.trace.size() * sizeof(double);
+  ASSERT_LE(offset + sizeof(std::int32_t), bytes.size());
+  std::int32_t bogus = static_cast<std::int32_t>(result.channels.size()) + 7;
+  std::memcpy(bytes.data() + offset, &bogus, sizeof(bogus));
+
+  std::stringstream corrupted(bytes);
+  sim::BinaryTrace loaded;
+  support::Status read = sim::read_binary_trace(corrupted, loaded);
+  EXPECT_FALSE(read.is_ok());
+  EXPECT_EQ(read.code(), support::StatusCode::kCorruptData);
+  EXPECT_NE(read.message().find("out of range"), std::string::npos)
+      << read.render();
+}
+
+TEST(SimTrace, RejectsTruncatedFile) {
+  driver::CompileResult compiled = compile(kSaturatedPipelineSource,
+                                           "sat_top");
+  support::DiagnosticEngine diags;
+  sim::Engine engine(compiled.design, diags);
+  sim::SimResult result = engine.run(base_options(compiled.design, 8, 1.0));
+  std::stringstream stream;
+  ASSERT_TRUE(sim::write_binary_trace(result, stream));
+  std::string bytes = stream.str();
+  // Chop the file at several depths; every truncation must produce a
+  // corrupt-data Status, never UB or a partial success.
+  for (std::size_t keep : {std::size_t{6}, std::size_t{18},
+                           bytes.size() / 2, bytes.size() - 1}) {
+    std::stringstream truncated(bytes.substr(0, keep));
+    sim::BinaryTrace loaded;
+    support::Status read = sim::read_binary_trace(truncated, loaded);
+    EXPECT_FALSE(read.is_ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(read.code(), support::StatusCode::kCorruptData)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(SimTrace, UnreadablePathIsIoError) {
+  sim::BinaryTrace loaded;
+  support::Status read =
+      sim::read_binary_trace("/nonexistent/dir/trace.tytr", loaded);
+  EXPECT_FALSE(read.is_ok());
+  EXPECT_EQ(read.code(), support::StatusCode::kIoError);
+  EXPECT_EQ(read.exit_code(), 3);
 }
 
 TEST(SimTrace, SlabGrowthIsChunked) {
