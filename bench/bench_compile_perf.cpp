@@ -21,16 +21,26 @@
 // template-cache hit rate falls below --min-warm-hit-rate (default 0.9), or
 // when the warm speedup falls below --min-warm-speedup (default 1.25; the
 // committed BENCH_compile.json tracks the actual measured value).
+//
+// A second section, "compile_parallel", measures the parallel
+// compile_batch at --jobs {1, 2, 4}: per-lane cold/warm wall clock, warm
+// throughput and warm hit rate, gated on byte-identity across worker
+// counts, the warm hit-rate threshold at every count, and a jobs=4-over-
+// jobs=1 speedup of --min-parallel-speedup (default 1.5) when the machine
+// has >= 4 hardware threads (a no-regression floor of
+// --min-parallel-no-regression, default 0.7, otherwise).
 #include <benchmark/benchmark.h>
 
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "bench/bench_json.hpp"
 #include "src/driver/compiler.hpp"
@@ -213,7 +223,159 @@ struct JsonOptions {
   int warm_rounds = 7;
   double min_warm_hit_rate = 0.9;
   double min_warm_speedup = 1.25;
+  /// Required warm speedup of --jobs 4 over --jobs 1 when the machine has
+  /// >= 4 hardware threads. Below that the gate degrades to a
+  /// no-regression floor: parallel dispatch on an undersized machine must
+  /// not cost more than scheduling noise.
+  double min_parallel_speedup = 1.5;
+  double min_parallel_no_regression = 0.7;
 };
+
+/// Parallel compile_batch throughput at --jobs {1, 2, 4}: cold round (fresh
+/// session) + warm rounds through the surviving session per worker count.
+/// Gates: every worker count must reproduce the jobs=1 texts byte for byte
+/// (cold and warm), reach the warm hit-rate threshold, and — when the
+/// machine actually has >= 4 hardware threads — jobs=4 must beat jobs=1 by
+/// min_parallel_speedup on the best warm round (no-regression floor
+/// otherwise; the committed BENCH_compile.json records what was measured).
+int run_compile_parallel_json(const JsonOptions& options) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::vector<tydi::driver::BatchJob> jobs = tydi::tpch::batch_jobs();
+  constexpr int kWorkerCounts[] = {1, 2, 4};
+  constexpr int kWarmRounds = 5;
+
+  struct Lane {
+    int workers = 0;
+    double cold_ms = 0.0;
+    double warm_ms = 0.0;  ///< best warm round
+    double warm_hit_rate = 0.0;
+    double warm_queries_per_sec = 0.0;
+    bool identical = true;  ///< byte-identical to the jobs=1 texts
+    std::size_t failed = 0;
+  };
+  std::vector<Lane> lanes;
+  // Texts of the jobs=1 cold round; every other (lane, round) must match.
+  std::vector<std::string> golden_vhdl;
+  std::vector<std::string> golden_ir;
+
+  for (int workers : kWorkerCounts) {
+    Lane lane;
+    lane.workers = workers;
+    tydi::driver::BatchOptions batch_options;
+    batch_options.jobs = workers;
+    batch_options.keep_texts = true;
+    tydi::driver::CompileSession session;
+
+    auto timed_round = [&](double& ms_out) {
+      const auto start = std::chrono::steady_clock::now();
+      tydi::driver::BatchResult result =
+          tydi::driver::compile_batch(session, jobs, batch_options);
+      ms_out = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+      lane.failed += result.failures;
+      if (golden_vhdl.empty()) {
+        for (const tydi::driver::BatchEntry& e : result.entries) {
+          golden_vhdl.push_back(e.vhdl_text);
+          golden_ir.push_back(e.ir_text);
+        }
+      } else {
+        for (std::size_t i = 0; i < result.entries.size(); ++i) {
+          if (result.entries[i].vhdl_text != golden_vhdl[i] ||
+              result.entries[i].ir_text != golden_ir[i]) {
+            lane.identical = false;
+          }
+        }
+      }
+      return result;
+    };
+
+    timed_round(lane.cold_ms);
+    for (int round = 0; round < kWarmRounds; ++round) {
+      double round_ms = 0.0;
+      tydi::driver::BatchResult warm = timed_round(round_ms);
+      if (round == 0 || round_ms < lane.warm_ms) lane.warm_ms = round_ms;
+      lane.warm_hit_rate = warm.template_cache.hit_rate();
+    }
+    lane.warm_queries_per_sec =
+        lane.warm_ms > 0.0
+            ? static_cast<double>(jobs.size()) / (lane.warm_ms / 1000.0)
+            : 0.0;
+    lanes.push_back(lane);
+  }
+
+  const double speedup_j4 =
+      lanes.back().warm_ms > 0.0 ? lanes.front().warm_ms / lanes.back().warm_ms
+                                 : 0.0;
+  const bool scaling_expected = hw >= 4;
+  const double required =
+      scaling_expected ? options.min_parallel_speedup
+                       : options.min_parallel_no_regression;
+
+  std::ostringstream section;
+  section << "{\n"
+          << "  \"benchmark\": \"compile_parallel\",\n"
+          << "  \"hardware_concurrency\": " << hw << ",\n"
+          << "  \"queries\": " << jobs.size() << ",\n"
+          << "  \"warm_rounds\": " << kWarmRounds << ",\n"
+          << "  \"lanes\": [\n";
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const Lane& lane = lanes[i];
+    section << "    {\"jobs\": " << lane.workers
+            << ", \"cold_ms\": " << lane.cold_ms
+            << ", \"warm_ms\": " << lane.warm_ms
+            << ", \"warm_queries_per_sec\": " << lane.warm_queries_per_sec
+            << ", \"warm_hit_rate\": " << lane.warm_hit_rate
+            << ", \"identical\": " << (lane.identical ? "true" : "false")
+            << "}" << (i + 1 < lanes.size() ? "," : "") << "\n";
+  }
+  section << "  ],\n"
+          << "  \"speedup_jobs4_over_jobs1\": " << speedup_j4 << ",\n"
+          << "  \"scaling_expected\": "
+          << (scaling_expected ? "true" : "false") << ",\n"
+          << "  \"required_speedup\": " << required << "\n"
+          << "}";
+  if (!benchjson::upsert_section(options.path, "compile_parallel",
+                                 section.str())) {
+    std::cerr << "error: cannot write " << options.path << "\n";
+    return 1;
+  }
+
+  std::cout << "compile parallel:";
+  for (const Lane& lane : lanes) {
+    std::cout << " jobs=" << lane.workers << " warm " << lane.warm_ms
+              << " ms (hit rate " << lane.warm_hit_rate << ")";
+  }
+  std::cout << "; jobs=4 speedup " << speedup_j4 << "x (required " << required
+            << (scaling_expected ? ", hw >= 4" : ", no-regression floor")
+            << ")\n";
+
+  int rc = 0;
+  for (const Lane& lane : lanes) {
+    if (lane.failed > 0) {
+      std::cerr << "error: jobs=" << lane.workers << ": " << lane.failed
+                << " compile(s) failed\n";
+      rc = 1;
+    }
+    if (!lane.identical) {
+      std::cerr << "error: jobs=" << lane.workers
+                << " output differs from jobs=1\n";
+      rc = 1;
+    }
+    if (lane.warm_hit_rate < options.min_warm_hit_rate) {
+      std::cerr << "error: jobs=" << lane.workers << " warm hit rate "
+                << lane.warm_hit_rate << " below threshold "
+                << options.min_warm_hit_rate << "\n";
+      rc = 1;
+    }
+  }
+  if (speedup_j4 < required) {
+    std::cerr << "error: jobs=4 speedup " << speedup_j4
+              << "x below required " << required << "x\n";
+    rc = 1;
+  }
+  return rc;
+}
 
 int run_compile_json(const JsonOptions& options) {
   // Cold: every round in a *fresh* session, so each pays the full
@@ -284,6 +446,8 @@ int run_compile_json(const JsonOptions& options) {
           << "  \"warm_hit_rate\": " << warm_hit_rate << ",\n"
           << "  \"determinism_ok\": " << (determinism_ok ? "true" : "false")
           << ",\n"
+          << "  \"hardware_concurrency\": "
+          << std::thread::hardware_concurrency() << ",\n"
           << "  \"peak_rss_kb\": " << peak_rss_kb() << "\n"
           << "}";
 
@@ -354,10 +518,16 @@ int main(int argc, char** argv) {
       options.min_warm_hit_rate = std::atof(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--min-warm-speedup") == 0) {
       options.min_warm_speedup = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--min-parallel-speedup") == 0) {
+      options.min_parallel_speedup = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--min-parallel-no-regression") == 0) {
+      options.min_parallel_no_regression = std::atof(argv[i + 1]);
     }
   }
   if (options.path != nullptr) {
-    return run_compile_json(options);
+    const int serial_rc = run_compile_json(options);
+    const int parallel_rc = run_compile_parallel_json(options);
+    return serial_rc != 0 ? serial_rc : parallel_rc;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

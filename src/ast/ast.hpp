@@ -4,6 +4,7 @@
 // `elab::Design` rather than mutating the AST.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -45,8 +46,21 @@ struct Ident {
   std::string name;
   /// Lazily interned `name`, cached so repeated evaluation of the same AST
   /// node (the simulator re-runs handler expressions per packet) resolves
-  /// by integer symbol without re-hashing the string.
-  mutable support::Symbol sym = support::kNoSymbol;
+  /// by integer symbol without re-hashing the string. Atomic because cached
+  /// ASTs are shared across the concurrent compiles of a session: two
+  /// compiles may race to publish the (identical) interned symbol.
+  mutable std::atomic<support::Symbol> sym{support::kNoSymbol};
+
+  Ident() = default;
+  Ident(std::string n) : name(std::move(n)) {}  // NOLINT(runtime/explicit)
+  Ident(const Ident& o)
+      : name(o.name), sym(o.sym.load(std::memory_order_relaxed)) {}
+  Ident& operator=(const Ident& o) {
+    name = o.name;
+    sym.store(o.sym.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    return *this;
+  }
 };
 struct Binary {
   BinaryOp op{};

@@ -1,8 +1,11 @@
 #include "src/driver/compiler.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "src/parser/parser.hpp"
 #include "src/stdlib/stdlib.hpp"
@@ -70,6 +73,10 @@ support::Status CompileResult::status() const {
       code = StatusCode::kDrcError;
     } else if (d.phase == "ir" || d.phase == "vhdl") {
       code = StatusCode::kEmitError;
+    } else if (d.phase == "watchdog") {
+      // Budget exceeded / externally cancelled between phases — the same
+      // class as a watchdog-aborted simulation run.
+      code = StatusCode::kAborted;
     }
     return Status::error(code, d.phase, d.message);
   }
@@ -107,6 +114,32 @@ CompileResult compile_with_session(const std::vector<NamedSource>& sources,
   CompileResult result;
   elab::SourceHashes hashes;
 
+  // Per-request guard rails: the wall-clock budget and the external cancel
+  // poll are checked between phases (a phase is never interrupted
+  // mid-flight). An exceeded budget classifies as kAborted via the
+  // "watchdog" phase tag — the same taxonomy the sim watchdog uses.
+  const auto start = std::chrono::steady_clock::now();
+  auto aborted = [&]() -> bool {
+    if (options.cancelled && options.cancelled()) {
+      result.diags->error("watchdog", "compile cancelled");
+      return true;
+    }
+    if (options.budget_ms > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (elapsed > options.budget_ms) {
+        result.diags->error(
+            "watchdog", "compile budget of " +
+                            std::to_string(options.budget_ms) +
+                            " ms exceeded");
+        return true;
+      }
+    }
+    return false;
+  };
+
   auto program = std::make_shared<elab::Program>();
   {
     PhaseTimer t(result.phase_ms, "parse");
@@ -120,6 +153,7 @@ CompileResult compile_with_session(const std::vector<NamedSource>& sources,
       if (hashes.size() <= id.value) hashes.resize(id.value + 1, 0);
       hashes[id.value] = hash;
       if (session != nullptr) {
+        std::shared_lock lock(session->parse_mu_);
         for (const CompileSession::CachedParse& c : session->parses_) {
           if (c.file_value == id.value && c.hash == hash && c.name == name) {
             program->files.push_back(c.ast);
@@ -134,6 +168,14 @@ CompileResult compile_with_session(const std::vector<NamedSource>& sources,
       // Cache only diagnostic-free parses (cached reuse replays no diags).
       if (session != nullptr &&
           result.diags->diagnostics().size() == diags_before) {
+        std::unique_lock lock(session->parse_mu_);
+        // Re-scan under the exclusive lock: a concurrent compile of the
+        // same sources may have published this parse while we parsed.
+        for (const CompileSession::CachedParse& c : session->parses_) {
+          if (c.file_value == id.value && c.hash == hash && c.name == name) {
+            return;
+          }
+        }
         session->parses_.push_back(CompileSession::CachedParse{
             name, hash, id.value, std::move(ast)});
       }
@@ -148,6 +190,7 @@ CompileResult compile_with_session(const std::vector<NamedSource>& sources,
   }
   result.program = program;
   if (result.diags->has_errors()) return result;
+  if (aborted()) return result;
 
   {
     PhaseTimer t(result.phase_ms, "elaborate");
@@ -162,12 +205,14 @@ CompileResult compile_with_session(const std::vector<NamedSource>& sources,
     result.template_cache = elaborator.stats();
   }
   if (result.diags->has_errors()) return result;
+  if (aborted()) return result;
 
   if (options.sugaring) {
     PhaseTimer t(result.phase_ms, "sugar");
     result.sugar_stats =
         sugar::apply_sugaring(result.design, options.sugar, *result.diags);
   }
+  if (aborted()) return result;
 
   // Lower once, unconditionally: every backend (DRC, IR text, VHDL) and any
   // caller-side consumer (e.g. the fletchgen manifest) reads result.ir.
@@ -177,10 +222,12 @@ CompileResult compile_with_session(const std::vector<NamedSource>& sources,
                           session != nullptr ? &session->type_cache_
                                              : nullptr);
   }
+  if (aborted()) return result;
 
   if (options.run_drc) {
     PhaseTimer t(result.phase_ms, "drc");
     result.drc_report = drc::check(result.ir, options.drc, *result.diags);
+    if (aborted()) return result;
   }
 
   if (options.emit_ir) {
@@ -242,16 +289,32 @@ support::Status load_batch_manifest(const std::string& path,
       skip(StatusCode::kCorruptData, "trailing field '" + extra + "'");
       continue;
     }
-    std::ifstream source(source_path, std::ios::binary);
-    if (!source) {
-      skip(StatusCode::kIoError, "cannot read " + source_path);
-      continue;
-    }
+    // The source field is a comma-separated file list (compile order is
+    // list order) so multi-file programs — each file keeping its own
+    // `package` header — batch as one job.
     BatchJob job;
     job.name = source_path + ":" + top;
-    job.sources.push_back(NamedSource{
-        source_path, std::string((std::istreambuf_iterator<char>(source)),
-                                 std::istreambuf_iterator<char>())});
+    bool ok = true;
+    std::istringstream paths(source_path);
+    std::string path;
+    while (std::getline(paths, path, ',')) {
+      if (path.empty()) continue;
+      std::ifstream source(path, std::ios::binary);
+      if (!source) {
+        skip(StatusCode::kIoError, "cannot read " + path);
+        ok = false;
+        break;
+      }
+      job.sources.push_back(NamedSource{
+          path, std::string((std::istreambuf_iterator<char>(source)),
+                            std::istreambuf_iterator<char>())});
+    }
+    if (!ok) continue;
+    if (job.sources.empty()) {
+      skip(StatusCode::kCorruptData, "no source files in '" + source_path +
+                                         "'");
+      continue;
+    }
     job.options.top = top;
     jobs.push_back(std::move(job));
   }
@@ -259,44 +322,83 @@ support::Status load_batch_manifest(const std::string& path,
 }
 
 BatchResult compile_batch(CompileSession& session,
-                          const std::vector<BatchJob>& jobs) {
+                          const std::vector<BatchJob>& jobs,
+                          const BatchOptions& options) {
   BatchResult out;
   // Canonical pipeline order for the aggregate, whatever phases jobs skip.
   for (const char* phase : kPipelinePhases) {
     out.phase_ms.add(phase, 0.0);
   }
-  for (const BatchJob& job : jobs) {
+  out.entries.resize(jobs.size());
+
+  // Per-job slots are filled by whichever worker claims the job off the
+  // shared cursor; aggregation runs single-threaded afterwards, in job
+  // order, so the result is independent of the schedule. Outputs are too:
+  // session compiles are byte-identical hit or miss, so interleaving only
+  // changes who pays for which cache fill.
+  auto run_job = [&](std::size_t index) {
+    const BatchJob& job = jobs[index];
+    BatchEntry& entry = out.entries[index];
+    entry.name = job.name;
     if (!job.preflight.is_ok()) {
       // The manifest loader already condemned this job; record it and move
       // on without compiling.
-      BatchEntry entry;
-      entry.name = job.name;
       entry.success = false;
       entry.status = job.preflight;
       entry.diagnostics = job.preflight.render() + "\n";
-      ++out.failures;
-      out.entries.push_back(std::move(entry));
-      continue;
+      return;
     }
     CompileResult r = session.compile(job.sources, job.options);
-    BatchEntry entry;
-    entry.name = job.name;
     entry.success = r.success();
     entry.phase_ms = r.phase_ms;
     entry.template_cache = r.template_cache;
     entry.vhdl_bytes = r.vhdl_text.size();
     entry.ir_bytes = r.ir_text.size();
+    if (options.keep_texts) {
+      entry.vhdl_text = std::move(r.vhdl_text);
+      entry.ir_text = std::move(r.ir_text);
+    }
     if (!entry.success) {
       entry.status = r.status();
       entry.diagnostics = r.report();
-      ++out.failures;
     }
-    for (const PhaseTimings::Entry& p : r.phase_ms.entries()) {
+  };
+
+  const std::size_t workers =
+      std::min<std::size_t>(jobs.size(),
+                            options.jobs > 1
+                                ? static_cast<std::size_t>(options.jobs)
+                                : 1);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i);
+  } else {
+    // Work stealing in its simplest form: an atomic cursor over the job
+    // list. Jobs are coarse (whole compiles), so contention on the cursor
+    // is negligible and idle workers always find the next unclaimed job.
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        for (;;) {
+          const std::size_t index =
+              cursor.fetch_add(1, std::memory_order_relaxed);
+          if (index >= jobs.size()) return;
+          run_job(index);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic aggregation in job order, whatever the schedule was.
+  for (const BatchEntry& entry : out.entries) {
+    if (!entry.success) ++out.failures;
+    for (const PhaseTimings::Entry& p : entry.phase_ms.entries()) {
       out.phase_ms.add(p.phase, p.ms);
     }
-    out.template_cache += r.template_cache;
+    out.template_cache += entry.template_cache;
     out.bytes_emitted += entry.vhdl_bytes + entry.ir_bytes;
-    out.entries.push_back(std::move(entry));
   }
   return out;
 }

@@ -10,7 +10,10 @@
 // bench.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -52,6 +55,16 @@ struct CompileOptions {
   bool emit_ir = true;
   bool emit_vhdl = true;
   vhdl::VhdlOptions vhdl;
+  /// Wall-clock budget for this compile in ms (0 = unlimited). Polled at
+  /// phase boundaries — an exceeded budget stops the pipeline between
+  /// phases and classifies the result as kAborted (phase "watchdog"). This
+  /// is the `tydid` per-request timeout hook; it cannot interrupt a phase
+  /// mid-flight (phases are short and bounded in practice).
+  double budget_ms = 0.0;
+  /// Optional external cancellation poll (e.g. a service watchdog's stop
+  /// flag), checked at the same phase boundaries as `budget_ms`. Must be
+  /// callable from the compiling thread; empty = never cancelled.
+  std::function<bool()> cancelled;
 };
 
 /// Wall-clock per pipeline phase. Stored as an ordered vector of
@@ -152,9 +165,21 @@ class CompileSession;
 /// invalidated by content hash of their defining file *and* of every file
 /// whose global types/constants their elaboration resolved (dependency
 /// stamps, see src/elab/memo.hpp), so editing any involved source between
-/// compiles re-elaborates instead of serving stale results. Sessions are
-/// single-threaded, like the driver. `invalidate()` drops every cache
-/// wholesale.
+/// compiles re-elaborates instead of serving stale results. `invalidate()`
+/// drops every cache wholesale.
+///
+/// Concurrency: any number of threads may call `compile` on one session
+/// simultaneously (parallel `compile_batch` workers, `tydid` request
+/// handlers). Each cache synchronizes itself — the template memo and the
+/// lowering/emission caches via shared_mutex with shared-lock lookups, the
+/// parse cache via the session's own lock — and every cache serves
+/// immutable shared payloads, so compiles never block each other outside
+/// the brief publish sections. Outputs are byte-identical whatever the
+/// interleaving: a cache hit and a fresh elaboration of the same sources
+/// produce the same bytes (golden-tested), so races only affect *which*
+/// thread fills a cache slot, never what a compile emits. `invalidate()`
+/// may race in-flight compiles safely: they keep the shared payloads they
+/// already captured and simply re-elaborate on their next lookup.
 class CompileSession {
  public:
   CompileSession() = default;
@@ -168,16 +193,22 @@ class CompileSession {
   }
 
   /// Drops every cached parse, memo entry, per-type lowering product and
-  /// per-port emission string.
+  /// per-port emission string. Safe to call while compiles are in flight:
+  /// they keep the shared payloads they already hold and re-elaborate on
+  /// their next lookup.
   void invalidate() {
     memo_.invalidate();
-    parses_.clear();
+    {
+      std::unique_lock lock(parse_mu_);
+      parses_.clear();
+    }
     type_cache_.clear();
     vhdl_cache_.clear();
   }
 
   [[nodiscard]] const elab::TemplateMemo& memo() const { return memo_; }
   [[nodiscard]] std::size_t parse_cache_size() const {
+    std::shared_lock lock(parse_mu_);
     return parses_.size();
   }
 
@@ -194,6 +225,8 @@ class CompileSession {
   };
 
   elab::TemplateMemo memo_;
+  /// Guards `parses_` (the other caches synchronize themselves).
+  mutable std::shared_mutex parse_mu_;
   std::vector<CachedParse> parses_;
   /// Per-type layouts/display reused by the "lower" phase: warm compiles
   /// receive the same TypeRefs from the memo, so lowering skips the
@@ -216,8 +249,9 @@ struct BatchJob {
   support::Status preflight = support::Status::ok();
 };
 
-/// Per-job outcome kept by compile_batch (texts are dropped; sizes and
-/// timings remain so batch reports stay cheap for large workloads).
+/// Per-job outcome kept by compile_batch (texts are dropped unless
+/// BatchOptions::keep_texts asks for them; sizes and timings remain so
+/// batch reports stay cheap for large workloads).
 struct BatchEntry {
   std::string name;
   bool success = false;
@@ -226,10 +260,28 @@ struct BatchEntry {
   std::size_t vhdl_bytes = 0;
   std::size_t ir_bytes = 0;
   std::string diagnostics;  ///< rendered only for failed jobs
+  /// Emitted texts; populated only with BatchOptions::keep_texts (the
+  /// determinism harnesses diff them across worker counts).
+  std::string vhdl_text;
+  std::string ir_text;
   /// Failure class of this job (kOk on success): the manifest loader's
   /// preflight status for skipped jobs, the compile classification
   /// otherwise.
   support::Status status;
+};
+
+/// Knobs of a batch run.
+struct BatchOptions {
+  /// Worker threads compiling jobs concurrently through the shared session.
+  /// 1 = compile inline on the calling thread (exact legacy behaviour).
+  /// Workers pull jobs from a shared atomic cursor (work stealing in the
+  /// simplest form: an idle worker immediately takes the next undone job),
+  /// and results land in per-job slots, so BatchResult::entries is always
+  /// in job order and byte-identical for any worker count.
+  int jobs = 1;
+  /// Keep each entry's emitted IR/VHDL texts (memory-heavy; meant for the
+  /// determinism tests and bench gates).
+  bool keep_texts = false;
 };
 
 struct BatchResult {
@@ -251,13 +303,23 @@ struct BatchResult {
 
 /// Compiles every job through one shared session (memo + parse cache warm
 /// across jobs) and aggregates timings — the `tydic --batch` entry point.
+/// With `options.jobs > 1` the jobs fan out across that many worker
+/// threads, all compiling through the same session; entries, aggregates
+/// and emitted bytes are identical to a serial run for any worker count.
 [[nodiscard]] BatchResult compile_batch(CompileSession& session,
-                                        const std::vector<BatchJob>& jobs);
+                                        const std::vector<BatchJob>& jobs,
+                                        const BatchOptions& options);
+[[nodiscard]] inline BatchResult compile_batch(
+    CompileSession& session, const std::vector<BatchJob>& jobs) {
+  return compile_batch(session, jobs, BatchOptions{});
+}
 
-/// Parses a batch job manifest — one `source_file top_name` pair per line
-/// (blank lines and `#` comments skipped) — and appends one BatchJob per
-/// line with the referenced source loaded and default options (stdlib +
-/// sugaring on). This is how arbitrary query sets, not just the built-in
+/// Parses a batch job manifest — one `source_files top_name` pair per line
+/// (blank lines and `#` comments skipped; `source_files` is a
+/// comma-separated file list compiled in list order, so multi-file
+/// programs with per-file `package` headers batch as one job) — and
+/// appends one BatchJob per line with the referenced sources loaded and
+/// default options (stdlib + sugaring on). This is how arbitrary query sets, not just the built-in
 /// Table IV cases, batch through one CompileSession (`tydic
 /// --batch-manifest`).
 ///

@@ -84,12 +84,15 @@ std::shared_ptr<const Impl> Design::share_impl(Symbol sym) const {
 
 Impl& Design::impl_mutable(std::size_t index) {
   std::shared_ptr<const Impl>& slot = impls_[index];
-  if (slot.use_count() > 1) {
-    // Copy-on-write: the payload is shared with a template-memo entry (or
-    // another design replaying it); give this design a private copy so the
-    // memo keeps the pristine pre-sugar elaboration.
-    slot = std::make_shared<Impl>(*slot);
-  }
+  // Copy-on-write, unconditionally: the payload may be shared with a
+  // template-memo entry or another design replaying it, and the memo must
+  // keep the pristine pre-sugar elaboration. A `use_count() == 1` in-place
+  // fast path would be a data race: use_count() is a relaxed load, so a
+  // concurrent reader releasing its reference (e.g. a memo invalidation
+  // racing this compile) is not ordered before the in-place mutation.
+  // Callers that mutate repeatedly should clone once and keep the
+  // reference — the pointee is heap-stable until this slot is replaced.
+  slot = std::make_shared<Impl>(*slot);
   return const_cast<Impl&>(*slot);  // originated as make_shared<Impl>
 }
 

@@ -173,31 +173,39 @@ bool Elaborator::materialize_memo_impl(const TemplateMemo::ImplEntry& e) {
   }
   // Validate the whole window before touching the design: a member already
   // elaborated in this compile is satisfied by the design itself, anything
-  // else must have a stamp-current memo entry.
+  // else must have a stamp-current memo entry. Payload handles are captured
+  // here, *before* any insertion, so a concurrent invalidate()/upsert
+  // between validation and replay cannot leave a half-replayed window — the
+  // snapshot below is inserted wholesale or not at all.
+  std::vector<std::pair<Symbol, std::shared_ptr<const Streamlet>>>
+      streamlet_window;
+  std::vector<std::pair<Symbol, std::shared_ptr<const Impl>>> impl_window;
   for (Symbol sym : e.dep_streamlets) {
-    if (design_.find_streamlet(sym) == nullptr &&
-        memo_.memo->valid_streamlet(sym, *memo_.hashes) == nullptr) {
-      return false;
-    }
+    if (design_.find_streamlet(sym) != nullptr) continue;
+    std::shared_ptr<const Streamlet> payload =
+        memo_.memo->valid_streamlet(sym, *memo_.hashes);
+    if (payload == nullptr) return false;
+    streamlet_window.emplace_back(sym, std::move(payload));
   }
   for (Symbol sym : e.dep_impls) {
-    if (design_.find_impl(sym) == nullptr &&
-        memo_.memo->valid_impl(sym, *memo_.hashes) == nullptr) {
-      return false;
-    }
+    if (design_.find_impl(sym) != nullptr) continue;
+    std::shared_ptr<const Impl> payload =
+        memo_.memo->valid_impl(sym, *memo_.hashes);
+    if (payload == nullptr) return false;
+    impl_window.emplace_back(sym, std::move(payload));
   }
   // Replay in recorded insertion order (skipping already-present members)
   // so a warm compile reproduces the cold compile's emission order exactly.
   // Payloads are shared, not copied — the design references the memo's
   // objects until something (the sugaring pass) copies-on-write.
-  for (Symbol sym : e.dep_streamlets) {
+  for (auto& [sym, payload] : streamlet_window) {
     if (design_.find_streamlet(sym) == nullptr) {
-      design_.add_streamlet(memo_.memo->valid_streamlet(sym, *memo_.hashes));
+      design_.add_streamlet(std::move(payload));
     }
   }
-  for (Symbol sym : e.dep_impls) {
+  for (auto& [sym, payload] : impl_window) {
     if (design_.find_impl(sym) == nullptr) {
-      design_.add_impl(memo_.memo->valid_impl(sym, *memo_.hashes));
+      design_.add_impl(std::move(payload));
     }
   }
   design_.add_impl(e.payload);
@@ -791,7 +799,7 @@ std::string Elaborator::elaborate_impl(
   // Cross-compile memo: replay the cached impl plus its recorded insertion
   // window (streamlet + transitive children) in original order.
   if (memo_.enabled()) {
-    if (const TemplateMemo::ImplEntry* entry =
+    if (std::shared_ptr<const TemplateMemo::ImplEntry> entry =
             memo_.memo->find_impl(mangled_sym, *memo_.hashes)) {
       if (materialize_memo_impl(*entry)) {
         ++stats_.impl_hits;

@@ -21,6 +21,7 @@
 #include "src/elab/design.hpp"
 #include "src/elab/memo.hpp"
 #include "src/eval/scope.hpp"
+#include "src/support/counters.hpp"
 #include "src/support/diagnostic.hpp"
 #include "src/support/intern.hpp"
 
@@ -33,14 +34,19 @@ namespace tydi::elab {
 /// driver::CompileResult and by `bench_compile_perf --json`. Hits served by
 /// a session's process-wide TemplateMemo (instead of the per-compile Design
 /// cache) are additionally counted in the session_* fields.
+///
+/// The counters are relaxed atomics (support::RelaxedCounter): each
+/// Elaborator is single-threaded, but aggregate stats structs (batch
+/// results, bench accumulators) are summed from concurrent compiles, and
+/// atomics keep every such accumulation TSan-clean without a lock.
 struct InstantiationStats {
-  std::uint64_t streamlet_hits = 0;
-  std::uint64_t streamlet_misses = 0;
-  std::uint64_t impl_hits = 0;
-  std::uint64_t impl_misses = 0;
+  support::RelaxedCounter streamlet_hits;
+  support::RelaxedCounter streamlet_misses;
+  support::RelaxedCounter impl_hits;
+  support::RelaxedCounter impl_misses;
   /// Subset of *_hits that came from the cross-compile TemplateMemo.
-  std::uint64_t session_streamlet_hits = 0;
-  std::uint64_t session_impl_hits = 0;
+  support::RelaxedCounter session_streamlet_hits;
+  support::RelaxedCounter session_impl_hits;
 
   [[nodiscard]] std::uint64_t hits() const {
     return streamlet_hits + impl_hits;

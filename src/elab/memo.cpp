@@ -1,5 +1,7 @@
 #include "src/elab/memo.hpp"
 
+#include <mutex>
+
 namespace tydi::elab {
 
 std::uint64_t source_hash(std::string_view text) {
@@ -27,75 +29,70 @@ bool entry_current(const Entry& entry, const SourceHashes& hashes) {
 /// The version whose stamps all match the current source hashes, or
 /// nullptr. At most one version's *own* stamp can match (a file id has one
 /// current hash), so the scan is deterministic.
-template <typename Entry>
-const Entry* current_version(const std::vector<Entry>& versions,
-                             const SourceHashes& hashes) {
-  for (const Entry& entry : versions) {
-    if (entry_current(entry, hashes)) return &entry;
+const TemplateMemo::ImplEntry* current_impl_version(
+    const std::vector<std::shared_ptr<const TemplateMemo::ImplEntry>>& versions,
+    const SourceHashes& hashes) {
+  for (const auto& entry : versions) {
+    if (entry_current(*entry, hashes)) return entry.get();
   }
   return nullptr;
-}
-
-/// Replaces the version with the same stamp identity, or appends.
-template <typename Entry>
-void upsert_version(std::vector<Entry>& versions, Entry entry) {
-  for (Entry& existing : versions) {
-    if (existing.stamp.file == entry.stamp.file &&
-        existing.stamp.hash == entry.stamp.hash) {
-      existing = std::move(entry);
-      return;
-    }
-  }
-  versions.push_back(std::move(entry));
 }
 
 }  // namespace
 
 std::shared_ptr<const Streamlet> TemplateMemo::find_streamlet(
     Symbol sym, const SourceHashes& hashes) {
+  std::shared_lock lock(mu_);
   auto it = streamlets_.find(sym);
   if (it == streamlets_.end()) {
     ++stats_.misses;
     return nullptr;
   }
-  const StreamletEntry* entry = current_version(it->second, hashes);
-  if (entry == nullptr) {
-    ++stats_.stale;
-    return nullptr;
+  for (const StreamletEntry& entry : it->second) {
+    if (entry_current(entry, hashes)) {
+      ++stats_.streamlet_hits;
+      return entry.payload;
+    }
   }
-  ++stats_.streamlet_hits;
-  return entry->payload;
+  ++stats_.stale;
+  return nullptr;
 }
 
-const TemplateMemo::ImplEntry* TemplateMemo::find_impl(
+std::shared_ptr<const TemplateMemo::ImplEntry> TemplateMemo::find_impl(
     Symbol sym, const SourceHashes& hashes) {
+  std::shared_lock lock(mu_);
   auto it = impls_.find(sym);
   if (it == impls_.end()) {
     ++stats_.misses;
     return nullptr;
   }
-  const ImplEntry* entry = current_version(it->second, hashes);
-  if (entry == nullptr) {
-    ++stats_.stale;
-    return nullptr;
+  for (const auto& entry : it->second) {
+    if (entry_current(*entry, hashes)) {
+      ++stats_.impl_hits;
+      return entry;
+    }
   }
-  ++stats_.impl_hits;
-  return entry;
+  ++stats_.stale;
+  return nullptr;
 }
 
 std::shared_ptr<const Streamlet> TemplateMemo::valid_streamlet(
     Symbol sym, const SourceHashes& hashes) const {
+  std::shared_lock lock(mu_);
   auto it = streamlets_.find(sym);
   if (it == streamlets_.end()) return nullptr;
-  const StreamletEntry* entry = current_version(it->second, hashes);
-  return entry != nullptr ? entry->payload : nullptr;
+  for (const StreamletEntry& entry : it->second) {
+    if (entry_current(entry, hashes)) return entry.payload;
+  }
+  return nullptr;
 }
 
 std::shared_ptr<const Impl> TemplateMemo::valid_impl(
     Symbol sym, const SourceHashes& hashes) const {
+  std::shared_lock lock(mu_);
   auto it = impls_.find(sym);
   if (it == impls_.end()) return nullptr;
-  const ImplEntry* entry = current_version(it->second, hashes);
+  const ImplEntry* entry = current_impl_version(it->second, hashes);
   return entry != nullptr ? entry->payload : nullptr;
 }
 
@@ -103,20 +100,43 @@ void TemplateMemo::put_streamlet(Symbol sym,
                                  std::shared_ptr<const Streamlet> payload,
                                  SourceStamp stamp,
                                  std::vector<SourceStamp> dep_sources) {
-  upsert_version(streamlets_[sym],
-                 StreamletEntry{std::move(payload), stamp,
-                                std::move(dep_sources)});
+  std::unique_lock lock(mu_);
+  std::vector<StreamletEntry>& versions = streamlets_[sym];
+  for (StreamletEntry& existing : versions) {
+    if (existing.stamp.file == stamp.file &&
+        existing.stamp.hash == stamp.hash) {
+      existing = StreamletEntry{std::move(payload), stamp,
+                                std::move(dep_sources)};
+      return;
+    }
+  }
+  versions.push_back(
+      StreamletEntry{std::move(payload), stamp, std::move(dep_sources)});
 }
 
 void TemplateMemo::put_impl(Symbol sym, ImplEntry entry, ProgramRef pin) {
-  upsert_version(impls_[sym], std::move(entry));
-  if (pin != nullptr &&
-      (pinned_.empty() || pinned_.back() != pin)) {
+  auto shared = std::make_shared<const ImplEntry>(std::move(entry));
+  std::unique_lock lock(mu_);
+  std::vector<std::shared_ptr<const ImplEntry>>& versions = impls_[sym];
+  bool placed = false;
+  for (auto& existing : versions) {
+    if (existing->stamp.file == shared->stamp.file &&
+        existing->stamp.hash == shared->stamp.hash) {
+      // Replace the version in place; concurrent readers holding the old
+      // snapshot keep it alive until they are done with it.
+      existing = shared;
+      placed = true;
+      break;
+    }
+  }
+  if (!placed) versions.push_back(std::move(shared));
+  if (pin != nullptr && (pinned_.empty() || pinned_.back() != pin)) {
     pinned_.push_back(std::move(pin));
   }
 }
 
 void TemplateMemo::invalidate() {
+  std::unique_lock lock(mu_);
   streamlets_.clear();
   impls_.clear();
   pinned_.clear();

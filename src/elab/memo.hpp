@@ -38,17 +38,29 @@
 //    current compile — editing a type/const in file B invalidates entries
 //    declared in untouched file A that resolved through it.
 //
-// `invalidate()` remains the wholesale escape hatch. Sessions are
-// single-threaded, like the driver.
+// `invalidate()` remains the wholesale escape hatch.
+//
+// Concurrency: the memo is shared by every concurrent compile of a session
+// (parallel `compile_batch` workers, `tydid` request handlers). A
+// shared_mutex guards the tables — lookups take the shared side, publishes
+// and invalidation the exclusive side — and the stat counters are relaxed
+// atomics. Impl entries are handed out as `shared_ptr<const ImplEntry>`
+// snapshots, so a reader replaying a window is never invalidated by a
+// concurrent upsert or `invalidate()`: the payloads it captured stay alive
+// until it drops them. Two compiles racing to publish the same entry both
+// upsert; last writer wins and both payloads are equivalent (same source
+// bytes), so warm outputs are byte-identical either way.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/elab/design.hpp"
+#include "src/support/counters.hpp"
 
 namespace tydi::elab {
 
@@ -73,13 +85,14 @@ struct SourceStamp {
 
 /// Hit/miss counters of the process-wide memo (distinct from the
 /// per-compile InstantiationStats, which also counts within-compile hits).
+/// Relaxed atomics: concurrent compiles bump them without synchronizing.
 struct MemoStats {
-  std::uint64_t streamlet_hits = 0;
-  std::uint64_t impl_hits = 0;
-  std::uint64_t misses = 0;
+  support::RelaxedCounter streamlet_hits;
+  support::RelaxedCounter impl_hits;
+  support::RelaxedCounter misses;
   /// Lookups rejected because the entry (or one of an impl's window
   /// members) no longer matches the current source text.
-  std::uint64_t stale = 0;
+  support::RelaxedCounter stale;
 };
 
 class TemplateMemo {
@@ -110,11 +123,12 @@ class TemplateMemo {
 
   /// Valid payload lookups: nullptr on miss *or* stale stamp (stat-counted).
   /// Payloads are returned as shared handles so a hit inserts into the
-  /// current Design without copying.
+  /// current Design without copying; the impl entry is a shared snapshot
+  /// that outlives any concurrent upsert/invalidate.
   [[nodiscard]] std::shared_ptr<const Streamlet> find_streamlet(
       Symbol sym, const SourceHashes& hashes);
-  [[nodiscard]] const ImplEntry* find_impl(Symbol sym,
-                                           const SourceHashes& hashes);
+  [[nodiscard]] std::shared_ptr<const ImplEntry> find_impl(
+      Symbol sym, const SourceHashes& hashes);
 
   /// Stamp-checked payload reads for window replay (no stat counting).
   [[nodiscard]] std::shared_ptr<const Streamlet> valid_streamlet(
@@ -134,9 +148,14 @@ class TemplateMemo {
 
   /// Distinct mangled names memoized (not counting per-stamp versions).
   [[nodiscard]] std::size_t streamlet_count() const {
+    std::shared_lock lock(mu_);
     return streamlets_.size();
   }
-  [[nodiscard]] std::size_t impl_count() const { return impls_.size(); }
+  [[nodiscard]] std::size_t impl_count() const {
+    std::shared_lock lock(mu_);
+    return impls_.size();
+  }
+  /// Counters are atomics; the reference is safe to read concurrently.
   [[nodiscard]] const MemoStats& stats() const { return stats_; }
 
  private:
@@ -148,12 +167,18 @@ class TemplateMemo {
 
   // One version per distinct source stamp (at most one can be current for
   // any compile: a file id has exactly one current hash). Version vectors
-  // stay tiny — one per source variant of a decl seen by the session.
+  // stay tiny — one per source variant of a decl seen by the session. Impl
+  // versions are shared_ptr'd so a lookup returns a stable snapshot while
+  // writers replace versions in place.
   std::unordered_map<Symbol, std::vector<StreamletEntry>> streamlets_;
-  std::unordered_map<Symbol, std::vector<ImplEntry>> impls_;
+  std::unordered_map<Symbol, std::vector<std::shared_ptr<const ImplEntry>>>
+      impls_;
   /// Programs whose ASTs memoized impls point into (sim blocks); kept alive
   /// for the memo lifetime.
   std::vector<ProgramRef> pinned_;
+  /// Guards the three containers above. Lookups shared, publishes and
+  /// invalidation exclusive; never held while elaborating.
+  mutable std::shared_mutex mu_;
   MemoStats stats_;
 };
 

@@ -273,8 +273,12 @@ Value evaluate(const Expr& expr, const Scope& scope) {
         } else if constexpr (std::is_same_v<T, lang::BoolLit>) {
           return Value(n.value);
         } else if constexpr (std::is_same_v<T, lang::Ident>) {
-          if (n.sym == support::kNoSymbol) n.sym = support::intern(n.name);
-          if (const Value* v = scope.lookup_ptr(n.sym)) return *v;
+          support::Symbol sym = n.sym.load(std::memory_order_relaxed);
+          if (sym == support::kNoSymbol) {
+            sym = support::intern(n.name);
+            n.sym.store(sym, std::memory_order_relaxed);
+          }
+          if (const Value* v = scope.lookup_ptr(sym)) return *v;
           fail("unknown identifier '" + n.name + "'", expr.loc);
         } else if constexpr (std::is_same_v<T, lang::Binary>) {
           return eval_binary(n, scope, expr.loc);
@@ -350,7 +354,9 @@ void prime_symbols(const Expr& expr) {
       [](const auto& n) {
         using T = std::decay_t<decltype(n)>;
         if constexpr (std::is_same_v<T, lang::Ident>) {
-          if (n.sym == support::kNoSymbol) n.sym = support::intern(n.name);
+          if (n.sym.load(std::memory_order_relaxed) == support::kNoSymbol) {
+            n.sym.store(support::intern(n.name), std::memory_order_relaxed);
+          }
         } else if constexpr (std::is_same_v<T, lang::Binary>) {
           prime_symbols(*n.lhs);
           prime_symbols(*n.rhs);

@@ -1,5 +1,8 @@
 #include "src/ir/ir.hpp"
 
+#include <memory>
+#include <mutex>
+
 #include "src/elab/design.hpp"
 #include "src/support/text.hpp"
 
@@ -128,9 +131,12 @@ IrPort lower_port(const elab::Port& p, TypeLoweringCache* cache) {
     return out;
   }
   if (cache != nullptr) {
-    const TypeLoweringCache::Entry& entry = cache->of(p.type);
-    out.type_display = entry.display;
-    out.layouts = entry.layouts;
+    // Snapshot: keeps the entry alive even if a concurrent invalidation
+    // clears the cache while this port is being lowered.
+    const std::shared_ptr<const TypeLoweringCache::Entry> entry =
+        cache->of(p.type);
+    out.type_display = entry->display;
+    out.layouts = entry->layouts;
   } else {
     TypeLoweringCache::Entry entry = compute_type_entry(p.type);
     out.type_display = std::move(entry.display);
@@ -174,17 +180,26 @@ IrEndpoint lower_endpoint(const Module& m, const IrImpl& impl,
 
 }  // namespace
 
-const TypeLoweringCache::Entry& TypeLoweringCache::of(
+std::shared_ptr<const TypeLoweringCache::Entry> TypeLoweringCache::of(
     const types::TypeRef& type) {
-  auto it = entries_.find(type.get());
-  if (it == entries_.end()) {
-    it = entries_.emplace(type.get(), compute_type_entry(type)).first;
-    pinned_.push_back(type);
+  {
+    std::shared_lock lock(mu_);
+    auto it = entries_.find(type.get());
+    if (it != entries_.end()) return it->second;
   }
+  // Compute outside the lock: the recursive physical-stream walk is the
+  // expensive part, and two threads racing on the same type produce
+  // identical entries (first publish wins, the loser's work is dropped).
+  auto computed =
+      std::make_shared<const Entry>(compute_type_entry(type));
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = entries_.emplace(type.get(), std::move(computed));
+  if (inserted) pinned_.push_back(type);
   return it->second;
 }
 
 void TypeLoweringCache::clear() {
+  std::unique_lock lock(mu_);
   entries_.clear();
   pinned_.clear();
 }

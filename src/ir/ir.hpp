@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -206,6 +208,14 @@ class Module {
 /// lowering of a memoized design skips the recursive physical-stream walk
 /// entirely. Owned by the session (bounded lifetime; `clear()` on
 /// invalidation) — the sessionless `lower(design)` never caches.
+///
+/// Thread-safe: concurrent compiles of a session lower in parallel. Reads
+/// take a shared lock; a miss computes the entry outside any lock and
+/// publishes under the exclusive lock (first writer wins, losers adopt the
+/// published entry). `of` returns an immutable shared_ptr snapshot, so a
+/// caller may keep reading its entry while a concurrent `clear()` (session
+/// invalidation racing an in-flight compile) drops the map — the snapshot
+/// keeps the payload alive until the caller releases it.
 class TypeLoweringCache {
  public:
   struct Entry {
@@ -214,14 +224,19 @@ class TypeLoweringCache {
   };
 
   /// The cached entry for `type` (computed on first sight). `type` must be
-  /// non-null.
-  const Entry& of(const types::TypeRef& type);
+  /// non-null. Never null; immutable after publication.
+  std::shared_ptr<const Entry> of(const types::TypeRef& type);
 
   void clear();
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return entries_.size();
+  }
 
  private:
-  std::unordered_map<const types::LogicalType*, Entry> entries_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<const types::LogicalType*, std::shared_ptr<const Entry>>
+      entries_;
   std::vector<types::TypeRef> pinned_;  ///< keeps key addresses alive
 };
 

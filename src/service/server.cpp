@@ -1,0 +1,202 @@
+#include "src/service/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tydi::service {
+
+using support::Status;
+using support::StatusCode;
+
+namespace {
+
+Status io_error(const std::string& what) {
+  return Status::error(StatusCode::kIoError, "service",
+                       what + ": " + std::strerror(errno));
+}
+
+/// Writes the whole buffer, retrying on EINTR / short writes.
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Binds an AF_UNIX stream socket at `path` (unlinking any stale file).
+int bind_listener(const std::string& path, int backlog, Status& status) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    status = Status::error(StatusCode::kInvalidArgument, "service",
+                           "socket path too long: " + path);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    status = io_error("socket");
+    return -1;
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    status = io_error("bind " + path);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) < 0) {
+    status = io_error("listen " + path);
+    ::close(fd);
+    return -1;
+  }
+  status = Status::ok();
+  return fd;
+}
+
+int connect_client(const std::string& path, Status& status) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    status = Status::error(StatusCode::kInvalidArgument, "service",
+                           "socket path too long: " + path);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    status = io_error("socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    status = io_error("connect " + path);
+    ::close(fd);
+    return -1;
+  }
+  status = Status::ok();
+  return fd;
+}
+
+/// Per-connection loop: one request line in, one response frame out, until
+/// EOF or a SHUTDOWN request. Buffered reads — a client may pipeline
+/// several lines into one packet.
+void serve_connection(int fd, CompileService& service,
+                      std::atomic<bool>& shutdown, int listen_fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    std::size_t eol;
+    while ((eol = buffer.find('\n')) == std::string::npos) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ::close(fd);
+        return;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string line = buffer.substr(0, eol);
+    buffer.erase(0, eol + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    Response response = service.handle_line(line);
+    if (!write_all(fd, response.serialize())) {
+      ::close(fd);
+      return;
+    }
+    if (response.shutdown) {
+      // Stop the accept loop: mark shutdown, then poke the listener awake
+      // by shutting it down (accept() returns with an error immediately).
+      shutdown.store(true, std::memory_order_release);
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(fd);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Status serve(CompileService& service, const ServerConfig& config) {
+  Status status;
+  const int listen_fd =
+      bind_listener(config.socket_path, config.backlog, status);
+  if (listen_fd < 0) return status;
+
+  std::atomic<bool> shutdown{false};
+  std::vector<std::thread> connections;
+  std::mutex connections_mu;
+
+  while (!shutdown.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // A shutdown request closes the listener under us; anything else is
+      // a real transport failure.
+      if (shutdown.load(std::memory_order_acquire)) break;
+      status = io_error("accept");
+      break;
+    }
+    std::lock_guard lock(connections_mu);
+    connections.emplace_back([fd, &service, &shutdown, listen_fd]() {
+      serve_connection(fd, service, shutdown, listen_fd);
+    });
+  }
+
+  for (std::thread& t : connections) t.join();
+  ::close(listen_fd);
+  ::unlink(config.socket_path.c_str());
+  return status;
+}
+
+Status request(const std::string& socket_path, const std::string& line,
+               Response& out) {
+  Status status;
+  const int fd = connect_client(socket_path, status);
+  if (fd < 0) return status;
+  if (!write_all(fd, line + "\n")) {
+    status = io_error("write " + socket_path);
+    ::close(fd);
+    return status;
+  }
+  // Read until the full frame is parseable (header tells us the payload
+  // length) or the peer closes early.
+  std::string wire;
+  char chunk[4096];
+  for (;;) {
+    if (parse_response(wire, out)) {
+      ::close(fd);
+      return Status::ok();
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      status = io_error("read " + socket_path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) {
+      ::close(fd);
+      return Status::error(StatusCode::kCorruptData, "service",
+                           "connection closed mid-response");
+    }
+    wire.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace tydi::service

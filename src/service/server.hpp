@@ -1,0 +1,41 @@
+// AF_UNIX transport for the compile service — the `tydid` daemon's server
+// loop and the matching one-shot client.
+//
+// The server owns a listening socket on a filesystem path and serves each
+// accepted connection on its own thread: newline-delimited request lines in,
+// serialized Response frames out (see src/service/service.hpp for the wire
+// protocol). A connection may issue any number of requests; the server
+// replies in order per connection while connections proceed fully in
+// parallel — all handlers compile through the service's single shared
+// session, which is the point of the daemon. A SHUTDOWN request stops the
+// accept loop after the reply is flushed; `serve()` then joins every
+// connection thread and removes the socket file.
+#pragma once
+
+#include <string>
+
+#include "src/service/service.hpp"
+#include "src/support/status.hpp"
+
+namespace tydi::service {
+
+struct ServerConfig {
+  /// Filesystem path of the AF_UNIX listening socket. An existing file at
+  /// the path is unlinked first (stale socket from a crashed daemon).
+  std::string socket_path;
+  int backlog = 16;
+};
+
+/// Runs the accept loop until a SHUTDOWN request (or a fatal socket error).
+/// Blocking; returns kOk after a clean shutdown.
+[[nodiscard]] support::Status serve(CompileService& service,
+                                    const ServerConfig& config);
+
+/// One-shot client: connects to `socket_path`, sends `line` (newline
+/// appended), reads back one response frame into `out`. Returns a non-ok
+/// Status only for transport failures — a compile failure arrives as a
+/// successful round-trip whose `out.status` is the remote classification.
+[[nodiscard]] support::Status request(const std::string& socket_path,
+                                      const std::string& line, Response& out);
+
+}  // namespace tydi::service

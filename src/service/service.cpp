@@ -1,0 +1,256 @@
+#include "src/service/service.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/sim/guard.hpp"
+#include "src/tpch/tpch.hpp"
+
+namespace tydi::service {
+
+using support::Status;
+using support::StatusCode;
+
+std::string Response::header() const {
+  std::string out = ok() ? "OK " : "ERR ";
+  out += std::to_string(status.exit_code());
+  out += ' ';
+  out += std::to_string(payload.size());
+  return out;
+}
+
+std::string Response::serialize() const {
+  std::string out = header();
+  out += '\n';
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+bool parse_response(std::string_view wire, Response& out) {
+  const std::size_t eol = wire.find('\n');
+  if (eol == std::string_view::npos) return false;
+  std::istringstream header(std::string(wire.substr(0, eol)));
+  std::string verdict;
+  int code = 0;
+  std::size_t bytes = 0;
+  if (!(header >> verdict >> code >> bytes)) return false;
+  if (verdict != "OK" && verdict != "ERR") return false;
+  std::string_view rest = wire.substr(eol + 1);
+  if (rest.size() < bytes) return false;
+  out.payload = std::string(rest.substr(0, bytes));
+  out.shutdown = false;
+  if (verdict == "OK") {
+    out.status = Status::ok();
+  } else {
+    // The wire carries the exit code, not the full Status; reconstruct a
+    // classification that round-trips the exit code.
+    StatusCode status_code = StatusCode::kInternal;
+    for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+      if (support::exit_code(static_cast<StatusCode>(c)) == code) {
+        status_code = static_cast<StatusCode>(c);
+        break;
+      }
+    }
+    out.status = Status::error(status_code, "service", "remote failure");
+  }
+  return true;
+}
+
+CompileService::CompileService(ServiceConfig config)
+    : config_(config) {}
+
+namespace {
+
+Response error_response(StatusCode code, const std::string& message) {
+  Response r;
+  r.status = Status::error(code, "service", message);
+  r.payload = r.status.render() + "\n";
+  return r;
+}
+
+bool parse_budget(const std::string& token, double& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || value < 0.0) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string CompileService::stats_text() const {
+  const elab::MemoStats& memo = session_.memo().stats();
+  std::ostringstream out;
+  out << "requests " << requests_.get() << "\n"
+      << "failures " << failures_.get() << "\n"
+      << "memo_streamlets " << session_.memo().streamlet_count() << "\n"
+      << "memo_impls " << session_.memo().impl_count() << "\n"
+      << "memo_streamlet_hits " << memo.streamlet_hits.get() << "\n"
+      << "memo_impl_hits " << memo.impl_hits.get() << "\n"
+      << "memo_misses " << memo.misses.get() << "\n"
+      << "memo_stale " << memo.stale.get() << "\n"
+      << "parse_cache " << session_.parse_cache_size() << "\n";
+  return out.str();
+}
+
+Response CompileService::compile_request(
+    const std::vector<driver::NamedSource>& sources,
+    driver::CompileOptions options, const std::string& emit,
+    double budget_ms) {
+  if (emit == "vhdl") {
+    options.emit_ir = false;
+    options.emit_vhdl = true;
+  } else if (emit == "ir") {
+    options.emit_ir = true;
+    options.emit_vhdl = false;
+  } else {
+    return error_response(StatusCode::kInvalidArgument,
+                          "unknown emit kind '" + emit +
+                              "' (expected vhdl|ir)");
+  }
+  if (budget_ms <= 0.0) budget_ms = config_.default_budget_ms;
+  if (config_.max_budget_ms > 0.0 &&
+      (budget_ms <= 0.0 || budget_ms > config_.max_budget_ms)) {
+    budget_ms = config_.max_budget_ms;
+  }
+
+  // Per-request watchdog: a dedicated guard + monitor thread enforcing the
+  // wall-clock budget; the driver polls the guard at phase boundaries and
+  // classifies a fired watchdog as kAborted (phase "watchdog").
+  sim::RunGuard guard;
+  sim::Watchdog::Config watchdog_config;
+  watchdog_config.wall_clock_budget_ms = budget_ms;
+  options.cancelled = [&guard]() { return guard.stop_requested(); };
+  driver::CompileResult result = [&] {
+    sim::Watchdog watchdog(guard, watchdog_config);
+    return session_.compile(sources, options);
+  }();
+
+  Response r;
+  r.status = result.status();
+  if (result.success()) {
+    r.payload = options.emit_vhdl ? std::move(result.vhdl_text)
+                                  : std::move(result.ir_text);
+  } else {
+    r.payload = result.report();
+  }
+  return r;
+}
+
+Response CompileService::handle_line(const std::string& line) {
+  ++requests_;
+  std::istringstream fields(line);
+  std::string verb;
+  if (!(fields >> verb)) {
+    ++failures_;
+    return error_response(StatusCode::kInvalidArgument, "empty request");
+  }
+
+  if (verb == "PING") {
+    Response r;
+    r.payload = "pong";
+    return r;
+  }
+  if (verb == "STATS") {
+    Response r;
+    r.payload = stats_text();
+    return r;
+  }
+  if (verb == "INVALIDATE") {
+    session_.invalidate();
+    Response r;
+    r.payload = "invalidated";
+    return r;
+  }
+  if (verb == "SHUTDOWN") {
+    Response r;
+    r.payload = "bye";
+    r.shutdown = true;
+    return r;
+  }
+
+  if (verb == "TPCH") {
+    std::string number;
+    std::string emit;
+    if (!(fields >> number >> emit)) {
+      ++failures_;
+      return error_response(StatusCode::kInvalidArgument,
+                            "usage: TPCH <n> <vhdl|ir> [budget_ms]");
+    }
+    double budget_ms = 0.0;
+    std::string budget_token;
+    if (fields >> budget_token && !parse_budget(budget_token, budget_ms)) {
+      ++failures_;
+      return error_response(StatusCode::kInvalidArgument,
+                            "bad budget_ms '" + budget_token + "'");
+    }
+    const tpch::QueryCase* query = tpch::find_query("TPC-H " + number);
+    if (query == nullptr) {
+      ++failures_;
+      return error_response(StatusCode::kInvalidArgument,
+                            "unknown TPC-H query '" + number + "'");
+    }
+    Response r = compile_request(tpch::query_sources(*query),
+                                 tpch::query_options(*query), emit,
+                                 budget_ms);
+    if (!r.ok()) ++failures_;
+    return r;
+  }
+
+  if (verb == "FILE") {
+    std::string path;
+    std::string top;
+    std::string emit;
+    if (!(fields >> path >> top >> emit)) {
+      ++failures_;
+      return error_response(
+          StatusCode::kInvalidArgument,
+          "usage: FILE <path> <top> <vhdl|ir> [budget_ms]");
+    }
+    double budget_ms = 0.0;
+    std::string budget_token;
+    if (fields >> budget_token && !parse_budget(budget_token, budget_ms)) {
+      ++failures_;
+      return error_response(StatusCode::kInvalidArgument,
+                            "bad budget_ms '" + budget_token + "'");
+    }
+    // Comma-separated file list, compiled in list order (each file keeps
+    // its own `package` header) — same convention as the batch manifest.
+    std::vector<driver::NamedSource> sources;
+    std::istringstream paths(path);
+    std::string one;
+    while (std::getline(paths, one, ',')) {
+      if (one.empty()) continue;
+      std::ifstream file(one, std::ios::binary);
+      if (!file) {
+        ++failures_;
+        return error_response(StatusCode::kIoError, "cannot read " + one);
+      }
+      sources.push_back(driver::NamedSource{
+          one, std::string((std::istreambuf_iterator<char>(file)),
+                           std::istreambuf_iterator<char>())});
+    }
+    if (sources.empty()) {
+      ++failures_;
+      return error_response(StatusCode::kInvalidArgument,
+                            "no source files in '" + path + "'");
+    }
+    driver::CompileOptions options;
+    options.top = top;
+    Response r = compile_request(sources, std::move(options), emit,
+                                 budget_ms);
+    if (!r.ok()) ++failures_;
+    return r;
+  }
+
+  ++failures_;
+  return error_response(StatusCode::kInvalidArgument,
+                        "unknown verb '" + verb + "'");
+}
+
+}  // namespace tydi::service

@@ -1,0 +1,113 @@
+// Compile service core — the `tydid` daemon minus the transport.
+//
+// A CompileService owns one long-lived driver::CompileSession (the
+// process-wide template memo, parse cache and emission caches) and answers
+// textual compile requests against it. The service is the *library*; the
+// socket server in src/service/server.hpp is a thin transport that feeds it
+// request lines and writes back serialized responses, so every protocol
+// behaviour is unit-testable without a socket.
+//
+// Wire protocol (newline-delimited, documented with examples in
+// src/driver/README.md):
+//
+//   request  := VERB [args...] "\n"            (single line, space-separated)
+//   response := ("OK" | "ERR") SP exit_code SP payload_bytes "\n"
+//               payload (exactly payload_bytes bytes) "\n"
+//
+// Verbs:
+//   PING                                liveness probe; payload "pong"
+//   STATS                               session cache counters, one per line
+//   INVALIDATE                          drop every session cache
+//   SHUTDOWN                            stop the server after this response
+//   TPCH <n> <vhdl|ir> [budget_ms]      compile built-in TPC-H query n
+//   FILE <path[,path...]> <top> <vhdl|ir> [budget_ms]
+//                                       compile .td files (comma-separated,
+//                                       compiled in list order) against
+//                                       `top`
+//
+// exit_code is the support::Status exit code of the request (stable 0-11
+// taxonomy, identical to the `tydic` process exit codes), so a client can
+// dispatch on the class — parse error vs. watchdog abort — without scraping
+// the payload. Failed compiles carry the rendered diagnostics as payload.
+//
+// Per-request timeouts reuse the PR 6 watchdog machinery: each compile
+// request gets its own sim::RunGuard + sim::Watchdog (wall-clock budget);
+// the driver polls the guard at phase boundaries and classifies a fired
+// watchdog as kAborted (phase "watchdog").
+//
+// Thread-safety: handle_line may be called from any number of transport
+// threads concurrently — the underlying session caches synchronize
+// themselves and the service's own counters are relaxed atomics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/driver/compiler.hpp"
+#include "src/support/counters.hpp"
+#include "src/support/status.hpp"
+
+namespace tydi::service {
+
+struct ServiceConfig {
+  /// Wall-clock budget applied to requests that do not name one
+  /// (ms; 0 = unlimited).
+  double default_budget_ms = 0.0;
+  /// Upper clamp on any requested budget (ms; 0 = no clamp). Lets a
+  /// deployment bound worst-case request latency whatever clients ask for.
+  double max_budget_ms = 0.0;
+};
+
+/// One answered request: the machine-readable classification plus the
+/// payload bytes (emitted text, rendered diagnostics, or meta output).
+struct Response {
+  support::Status status;
+  std::string payload;
+  /// Set by SHUTDOWN: the transport should stop accepting after replying.
+  bool shutdown = false;
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+  /// `OK 0 1234` / `ERR 4 87` — the response header line (no newline).
+  [[nodiscard]] std::string header() const;
+  /// Full wire form: header + "\n" + payload + "\n".
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Parses one serialized response back into a Response (used by the client
+/// side and the protocol tests). `wire` must contain at least one full
+/// response; trailing bytes are ignored. Returns false on a malformed
+/// header or truncated payload.
+[[nodiscard]] bool parse_response(std::string_view wire, Response& out);
+
+class CompileService {
+ public:
+  explicit CompileService(ServiceConfig config = ServiceConfig{});
+
+  /// Answers one request line (no trailing newline required). Never
+  /// throws; malformed requests produce an ERR response with
+  /// kInvalidArgument.
+  [[nodiscard]] Response handle_line(const std::string& line);
+
+  [[nodiscard]] driver::CompileSession& session() { return session_; }
+
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.get();
+  }
+  [[nodiscard]] std::uint64_t requests_failed() const {
+    return failures_.get();
+  }
+
+ private:
+  [[nodiscard]] Response compile_request(
+      const std::vector<driver::NamedSource>& sources,
+      driver::CompileOptions options, const std::string& emit,
+      double budget_ms);
+  [[nodiscard]] std::string stats_text() const;
+
+  ServiceConfig config_;
+  driver::CompileSession session_;
+  support::RelaxedCounter requests_;
+  support::RelaxedCounter failures_;
+};
+
+}  // namespace tydi::service

@@ -121,10 +121,10 @@ struct SourceInfo {
   std::vector<std::size_t> connection_indices;  // where endpoint is src
 };
 
-// NOTE: the impl under work is addressed by *index* and the mutable
-// reference re-fetched after every materialization: impl_mutable may
-// copy-on-write a payload shared with the template memo, which moves the
-// impl to a fresh object.
+// NOTE: the impl under work is addressed by *index*; the first mutation
+// clones it via impl_mutable (copy-on-write off a payload possibly shared
+// with the template memo) and the private clone is then mutated in place —
+// it is heap-stable across the add_impl calls of later materializations.
 void sugar_impl(Design& design, std::size_t impl_index,
                 const SugarOptions& options, SugarStats& stats,
                 support::DiagnosticEngine& diags) {
@@ -177,12 +177,17 @@ void sugar_impl(Design& design, std::size_t impl_index,
   }
 
   std::size_t auto_counter = 0;
+  Impl* mut = nullptr;  // lazily cloned: untouched impls stay shared
+  auto mutable_impl = [&design, impl_index, &mut]() -> Impl& {
+    if (mut == nullptr) mut = &design.impl_mutable(impl_index);
+    return *mut;
+  };
   for (const SourceInfo& src : sources) {
     const std::size_t fanout = src.connection_indices.size();
     if (fanout == 0 && options.insert_voiders) {
       // Fig. 4 left: unused output -> voider.
       std::string voider = materialize_voider(design, src.type);
-      Impl& impl = design.impl_mutable(impl_index);
+      Impl& impl = mutable_impl();
       std::string inst_name = "auto_void_" + std::to_string(auto_counter++);
       impl.instances.push_back(
           Instance{inst_name, voider, support::Loc::synthesized()});
@@ -199,7 +204,7 @@ void sugar_impl(Design& design, std::size_t impl_index,
     } else if (fanout > 1 && options.insert_duplicators) {
       // Fig. 4 right: fan-out -> duplicator with `fanout` channels.
       std::string dup = materialize_duplicator(design, src.type, fanout);
-      Impl& impl = design.impl_mutable(impl_index);
+      Impl& impl = mutable_impl();
       std::string inst_name = "auto_dup_" + std::to_string(auto_counter++);
       impl.instances.push_back(
           Instance{inst_name, dup, support::Loc::synthesized()});

@@ -32,10 +32,19 @@
 //                          CompileSession (shared template memo + parse
 //                          cache) and print per-query + aggregate timings
 //   --batch-manifest <path> compile a custom job set instead: one
-//                          "source_file top_name" per line ('#' comments),
-//                          all through one CompileSession
+//                          "source_files top_name" per line ('#' comments;
+//                          source_files is a comma-separated list compiled
+//                          in order), all through one CompileSession
 //   --batch-rounds <n>     repeat the batch n times in the same session
 //                          (round 2+ shows the warm-cache behaviour)
+//   --jobs <n>             batch worker threads (default 1). Entries and
+//                          emitted bytes are identical for any n; only
+//                          wall clock changes
+//   --dump-tpch <dir>      write each built-in TPC-H query as <dir>/q<n>.td
+//                          (Fletcher interfaces + query logic) plus a
+//                          <dir>/manifest.txt batch manifest, then exit.
+//                          Feeds the tydid smoke test and ad-hoc
+//                          --batch-manifest runs
 //   --sim-fault-seed <n>   deterministic fault-injection plan derived from
 //                          one seed (delayed mailbox posts, barrier jitter,
 //                          shard stalls, withheld credit flushes); results
@@ -75,34 +84,38 @@ int usage() {
                "[--sim-fault-plan <spec>] [--sim-watchdog-ms <ms>] "
                "[--sim-max-events <n>] [--sim-budget-ms <ms>] "
                "[--sim-rss-mb <n>] [--trace-out <path>] <file.td>...\n"
-               "       tydic --batch [--batch-rounds <n>]\n"
-               "       tydic --batch-manifest <path> [--batch-rounds <n>]\n";
+               "       tydic --batch [--batch-rounds <n>] [--jobs <n>]\n"
+               "       tydic --batch-manifest <path> [--batch-rounds <n>] "
+               "[--jobs <n>]\n"
+               "       tydic --dump-tpch <dir>\n";
   return 2;
 }
 
-int run_batch(int rounds, const std::string& manifest_path) {
+int run_batch(int rounds, const std::string& manifest_path, int jobs) {
   tydi::driver::CompileSession session;
-  std::vector<tydi::driver::BatchJob> jobs;
+  std::vector<tydi::driver::BatchJob> jobs_list;
   if (manifest_path.empty()) {
-    jobs = tydi::tpch::batch_jobs();
+    jobs_list = tydi::tpch::batch_jobs();
   } else {
     // Malformed lines become pre-failed jobs reported per entry below; only
     // an unreadable manifest is fatal here.
     tydi::support::Status loaded =
-        tydi::driver::load_batch_manifest(manifest_path, jobs);
+        tydi::driver::load_batch_manifest(manifest_path, jobs_list);
     if (!loaded.is_ok()) {
       std::cerr << "error: " << loaded.render() << "\n";
       return loaded.exit_code();
     }
-    if (jobs.empty()) {
+    if (jobs_list.empty()) {
       std::cerr << "error: manifest " << manifest_path << " lists no jobs\n";
       return 2;
     }
   }
+  tydi::driver::BatchOptions batch_options;
+  batch_options.jobs = jobs;
   tydi::support::Status status = tydi::support::Status::ok();
   for (int round = 1; round <= rounds; ++round) {
     tydi::driver::BatchResult result =
-        tydi::driver::compile_batch(session, jobs);
+        tydi::driver::compile_batch(session, jobs_list, batch_options);
     if (rounds > 1) {
       std::cout << "-- round " << round << (round == 1 ? " (cold)" : " (warm)")
                 << "\n";
@@ -111,6 +124,51 @@ int run_batch(int rounds, const std::string& manifest_path) {
     if (status.is_ok()) status = result.status();
   }
   return status.exit_code();
+}
+
+// Writes the built-in (sugared) TPC-H workload into <dir>: the shared
+// Fletcher table interfaces as fletcher.td, each query's logic as q<n>.td
+// (each keeps its own `package` header, so they stay separate files — the
+// driver prepends the stdlib at compile time), plus a manifest.txt whose
+// lines are "fletcher.td,q<n>.td <top>" in the comma-separated multi-source
+// form load_batch_manifest accepts. The dump lets external processes (the
+// tydid smoke test, ad-hoc --batch-manifest runs) compile the exact
+// workload without linking the tpch library.
+int run_dump_tpch(const std::string& dir) {
+  std::ofstream manifest(dir + "/manifest.txt", std::ios::binary);
+  if (!manifest) {
+    std::cerr << "error: cannot write " << dir << "/manifest.txt\n";
+    return 3;
+  }
+  const std::string fletcher_path = dir + "/fletcher.td";
+  {
+    std::ofstream out(fletcher_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "error: cannot write " << fletcher_path << "\n";
+      return 3;
+    }
+    out << tydi::tpch::fletcher_source();
+  }
+  for (const tydi::tpch::QueryCase& query : tydi::tpch::queries()) {
+    if (!query.note.empty()) continue;  // manifest jobs default to sugaring
+    // "TPC-H 6" -> "q6.td"
+    std::string digits;
+    for (char c : query.id) {
+      if (c >= '0' && c <= '9') digits += c;
+    }
+    const std::string path = dir + "/q" + digits + ".td";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return 3;
+    }
+    out << query.source;
+    manifest << fletcher_path << "," << path << " " << query.top_impl
+             << "\n";
+    std::cout << fletcher_path << "," << path << " " << query.top_impl
+              << "\n";
+  }
+  return 0;
 }
 
 struct SimCliOptions {
@@ -200,7 +258,9 @@ int main(int argc, char** argv) {
   bool simulate = false;
   bool batch = false;
   int batch_rounds = 1;
+  int batch_jobs = 1;
   std::string batch_manifest;
+  std::string dump_tpch_dir;
   SimCliOptions sim_cli;
 
   for (int i = 1; i < argc; ++i) {
@@ -237,6 +297,11 @@ int main(int argc, char** argv) {
       batch = true;
       batch_rounds = std::atoi(next("--batch-rounds").c_str());
       if (batch_rounds < 1) batch_rounds = 1;
+    } else if (arg == "--jobs") {
+      batch_jobs = std::atoi(next("--jobs").c_str());
+      if (batch_jobs < 1) batch_jobs = 1;
+    } else if (arg == "--dump-tpch") {
+      dump_tpch_dir = next("--dump-tpch");
     } else if (arg == "--sim") {
       simulate = true;
     } else if (arg == "--sim-shards") {
@@ -312,6 +377,7 @@ int main(int argc, char** argv) {
       sources.push_back(tydi::driver::NamedSource{arg, std::move(text)});
     }
   }
+  if (!dump_tpch_dir.empty()) return run_dump_tpch(dump_tpch_dir);
   if (batch) {
     if (!sources.empty() || !options.top.empty()) {
       std::cerr << "error: --batch compiles the built-in TPC-H workload (or "
@@ -319,7 +385,7 @@ int main(int argc, char** argv) {
                    "--top\n";
       return 2;
     }
-    return run_batch(batch_rounds, batch_manifest);
+    return run_batch(batch_rounds, batch_manifest, batch_jobs);
   }
   if (sources.empty() || options.top.empty()) return usage();
 

@@ -1,0 +1,114 @@
+// tydid — the long-lived Tydi-lang compile daemon.
+//
+// One process, one driver::CompileSession: every request compiles against
+// the same process-wide template memo and parse cache, so a fleet of
+// clients gets warm-cache compiles without each paying the stdlib
+// elaboration cost. Transport is an AF_UNIX stream socket with a
+// newline-delimited protocol (see src/service/service.hpp and
+// src/driver/README.md).
+//
+// Usage:
+//   tydid --socket <path> [--default-budget-ms <ms>] [--max-budget-ms <ms>]
+//       run the daemon (blocks until a SHUTDOWN request)
+//   tydid --socket <path> --request "<line>"
+//       one-shot client: send one request line, print the payload to
+//       stdout, exit with the response's status code — the same stable
+//       0-11 taxonomy as tydic, so scripts can dispatch identically on
+//       local and daemon compiles
+//   tydid --socket <path> --shutdown
+//       ask a running daemon to stop (client sugar for --request SHUTDOWN)
+//
+// Example session (client side):
+//   tydid --socket /tmp/tydid.sock --request "TPCH 6 vhdl" > q6.vhdl
+//   tydid --socket /tmp/tydid.sock --request "FILE my.td top_i vhdl 5000"
+//   tydid --socket /tmp/tydid.sock --request STATS
+//   tydid --socket /tmp/tydid.sock --shutdown
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/service/server.hpp"
+#include "src/service/service.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: tydid --socket <path> [--default-budget-ms <ms>] "
+         "[--max-budget-ms <ms>]\n"
+         "       tydid --socket <path> --request \"<request line>\"\n"
+         "       tydid --socket <path> --shutdown\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string request_line;
+  bool shutdown = false;
+  tydi::service::ServiceConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: missing argument for " << what << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next("--socket");
+    } else if (arg == "--request") {
+      request_line = next("--request");
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else if (arg == "--default-budget-ms") {
+      config.default_budget_ms = std::atof(next("--default-budget-ms").c_str());
+      if (config.default_budget_ms < 0) config.default_budget_ms = 0;
+    } else if (arg == "--max-budget-ms") {
+      config.max_budget_ms = std::atof(next("--max-budget-ms").c_str());
+      if (config.max_budget_ms < 0) config.max_budget_ms = 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (socket_path.empty()) return usage();
+  if (shutdown && request_line.empty()) request_line = "SHUTDOWN";
+
+  if (!request_line.empty()) {
+    // Client mode: one request, payload to stdout, remote status as exit
+    // code (transport failures are kIoError like any local I/O problem).
+    tydi::service::Response response;
+    tydi::support::Status transport =
+        tydi::service::request(socket_path, request_line, response);
+    if (!transport.is_ok()) {
+      std::cerr << "error: " << transport.render() << "\n";
+      return transport.exit_code();
+    }
+    if (response.ok()) {
+      std::cout << response.payload;
+    } else {
+      std::cerr << response.payload;
+    }
+    return response.status.exit_code();
+  }
+
+  // Daemon mode.
+  tydi::service::CompileService service(config);
+  tydi::service::ServerConfig server_config;
+  server_config.socket_path = socket_path;
+  std::cerr << "tydid: serving on " << socket_path << "\n";
+  tydi::support::Status status = tydi::service::serve(service, server_config);
+  if (!status.is_ok()) {
+    std::cerr << "error: " << status.render() << "\n";
+    return status.exit_code();
+  }
+  std::cerr << "tydid: shut down after " << service.requests_served()
+            << " request(s)\n";
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "src/vhdl/vhdl.hpp"
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "src/support/text.hpp"
@@ -97,7 +99,11 @@ std::shared_ptr<const PortEmit> build_port_emit(const IrPort& p) {
 
 /// Session-lifetime port-emission cache, keyed by (port name symbol,
 /// logical-type identity, direction). Entries self-pin their TypeRef so the
-/// pointer key stays valid for the session lifetime.
+/// pointer key stays valid for the session lifetime. Thread-safe: lookups
+/// take the shared lock; a miss builds the PortEmit outside any lock and
+/// publishes under the exclusive lock (first writer wins), so concurrent
+/// emits of a session share entries without blocking each other's string
+/// building.
 struct EmitSession::Impl {
   struct Key {
     support::Symbol name_sym = support::kNoSymbol;
@@ -118,12 +124,35 @@ struct EmitSession::Impl {
     std::shared_ptr<const PortEmit> emit;
   };
   std::unordered_map<Key, Entry, KeyHash> ports;
+  mutable std::shared_mutex mu;
+
+  [[nodiscard]] std::shared_ptr<const PortEmit> find(const Key& key) const {
+    std::shared_lock lock(mu);
+    auto it = ports.find(key);
+    return it != ports.end() ? it->second.emit : nullptr;
+  }
+  /// Publishes `emit` for `key` unless another thread got there first, and
+  /// returns the entry that ended up cached.
+  [[nodiscard]] std::shared_ptr<const PortEmit> publish(
+      const Key& key, types::TypeRef pin,
+      std::shared_ptr<const PortEmit> emit) {
+    std::unique_lock lock(mu);
+    auto [it, inserted] =
+        ports.try_emplace(key, Entry{std::move(pin), std::move(emit)});
+    return it->second.emit;
+  }
 };
 
 EmitSession::EmitSession() : impl_(std::make_unique<Impl>()) {}
 EmitSession::~EmitSession() = default;
-void EmitSession::clear() { impl_->ports.clear(); }
-std::size_t EmitSession::size() const { return impl_->ports.size(); }
+void EmitSession::clear() {
+  std::unique_lock lock(impl_->mu);
+  impl_->ports.clear();
+}
+std::size_t EmitSession::size() const {
+  std::shared_lock lock(impl_->mu);
+  return impl_->ports.size();
+}
 
 namespace {
 
@@ -207,13 +236,11 @@ class EmitCache {
     for (const IrPort& p : s.ports) {
       std::shared_ptr<const PortEmit> pe;
       if (session_ != nullptr && p.type != nullptr) {
-        EmitSession::Impl::Entry& entry = session_->ports[
-            EmitSession::Impl::Key{p.sym, p.type.get(), p.dir}];
-        if (entry.emit == nullptr) {
-          entry.pin = p.type;
-          entry.emit = build_port_emit(p);
+        const EmitSession::Impl::Key key{p.sym, p.type.get(), p.dir};
+        pe = session_->find(key);
+        if (pe == nullptr) {
+          pe = session_->publish(key, p.type, build_port_emit(p));
         }
-        pe = entry.emit;
       } else {
         pe = build_port_emit(p);
       }

@@ -42,7 +42,8 @@ struct VhdlOptions {
 /// driver::CompileSession hands warm compiles the same TypeRefs, so the
 /// emitter reuses the strings built by earlier compiles instead of
 /// rebuilding them per module. Opaque: the payload type lives in vhdl.cpp.
-/// Owned by the session (single-threaded, like the driver).
+/// Owned by the session; thread-safe (shared-lock reads, exclusive
+/// publishes) so concurrent compiles emit through one cache.
 class EmitSession {
  public:
   EmitSession();

@@ -1,0 +1,214 @@
+// Compile-service tests: the wire protocol (header/payload framing, verb
+// parsing, status-code mapping) unit-tested against CompileService, plus
+// the AF_UNIX server end-to-end — a daemon thread serving parallel client
+// requests that must be byte-identical to in-process compiles.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/server.hpp"
+#include "src/service/service.hpp"
+#include "src/tpch/tpch.hpp"
+
+namespace tydi {
+namespace {
+
+TEST(ServiceProtocol, PingPong) {
+  service::CompileService svc;
+  service::Response r = svc.handle_line("PING");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.payload, "pong");
+  EXPECT_FALSE(r.shutdown);
+  EXPECT_EQ(r.header(), "OK 0 4");
+}
+
+TEST(ServiceProtocol, ShutdownFlagsTransport) {
+  service::CompileService svc;
+  service::Response r = svc.handle_line("SHUTDOWN");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.shutdown);
+}
+
+TEST(ServiceProtocol, MalformedRequestsAreInvalidArgument) {
+  service::CompileService svc;
+  for (const char* line :
+       {"", "   ", "FROBNICATE", "TPCH", "TPCH 6", "TPCH 6 vhdl nonsense",
+        "TPCH 99 vhdl", "TPCH 6 pdf", "FILE only_two args"}) {
+    service::Response r = svc.handle_line(line);
+    EXPECT_FALSE(r.ok()) << "line: '" << line << "'";
+    EXPECT_EQ(r.status.code(), support::StatusCode::kInvalidArgument)
+        << "line: '" << line << "'";
+  }
+  EXPECT_EQ(svc.requests_failed(), 9u);
+}
+
+TEST(ServiceProtocol, MissingFileIsIoError) {
+  service::CompileService svc;
+  service::Response r =
+      svc.handle_line("FILE /nonexistent/nope.td top vhdl");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), support::StatusCode::kIoError);
+}
+
+TEST(ServiceProtocol, ParseErrorMapsToWireCode) {
+  service::CompileService svc;
+  const std::string path = "/tmp/tydi_service_bad.td";
+  {
+    std::ofstream out(path);
+    out << "this is not tydi-lang\n";
+  }
+  service::Response r = svc.handle_line("FILE " + path + " top vhdl");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), support::StatusCode::kParseError);
+  // The payload carries the rendered diagnostics.
+  EXPECT_NE(r.payload.find("error"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceProtocol, TpchCompileMatchesInProcessCompile) {
+  const tpch::QueryCase* q = tpch::find_query("TPC-H 6");
+  ASSERT_NE(q, nullptr);
+  driver::CompileResult golden = tpch::compile_query(*q);
+  ASSERT_TRUE(golden.success()) << golden.report();
+
+  service::CompileService svc;
+  service::Response vhdl = svc.handle_line("TPCH 6 vhdl");
+  ASSERT_TRUE(vhdl.ok()) << vhdl.payload;
+  EXPECT_EQ(vhdl.payload, golden.vhdl_text);
+
+  service::Response ir = svc.handle_line("TPCH 6 ir");
+  ASSERT_TRUE(ir.ok()) << ir.payload;
+  EXPECT_EQ(ir.payload, golden.ir_text);
+}
+
+TEST(ServiceProtocol, StatsReportsSessionCounters) {
+  service::CompileService svc;
+  ASSERT_TRUE(svc.handle_line("TPCH 6 vhdl").ok());
+  service::Response stats = svc.handle_line("STATS");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.payload.find("requests 2"), std::string::npos)
+      << stats.payload;
+  EXPECT_NE(stats.payload.find("memo_impls"), std::string::npos);
+  service::Response inval = svc.handle_line("INVALIDATE");
+  ASSERT_TRUE(inval.ok());
+  service::Response stats2 = svc.handle_line("STATS");
+  EXPECT_NE(stats2.payload.find("memo_impls 0"), std::string::npos)
+      << stats2.payload;
+  EXPECT_NE(stats2.payload.find("parse_cache 0"), std::string::npos);
+}
+
+TEST(ServiceProtocol, ResponseSerializeParseRoundTrip) {
+  service::Response in;
+  in.status = support::Status::error(support::StatusCode::kParseError,
+                                     "parser", "boom");
+  in.payload = "line one\nline two\n";
+  const std::string wire = in.serialize();
+  EXPECT_EQ(wire.substr(0, wire.find('\n')),
+            "ERR " + std::to_string(in.status.exit_code()) + " " +
+                std::to_string(in.payload.size()));
+
+  service::Response out;
+  ASSERT_TRUE(service::parse_response(wire, out));
+  EXPECT_EQ(out.payload, in.payload);
+  EXPECT_EQ(out.status.exit_code(), in.status.exit_code());
+  EXPECT_EQ(out.status.code(), support::StatusCode::kParseError);
+
+  service::Response ok;
+  ok.payload = "pong";
+  service::Response ok_out;
+  ASSERT_TRUE(service::parse_response(ok.serialize(), ok_out));
+  EXPECT_TRUE(ok_out.ok());
+  EXPECT_EQ(ok_out.payload, "pong");
+}
+
+TEST(ServiceProtocol, ParseResponseRejectsTruncatedFrames) {
+  service::Response out;
+  EXPECT_FALSE(service::parse_response("", out));
+  EXPECT_FALSE(service::parse_response("OK 0", out));          // no newline
+  EXPECT_FALSE(service::parse_response("OK 0 10\nshort", out));  // payload cut
+  EXPECT_FALSE(service::parse_response("WAT 0 0\n", out));
+  EXPECT_TRUE(service::parse_response("OK 0 0\n\n", out));
+  EXPECT_TRUE(out.payload.empty());
+}
+
+// End-to-end: a real daemon on a real socket, eight parallel clients, every
+// response byte-identical to the in-process compile of the same query.
+TEST(ServiceServer, ParallelClientsByteIdentical) {
+  const tpch::QueryCase* q = tpch::find_query("TPC-H 6");
+  ASSERT_NE(q, nullptr);
+  driver::CompileResult golden = tpch::compile_query(*q);
+  ASSERT_TRUE(golden.success()) << golden.report();
+
+  const std::string socket_path =
+      "/tmp/tydid_test_" + std::to_string(::getpid()) + ".sock";
+  service::CompileService svc;
+  service::ServerConfig config;
+  config.socket_path = socket_path;
+  support::Status serve_status;
+  std::thread daemon([&]() { serve_status = service::serve(svc, config); });
+
+  // Wait for the socket to appear (bind is fast; PING confirms liveness).
+  service::Response ping;
+  support::Status up;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    up = service::request(socket_path, "PING", ping);
+    if (up.is_ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(up.is_ok()) << up.render();
+
+  constexpr int kClients = 8;
+  std::vector<std::string> payloads(kClients);
+  std::vector<std::string> errors(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c]() {
+        service::Response r;
+        support::Status s = service::request(socket_path, "TPCH 6 vhdl", r);
+        if (!s.is_ok()) {
+          errors[c] = s.render();
+        } else if (!r.ok()) {
+          errors[c] = r.payload;
+        } else {
+          payloads[c] = std::move(r.payload);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(errors[c].empty()) << "client " << c << ": " << errors[c];
+    EXPECT_EQ(payloads[c], golden.vhdl_text) << "client " << c;
+  }
+
+  service::Response bye;
+  ASSERT_TRUE(service::request(socket_path, "SHUTDOWN", bye).is_ok());
+  EXPECT_TRUE(bye.shutdown || bye.payload == "bye");
+  daemon.join();
+  EXPECT_TRUE(serve_status.is_ok()) << serve_status.render();
+  // Clean shutdown removes the socket file.
+  EXPECT_NE(::access(socket_path.c_str(), F_OK), 0);
+}
+
+// One connection pipelining several requests gets ordered responses.
+TEST(ServiceServer, BudgetedRequestStillSucceeds) {
+  service::ServiceConfig config;
+  config.default_budget_ms = 60000.0;  // generous; exercises the watchdog path
+  service::CompileService svc(config);
+  service::Response r = svc.handle_line("TPCH 6 vhdl");
+  EXPECT_TRUE(r.ok()) << r.payload;
+  service::Response budgeted = svc.handle_line("TPCH 6 vhdl 60000");
+  EXPECT_TRUE(budgeted.ok()) << budgeted.payload;
+  EXPECT_EQ(budgeted.payload, r.payload);
+}
+
+}  // namespace
+}  // namespace tydi
