@@ -29,6 +29,12 @@
 // jobs=1 speedup of --min-parallel-speedup (default 1.5) when the machine
 // has >= 4 hardware threads (a no-regression floor of
 // --min-parallel-no-regression, default 0.7, otherwise).
+//
+// A third section, "obs_overhead", interleaves warm rounds with the span
+// tracer enabled and disabled and gates the traced/untraced ratio at
+// --max-obs-overhead (default 1.05), plus a registry-vs-result-struct
+// consistency check — the metrics the daemon exports and the numbers this
+// harness writes come from the same counters and must agree exactly.
 #include <benchmark/benchmark.h>
 
 #include <sys/resource.h>
@@ -44,6 +50,8 @@
 
 #include "bench/bench_json.hpp"
 #include "src/driver/compiler.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/parser/parser.hpp"
 #include "src/stdlib/stdlib.hpp"
 #include "src/support/text.hpp"
@@ -229,7 +237,117 @@ struct JsonOptions {
   /// not cost more than scheduling noise.
   double min_parallel_speedup = 1.5;
   double min_parallel_no_regression = 0.7;
+  /// Ceiling on (warm ms with span tracing enabled) / (warm ms with it
+  /// disabled). The obs layer promises low single-digit-percent overhead;
+  /// this gate is where that promise is enforced.
+  double max_obs_overhead = 1.05;
 };
+
+/// Observability overhead + consistency: warm TPC-H rounds with the span
+/// tracer enabled vs disabled, interleaved (ABAB...) so machine drift hits
+/// both sides equally, minimum-of-rounds per side. Gates on the
+/// traced/untraced ratio and on the registry counters agreeing exactly
+/// with the per-compile result structs (the "metrics can never disagree
+/// with BENCH_*.json" invariant).
+int run_obs_overhead_json(const JsonOptions& options) {
+  tydi::obs::SpanTracer& tracer = tydi::obs::SpanTracer::global();
+  auto& reg = tydi::obs::MetricsRegistry::global();
+  constexpr int kRoundsPerSide = 5;
+
+  tydi::driver::CompileSession session;
+  run_round(session, nullptr, nullptr, nullptr);  // warm the caches
+
+  // Registry-vs-struct consistency on one warm compile.
+  const std::uint64_t vhdl_bytes_before =
+      reg.counter("tydi.vhdl.bytes_emitted").value();
+  const std::uint64_t elab_before =
+      reg.counter("tydi.elab.instantiation_hits").value() +
+      reg.counter("tydi.elab.instantiation_misses").value();
+  const tydi::tpch::QueryCase* probe = tydi::tpch::find_query("TPC-H 6");
+  tydi::driver::CompileResult probe_result =
+      tydi::tpch::compile_query(*probe, session);
+  const bool registry_consistent =
+      probe_result.success() &&
+      reg.counter("tydi.vhdl.bytes_emitted").value() - vhdl_bytes_before ==
+          probe_result.vhdl_text.size() &&
+      reg.counter("tydi.elab.instantiation_hits").value() +
+              reg.counter("tydi.elab.instantiation_misses").value() -
+              elab_before ==
+          probe_result.template_cache.hits() +
+              probe_result.template_cache.misses();
+
+  double traced_ms = 0.0;
+  double untraced_ms = 0.0;
+  std::size_t spans_per_round = 0;
+  std::size_t failed = 0;
+  bool have_traced = false;
+  bool have_untraced = false;
+  for (int round = 0; round < 2 * kRoundsPerSide; ++round) {
+    const bool traced = round % 2 == 0;
+    tracer.clear();
+    tracer.set_enabled(traced);
+    const auto start = std::chrono::steady_clock::now();
+    RoundMetrics m = run_round(session, nullptr, nullptr, nullptr);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    failed += m.failed;
+    if (traced) {
+      spans_per_round = tracer.size();
+      if (!have_traced || ms < traced_ms) traced_ms = ms;
+      have_traced = true;
+    } else {
+      if (!have_untraced || ms < untraced_ms) untraced_ms = ms;
+      have_untraced = true;
+    }
+  }
+  tracer.set_enabled(false);
+  tracer.clear();
+
+  const double overhead_ratio =
+      untraced_ms > 0.0 ? traced_ms / untraced_ms : 0.0;
+
+  std::ostringstream section;
+  section << "{\n"
+          << "  \"benchmark\": \"obs_overhead\",\n"
+          << "  \"rounds_per_side\": " << kRoundsPerSide << ",\n"
+          << "  \"warm_ms_untraced\": " << untraced_ms << ",\n"
+          << "  \"warm_ms_traced\": " << traced_ms << ",\n"
+          << "  \"overhead_ratio\": " << overhead_ratio << ",\n"
+          << "  \"max_overhead_ratio\": " << options.max_obs_overhead << ",\n"
+          << "  \"spans_per_round\": " << spans_per_round << ",\n"
+          << "  \"registry_consistent\": "
+          << (registry_consistent ? "true" : "false") << "\n"
+          << "}";
+  if (!benchjson::upsert_section(options.path, "obs_overhead",
+                                 section.str())) {
+    std::cerr << "error: cannot write " << options.path << "\n";
+    return 1;
+  }
+
+  std::cout << "obs overhead: untraced " << untraced_ms << " ms, traced "
+            << traced_ms << " ms, ratio " << overhead_ratio << " (max "
+            << options.max_obs_overhead << "); " << spans_per_round
+            << " span(s)/round; registry "
+            << (registry_consistent ? "consistent" : "INCONSISTENT") << "\n";
+
+  int rc = 0;
+  if (failed > 0) {
+    std::cerr << "error: " << failed << " compile(s) failed\n";
+    rc = 1;
+  }
+  if (!registry_consistent) {
+    std::cerr << "error: metrics registry disagrees with compile result "
+                 "structs\n";
+    rc = 1;
+  }
+  if (overhead_ratio > options.max_obs_overhead) {
+    std::cerr << "error: span tracing overhead " << overhead_ratio
+              << "x above ceiling " << options.max_obs_overhead << "x\n";
+    rc = 1;
+  }
+  return rc;
+}
 
 /// Parallel compile_batch throughput at --jobs {1, 2, 4}: cold round (fresh
 /// session) + warm rounds through the surviving session per worker count.
@@ -522,12 +640,16 @@ int main(int argc, char** argv) {
       options.min_parallel_speedup = std::atof(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--min-parallel-no-regression") == 0) {
       options.min_parallel_no_regression = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--max-obs-overhead") == 0) {
+      options.max_obs_overhead = std::atof(argv[i + 1]);
     }
   }
   if (options.path != nullptr) {
     const int serial_rc = run_compile_json(options);
     const int parallel_rc = run_compile_parallel_json(options);
-    return serial_rc != 0 ? serial_rc : parallel_rc;
+    const int obs_rc = run_obs_overhead_json(options);
+    return serial_rc != 0 ? serial_rc
+                          : (parallel_rc != 0 ? parallel_rc : obs_rc);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

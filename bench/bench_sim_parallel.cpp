@@ -28,6 +28,11 @@
 // the watchdog to convert the hang into SimResult::aborted with non-empty
 // per-shard forensics.
 //
+// The obs section (BENCH_sim.json "sim_obs_overhead") interleaves traced
+// and untraced runs of the grid workload and gates the traced events/sec
+// at >= 0.95 of the untraced rate, plus a check that the metrics registry
+// mirrors (tydi.sim.runs, tydi.sim.last.events) agree with SimResult.
+//
 // With `--json <path>` the measurements are upserted into the BENCH_sim.json
 // trajectory array. `--packets <n>` shrinks the measured run for smoke use;
 // `--fault-seeds <n>` sets the sweep width (default 64).
@@ -40,6 +45,8 @@
 
 #include "bench/bench_json.hpp"
 #include "src/driver/compiler.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/sim/shard/partition.hpp"
@@ -508,6 +515,58 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Observability overhead: span tracing on vs off -------------------
+  // The sim publishes metrics once per run and times barrier waits with
+  // two clock reads per wait regardless; the only per-run delta a user can
+  // toggle is span emission. Interleaved (ABAB...) min-of-N events/sec on
+  // the grid workload, gated at >= 0.95 of the untraced rate. The same
+  // pass checks the registry mirrors: tydi.sim.runs must advance per run
+  // and the tydi.sim.last.events gauge must equal the run's event count.
+  bool obs_overhead_ok = true;
+  bool obs_registry_ok = true;
+  double obs_traced_eps = 0.0;
+  double obs_untraced_eps = 0.0;
+  constexpr double kMinObsRatio = 0.95;
+  {
+    tydi::obs::SpanTracer& tracer = tydi::obs::SpanTracer::global();
+    auto& reg = tydi::obs::MetricsRegistry::global();
+    Workload& grid = workloads.back();  // pipeline_grid_16x8
+
+    const std::uint64_t runs_before = reg.counter("tydi.sim.runs").value();
+    Measurement probe = measure(grid, 2);
+    obs_registry_ok =
+        reg.counter("tydi.sim.runs").value() == runs_before + 1 &&
+        reg.gauge("tydi.sim.last.events").value() ==
+            static_cast<double>(probe.events);
+
+    constexpr int kReps = 3;
+    double traced_s = 0.0;
+    double untraced_s = 0.0;
+    std::uint64_t events = 0;
+    for (int r = 0; r < 2 * kReps; ++r) {
+      const bool traced = r % 2 == 0;
+      tracer.clear();
+      tracer.set_enabled(traced);
+      Measurement m = measure(grid, 2);
+      events = m.events;
+      if (traced) {
+        if (traced_s == 0.0 || m.wall_seconds < traced_s) {
+          traced_s = m.wall_seconds;
+        }
+      } else if (untraced_s == 0.0 || m.wall_seconds < untraced_s) {
+        untraced_s = m.wall_seconds;
+      }
+    }
+    tracer.set_enabled(false);
+    tracer.clear();
+    obs_traced_eps =
+        traced_s > 0.0 ? static_cast<double>(events) / traced_s : 0.0;
+    obs_untraced_eps =
+        untraced_s > 0.0 ? static_cast<double>(events) / untraced_s : 0.0;
+    obs_overhead_ok = obs_untraced_eps > 0.0 &&
+                      obs_traced_eps / obs_untraced_eps >= kMinObsRatio;
+  }
+
   unsigned cores = std::thread::hardware_concurrency();
   tydi::support::TextTable table;
   table.header({"workload", "shards", "events", "wall s", "events/s",
@@ -551,7 +610,16 @@ int main(int argc, char** argv) {
             << fault_seeds << " seed(s) x shards {2,4} x {exact,credit}): "
             << (fault_sweep_ok ? "ok" : "VIOLATED " + fault_why) << "\n"
             << "watchdog converts withheld-ack hang into abort: "
-            << (watchdog_ok ? "ok" : "VIOLATED " + watchdog_why) << "\n";
+            << (watchdog_ok ? "ok" : "VIOLATED " + watchdog_why) << "\n"
+            << "obs overhead (traced/untraced events/s on grid): "
+            << tydi::support::format_fixed(
+                   obs_untraced_eps > 0.0
+                       ? obs_traced_eps / obs_untraced_eps
+                       : 0.0,
+                   3)
+            << (obs_overhead_ok ? " (ok)" : " (VIOLATED)") << "\n"
+            << "obs registry mirrors sim results: "
+            << (obs_registry_ok ? "ok" : "VIOLATED") << "\n";
 
   if (json_path != nullptr) {
     std::ostringstream out;
@@ -637,12 +705,34 @@ int main(int argc, char** argv) {
       std::cerr << "error: cannot write " << json_path << "\n";
       return 1;
     }
+    std::ostringstream obs_out;
+    obs_out << "  {\n"
+            << "    \"benchmark\": \"sim_obs_overhead\",\n"
+            << "    \"workload\": \"pipeline_grid_16x8\",\n"
+            << "    \"untraced_events_per_sec\": " << obs_untraced_eps
+            << ",\n"
+            << "    \"traced_events_per_sec\": " << obs_traced_eps << ",\n"
+            << "    \"ratio\": "
+            << (obs_untraced_eps > 0.0 ? obs_traced_eps / obs_untraced_eps
+                                       : 0.0)
+            << ",\n"
+            << "    \"min_ratio\": " << kMinObsRatio << ",\n"
+            << "    \"overhead_ok\": "
+            << (obs_overhead_ok ? "true" : "false") << ",\n"
+            << "    \"registry_ok\": "
+            << (obs_registry_ok ? "true" : "false") << "\n"
+            << "  }";
+    if (!benchjson::upsert_section(json_path, "\"sim_obs_overhead\"",
+                                   obs_out.str())) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
     std::cout << "JSON sections updated in " << json_path << "\n";
   }
 
   return partition_errors.empty() && determinism_ok && credit_equivalent &&
                  credit_fast && trace_allocs_ok && fault_sweep_ok &&
-                 watchdog_ok
+                 watchdog_ok && obs_overhead_ok && obs_registry_ok
              ? 0
              : 1;
 }

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <thread>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/parser/parser.hpp"
 #include "src/stdlib/stdlib.hpp"
 #include "src/support/text.hpp"
@@ -91,11 +93,27 @@ class PhaseTimer {
   PhaseTimer(PhaseTimings& out, std::string phase)
       : out_(out),
         phase_(std::move(phase)),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    if (obs::SpanTracer::global().enabled()) {
+      span_start_ns_ = obs::SpanTracer::now_ns();
+    }
+  }
   ~PhaseTimer() {
     auto end = std::chrono::steady_clock::now();
-    out_.add(phase_,
-             std::chrono::duration<double, std::milli>(end - start_).count());
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start_).count();
+    out_.add(phase_, ms);
+    // Mirror into the registry: one histogram per pipeline phase, plus a
+    // tracer span covering the same interval. Both are no-ops per
+    // observation beyond a shared-lock name lookup — phases are coarse.
+    obs::MetricsRegistry::global()
+        .histogram("tydi.compile.phase_ms." + phase_)
+        .observe(ms);
+    if (span_start_ns_ >= 0 && obs::SpanTracer::global().enabled()) {
+      obs::SpanTracer::global().record(
+          "compile.phase." + phase_, span_start_ns_,
+          obs::SpanTracer::now_ns() - span_start_ns_);
+    }
   }
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;
@@ -104,6 +122,41 @@ class PhaseTimer {
   PhaseTimings& out_;
   std::string phase_;
   std::chrono::steady_clock::time_point start_;
+  std::int64_t span_start_ns_ = -1;
+};
+
+/// Publishes one finished compile's telemetry to the process registry on
+/// every exit path (early error returns included): outcome counters,
+/// instantiation-cache deltas, and bytes emitted.
+struct CompilePublisher {
+  const CompileResult& result;
+  ~CompilePublisher() {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& total = reg.counter("tydi.compile.total");
+    static obs::Counter& errors = reg.counter("tydi.compile.errors");
+    static obs::Counter& aborted = reg.counter("tydi.compile.aborted");
+    static obs::Counter& inst_hits =
+        reg.counter("tydi.elab.instantiation_hits");
+    static obs::Counter& inst_misses =
+        reg.counter("tydi.elab.instantiation_misses");
+    static obs::Counter& inst_session_hits =
+        reg.counter("tydi.elab.session_hits");
+    static obs::Counter& ir_bytes = reg.counter("tydi.ir.bytes_emitted");
+    static obs::Counter& vhdl_bytes = reg.counter("tydi.vhdl.bytes_emitted");
+    ++total;
+    if (result.diags->has_errors()) {
+      if (result.status().code() == support::StatusCode::kAborted) {
+        ++aborted;
+      } else {
+        ++errors;
+      }
+    }
+    inst_hits += result.template_cache.hits();
+    inst_misses += result.template_cache.misses();
+    inst_session_hits += result.template_cache.session_hits();
+    ir_bytes += result.ir_text.size();
+    vhdl_bytes += result.vhdl_text.size();
+  }
 };
 
 }  // namespace
@@ -113,6 +166,9 @@ CompileResult compile_with_session(const std::vector<NamedSource>& sources,
                                    CompileSession* session) {
   CompileResult result;
   elab::SourceHashes hashes;
+  CompilePublisher publisher{result};
+  obs::Span compile_span("compile");
+  compile_span.arg("top", options.top);
 
   // Per-request guard rails: the wall-clock budget and the external cancel
   // poll are checked between phases (a phase is never interrupted
@@ -152,15 +208,21 @@ CompileResult compile_with_session(const std::vector<NamedSource>& sources,
       const std::uint64_t hash = elab::source_hash(stored);
       if (hashes.size() <= id.value) hashes.resize(id.value + 1, 0);
       hashes[id.value] = hash;
+      static obs::Counter& parse_hits =
+          obs::MetricsRegistry::global().counter("tydi.parse.cache_hits");
+      static obs::Counter& parse_misses =
+          obs::MetricsRegistry::global().counter("tydi.parse.cache_misses");
       if (session != nullptr) {
         std::shared_lock lock(session->parse_mu_);
         for (const CompileSession::CachedParse& c : session->parses_) {
           if (c.file_value == id.value && c.hash == hash && c.name == name) {
             program->files.push_back(c.ast);
+            ++parse_hits;
             return;
           }
         }
       }
+      if (session != nullptr) ++parse_misses;
       const std::size_t diags_before = result.diags->diagnostics().size();
       auto ast = std::make_shared<const lang::SourceFile>(
           lang::parse(stored, id, *result.diags));
@@ -336,10 +398,25 @@ BatchResult compile_batch(CompileSession& session,
   // order, so the result is independent of the schedule. Outputs are too:
   // session compiles are byte-identical hit or miss, so interleaving only
   // changes who pays for which cache fill.
-  auto run_job = [&](std::size_t index) {
+  auto run_job = [&](std::size_t index, std::size_t worker) {
     const BatchJob& job = jobs[index];
     BatchEntry& entry = out.entries[index];
     entry.name = job.name;
+    static obs::Counter& batch_jobs =
+        obs::MetricsRegistry::global().counter("tydi.batch.jobs");
+    static obs::Counter& batch_failures =
+        obs::MetricsRegistry::global().counter("tydi.batch.failures");
+    ++batch_jobs;
+    obs::Span span("batch.job");
+    span.arg("job", job.name)
+        .arg("worker", static_cast<std::int64_t>(worker));
+    struct FailureCount {
+      const BatchEntry& entry;
+      obs::Counter& failures;
+      ~FailureCount() {
+        if (!entry.success) ++failures;
+      }
+    } count_failure{entry, batch_failures};
     if (!job.preflight.is_ok()) {
       // The manifest loader already condemned this job; record it and move
       // on without compiling.
@@ -370,7 +447,7 @@ BatchResult compile_batch(CompileSession& session,
                                 ? static_cast<std::size_t>(options.jobs)
                                 : 1);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i);
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i, 0);
   } else {
     // Work stealing in its simplest form: an atomic cursor over the job
     // list. Jobs are coarse (whole compiles), so contention on the cursor
@@ -379,12 +456,12 @@ BatchResult compile_batch(CompileSession& session,
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&]() {
+      pool.emplace_back([&, w]() {
         for (;;) {
           const std::size_t index =
               cursor.fetch_add(1, std::memory_order_relaxed);
           if (index >= jobs.size()) return;
-          run_job(index);
+          run_job(index, w);
         }
       });
     }

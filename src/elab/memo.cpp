@@ -2,7 +2,35 @@
 
 #include <mutex>
 
+#include "src/obs/metrics.hpp"
+
 namespace tydi::elab {
+
+namespace {
+
+/// Process-wide mirrors of MemoStats: every memo in the process folds its
+/// hits/misses into the same tydi.memo.* counters so the daemon's METRICS
+/// snapshot reports cross-compile cache behaviour without walking
+/// sessions. (MemoStats stays the per-memo source of truth.)
+struct MemoCounters {
+  obs::Counter& streamlet_hits;
+  obs::Counter& impl_hits;
+  obs::Counter& misses;
+  obs::Counter& stale;
+
+  static MemoCounters& get() {
+    static MemoCounters* c = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return new MemoCounters{reg.counter("tydi.memo.streamlet_hits"),
+                              reg.counter("tydi.memo.impl_hits"),
+                              reg.counter("tydi.memo.misses"),
+                              reg.counter("tydi.memo.stale")};
+    }();
+    return *c;
+  }
+};
+
+}  // namespace
 
 std::uint64_t source_hash(std::string_view text) {
   std::uint64_t h = 1469598103934665603ULL;
@@ -46,15 +74,18 @@ std::shared_ptr<const Streamlet> TemplateMemo::find_streamlet(
   auto it = streamlets_.find(sym);
   if (it == streamlets_.end()) {
     ++stats_.misses;
+    ++MemoCounters::get().misses;
     return nullptr;
   }
   for (const StreamletEntry& entry : it->second) {
     if (entry_current(entry, hashes)) {
       ++stats_.streamlet_hits;
+      ++MemoCounters::get().streamlet_hits;
       return entry.payload;
     }
   }
   ++stats_.stale;
+  ++MemoCounters::get().stale;
   return nullptr;
 }
 
@@ -64,15 +95,18 @@ std::shared_ptr<const TemplateMemo::ImplEntry> TemplateMemo::find_impl(
   auto it = impls_.find(sym);
   if (it == impls_.end()) {
     ++stats_.misses;
+    ++MemoCounters::get().misses;
     return nullptr;
   }
   for (const auto& entry : it->second) {
     if (entry_current(*entry, hashes)) {
       ++stats_.impl_hits;
+      ++MemoCounters::get().impl_hits;
       return entry;
     }
   }
   ++stats_.stale;
+  ++MemoCounters::get().stale;
   return nullptr;
 }
 

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "src/elab/design.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/support/text.hpp"
 
 namespace tydi::ir {
@@ -182,11 +183,19 @@ IrEndpoint lower_endpoint(const Module& m, const IrImpl& impl,
 
 std::shared_ptr<const TypeLoweringCache::Entry> TypeLoweringCache::of(
     const types::TypeRef& type) {
+  static obs::Counter& hits =
+      obs::MetricsRegistry::global().counter("tydi.lower.type_cache_hits");
+  static obs::Counter& misses =
+      obs::MetricsRegistry::global().counter("tydi.lower.type_cache_misses");
   {
     std::shared_lock lock(mu_);
     auto it = entries_.find(type.get());
-    if (it != entries_.end()) return it->second;
+    if (it != entries_.end()) {
+      ++hits;
+      return it->second;
+    }
   }
+  ++misses;
   // Compute outside the lock: the recursive physical-stream walk is the
   // expensive part, and two threads racing on the same type produce
   // identical entries (first publish wins, the loser's work is dropped).

@@ -1,0 +1,142 @@
+// Minimal JSON syntax validator (header-only, no DOM). Used by the obs
+// golden-schema tests and the service tests to assert that METRICS /
+// HEALTH / trace exports are well-formed without pulling in a JSON
+// library — the repo's own emitters are hand-rolled, so the checker must
+// be independent of them.
+//
+// `json_valid` accepts exactly the RFC 8259 grammar (objects, arrays,
+// strings with escapes, numbers, true/false/null, arbitrary nesting).
+// It does NOT validate semantics; pair it with plain substring checks
+// for required keys.
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace tydi::obs {
+
+namespace json_detail {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+
+  [[nodiscard]] bool done() const { return i >= s.size(); }
+  [[nodiscard]] char peek() const { return done() ? '\0' : s[i]; }
+  void skip_ws() {
+    while (!done() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                       s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++i;
+    return true;
+  }
+};
+
+inline bool parse_value(Cursor& c, int depth);
+
+inline bool parse_string(Cursor& c) {
+  if (!c.eat('"')) return false;
+  while (!c.done()) {
+    char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;
+    if (ch == '\\') {
+      if (c.done()) return false;
+      char esc = c.s[c.i++];
+      if (esc == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          if (c.done() || !std::isxdigit(static_cast<unsigned char>(
+                              c.s[c.i++]))) {
+            return false;
+          }
+        }
+      } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                 esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+        return false;
+      }
+    }
+  }
+  return false;  // unterminated
+}
+
+inline bool parse_number(Cursor& c) {
+  std::size_t start = c.i;
+  c.eat('-');
+  if (c.done() || !std::isdigit(static_cast<unsigned char>(c.peek()))) {
+    return false;
+  }
+  if (c.eat('0')) {
+    // no leading zeros
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.i;
+  }
+  if (c.eat('.')) {
+    if (!std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.i;
+  }
+  if (c.peek() == 'e' || c.peek() == 'E') {
+    ++c.i;
+    if (c.peek() == '+' || c.peek() == '-') ++c.i;
+    if (!std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.i;
+  }
+  return c.i > start;
+}
+
+inline bool parse_object(Cursor& c, int depth) {
+  if (!c.eat('{')) return false;
+  c.skip_ws();
+  if (c.eat('}')) return true;
+  while (true) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (!c.eat(':')) return false;
+    if (!parse_value(c, depth)) return false;
+    c.skip_ws();
+    if (c.eat('}')) return true;
+    if (!c.eat(',')) return false;
+  }
+}
+
+inline bool parse_array(Cursor& c, int depth) {
+  if (!c.eat('[')) return false;
+  c.skip_ws();
+  if (c.eat(']')) return true;
+  while (true) {
+    if (!parse_value(c, depth)) return false;
+    c.skip_ws();
+    if (c.eat(']')) return true;
+    if (!c.eat(',')) return false;
+  }
+}
+
+inline bool parse_value(Cursor& c, int depth) {
+  if (depth > 256) return false;
+  c.skip_ws();
+  switch (c.peek()) {
+    case '{': return parse_object(c, depth + 1);
+    case '[': return parse_array(c, depth + 1);
+    case '"': return parse_string(c);
+    case 't': return c.s.substr(c.i, 4) == "true" && ((c.i += 4), true);
+    case 'f': return c.s.substr(c.i, 5) == "false" && ((c.i += 5), true);
+    case 'n': return c.s.substr(c.i, 4) == "null" && ((c.i += 4), true);
+    default: return parse_number(c);
+  }
+}
+
+}  // namespace json_detail
+
+/// True iff `text` is one complete, well-formed JSON value.
+[[nodiscard]] inline bool json_valid(std::string_view text) {
+  json_detail::Cursor c{text};
+  if (!json_detail::parse_value(c, 0)) return false;
+  c.skip_ws();
+  return c.done();
+}
+
+}  // namespace tydi::obs

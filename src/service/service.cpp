@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/guard.hpp"
 #include "src/tpch/tpch.hpp"
 
@@ -83,6 +85,50 @@ bool parse_budget(const std::string& token, double& out) {
 
 }  // namespace
 
+std::string CompileService::health_json() const {
+  const elab::MemoStats& memo = session_.memo().stats();
+  const std::uint64_t hits = memo.streamlet_hits + memo.impl_hits;
+  const std::uint64_t lookups = hits + memo.misses + memo.stale;
+  const double hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  const double uptime_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  std::string last_abort;
+  {
+    std::lock_guard lock(last_abort_mu_);
+    last_abort = last_abort_;
+  }
+  // last_abort is a rendered Status (no quotes/backslashes/control bytes in
+  // practice), but escape defensively since messages embed file paths.
+  std::string escaped;
+  for (char c : last_abort) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    escaped += c;
+  }
+  std::string out = "{\"status\":\"ok\",\"uptime_ms\":";
+  out += obs::json_number(uptime_ms);
+  out += ",\"in_flight\":";
+  out += std::to_string(in_flight_.load(std::memory_order_relaxed));
+  out += ",\"requests\":";
+  out += std::to_string(requests_.get());
+  out += ",\"failures\":";
+  out += std::to_string(failures_.get());
+  out += ",\"memo_hit_rate\":";
+  out += obs::json_number(hit_rate);
+  out += ",\"last_abort\":\"";
+  out += escaped;
+  out += "\"}";
+  return out;
+}
+
+void CompileService::record_abort(const support::Status& status) {
+  std::lock_guard lock(last_abort_mu_);
+  last_abort_ = status.render();
+}
+
 std::string CompileService::stats_text() const {
   const elab::MemoStats& memo = session_.memo().stats();
   std::ostringstream out;
@@ -138,18 +184,45 @@ Response CompileService::compile_request(
                                   : std::move(result.ir_text);
   } else {
     r.payload = result.report();
+    if (r.status.code() == StatusCode::kAborted) record_abort(r.status);
   }
   return r;
 }
 
 Response CompileService::handle_line(const std::string& line) {
   ++requests_;
+  static obs::Counter& requests_metric =
+      obs::MetricsRegistry::global().counter("tydi.service.requests");
+  static obs::Counter& failures_metric =
+      obs::MetricsRegistry::global().counter("tydi.service.failures");
+  ++requests_metric;
+  // In-flight count + per-request span: the request id ties a span in the
+  // Chrome trace back to a daemon response. Dispatch runs in its own
+  // function so the single `!ok` check below mirrors every failure path
+  // into the registry (the per-site ++failures_ stays the service-local
+  // source of truth).
+  const std::uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  struct InFlight {
+    std::atomic<std::int64_t>& counter;
+    ~InFlight() { counter.fetch_sub(1, std::memory_order_relaxed); }
+  } in_flight_guard{in_flight_};
+  Response response = dispatch_line(line, request_id);
+  if (!response.ok()) ++failures_metric;
+  return response;
+}
+
+Response CompileService::dispatch_line(const std::string& line,
+                                       std::uint64_t request_id) {
   std::istringstream fields(line);
   std::string verb;
   if (!(fields >> verb)) {
     ++failures_;
     return error_response(StatusCode::kInvalidArgument, "empty request");
   }
+  obs::Span span("service.request");
+  span.arg("verb", verb).arg("request_id", request_id);
 
   if (verb == "PING") {
     Response r;
@@ -159,6 +232,16 @@ Response CompileService::handle_line(const std::string& line) {
   if (verb == "STATS") {
     Response r;
     r.payload = stats_text();
+    return r;
+  }
+  if (verb == "METRICS") {
+    Response r;
+    r.payload = obs::MetricsRegistry::global().render_json();
+    return r;
+  }
+  if (verb == "HEALTH") {
+    Response r;
+    r.payload = health_json();
     return r;
   }
   if (verb == "INVALIDATE") {

@@ -17,6 +17,13 @@
 // Verbs:
 //   PING                                liveness probe; payload "pong"
 //   STATS                               session cache counters, one per line
+//   METRICS                             process metrics registry as JSON
+//                                       (the obs::MetricsRegistry snapshot:
+//                                       counters/gauges/histograms, stable
+//                                       key order)
+//   HEALTH                              liveness JSON: status, uptime_ms,
+//                                       in_flight, requests, failures,
+//                                       memo_hit_rate, last_abort
 //   INVALIDATE                          drop every session cache
 //   SHUTDOWN                            stop the server after this response
 //   TPCH <n> <vhdl|ir> [budget_ms]      compile built-in TPC-H query n
@@ -40,7 +47,10 @@
 // themselves and the service's own counters are relaxed atomics.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "src/driver/compiler.hpp"
@@ -96,18 +106,35 @@ class CompileService {
   [[nodiscard]] std::uint64_t requests_failed() const {
     return failures_.get();
   }
+  /// Requests currently inside handle_line (live introspection; HEALTH
+  /// reports it).
+  [[nodiscard]] std::int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
 
  private:
+  [[nodiscard]] Response dispatch_line(const std::string& line,
+                                       std::uint64_t request_id);
   [[nodiscard]] Response compile_request(
       const std::vector<driver::NamedSource>& sources,
       driver::CompileOptions options, const std::string& emit,
       double budget_ms);
   [[nodiscard]] std::string stats_text() const;
+  [[nodiscard]] std::string health_json() const;
+  void record_abort(const support::Status& status);
 
   ServiceConfig config_;
   driver::CompileSession session_;
   support::RelaxedCounter requests_;
   support::RelaxedCounter failures_;
+  std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<std::uint64_t> next_request_id_{1};
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  /// Rendered status of the most recent kAborted compile ("" if none yet);
+  /// HEALTH surfaces it so operators see watchdog fires without log diving.
+  mutable std::mutex last_abort_mu_;
+  std::string last_abort_;
 };
 
 }  // namespace tydi::service

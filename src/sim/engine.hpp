@@ -174,10 +174,10 @@ struct StateTransition {
   std::string to;
 };
 
-/// Per-shard snapshot taken when a run is aborted (watchdog fire or budget
-/// breach): what each shard was doing when the guard pulled the plug. The
-/// fields are read after every worker thread has joined, so no live state
-/// is touched.
+/// Per-shard end-of-run snapshot: what each shard was doing when the run
+/// ended — the abort point for watchdog/budget aborts, the quiesced
+/// end-state for healthy runs. The fields are read after every worker
+/// thread has joined, so no live state is touched.
 struct ShardForensics {
   int shard = 0;
   /// Time of the shard's next pending event (kInfiniteTime when its queue
@@ -215,7 +215,11 @@ struct SimResult {
   /// Machine-readable abort trigger ("watchdog-no-progress",
   /// "max-events-budget", "wall-clock-budget", "rss-budget").
   std::string abort_reason;
-  /// One snapshot per shard when `aborted` (empty otherwise).
+  /// One end-of-run snapshot per shard — populated on *every* run (the
+  /// watchdog abort path and the healthy path alike), so successful runs
+  /// expose queue/mailbox/credit end-state too. Aggregates are mirrored
+  /// into the `tydi.sim.last.*` registry gauges; `summary()` prints the
+  /// per-shard detail only for aborted runs.
   std::vector<ShardForensics> shard_forensics;
   /// Non-empty on deadlock when a wait-for cycle was found: the component
   /// paths forming the cycle.

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/fault.hpp"
 #include "src/sim/guard.hpp"
 #include "src/sim/kernel.hpp"
@@ -161,10 +164,19 @@ struct alignas(64) Slot {
   double last_time = 0.0;
 };
 
+/// Per-shard observability accumulators, written only by the owning shard
+/// thread during the run and read on the main thread after join — no
+/// atomics needed, cache-line isolated so the writes never false-share.
+struct alignas(64) ObsSlot {
+  std::int64_t barrier_wait_ns = 0;
+  std::uint64_t rounds = 0;
+};
+
 struct RoundState {
   SpinBarrier barrier;
   Mailboxes mail;
   std::vector<Slot> slots;
+  std::vector<ObsSlot> obs;
   double lookahead_ns;
   double max_time_ns;
   RunGuard& guard;
@@ -174,6 +186,7 @@ struct RoundState {
       : barrier(shards, g),
         mail(shards),
         slots(shards),
+        obs(shards),
         lookahead_ns(lookahead),
         max_time_ns(max_time),
         guard(g) {}
@@ -200,10 +213,18 @@ void shard_main_credit(int me, int shards, Kernel& kernel, RoundState& state,
     if (inject.fires(FaultInjector::Site::kBarrierArrive)) {
       inject.spin_delay();
     }
+    // Two steady_clock reads per wait: the wait itself spins/yields, so the
+    // clock cost disappears into it (gated by the sim obs-overhead bench).
+    const auto wait_start = std::chrono::steady_clock::now();
     state.barrier.arrive_and_wait();
+    state.obs[me].barrier_wait_ns +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count();
   };
   for (;;) {
     if (state.guard.stop_requested()) return;
+    ++state.obs[me].rounds;
     state.mail.drain_into(me, kernel);
     state.slots[me].next_time = kernel.next_time();
     state.slots[me].pending_batches = kernel.pending_ack_batches();
@@ -255,10 +276,18 @@ void shard_main(int me, int shards, Kernel& kernel, RoundState& state,
     if (inject.fires(FaultInjector::Site::kBarrierArrive)) {
       inject.spin_delay();
     }
+    // Two steady_clock reads per wait: the wait itself spins/yields, so the
+    // clock cost disappears into it (gated by the sim obs-overhead bench).
+    const auto wait_start = std::chrono::steady_clock::now();
     state.barrier.arrive_and_wait();
+    state.obs[me].barrier_wait_ns +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count();
   };
   for (;;) {
     if (state.guard.stop_requested()) return;
+    ++state.obs[me].rounds;
     state.mail.drain_into(me, kernel);
     state.slots[me].next_time = kernel.next_time();
     state.slots[me].ack_bound = kernel.ack_risk_bound();
@@ -310,12 +339,13 @@ void shard_main(int me, int shards, Kernel& kernel, RoundState& state,
   }
 }
 
-/// Fills the abort classification + per-shard snapshots. Runs on the main
-/// thread after every worker (and the watchdog) has stopped.
-void collect_abort(SimResult& result, const RunGuard& guard,
-                   const std::vector<Kernel*>& kernels, Mailboxes* mail) {
-  result.aborted = true;
-  result.abort_reason = std::string(to_string(guard.cause()));
+/// Fills the per-shard forensics snapshots. Runs on the main thread after
+/// every worker (and the watchdog) has stopped — for *every* run, not only
+/// aborts: a healthy run's end-state (queue/mailbox depths, credit
+/// occupancy) is the baseline the abort snapshots are read against.
+void collect_forensics(SimResult& result, const std::vector<Kernel*>& kernels,
+                       Mailboxes* mail) {
+  result.shard_forensics.clear();
   for (std::size_t s = 0; s < kernels.size(); ++s) {
     const Kernel& k = *kernels[s];
     ShardForensics f;
@@ -333,10 +363,57 @@ void collect_abort(SimResult& result, const RunGuard& guard,
   }
 }
 
+/// Publishes the finished run to the process registry: outcome counters,
+/// round/barrier telemetry, and `tydi.sim.last.*` gauges aggregated from
+/// the forensics snapshots (last-run-wins, the live-introspection view).
+void publish_run_metrics(const SimResult& result, const RoundState* state,
+                         int shards) {
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& runs = reg.counter("tydi.sim.runs");
+  static obs::Counter& aborted = reg.counter("tydi.sim.aborted");
+  static obs::Counter& deadlocks = reg.counter("tydi.sim.deadlocks");
+  static obs::Counter& events = reg.counter("tydi.sim.events");
+  static obs::Counter& rounds = reg.counter("tydi.sim.rounds");
+  ++runs;
+  if (result.aborted) ++aborted;
+  if (result.deadlock) ++deadlocks;
+  events += result.events_processed;
+  if (state != nullptr) {
+    obs::Histogram& wait_us = reg.histogram("tydi.sim.barrier_wait_us");
+    std::uint64_t total_rounds = 0;
+    for (int s = 0; s < shards; ++s) {
+      total_rounds = std::max(total_rounds, state->obs[s].rounds);
+      wait_us.observe(static_cast<double>(state->obs[s].barrier_wait_ns) /
+                      1000.0);
+    }
+    rounds += total_rounds;
+  }
+  double queue_depth = 0, mailbox_depth = 0, credit_balance = 0, unacked = 0,
+         pending_batches = 0;
+  for (const ShardForensics& f : result.shard_forensics) {
+    queue_depth += static_cast<double>(f.queue_depth);
+    mailbox_depth += static_cast<double>(f.mailbox_depth);
+    credit_balance += static_cast<double>(f.credit_balance);
+    unacked += static_cast<double>(f.unacked);
+    pending_batches += static_cast<double>(f.pending_ack_batches);
+  }
+  reg.gauge("tydi.sim.last.shards").set(shards);
+  reg.gauge("tydi.sim.last.queue_depth").set(queue_depth);
+  reg.gauge("tydi.sim.last.mailbox_depth").set(mailbox_depth);
+  reg.gauge("tydi.sim.last.credit_balance").set(credit_balance);
+  reg.gauge("tydi.sim.last.unacked").set(unacked);
+  reg.gauge("tydi.sim.last.pending_ack_batches").set(pending_batches);
+  reg.gauge("tydi.sim.last.events").set(
+      static_cast<double>(result.events_processed));
+  reg.gauge("tydi.sim.last.aborted").set(result.aborted ? 1.0 : 0.0);
+}
+
 }  // namespace
 
 SimResult run_sharded(SimGraph& graph, const SimOptions& options,
                       support::DiagnosticEngine& diags) {
+  obs::Span run_span("sim.run");
+  run_span.arg("shards", static_cast<std::int64_t>(options.shards));
   PartitionStats stats = partition_graph(
       graph, options.shards, options.auto_partition,
       options.component_weights.empty() ? nullptr
@@ -380,7 +457,12 @@ SimResult run_sharded(SimGraph& graph, const SimOptions& options,
         kernel.capped() ? options.max_time_ns : kernel.last_event_time();
     std::vector<Kernel*> kernels{&kernel};
     SimResult result = merge_results(graph, kernels, end_time, diags, aborted);
-    if (aborted) collect_abort(result, guard, kernels, /*mail=*/nullptr);
+    if (aborted) {
+      result.aborted = true;
+      result.abort_reason = std::string(to_string(guard.cause()));
+    }
+    collect_forensics(result, kernels, /*mail=*/nullptr);
+    publish_run_metrics(result, /*state=*/nullptr, /*shards=*/1);
     return result;
   }
 
@@ -413,9 +495,13 @@ SimResult run_sharded(SimGraph& graph, const SimOptions& options,
     std::vector<std::thread> threads;
     threads.reserve(shards);
     for (int s = 0; s < shards; ++s) {
-      threads.emplace_back(credit ? shard_main_credit : shard_main, s, shards,
-                           std::ref(*kernels[s]), std::ref(state),
-                           std::ref(*injectors[s]));
+      threads.emplace_back([&, s, credit]() {
+        obs::Span span("sim.shard");
+        span.arg("shard", static_cast<std::int64_t>(s))
+            .arg("mode", credit ? "credit" : "exact");
+        (credit ? shard_main_credit : shard_main)(s, shards, *kernels[s],
+                                                  state, *injectors[s]);
+      });
     }
     for (std::thread& thread : threads) thread.join();
   }  // watchdog joined: forensics below read a quiet world
@@ -434,7 +520,12 @@ SimResult run_sharded(SimGraph& graph, const SimOptions& options,
   for (auto& kernel : kernels) kernel_ptrs.push_back(kernel.get());
   SimResult result =
       merge_results(graph, kernel_ptrs, end_time, diags, aborted);
-  if (aborted) collect_abort(result, guard, kernel_ptrs, &state.mail);
+  if (aborted) {
+    result.aborted = true;
+    result.abort_reason = std::string(to_string(guard.cause()));
+  }
+  collect_forensics(result, kernel_ptrs, &state.mail);
+  publish_run_metrics(result, &state, shards);
   return result;
 }
 

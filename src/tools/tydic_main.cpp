@@ -11,7 +11,13 @@
 //   --emit-vhdl <path>     write generated VHDL
 //   --emit-manifest <path> write the fletchgen reader manifest
 //   --summary              print the design inventory
-//   --timings              print per-phase wall clock (pipeline order)
+//   --timings              print per-phase wall clock (pipeline order),
+//                          cache hit rates, and bytes emitted (from the
+//                          process metrics registry)
+//   --metrics-out <path>   write the metrics registry snapshot (counters /
+//                          gauges / histograms, stable-sorted JSON) on exit
+//   --trace-profile <path> enable span tracing and write a Chrome
+//                          trace-event JSON (load in about:tracing) on exit
 //   --sim                  simulate the elaborated design (generic stimuli
 //                          on every top input) and print the report
 //   --sim-shards <n>       simulation shards / worker threads (implies
@@ -67,6 +73,8 @@
 
 #include "src/driver/compiler.hpp"
 #include "src/fletcher/fletchgen.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/sim/trace.hpp"
@@ -87,8 +95,39 @@ int usage() {
                "       tydic --batch [--batch-rounds <n>] [--jobs <n>]\n"
                "       tydic --batch-manifest <path> [--batch-rounds <n>] "
                "[--jobs <n>]\n"
-               "       tydic --dump-tpch <dir>\n";
+               "       tydic --dump-tpch <dir>\n"
+               "  (any mode also accepts --metrics-out <path> and "
+               "--trace-profile <path>)\n";
   return 2;
+}
+
+/// Cache hit rates + bytes emitted, read back from the process metrics
+/// registry (--timings). The same counters the daemon's METRICS verb
+/// exports, so the CLI and the service can never disagree.
+void print_cache_report(std::ostream& out) {
+  auto& reg = tydi::obs::MetricsRegistry::global();
+  auto rate = [&](const char* hits_name, const char* misses_name) {
+    const std::uint64_t hits = reg.counter(hits_name).value();
+    const std::uint64_t total = hits + reg.counter(misses_name).value();
+    std::string s = total == 0
+                        ? std::string("-")
+                        : tydi::obs::json_number(
+                              static_cast<double>(hits) / total);
+    return s + " (" + std::to_string(hits) + "/" + std::to_string(total) +
+           ")";
+  };
+  out << "caches: elab "
+      << rate("tydi.elab.instantiation_hits", "tydi.elab.instantiation_misses")
+      << " | parse "
+      << rate("tydi.parse.cache_hits", "tydi.parse.cache_misses")
+      << " | types "
+      << rate("tydi.lower.type_cache_hits", "tydi.lower.type_cache_misses")
+      << " | ports "
+      << rate("tydi.vhdl.port_cache_hits", "tydi.vhdl.port_cache_misses")
+      << "\n";
+  out << "bytes: ir " << reg.counter("tydi.ir.bytes_emitted").value()
+      << " | vhdl " << reg.counter("tydi.vhdl.bytes_emitted").value()
+      << "\n";
 }
 
 int run_batch(int rounds, const std::string& manifest_path, int jobs) {
@@ -245,9 +284,12 @@ bool write_file(const std::string& path, const std::string& text) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// The real CLI body. The obs output paths are collected here and written
+/// by main() once, after every mode (batch, sim, single compile) has
+/// returned — so --metrics-out / --trace-profile capture the whole run
+/// whatever path it took.
+int run(int argc, char** argv, std::string& metrics_out,
+        std::string& trace_profile) {
   tydi::driver::CompileOptions options;
   std::vector<tydi::driver::NamedSource> sources;
   std::string ir_path;
@@ -364,6 +406,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out") {
       simulate = true;
       sim_cli.trace_out = next("--trace-out");
+    } else if (arg == "--metrics-out") {
+      metrics_out = next("--metrics-out");
+    } else if (arg == "--trace-profile") {
+      trace_profile = next("--trace-profile");
+      tydi::obs::SpanTracer::global().set_enabled(true);
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else {
@@ -385,7 +432,11 @@ int main(int argc, char** argv) {
                    "--top\n";
       return 2;
     }
-    return run_batch(batch_rounds, batch_manifest, batch_jobs);
+    const int code = run_batch(batch_rounds, batch_manifest, batch_jobs);
+    // The batch renderer already prints per-query wall clock; --timings
+    // adds the session-wide cache behaviour on top.
+    if (timings) print_cache_report(std::cerr);
+    return code;
   }
   if (sources.empty() || options.top.empty()) return usage();
 
@@ -396,7 +447,10 @@ int main(int argc, char** argv) {
     std::cerr << "compilation failed\n";
     return result.status().exit_code();
   }
-  if (timings) std::cerr << "phases: " << result.phase_ms.render() << "\n";
+  if (timings) {
+    std::cerr << "phases: " << result.phase_ms.render() << "\n";
+    print_cache_report(std::cerr);
+  }
   if (summary) std::cout << result.design.summary();
   if (!ir_path.empty()) {
     if (!write_file(ir_path, result.ir_text)) return 1;
@@ -414,4 +468,28 @@ int main(int argc, char** argv) {
   }
   if (simulate) return run_simulation(result, sim_cli);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::string trace_profile;
+  const int code = run(argc, argv, metrics_out, trace_profile);
+  // Obs outputs are written whatever `code` is — a failed or aborted run's
+  // metrics and trace are exactly what a post-mortem needs. An unwritable
+  // path degrades the exit code only if the run itself succeeded.
+  int obs_code = 0;
+  if (!metrics_out.empty() &&
+      !write_file(metrics_out,
+                  tydi::obs::MetricsRegistry::global().render_json() + "\n")) {
+    obs_code = 3;
+  }
+  if (!trace_profile.empty() &&
+      !write_file(trace_profile,
+                  tydi::obs::SpanTracer::global().export_chrome_json() +
+                      "\n")) {
+    obs_code = 3;
+  }
+  return code != 0 ? code : obs_code;
 }

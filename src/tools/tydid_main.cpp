@@ -22,7 +22,15 @@
 //   tydid --socket /tmp/tydid.sock --request "TPCH 6 vhdl" > q6.vhdl
 //   tydid --socket /tmp/tydid.sock --request "FILE my.td top_i vhdl 5000"
 //   tydid --socket /tmp/tydid.sock --request STATS
+//   tydid --socket /tmp/tydid.sock --request METRICS   # registry JSON
+//   tydid --socket /tmp/tydid.sock --request HEALTH    # uptime/in-flight
 //   tydid --socket /tmp/tydid.sock --shutdown
+//
+// METRICS returns the process obs::MetricsRegistry snapshot (counters,
+// gauges, histograms under tydi.<subsystem>.*, stable key order); HEALTH
+// returns a small liveness JSON (status, uptime_ms, in_flight, requests,
+// failures, memo_hit_rate, last_abort). Both are safe to poll while
+// compiles are in flight.
 #include <cstdlib>
 #include <iostream>
 #include <string>

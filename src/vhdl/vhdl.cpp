@@ -5,6 +5,7 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "src/obs/metrics.hpp"
 #include "src/support/text.hpp"
 #include "src/vhdl/rtl_lib.hpp"
 
@@ -236,10 +237,17 @@ class EmitCache {
     for (const IrPort& p : s.ports) {
       std::shared_ptr<const PortEmit> pe;
       if (session_ != nullptr && p.type != nullptr) {
+        static obs::Counter& hits = obs::MetricsRegistry::global().counter(
+            "tydi.vhdl.port_cache_hits");
+        static obs::Counter& misses = obs::MetricsRegistry::global().counter(
+            "tydi.vhdl.port_cache_misses");
         const EmitSession::Impl::Key key{p.sym, p.type.get(), p.dir};
         pe = session_->find(key);
         if (pe == nullptr) {
+          ++misses;
           pe = session_->publish(key, p.type, build_port_emit(p));
+        } else {
+          ++hits;
         }
       } else {
         pe = build_port_emit(p);

@@ -1,0 +1,274 @@
+// Observability layer tests: metrics registry semantics (counter / gauge /
+// histogram, bucket boundaries, stable JSON export), span tracer behaviour
+// (ring overwrite, args escaping, Chrome trace schema), and — the part CI
+// runs under TSan in the sim-shard-tsan job — 8 threads hammering shared
+// counters/histograms and emitting spans concurrently, which is where the
+// registry's registration locking and the tracer's per-ring discipline are
+// actually enforced. Ends with the golden-schema test: a traced TPC-H
+// batch compile must export valid Chrome trace-event JSON containing the
+// pipeline's span taxonomy.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/driver/compiler.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/tpch/tpch.hpp"
+
+namespace tydi {
+namespace {
+
+TEST(Metrics, CounterGaugeBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("t.c");
+  EXPECT_EQ(c.value(), 0u);
+  ++c;
+  c += 41;
+  EXPECT_EQ(c.value(), 42u);
+  // Re-requesting the name returns the same instrument.
+  EXPECT_EQ(&reg.counter("t.c"), &c);
+  EXPECT_EQ(reg.counter("t.c").value(), 42u);
+
+  obs::Gauge& g = reg.gauge("t.g");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("t.h", {1.0, 2.0, 5.0});
+  // A value exactly on a bound lands in that bound's bucket (v <= bound).
+  h.observe(1.0);   // le=1
+  h.observe(1.5);   // le=2
+  h.observe(2.0);   // le=2
+  h.observe(5.0);   // le=5
+  h.observe(5.001); // overflow
+  h.observe(0.0);   // le=1
+  h.observe(-3.0);  // le=1 (no underflow bucket; first bucket catches all)
+  const std::vector<std::uint64_t> cum = h.bucket_counts();
+  ASSERT_EQ(cum.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(cum[0], 3u);      // <= 1
+  EXPECT_EQ(cum[1], 5u);      // <= 2
+  EXPECT_EQ(cum[2], 6u);      // <= 5
+  EXPECT_EQ(cum[3], 7u);      // everything
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.5 + 2.0 + 5.0 + 5.001 + 0.0 - 3.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_counts().back(), 0u);
+}
+
+TEST(Metrics, RenderJsonIsValidSortedAndStable) {
+  obs::MetricsRegistry reg;
+  reg.counter("tydi.b.count") += 2;
+  reg.counter("tydi.a.count") += 1;
+  reg.gauge("tydi.z.depth").set(3.25);
+  reg.histogram("tydi.m.ms", {1.0, 10.0}).observe(0.5);
+  const std::string json = reg.render_json();
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  // Name-sorted within each section.
+  EXPECT_LT(json.find("tydi.a.count"), json.find("tydi.b.count"));
+  EXPECT_NE(json.find("\"tydi.z.depth\":3.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos) << json;
+  // Byte-stable across renders with unchanged values.
+  EXPECT_EQ(json, reg.render_json());
+}
+
+TEST(Metrics, EightThreadsHammerSharedInstruments) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&reg, t]() {
+      // Mixed first-sight registration and hot-path increments: half the
+      // names are shared by all threads, half are per-thread, so both the
+      // shared-lock lookup and the exclusive create race are exercised.
+      obs::Counter& shared_counter = reg.counter("hammer.shared");
+      obs::Histogram& shared_hist = reg.histogram("hammer.ms", {1.0, 10.0});
+      obs::Counter& own = reg.counter("hammer.t" + std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        ++shared_counter;
+        ++own;
+        shared_hist.observe(static_cast<double>(i % 20));
+        if (i % 1024 == 0) {
+          // Concurrent export while writers are hot must stay well-formed.
+          EXPECT_TRUE(obs::json_valid(reg.render_json()));
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(reg.counter("hammer.shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("hammer.t" + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIters));
+  }
+  obs::Histogram& h = reg.histogram("hammer.ms");
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.bucket_counts().back(), h.count());
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  obs::SpanTracer tracer;
+  {
+    obs::Span span(tracer, "noop");
+    span.arg("k", std::string_view("v"));
+  }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Trace, SpansRecordNamesArgsAndDurations) {
+  obs::SpanTracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::Span span(tracer, "work");
+    span.arg("query", std::int64_t{6}).arg("kind", std::string_view("vhdl"));
+  }
+  tracer.record("manual", -1000, 50, "\"x\":1");
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // snapshot() sorts by start time; the manual record's negative start
+  // sorts deterministically before the RAII span's clock reading.
+  EXPECT_EQ(spans[0].name, "manual");
+  EXPECT_EQ(spans[1].name, "work");
+  EXPECT_EQ(spans[1].args, "\"query\":6,\"kind\":\"vhdl\"");
+  EXPECT_GE(spans[1].dur_ns, 0);
+
+  const std::string json = tracer.export_chrome_json();
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"query\":6,\"kind\":\"vhdl\"}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(Trace, ArgsWithQuotesAndNewlinesStayValidJson) {
+  obs::SpanTracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::Span span(tracer, "weird \"name\"");
+    span.arg("path", std::string_view("a\"b\\c\nd"));
+  }
+  EXPECT_TRUE(obs::json_valid(tracer.export_chrome_json()));
+}
+
+TEST(Trace, RingOverwritesOldestWhenFull) {
+  obs::SpanTracer tracer(/*ring_capacity=*/8);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    tracer.record("span" + std::to_string(i), i * 100, 10);
+  }
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // The latest window survives: spans 12..19.
+  EXPECT_EQ(spans.front().name, "span12");
+  EXPECT_EQ(spans.back().name, "span19");
+
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Trace, EightThreadsEmitSpansConcurrently) {
+  obs::SpanTracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 2000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&tracer, t]() {
+      for (int i = 0; i < kSpans; ++i) {
+        obs::Span span(tracer, "worker");
+        span.arg("thread", static_cast<std::int64_t>(t));
+        if (i % 512 == 0) {
+          // Export racing the writers stays well-formed (approximate
+          // snapshot, like any live profiler).
+          EXPECT_TRUE(obs::json_valid(tracer.export_chrome_json()));
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(tracer.size(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+  // Each thread got its own tid; 8 distinct tids in the export.
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  std::vector<bool> seen(kThreads + 2, false);
+  for (const obs::SpanRecord& s : spans) {
+    ASSERT_LT(s.tid, seen.size());
+    seen[s.tid] = true;
+  }
+  int tids = 0;
+  for (bool b : seen) tids += b ? 1 : 0;
+  EXPECT_EQ(tids, kThreads);
+}
+
+// Golden-schema test: a traced TPC-H batch compile exports Chrome
+// trace-event JSON that (a) parses, (b) has the trace-event envelope, and
+// (c) contains the span taxonomy the wiring promises — per-phase compile
+// spans, per-worker batch job spans with worker args.
+TEST(Trace, TpchBatchCompileExportsChromeTraceSchema) {
+  obs::SpanTracer& tracer = obs::SpanTracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    driver::CompileSession session;
+    driver::BatchOptions options;
+    options.jobs = 2;
+    driver::BatchResult result =
+        driver::compile_batch(session, tpch::batch_jobs(), options);
+    EXPECT_EQ(result.failures, 0u);
+  }
+  tracer.set_enabled(false);
+  const std::string json = tracer.export_chrome_json();
+  tracer.clear();
+  EXPECT_TRUE(obs::json_valid(json));
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"tydi\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  for (const char* phase : {"compile.phase.parse", "compile.phase.elaborate",
+                            "compile.phase.lower", "compile.phase.vhdl"}) {
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+  }
+  EXPECT_NE(json.find("\"name\":\"batch.job\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker\":"), std::string::npos);
+}
+
+// The registry mirrors of the session cache stats can never disagree with
+// the per-compile structs: warm-compile deltas must match what the result
+// structs report.
+TEST(Metrics, RegistryAgreesWithCompileResultStructs) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::uint64_t vhdl_before =
+      reg.counter("tydi.vhdl.bytes_emitted").value();
+  const std::uint64_t hits_before =
+      reg.counter("tydi.elab.instantiation_hits").value();
+  const std::uint64_t misses_before =
+      reg.counter("tydi.elab.instantiation_misses").value();
+
+  const tpch::QueryCase* q = tpch::find_query("TPC-H 6");
+  ASSERT_NE(q, nullptr);
+  driver::CompileResult r = tpch::compile_query(*q);
+  ASSERT_TRUE(r.success()) << r.report();
+
+  EXPECT_EQ(reg.counter("tydi.vhdl.bytes_emitted").value() - vhdl_before,
+            r.vhdl_text.size());
+  EXPECT_EQ(reg.counter("tydi.elab.instantiation_hits").value() - hits_before,
+            r.template_cache.hits());
+  EXPECT_EQ(
+      reg.counter("tydi.elab.instantiation_misses").value() - misses_before,
+      r.template_cache.misses());
+}
+
+}  // namespace
+}  // namespace tydi

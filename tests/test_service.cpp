@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -13,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/json.hpp"
 #include "src/service/server.hpp"
 #include "src/service/service.hpp"
 #include "src/tpch/tpch.hpp"
@@ -208,6 +210,134 @@ TEST(ServiceServer, BudgetedRequestStillSucceeds) {
   service::Response budgeted = svc.handle_line("TPCH 6 vhdl 60000");
   EXPECT_TRUE(budgeted.ok()) << budgeted.payload;
   EXPECT_EQ(budgeted.payload, r.payload);
+}
+
+TEST(ServiceProtocol, MetricsAndHealthReturnValidJson) {
+  service::CompileService svc;
+  ASSERT_TRUE(svc.handle_line("TPCH 6 vhdl").ok());
+
+  service::Response metrics = svc.handle_line("METRICS");
+  ASSERT_TRUE(metrics.ok()) << metrics.payload;
+  EXPECT_TRUE(obs::json_valid(metrics.payload)) << metrics.payload;
+  for (const char* key :
+       {"\"counters\"", "\"gauges\"", "\"histograms\"",
+        "tydi.service.requests", "tydi.compile.total", "tydi.memo."}) {
+    EXPECT_NE(metrics.payload.find(key), std::string::npos)
+        << "missing " << key;
+  }
+
+  service::Response health = svc.handle_line("HEALTH");
+  ASSERT_TRUE(health.ok()) << health.payload;
+  EXPECT_TRUE(obs::json_valid(health.payload)) << health.payload;
+  for (const char* key :
+       {"\"status\":\"ok\"", "\"uptime_ms\"", "\"in_flight\"", "\"requests\"",
+        "\"failures\"", "\"memo_hit_rate\"", "\"last_abort\""}) {
+    EXPECT_NE(health.payload.find(key), std::string::npos)
+        << "missing " << key << " in " << health.payload;
+  }
+  // Three requests so far (TPCH, METRICS, HEALTH happened before the
+  // HEALTH snapshot was taken — the snapshot counts the first two).
+  EXPECT_NE(health.payload.find("\"requests\":"), std::string::npos);
+}
+
+// Acceptance gate: the daemon answers METRICS/HEALTH with parseable JSON
+// while FILE compile requests are in flight on other connections.
+TEST(ServiceServer, MetricsAndHealthDuringConcurrentFileRequests) {
+  // Materialise the TPC-H Q6 sources as real files for the FILE verb.
+  const tpch::QueryCase* q = tpch::find_query("TPC-H 6");
+  ASSERT_NE(q, nullptr);
+  const std::string base = "/tmp/tydid_obs_" + std::to_string(::getpid());
+  const std::string fletcher_path = base + "_fletcher.td";
+  const std::string query_path = base + "_q6.td";
+  {
+    std::ofstream f(fletcher_path);
+    f << tpch::fletcher_source();
+    std::ofstream g(query_path);
+    g << q->source;
+  }
+  const std::string file_line = "FILE " + fletcher_path + "," + query_path +
+                                " " + q->top_impl + " vhdl";
+
+  const std::string socket_path = base + ".sock";
+  service::CompileService svc;
+  service::ServerConfig config;
+  config.socket_path = socket_path;
+  support::Status serve_status;
+  std::thread daemon([&]() { serve_status = service::serve(svc, config); });
+
+  service::Response ping;
+  support::Status up;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    up = service::request(socket_path, "PING", ping);
+    if (up.is_ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(up.is_ok()) << up.render();
+
+  constexpr int kCompilers = 4;
+  constexpr int kCompilesEach = 3;
+  constexpr int kPollers = 2;
+  std::atomic<bool> compiling{true};
+  std::vector<std::string> errors(kCompilers + kPollers);
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kCompilers; ++c) {
+      threads.emplace_back([&, c]() {
+        for (int i = 0; i < kCompilesEach; ++i) {
+          service::Response r;
+          support::Status s = service::request(socket_path, file_line, r);
+          if (!s.is_ok()) {
+            errors[c] = s.render();
+            return;
+          }
+          if (!r.ok()) {
+            errors[c] = r.payload;
+            return;
+          }
+        }
+      });
+    }
+    for (int p = 0; p < kPollers; ++p) {
+      threads.emplace_back([&, p]() {
+        const std::string verb = (p % 2 == 0) ? "METRICS" : "HEALTH";
+        while (compiling.load(std::memory_order_relaxed)) {
+          service::Response r;
+          support::Status s = service::request(socket_path, verb, r);
+          if (!s.is_ok()) {
+            errors[kCompilers + p] = s.render();
+            return;
+          }
+          if (!r.ok() || !obs::json_valid(r.payload)) {
+            errors[kCompilers + p] = verb + " bad payload: " + r.payload;
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+    }
+    // Compiler threads are the first kCompilers entries; join them, then
+    // release the pollers.
+    for (int c = 0; c < kCompilers; ++c) threads[c].join();
+    compiling.store(false, std::memory_order_relaxed);
+    for (int p = 0; p < kPollers; ++p) threads[kCompilers + p].join();
+  }
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    EXPECT_TRUE(errors[i].empty()) << "thread " << i << ": " << errors[i];
+  }
+
+  // Post-run introspection reflects the work just served.
+  service::Response health;
+  ASSERT_TRUE(service::request(socket_path, "HEALTH", health).is_ok());
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(obs::json_valid(health.payload)) << health.payload;
+  EXPECT_NE(health.payload.find("\"in_flight\":"), std::string::npos);
+
+  service::Response bye;
+  ASSERT_TRUE(service::request(socket_path, "SHUTDOWN", bye).is_ok());
+  daemon.join();
+  EXPECT_TRUE(serve_status.is_ok()) << serve_status.render();
+  std::remove(fletcher_path.c_str());
+  std::remove(query_path.c_str());
 }
 
 }  // namespace

@@ -303,8 +303,17 @@ TEST(SimGuard, BudgetsOffByDefault) {
   sim::SimResult result = engine.run(base_options(compiled.design, 32, 2));
   EXPECT_FALSE(result.aborted);
   EXPECT_TRUE(result.abort_reason.empty());
-  EXPECT_TRUE(result.shard_forensics.empty());
   EXPECT_TRUE(result.status().is_ok());
+  // Forensics are collected on healthy runs too (one snapshot per shard);
+  // a finished run has drained its queues and mailboxes.
+  ASSERT_EQ(result.shard_forensics.size(), 2u);
+  std::uint64_t events = 0;
+  for (const sim::ShardForensics& f : result.shard_forensics) {
+    EXPECT_EQ(f.queue_depth, 0u);
+    EXPECT_EQ(f.mailbox_depth, 0u);
+    events += f.events_processed;
+  }
+  EXPECT_EQ(events, result.events_processed);
 }
 
 }  // namespace
