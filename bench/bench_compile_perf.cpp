@@ -35,6 +35,17 @@
 // --max-obs-overhead (default 1.05), plus a registry-vs-result-struct
 // consistency check — the metrics the daemon exports and the numbers this
 // harness writes come from the same counters and must agree exactly.
+//
+// A fourth section, "service_overload", drives the admission-controlled
+// compile service at 4x its capacity (4x as many retrying clients as
+// workers) and gates overload safety: every accepted response must be
+// byte-identical to a single-shot compile, every shed must classify as
+// kUnavailable (exit 12) with a retry-after hint inside
+// --max-shed-reply-ms (default 250), and the warm accepted throughput must
+// stay within --min-service-throughput-ratio (default 0.95) of the pre-
+// queue thread-per-request baseline (same worker count compiling directly
+// through one shared session) when the machine has >= 4 hardware threads
+// (no-regression floor of 0.7 otherwise).
 #include <benchmark/benchmark.h>
 
 #include <sys/resource.h>
@@ -53,7 +64,10 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/parser/parser.hpp"
+#include "src/service/service.hpp"
 #include "src/stdlib/stdlib.hpp"
+#include "src/support/retry.hpp"
+#include "src/support/status.hpp"
 #include "src/support/text.hpp"
 #include "src/tpch/tpch.hpp"
 
@@ -241,6 +255,17 @@ struct JsonOptions {
   /// disabled). The obs layer promises low single-digit-percent overhead;
   /// this gate is where that promise is enforced.
   double max_obs_overhead = 1.05;
+  /// Floor on (accepted throughput at 4x offered load) / (thread-per-
+  /// request baseline throughput) when the machine has >= 4 hardware
+  /// threads. The bounded queue + worker pool must not tax the accepted
+  /// path; admission control only sheds the excess.
+  double min_service_throughput_ratio = 0.95;
+  /// A no-regression floor used instead on undersized machines, mirroring
+  /// the parallel-compile gate.
+  double min_service_no_regression = 0.7;
+  /// Ceiling on the slowest observed shed reply, in ms: overload answers
+  /// must be prompt precisely when the service is busiest.
+  double max_shed_reply_ms = 250.0;
 };
 
 /// Observability overhead + consistency: warm TPC-H rounds with the span
@@ -623,6 +648,211 @@ BENCHMARK(BM_TemplateInstantiationScaling)
     ->Unit(benchmark::kMicrosecond)
     ->Complexity();
 
+/// Overload safety of the admission-controlled compile service: 4x as many
+/// retrying clients as workers, all requesting warm TPC-H Q6. Gates:
+/// accepted responses byte-identical to a single-shot compile, sheds
+/// classified kUnavailable with a prompt retry-after reply, and accepted
+/// throughput within min_service_throughput_ratio of the pre-queue
+/// thread-per-request baseline (same worker count, same shared session).
+int run_service_overload_json(const JsonOptions& options) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int workers = static_cast<int>(std::min(4u, std::max(2u, hw)));
+  const int clients = 4 * workers;
+  constexpr int kAcceptedPerClient = 12;
+  const int accepted_target = clients * kAcceptedPerClient;
+  using Clock = std::chrono::steady_clock;
+
+  // Single-shot reference payload: one request against an idle service.
+  std::string reference;
+  {
+    tydi::service::ServiceConfig config;
+    config.workers = 1;
+    tydi::service::CompileService svc(config);
+    tydi::service::Response r = svc.handle_line("TPCH 6 vhdl");
+    if (!r.ok()) {
+      std::cerr << "error: reference compile failed: " << r.payload << "\n";
+      return 1;
+    }
+    reference = r.payload;
+  }
+
+  // Baseline: the pre-queue thread-per-request shape — `workers` threads
+  // compiling the same total directly through one shared warm session.
+  double baseline_rps = 0.0;
+  {
+    tydi::driver::CompileSession session;
+    const tydi::tpch::QueryCase* q = tydi::tpch::find_query("TPC-H 6");
+    (void)tydi::tpch::compile_query(*q, session);  // warm the caches
+    std::atomic<int> baseline_failed{0};
+    const int per_thread = accepted_target / workers;
+    const auto start = Clock::now();
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&]() {
+          for (int i = 0; i < per_thread; ++i) {
+            if (!tydi::tpch::compile_query(*q, session).success()) {
+              ++baseline_failed;
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (baseline_failed.load() != 0) {
+      std::cerr << "error: " << baseline_failed.load()
+                << " baseline compile(s) failed\n";
+      return 1;
+    }
+    baseline_rps =
+        wall_s > 0.0 ? static_cast<double>(per_thread * workers) / wall_s
+                     : 0.0;
+  }
+
+  // Overloaded service: bounded queue, fixed pool, 4x clients retrying on
+  // shed (honoring the retry-after hint, capped so the queue stays fed).
+  tydi::service::ServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity = static_cast<std::size_t>(2 * workers);
+  tydi::service::CompileService svc(config);
+  {
+    tydi::service::Response warm = svc.handle_line("TPCH 6 vhdl");
+    if (!warm.ok()) {
+      std::cerr << "error: warmup request failed: " << warm.payload << "\n";
+      return 1;
+    }
+  }
+
+  std::atomic<int> accepted{0};
+  std::atomic<int> mismatched{0};
+  std::atomic<int> unexpected{0};
+  std::atomic<int> shed{0};
+  std::atomic<std::int64_t> worst_shed_reply_us{0};
+  const auto start = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c]() {
+        int landed = 0;
+        int attempt = 0;
+        while (landed < kAcceptedPerClient) {
+          ++attempt;
+          const auto t0 = Clock::now();
+          tydi::service::Response r = svc.handle_line("TPCH 6 vhdl");
+          const auto reply_us =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - t0)
+                  .count();
+          if (r.ok()) {
+            ++landed;
+            ++accepted;
+            if (r.payload != reference) ++mismatched;
+            continue;
+          }
+          if (r.status.code() !=
+              tydi::support::StatusCode::kUnavailable) {
+            ++unexpected;
+            return;
+          }
+          ++shed;
+          std::int64_t prev = worst_shed_reply_us.load();
+          while (prev < reply_us &&
+                 !worst_shed_reply_us.compare_exchange_weak(prev,
+                                                            reply_us)) {
+          }
+          // Jittered backoff, floored by the hint but capped low: the
+          // point of the bench is sustained 4x offered load.
+          const double delay_ms = std::min(
+              std::max(r.retry_after_ms,
+                       tydi::support::retry_jitter(
+                           static_cast<std::uint64_t>(c), attempt)),
+              5.0);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(delay_ms));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const double overload_rps =
+      wall_s > 0.0 ? static_cast<double>(accepted.load()) / wall_s : 0.0;
+  const double ratio =
+      baseline_rps > 0.0 ? overload_rps / baseline_rps : 0.0;
+  const double worst_shed_reply_ms =
+      static_cast<double>(worst_shed_reply_us.load()) / 1000.0;
+  const bool full_gate = hw >= 4;
+  const double floor = full_gate ? options.min_service_throughput_ratio
+                                 : options.min_service_no_regression;
+
+  std::ostringstream section;
+  section << "{\n"
+          << "  \"benchmark\": \"service_overload\",\n"
+          << "  \"workers\": " << workers << ",\n"
+          << "  \"queue_capacity\": " << config.queue_capacity << ",\n"
+          << "  \"clients\": " << clients << ",\n"
+          << "  \"accepted\": " << accepted.load() << ",\n"
+          << "  \"shed\": " << shed.load() << ",\n"
+          << "  \"accepted_identical\": "
+          << (mismatched.load() == 0 ? "true" : "false") << ",\n"
+          << "  \"worst_shed_reply_ms\": " << worst_shed_reply_ms << ",\n"
+          << "  \"max_shed_reply_ms\": " << options.max_shed_reply_ms
+          << ",\n"
+          << "  \"baseline_rps\": " << baseline_rps << ",\n"
+          << "  \"overload_rps\": " << overload_rps << ",\n"
+          << "  \"throughput_ratio\": " << ratio << ",\n"
+          << "  \"min_throughput_ratio\": " << floor << ",\n"
+          << "  \"full_gate\": " << (full_gate ? "true" : "false") << "\n"
+          << "}";
+  if (!benchjson::upsert_section(options.path, "service_overload",
+                                 section.str())) {
+    std::cerr << "error: cannot write " << options.path << "\n";
+    return 1;
+  }
+
+  std::cout << "service overload: " << accepted.load() << " accepted, "
+            << shed.load() << " shed; baseline " << baseline_rps
+            << " req/s, overloaded " << overload_rps << " req/s (ratio "
+            << ratio << ", floor " << floor << "); worst shed reply "
+            << worst_shed_reply_ms << " ms\n";
+
+  int rc = 0;
+  if (accepted.load() != accepted_target) {
+    std::cerr << "error: " << accepted.load() << "/" << accepted_target
+              << " requests accepted\n";
+    rc = 1;
+  }
+  if (mismatched.load() != 0) {
+    std::cerr << "error: " << mismatched.load()
+              << " accepted response(s) diverged from the single-shot "
+                 "compile\n";
+    rc = 1;
+  }
+  if (unexpected.load() != 0) {
+    std::cerr << "error: " << unexpected.load()
+              << " request(s) failed with a class other than "
+                 "unavailable\n";
+    rc = 1;
+  }
+  if (shed.load() > 0 && worst_shed_reply_ms > options.max_shed_reply_ms) {
+    std::cerr << "error: slowest shed reply " << worst_shed_reply_ms
+              << " ms above ceiling " << options.max_shed_reply_ms
+              << " ms\n";
+    rc = 1;
+  }
+  if (ratio < floor) {
+    std::cerr << "error: overloaded throughput ratio " << ratio
+              << " below floor " << floor << "\n";
+    rc = 1;
+  }
+  return rc;
+}
+
 int main(int argc, char** argv) {
   JsonOptions options;
   for (int i = 1; i + 1 < argc; ++i) {
@@ -642,14 +872,23 @@ int main(int argc, char** argv) {
       options.min_parallel_no_regression = std::atof(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--max-obs-overhead") == 0) {
       options.max_obs_overhead = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--min-service-throughput-ratio") == 0) {
+      options.min_service_throughput_ratio = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--min-service-no-regression") == 0) {
+      options.min_service_no_regression = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--max-shed-reply-ms") == 0) {
+      options.max_shed_reply_ms = std::atof(argv[i + 1]);
     }
   }
   if (options.path != nullptr) {
     const int serial_rc = run_compile_json(options);
     const int parallel_rc = run_compile_parallel_json(options);
     const int obs_rc = run_obs_overhead_json(options);
-    return serial_rc != 0 ? serial_rc
-                          : (parallel_rc != 0 ? parallel_rc : obs_rc);
+    const int overload_rc = run_service_overload_json(options);
+    if (serial_rc != 0) return serial_rc;
+    if (parallel_rc != 0) return parallel_rc;
+    if (obs_rc != 0) return obs_rc;
+    return overload_rc;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

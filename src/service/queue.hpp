@@ -1,0 +1,111 @@
+// Bounded two-class priority queue — the admission-controlled buffer
+// between the service's transport threads and its fixed worker pool.
+//
+// Two classes, strict priority: every queued *interactive* item is served
+// before any *batch* item; within a class, FIFO. The capacity bounds the
+// sum of both classes — `try_push` never blocks and returns false the
+// moment the queue is full (or closed), which is the admission-control
+// signal the service turns into a kUnavailable shed with a retry-after-ms
+// hint. `pop` blocks until an item, or until the queue is closed *and*
+// drained (so closing never drops accepted work; the drain-deadline path
+// uses `drain_remaining` to explicitly flush what it chooses not to run).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tydi::service {
+
+/// Request classes. Interactive (the default for FILE/TPCH — a human or a
+/// build step is blocked on the answer) preempts batch (bulk manifest
+/// traffic that tolerates latency) at dequeue time.
+enum class Priority : std::uint8_t { kInteractive = 0, kBatch = 1 };
+
+[[nodiscard]] constexpr std::string_view to_string(Priority p) {
+  return p == Priority::kInteractive ? "interactive" : "batch";
+}
+
+template <typename T>
+class BoundedPriorityQueue {
+ public:
+  explicit BoundedPriorityQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Non-blocking admission: false when the queue is full or closed (the
+  /// caller sheds). True = the item is owned by the queue until a `pop`.
+  [[nodiscard]] bool try_push(T item, Priority prio) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || depth_locked() >= capacity_) return false;
+      (prio == Priority::kInteractive ? interactive_ : batch_)
+          .push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (interactive first) or the queue is
+  /// closed and empty (returns false — the worker should exit).
+  [[nodiscard]] bool pop(T& out) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || depth_locked() > 0; });
+    if (depth_locked() == 0) return false;
+    std::deque<T>& q = interactive_.empty() ? batch_ : interactive_;
+    out = std::move(q.front());
+    q.pop_front();
+    return true;
+  }
+
+  /// Rejects future pushes and wakes every blocked `pop`. Items already
+  /// queued are still served (pop drains them before returning false).
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Removes and returns everything still queued (interactive first) —
+  /// the drain-deadline path sheds these instead of running them.
+  [[nodiscard]] std::vector<T> drain_remaining() {
+    std::vector<T> out;
+    std::lock_guard lock(mu_);
+    for (std::deque<T>* q : {&interactive_, &batch_}) {
+      for (T& item : *q) out.push_back(std::move(item));
+      q->clear();
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard lock(mu_);
+    return depth_locked();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t depth_locked() const {
+    return interactive_.size() + batch_.size();
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> interactive_;
+  std::deque<T> batch_;
+  bool closed_ = false;
+};
+
+}  // namespace tydi::service

@@ -6,10 +6,16 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <thread>
 #include <vector>
+
+#include "src/obs/metrics.hpp"
 
 namespace tydi::service {
 
@@ -24,9 +30,12 @@ Status io_error(const std::string& what) {
 }
 
 /// Writes the whole buffer, retrying on EINTR / short writes.
+/// MSG_NOSIGNAL: a peer that hung up yields EPIPE (false) instead of a
+/// process-killing SIGPIPE — replying to a dead client is an expected
+/// event for a daemon, not a crash.
 bool write_all(int fd, std::string_view data) {
   while (!data.empty()) {
-    const ssize_t n = ::write(fd, data.data(), data.size());
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -92,11 +101,48 @@ int connect_client(const std::string& path, Status& status) {
   return fd;
 }
 
+/// Open connection fds, so the drain path can SHUT_RD all of them (stop
+/// reading further request lines while in-flight replies still flush).
+class ConnectionTracker {
+ public:
+  void add(int fd) {
+    std::lock_guard lock(mu_);
+    fds_.insert(fd);
+  }
+  void remove(int fd) {
+    std::lock_guard lock(mu_);
+    fds_.erase(fd);
+  }
+  [[nodiscard]] std::size_t count() const {
+    std::lock_guard lock(mu_);
+    return fds_.size();
+  }
+  void shutdown_reads() {
+    std::lock_guard lock(mu_);
+    for (int fd : fds_) ::shutdown(fd, SHUT_RD);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::set<int> fds_;
+};
+
+/// True when the peer has closed its end: a zero-byte MSG_PEEK read.
+/// Pipelined request bytes (n > 0) and EAGAIN both mean the peer is alive.
+bool peer_disconnected(int fd) {
+  char probe = 0;
+  const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  return n == 0;
+}
+
 /// Per-connection loop: one request line in, one response frame out, until
 /// EOF or a SHUTDOWN request. Buffered reads — a client may pipeline
-/// several lines into one packet.
+/// several lines into one packet. While a submitted request is pending,
+/// the connection thread polls the peer; a disconnect cancels the request
+/// so the worker pool never finishes work for a dead client.
 void serve_connection(int fd, CompileService& service,
-                      std::atomic<bool>& shutdown, int listen_fd) {
+                      std::atomic<bool>& shutdown, int listen_fd,
+                      ConnectionTracker& tracker) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
@@ -105,6 +151,7 @@ void serve_connection(int fd, CompileService& service,
       const ssize_t n = ::read(fd, chunk, sizeof(chunk));
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) {
+        tracker.remove(fd);
         ::close(fd);
         return;
       }
@@ -114,8 +161,17 @@ void serve_connection(int fd, CompileService& service,
     buffer.erase(0, eol + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
 
-    Response response = service.handle_line(line);
+    PendingRequest pending = service.submit(line);
+    while (!pending.wait_for(25.0)) {
+      // Drain SHUT_RDs our fd, which a probe cannot tell apart from a
+      // real peer EOF — skip probing then; the drain deadline bounds us.
+      if (!service.draining() && peer_disconnected(fd)) {
+        pending.cancel();
+      }
+    }
+    Response response = pending.take();
     if (!write_all(fd, response.serialize())) {
+      tracker.remove(fd);
       ::close(fd);
       return;
     }
@@ -124,11 +180,51 @@ void serve_connection(int fd, CompileService& service,
       // by shutting it down (accept() returns with an error immediately).
       shutdown.store(true, std::memory_order_release);
       ::shutdown(listen_fd, SHUT_RDWR);
+      tracker.remove(fd);
       ::close(fd);
       return;
     }
   }
 }
+
+// Signal plumbing: the handler may only touch lock-free state and call
+// async-signal-safe functions. Lock-free atomics are both
+// async-signal-safe AND visible across threads — the handler can run on
+// any thread while serve() reads the flag from another. shutdown(2) on
+// the listener wakes the blocking accept() so the serve loop notices the
+// flag promptly.
+std::atomic<int> g_listen_fd{-1};
+std::atomic<int> g_signal{0};
+
+void handle_stop_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  const int fd = g_listen_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+/// Installs SIGINT/SIGTERM handlers for the lifetime of one serve() and
+/// restores the previous handlers on destruction.
+class ScopedSignalHandlers {
+ public:
+  explicit ScopedSignalHandlers(int listen_fd) {
+    g_signal = 0;
+    g_listen_fd.store(listen_fd, std::memory_order_relaxed);
+    struct sigaction action{};
+    action.sa_handler = handle_stop_signal;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &old_int_);
+    ::sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~ScopedSignalHandlers() {
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+    g_listen_fd.store(-1, std::memory_order_relaxed);
+  }
+
+ private:
+  struct sigaction old_int_{};
+  struct sigaction old_term_{};
+};
 
 }  // namespace
 
@@ -138,29 +234,60 @@ Status serve(CompileService& service, const ServerConfig& config) {
       bind_listener(config.socket_path, config.backlog, status);
   if (listen_fd < 0) return status;
 
+  std::optional<ScopedSignalHandlers> signals;
+  if (config.handle_signals) signals.emplace(listen_fd);
+
   std::atomic<bool> shutdown{false};
+  ConnectionTracker tracker;
   std::vector<std::thread> connections;
   std::mutex connections_mu;
+  static obs::Gauge& connections_gauge =
+      obs::MetricsRegistry::global().gauge("tydi.service.connections");
 
   while (!shutdown.load(std::memory_order_acquire)) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      // A shutdown request closes the listener under us; anything else is
-      // a real transport failure.
-      if (shutdown.load(std::memory_order_acquire)) break;
+      if (errno == EINTR && g_signal == 0) continue;
+      // A shutdown request or signal closes the listener under us;
+      // anything else is a real transport failure.
+      if (shutdown.load(std::memory_order_acquire) || g_signal != 0) break;
       status = io_error("accept");
       break;
     }
+    if (config.max_connections > 0 &&
+        tracker.count() >= config.max_connections) {
+      // Shed at the transport: one kUnavailable frame (with retry-after),
+      // then close. Shares the service's shed counter and taxonomy.
+      const Response shed = service.shed_response(
+          "connection limit (" + std::to_string(config.max_connections) +
+          ") reached");
+      write_all(fd, shed.serialize());
+      ::close(fd);
+      continue;
+    }
+    tracker.add(fd);
+    connections_gauge.set(static_cast<double>(tracker.count()));
     std::lock_guard lock(connections_mu);
-    connections.emplace_back([fd, &service, &shutdown, listen_fd]() {
-      serve_connection(fd, service, shutdown, listen_fd);
+    connections.emplace_back([fd, &service, &shutdown, listen_fd,
+                              &tracker]() {
+      serve_connection(fd, service, shutdown, listen_fd, tracker);
     });
   }
 
+  // One drain path for SHUTDOWN, signals, and fatal accept errors: stop
+  // admitting, stop reading new request lines, finish (or cancel at the
+  // drain deadline) what was already accepted, then tear down.
+  static obs::Counter& drains =
+      obs::MetricsRegistry::global().counter("tydi.service.drains");
+  ++drains;
+  service.begin_drain();
+  tracker.shutdown_reads();
+  service.drain();
   for (std::thread& t : connections) t.join();
+  connections_gauge.set(0.0);
   ::close(listen_fd);
   ::unlink(config.socket_path.c_str());
+  if (g_signal != 0) return Status::ok();
   return status;
 }
 
@@ -169,10 +296,13 @@ Status request(const std::string& socket_path, const std::string& line,
   Status status;
   const int fd = connect_client(socket_path, status);
   if (fd < 0) return status;
+  // A failed write (EPIPE) does not necessarily mean no response: a
+  // transport-level shed writes one kUnavailable frame and closes without
+  // ever reading the request line. Record the error but still try to read
+  // a frame; report the write failure only if none arrives.
+  Status write_status = Status::ok();
   if (!write_all(fd, line + "\n")) {
-    status = io_error("write " + socket_path);
-    ::close(fd);
-    return status;
+    write_status = io_error("write " + socket_path);
   }
   // Read until the full frame is parseable (header tells us the payload
   // length) or the peer closes early.
@@ -192,10 +322,43 @@ Status request(const std::string& socket_path, const std::string& line,
     }
     if (n == 0) {
       ::close(fd);
+      if (!write_status.is_ok()) return write_status;
       return Status::error(StatusCode::kCorruptData, "service",
                            "connection closed mid-response");
     }
     wire.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Status request_with_retry(const std::string& socket_path,
+                          const std::string& line,
+                          const support::RetryPolicy& policy, Response& out,
+                          int* attempts_out) {
+  support::Retry retry(policy);
+  for (;;) {
+    const int attempt = retry.next_attempt();
+    const std::string attempt_line =
+        attempt > 1 ? "ATTEMPT " + std::to_string(attempt) + " " + line
+                    : line;
+    Response response;
+    const Status transport = request(socket_path, attempt_line, response);
+    const bool shed = transport.is_ok() &&
+                      response.status.code() == StatusCode::kUnavailable;
+    if (transport.is_ok() && !shed) {
+      out = std::move(response);
+      if (attempts_out != nullptr) *attempts_out = attempt;
+      return transport;
+    }
+    const double hint = shed ? response.retry_after_ms : 0.0;
+    double delay_ms = 0.0;
+    if (!retry.next_delay_ms(hint, delay_ms)) {
+      if (attempts_out != nullptr) *attempts_out = retry.attempts();
+      if (!transport.is_ok()) return transport;
+      out = std::move(response);  // the final shed, exit code 12
+      return Status::ok();
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
   }
 }
 

@@ -1,5 +1,6 @@
 #include "src/service/service.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <sstream>
@@ -15,11 +16,99 @@ namespace tydi::service {
 using support::Status;
 using support::StatusCode;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t).count();
+}
+
+}  // namespace
+
+/// Why an executing/queued request was cancelled (first cause wins — the
+/// response message and the metrics tell disconnects apart from drains).
+enum class CancelReason : std::uint8_t { kNone = 0, kClientGone, kDrain };
+
+/// Shared state of one submitted request: the completion slot the
+/// transport waits on, plus everything a worker needs to execute it.
+struct PendingRequest::State {
+  // Completion slot.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Response response;
+
+  // Cancellation: polled by the executing compile at phase boundaries and
+  // by SLEEP every few ms; checked by workers before starting.
+  std::atomic<std::uint8_t> cancel{
+      static_cast<std::uint8_t>(CancelReason::kNone)};
+
+  // Immutable after admission.
+  std::string line;  ///< envelope-stripped "VERB args..."
+  RequestEnvelope envelope;
+  std::uint64_t request_id = 0;
+  Clock::time_point admitted;
+  /// admitted + envelope.deadline_ms; only meaningful with has_deadline.
+  Clock::time_point deadline;
+  bool has_deadline = false;
+
+  [[nodiscard]] CancelReason cancel_reason() const {
+    return static_cast<CancelReason>(cancel.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool cancelled() const {
+    return cancel_reason() != CancelReason::kNone;
+  }
+  void request_cancel(CancelReason reason) {
+    std::uint8_t expected = static_cast<std::uint8_t>(CancelReason::kNone);
+    cancel.compare_exchange_strong(expected,
+                                   static_cast<std::uint8_t>(reason),
+                                   std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool deadline_expired() const {
+    return has_deadline && Clock::now() > deadline;
+  }
+  [[nodiscard]] double deadline_remaining_ms() const {
+    return std::chrono::duration<double, std::milli>(deadline - Clock::now())
+        .count();
+  }
+};
+
+bool PendingRequest::done() const {
+  if (!state_) return true;
+  std::lock_guard lock(state_->mu);
+  return state_->done;
+}
+
+bool PendingRequest::wait_for(double ms) const {
+  if (!state_) return true;
+  std::unique_lock lock(state_->mu);
+  return state_->cv.wait_for(
+      lock, std::chrono::duration<double, std::milli>(ms),
+      [&] { return state_->done; });
+}
+
+Response PendingRequest::take() {
+  if (!state_) return Response{};
+  std::unique_lock lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->response;
+}
+
+void PendingRequest::cancel() {
+  if (state_) state_->request_cancel(CancelReason::kClientGone);
+}
+
 std::string Response::header() const {
   std::string out = ok() ? "OK " : "ERR ";
   out += std::to_string(status.exit_code());
   out += ' ';
   out += std::to_string(payload.size());
+  if (retry_after_ms > 0.0) {
+    out += ' ';
+    out += std::to_string(
+        static_cast<std::uint64_t>(retry_after_ms + 0.5));
+  }
   return out;
 }
 
@@ -40,29 +129,122 @@ bool parse_response(std::string_view wire, Response& out) {
   std::size_t bytes = 0;
   if (!(header >> verdict >> code >> bytes)) return false;
   if (verdict != "OK" && verdict != "ERR") return false;
+  double retry_after = 0.0;
+  if (!(header >> retry_after)) retry_after = 0.0;
   std::string_view rest = wire.substr(eol + 1);
   if (rest.size() < bytes) return false;
   out.payload = std::string(rest.substr(0, bytes));
   out.shutdown = false;
+  out.retry_after_ms = retry_after;
   if (verdict == "OK") {
     out.status = Status::ok();
   } else {
     // The wire carries the exit code, not the full Status; reconstruct a
     // classification that round-trips the exit code.
-    StatusCode status_code = StatusCode::kInternal;
-    for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
-      if (support::exit_code(static_cast<StatusCode>(c)) == code) {
-        status_code = static_cast<StatusCode>(c);
-        break;
-      }
-    }
-    out.status = Status::error(status_code, "service", "remote failure");
+    out.status = Status::error(support::status_code_for_exit(code),
+                               "service", "remote failure");
   }
   return true;
 }
 
+bool parse_envelope(const std::string& line, RequestEnvelope& out,
+                    std::string& error) {
+  out = RequestEnvelope{};
+  std::istringstream fields(line);
+  std::string token;
+  while (fields >> token) {
+    if (token == "PRIO") {
+      std::string value;
+      if (!(fields >> value) ||
+          (value != "interactive" && value != "batch")) {
+        error = "usage: PRIO <interactive|batch>";
+        return false;
+      }
+      out.priority =
+          value == "batch" ? Priority::kBatch : Priority::kInteractive;
+    } else if (token == "DEADLINE_MS") {
+      std::string value;
+      double ms = 0.0;
+      if (!(fields >> value)) {
+        error = "usage: DEADLINE_MS <ms>";
+        return false;
+      }
+      auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), ms);
+      if (ec != std::errc{} || ptr != value.data() + value.size() ||
+          ms <= 0.0) {
+        error = "bad DEADLINE_MS '" + value + "'";
+        return false;
+      }
+      out.deadline_ms = ms;
+    } else if (token == "ATTEMPT") {
+      std::uint64_t n = 0;
+      if (!(fields >> n) || n == 0) {
+        error = "usage: ATTEMPT <n>";
+        return false;
+      }
+      out.attempt = n;
+    } else {
+      // First non-envelope token: the verb. Everything from here on is
+      // the request proper.
+      std::string rest;
+      std::getline(fields, rest);
+      out.rest = token + rest;
+      return true;
+    }
+  }
+  out.rest.clear();  // envelope only / empty line
+  return true;
+}
+
 CompileService::CompileService(ServiceConfig config)
-    : config_(config) {}
+    : config_(config),
+      worker_count_(config.workers > 0
+                        ? config.workers
+                        : static_cast<int>(std::max(
+                              2u, std::thread::hardware_concurrency()))),
+      queue_(config.queue_capacity) {
+  workers_.reserve(static_cast<std::size_t>(worker_count_));
+  for (int i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this]() { worker_main(); });
+  }
+}
+
+CompileService::~CompileService() {
+  // Don't wait for in-flight work on destruction: cancel it, shed the
+  // queue, join. (The daemon path calls drain() first, which is the
+  // graceful variant.)
+  begin_drain();
+  cancel_until_idle();
+  queue_.close();
+  join_workers();
+}
+
+/// Sheds everything queued and cancels everything executing, sweeping
+/// until no request is queued or active. A worker may pop a queued item
+/// between the flush and the cancel sweep; the next sweep catches it once
+/// it registers as active, so this always converges (cancelled work aborts
+/// within one poll interval).
+void CompileService::cancel_until_idle() {
+  static obs::Counter& cancelled_metric =
+      obs::MetricsRegistry::global().counter("tydi.service.drain_cancelled");
+  for (;;) {
+    for (const auto& state : queue_.drain_remaining()) {
+      finish(state, shed_response("draining; daemon is shutting down"));
+    }
+    bool active_empty;
+    {
+      std::lock_guard lock(active_mu_);
+      active_empty = active_.empty();
+      for (const auto& state : active_) {
+        if (!state->cancelled()) ++cancelled_metric;
+        state->request_cancel(CancelReason::kDrain);
+      }
+    }
+    if (active_empty && queue_.depth() == 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
 
 namespace {
 
@@ -83,71 +265,294 @@ bool parse_budget(const std::string& token, double& out) {
   return true;
 }
 
+bool is_queued_verb(const std::string& verb) {
+  return verb == "TPCH" || verb == "FILE" || verb == "SLEEP";
+}
+
 }  // namespace
 
-std::string CompileService::health_json() const {
-  const elab::MemoStats& memo = session_.memo().stats();
-  const std::uint64_t hits = memo.streamlet_hits + memo.impl_hits;
-  const std::uint64_t lookups = hits + memo.misses + memo.stale;
-  const double hit_rate =
-      lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
-  const double uptime_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start_)
-          .count();
-  std::string last_abort;
+Response CompileService::shed_response(const std::string& reason) {
+  ++shed_;
+  static obs::Counter& shed_metric =
+      obs::MetricsRegistry::global().counter("tydi.service.shed_total");
+  ++shed_metric;
+  Response r = error_response(StatusCode::kUnavailable, reason);
+  r.retry_after_ms = retry_after_hint_ms();
+  return r;
+}
+
+double CompileService::retry_after_hint_ms() const {
+  // Rough time for the backlog ahead of a retry to clear: queued requests
+  // times the average execution time, divided across the pool. Clamped so
+  // a cold daemon hints something usable and a deep queue cannot push
+  // clients out forever.
+  const double avg_ms =
+      static_cast<double>(avg_exec_us_.load(std::memory_order_relaxed)) /
+      1000.0;
+  const double backlog =
+      static_cast<double>(queue_.depth() + 1) * avg_ms /
+      static_cast<double>(worker_count_);
+  return std::clamp(backlog, 25.0, 2000.0);
+}
+
+void CompileService::finish(
+    const std::shared_ptr<PendingRequest::State>& state, Response response) {
+  if (!response.ok()) {
+    ++failures_;
+    static obs::Counter& failures_metric =
+        obs::MetricsRegistry::global().counter("tydi.service.failures");
+    ++failures_metric;
+    if (response.status.code() == StatusCode::kAborted) {
+      record_abort(response.status);
+    }
+  }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
   {
-    std::lock_guard lock(last_abort_mu_);
-    last_abort = last_abort_;
+    std::lock_guard lock(state->mu);
+    state->response = std::move(response);
+    state->done = true;
   }
-  // last_abort is a rendered Status (no quotes/backslashes/control bytes in
-  // practice), but escape defensively since messages embed file paths.
-  std::string escaped;
-  for (char c : last_abort) {
-    if (c == '"' || c == '\\') escaped += '\\';
-    if (static_cast<unsigned char>(c) < 0x20) continue;
-    escaped += c;
-  }
-  std::string out = "{\"status\":\"ok\",\"uptime_ms\":";
-  out += obs::json_number(uptime_ms);
-  out += ",\"in_flight\":";
-  out += std::to_string(in_flight_.load(std::memory_order_relaxed));
-  out += ",\"requests\":";
-  out += std::to_string(requests_.get());
-  out += ",\"failures\":";
-  out += std::to_string(failures_.get());
-  out += ",\"memo_hit_rate\":";
-  out += obs::json_number(hit_rate);
-  out += ",\"last_abort\":\"";
-  out += escaped;
-  out += "\"}";
-  return out;
+  state->cv.notify_all();
 }
 
-void CompileService::record_abort(const support::Status& status) {
-  std::lock_guard lock(last_abort_mu_);
-  last_abort_ = status.render();
+PendingRequest CompileService::submit(const std::string& line) {
+  ++requests_;
+  static auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& requests_metric =
+      reg.counter("tydi.service.requests");
+  static obs::Counter& retried_metric =
+      reg.counter("tydi.service.retried_requests");
+  static obs::Gauge& depth_gauge = reg.gauge("tydi.service.queue_depth");
+  ++requests_metric;
+
+  auto state = std::make_shared<PendingRequest::State>();
+  state->request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  state->admitted = Clock::now();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  PendingRequest pending(state);
+
+  std::string envelope_error;
+  if (!parse_envelope(line, state->envelope, envelope_error)) {
+    finish(state, error_response(StatusCode::kInvalidArgument,
+                                 envelope_error));
+    return pending;
+  }
+  if (state->envelope.attempt > 1) ++retried_metric;
+  if (state->envelope.deadline_ms > 0.0) {
+    state->has_deadline = true;
+    state->deadline =
+        state->admitted +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                state->envelope.deadline_ms));
+  }
+  state->line = state->envelope.rest;
+
+  std::istringstream fields(state->line);
+  std::string verb;
+  if (!(fields >> verb)) {
+    finish(state,
+           error_response(StatusCode::kInvalidArgument, "empty request"));
+    return pending;
+  }
+
+  if (!is_queued_verb(verb)) {
+    // Meta verbs execute inline on the transport thread: cheap, and they
+    // must stay responsive under overload (HEALTH during saturation is
+    // exactly when an operator needs an answer).
+    finish(state, dispatch_meta(verb, state->line, state->request_id));
+    return pending;
+  }
+
+  // Admission control for compile verbs.
+  if (draining_.load(std::memory_order_acquire)) {
+    finish(state, shed_response("draining; daemon is shutting down"));
+    return pending;
+  }
+  if (config_.rss_shed_mb > 0 &&
+      sim::current_rss_mb() > config_.rss_shed_mb) {
+    finish(state,
+           shed_response("rss " + std::to_string(sim::current_rss_mb()) +
+                         " MiB above shed threshold " +
+                         std::to_string(config_.rss_shed_mb) + " MiB"));
+    return pending;
+  }
+  if (!queue_.try_push(state, state->envelope.priority)) {
+    finish(state, shed_response(
+                      "queue full (depth " +
+                      std::to_string(queue_.depth()) + ", capacity " +
+                      std::to_string(queue_.capacity()) + ")"));
+    return pending;
+  }
+  depth_gauge.set(static_cast<double>(queue_.depth()));
+  return pending;
 }
 
-std::string CompileService::stats_text() const {
-  const elab::MemoStats& memo = session_.memo().stats();
-  std::ostringstream out;
-  out << "requests " << requests_.get() << "\n"
-      << "failures " << failures_.get() << "\n"
-      << "memo_streamlets " << session_.memo().streamlet_count() << "\n"
-      << "memo_impls " << session_.memo().impl_count() << "\n"
-      << "memo_streamlet_hits " << memo.streamlet_hits.get() << "\n"
-      << "memo_impl_hits " << memo.impl_hits.get() << "\n"
-      << "memo_misses " << memo.misses.get() << "\n"
-      << "memo_stale " << memo.stale.get() << "\n"
-      << "parse_cache " << session_.parse_cache_size() << "\n";
-  return out.str();
+Response CompileService::handle_line(const std::string& line) {
+  return submit(line).take();
+}
+
+void CompileService::begin_drain() {
+  const bool was_draining = draining_.exchange(true);
+  if (!was_draining) {
+    obs::MetricsRegistry::global().gauge("tydi.service.draining").set(1.0);
+  }
+}
+
+void CompileService::drain() {
+  begin_drain();
+  const Clock::time_point deadline =
+      Clock::now() +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              config_.drain_deadline_ms > 0.0 ? config_.drain_deadline_ms
+                                              : 0.0));
+  auto idle = [&] {
+    if (queue_.depth() != 0) return false;
+    std::lock_guard lock(active_mu_);
+    return active_.empty();
+  };
+  while (!idle() && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Drain deadline blown (or already idle): shed whatever is still queued
+  // and cancel anything executing, then stop the pool.
+  cancel_until_idle();
+  queue_.close();
+  join_workers();
+}
+
+void CompileService::join_workers() {
+  std::call_once(join_once_, [&] {
+    queue_.close();
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+  });
+}
+
+void CompileService::worker_main() {
+  std::shared_ptr<PendingRequest::State> state;
+  while (queue_.pop(state)) {
+    execute(state);
+    state.reset();
+  }
+}
+
+void CompileService::execute(
+    const std::shared_ptr<PendingRequest::State>& state) {
+  static auto& reg = obs::MetricsRegistry::global();
+  static obs::Gauge& depth_gauge = reg.gauge("tydi.service.queue_depth");
+  static obs::Histogram& wait_histogram =
+      reg.histogram("tydi.service.queue_wait_ms");
+  static obs::Histogram& exec_histogram =
+      reg.histogram("tydi.service.request_ms");
+  static obs::Counter& expired_metric =
+      reg.counter("tydi.service.deadline_expired");
+  static obs::Counter& disconnect_metric =
+      reg.counter("tydi.service.disconnect_aborts");
+
+  depth_gauge.set(static_cast<double>(queue_.depth()));
+  wait_histogram.observe(ms_since(state->admitted));
+
+  // A dead client or an expired deadline means nobody is waiting: shed /
+  // abort without executing.
+  if (state->cancel_reason() == CancelReason::kClientGone) {
+    ++disconnect_metric;
+    finish(state, error_response(StatusCode::kAborted,
+                                 "client disconnected before execution"));
+    return;
+  }
+  if (state->deadline_expired()) {
+    ++expired_metric;
+    Response r = shed_response(
+        "deadline expired after " +
+        obs::json_number(ms_since(state->admitted)) + " ms in queue");
+    finish(state, std::move(r));
+    return;
+  }
+
+  {
+    std::lock_guard lock(active_mu_);
+    active_.push_back(state);
+  }
+  const Clock::time_point exec_start = Clock::now();
+  Response response;
+  {
+    obs::Span span("service.request");
+    span.arg("request_id", state->request_id)
+        .arg("prio", to_string(state->envelope.priority));
+    response = dispatch_queued(*state);
+  }
+  const double exec_ms = ms_since(exec_start);
+  exec_histogram.observe(exec_ms);
+  // EWMA (alpha 1/4) feeding the retry-after hint.
+  const std::uint64_t prev =
+      avg_exec_us_.load(std::memory_order_relaxed);
+  const auto sample = static_cast<std::uint64_t>(exec_ms * 1000.0);
+  avg_exec_us_.store(prev - prev / 4 + sample / 4,
+                     std::memory_order_relaxed);
+  if (state->cancel_reason() == CancelReason::kClientGone &&
+      response.status.code() == StatusCode::kAborted) {
+    ++disconnect_metric;
+  }
+  {
+    std::lock_guard lock(active_mu_);
+    active_.erase(std::find(active_.begin(), active_.end(), state));
+  }
+  finish(state, std::move(response));
+}
+
+double CompileService::effective_budget_ms(
+    double requested_ms, const PendingRequest::State& state) const {
+  double budget = requested_ms > 0.0 ? requested_ms
+                                     : config_.default_budget_ms;
+  if (config_.max_budget_ms > 0.0 &&
+      (budget <= 0.0 || budget > config_.max_budget_ms)) {
+    budget = config_.max_budget_ms;
+  }
+  if (state.has_deadline) {
+    // Never run past the caller's deadline: fold the remaining wait into
+    // the watchdog budget (floor of 1ms keeps the watchdog armed rather
+    // than treating ~0 as "unlimited").
+    const double remaining = std::max(1.0, state.deadline_remaining_ms());
+    budget = budget > 0.0 ? std::min(budget, remaining) : remaining;
+  }
+  return budget;
+}
+
+Response CompileService::sleep_request(double ms,
+                                       PendingRequest::State& state) {
+  const double budget = effective_budget_ms(0.0, state);
+  const Clock::time_point start = Clock::now();
+  const std::uint64_t seq =
+      exec_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (;;) {
+    const double elapsed = ms_since(start);
+    if (elapsed >= ms) break;
+    if (state.cancelled()) {
+      return error_response(
+          StatusCode::kAborted,
+          state.cancel_reason() == CancelReason::kClientGone
+              ? "client disconnected; sleep aborted"
+              : "drain deadline; sleep aborted");
+    }
+    if (budget > 0.0 && elapsed >= budget) {
+      return error_response(StatusCode::kAborted,
+                            "budget/deadline exceeded; sleep aborted");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Response r;
+  r.payload = "slept " + obs::json_number(ms) + " seq " +
+              std::to_string(seq);
+  return r;
 }
 
 Response CompileService::compile_request(
     const std::vector<driver::NamedSource>& sources,
     driver::CompileOptions options, const std::string& emit,
-    double budget_ms) {
+    double budget_ms, PendingRequest::State& state) {
   if (emit == "vhdl") {
     options.emit_ir = false;
     options.emit_vhdl = true;
@@ -159,19 +564,19 @@ Response CompileService::compile_request(
                           "unknown emit kind '" + emit +
                               "' (expected vhdl|ir)");
   }
-  if (budget_ms <= 0.0) budget_ms = config_.default_budget_ms;
-  if (config_.max_budget_ms > 0.0 &&
-      (budget_ms <= 0.0 || budget_ms > config_.max_budget_ms)) {
-    budget_ms = config_.max_budget_ms;
-  }
+  exec_seq_.fetch_add(1, std::memory_order_relaxed);
 
   // Per-request watchdog: a dedicated guard + monitor thread enforcing the
-  // wall-clock budget; the driver polls the guard at phase boundaries and
-  // classifies a fired watchdog as kAborted (phase "watchdog").
+  // wall-clock budget (request budget min'd with the propagated deadline);
+  // the driver polls the guard at phase boundaries and classifies a fired
+  // watchdog as kAborted (phase "watchdog"). The same poll observes the
+  // transport's disconnect cancel, so compiles for dead peers abort too.
   sim::RunGuard guard;
   sim::Watchdog::Config watchdog_config;
-  watchdog_config.wall_clock_budget_ms = budget_ms;
-  options.cancelled = [&guard]() { return guard.stop_requested(); };
+  watchdog_config.wall_clock_budget_ms = effective_budget_ms(budget_ms, state);
+  options.cancelled = [&guard, &state]() {
+    return guard.stop_requested() || state.cancelled();
+  };
   driver::CompileResult result = [&] {
     sim::Watchdog watchdog(guard, watchdog_config);
     return session_.compile(sources, options);
@@ -184,45 +589,104 @@ Response CompileService::compile_request(
                                   : std::move(result.ir_text);
   } else {
     r.payload = result.report();
-    if (r.status.code() == StatusCode::kAborted) record_abort(r.status);
+    if (r.status.code() == StatusCode::kAborted &&
+        state.cancel_reason() == CancelReason::kClientGone) {
+      r.status = Status::error(StatusCode::kAborted, "watchdog",
+                               "client disconnected; compile aborted");
+      r.payload = r.status.render() + "\n";
+    }
   }
   return r;
 }
 
-Response CompileService::handle_line(const std::string& line) {
-  ++requests_;
-  static obs::Counter& requests_metric =
-      obs::MetricsRegistry::global().counter("tydi.service.requests");
-  static obs::Counter& failures_metric =
-      obs::MetricsRegistry::global().counter("tydi.service.failures");
-  ++requests_metric;
-  // In-flight count + per-request span: the request id ties a span in the
-  // Chrome trace back to a daemon response. Dispatch runs in its own
-  // function so the single `!ok` check below mirrors every failure path
-  // into the registry (the per-site ++failures_ stays the service-local
-  // source of truth).
-  const std::uint64_t request_id =
-      next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  in_flight_.fetch_add(1, std::memory_order_relaxed);
-  struct InFlight {
-    std::atomic<std::int64_t>& counter;
-    ~InFlight() { counter.fetch_sub(1, std::memory_order_relaxed); }
-  } in_flight_guard{in_flight_};
-  Response response = dispatch_line(line, request_id);
-  if (!response.ok()) ++failures_metric;
-  return response;
+Response CompileService::dispatch_queued(PendingRequest::State& state) {
+  std::istringstream fields(state.line);
+  std::string verb;
+  fields >> verb;
+
+  if (verb == "SLEEP") {
+    std::string ms_token;
+    double ms = 0.0;
+    if (!(fields >> ms_token) || !parse_budget(ms_token, ms)) {
+      return error_response(StatusCode::kInvalidArgument,
+                            "usage: SLEEP <ms>");
+    }
+    return sleep_request(ms, state);
+  }
+
+  if (verb == "TPCH") {
+    std::string number;
+    std::string emit;
+    if (!(fields >> number >> emit)) {
+      return error_response(StatusCode::kInvalidArgument,
+                            "usage: TPCH <n> <vhdl|ir> [budget_ms]");
+    }
+    double budget_ms = 0.0;
+    std::string budget_token;
+    if (fields >> budget_token && !parse_budget(budget_token, budget_ms)) {
+      return error_response(StatusCode::kInvalidArgument,
+                            "bad budget_ms '" + budget_token + "'");
+    }
+    const tpch::QueryCase* query = tpch::find_query("TPC-H " + number);
+    if (query == nullptr) {
+      return error_response(StatusCode::kInvalidArgument,
+                            "unknown TPC-H query '" + number + "'");
+    }
+    return compile_request(tpch::query_sources(*query),
+                           tpch::query_options(*query), emit, budget_ms,
+                           state);
+  }
+
+  if (verb == "FILE") {
+    std::string path;
+    std::string top;
+    std::string emit;
+    if (!(fields >> path >> top >> emit)) {
+      return error_response(
+          StatusCode::kInvalidArgument,
+          "usage: FILE <path> <top> <vhdl|ir> [budget_ms]");
+    }
+    double budget_ms = 0.0;
+    std::string budget_token;
+    if (fields >> budget_token && !parse_budget(budget_token, budget_ms)) {
+      return error_response(StatusCode::kInvalidArgument,
+                            "bad budget_ms '" + budget_token + "'");
+    }
+    // Comma-separated file list, compiled in list order (each file keeps
+    // its own `package` header) — same convention as the batch manifest.
+    std::vector<driver::NamedSource> sources;
+    std::istringstream paths(path);
+    std::string one;
+    while (std::getline(paths, one, ',')) {
+      if (one.empty()) continue;
+      std::ifstream file(one, std::ios::binary);
+      if (!file) {
+        return error_response(StatusCode::kIoError, "cannot read " + one);
+      }
+      sources.push_back(driver::NamedSource{
+          one, std::string((std::istreambuf_iterator<char>(file)),
+                           std::istreambuf_iterator<char>())});
+    }
+    if (sources.empty()) {
+      return error_response(StatusCode::kInvalidArgument,
+                            "no source files in '" + path + "'");
+    }
+    driver::CompileOptions options;
+    options.top = top;
+    return compile_request(sources, std::move(options), emit, budget_ms,
+                           state);
+  }
+
+  return error_response(StatusCode::kInternal,
+                        "verb '" + verb + "' queued but not dispatchable");
 }
 
-Response CompileService::dispatch_line(const std::string& line,
+Response CompileService::dispatch_meta(const std::string& verb,
+                                       const std::string& rest,
                                        std::uint64_t request_id) {
-  std::istringstream fields(line);
-  std::string verb;
-  if (!(fields >> verb)) {
-    ++failures_;
-    return error_response(StatusCode::kInvalidArgument, "empty request");
-  }
   obs::Span span("service.request");
   span.arg("verb", verb).arg("request_id", request_id);
+  (void)rest;
 
   if (verb == "PING") {
     Response r;
@@ -251,89 +715,90 @@ Response CompileService::dispatch_line(const std::string& line,
     return r;
   }
   if (verb == "SHUTDOWN") {
+    // Stop admitting right away (in-flight + queued work still drains);
+    // the transport sees the flag and runs the full drain + unlink path.
+    begin_drain();
     Response r;
     r.payload = "bye";
     r.shutdown = true;
     return r;
   }
 
-  if (verb == "TPCH") {
-    std::string number;
-    std::string emit;
-    if (!(fields >> number >> emit)) {
-      ++failures_;
-      return error_response(StatusCode::kInvalidArgument,
-                            "usage: TPCH <n> <vhdl|ir> [budget_ms]");
-    }
-    double budget_ms = 0.0;
-    std::string budget_token;
-    if (fields >> budget_token && !parse_budget(budget_token, budget_ms)) {
-      ++failures_;
-      return error_response(StatusCode::kInvalidArgument,
-                            "bad budget_ms '" + budget_token + "'");
-    }
-    const tpch::QueryCase* query = tpch::find_query("TPC-H " + number);
-    if (query == nullptr) {
-      ++failures_;
-      return error_response(StatusCode::kInvalidArgument,
-                            "unknown TPC-H query '" + number + "'");
-    }
-    Response r = compile_request(tpch::query_sources(*query),
-                                 tpch::query_options(*query), emit,
-                                 budget_ms);
-    if (!r.ok()) ++failures_;
-    return r;
-  }
-
-  if (verb == "FILE") {
-    std::string path;
-    std::string top;
-    std::string emit;
-    if (!(fields >> path >> top >> emit)) {
-      ++failures_;
-      return error_response(
-          StatusCode::kInvalidArgument,
-          "usage: FILE <path> <top> <vhdl|ir> [budget_ms]");
-    }
-    double budget_ms = 0.0;
-    std::string budget_token;
-    if (fields >> budget_token && !parse_budget(budget_token, budget_ms)) {
-      ++failures_;
-      return error_response(StatusCode::kInvalidArgument,
-                            "bad budget_ms '" + budget_token + "'");
-    }
-    // Comma-separated file list, compiled in list order (each file keeps
-    // its own `package` header) — same convention as the batch manifest.
-    std::vector<driver::NamedSource> sources;
-    std::istringstream paths(path);
-    std::string one;
-    while (std::getline(paths, one, ',')) {
-      if (one.empty()) continue;
-      std::ifstream file(one, std::ios::binary);
-      if (!file) {
-        ++failures_;
-        return error_response(StatusCode::kIoError, "cannot read " + one);
-      }
-      sources.push_back(driver::NamedSource{
-          one, std::string((std::istreambuf_iterator<char>(file)),
-                           std::istreambuf_iterator<char>())});
-    }
-    if (sources.empty()) {
-      ++failures_;
-      return error_response(StatusCode::kInvalidArgument,
-                            "no source files in '" + path + "'");
-    }
-    driver::CompileOptions options;
-    options.top = top;
-    Response r = compile_request(sources, std::move(options), emit,
-                                 budget_ms);
-    if (!r.ok()) ++failures_;
-    return r;
-  }
-
-  ++failures_;
   return error_response(StatusCode::kInvalidArgument,
                         "unknown verb '" + verb + "'");
+}
+
+std::string CompileService::health_json() const {
+  const elab::MemoStats& memo = session_.memo().stats();
+  const std::uint64_t hits = memo.streamlet_hits + memo.impl_hits;
+  const std::uint64_t lookups = hits + memo.misses + memo.stale;
+  const double hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  const double uptime_ms = ms_since(start_);
+  std::string last_abort;
+  {
+    std::lock_guard lock(last_abort_mu_);
+    last_abort = last_abort_;
+  }
+  // last_abort is a rendered Status (no quotes/backslashes/control bytes in
+  // practice), but escape defensively since messages embed file paths.
+  std::string escaped;
+  for (char c : last_abort) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    escaped += c;
+  }
+  const bool is_draining = draining_.load(std::memory_order_acquire);
+  std::string out = "{\"status\":\"";
+  out += is_draining ? "draining" : "ok";
+  out += "\",\"uptime_ms\":";
+  out += obs::json_number(uptime_ms);
+  out += ",\"in_flight\":";
+  out += std::to_string(in_flight_.load(std::memory_order_relaxed));
+  out += ",\"queue_depth\":";
+  out += std::to_string(queue_.depth());
+  out += ",\"workers\":";
+  out += std::to_string(worker_count_);
+  out += ",\"draining\":";
+  out += is_draining ? "true" : "false";
+  out += ",\"shed_total\":";
+  out += std::to_string(shed_.get());
+  out += ",\"requests\":";
+  out += std::to_string(requests_.get());
+  out += ",\"failures\":";
+  out += std::to_string(failures_.get());
+  out += ",\"memo_hit_rate\":";
+  out += obs::json_number(hit_rate);
+  out += ",\"last_abort\":\"";
+  out += escaped;
+  out += "\"}";
+  return out;
+}
+
+void CompileService::record_abort(const support::Status& status) {
+  std::lock_guard lock(last_abort_mu_);
+  last_abort_ = status.render();
+}
+
+std::string CompileService::stats_text() const {
+  const elab::MemoStats& memo = session_.memo().stats();
+  std::ostringstream out;
+  out << "requests " << requests_.get() << "\n"
+      << "failures " << failures_.get() << "\n"
+      << "shed " << shed_.get() << "\n"
+      << "workers " << worker_count_ << "\n"
+      << "queue_depth " << queue_.depth() << "\n"
+      << "queue_capacity " << queue_.capacity() << "\n"
+      << "draining " << (draining_.load(std::memory_order_acquire) ? 1 : 0)
+      << "\n"
+      << "memo_streamlets " << session_.memo().streamlet_count() << "\n"
+      << "memo_impls " << session_.memo().impl_count() << "\n"
+      << "memo_streamlet_hits " << memo.streamlet_hits.get() << "\n"
+      << "memo_impl_hits " << memo.impl_hits.get() << "\n"
+      << "memo_misses " << memo.misses.get() << "\n"
+      << "memo_stale " << memo.stale.get() << "\n"
+      << "parse_cache " << session_.parse_cache_size() << "\n";
+  return out.str();
 }
 
 }  // namespace tydi::service

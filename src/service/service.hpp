@@ -7,53 +7,97 @@
 // request lines and writes back serialized responses, so every protocol
 // behaviour is unit-testable without a socket.
 //
+// Overload safety (src/service/README.md has the full story): compile
+// verbs are not executed on the calling thread. They are *admitted* into a
+// bounded two-class priority queue (interactive FILE/TPCH vs. batch; see
+// queue.hpp) and executed by a fixed worker pool, so a burst of clients
+// can never pile up unbounded compile threads or memory. When the queue is
+// full, the process is out of RSS headroom, or the service is draining,
+// `submit` sheds immediately with StatusCode::kUnavailable and a
+// retry-after-ms hint instead of queueing — bounded latency for everyone
+// already admitted, an explicit machine-readable signal for everyone else.
+// Meta verbs (PING/STATS/METRICS/HEALTH/INVALIDATE/SHUTDOWN) execute
+// inline on the calling thread so introspection stays responsive at any
+// load.
+//
 // Wire protocol (newline-delimited, documented with examples in
 // src/driver/README.md):
 //
-//   request  := VERB [args...] "\n"            (single line, space-separated)
-//   response := ("OK" | "ERR") SP exit_code SP payload_bytes "\n"
+//   request  := [envelope...] VERB [args...] "\n"
+//   envelope := "PRIO" SP ("interactive"|"batch")
+//             | "DEADLINE_MS" SP <ms>
+//             | "ATTEMPT" SP <n>
+//   response := ("OK" | "ERR") SP exit_code SP payload_bytes
+//               [SP retry_after_ms] "\n"
 //               payload (exactly payload_bytes bytes) "\n"
+//
+// Envelope tokens may precede any verb, in any order:
+//   PRIO        queue class (default: interactive for FILE/TPCH/SLEEP)
+//   DEADLINE_MS the caller stops waiting after this many ms. Folded into
+//               the per-request watchdog budget, and a request whose
+//               deadline expires while still queued is shed (kUnavailable)
+//               instead of executed — work is never done for a caller
+//               that already gave up.
+//   ATTEMPT     1-based retry attempt (telemetry only: attempts > 1 count
+//               into tydi.service.retried_requests).
 //
 // Verbs:
 //   PING                                liveness probe; payload "pong"
 //   STATS                               session cache counters, one per line
 //   METRICS                             process metrics registry as JSON
-//                                       (the obs::MetricsRegistry snapshot:
-//                                       counters/gauges/histograms, stable
-//                                       key order)
 //   HEALTH                              liveness JSON: status, uptime_ms,
-//                                       in_flight, requests, failures,
-//                                       memo_hit_rate, last_abort
+//                                       in_flight, queue_depth, workers,
+//                                       draining, shed_total, requests,
+//                                       failures, memo_hit_rate, last_abort
 //   INVALIDATE                          drop every session cache
-//   SHUTDOWN                            stop the server after this response
+//   SHUTDOWN                            stop admitting (drain begins); the
+//                                       transport drains and exits
 //   TPCH <n> <vhdl|ir> [budget_ms]      compile built-in TPC-H query n
 //   FILE <path[,path...]> <top> <vhdl|ir> [budget_ms]
 //                                       compile .td files (comma-separated,
 //                                       compiled in list order) against
 //                                       `top`
+//   SLEEP <ms>                          debug/test verb: occupy one worker
+//                                       for ms (polls cancellation +
+//                                       deadline); payload
+//                                       "slept <ms> seq <n>" where n is the
+//                                       global execution sequence number —
+//                                       overload and priority-order tests
+//                                       are built on it
 //
-// exit_code is the support::Status exit code of the request (stable 0-11
+// exit_code is the support::Status exit code of the request (stable 0-12
 // taxonomy, identical to the `tydic` process exit codes), so a client can
-// dispatch on the class — parse error vs. watchdog abort — without scraping
-// the payload. Failed compiles carry the rendered diagnostics as payload.
+// dispatch on the class — parse error vs. watchdog abort vs. shed — without
+// scraping the payload. Shed responses (exit 12, kUnavailable) carry the
+// optional retry_after_ms header field: the daemon's own estimate of when
+// capacity frees up, honored by the retrying client (support::Retry).
+// Failed compiles carry the rendered diagnostics as payload.
 //
 // Per-request timeouts reuse the PR 6 watchdog machinery: each compile
-// request gets its own sim::RunGuard + sim::Watchdog (wall-clock budget);
-// the driver polls the guard at phase boundaries and classifies a fired
-// watchdog as kAborted (phase "watchdog").
+// request gets its own sim::RunGuard + sim::Watchdog (wall-clock budget,
+// min'd with the remaining DEADLINE_MS); the driver polls the guard at
+// phase boundaries and classifies a fired watchdog as kAborted (phase
+// "watchdog"). Each executing request also polls a per-request cancel flag
+// that the transport trips when the client disconnects mid-compile, so
+// work for dead peers aborts instead of running to completion.
 //
-// Thread-safety: handle_line may be called from any number of transport
-// threads concurrently — the underlying session caches synchronize
-// themselves and the service's own counters are relaxed atomics.
+// Thread-safety: submit/handle_line may be called from any number of
+// transport threads concurrently — admission is a try_push on the bounded
+// queue, the underlying session caches synchronize themselves, and the
+// service's own counters are relaxed atomics.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/driver/compiler.hpp"
+#include "src/service/queue.hpp"
 #include "src/support/counters.hpp"
 #include "src/support/status.hpp"
 
@@ -66,6 +110,19 @@ struct ServiceConfig {
   /// Upper clamp on any requested budget (ms; 0 = no clamp). Lets a
   /// deployment bound worst-case request latency whatever clients ask for.
   double max_budget_ms = 0.0;
+  /// Fixed worker pool size executing queued compile requests.
+  /// <= 0: max(2, hardware_concurrency).
+  int workers = 0;
+  /// Bound on queued-but-not-yet-executing requests (both classes
+  /// combined). Admission beyond it sheds with kUnavailable.
+  std::size_t queue_capacity = 64;
+  /// Shed new compile admissions while the process RSS high-water mark
+  /// exceeds this many MiB (0 = disabled). The memory-headroom half of
+  /// admission control.
+  std::uint64_t rss_shed_mb = 0;
+  /// How long `drain()` lets queued + in-flight work finish before
+  /// cancelling in-flight requests and shedding the rest of the queue.
+  double drain_deadline_ms = 5000.0;
 };
 
 /// One answered request: the machine-readable classification plus the
@@ -75,9 +132,13 @@ struct Response {
   std::string payload;
   /// Set by SHUTDOWN: the transport should stop accepting after replying.
   bool shutdown = false;
+  /// > 0 on shed responses (kUnavailable): the daemon's backoff hint in
+  /// ms, serialized as the optional fourth header field.
+  double retry_after_ms = 0.0;
 
   [[nodiscard]] bool ok() const { return status.is_ok(); }
-  /// `OK 0 1234` / `ERR 4 87` — the response header line (no newline).
+  /// `OK 0 1234` / `ERR 4 87` / `ERR 12 31 50` — the response header line
+  /// (no newline; the trailing field appears only when retry_after_ms > 0).
   [[nodiscard]] std::string header() const;
   /// Full wire form: header + "\n" + payload + "\n".
   [[nodiscard]] std::string serialize() const;
@@ -89,14 +150,83 @@ struct Response {
 /// header or truncated payload.
 [[nodiscard]] bool parse_response(std::string_view wire, Response& out);
 
+/// The parsed request envelope: priority/deadline/attempt prefix tokens
+/// plus the remaining "VERB args..." text. Exposed for tests.
+struct RequestEnvelope {
+  Priority priority = Priority::kInteractive;
+  /// Caller-propagated deadline in ms from admission (0 = none).
+  double deadline_ms = 0.0;
+  /// 1-based retry attempt (1 = first try).
+  std::uint64_t attempt = 1;
+  /// The request line with envelope tokens stripped.
+  std::string rest;
+};
+
+/// Splits envelope tokens off the front of `line`. Returns false (and sets
+/// `error`) on a malformed envelope token.
+[[nodiscard]] bool parse_envelope(const std::string& line,
+                                  RequestEnvelope& out, std::string& error);
+
+/// Handle to one submitted request. Meta verbs and sheds complete before
+/// `submit` returns; queued compile verbs complete when a worker finishes
+/// (or the request is cancelled/shed). Copyable — all copies share state.
+class PendingRequest {
+ public:
+  struct State;
+
+  PendingRequest() = default;
+
+  /// True once the response is ready (take() will not block).
+  [[nodiscard]] bool done() const;
+  /// Waits up to `ms` for completion; true when done.
+  [[nodiscard]] bool wait_for(double ms) const;
+  /// Blocks until the response is ready and returns it.
+  [[nodiscard]] Response take();
+  /// Trips the request's cancellation hook (the transport calls this when
+  /// the client disconnects): a still-queued request completes kAborted
+  /// without executing; an executing compile observes the flag at its next
+  /// cancellation poll and aborts. Idempotent.
+  void cancel();
+
+ private:
+  friend class CompileService;
+  explicit PendingRequest(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
 class CompileService {
  public:
   explicit CompileService(ServiceConfig config = ServiceConfig{});
+  ~CompileService();
 
-  /// Answers one request line (no trailing newline required). Never
-  /// throws; malformed requests produce an ERR response with
-  /// kInvalidArgument.
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Admits one request line (no trailing newline required). Never throws
+  /// and never blocks on compile work: meta verbs execute inline, compile
+  /// verbs are queued for the worker pool or shed (kUnavailable) when the
+  /// queue is full / RSS headroom is gone / the service is draining.
+  /// Malformed requests produce an ERR response with kInvalidArgument.
+  [[nodiscard]] PendingRequest submit(const std::string& line);
+
+  /// Convenience: submit + take (blocks until the response is ready).
   [[nodiscard]] Response handle_line(const std::string& line);
+
+  /// Stops admitting compile requests (subsequent submissions shed with
+  /// kUnavailable "draining"). Already-queued and in-flight work is
+  /// unaffected. Idempotent; the SHUTDOWN verb calls this.
+  void begin_drain();
+
+  /// Blocks until queued + in-flight work completes, up to the configured
+  /// drain deadline; past it, cancels in-flight requests and sheds the
+  /// remaining queue. Joins the worker pool — the service stops executing
+  /// after drain() returns (pending submissions all hold responses).
+  void drain();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] driver::CompileSession& session() { return session_; }
 
@@ -106,29 +236,70 @@ class CompileService {
   [[nodiscard]] std::uint64_t requests_failed() const {
     return failures_.get();
   }
-  /// Requests currently inside handle_line (live introspection; HEALTH
-  /// reports it).
+  /// Requests shed by admission control (queue full, RSS, draining,
+  /// deadline expired in queue, connection limit).
+  [[nodiscard]] std::uint64_t requests_shed() const { return shed_.get(); }
+  /// Requests currently executing or queued (live introspection; HEALTH
+  /// reports executing + queued separately).
   [[nodiscard]] std::int64_t in_flight() const {
     return in_flight_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] int workers() const { return worker_count_; }
+
+  /// Builds (and counts) a shed response for a transport-level rejection —
+  /// the server uses this when the connection limit is hit, so connection
+  /// sheds and queue sheds share one taxonomy and one counter.
+  [[nodiscard]] Response shed_response(const std::string& reason);
 
  private:
-  [[nodiscard]] Response dispatch_line(const std::string& line,
+  [[nodiscard]] Response dispatch_meta(const std::string& verb,
+                                       const std::string& rest,
                                        std::uint64_t request_id);
+  void worker_main();
+  void execute(const std::shared_ptr<PendingRequest::State>& state);
+  [[nodiscard]] Response dispatch_queued(PendingRequest::State& state);
   [[nodiscard]] Response compile_request(
       const std::vector<driver::NamedSource>& sources,
       driver::CompileOptions options, const std::string& emit,
-      double budget_ms);
+      double budget_ms, PendingRequest::State& state);
+  [[nodiscard]] Response sleep_request(double ms,
+                                       PendingRequest::State& state);
+  /// Effective wall-clock budget: the request's (or default) budget,
+  /// clamped by max_budget_ms, min'd with the remaining DEADLINE_MS.
+  [[nodiscard]] double effective_budget_ms(
+      double requested_ms, const PendingRequest::State& state) const;
+  [[nodiscard]] double retry_after_hint_ms() const;
+  void finish(const std::shared_ptr<PendingRequest::State>& state,
+              Response response);
   [[nodiscard]] std::string stats_text() const;
   [[nodiscard]] std::string health_json() const;
   void record_abort(const support::Status& status);
+  void cancel_until_idle();
+  void join_workers();
 
   ServiceConfig config_;
+  int worker_count_ = 0;
   driver::CompileSession session_;
+  BoundedPriorityQueue<std::shared_ptr<PendingRequest::State>> queue_;
+  std::vector<std::thread> workers_;
+  std::once_flag join_once_;
+
+  /// Requests currently inside execute() — the drain deadline cancels
+  /// these through their shared states.
+  std::mutex active_mu_;
+  std::vector<std::shared_ptr<PendingRequest::State>> active_;
+
+  std::atomic<bool> draining_{false};
   support::RelaxedCounter requests_;
   support::RelaxedCounter failures_;
+  support::RelaxedCounter shed_;
   std::atomic<std::int64_t> in_flight_{0};
   std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::uint64_t> exec_seq_{0};
+  /// EWMA of execution wall-clock in us (relaxed; feeds the retry-after
+  /// hint). Seeded at 50ms so a cold daemon hints something sane.
+  std::atomic<std::uint64_t> avg_exec_us_{50000};
   const std::chrono::steady_clock::time_point start_ =
       std::chrono::steady_clock::now();
   /// Rendered status of the most recent kAborted compile ("" if none yet);

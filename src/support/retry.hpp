@@ -1,0 +1,60 @@
+// Capped exponential backoff with deterministic jitter — the client-side
+// half of the service's admission control.
+//
+// When `tydid` sheds a request (StatusCode::kUnavailable) the shed frame
+// carries a retry-after-ms hint sized from the daemon's queue state. A
+// `Retry` turns that contract into a loop: each failed attempt yields a
+// delay that grows exponentially (base * multiplier^attempt, capped), is
+// jittered deterministically from a caller-provided seed (splitmix64 of
+// (seed, attempt) — two clients with different seeds desynchronize, one
+// client replays identically, and tests are reproducible), and never
+// undercuts the server's hint. Used by `tydid --request` and by the
+// daemon-side batch-manifest client (`tydid --batch-manifest`), which runs
+// one Retry per manifest job.
+#pragma once
+
+#include <cstdint>
+
+namespace tydi::support {
+
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retry; <= 0 behaves as 1).
+  int max_attempts = 3;
+  /// Backoff before the second attempt, in ms.
+  double base_ms = 50.0;
+  /// Ceiling on the computed backoff (the server hint may exceed it).
+  double max_backoff_ms = 2000.0;
+  double multiplier = 2.0;
+  /// Jitter seed. Same seed + same attempt sequence => same delays.
+  std::uint64_t seed = 0;
+};
+
+/// Tracks one request's attempt budget. Not thread-safe (one request, one
+/// thread).
+class Retry {
+ public:
+  explicit Retry(RetryPolicy policy) : policy_(policy) {}
+
+  /// Call after a retryable failure. Returns false when the attempt budget
+  /// is exhausted (the caller should give up); otherwise sets `delay_ms` to
+  /// the pre-next-attempt sleep: jittered exponential backoff, raised to at
+  /// least `server_hint_ms` (a shed response's retry-after-ms; pass 0 when
+  /// the failure carried no hint).
+  [[nodiscard]] bool next_delay_ms(double server_hint_ms, double& delay_ms);
+
+  /// Attempts made so far (the first attempt counts as 1 once it failed).
+  [[nodiscard]] int attempts() const { return attempts_; }
+  /// The 1-based number of the attempt about to run (ATTEMPT wire token).
+  [[nodiscard]] int next_attempt() const { return attempts_ + 1; }
+
+ private:
+  RetryPolicy policy_;
+  int attempts_ = 0;
+};
+
+/// The deterministic jitter factor in [0.5, 1.0) used by Retry: a
+/// splitmix64 hash of (seed, attempt) mapped onto the unit interval.
+/// Exposed for tests and for callers that schedule their own sleeps.
+[[nodiscard]] double retry_jitter(std::uint64_t seed, int attempt);
+
+}  // namespace tydi::support

@@ -15,6 +15,7 @@ std::string_view to_string(StatusCode code) {
     case StatusCode::kDeadlock: return "deadlock";
     case StatusCode::kAborted: return "aborted";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }
@@ -35,8 +36,17 @@ int exit_code(StatusCode code) {
     case StatusCode::kDeadlock: return 9;
     case StatusCode::kAborted: return 10;
     case StatusCode::kInternal: return 11;
+    case StatusCode::kUnavailable: return 12;
   }
   return 1;
+}
+
+StatusCode status_code_for_exit(int exit) {
+  for (int c = 0; c < kNumStatusCodes; ++c) {
+    const auto code = static_cast<StatusCode>(c);
+    if (exit_code(code) == exit) return code;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::render() const {

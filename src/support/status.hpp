@@ -41,13 +41,26 @@ enum class StatusCode : std::uint8_t {
   kAborted,
   /// Invariant violation inside this compiler — always a bug.
   kInternal,
+  /// The service is overloaded or draining and shed this request without
+  /// executing it (admission control, queue full, deadline expired before a
+  /// worker picked it up). Always safe to retry after a backoff — shed
+  /// responses carry a retry-after-ms hint on the wire.
+  kUnavailable,
 };
+
+/// One past the last StatusCode value (for exhaustive iteration).
+inline constexpr int kNumStatusCodes =
+    static_cast<int>(StatusCode::kUnavailable) + 1;
 
 [[nodiscard]] std::string_view to_string(StatusCode code);
 
 /// Stable process exit code for a failure class (0 for kOk). Distinct per
 /// class so callers can dispatch without parsing diagnostics.
 [[nodiscard]] int exit_code(StatusCode code);
+
+/// Inverse of exit_code: the StatusCode whose stable exit code is `exit`
+/// (kInternal for unknown codes — an unclassifiable remote failure).
+[[nodiscard]] StatusCode status_code_for_exit(int exit);
 
 /// A failure classification: code + the pipeline phase that produced it
 /// ("parse", "elaborate", "sim", "manifest", ...) + a one-line message.

@@ -5,48 +5,186 @@
 // clients gets warm-cache compiles without each paying the stdlib
 // elaboration cost. Transport is an AF_UNIX stream socket with a
 // newline-delimited protocol (see src/service/service.hpp and
-// src/driver/README.md).
+// src/driver/README.md). Compile requests run on a fixed worker pool fed
+// by a bounded two-class priority queue; past capacity the daemon sheds
+// with exit code 12 (unavailable) and a retry-after-ms hint instead of
+// queueing unboundedly — src/service/README.md documents the overload
+// behaviour end to end.
 //
 // Usage:
-//   tydid --socket <path> [--default-budget-ms <ms>] [--max-budget-ms <ms>]
-//       run the daemon (blocks until a SHUTDOWN request)
-//   tydid --socket <path> --request "<line>"
-//       one-shot client: send one request line, print the payload to
-//       stdout, exit with the response's status code — the same stable
-//       0-11 taxonomy as tydic, so scripts can dispatch identically on
-//       local and daemon compiles
+//   tydid --socket <path> [--workers <n>] [--queue-capacity <n>]
+//         [--max-connections <n>] [--drain-deadline-ms <ms>]
+//         [--rss-shed-mb <mb>] [--default-budget-ms <ms>]
+//         [--max-budget-ms <ms>]
+//       run the daemon (blocks until a SHUTDOWN request or SIGINT/SIGTERM;
+//       both drain in-flight work and unlink the socket before exiting)
+//   tydid --socket <path> --request "<line>" [--retries <n>]
+//         [--retry-base-ms <ms>] [--retry-seed <n>] [--deadline-ms <ms>]
+//         [--prio <interactive|batch>]
+//       client: send one request line, print the payload to stdout, exit
+//       with the response's status code — the same stable 0-12 taxonomy as
+//       tydic, so scripts can dispatch identically on local and daemon
+//       compiles. Shed requests (exit 12) are retried up to --retries
+//       times with capped exponential backoff, deterministic seeded
+//       jitter, and the daemon's retry-after-ms hint as the floor.
+//   tydid --socket <path> --batch-manifest <path> [--emit <vhdl|ir>]
+//         [retry flags as above]
+//       client: compile every manifest job ("source_file top" per line, `#`
+//       comments) through the daemon as PRIO batch requests, one retry
+//       loop per job; per-job summary to stderr, exit 0 only if all jobs
+//       succeeded
 //   tydid --socket <path> --shutdown
 //       ask a running daemon to stop (client sugar for --request SHUTDOWN)
 //
 // Example session (client side):
 //   tydid --socket /tmp/tydid.sock --request "TPCH 6 vhdl" > q6.vhdl
 //   tydid --socket /tmp/tydid.sock --request "FILE my.td top_i vhdl 5000"
-//   tydid --socket /tmp/tydid.sock --request STATS
+//   tydid --socket /tmp/tydid.sock --deadline-ms 2000 --request "TPCH 3 ir"
+//   tydid --socket /tmp/tydid.sock --retries 5 --request STATS
 //   tydid --socket /tmp/tydid.sock --request METRICS   # registry JSON
-//   tydid --socket /tmp/tydid.sock --request HEALTH    # uptime/in-flight
+//   tydid --socket /tmp/tydid.sock --request HEALTH    # liveness JSON
 //   tydid --socket /tmp/tydid.sock --shutdown
 //
 // METRICS returns the process obs::MetricsRegistry snapshot (counters,
 // gauges, histograms under tydi.<subsystem>.*, stable key order); HEALTH
-// returns a small liveness JSON (status, uptime_ms, in_flight, requests,
-// failures, memo_hit_rate, last_abort). Both are safe to poll while
-// compiles are in flight.
+// returns a small liveness JSON (status, uptime_ms, in_flight, queue_depth,
+// workers, draining, shed_total, requests, failures, memo_hit_rate,
+// last_abort). Both execute inline — never queued — so they stay
+// responsive while the worker pool is saturated.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/service/server.hpp"
 #include "src/service/service.hpp"
+#include "src/support/retry.hpp"
 
 namespace {
 
 int usage() {
   std::cerr
-      << "usage: tydid --socket <path> [--default-budget-ms <ms>] "
-         "[--max-budget-ms <ms>]\n"
+      << "usage: tydid --socket <path> [--workers <n>] "
+         "[--queue-capacity <n>] [--max-connections <n>]\n"
+         "             [--drain-deadline-ms <ms>] [--rss-shed-mb <mb>]\n"
+         "             [--default-budget-ms <ms>] [--max-budget-ms <ms>]\n"
          "       tydid --socket <path> --request \"<request line>\"\n"
+         "             [--retries <n>] [--retry-base-ms <ms>] "
+         "[--retry-seed <n>]\n"
+         "             [--deadline-ms <ms>] [--prio <interactive|batch>]\n"
+         "       tydid --socket <path> --batch-manifest <path> "
+         "[--emit <vhdl|ir>]\n"
          "       tydid --socket <path> --shutdown\n";
   return 2;
+}
+
+/// Builds the envelope prefix ("PRIO ... DEADLINE_MS ... ") for a client
+/// request line; ATTEMPT is appended per-try by request_with_retry.
+std::string envelope_prefix(const std::string& prio, double deadline_ms) {
+  std::string prefix;
+  if (!prio.empty()) prefix += "PRIO " + prio + " ";
+  if (deadline_ms > 0.0) {
+    std::ostringstream ms;
+    ms << deadline_ms;
+    prefix += "DEADLINE_MS " + ms.str() + " ";
+  }
+  return prefix;
+}
+
+/// One retried request against the daemon: payload to stdout (stderr on
+/// failure), remote status as exit code; transport failures map to their
+/// own taxonomy entry (kIoError etc.) like any local I/O problem.
+int run_client(const std::string& socket_path, const std::string& line,
+               const tydi::support::RetryPolicy& policy) {
+  tydi::service::Response response;
+  int attempts = 1;
+  const tydi::support::Status transport = tydi::service::request_with_retry(
+      socket_path, line, policy, response, &attempts);
+  if (!transport.is_ok()) {
+    std::cerr << "error: " << transport.render() << "\n";
+    return transport.exit_code();
+  }
+  if (response.ok()) {
+    std::cout << response.payload;
+  } else {
+    std::cerr << response.payload;
+    if (attempts > 1) {
+      std::cerr << "tydid: gave up after " << attempts << " attempt(s)\n";
+    }
+  }
+  return response.status.exit_code();
+}
+
+/// Client-side batch mode: every manifest job becomes a PRIO batch FILE
+/// request with its own retry loop, so bulk traffic rides the daemon's
+/// batch queue class and backs off when the daemon sheds.
+int run_batch_client(const std::string& socket_path,
+                     const std::string& manifest_path,
+                     const std::string& emit, const std::string& deadline,
+                     const tydi::support::RetryPolicy& policy) {
+  std::ifstream manifest(manifest_path);
+  if (!manifest) {
+    std::cerr << "error: cannot read manifest " << manifest_path << "\n";
+    return tydi::support::exit_code(tydi::support::StatusCode::kIoError);
+  }
+  std::size_t jobs = 0;
+  std::size_t failed = 0;
+  int first_failure_exit = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(manifest, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string source_path;
+    std::string top;
+    if (!(fields >> source_path)) continue;  // blank line
+    if (source_path.front() == '#') continue;
+    const std::string name =
+        manifest_path + ":" + std::to_string(line_no);
+    if (!(fields >> top)) {
+      std::cerr << "FAIL " << name << ": expected \"source_file top\"\n";
+      ++jobs;
+      ++failed;
+      if (first_failure_exit == 0) {
+        first_failure_exit = tydi::support::exit_code(
+            tydi::support::StatusCode::kCorruptData);
+      }
+      continue;
+    }
+    ++jobs;
+    const std::string request_line = envelope_prefix("batch", 0.0) +
+                                     deadline + "FILE " + source_path +
+                                     " " + top + " " + emit;
+    tydi::service::Response response;
+    int attempts = 1;
+    const tydi::support::Status transport =
+        tydi::service::request_with_retry(socket_path, request_line, policy,
+                                          response, &attempts);
+    const bool ok = transport.is_ok() && response.ok();
+    if (ok) {
+      std::cerr << "ok   " << source_path << " " << top << " ("
+                << response.payload.size() << " bytes";
+      if (attempts > 1) std::cerr << ", " << attempts << " attempts";
+      std::cerr << ")\n";
+    } else {
+      ++failed;
+      std::cerr << "FAIL " << source_path << " " << top << ": "
+                << (transport.is_ok() ? response.status.render()
+                                      : transport.render())
+                << "\n";
+      if (first_failure_exit == 0) {
+        first_failure_exit = transport.is_ok() ? response.status.exit_code()
+                                               : transport.exit_code();
+      }
+    }
+  }
+  std::cerr << "tydid: batch " << (jobs - failed) << "/" << jobs
+            << " job(s) succeeded\n";
+  // Same convention as `tydic --batch`: the first failing job's
+  // classification is the process exit code.
+  return first_failure_exit;
 }
 
 }  // namespace
@@ -54,8 +192,14 @@ int usage() {
 int main(int argc, char** argv) {
   std::string socket_path;
   std::string request_line;
+  std::string manifest_path;
+  std::string emit = "vhdl";
+  std::string prio;
+  double deadline_ms = 0.0;
   bool shutdown = false;
   tydi::service::ServiceConfig config;
+  tydi::service::ServerConfig server_config;
+  tydi::support::RetryPolicy retry;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -70,6 +214,14 @@ int main(int argc, char** argv) {
       socket_path = next("--socket");
     } else if (arg == "--request") {
       request_line = next("--request");
+    } else if (arg == "--batch-manifest") {
+      manifest_path = next("--batch-manifest");
+    } else if (arg == "--emit") {
+      emit = next("--emit");
+      if (emit != "vhdl" && emit != "ir") {
+        std::cerr << "error: --emit expects vhdl|ir\n";
+        return 2;
+      }
     } else if (arg == "--shutdown") {
       shutdown = true;
     } else if (arg == "--default-budget-ms") {
@@ -78,6 +230,41 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-budget-ms") {
       config.max_budget_ms = std::atof(next("--max-budget-ms").c_str());
       if (config.max_budget_ms < 0) config.max_budget_ms = 0;
+    } else if (arg == "--workers") {
+      config.workers = std::atoi(next("--workers").c_str());
+    } else if (arg == "--queue-capacity") {
+      const int capacity = std::atoi(next("--queue-capacity").c_str());
+      config.queue_capacity =
+          capacity > 0 ? static_cast<std::size_t>(capacity) : 1;
+    } else if (arg == "--max-connections") {
+      const int cap = std::atoi(next("--max-connections").c_str());
+      server_config.max_connections =
+          cap > 0 ? static_cast<std::size_t>(cap) : 0;
+    } else if (arg == "--drain-deadline-ms") {
+      config.drain_deadline_ms =
+          std::atof(next("--drain-deadline-ms").c_str());
+      if (config.drain_deadline_ms < 0) config.drain_deadline_ms = 0;
+    } else if (arg == "--rss-shed-mb") {
+      const long long mb = std::atoll(next("--rss-shed-mb").c_str());
+      config.rss_shed_mb =
+          mb > 0 ? static_cast<std::uint64_t>(mb) : 0;
+    } else if (arg == "--retries") {
+      retry.max_attempts = std::atoi(next("--retries").c_str());
+    } else if (arg == "--retry-base-ms") {
+      retry.base_ms = std::atof(next("--retry-base-ms").c_str());
+      if (retry.base_ms < 0) retry.base_ms = 0;
+    } else if (arg == "--retry-seed") {
+      retry.seed = static_cast<std::uint64_t>(
+          std::atoll(next("--retry-seed").c_str()));
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::atof(next("--deadline-ms").c_str());
+      if (deadline_ms < 0) deadline_ms = 0;
+    } else if (arg == "--prio") {
+      prio = next("--prio");
+      if (prio != "interactive" && prio != "batch") {
+        std::cerr << "error: --prio expects interactive|batch\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else {
@@ -88,35 +275,29 @@ int main(int argc, char** argv) {
   if (socket_path.empty()) return usage();
   if (shutdown && request_line.empty()) request_line = "SHUTDOWN";
 
+  if (!manifest_path.empty()) {
+    return run_batch_client(socket_path, manifest_path, emit,
+                            envelope_prefix("", deadline_ms), retry);
+  }
   if (!request_line.empty()) {
-    // Client mode: one request, payload to stdout, remote status as exit
-    // code (transport failures are kIoError like any local I/O problem).
-    tydi::service::Response response;
-    tydi::support::Status transport =
-        tydi::service::request(socket_path, request_line, response);
-    if (!transport.is_ok()) {
-      std::cerr << "error: " << transport.render() << "\n";
-      return transport.exit_code();
-    }
-    if (response.ok()) {
-      std::cout << response.payload;
-    } else {
-      std::cerr << response.payload;
-    }
-    return response.status.exit_code();
+    return run_client(socket_path,
+                      envelope_prefix(prio, deadline_ms) + request_line,
+                      retry);
   }
 
   // Daemon mode.
   tydi::service::CompileService service(config);
-  tydi::service::ServerConfig server_config;
   server_config.socket_path = socket_path;
-  std::cerr << "tydid: serving on " << socket_path << "\n";
+  server_config.handle_signals = true;
+  std::cerr << "tydid: serving on " << socket_path << " ("
+            << service.workers() << " workers, queue capacity "
+            << config.queue_capacity << ")\n";
   tydi::support::Status status = tydi::service::serve(service, server_config);
   if (!status.is_ok()) {
     std::cerr << "error: " << status.render() << "\n";
     return status.exit_code();
   }
   std::cerr << "tydid: shut down after " << service.requests_served()
-            << " request(s)\n";
+            << " request(s), " << service.requests_shed() << " shed\n";
   return 0;
 }

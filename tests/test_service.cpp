@@ -331,6 +331,12 @@ TEST(ServiceServer, MetricsAndHealthDuringConcurrentFileRequests) {
   ASSERT_TRUE(health.ok());
   EXPECT_TRUE(obs::json_valid(health.payload)) << health.payload;
   EXPECT_NE(health.payload.find("\"in_flight\":"), std::string::npos);
+  EXPECT_NE(health.payload.find("\"queue_depth\":"), std::string::npos);
+  EXPECT_NE(health.payload.find("\"shed_total\":"), std::string::npos);
+  EXPECT_NE(health.payload.find("\"workers\":"), std::string::npos);
+  // Nothing shed or draining in this test: a healthy daemon reports so.
+  EXPECT_NE(health.payload.find("\"draining\":false"), std::string::npos);
+  EXPECT_NE(health.payload.find("\"status\":\"ok\""), std::string::npos);
 
   service::Response bye;
   ASSERT_TRUE(service::request(socket_path, "SHUTDOWN", bye).is_ok());

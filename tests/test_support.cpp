@@ -9,7 +9,9 @@
 
 #include "src/support/diagnostic.hpp"
 #include "src/support/intern.hpp"
+#include "src/support/retry.hpp"
 #include "src/support/source.hpp"
+#include "src/support/status.hpp"
 #include "src/support/text.hpp"
 
 // Process-wide allocation counter for the CodeWriter regression test: every
@@ -308,6 +310,74 @@ TEST(TextHelpers, SanitizeIdentifier) {
   EXPECT_EQ(sanitize_identifier("123"), "x123");
   EXPECT_EQ(sanitize_identifier("___"), "x");
   EXPECT_EQ(sanitize_identifier("trailing_"), "trailing");
+}
+
+TEST(Status, UnavailableHasStableExitCode) {
+  EXPECT_EQ(exit_code(StatusCode::kUnavailable), 12);
+  EXPECT_EQ(to_string(StatusCode::kUnavailable), "unavailable");
+  // Every exit code round-trips through the inverse mapping — the wire
+  // protocol reconstructs remote classifications from exit codes alone.
+  for (int c = 0; c < kNumStatusCodes; ++c) {
+    const auto code = static_cast<StatusCode>(c);
+    EXPECT_EQ(status_code_for_exit(exit_code(code)), code)
+        << to_string(code);
+  }
+  // Unknown exit codes classify as internal rather than crashing.
+  EXPECT_EQ(status_code_for_exit(250), StatusCode::kInternal);
+}
+
+TEST(Retry, JitterIsDeterministicAndBounded) {
+  for (std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+    for (int attempt = 1; attempt <= 16; ++attempt) {
+      const double j = retry_jitter(seed, attempt);
+      EXPECT_GE(j, 0.5);
+      EXPECT_LT(j, 1.0);
+      EXPECT_EQ(j, retry_jitter(seed, attempt));  // replayable
+    }
+  }
+  // Different seeds desynchronize (thundering-herd protection).
+  EXPECT_NE(retry_jitter(1, 1), retry_jitter(2, 1));
+}
+
+TEST(Retry, BackoffGrowsCapsAndHonorsServerHint) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_ms = 100.0;
+  policy.max_backoff_ms = 250.0;
+  policy.multiplier = 2.0;
+  policy.seed = 7;
+  Retry retry(policy);
+  EXPECT_EQ(retry.next_attempt(), 1);
+
+  double d1 = 0.0;
+  ASSERT_TRUE(retry.next_delay_ms(0.0, d1));
+  EXPECT_EQ(retry.attempts(), 1);
+  EXPECT_EQ(retry.next_attempt(), 2);
+  EXPECT_GE(d1, 100.0 * 0.5);
+  EXPECT_LT(d1, 100.0);
+
+  double d2 = 0.0;
+  ASSERT_TRUE(retry.next_delay_ms(0.0, d2));
+  EXPECT_GE(d2, 200.0 * 0.5);
+  EXPECT_LT(d2, 200.0);
+
+  // Third backoff would be 400ms nominal but caps at 250; a server hint
+  // above the computed backoff becomes the floor.
+  double d3 = 0.0;
+  ASSERT_TRUE(retry.next_delay_ms(600.0, d3));
+  EXPECT_EQ(d3, 600.0);
+
+  // Attempt budget exhausted (4 attempts = 3 sleeps).
+  double d4 = 0.0;
+  EXPECT_FALSE(retry.next_delay_ms(0.0, d4));
+}
+
+TEST(Retry, SingleAttemptPolicyNeverSleeps) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  Retry retry(policy);
+  double delay = 0.0;
+  EXPECT_FALSE(retry.next_delay_ms(1000.0, delay));
 }
 
 }  // namespace
