@@ -46,9 +46,18 @@
 // queue thread-per-request baseline (same worker count compiling directly
 // through one shared session) when the machine has >= 4 hardware threads
 // (no-regression floor of 0.7 otherwise).
+//
+// A fifth section, "service_restart", exercises the durable compile
+// journal: a journaled daemon compiles the workload cold, restarts on the
+// same journal, and replays. Gates: every journaled key replays, the
+// post-replay responses are byte-identical to the pre-restart daemon's,
+// the post-replay memo hit rate clears --min-warm-hit-rate, and
+// interactive traffic racing the replay is either served byte-identically
+// or shed within --max-shed-reply-ms.
 #include <benchmark/benchmark.h>
 
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -56,8 +65,10 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_json.hpp"
 #include "src/driver/compiler.hpp"
@@ -853,6 +864,230 @@ int run_service_overload_json(const JsonOptions& options) {
   return rc;
 }
 
+/// Crash-safe warm restarts: a journaled daemon compiles the full query
+/// set, restarts on the same journal, and replays. Gates: every journaled
+/// key replays, post-replay responses are byte-identical to the first
+/// daemon's, the post-replay memo hit rate clears min_warm_hit_rate, and
+/// live interactive traffic arriving *during* replay still gets prompt
+/// service — shed replies within max_shed_reply_ms, accepted replies
+/// byte-identical (replay is batch-class work; it must never capture the
+/// queue).
+int run_service_restart_json(const JsonOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const std::string journal_path =
+      "/tmp/tydi_bench_restart_" + std::to_string(::getpid()) + ".jnl";
+  ::unlink(journal_path.c_str());
+
+  std::vector<std::string> requests;
+  for (const int q : {1, 3, 5, 6, 19}) {
+    for (const char* emit : {"vhdl", "ir"}) {
+      requests.push_back("TPCH " + std::to_string(q) + " " + emit);
+    }
+  }
+  const std::size_t q6_vhdl_index = 6;  // "TPCH 6 vhdl" in `requests`
+
+  tydi::service::ServiceConfig config;
+  config.workers = 2;
+  config.journal_path = journal_path;
+
+  // Pass 1 — cold journaled daemon: serve the workload (recording every
+  // key), keep the reference payloads, drain (which compacts).
+  std::vector<std::string> reference(requests.size());
+  double cold_workload_ms = 0.0;
+  {
+    tydi::service::CompileService svc(config);
+    if (svc.journal() == nullptr) {
+      std::cerr << "error: journal " << journal_path << " unusable\n";
+      return 1;
+    }
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      tydi::service::Response r = svc.handle_line(requests[i]);
+      if (!r.ok()) {
+        std::cerr << "error: cold compile '" << requests[i]
+                  << "' failed: " << r.payload << "\n";
+        return 1;
+      }
+      reference[i] = std::move(r.payload);
+    }
+    cold_workload_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    svc.drain();
+  }
+
+  // Pass 2 — restart + replay with no competing traffic: time-to-warm,
+  // first-request latency, byte identity, and the warm hit rate over the
+  // replayed workload.
+  double replay_ms = 0.0;
+  double first_request_ms = 0.0;
+  double warm_workload_ms = 0.0;
+  double post_replay_hit_rate = 0.0;
+  std::uint64_t replayed = 0;
+  std::uint64_t skipped_stale = 0;
+  int mismatched = 0;
+  {
+    tydi::service::CompileService svc(config);
+    if (svc.journal() == nullptr ||
+        svc.journal()->recovered_records() != requests.size()) {
+      std::cerr << "error: restart recovered "
+                << (svc.journal() ? svc.journal()->recovered_records() : 0)
+                << " record(s), expected " << requests.size() << "\n";
+      return 1;
+    }
+    const auto t0 = Clock::now();
+    svc.start_replay();
+    svc.wait_replay();
+    replay_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    replayed = svc.replay_stats().replayed.get();
+    skipped_stale = svc.replay_stats().skipped_stale.get();
+
+    const tydi::elab::MemoStats& memo0 = svc.session().memo().stats();
+    const std::uint64_t hits0 = memo0.streamlet_hits + memo0.impl_hits;
+    const std::uint64_t lookups0 = hits0 + memo0.misses + memo0.stale;
+    const auto t1 = Clock::now();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto tr = Clock::now();
+      tydi::service::Response r = svc.handle_line(requests[i]);
+      if (i == 0) {
+        first_request_ms = std::chrono::duration<double, std::milli>(
+                               Clock::now() - tr)
+                               .count();
+      }
+      if (!r.ok() || r.payload != reference[i]) ++mismatched;
+    }
+    warm_workload_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t1).count();
+    const tydi::elab::MemoStats& memo1 = svc.session().memo().stats();
+    const std::uint64_t hits1 = memo1.streamlet_hits + memo1.impl_hits;
+    const std::uint64_t lookups1 = hits1 + memo1.misses + memo1.stale;
+    post_replay_hit_rate =
+        lookups1 > lookups0
+            ? static_cast<double>(hits1 - hits0) /
+                  static_cast<double>(lookups1 - lookups0)
+            : 0.0;
+    svc.drain();
+  }
+
+  // Pass 3 — restart again with a tiny queue and an interactive flood
+  // racing the replay: replay is batch work, so live traffic must still be
+  // served (byte-identically) or shed with a prompt kUnavailable reply.
+  int live_accepted = 0;
+  int live_shed = 0;
+  int live_unexpected = 0;
+  int live_mismatched = 0;
+  double worst_live_shed_ms = 0.0;
+  {
+    tydi::service::ServiceConfig tight = config;
+    tight.queue_capacity = 2;
+    tydi::service::CompileService svc(tight);
+    svc.start_replay();
+    constexpr int kLiveClients = 4;
+    constexpr int kLiveRequests = 3;
+    std::mutex mu;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kLiveClients; ++c) {
+      threads.emplace_back([&]() {
+        for (int i = 0; i < kLiveRequests; ++i) {
+          const auto t0 = Clock::now();
+          tydi::service::Response r = svc.handle_line("TPCH 6 vhdl");
+          const double reply_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count();
+          std::lock_guard lock(mu);
+          if (r.ok()) {
+            ++live_accepted;
+            if (r.payload != reference[q6_vhdl_index]) ++live_mismatched;
+          } else if (r.status.code() ==
+                     tydi::support::StatusCode::kUnavailable) {
+            ++live_shed;
+            worst_live_shed_ms = std::max(worst_live_shed_ms, reply_ms);
+          } else {
+            ++live_unexpected;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    svc.wait_replay();
+    svc.drain();
+  }
+  ::unlink(journal_path.c_str());
+
+  std::ostringstream section;
+  section << "{\n"
+          << "  \"benchmark\": \"service_restart\",\n"
+          << "  \"journaled_keys\": " << requests.size() << ",\n"
+          << "  \"cold_workload_ms\": " << cold_workload_ms << ",\n"
+          << "  \"replay_ms\": " << replay_ms << ",\n"
+          << "  \"first_request_after_restart_ms\": " << first_request_ms
+          << ",\n"
+          << "  \"warm_workload_ms\": " << warm_workload_ms << ",\n"
+          << "  \"replayed\": " << replayed << ",\n"
+          << "  \"replay_skipped_stale\": " << skipped_stale << ",\n"
+          << "  \"post_replay_hit_rate\": " << post_replay_hit_rate << ",\n"
+          << "  \"min_warm_hit_rate\": " << options.min_warm_hit_rate
+          << ",\n"
+          << "  \"post_replay_identical\": "
+          << (mismatched == 0 ? "true" : "false") << ",\n"
+          << "  \"live_accepted_during_replay\": " << live_accepted << ",\n"
+          << "  \"live_shed_during_replay\": " << live_shed << ",\n"
+          << "  \"worst_live_shed_reply_ms\": " << worst_live_shed_ms
+          << ",\n"
+          << "  \"max_shed_reply_ms\": " << options.max_shed_reply_ms << "\n"
+          << "}";
+  if (!benchjson::upsert_section(options.path, "service_restart",
+                                 section.str())) {
+    std::cerr << "error: cannot write " << options.path << "\n";
+    return 1;
+  }
+
+  std::cout << "service restart: " << replayed << "/" << requests.size()
+            << " key(s) replayed in " << replay_ms
+            << " ms (cold workload " << cold_workload_ms
+            << " ms, warm workload " << warm_workload_ms
+            << " ms); post-replay hit rate " << post_replay_hit_rate
+            << "; during replay " << live_accepted << " live accepted, "
+            << live_shed << " shed (worst shed reply "
+            << worst_live_shed_ms << " ms)\n";
+
+  int rc = 0;
+  if (replayed != requests.size()) {
+    std::cerr << "error: " << replayed << "/" << requests.size()
+              << " journaled key(s) replayed\n";
+    rc = 1;
+  }
+  if (mismatched != 0) {
+    std::cerr << "error: " << mismatched
+              << " post-replay response(s) diverged from the pre-restart "
+                 "daemon\n";
+    rc = 1;
+  }
+  if (post_replay_hit_rate < options.min_warm_hit_rate) {
+    std::cerr << "error: post-replay hit rate " << post_replay_hit_rate
+              << " below floor " << options.min_warm_hit_rate << "\n";
+    rc = 1;
+  }
+  if (live_unexpected != 0) {
+    std::cerr << "error: " << live_unexpected
+              << " live request(s) during replay failed with a class "
+                 "other than unavailable\n";
+    rc = 1;
+  }
+  if (live_mismatched != 0) {
+    std::cerr << "error: " << live_mismatched
+              << " live response(s) during replay diverged\n";
+    rc = 1;
+  }
+  if (live_shed > 0 && worst_live_shed_ms > options.max_shed_reply_ms) {
+    std::cerr << "error: slowest shed reply during replay "
+              << worst_live_shed_ms << " ms above ceiling "
+              << options.max_shed_reply_ms << " ms\n";
+    rc = 1;
+  }
+  return rc;
+}
+
 int main(int argc, char** argv) {
   JsonOptions options;
   for (int i = 1; i + 1 < argc; ++i) {
@@ -885,10 +1120,12 @@ int main(int argc, char** argv) {
     const int parallel_rc = run_compile_parallel_json(options);
     const int obs_rc = run_obs_overhead_json(options);
     const int overload_rc = run_service_overload_json(options);
+    const int restart_rc = run_service_restart_json(options);
     if (serial_rc != 0) return serial_rc;
     if (parallel_rc != 0) return parallel_rc;
     if (obs_rc != 0) return obs_rc;
-    return overload_rc;
+    if (overload_rc != 0) return overload_rc;
+    return restart_rc;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

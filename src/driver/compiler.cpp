@@ -15,6 +15,16 @@
 
 namespace tydi::driver {
 
+std::vector<SourceStamp> source_stamps(
+    const std::vector<NamedSource>& sources) {
+  std::vector<SourceStamp> stamps;
+  stamps.reserve(sources.size());
+  for (const NamedSource& source : sources) {
+    stamps.push_back(SourceStamp{source.name, elab::source_hash(source.text)});
+  }
+  return stamps;
+}
+
 void PhaseTimings::add(std::string_view phase, double ms) {
   for (Entry& e : entries_) {
     if (e.phase == phase) {

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "src/elab/memo.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/guard.hpp"
@@ -204,9 +205,13 @@ CompileService::CompileService(ServiceConfig config)
                         : static_cast<int>(std::max(
                               2u, std::thread::hardware_concurrency()))),
       queue_(config.queue_capacity) {
+  open_journal();
   workers_.reserve(static_cast<std::size_t>(worker_count_));
   for (int i = 0; i < worker_count_; ++i) {
     workers_.emplace_back([this]() { worker_main(); });
+  }
+  if (journal_ && config_.snapshot_interval_ms > 0.0) {
+    snapshot_thread_ = std::thread([this]() { snapshot_main(); });
   }
 }
 
@@ -218,6 +223,35 @@ CompileService::~CompileService() {
   cancel_until_idle();
   queue_.close();
   join_workers();
+  stop_background_threads();
+}
+
+void CompileService::open_journal() {
+  if (config_.journal_path.empty()) return;
+  auto journal = std::make_unique<warmup::CompileJournal>();
+  if (config_.journal_faults.enabled()) {
+    journal->set_fault_plan(config_.journal_faults);
+  }
+  const Status status = journal->open(config_.journal_path);
+  if (!status.is_ok()) {
+    // The path itself is unusable (unreadable/uncreatable). Serve without
+    // durability rather than refusing to boot; HEALTH carries the reason.
+    journal_boot_error_ = status.render();
+    return;
+  }
+  if (journal->recovered_corrupt()) {
+    // Torn tail or corruption truncated away: this boot is (partially)
+    // cold. The classification HEALTH reports is kCorruptData.
+    journal_boot_error_ =
+        Status::error(StatusCode::kCorruptData, "journal",
+                      "recovered journal dropped " +
+                          std::to_string(journal->recovery_dropped_bytes()) +
+                          " corrupt tail byte(s); continuing from " +
+                          std::to_string(journal->recovered_records()) +
+                          " valid record(s)")
+            .render();
+  }
+  journal_ = std::move(journal);
 }
 
 /// Sheds everything queued and cancels everything executing, sweeping
@@ -420,6 +454,113 @@ void CompileService::drain() {
   cancel_until_idle();
   queue_.close();
   join_workers();
+  stop_background_threads();
+  if (journal_) {
+    // Final compaction on the graceful-exit path: the next boot recovers
+    // the deduplicated live key set instead of the full append history.
+    (void)journal_->compact();
+  }
+}
+
+void CompileService::stop_background_threads() {
+  {
+    std::lock_guard lock(bg_mu_);
+    stop_bg_ = true;
+  }
+  bg_cv_.notify_all();
+  if (replay_thread_.joinable()) replay_thread_.join();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+}
+
+void CompileService::start_replay() {
+  if (!journal_ || !config_.replay) return;
+  if (replay_started_.exchange(true)) return;
+  if (journal_->recovered_entries().empty()) return;
+  replay_done_.store(false, std::memory_order_release);
+  replay_thread_ = std::thread([this]() { replay_main(); });
+}
+
+void CompileService::wait_replay() {
+  if (replay_thread_.joinable()) replay_thread_.join();
+}
+
+void CompileService::replay_main() {
+  static auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& replayed_metric =
+      reg.counter("tydi.service.replay.replayed");
+  static obs::Counter& stale_metric =
+      reg.counter("tydi.service.replay.skipped_stale");
+  static obs::Counter& shed_metric = reg.counter("tydi.service.replay.shed");
+  static obs::Counter& failed_metric =
+      reg.counter("tydi.service.replay.failed");
+  static obs::Counter& expired_metric =
+      reg.counter("tydi.service.replay.budget_expired");
+  static obs::Gauge& ms_gauge = reg.gauge("tydi.service.replay.ms");
+
+  const std::vector<warmup::JournalEntry> entries =
+      journal_->recovered_entries();
+  warmup::ReplayOptions options;
+  options.budget_ms = config_.replay_budget_ms;
+  double elapsed_ms = 0.0;
+  {
+    obs::Span span("service.replay");
+    span.arg("entries", entries.size());
+    elapsed_ms = warmup::replay_entries(
+        entries, options,
+        [this](const std::string& request) {
+          // Through the normal admission path, as batch work: live
+          // interactive traffic preempts replay in the queue, and the
+          // same shedding that protects clients protects the restart.
+          return handle_line("PRIO batch " + request).status;
+        },
+        replay_stats_,
+        [this] { return draining_.load(std::memory_order_acquire); });
+  }
+  replayed_metric += replay_stats_.replayed.get();
+  stale_metric += replay_stats_.skipped_stale.get();
+  shed_metric += replay_stats_.shed.get();
+  failed_metric += replay_stats_.failed.get();
+  expired_metric += replay_stats_.budget_expired.get();
+  ms_gauge.set(elapsed_ms);
+  replay_done_.store(true, std::memory_order_release);
+}
+
+void CompileService::snapshot_main() {
+  std::unique_lock lock(bg_mu_);
+  for (;;) {
+    const bool stopping = bg_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(
+            config_.snapshot_interval_ms),
+        [this] { return stop_bg_; });
+    if (stopping) return;
+    lock.unlock();
+    (void)journal_->compact();  // failures recorded in journal last_error
+    lock.lock();
+  }
+}
+
+void CompileService::journal_success(const warmup::JournalEntry& entry) {
+  if (journal_) journal_->record(entry);
+}
+
+Response CompileService::snapshot_now() {
+  if (!journal_) {
+    return error_response(StatusCode::kInvalidArgument,
+                          "no journal configured (--journal)");
+  }
+  const Status status = journal_->compact();
+  if (!status.is_ok()) {
+    Response r;
+    r.status = status;
+    r.payload = status.render() + "\n";
+    return r;
+  }
+  Response r;
+  r.payload = "compacted " + std::to_string(journal_->live_keys()) +
+              " key(s), " + std::to_string(journal_->journal_bytes()) +
+              " bytes";
+  return r;
 }
 
 void CompileService::join_workers() {
@@ -632,9 +773,16 @@ Response CompileService::dispatch_queued(PendingRequest::State& state) {
       return error_response(StatusCode::kInvalidArgument,
                             "unknown TPC-H query '" + number + "'");
     }
-    return compile_request(tpch::query_sources(*query),
-                           tpch::query_options(*query), emit, budget_ms,
-                           state);
+    Response r = compile_request(tpch::query_sources(*query),
+                                 tpch::query_options(*query), emit,
+                                 budget_ms, state);
+    if (r.ok()) {
+      // TPCH sources are built into the binary: the key needs no stamps
+      // (a different binary re-derives everything on replay anyway).
+      journal_success(
+          warmup::JournalEntry{"TPCH " + number + " " + emit, {}});
+    }
+    return r;
   }
 
   if (verb == "FILE") {
@@ -673,8 +821,21 @@ Response CompileService::dispatch_queued(PendingRequest::State& state) {
     }
     driver::CompileOptions options;
     options.top = top;
-    return compile_request(sources, std::move(options), emit, budget_ms,
-                           state);
+    Response r = compile_request(sources, std::move(options), emit,
+                                 budget_ms, state);
+    if (r.ok()) {
+      // Journal the key with a content stamp per source, taken from the
+      // exact bytes that compiled — replay skips the key when any file on
+      // disk no longer matches.
+      warmup::JournalEntry entry;
+      entry.request = "FILE " + path + " " + top + " " + emit;
+      for (const driver::SourceStamp& stamp : driver::source_stamps(sources)) {
+        entry.stamps.push_back(
+            warmup::SourceStampRecord{stamp.name, stamp.hash});
+      }
+      journal_success(entry);
+    }
+    return r;
   }
 
   return error_response(StatusCode::kInternal,
@@ -714,6 +875,9 @@ Response CompileService::dispatch_meta(const std::string& verb,
     r.payload = "invalidated";
     return r;
   }
+  if (verb == "SNAPSHOT") {
+    return snapshot_now();
+  }
   if (verb == "SHUTDOWN") {
     // Stop admitting right away (in-flight + queued work still drains);
     // the transport sees the flag and runs the full drain + unlink path.
@@ -740,13 +904,22 @@ std::string CompileService::health_json() const {
     std::lock_guard lock(last_abort_mu_);
     last_abort = last_abort_;
   }
-  // last_abort is a rendered Status (no quotes/backslashes/control bytes in
-  // practice), but escape defensively since messages embed file paths.
-  std::string escaped;
-  for (char c : last_abort) {
-    if (c == '"' || c == '\\') escaped += '\\';
-    if (static_cast<unsigned char>(c) < 0x20) continue;
-    escaped += c;
+  // Rendered Status strings carry no quotes/backslashes/control bytes in
+  // practice, but escape defensively since messages embed file paths.
+  const auto escape = [](const std::string& text) {
+    std::string escaped;
+    for (char c : text) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      escaped += c;
+    }
+    return escaped;
+  };
+  const std::string escaped = escape(last_abort);
+  std::string journal_error = journal_boot_error_;
+  if (journal_) {
+    const std::string io_error = journal_->last_error();
+    if (!io_error.empty()) journal_error = io_error;
   }
   const bool is_draining = draining_.load(std::memory_order_acquire);
   std::string out = "{\"status\":\"";
@@ -769,6 +942,30 @@ std::string CompileService::health_json() const {
   out += std::to_string(failures_.get());
   out += ",\"memo_hit_rate\":";
   out += obs::json_number(hit_rate);
+  out += ",\"journal_enabled\":";
+  out += journal_ ? "true" : "false";
+  out += ",\"journal_bytes\":";
+  out += std::to_string(journal_ ? journal_->journal_bytes() : 0);
+  out += ",\"journal_live_keys\":";
+  out += std::to_string(journal_ ? journal_->live_keys() : 0);
+  out += ",\"journal_recovered_records\":";
+  out += std::to_string(journal_ ? journal_->recovered_records() : 0);
+  out += ",\"journal_last_compaction_ms\":";
+  out += obs::json_number(journal_ ? journal_->last_compaction_ms() : -1.0);
+  out += ",\"journal_error\":\"";
+  out += escape(journal_error);
+  out += "\",\"replay_done\":";
+  out += replay_done_.load(std::memory_order_acquire) ? "true" : "false";
+  out += ",\"replayed\":";
+  out += std::to_string(replay_stats_.replayed.get());
+  out += ",\"replay_skipped_stale\":";
+  out += std::to_string(replay_stats_.skipped_stale.get());
+  out += ",\"replay_shed\":";
+  out += std::to_string(replay_stats_.shed.get());
+  out += ",\"replay_failed\":";
+  out += std::to_string(replay_stats_.failed.get());
+  out += ",\"replay_budget_expired\":";
+  out += std::to_string(replay_stats_.budget_expired.get());
   out += ",\"last_abort\":\"";
   out += escaped;
   out += "\"}";
@@ -797,7 +994,23 @@ std::string CompileService::stats_text() const {
       << "memo_impl_hits " << memo.impl_hits.get() << "\n"
       << "memo_misses " << memo.misses.get() << "\n"
       << "memo_stale " << memo.stale.get() << "\n"
-      << "parse_cache " << session_.parse_cache_size() << "\n";
+      << "parse_cache " << session_.parse_cache_size() << "\n"
+      << "journal_enabled " << (journal_ ? 1 : 0) << "\n"
+      << "journal_bytes " << (journal_ ? journal_->journal_bytes() : 0)
+      << "\n"
+      << "journal_live_keys " << (journal_ ? journal_->live_keys() : 0)
+      << "\n"
+      << "journal_appends "
+      << (journal_ ? journal_->stats().appends.get() : 0) << "\n"
+      << "journal_compactions "
+      << (journal_ ? journal_->stats().compactions.get() : 0) << "\n"
+      << "replay_done "
+      << (replay_done_.load(std::memory_order_acquire) ? 1 : 0) << "\n"
+      << "replayed " << replay_stats_.replayed.get() << "\n"
+      << "replay_skipped_stale " << replay_stats_.skipped_stale.get()
+      << "\n"
+      << "replay_shed " << replay_stats_.shed.get() << "\n"
+      << "replay_failed " << replay_stats_.failed.get() << "\n";
   return out.str();
 }
 

@@ -50,6 +50,9 @@
 //                                       draining, shed_total, requests,
 //                                       failures, memo_hit_rate, last_abort
 //   INVALIDATE                          drop every session cache
+//   SNAPSHOT                            compact the compile journal now
+//                                       (atomic rewrite of the live key
+//                                       set); payload reports keys + bytes
 //   SHUTDOWN                            stop admitting (drain begins); the
 //                                       transport drains and exits
 //   TPCH <n> <vhdl|ir> [budget_ms]      compile built-in TPC-H query n
@@ -89,6 +92,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -98,6 +102,7 @@
 
 #include "src/driver/compiler.hpp"
 #include "src/service/queue.hpp"
+#include "src/service/warmup.hpp"
 #include "src/support/counters.hpp"
 #include "src/support/status.hpp"
 
@@ -123,6 +128,19 @@ struct ServiceConfig {
   /// How long `drain()` lets queued + in-flight work finish before
   /// cancelling in-flight requests and shedding the rest of the queue.
   double drain_deadline_ms = 5000.0;
+  /// Durable compile journal path ("" = durability disabled). Recovered at
+  /// construction — a torn or corrupt journal truncates to its longest
+  /// valid prefix and boots cold past that, never refuses to serve.
+  std::string journal_path;
+  /// Replay recovered journal keys at startup (start_replay()); off =
+  /// journal still records, restarts just boot cold.
+  bool replay = true;
+  /// Wall-clock bound on startup replay (ms; 0 = unlimited).
+  double replay_budget_ms = 0.0;
+  /// Compact the journal every this-many ms (0 = only on drain/SNAPSHOT).
+  double snapshot_interval_ms = 0.0;
+  /// Deterministic I/O fault plan for the journal (tests only).
+  support::IoFaultPlan journal_faults;
 };
 
 /// One answered request: the machine-readable classification plus the
@@ -230,6 +248,27 @@ class CompileService {
 
   [[nodiscard]] driver::CompileSession& session() { return session_; }
 
+  /// The durable compile journal (nullptr when journal_path was empty or
+  /// the journal could not be opened at all).
+  [[nodiscard]] warmup::CompileJournal* journal() { return journal_.get(); }
+
+  /// Starts the background startup-replay thread: recovered journal keys
+  /// are resubmitted through the normal admission path as "PRIO batch"
+  /// work, bounded by replay_budget_ms, stale-stamp entries skipped, and
+  /// every entry sheddable by live traffic. No-op without a journal, with
+  /// replay disabled, or when already started. Idempotent.
+  void start_replay();
+  /// True once startup replay finished (or never needed to run).
+  [[nodiscard]] bool replay_done() const {
+    return replay_done_.load(std::memory_order_acquire);
+  }
+  /// Blocks until startup replay finishes (returns immediately when it
+  /// never started).
+  void wait_replay();
+  [[nodiscard]] const warmup::ReplayStats& replay_stats() const {
+    return replay_stats_;
+  }
+
   [[nodiscard]] std::uint64_t requests_served() const {
     return requests_.get();
   }
@@ -277,6 +316,13 @@ class CompileService {
   void record_abort(const support::Status& status);
   void cancel_until_idle();
   void join_workers();
+  void open_journal();
+  /// Journals one successfully compiled key (no-op without a journal).
+  void journal_success(const warmup::JournalEntry& entry);
+  [[nodiscard]] Response snapshot_now();
+  void replay_main();
+  void snapshot_main();
+  void stop_background_threads();
 
   ServiceConfig config_;
   int worker_count_ = 0;
@@ -306,6 +352,21 @@ class CompileService {
   /// HEALTH surfaces it so operators see watchdog fires without log diving.
   mutable std::mutex last_abort_mu_;
   std::string last_abort_;
+
+  // Durability (src/service/warmup.hpp). journal_ is constructed only when
+  // config_.journal_path is set and the path is at least creatable.
+  std::unique_ptr<warmup::CompileJournal> journal_;
+  /// Rendered kCorruptData status when boot recovery dropped bytes ("" on
+  /// a clean boot) — HEALTH's journal_error field.
+  std::string journal_boot_error_;
+  warmup::ReplayStats replay_stats_;
+  std::atomic<bool> replay_done_{true};
+  std::atomic<bool> replay_started_{false};
+  std::thread replay_thread_;
+  std::thread snapshot_thread_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool stop_bg_ = false;
 };
 
 }  // namespace tydi::service

@@ -15,9 +15,17 @@
 //   tydid --socket <path> [--workers <n>] [--queue-capacity <n>]
 //         [--max-connections <n>] [--drain-deadline-ms <ms>]
 //         [--rss-shed-mb <mb>] [--default-budget-ms <ms>]
-//         [--max-budget-ms <ms>]
+//         [--max-budget-ms <ms>] [--journal <path>] [--no-replay]
+//         [--replay-budget-ms <ms>] [--snapshot-interval-ms <ms>]
 //       run the daemon (blocks until a SHUTDOWN request or SIGINT/SIGTERM;
-//       both drain in-flight work and unlink the socket before exiting)
+//       both drain in-flight work and unlink the socket before exiting).
+//       With --journal the daemon records every successfully compiled key
+//       in a crash-safe append-only journal and replays it on the next
+//       start (as sheddable PRIO batch work, bounded by
+//       --replay-budget-ms), so restarts serve warm. A torn or corrupt
+//       journal recovers to its longest valid prefix and boots (partially)
+//       cold — logged, never fatal. See src/service/README.md
+//       ("Durability and warm restart").
 //   tydid --socket <path> --request "<line>" [--retries <n>]
 //         [--retry-base-ms <ms>] [--retry-seed <n>] [--deadline-ms <ms>]
 //         [--prio <interactive|batch>]
@@ -70,6 +78,9 @@ int usage() {
          "[--queue-capacity <n>] [--max-connections <n>]\n"
          "             [--drain-deadline-ms <ms>] [--rss-shed-mb <mb>]\n"
          "             [--default-budget-ms <ms>] [--max-budget-ms <ms>]\n"
+         "             [--journal <path>] [--no-replay] "
+         "[--replay-budget-ms <ms>]\n"
+         "             [--snapshot-interval-ms <ms>]\n"
          "       tydid --socket <path> --request \"<request line>\"\n"
          "             [--retries <n>] [--retry-base-ms <ms>] "
          "[--retry-seed <n>]\n"
@@ -110,8 +121,21 @@ int run_client(const std::string& socket_path, const std::string& line,
     std::cout << response.payload;
   } else {
     std::cerr << response.payload;
+    // A shed response carries the daemon's own retry-after hint; surface
+    // it on the final exhausted attempt so operators see *why* retries
+    // stopped and when trying again is worthwhile — not just exit 12.
     if (attempts > 1) {
-      std::cerr << "tydid: gave up after " << attempts << " attempt(s)\n";
+      std::cerr << "tydid: gave up after " << attempts << " attempt(s)";
+      if (response.retry_after_ms > 0.0) {
+        std::cerr << "; daemon suggests retrying in "
+                  << static_cast<long long>(response.retry_after_ms + 0.5)
+                  << " ms";
+      }
+      std::cerr << "\n";
+    } else if (response.retry_after_ms > 0.0) {
+      std::cerr << "tydid: daemon overloaded; retry in "
+                << static_cast<long long>(response.retry_after_ms + 0.5)
+                << " ms\n";
     }
   }
   return response.status.exit_code();
@@ -248,6 +272,17 @@ int main(int argc, char** argv) {
       const long long mb = std::atoll(next("--rss-shed-mb").c_str());
       config.rss_shed_mb =
           mb > 0 ? static_cast<std::uint64_t>(mb) : 0;
+    } else if (arg == "--journal") {
+      config.journal_path = next("--journal");
+    } else if (arg == "--no-replay") {
+      config.replay = false;
+    } else if (arg == "--replay-budget-ms") {
+      config.replay_budget_ms = std::atof(next("--replay-budget-ms").c_str());
+      if (config.replay_budget_ms < 0) config.replay_budget_ms = 0;
+    } else if (arg == "--snapshot-interval-ms") {
+      config.snapshot_interval_ms =
+          std::atof(next("--snapshot-interval-ms").c_str());
+      if (config.snapshot_interval_ms < 0) config.snapshot_interval_ms = 0;
     } else if (arg == "--retries") {
       retry.max_attempts = std::atoi(next("--retries").c_str());
     } else if (arg == "--retry-base-ms") {
@@ -289,6 +324,27 @@ int main(int argc, char** argv) {
   tydi::service::CompileService service(config);
   server_config.socket_path = socket_path;
   server_config.handle_signals = true;
+  if (!config.journal_path.empty()) {
+    tydi::service::warmup::CompileJournal* journal = service.journal();
+    if (journal == nullptr) {
+      std::cerr << "tydid: journal " << config.journal_path
+                << " unusable; serving without durability\n";
+    } else if (journal->recovered_corrupt()) {
+      // The logged cold(ish) start: recovery kept the longest valid
+      // prefix and dropped the rest. HEALTH reports it as kCorruptData
+      // in journal_error; the daemon serves regardless.
+      std::cerr << "tydid: journal " << config.journal_path
+                << " recovered " << journal->recovered_records()
+                << " record(s), dropped "
+                << journal->recovery_dropped_bytes()
+                << " corrupt tail byte(s); cold past the valid prefix\n";
+    } else {
+      std::cerr << "tydid: journal " << config.journal_path
+                << " recovered " << journal->recovered_records()
+                << " record(s)\n";
+    }
+  }
+  service.start_replay();
   std::cerr << "tydid: serving on " << socket_path << " ("
             << service.workers() << " workers, queue capacity "
             << config.queue_capacity << ")\n";
